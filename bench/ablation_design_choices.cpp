@@ -1,0 +1,167 @@
+// google-benchmark ablations for the design choices DESIGN.md calls out:
+//  * early-exit bounded distance vs exact distance in the assignment step;
+//  * classic MinHash (double hashing / independent) vs one-permutation
+//    MinHash for index construction;
+//  * presence filtering (Alg. 2 lines 2-4) on vs off for sparse binary
+//    data — fewer tokens means faster signatures AND meaningful Jaccard;
+//  * end-to-end MH-K-Modes vs exhaustive K-Modes at several (b, r).
+
+#include <benchmark/benchmark.h>
+
+#include "clustering/kmodes.h"
+#include "core/mh_kmodes.h"
+#include "datagen/conjunctive_generator.h"
+#include "datagen/yahoo_like_corpus.h"
+#include "text/binarizer.h"
+#include "text/tfidf.h"
+
+namespace {
+
+using namespace lshclust;
+
+CategoricalDataset AblationDataset() {
+  ConjunctiveDataOptions options;
+  options.num_items = 3000;
+  options.num_attributes = 100;
+  options.num_clusters = 300;
+  options.domain_size = 40000;
+  options.seed = 11;
+  static const CategoricalDataset dataset =
+      GenerateConjunctiveRuleData(options).ValueOrDie();
+  return dataset;
+}
+
+// ----------------------------------------------------- early exit on/off --
+
+void BM_KModes_EarlyExit(benchmark::State& state) {
+  const auto dataset = AblationDataset();
+  EngineOptions options;
+  options.num_clusters = 300;
+  options.max_iterations = 3;
+  options.seed = 7;
+  options.compute_cost = false;
+  options.early_exit = state.range(0) != 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunKModes(dataset, options).ok());
+  }
+}
+BENCHMARK(BM_KModes_EarlyExit)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+// ------------------------------------------- signature algorithm choice --
+
+void BM_IndexPrepare_SignatureAlgorithm(benchmark::State& state) {
+  const auto dataset = AblationDataset();
+  ShortlistIndexOptions options;
+  options.banding = {20, 5};
+  switch (state.range(0)) {
+    case 0:
+      options.algorithm = SignatureAlgorithm::kClassicMinHash;
+      options.minhash_mode = MinHashMode::kDoubleHashing;
+      break;
+    case 1:
+      options.algorithm = SignatureAlgorithm::kClassicMinHash;
+      options.minhash_mode = MinHashMode::kIndependent;
+      break;
+    default:
+      options.algorithm = SignatureAlgorithm::kOnePermutation;
+      break;
+  }
+  for (auto _ : state) {
+    ClusterShortlistProvider provider(options, 300);
+    benchmark::DoNotOptimize(provider.Prepare(dataset).ok());
+  }
+  state.SetLabel(state.range(0) == 0   ? "classic/double-hashing"
+                 : state.range(0) == 1 ? "classic/independent"
+                                       : "one-permutation");
+}
+BENCHMARK(BM_IndexPrepare_SignatureAlgorithm)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+// ------------------------------------------------ presence filtering --
+
+CategoricalDataset SparseBinaryDataset() {
+  YahooCorpusOptions corpus_options;
+  corpus_options.num_topics = 100;
+  corpus_options.questions_per_topic = 30;
+  corpus_options.seed = 13;
+  const auto corpus = GenerateYahooLikeCorpus(corpus_options);
+  const auto model = TopicTfIdf::Compute(corpus).ValueOrDie();
+  TfIdfOptions tfidf;
+  tfidf.threshold = 0.4;
+  const auto vocabulary = model.SelectVocabulary(tfidf);
+  return BinarizeCorpus(corpus, vocabulary).ValueOrDie();
+}
+
+void BM_Signatures_PresenceFiltering(benchmark::State& state) {
+  const bool filter = state.range(0) != 0;
+  static const CategoricalDataset dataset = SparseBinaryDataset();
+  const MinHasher hasher(100, 17);
+  std::vector<uint64_t> signature(100);
+  std::vector<uint32_t> tokens;
+  for (auto _ : state) {
+    for (uint32_t item = 0; item < dataset.num_items(); ++item) {
+      if (filter) {
+        dataset.PresentTokens(item, &tokens);  // Alg. 2 lines 2-4
+      } else {
+        const auto row = dataset.Row(item);
+        tokens.assign(row.begin(), row.end());  // ablation: sign everything
+      }
+      hasher.ComputeSignature(tokens, signature.data());
+      benchmark::DoNotOptimize(signature.data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * dataset.num_items());
+  state.SetLabel(filter ? "present-only tokens" : "all tokens");
+}
+BENCHMARK(BM_Signatures_PresenceFiltering)
+    ->Arg(1)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond);
+
+// ----------------------------------------- end-to-end banding settings --
+
+void BM_EndToEnd_Banding(benchmark::State& state) {
+  const auto dataset = AblationDataset();
+  const uint32_t bands = static_cast<uint32_t>(state.range(0));
+  const uint32_t rows = static_cast<uint32_t>(state.range(1));
+  for (auto _ : state) {
+    if (bands == 0) {  // sentinel: exhaustive baseline
+      EngineOptions options;
+      options.num_clusters = 300;
+      options.max_iterations = 8;
+      options.seed = 19;
+      options.compute_cost = false;
+      benchmark::DoNotOptimize(RunKModes(dataset, options).ok());
+    } else {
+      MHKModesOptions options;
+      options.engine.num_clusters = 300;
+      options.engine.max_iterations = 8;
+      options.engine.seed = 19;
+      options.engine.compute_cost = false;
+      options.index.banding = {bands, rows};
+      benchmark::DoNotOptimize(RunMHKModes(dataset, options).ok());
+    }
+  }
+  state.SetLabel(bands == 0 ? "K-Modes (exhaustive)"
+                            : std::to_string(bands) + "b" +
+                                  std::to_string(rows) + "r");
+}
+BENCHMARK(BM_EndToEnd_Banding)
+    ->Args({0, 0})
+    ->Args({1, 1})
+    ->Args({20, 2})
+    ->Args({20, 5})
+    ->Args({50, 5})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+}  // namespace
+
+BENCHMARK_MAIN();

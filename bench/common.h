@@ -1,0 +1,119 @@
+#pragma once
+
+/// \file common.h
+/// \brief Shared machinery for the per-figure bench drivers.
+///
+/// Every driver accepts:
+///   --scale=<f>   linear scale on items and clusters (default 0.1: the
+///                 paper's 90000x20000 becomes 9000x2000 so the whole
+///                 suite runs in minutes)
+///   --paper       run the paper-scale configuration (hours, like the
+///                 original; implies --scale=1)
+///   --seed=<n>    master seed (data generation + shared initial centroids)
+///   --max-iters   refinement iteration cap (0 = the paper's setting)
+///
+/// Output is the tabular form of the corresponding figure panels: the same
+/// series (time/iteration, avg shortlist, moves, totals, purity) the paper
+/// plots, printed by core/reporters.h.
+
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/reporters.h"
+#include "datagen/conjunctive_generator.h"
+#include "util/flags.h"
+#include "util/logging.h"
+
+namespace lshclust::bench {
+
+/// \brief Flags common to every figure driver.
+struct DriverOptions {
+  double scale = 0.1;
+  bool paper = false;
+  int64_t seed = 42;
+  int64_t max_iterations = 0;
+
+  /// Registers the shared flags on `flags`.
+  void Register(FlagSet* flags) {
+    flags->AddDouble("scale", &scale,
+                     "linear scale on items and clusters vs the paper");
+    flags->AddBool("paper", &paper,
+                   "run the full paper-scale configuration (slow)");
+    flags->AddInt64("seed", &seed, "master RNG seed");
+    flags->AddInt64("max-iters", &max_iterations,
+                    "refinement iteration cap (0 = figure default)");
+  }
+
+  /// Parses argv; returns false when the program should exit (e.g. --help
+  /// printed). Dies on malformed flags.
+  bool Parse(FlagSet* flags, int argc, char** argv) {
+    const Status status = flags->Parse(argc, argv);
+    if (status.IsAlreadyExists()) return false;  // --help
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      std::exit(2);
+    }
+    if (paper) scale = 1.0;
+    LSHC_CHECK(scale > 0.0 && scale <= 1.0)
+        << "--scale must be in (0, 1]";
+    return true;
+  }
+
+  /// Applies the scale to a paper-size dataset shape: items and clusters
+  /// shrink linearly, attributes and domain stay (they set the geometry of
+  /// the similarity space, not the amount of work per the paper's axes).
+  ConjunctiveDataOptions ScaledData(uint32_t paper_items,
+                                    uint32_t paper_attributes,
+                                    uint32_t paper_clusters) const {
+    ConjunctiveDataOptions data;
+    data.num_items =
+        std::max<uint32_t>(64, static_cast<uint32_t>(paper_items * scale));
+    data.num_attributes = paper_attributes;
+    data.num_clusters =
+        std::max<uint32_t>(8, static_cast<uint32_t>(paper_clusters * scale));
+    data.domain_size = 40000;  // the paper's domain (§IV-A)
+    data.seed = static_cast<uint64_t>(seed);
+    return data;
+  }
+};
+
+/// \brief Generates a synthetic dataset, runs the comparison, and prints
+/// the requested figure panels. Shared by the fig2/3/4/5 drivers.
+inline std::vector<MethodRun> RunSyntheticFigure(
+    const std::string& figure_name, const ConjunctiveDataOptions& data,
+    const std::vector<MethodSpec>& methods, const DriverOptions& driver,
+    uint32_t default_max_iterations,
+    const std::vector<IterationField>& panels) {
+  PrintExperimentHeader(std::cout, figure_name, data.num_items,
+                        data.num_attributes, data.num_clusters);
+  std::printf("generating dataset (domain %u, seed %llu)...\n",
+              data.domain_size,
+              static_cast<unsigned long long>(data.seed));
+  auto dataset_result = GenerateConjunctiveRuleData(data);
+  LSHC_CHECK_OK(dataset_result.status());
+  const CategoricalDataset& dataset = *dataset_result;
+
+  ComparisonOptions options;
+  options.num_clusters = data.num_clusters;
+  options.max_iterations =
+      driver.max_iterations > 0
+          ? static_cast<uint32_t>(driver.max_iterations)
+          : default_max_iterations;
+  options.seed = static_cast<uint64_t>(driver.seed);
+
+  auto runs_result = RunComparison(dataset, options, methods);
+  LSHC_CHECK_OK(runs_result.status());
+  std::vector<MethodRun> runs = std::move(runs_result).ValueOrDie();
+
+  for (const IterationField field : panels) {
+    PrintIterationSeries(std::cout, figure_name, runs, field);
+  }
+  PrintSummaryTable(std::cout, figure_name, runs);
+  return runs;
+}
+
+}  // namespace lshclust::bench

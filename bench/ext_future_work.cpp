@@ -1,0 +1,181 @@
+// Benchmarks for the paper's §VI future-work directions, implemented in
+// this repository beyond the paper's own evaluation:
+//   (1) numeric data      — LSH-K-Means (SimHash) vs Lloyd;
+//   (2) mixed data        — LSH-K-Prototypes (MinHash + SimHash) vs
+//                           K-Prototypes;
+//   (3) streaming         — incremental ingestion vs batch re-clustering.
+// Each section prints a comparison table in the style of the figure
+// drivers.
+
+#include <cstdio>
+
+#include "core/lsh_kmeans.h"
+#include "core/lsh_kprototypes.h"
+#include "core/streaming.h"
+#include "data/slicing.h"
+#include "datagen/conjunctive_generator.h"
+#include "datagen/gaussian_mixture.h"
+#include "datagen/mixed_generator.h"
+#include "metrics/metrics.h"
+#include "util/flags.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace lshclust;
+
+void PrintRow(const char* method, double seconds, double purity,
+              size_t iterations, double shortlist) {
+  std::printf("%-26s %10.3f %10.4f %8zu %12.1f\n", method, seconds, purity,
+              iterations, shortlist);
+}
+
+double MeanShortlist(const ClusteringResult& result) {
+  if (result.iterations.empty()) return 0;
+  double total = 0;
+  for (const auto& it : result.iterations) total += it.mean_shortlist;
+  return total / static_cast<double>(result.iterations.size());
+}
+
+void NumericSection(double scale, uint64_t seed) {
+  GaussianMixtureOptions data;
+  data.num_items = static_cast<uint32_t>(200000 * scale);
+  data.dimensions = 32;
+  data.num_clusters = static_cast<uint32_t>(10000 * scale);
+  data.center_box = 20.0;
+  data.stddev = 1.0;
+  data.seed = seed;
+  const auto dataset = GenerateGaussianMixture(data).ValueOrDie();
+  std::printf("\n== future work (1): numeric data — %u points, %u dims, "
+              "%u clusters ==\n",
+              dataset.num_items(), dataset.dimensions(), data.num_clusters);
+  std::printf("%-26s %10s %10s %8s %12s\n", "method", "total (s)", "purity",
+              "iters", "shortlist");
+
+  KMeansOptions kmeans;
+  kmeans.num_clusters = data.num_clusters;
+  kmeans.seed = seed;
+  kmeans.max_iterations = 20;
+  const auto lloyd = RunKMeans(dataset, kmeans).ValueOrDie();
+  PrintRow("K-Means (Lloyd)", lloyd.total_seconds,
+           ComputePurity(lloyd.assignment, dataset.labels()).ValueOrDie(),
+           lloyd.iterations.size(), MeanShortlist(lloyd));
+
+  LshKMeansOptions lsh;
+  lsh.kmeans = kmeans;
+  lsh.banding = {12, 10};
+  const auto accelerated = RunLshKMeans(dataset, lsh).ValueOrDie();
+  PrintRow("LSH-K-Means 12b10r", accelerated.total_seconds,
+           ComputePurity(accelerated.assignment, dataset.labels())
+               .ValueOrDie(),
+           accelerated.iterations.size(), MeanShortlist(accelerated));
+}
+
+void MixedSection(double scale, uint64_t seed) {
+  MixedDataOptions data;
+  data.categorical.num_items = static_cast<uint32_t>(150000 * scale);
+  data.categorical.num_attributes = 24;
+  data.categorical.num_clusters = static_cast<uint32_t>(10000 * scale);
+  data.categorical.domain_size = 5000;
+  data.categorical.seed = seed;
+  data.numeric_dimensions = 12;
+  data.center_box = 15.0;
+  const auto dataset = GenerateMixedData(data).ValueOrDie();
+  std::printf("\n== future work (2): mixed data — %u items, %u + %u "
+              "attributes, %u clusters ==\n",
+              dataset.num_items(), dataset.num_categorical(),
+              dataset.num_numeric(), data.categorical.num_clusters);
+  std::printf("%-26s %10s %10s %8s %12s\n", "method", "total (s)", "purity",
+              "iters", "shortlist");
+
+  KPrototypesOptions base;
+  base.num_clusters = data.categorical.num_clusters;
+  base.gamma = 0.5;
+  base.seed = seed;
+  base.max_iterations = 15;
+  const auto baseline = RunKPrototypes(dataset, base).ValueOrDie();
+  PrintRow("K-Prototypes", baseline.total_seconds,
+           ComputePurity(baseline.assignment, dataset.labels()).ValueOrDie(),
+           baseline.iterations.size(), MeanShortlist(baseline));
+
+  LshKPrototypesOptions lsh;
+  lsh.kprototypes = base;
+  const auto accelerated = RunLshKPrototypes(dataset, lsh).ValueOrDie();
+  PrintRow("LSH-K-Prototypes", accelerated.total_seconds,
+           ComputePurity(accelerated.assignment, dataset.labels())
+               .ValueOrDie(),
+           accelerated.iterations.size(), MeanShortlist(accelerated));
+}
+
+void StreamingSection(double scale, uint64_t seed) {
+  ConjunctiveDataOptions data;
+  data.num_items = static_cast<uint32_t>(200000 * scale);
+  data.num_attributes = 50;
+  data.num_clusters = static_cast<uint32_t>(15000 * scale);
+  data.domain_size = 20000;
+  data.seed = seed;
+  const auto all = GenerateConjunctiveRuleData(data).ValueOrDie();
+  const uint32_t warmup_count = all.num_items() * 6 / 10;
+  const auto warmup = SliceDataset(all, 0, warmup_count).ValueOrDie();
+  std::printf("\n== future work (3): streaming — %u warm-up + %u arriving "
+              "items, %u clusters ==\n",
+              warmup_count, all.num_items() - warmup_count,
+              data.num_clusters);
+
+  StreamingMHKModesOptions options;
+  options.bootstrap.engine.num_clusters = data.num_clusters;
+  options.bootstrap.engine.seed = seed;
+  // Streaming favours recall over shortlist size: a missed shortlist costs
+  // a full exhaustive fallback scan, so band with 2 rows (threshold
+  // (1/20)^(1/2) ~ 0.22) instead of the batch default 20b5r.
+  options.bootstrap.index.banding = {20, 2};
+
+  Stopwatch watch;
+  auto stream = StreamingMHKModes::Bootstrap(warmup, options).ValueOrDie();
+  const double bootstrap_seconds = watch.ElapsedSeconds();
+
+  watch.Restart();
+  for (uint32_t item = warmup_count; item < all.num_items(); ++item) {
+    LSHC_CHECK_OK(stream.Ingest(all.Row(item)).status());
+  }
+  const double ingest_seconds = watch.ElapsedSeconds();
+  const double streaming_purity =
+      ComputePurity(stream.assignment(), all.labels()).ValueOrDie();
+
+  watch.Restart();
+  const auto batch = RunMHKModes(all, options.bootstrap).ValueOrDie();
+  const double batch_seconds = watch.ElapsedSeconds();
+  const double batch_purity =
+      ComputePurity(batch.result.assignment, all.labels()).ValueOrDie();
+
+  std::printf("%-34s %10s %10s\n", "strategy", "time (s)", "purity");
+  std::printf("%-34s %10.3f %10s\n", "bootstrap (60% of items, batch)",
+              bootstrap_seconds, "-");
+  std::printf("%-34s %10.3f %10.4f\n", "  + streaming ingest (40%)",
+              ingest_seconds, streaming_purity);
+  std::printf("%-34s %10.3f %10.4f\n", "batch re-clustering (100%)",
+              batch_seconds, batch_purity);
+  std::printf("ingest throughput: %.0f items/s; fallbacks: %llu of %llu\n",
+              (all.num_items() - warmup_count) / ingest_seconds,
+              static_cast<unsigned long long>(
+                  stream.stats().exhaustive_fallbacks),
+              static_cast<unsigned long long>(stream.stats().ingested));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagSet flags("ext_future_work");
+  double scale = 0.1;
+  int64_t seed = 42;
+  flags.AddDouble("scale", &scale, "linear scale on items and clusters");
+  flags.AddInt64("seed", &seed, "master RNG seed");
+  const Status status = flags.Parse(argc, argv);
+  if (status.IsAlreadyExists()) return 0;
+  LSHC_CHECK_OK(status);
+
+  NumericSection(scale, static_cast<uint64_t>(seed));
+  MixedSection(scale, static_cast<uint64_t>(seed));
+  StreamingSection(scale, static_cast<uint64_t>(seed));
+  return 0;
+}

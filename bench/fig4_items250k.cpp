@@ -1,0 +1,25 @@
+// Reproduces Figure 4: 250000 items, 100 attributes, 20000 clusters —
+// scaling the item count. Methods are the paper's pair for this figure:
+// MH-K-Modes 1b1r and 20b5r vs K-Modes. Panels: (a) average shortlist
+// size, (b) moves, (c) time per iteration.
+
+#include "bench/common.h"
+
+int main(int argc, char** argv) {
+  using namespace lshclust;
+  using namespace lshclust::bench;
+
+  FlagSet flags("fig4_items250k");
+  DriverOptions driver;
+  driver.Register(&flags);
+  if (!driver.Parse(&flags, argc, argv)) return 0;
+
+  const auto data = driver.ScaledData(250000, 100, 20000);
+  RunSyntheticFigure(
+      "Figure 4 (250k-item dataset)", data,
+      {MHKModesSpec(1, 1), MHKModesSpec(20, 5), KModesSpec()}, driver,
+      /*default_max_iterations=*/15,
+      {IterationField::kShortlist, IterationField::kMoves,
+       IterationField::kSeconds});
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Reproduces Figure 9: the Yahoo! Answers experiment with TF-IDF threshold
+// 0.7 (paper: 81036 questions, 2916 topics, 382 attributes). Methods:
+// MH-K-Modes 1b1r vs K-Modes. Panels: (a) time per iteration, (b) average
+// shortlist size, (c) moves, (d) total time, (e) purity.
+//
+// Shape to reproduce: MH-K-Modes takes ~60% of the baseline's iteration
+// time, converges one iteration earlier, halves the total time, and
+// matches the baseline's purity almost exactly.
+
+#include "bench/yahoo_common.h"
+
+int main(int argc, char** argv) {
+  using namespace lshclust;
+  using namespace lshclust::bench;
+
+  FlagSet flags("fig9_yahoo_tfidf07");
+  DriverOptions driver;
+  driver.Register(&flags);
+  if (!driver.Parse(&flags, argc, argv)) return 0;
+
+  uint32_t num_topics = 0;
+  const CategoricalDataset dataset = MakeYahooDataset(
+      driver, /*tfidf_threshold=*/0.7, /*questions_per_topic=*/28,
+      &num_topics);
+
+  ComparisonOptions options;
+  options.num_clusters = num_topics;  // the paper clusters into the topics
+  options.max_iterations = driver.max_iterations > 0
+                               ? static_cast<uint32_t>(driver.max_iterations)
+                               : 15;
+  options.seed = static_cast<uint64_t>(driver.seed);
+
+  auto runs = RunComparison(dataset, options,
+                            {MHKModesSpec(1, 1), KModesSpec()});
+  LSHC_CHECK_OK(runs.status());
+  PrintIterationSeries(std::cout, "Figure 9 (Yahoo!, TF-IDF 0.7)", *runs,
+                       IterationField::kSeconds);
+  PrintIterationSeries(std::cout, "Figure 9 (Yahoo!, TF-IDF 0.7)", *runs,
+                       IterationField::kShortlist);
+  PrintIterationSeries(std::cout, "Figure 9 (Yahoo!, TF-IDF 0.7)", *runs,
+                       IterationField::kMoves);
+  PrintSummaryTable(std::cout, "Figure 9 (Yahoo!, TF-IDF 0.7)", *runs);
+  return 0;
+}

@@ -1,0 +1,216 @@
+// google-benchmark microbenchmarks for the hot kernels: MinHash signature
+// generation (Algorithm 1, both derivation modes, plus one-permutation),
+// mismatch distance (plain and early-exit), banding index build and query,
+// mode recomputation, and the flat hash map.
+
+#include <benchmark/benchmark.h>
+
+#include "clustering/dissimilarity.h"
+#include "clustering/modes.h"
+#include "core/cluster_shortlist_index.h"
+#include "datagen/conjunctive_generator.h"
+#include "hashing/minhash.h"
+#include "hashing/one_permutation_minhash.h"
+#include "lsh/banded_index.h"
+#include "lsh/flat_hash_table.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace lshclust;
+
+std::vector<uint32_t> MakeTokens(uint32_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint32_t> tokens(count);
+  for (auto& token : tokens) token = static_cast<uint32_t>(rng.Below(1u << 30));
+  return tokens;
+}
+
+// ------------------------------------------------- signature generation --
+
+void BM_MinHashSignature_DoubleHashing(benchmark::State& state) {
+  const uint32_t num_hashes = static_cast<uint32_t>(state.range(0));
+  const uint32_t num_tokens = static_cast<uint32_t>(state.range(1));
+  const MinHasher hasher(num_hashes, 42, MinHashMode::kDoubleHashing);
+  const auto tokens = MakeTokens(num_tokens, 1);
+  std::vector<uint64_t> signature(num_hashes);
+  for (auto _ : state) {
+    hasher.ComputeSignature(tokens, signature.data());
+    benchmark::DoNotOptimize(signature.data());
+  }
+  state.SetItemsProcessed(state.iterations() * num_tokens);
+}
+BENCHMARK(BM_MinHashSignature_DoubleHashing)
+    ->Args({100, 100})
+    ->Args({100, 400})
+    ->Args({250, 100})
+    ->Args({250, 400});
+
+void BM_MinHashSignature_Independent(benchmark::State& state) {
+  const uint32_t num_hashes = static_cast<uint32_t>(state.range(0));
+  const uint32_t num_tokens = static_cast<uint32_t>(state.range(1));
+  const MinHasher hasher(num_hashes, 42, MinHashMode::kIndependent);
+  const auto tokens = MakeTokens(num_tokens, 1);
+  std::vector<uint64_t> signature(num_hashes);
+  for (auto _ : state) {
+    hasher.ComputeSignature(tokens, signature.data());
+    benchmark::DoNotOptimize(signature.data());
+  }
+  state.SetItemsProcessed(state.iterations() * num_tokens);
+}
+BENCHMARK(BM_MinHashSignature_Independent)->Args({100, 100})->Args({250, 100});
+
+void BM_OnePermutationSignature(benchmark::State& state) {
+  const uint32_t num_bins = static_cast<uint32_t>(state.range(0));
+  const uint32_t num_tokens = static_cast<uint32_t>(state.range(1));
+  const OnePermutationMinHasher hasher(num_bins, 42);
+  const auto tokens = MakeTokens(num_tokens, 1);
+  std::vector<uint64_t> signature(num_bins);
+  for (auto _ : state) {
+    hasher.ComputeSignature(tokens, signature.data());
+    benchmark::DoNotOptimize(signature.data());
+  }
+  state.SetItemsProcessed(state.iterations() * num_tokens);
+}
+BENCHMARK(BM_OnePermutationSignature)
+    ->Args({100, 100})
+    ->Args({250, 100})
+    ->Args({250, 400});
+
+// ------------------------------------------------------ distance kernels --
+
+void BM_MismatchDistance(benchmark::State& state) {
+  const uint32_t m = static_cast<uint32_t>(state.range(0));
+  const auto a = MakeTokens(m, 1);
+  const auto b = MakeTokens(m, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MismatchDistance(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * m);
+}
+BENCHMARK(BM_MismatchDistance)->Arg(100)->Arg(200)->Arg(400)->Arg(2000);
+
+void BM_BoundedMismatchDistance_TightBound(benchmark::State& state) {
+  // The common case in a converged clustering: the bound is small and the
+  // kernel exits within the first blocks.
+  const uint32_t m = static_cast<uint32_t>(state.range(0));
+  const auto a = MakeTokens(m, 1);
+  const auto b = MakeTokens(m, 2);  // ~100% mismatches
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        BoundedMismatchDistance(a.data(), b.data(), m, 8));
+  }
+}
+BENCHMARK(BM_BoundedMismatchDistance_TightBound)->Arg(100)->Arg(400)->Arg(2000);
+
+void BM_BoundedMismatchDistance_LooseBound(benchmark::State& state) {
+  const uint32_t m = static_cast<uint32_t>(state.range(0));
+  const auto a = MakeTokens(m, 1);
+  auto b = a;  // identical: never exits early
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        BoundedMismatchDistance(a.data(), b.data(), m, m + 1));
+  }
+  state.SetItemsProcessed(state.iterations() * m);
+}
+BENCHMARK(BM_BoundedMismatchDistance_LooseBound)->Arg(100)->Arg(400);
+
+// --------------------------------------------------------- banding index --
+
+CategoricalDataset BenchDataset(uint32_t n, uint32_t m, uint32_t k) {
+  ConjunctiveDataOptions options;
+  options.num_items = n;
+  options.num_attributes = m;
+  options.num_clusters = k;
+  options.domain_size = 1000;
+  options.seed = 3;
+  return GenerateConjunctiveRuleData(options).ValueOrDie();
+}
+
+void BM_IndexBuild(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  const auto dataset = BenchDataset(n, 100, std::max(8u, n / 10));
+  ShortlistIndexOptions options;
+  options.banding = {20, 5};
+  for (auto _ : state) {
+    ClusterShortlistProvider provider(options, std::max(8u, n / 10));
+    benchmark::DoNotOptimize(provider.Prepare(dataset).ok());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_IndexBuild)->Arg(1000)->Arg(5000)->Unit(benchmark::kMillisecond);
+
+void BM_ShortlistQuery(benchmark::State& state) {
+  const uint32_t n = 5000;
+  const uint32_t k = 500;
+  const auto dataset = BenchDataset(n, 100, k);
+  ShortlistIndexOptions options;
+  options.banding = {static_cast<uint32_t>(state.range(0)),
+                     static_cast<uint32_t>(state.range(1))};
+  ClusterShortlistProvider provider(options, k);
+  if (!provider.Prepare(dataset).ok()) {
+    state.SkipWithError("Prepare failed");
+    return;
+  }
+  std::vector<uint32_t> assignment(n);
+  for (uint32_t i = 0; i < n; ++i) assignment[i] = i % k;
+  std::vector<uint32_t> shortlist;
+  uint32_t item = 0;
+  for (auto _ : state) {
+    provider.GetCandidates(item, assignment, &shortlist);
+    benchmark::DoNotOptimize(shortlist.data());
+    item = (item + 1) % n;
+  }
+}
+BENCHMARK(BM_ShortlistQuery)->Args({1, 1})->Args({20, 5})->Args({50, 5});
+
+// ------------------------------------------------------------ mode update --
+
+void BM_ModeRecompute(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  const uint32_t k = std::max(8u, n / 10);
+  const auto dataset = BenchDataset(n, 100, k);
+  ModeTable modes(k, 100);
+  Rng rng(5);
+  std::vector<uint32_t> assignment(n);
+  for (uint32_t i = 0; i < n; ++i) assignment[i] = i % k;
+  for (auto _ : state) {
+    modes.RecomputeFromAssignment(dataset, assignment,
+                                  EmptyClusterPolicy::kKeepPreviousMode, rng);
+    benchmark::DoNotOptimize(modes.ModeData(0));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ModeRecompute)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------- flat hash map --
+
+void BM_FlatHashMapInsert(benchmark::State& state) {
+  const uint32_t count = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    FlatHashMap64 map(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      *map.FindOrInsert(Mix64(i), 0) = i;
+    }
+    benchmark::DoNotOptimize(map.size());
+  }
+  state.SetItemsProcessed(state.iterations() * count);
+}
+BENCHMARK(BM_FlatHashMapInsert)->Arg(1000)->Arg(100000);
+
+void BM_FlatHashMapFind(benchmark::State& state) {
+  const uint32_t count = 100000;
+  FlatHashMap64 map(count);
+  for (uint32_t i = 0; i < count; ++i) *map.FindOrInsert(Mix64(i), 0) = i;
+  uint64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.Find(Mix64(key)));
+    key = (key + 1) % count;
+  }
+}
+BENCHMARK(BM_FlatHashMapFind);
+
+}  // namespace
+
+BENCHMARK_MAIN();

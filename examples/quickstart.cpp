@@ -1,0 +1,77 @@
+// Quickstart: cluster a small categorical dataset with MH-K-Modes and
+// inspect the result. Start here — ~60 lines end to end.
+//
+//   $ ./build/examples/quickstart
+//
+// The dataset is the kind of nominal data K-Modes was built for: items
+// described by unordered category values ("colour=blue"), where means are
+// meaningless and the centroid is the per-attribute mode.
+
+#include <cstdio>
+
+#include "core/mh_kmodes.h"
+#include "data/csv.h"
+
+int main() {
+  using namespace lshclust;
+
+  // A small product table: attributes are colour / size / material, plus a
+  // ground-truth label column for measuring purity.
+  const char* kCsv =
+      "colour,size,material,label\n"
+      "blue,small,wood,0\n"
+      "blue,small,metal,0\n"
+      "blue,medium,wood,0\n"
+      "red,large,metal,1\n"
+      "red,large,plastic,1\n"
+      "red,medium,metal,1\n"
+      "green,small,fabric,2\n"
+      "green,small,wool,2\n"
+      "green,medium,fabric,2\n"
+      "blue,small,wood,0\n"
+      "red,large,metal,1\n"
+      "green,small,fabric,2\n";
+
+  auto dataset = ParseCategoricalCsv(kCsv);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "parse failed: %s\n",
+                 dataset.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded %u items x %u attributes\n", dataset->num_items(),
+              dataset->num_attributes());
+
+  // Configure MH-K-Modes: k clusters, banding b x r. On 12 items the LSH
+  // machinery is overkill — the point is that the API is identical at
+  // 12 items and 250 000.
+  MHKModesOptions options;
+  options.engine.num_clusters = 3;
+  options.engine.seed = 2;
+  options.index.banding = {8, 2};  // 8 bands of 2 rows
+
+  auto run = RunMHKModes(*dataset, options);
+  if (!run.ok()) {
+    std::fprintf(stderr, "clustering failed: %s\n",
+                 run.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("converged after %zu iterations, cost P(W,Q) = %.0f\n",
+              run->result.iterations.size(), run->result.final_cost);
+  for (uint32_t item = 0; item < dataset->num_items(); ++item) {
+    std::printf("  item %2u (%s, %s, %s) -> cluster %u\n", item,
+                dataset->ValueToString(item, 0).c_str(),
+                dataset->ValueToString(item, 1).c_str(),
+                dataset->ValueToString(item, 2).c_str(),
+                run->result.assignment[item]);
+  }
+
+  // Per-iteration instrumentation: the series the paper's figures plot.
+  for (const auto& it : run->result.iterations) {
+    std::printf("iteration %u: %.3f ms, %llu moves, mean shortlist %.2f\n",
+                it.iteration, it.seconds * 1e3,
+                static_cast<unsigned long long>(it.moves),
+                it.mean_shortlist);
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+#include "clustering/canopy.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace lshclust {
+
+Result<CanopyIndex> CanopyIndex::Build(const CategoricalDataset& dataset,
+                                       const CanopyOptions& options) {
+  const uint32_t n = dataset.num_items();
+  const uint32_t m = dataset.num_attributes();
+  if (n == 0) return Status::InvalidArgument("dataset is empty");
+  if (!(options.tight_fraction > 0.0 &&
+        options.tight_fraction <= options.loose_fraction &&
+        options.loose_fraction <= 1.0)) {
+    return Status::InvalidArgument(
+        "thresholds must satisfy 0 < tight <= loose <= 1");
+  }
+  if (options.cheap_attributes == 0) {
+    return Status::InvalidArgument("cheap_attributes must be positive");
+  }
+
+  Rng rng(options.seed);
+  const uint32_t sampled = std::min(options.cheap_attributes, m);
+  const std::vector<uint32_t> attributes =
+      rng.SampleWithoutReplacement(m, sampled);
+  // Mismatch thresholds on the sampled positions. "distance < T" in the
+  // original formulation becomes "mismatches <= threshold" here.
+  const uint32_t loose = static_cast<uint32_t>(options.loose_fraction *
+                                               static_cast<double>(sampled));
+  const uint32_t tight = static_cast<uint32_t>(options.tight_fraction *
+                                               static_cast<double>(sampled));
+
+  auto cheap_distance = [&](uint32_t a, uint32_t b) {
+    const uint32_t* row_a = dataset.Row(a).data();
+    const uint32_t* row_b = dataset.Row(b).data();
+    uint32_t mismatches = 0;
+    for (const uint32_t attribute : attributes) {
+      mismatches += row_a[attribute] != row_b[attribute] ? 1 : 0;
+    }
+    return mismatches;
+  };
+
+  // Randomised center order.
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+
+  CanopyIndex index;
+  index.num_items_ = n;
+  index.canopy_offsets_.push_back(0);
+  std::vector<bool> is_candidate(n, true);
+  std::vector<uint32_t> membership_counts(n, 0);
+
+  for (const uint32_t center : order) {
+    if (!is_candidate[center]) continue;
+    // New canopy centered at `center`.
+    for (uint32_t item = 0; item < n; ++item) {
+      const uint32_t distance = cheap_distance(center, item);
+      if (distance <= loose) {
+        index.canopy_items_.push_back(item);
+        ++membership_counts[item];
+        if (distance <= tight) is_candidate[item] = false;
+      }
+    }
+    index.canopy_offsets_.push_back(
+        static_cast<uint32_t>(index.canopy_items_.size()));
+  }
+
+  // Invert to the item -> canopies CSR.
+  index.item_offsets_.resize(n + 1);
+  uint32_t offset = 0;
+  for (uint32_t item = 0; item < n; ++item) {
+    index.item_offsets_[item] = offset;
+    offset += membership_counts[item];
+  }
+  index.item_offsets_[n] = offset;
+  index.item_canopies_.resize(offset);
+  std::vector<uint32_t> cursor(index.item_offsets_.begin(),
+                               index.item_offsets_.end() - 1);
+  for (uint32_t canopy = 0; canopy < index.num_canopies(); ++canopy) {
+    for (const uint32_t item : index.CanopyMembers(canopy)) {
+      index.item_canopies_[cursor[item]++] = canopy;
+    }
+  }
+  return index;
+}
+
+}  // namespace lshclust

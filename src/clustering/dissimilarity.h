@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file dissimilarity.h
+/// \brief Huang's categorical mismatch measure d(X, Y) (Eqs. 1-2) — the
+/// inner loop of every assignment step.
+
+#include <cstdint>
+#include <span>
+
+namespace lshclust {
+
+/// Counts attribute positions where `a` and `b` differ. Both spans must
+/// have equal length m; the result is in [0, m].
+inline uint32_t MismatchDistance(std::span<const uint32_t> a,
+                                 std::span<const uint32_t> b) {
+  uint32_t mismatches = 0;
+  for (size_t j = 0; j < a.size(); ++j) {
+    mismatches += (a[j] != b[j]) ? 1 : 0;
+  }
+  return mismatches;
+}
+
+namespace internal {
+
+/// Mismatch count of one fixed 32-attribute block. Deliberately *not*
+/// inlined: when this body is inlined between the early-exit branches of
+/// BoundedMismatchDistance, GCC stops vectorizing it and the bounded scan
+/// runs ~5x slower than the exact kernel; compiled standalone it
+/// vectorizes cleanly and the call overhead is ~2 cycles per block
+/// (measured in bench/ablation_design_choices.cpp).
+[[gnu::noinline]] inline uint32_t MismatchBlock32(const uint32_t* a,
+                                                  const uint32_t* b) {
+  uint32_t mismatches = 0;
+  for (uint32_t t = 0; t < 32; ++t) {
+    mismatches += (a[t] != b[t]) ? 1 : 0;
+  }
+  return mismatches;
+}
+
+}  // namespace internal
+
+/// Mismatch count with early exit: returns any value >= `bound` as soon as
+/// the running count reaches `bound` (the caller is looking for distances
+/// strictly below `bound`, so the exact value past it is irrelevant).
+/// Scans vectorized 32-attribute blocks with a bound check after each.
+inline uint32_t BoundedMismatchDistance(const uint32_t* a, const uint32_t* b,
+                                        uint32_t m, uint32_t bound) {
+  uint32_t mismatches = 0;
+  uint32_t j = 0;
+  while (j + 32 <= m) {
+    mismatches += internal::MismatchBlock32(a + j, b + j);
+    j += 32;
+    if (mismatches >= bound) return mismatches;
+  }
+  for (; j < m; ++j) {
+    mismatches += (a[j] != b[j]) ? 1 : 0;
+  }
+  return mismatches;
+}
+
+/// Jaccard similarity of two items' *present-token sets* when every
+/// attribute is present: q matching attributes of m give |X∩Y| = q and
+/// |X∪Y| = 2m - q, hence s = q / (2m - q). With at least one match,
+/// s >= 1/(2m-1) — the quantity behind the paper's §III-C error bound.
+inline double JaccardFromMatches(uint32_t matches, uint32_t m) {
+  if (m == 0) return 0.0;
+  return static_cast<double>(matches) /
+         static_cast<double>(2 * m - matches);
+}
+
+}  // namespace lshclust

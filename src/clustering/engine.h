@@ -1,0 +1,317 @@
+#pragma once
+
+/// \file engine.h
+/// \brief The shared K-Modes refinement engine, templated on a candidate
+/// provider.
+///
+/// The paper's framework changes exactly one thing about K-Modes: where the
+/// assignment step looks for candidate clusters. The engine therefore takes
+/// a *provider* policy:
+///
+///  * ExhaustiveProvider — every cluster is a candidate: original K-Modes.
+///  * core/ClusterShortlistProvider — candidates come from the MinHash
+///    index: MH-K-Modes (Algorithm 2).
+///
+/// Both variants share every other line of code, which keeps the
+/// efficiency comparison honest (same distance kernel, same mode updates,
+/// same convergence test — mirroring the paper's single code base for both
+/// algorithms).
+///
+/// Phases, timed separately (see ClusteringResult):
+///   1. init: seed selection, initial modes = seed items.
+///   2. initial assignment: one exhaustive pass (the paper performs this
+///      for MH-K-Modes too, before the index exists — Alg. 2 step 2).
+///   3. provider.Prepare(): signature computation + index build
+///      (no-op for the baseline).
+///   4. refinement iterations until no item moves or max_iterations.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "clustering/dissimilarity.h"
+#include "clustering/initializers.h"
+#include "clustering/modes.h"
+#include "clustering/types.h"
+#include "data/categorical_dataset.h"
+#include "util/macros.h"
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace lshclust {
+
+/// \brief Options shared by K-Modes and MH-K-Modes runs.
+struct EngineOptions {
+  /// Number of clusters k.
+  uint32_t num_clusters = 0;
+  /// Refinement iteration cap (the paper caps Fig. 10 at 10).
+  uint32_t max_iterations = 100;
+  /// Empty-cluster handling during mode updates.
+  EmptyClusterPolicy empty_cluster_policy =
+      EmptyClusterPolicy::kKeepPreviousMode;
+  /// Initial centroid selection method (ignored when initial_seeds given).
+  InitMethod init_method = InitMethod::kRandom;
+  /// Explicit seed items; the experiment harness draws these once and
+  /// passes the same vector to every variant, as the paper does.
+  std::vector<uint32_t> initial_seeds;
+  /// Seed for the engine RNG (seed selection, empty-cluster reseeding).
+  uint64_t seed = 42;
+  /// Use the bounded early-exit distance kernel (ablation switch).
+  bool early_exit = true;
+  /// Evaluate the cost function P(W, Q) after each iteration (Eq. 4).
+  /// Costs one extra n*m scan per iteration; switch off for pure timing.
+  bool compute_cost = true;
+};
+
+/// \brief Candidate provider that enumerates every cluster — plugging this
+/// into the engine yields the original K-Modes.
+struct ExhaustiveProvider {
+  /// Tells the engine to scan all k clusters without materialising lists.
+  static constexpr bool kExhaustive = true;
+
+  /// Nothing to build.
+  Status Prepare(const CategoricalDataset&) { return Status::OK(); }
+
+  /// Never called (kExhaustive short-circuits); present to satisfy the
+  /// provider interface.
+  void GetCandidates(uint32_t, std::span<const uint32_t>,
+                     std::vector<uint32_t>*) {}
+};
+
+namespace internal {
+
+/// One exhaustive assignment pass used for the initial assignment of both
+/// variants (and per-iteration by the baseline). Returns the number of
+/// items whose cluster changed. When `first_pass` is true every item is
+/// (re)assigned from scratch and moves are not counted.
+inline uint64_t ExhaustiveAssignPass(const CategoricalDataset& dataset,
+                                     const ModeTable& modes,
+                                     std::span<uint32_t> assignment,
+                                     bool early_exit, bool first_pass) {
+  const uint32_t n = dataset.num_items();
+  const uint32_t m = dataset.num_attributes();
+  const uint32_t k = modes.num_clusters();
+  uint64_t moves = 0;
+  // The kernel choice is hoisted out of the hot loop: a runtime ternary
+  // per distance defeats the vectorizer for both kernels.
+  auto scan = [&](auto&& kernel) {
+    for (uint32_t item = 0; item < n; ++item) {
+      const uint32_t* row = dataset.Row(item).data();
+      uint32_t best_cluster;
+      uint32_t best_distance;
+      uint32_t first_other = 0;
+      if (first_pass) {
+        best_cluster = 0;
+        best_distance = MismatchDistance(dataset.Row(item), modes.Mode(0));
+        first_other = 1;
+      } else {
+        // Seed the bound with the current cluster so early exit prunes
+        // aggressively once the clustering stabilises.
+        best_cluster = assignment[item];
+        best_distance =
+            MismatchDistance(dataset.Row(item), modes.Mode(best_cluster));
+      }
+      for (uint32_t cluster = first_other; cluster < k; ++cluster) {
+        if (!first_pass && cluster == assignment[item]) continue;
+        const uint32_t distance =
+            kernel(row, modes.ModeData(cluster), m, best_distance);
+        if (distance < best_distance) {
+          best_distance = distance;
+          best_cluster = cluster;
+        }
+      }
+      if (first_pass) {
+        assignment[item] = best_cluster;
+      } else if (best_cluster != assignment[item]) {
+        assignment[item] = best_cluster;
+        ++moves;
+      }
+    }
+  };
+  if (early_exit) {
+    scan([](const uint32_t* a, const uint32_t* b, uint32_t width,
+            uint32_t bound) {
+      return BoundedMismatchDistance(a, b, width, bound);
+    });
+  } else {
+    scan([](const uint32_t* a, const uint32_t* b, uint32_t width,
+            uint32_t) {
+      return MismatchDistance({a, width}, {b, width});
+    });
+  }
+  return moves;
+}
+
+/// Shortlist-driven assignment pass (the accelerated path). The provider
+/// fills a deduplicated candidate list that must contain the item's current
+/// cluster. Returns moves and accumulates the shortlist-size total.
+template <typename Provider>
+uint64_t ShortlistAssignPass(const CategoricalDataset& dataset,
+                             const ModeTable& modes, Provider& provider,
+                             std::span<uint32_t> assignment, bool early_exit,
+                             uint64_t* shortlist_total) {
+  const uint32_t n = dataset.num_items();
+  const uint32_t m = dataset.num_attributes();
+  uint64_t moves = 0;
+  std::vector<uint32_t> shortlist;
+  auto scan = [&](auto&& kernel) {
+    for (uint32_t item = 0; item < n; ++item) {
+      provider.GetCandidates(item, assignment, &shortlist);
+      *shortlist_total += shortlist.size();
+      const uint32_t* row = dataset.Row(item).data();
+      const uint32_t current = assignment[item];
+      uint32_t best_cluster = current;
+      uint32_t best_distance =
+          MismatchDistance(dataset.Row(item), modes.Mode(current));
+      for (const uint32_t cluster : shortlist) {
+        if (cluster == current) continue;
+        const uint32_t distance =
+            kernel(row, modes.ModeData(cluster), m, best_distance);
+        if (distance < best_distance) {
+          best_distance = distance;
+          best_cluster = cluster;
+        }
+      }
+      if (best_cluster != current) {
+        assignment[item] = best_cluster;
+        ++moves;
+      }
+    }
+  };
+  if (early_exit) {
+    scan([](const uint32_t* a, const uint32_t* b, uint32_t width,
+            uint32_t bound) {
+      return BoundedMismatchDistance(a, b, width, bound);
+    });
+  } else {
+    scan([](const uint32_t* a, const uint32_t* b, uint32_t width,
+            uint32_t) {
+      return MismatchDistance({a, width}, {b, width});
+    });
+  }
+  return moves;
+}
+
+/// Evaluates the cost function P(W, Q) (Eq. 4): the summed mismatch of
+/// every item to its assigned mode.
+inline double ComputeCost(const CategoricalDataset& dataset,
+                          const ModeTable& modes,
+                          std::span<const uint32_t> assignment) {
+  double cost = 0;
+  for (uint32_t item = 0; item < dataset.num_items(); ++item) {
+    cost += MismatchDistance(dataset.Row(item), modes.Mode(assignment[item]));
+  }
+  return cost;
+}
+
+}  // namespace internal
+
+/// \brief Runs the full K-Modes procedure with candidate clusters supplied
+/// by `provider`. See the file comment for the phase structure.
+///
+/// \param dataset items to cluster
+/// \param options engine options; num_clusters must be in [1, n]
+/// \param provider candidate policy (ExhaustiveProvider for the baseline)
+/// \return per-iteration instrumentation and the final assignment
+template <typename Provider>
+Result<ClusteringResult> RunEngine(const CategoricalDataset& dataset,
+                                   const EngineOptions& options,
+                                   Provider& provider) {
+  const uint32_t n = dataset.num_items();
+  const uint32_t k = options.num_clusters;
+  if (n == 0) return Status::InvalidArgument("dataset is empty");
+  if (k == 0 || k > n) {
+    return Status::InvalidArgument(
+        "num_clusters must be in [1, n]; got k=" + std::to_string(k) +
+        " with n=" + std::to_string(n));
+  }
+
+  ClusteringResult result;
+  Rng rng(options.seed);
+  Stopwatch total_watch;
+
+  // Phase 1: seeds -> initial modes.
+  Stopwatch phase_watch;
+  std::vector<uint32_t> seeds = options.initial_seeds;
+  if (seeds.empty()) {
+    LSHC_ASSIGN_OR_RETURN(seeds,
+                          SelectSeeds(dataset, k, options.init_method, rng));
+  } else if (seeds.size() != k) {
+    return Status::InvalidArgument(
+        "initial_seeds has " + std::to_string(seeds.size()) +
+        " entries, expected k=" + std::to_string(k));
+  }
+  for (const uint32_t seed_item : seeds) {
+    if (seed_item >= n) {
+      return Status::OutOfRange("seed item " + std::to_string(seed_item) +
+                                " out of range");
+    }
+  }
+  ModeTable modes(k, dataset.num_attributes());
+  for (uint32_t cluster = 0; cluster < k; ++cluster) {
+    modes.SetModeFromItem(cluster, dataset, seeds[cluster]);
+  }
+  result.init_seconds = phase_watch.ElapsedSeconds();
+
+  // Phase 2: initial exhaustive assignment + first mode update.
+  phase_watch.Restart();
+  result.assignment.assign(n, 0);
+  internal::ExhaustiveAssignPass(dataset, modes, result.assignment,
+                                 options.early_exit, /*first_pass=*/true);
+  modes.RecomputeFromAssignment(dataset, result.assignment,
+                                options.empty_cluster_policy, rng);
+  result.initial_assign_seconds = phase_watch.ElapsedSeconds();
+
+  // Phase 3: provider preparation (signatures + LSH index for MH-K-Modes).
+  phase_watch.Restart();
+  LSHC_RETURN_NOT_OK(provider.Prepare(dataset));
+  result.index_build_seconds = phase_watch.ElapsedSeconds();
+
+  // Phase 4: refinement until convergence.
+  for (uint32_t iteration = 1; iteration <= options.max_iterations;
+       ++iteration) {
+    phase_watch.Restart();
+    uint64_t moves = 0;
+    uint64_t shortlist_total = 0;
+    if constexpr (Provider::kExhaustive) {
+      moves = internal::ExhaustiveAssignPass(dataset, modes,
+                                             result.assignment,
+                                             options.early_exit,
+                                             /*first_pass=*/false);
+      shortlist_total = static_cast<uint64_t>(n) * k;
+    } else {
+      moves = internal::ShortlistAssignPass(dataset, modes, provider,
+                                            result.assignment,
+                                            options.early_exit,
+                                            &shortlist_total);
+    }
+    modes.RecomputeFromAssignment(dataset, result.assignment,
+                                  options.empty_cluster_policy, rng);
+
+    IterationStats stats;
+    stats.iteration = iteration;
+    stats.moves = moves;
+    stats.mean_shortlist =
+        static_cast<double>(shortlist_total) / static_cast<double>(n);
+    // The iteration clock stops before cost evaluation: P(W, Q) is
+    // instrumentation, not part of either algorithm.
+    stats.seconds = phase_watch.ElapsedSeconds();
+    if (options.compute_cost) {
+      stats.cost = internal::ComputeCost(dataset, modes, result.assignment);
+    }
+    result.iterations.push_back(stats);
+
+    if (moves == 0) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.final_cost =
+      result.iterations.empty() ? 0.0 : result.iterations.back().cost;
+  result.total_seconds = total_watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace lshclust

@@ -1,0 +1,178 @@
+#include "clustering/fuzzy_kmodes.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "clustering/dissimilarity.h"
+#include "clustering/initializers.h"
+#include "lsh/flat_hash_table.h"
+#include "util/macros.h"
+
+namespace lshclust {
+
+namespace {
+
+/// Fuzzy mode update for one attribute: per cluster, the code maximising
+/// the summed w^alpha of the items carrying it.
+void UpdateFuzzyModes(const CategoricalDataset& dataset,
+                      const std::vector<double>& weights_alpha, uint32_t k,
+                      std::vector<uint32_t>* modes) {
+  const uint32_t n = dataset.num_items();
+  const uint32_t m = dataset.num_attributes();
+  const uint32_t* codes = dataset.codes().data();
+
+  // (cluster, code) -> index into a dense weight accumulator; reused per
+  // attribute.
+  FlatHashMap64 cell_index(n);
+  std::vector<double> cell_weight;
+  std::vector<uint64_t> cell_key;
+
+  for (uint32_t attribute = 0; attribute < m; ++attribute) {
+    cell_index.Clear();
+    cell_weight.clear();
+    cell_key.clear();
+    for (uint32_t item = 0; item < n; ++item) {
+      const uint32_t code = codes[static_cast<size_t>(item) * m + attribute];
+      const double* item_weights =
+          weights_alpha.data() + static_cast<size_t>(item) * k;
+      for (uint32_t cluster = 0; cluster < k; ++cluster) {
+        const double weight = item_weights[cluster];
+        if (weight == 0.0) continue;
+        const uint64_t key = (static_cast<uint64_t>(cluster) << 32) | code;
+        uint32_t* slot = cell_index.FindOrInsert(
+            key, static_cast<uint32_t>(cell_weight.size()));
+        if (*slot == cell_weight.size()) {
+          cell_weight.push_back(0.0);
+          cell_key.push_back(key);
+        }
+        cell_weight[*slot] += weight;
+      }
+    }
+    // Argmax per cluster with smallest-code tie-break.
+    std::vector<double> best_weight(k, -1.0);
+    for (size_t cell = 0; cell < cell_weight.size(); ++cell) {
+      const uint32_t cluster = static_cast<uint32_t>(cell_key[cell] >> 32);
+      const uint32_t code = static_cast<uint32_t>(cell_key[cell]);
+      uint32_t& mode_code = (*modes)[static_cast<size_t>(cluster) * m +
+                                     attribute];
+      if (cell_weight[cell] > best_weight[cluster] ||
+          (cell_weight[cell] == best_weight[cluster] && code < mode_code)) {
+        best_weight[cluster] = cell_weight[cell];
+        mode_code = code;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Result<FuzzyKModesResult> RunFuzzyKModes(const CategoricalDataset& dataset,
+                                         const FuzzyKModesOptions& options) {
+  const uint32_t n = dataset.num_items();
+  const uint32_t m = dataset.num_attributes();
+  const uint32_t k = options.num_clusters;
+  if (n == 0) return Status::InvalidArgument("dataset is empty");
+  if (k == 0 || k > n) {
+    return Status::InvalidArgument("num_clusters must be in [1, n]");
+  }
+  if (!(options.alpha > 1.0)) {
+    return Status::InvalidArgument("alpha must be greater than 1");
+  }
+
+  Rng rng(options.seed);
+  std::vector<uint32_t> seeds = options.initial_seeds;
+  if (seeds.empty()) {
+    LSHC_ASSIGN_OR_RETURN(seeds, SelectRandomSeeds(dataset, k, rng));
+  } else if (seeds.size() != k) {
+    return Status::InvalidArgument("initial_seeds size must equal k");
+  }
+
+  FuzzyKModesResult result;
+  result.num_clusters = k;
+  result.num_attributes = m;
+  result.modes.resize(static_cast<size_t>(k) * m);
+  for (uint32_t cluster = 0; cluster < k; ++cluster) {
+    if (seeds[cluster] >= n) {
+      return Status::OutOfRange("seed item out of range");
+    }
+    const auto row = dataset.Row(seeds[cluster]);
+    std::copy(row.begin(), row.end(),
+              result.modes.begin() + static_cast<size_t>(cluster) * m);
+  }
+
+  result.memberships.assign(static_cast<size_t>(n) * k, 0.0);
+  std::vector<double> weights_alpha(static_cast<size_t>(n) * k, 0.0);
+  std::vector<uint32_t> distances(k);
+  const double exponent = 1.0 / (options.alpha - 1.0);
+
+  double previous_objective = std::numeric_limits<double>::infinity();
+  for (uint32_t iteration = 0; iteration < options.max_iterations;
+       ++iteration) {
+    // Membership update with frozen modes.
+    double objective = 0;
+    for (uint32_t item = 0; item < n; ++item) {
+      const auto row = dataset.Row(item);
+      uint32_t zero_distance_count = 0;
+      for (uint32_t cluster = 0; cluster < k; ++cluster) {
+        distances[cluster] = MismatchDistance(
+            row, {result.modes.data() + static_cast<size_t>(cluster) * m, m});
+        zero_distance_count += distances[cluster] == 0 ? 1 : 0;
+      }
+      double* memberships =
+          result.memberships.data() + static_cast<size_t>(item) * k;
+      double* weights = weights_alpha.data() + static_cast<size_t>(item) * k;
+      if (zero_distance_count > 0) {
+        // All membership goes (uniformly) to the zero-distance modes.
+        for (uint32_t cluster = 0; cluster < k; ++cluster) {
+          memberships[cluster] = distances[cluster] == 0
+                                     ? 1.0 / zero_distance_count
+                                     : 0.0;
+        }
+      } else {
+        // w_il ∝ d_il^(-1/(α-1)), normalised.
+        double total = 0;
+        for (uint32_t cluster = 0; cluster < k; ++cluster) {
+          memberships[cluster] =
+              std::pow(1.0 / static_cast<double>(distances[cluster]),
+                       exponent);
+          total += memberships[cluster];
+        }
+        for (uint32_t cluster = 0; cluster < k; ++cluster) {
+          memberships[cluster] /= total;
+        }
+      }
+      for (uint32_t cluster = 0; cluster < k; ++cluster) {
+        weights[cluster] = std::pow(memberships[cluster], options.alpha);
+        objective += weights[cluster] * distances[cluster];
+      }
+    }
+    result.objective.push_back(objective);
+
+    // Mode update with frozen memberships.
+    UpdateFuzzyModes(dataset, weights_alpha, k, &result.modes);
+
+    if (previous_objective - objective <=
+        options.tolerance * std::max(1.0, std::abs(previous_objective)) &&
+        iteration > 0) {
+      result.converged = true;
+      break;
+    }
+    previous_objective = objective;
+  }
+
+  // Hard assignment by maximum membership.
+  result.hard_assignment.resize(n);
+  for (uint32_t item = 0; item < n; ++item) {
+    const double* memberships =
+        result.memberships.data() + static_cast<size_t>(item) * k;
+    uint32_t best = 0;
+    for (uint32_t cluster = 1; cluster < k; ++cluster) {
+      if (memberships[cluster] > memberships[best]) best = cluster;
+    }
+    result.hard_assignment[item] = best;
+  }
+  return result;
+}
+
+}  // namespace lshclust

@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file fuzzy_kmodes.h
+/// \brief Fuzzy K-Modes (Huang & Ng 1999 — the paper's ref [21], from
+/// which it takes the K-Modes formalization).
+///
+/// Instead of a hard assignment, every item carries a membership
+/// distribution over the k clusters; the optimisation target is
+///   F(W, Q) = Σ_l Σ_i w_il^α d(X_i, Q_l),   Σ_l w_il = 1,  w_il >= 0,
+/// with fuzziness exponent α > 1. The alternating updates are
+///   w_il = 1 / Σ_h (d(X_i,Q_l) / d(X_i,Q_h))^(1/(α-1))
+///   q_lj = argmax_c Σ_{i: x_ij = c} w_il^α            (fuzzy mode)
+/// with the convention that items at distance 0 from one or more modes
+/// put all their membership uniformly on those modes.
+///
+/// The membership matrix is n x k doubles, so this implementation targets
+/// the moderate-k regime; it is a reference substrate, not a large-scale
+/// path (the paper's framework accelerates the *hard* assignment step).
+
+#include <cstdint>
+#include <vector>
+
+#include "clustering/types.h"
+#include "data/categorical_dataset.h"
+#include "util/result.h"
+
+namespace lshclust {
+
+/// \brief Options for fuzzy K-Modes.
+struct FuzzyKModesOptions {
+  /// Number of clusters k.
+  uint32_t num_clusters = 0;
+  /// Fuzziness exponent α (> 1; α -> 1 approaches hard K-Modes, large α
+  /// blurs all memberships towards uniform).
+  double alpha = 1.5;
+  /// Iteration cap.
+  uint32_t max_iterations = 100;
+  /// Stop when the objective improves by less than this (relative).
+  double tolerance = 1e-6;
+  /// Explicit seed items (same contract as EngineOptions::initial_seeds).
+  std::vector<uint32_t> initial_seeds;
+  /// RNG seed for seed selection.
+  uint64_t seed = 42;
+};
+
+/// \brief Outcome of a fuzzy K-Modes run.
+struct FuzzyKModesResult {
+  /// Row-major n x k membership matrix; rows sum to 1.
+  std::vector<double> memberships;
+  /// Hard assignment by maximum membership (ties to the lowest cluster).
+  std::vector<uint32_t> hard_assignment;
+  /// Final modes, row-major k x m.
+  std::vector<uint32_t> modes;
+  /// Objective F(W, Q) per iteration (non-increasing).
+  std::vector<double> objective;
+  /// True iff the run stopped on the tolerance test.
+  bool converged = false;
+  /// Number of clusters and attributes (matrix shapes).
+  uint32_t num_clusters = 0;
+  uint32_t num_attributes = 0;
+
+  /// Membership of `item` in `cluster`.
+  double Membership(uint32_t item, uint32_t cluster) const {
+    return memberships[static_cast<size_t>(item) * num_clusters + cluster];
+  }
+};
+
+/// Runs fuzzy K-Modes on `dataset`.
+Result<FuzzyKModesResult> RunFuzzyKModes(const CategoricalDataset& dataset,
+                                         const FuzzyKModesOptions& options);
+
+}  // namespace lshclust

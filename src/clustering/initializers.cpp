@@ -1,0 +1,162 @@
+#include "clustering/initializers.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "clustering/dissimilarity.h"
+#include "util/macros.h"
+
+namespace lshclust {
+
+namespace {
+
+Status ValidateK(const CategoricalDataset& dataset, uint32_t k) {
+  if (k == 0) {
+    return Status::InvalidArgument("k must be at least 1");
+  }
+  if (k > dataset.num_items()) {
+    return Status::InvalidArgument(
+        "cannot select " + std::to_string(k) + " seeds from " +
+        std::to_string(dataset.num_items()) + " items");
+  }
+  return Status::OK();
+}
+
+/// Computes dens(x) = (1/m) Σ_j fr(A_j = x_j | X) for every item — the
+/// density used by both Huang's ranking and Cao's first seed.
+std::vector<double> ComputeDensities(const CategoricalDataset& dataset) {
+  const uint32_t n = dataset.num_items();
+  const uint32_t m = dataset.num_attributes();
+  // Codes are globally unique across attributes, so one frequency table
+  // covers all attributes at once.
+  std::vector<uint32_t> code_frequency(dataset.num_codes(), 0);
+  for (const uint32_t code : dataset.codes()) ++code_frequency[code];
+
+  std::vector<double> densities(n, 0.0);
+  const double scale = 1.0 / (static_cast<double>(n) * m);
+  for (uint32_t item = 0; item < n; ++item) {
+    double sum = 0;
+    for (const uint32_t code : dataset.Row(item)) {
+      sum += static_cast<double>(code_frequency[code]);
+    }
+    densities[item] = sum * scale;
+  }
+  return densities;
+}
+
+}  // namespace
+
+Result<std::vector<uint32_t>> SelectRandomSeeds(
+    const CategoricalDataset& dataset, uint32_t k, Rng& rng) {
+  LSHC_RETURN_NOT_OK(ValidateK(dataset, k));
+  return rng.SampleWithoutReplacement(dataset.num_items(), k);
+}
+
+Result<std::vector<uint32_t>> SelectHuangSeeds(
+    const CategoricalDataset& dataset, uint32_t k, Rng& rng) {
+  LSHC_RETURN_NOT_OK(ValidateK(dataset, k));
+  LSHC_UNUSED(rng);
+  const uint32_t n = dataset.num_items();
+  const uint32_t m = dataset.num_attributes();
+
+  const std::vector<double> densities = ComputeDensities(dataset);
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](uint32_t a, uint32_t b) {
+                     return densities[a] > densities[b];
+                   });
+
+  // Walk the ranking with stride n/k so seeds spread across the density
+  // spectrum, skipping items identical to an already chosen seed.
+  std::vector<uint32_t> seeds;
+  seeds.reserve(k);
+  std::vector<bool> taken(n, false);
+  const uint32_t stride = std::max<uint32_t>(1, n / k);
+  for (uint32_t start = 0; seeds.size() < k && start < stride; ++start) {
+    for (uint32_t pos = start; pos < n && seeds.size() < k; pos += stride) {
+      const uint32_t item = order[pos];
+      if (taken[item]) continue;
+      bool duplicate = false;
+      for (const uint32_t seed : seeds) {
+        if (MismatchDistance(dataset.Row(item), dataset.Row(seed)) == 0) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (duplicate) continue;
+      taken[item] = true;
+      seeds.push_back(item);
+    }
+  }
+  // If duplicates exhausted the supply of distinct items, fill with any
+  // remaining items to honour the contract of returning exactly k seeds.
+  for (uint32_t item = 0; seeds.size() < k && item < n; ++item) {
+    if (!taken[item]) {
+      taken[item] = true;
+      seeds.push_back(item);
+    }
+  }
+  LSHC_UNUSED(m);
+  return seeds;
+}
+
+Result<std::vector<uint32_t>> SelectCaoSeeds(const CategoricalDataset& dataset,
+                                             uint32_t k, Rng& rng) {
+  LSHC_RETURN_NOT_OK(ValidateK(dataset, k));
+  LSHC_UNUSED(rng);
+  const uint32_t n = dataset.num_items();
+
+  const std::vector<double> densities = ComputeDensities(dataset);
+
+  std::vector<uint32_t> seeds;
+  seeds.reserve(k);
+  const auto first = static_cast<uint32_t>(
+      std::max_element(densities.begin(), densities.end()) -
+      densities.begin());
+  seeds.push_back(first);
+
+  // min over chosen seeds of d(x, seed), maintained incrementally.
+  std::vector<uint32_t> min_distance(n, std::numeric_limits<uint32_t>::max());
+  std::vector<bool> chosen(n, false);
+  chosen[first] = true;
+  while (seeds.size() < k) {
+    const uint32_t last = seeds.back();
+    for (uint32_t item = 0; item < n; ++item) {
+      const uint32_t d = MismatchDistance(dataset.Row(item), dataset.Row(last));
+      min_distance[item] = std::min(min_distance[item], d);
+    }
+    uint32_t best_item = n;  // sentinel: no candidate yet
+    double best_score = -1.0;
+    for (uint32_t item = 0; item < n; ++item) {
+      if (chosen[item]) continue;
+      const double score =
+          static_cast<double>(min_distance[item]) * densities[item];
+      if (score > best_score) {
+        best_score = score;
+        best_item = item;
+      }
+    }
+    LSHC_CHECK_LT(best_item, n) << "ran out of distinct items for seeds";
+    chosen[best_item] = true;
+    seeds.push_back(best_item);
+  }
+  return seeds;
+}
+
+Result<std::vector<uint32_t>> SelectSeeds(const CategoricalDataset& dataset,
+                                          uint32_t k, InitMethod method,
+                                          Rng& rng) {
+  switch (method) {
+    case InitMethod::kRandom:
+      return SelectRandomSeeds(dataset, k, rng);
+    case InitMethod::kHuang:
+      return SelectHuangSeeds(dataset, k, rng);
+    case InitMethod::kCao:
+      return SelectCaoSeeds(dataset, k, rng);
+  }
+  return Status::InvalidArgument("unknown init method");
+}
+
+}  // namespace lshclust

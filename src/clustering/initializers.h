@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file initializers.h
+/// \brief Initial centroid selection for K-Modes.
+///
+/// The paper randomly selects k items as initial modes and reuses the same
+/// selection across every algorithm variant "so that the initial centroid
+/// selection does not influence the performance and efficiency results"
+/// (§IV-A). SelectSeeds therefore returns item *indices* — the experiment
+/// harness draws them once and passes them to both K-Modes and MH-K-Modes.
+///
+/// Huang's and Cao's methods (paper refs [3] and [22]) are provided for
+/// completeness; Cao's is O(n·k·m) and intended for moderate k.
+
+#include <cstdint>
+#include <vector>
+
+#include "clustering/types.h"
+#include "data/categorical_dataset.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace lshclust {
+
+/// Picks k distinct random items (the paper's method).
+Result<std::vector<uint32_t>> SelectRandomSeeds(
+    const CategoricalDataset& dataset, uint32_t k, Rng& rng);
+
+/// Huang's method: rank items by the summed relative frequency of their
+/// attribute values (denser items first), then greedily take items that are
+/// not duplicates of already-selected seeds, spreading the selection across
+/// the frequency ranking.
+Result<std::vector<uint32_t>> SelectHuangSeeds(
+    const CategoricalDataset& dataset, uint32_t k, Rng& rng);
+
+/// Cao's density-distance method: the first seed maximises density
+/// dens(x) = (1/m) Σ_j fr(A_j = x_j); each later seed maximises
+/// min over chosen seeds c of d(x, c) * dens(x). Deterministic; O(n·k·m).
+Result<std::vector<uint32_t>> SelectCaoSeeds(const CategoricalDataset& dataset,
+                                             uint32_t k, Rng& rng);
+
+/// Dispatches on `method`.
+Result<std::vector<uint32_t>> SelectSeeds(const CategoricalDataset& dataset,
+                                          uint32_t k, InitMethod method,
+                                          Rng& rng);
+
+}  // namespace lshclust

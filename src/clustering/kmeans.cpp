@@ -1,0 +1,116 @@
+#include "clustering/kmeans.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace lshclust {
+
+Result<ClusteringResult> RunKMeans(const NumericDataset& dataset,
+                                   const KMeansOptions& options) {
+  ExhaustiveNumericProvider provider;
+  return RunKMeansEngine(dataset, options, provider);
+}
+
+Result<ClusteringResult> RunMiniBatchKMeans(
+    const NumericDataset& dataset, const MiniBatchKMeansOptions& options) {
+  const uint32_t n = dataset.num_items();
+  const uint32_t d = dataset.dimensions();
+  const uint32_t k = options.num_clusters;
+  if (n == 0) return Status::InvalidArgument("dataset is empty");
+  if (k == 0 || k > n) {
+    return Status::InvalidArgument("num_clusters must be in [1, n]");
+  }
+  if (options.batch_size == 0) {
+    return Status::InvalidArgument("batch_size must be positive");
+  }
+
+  ClusteringResult result;
+  Rng rng(options.seed);
+  Stopwatch total_watch;
+
+  // Seed centroids from random items.
+  const std::vector<uint32_t> seeds = rng.SampleWithoutReplacement(n, k);
+  std::vector<double> centroids(static_cast<size_t>(k) * d);
+  for (uint32_t cluster = 0; cluster < k; ++cluster) {
+    const auto row = dataset.Row(seeds[cluster]);
+    std::copy(row.begin(), row.end(),
+              centroids.begin() + static_cast<size_t>(cluster) * d);
+  }
+
+  std::vector<uint64_t> update_counts(k, 0);
+  std::vector<uint32_t> batch(options.batch_size);
+  std::vector<uint32_t> batch_assignment(options.batch_size);
+
+  for (uint32_t batch_index = 0; batch_index < options.num_batches;
+       ++batch_index) {
+    Stopwatch batch_watch;
+    for (auto& item : batch) {
+      item = static_cast<uint32_t>(rng.Below(n));
+    }
+    // Assign the batch with centroids frozen.
+    for (uint32_t b = 0; b < options.batch_size; ++b) {
+      const double* row = dataset.Row(batch[b]).data();
+      uint32_t best_cluster = 0;
+      double best_distance = std::numeric_limits<double>::infinity();
+      for (uint32_t cluster = 0; cluster < k; ++cluster) {
+        const double distance = internal::BoundedSquaredL2(
+            row, centroids.data() + static_cast<size_t>(cluster) * d, d,
+            best_distance);
+        if (distance < best_distance) {
+          best_distance = distance;
+          best_cluster = cluster;
+        }
+      }
+      batch_assignment[b] = best_cluster;
+    }
+    // Gradient step: per-centroid learning rate 1 / total updates.
+    uint64_t moves = 0;
+    for (uint32_t b = 0; b < options.batch_size; ++b) {
+      const uint32_t cluster = batch_assignment[b];
+      ++update_counts[cluster];
+      const double eta = 1.0 / static_cast<double>(update_counts[cluster]);
+      double* centroid = centroids.data() + static_cast<size_t>(cluster) * d;
+      const double* row = dataset.Row(batch[b]).data();
+      for (uint32_t j = 0; j < d; ++j) {
+        centroid[j] = (1.0 - eta) * centroid[j] + eta * row[j];
+      }
+      ++moves;
+    }
+
+    IterationStats stats;
+    stats.iteration = batch_index + 1;
+    stats.moves = moves;
+    stats.mean_shortlist = static_cast<double>(k);
+    stats.seconds = batch_watch.ElapsedSeconds();
+    result.iterations.push_back(stats);
+  }
+
+  // Final full assignment against the learned centroids.
+  result.assignment.resize(n);
+  double inertia = 0;
+  for (uint32_t item = 0; item < n; ++item) {
+    const double* row = dataset.Row(item).data();
+    uint32_t best_cluster = 0;
+    double best_distance = std::numeric_limits<double>::infinity();
+    for (uint32_t cluster = 0; cluster < k; ++cluster) {
+      const double distance = internal::BoundedSquaredL2(
+          row, centroids.data() + static_cast<size_t>(cluster) * d, d,
+          best_distance);
+      if (distance < best_distance) {
+        best_distance = distance;
+        best_cluster = cluster;
+      }
+    }
+    result.assignment[item] = best_cluster;
+    inertia += best_distance;
+  }
+  result.final_cost = inertia;
+  if (!result.iterations.empty()) {
+    result.iterations.back().cost = inertia;
+  }
+  result.converged = true;
+  result.total_seconds = total_watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace lshclust

@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file kmodes.h
+/// \brief The original K-Modes algorithm (Huang 1998) — the baseline the
+/// paper accelerates.
+///
+/// \code
+///   EngineOptions options;
+///   options.num_clusters = 16;
+///   auto result = RunKModes(dataset, options);
+///   if (result.ok()) { /* result->assignment, result->iterations, ... */ }
+/// \endcode
+
+#include "clustering/engine.h"
+
+namespace lshclust {
+
+/// Runs exhaustive K-Modes: every assignment step compares each item to
+/// all k modes (with the early-exit kernel unless disabled).
+inline Result<ClusteringResult> RunKModes(const CategoricalDataset& dataset,
+                                          const EngineOptions& options) {
+  ExhaustiveProvider provider;
+  return RunEngine(dataset, options, provider);
+}
+
+}  // namespace lshclust

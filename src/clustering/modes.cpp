@@ -1,0 +1,96 @@
+#include "clustering/modes.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "lsh/flat_hash_table.h"
+
+namespace lshclust {
+
+ModeTable::ModeTable(uint32_t num_clusters, uint32_t num_attributes)
+    : num_clusters_(num_clusters), num_attributes_(num_attributes) {
+  LSHC_CHECK_GE(num_clusters, 1u) << "need at least one cluster";
+  LSHC_CHECK_GE(num_attributes, 1u) << "need at least one attribute";
+  codes_.resize(static_cast<size_t>(num_clusters) * num_attributes, 0);
+  sizes_.resize(num_clusters, 0);
+  best_count_.resize(num_clusters, 0);
+  best_code_.resize(num_clusters, 0);
+  stamp_.resize(num_clusters, 0);
+}
+
+void ModeTable::SetModeFromItem(uint32_t cluster,
+                                const CategoricalDataset& dataset,
+                                uint32_t item) {
+  LSHC_CHECK_LT(cluster, num_clusters_);
+  LSHC_CHECK_EQ(dataset.num_attributes(), num_attributes_);
+  const auto row = dataset.Row(item);
+  std::copy(row.begin(), row.end(),
+            codes_.begin() + static_cast<size_t>(cluster) * num_attributes_);
+}
+
+void ModeTable::RecomputeFromAssignment(const CategoricalDataset& dataset,
+                                        std::span<const uint32_t> assignment,
+                                        EmptyClusterPolicy policy, Rng& rng) {
+  const uint32_t n = dataset.num_items();
+  const uint32_t m = num_attributes_;
+  LSHC_CHECK_EQ(assignment.size(), static_cast<size_t>(n))
+      << "assignment must map every item";
+  LSHC_CHECK_EQ(dataset.num_attributes(), m);
+
+  std::fill(sizes_.begin(), sizes_.end(), 0);
+  for (const uint32_t cluster : assignment) {
+    LSHC_DCHECK(cluster < num_clusters_) << "assignment out of range";
+    ++sizes_[cluster];
+  }
+
+  // Frequency table reused across attributes: (cluster, code) -> count.
+  FlatHashMap64 frequency(n);
+  const uint32_t* codes = dataset.codes().data();
+
+  for (uint32_t attribute = 0; attribute < m; ++attribute) {
+    frequency.Clear();
+    for (uint32_t item = 0; item < n; ++item) {
+      const uint32_t code = codes[static_cast<size_t>(item) * m + attribute];
+      const uint64_t key =
+          (static_cast<uint64_t>(assignment[item]) << 32) | code;
+      ++*frequency.FindOrInsert(key, 0);
+    }
+
+    // Per-cluster argmax with deterministic smallest-code tie-break, so
+    // the result is independent of hash-map iteration order.
+    ++epoch_;
+    frequency.ForEach([&](uint64_t key, uint32_t count) {
+      const uint32_t cluster = static_cast<uint32_t>(key >> 32);
+      const uint32_t code = static_cast<uint32_t>(key);
+      if (stamp_[cluster] != epoch_) {
+        stamp_[cluster] = epoch_;
+        best_count_[cluster] = count;
+        best_code_[cluster] = code;
+        return;
+      }
+      if (count > best_count_[cluster] ||
+          (count == best_count_[cluster] && code < best_code_[cluster])) {
+        best_count_[cluster] = count;
+        best_code_[cluster] = code;
+      }
+    });
+
+    for (uint32_t cluster = 0; cluster < num_clusters_; ++cluster) {
+      if (stamp_[cluster] == epoch_) {
+        codes_[static_cast<size_t>(cluster) * m + attribute] =
+            best_code_[cluster];
+      }
+    }
+  }
+
+  if (policy == EmptyClusterPolicy::kReseedRandomItem && n > 0) {
+    for (uint32_t cluster = 0; cluster < num_clusters_; ++cluster) {
+      if (sizes_[cluster] == 0) {
+        const uint32_t item = static_cast<uint32_t>(rng.Below(n));
+        SetModeFromItem(cluster, dataset, item);
+      }
+    }
+  }
+}
+
+}  // namespace lshclust

@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file modes.h
+/// \brief Cluster mode (categorical centroid) computation.
+///
+/// A mode of a cluster is the vector of per-attribute most frequent codes
+/// among its members; Theorem 1 of Huang (1998), restated in §III-A1 of the
+/// paper, shows this minimises D(X, Q) = Σ d(X_i, Q). Ties break towards
+/// the smallest code so runs are reproducible.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "clustering/types.h"
+#include "data/categorical_dataset.h"
+#include "util/rng.h"
+
+namespace lshclust {
+
+/// \brief Owns the k x m mode matrix and recomputes it from an assignment.
+class ModeTable {
+ public:
+  /// \param num_clusters k
+  /// \param num_attributes m
+  ModeTable(uint32_t num_clusters, uint32_t num_attributes);
+
+  /// k.
+  uint32_t num_clusters() const { return num_clusters_; }
+  /// m.
+  uint32_t num_attributes() const { return num_attributes_; }
+
+  /// The mode of `cluster`, length m.
+  std::span<const uint32_t> Mode(uint32_t cluster) const {
+    LSHC_DCHECK(cluster < num_clusters_) << "cluster index out of range";
+    return {codes_.data() + static_cast<size_t>(cluster) * num_attributes_,
+            num_attributes_};
+  }
+
+  /// Raw pointer to the mode of `cluster` (hot path).
+  const uint32_t* ModeData(uint32_t cluster) const {
+    return codes_.data() + static_cast<size_t>(cluster) * num_attributes_;
+  }
+
+  /// Sets the mode of `cluster` to the codes of a dataset row (seeding).
+  void SetModeFromItem(uint32_t cluster, const CategoricalDataset& dataset,
+                       uint32_t item);
+
+  /// Overwrites one component of a mode (used by incremental maintainers
+  /// such as core/streaming.h).
+  void SetModeCode(uint32_t cluster, uint32_t attribute, uint32_t code) {
+    LSHC_DCHECK(cluster < num_clusters_ && attribute < num_attributes_);
+    codes_[static_cast<size_t>(cluster) * num_attributes_ + attribute] = code;
+  }
+
+  /// Recomputes every non-empty cluster's mode as the per-attribute
+  /// majority code of its members. Empty clusters follow `policy`:
+  /// kKeepPreviousMode leaves their row untouched, kReseedRandomItem copies
+  /// a random item drawn from `rng`.
+  ///
+  /// \param dataset the items
+  /// \param assignment item -> cluster, size n, all entries < k
+  /// \param policy empty-cluster handling
+  /// \param rng used only by kReseedRandomItem
+  void RecomputeFromAssignment(const CategoricalDataset& dataset,
+                               std::span<const uint32_t> assignment,
+                               EmptyClusterPolicy policy, Rng& rng);
+
+  /// Number of members per cluster after the last Recompute (size k).
+  const std::vector<uint32_t>& cluster_sizes() const { return sizes_; }
+
+ private:
+  uint32_t num_clusters_;
+  uint32_t num_attributes_;
+  std::vector<uint32_t> codes_;  // row-major k x m
+  std::vector<uint32_t> sizes_;
+
+  // Scratch reused across recomputes to avoid reallocation: per attribute,
+  // the best (count, code) seen per cluster, versioned by attribute epoch.
+  std::vector<uint32_t> best_count_;
+  std::vector<uint32_t> best_code_;
+  std::vector<uint32_t> stamp_;
+  uint32_t epoch_ = 0;
+};
+
+}  // namespace lshclust

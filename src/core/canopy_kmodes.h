@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file canopy_kmodes.h
+/// \brief Canopy-K-Modes: the classic related-work accelerator (paper ref
+/// [15]) plugged into the same engine hook as MH-K-Modes, so the two
+/// search-space-reduction strategies compare head-to-head.
+///
+/// Candidate clusters of item X = the clusters currently containing X's
+/// canopy peers — structurally identical to the MinHash shortlist, with
+/// canopies (cheap-distance balls) replacing LSH buckets. Canopies are
+/// built once after the initial assignment, exactly where MH-K-Modes
+/// builds its index, so phase timings are comparable.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "clustering/canopy.h"
+#include "clustering/engine.h"
+#include "util/result.h"
+
+namespace lshclust {
+
+/// \brief Options for Canopy-K-Modes.
+struct CanopyKModesOptions {
+  /// K-Modes options shared with the baseline and MH-K-Modes.
+  EngineOptions engine;
+  /// Canopy construction parameters.
+  CanopyOptions canopy;
+};
+
+/// \brief Engine provider producing canopy-peer cluster shortlists.
+class CanopyShortlistProvider {
+ public:
+  CanopyShortlistProvider(const CanopyOptions& options, uint32_t num_clusters)
+      : options_(options), num_clusters_(num_clusters) {
+    LSHC_CHECK_GE(num_clusters, 1u);
+    cluster_stamp_.assign(num_clusters, 0);
+  }
+
+  static constexpr bool kExhaustive = false;
+
+  /// Builds the canopy cover (the accelerator's one-time pass).
+  Status Prepare(const CategoricalDataset& dataset) {
+    LSHC_ASSIGN_OR_RETURN(CanopyIndex index,
+                          CanopyIndex::Build(dataset, options_));
+    index_ = std::make_unique<CanopyIndex>(std::move(index));
+    return Status::OK();
+  }
+
+  /// Deduplicated clusters of the item's canopy peers, always containing
+  /// its current cluster.
+  void GetCandidates(uint32_t item, std::span<const uint32_t> assignment,
+                     std::vector<uint32_t>* out) {
+    out->clear();
+    ++epoch_;
+    const uint32_t current = assignment[item];
+    cluster_stamp_[current] = epoch_;
+    out->push_back(current);
+    index_->VisitCanopyPeers(item, [&](uint32_t other) {
+      const uint32_t cluster = assignment[other];
+      if (cluster_stamp_[cluster] != epoch_) {
+        cluster_stamp_[cluster] = epoch_;
+        out->push_back(cluster);
+      }
+    });
+  }
+
+  /// The canopy cover (null before Prepare).
+  const CanopyIndex* index() const { return index_.get(); }
+
+ private:
+  CanopyOptions options_;
+  uint32_t num_clusters_;
+  std::unique_ptr<CanopyIndex> index_;
+  std::vector<uint32_t> cluster_stamp_;
+  uint32_t epoch_ = 0;
+};
+
+/// Runs Canopy-K-Modes.
+inline Result<ClusteringResult> RunCanopyKModes(
+    const CategoricalDataset& dataset, const CanopyKModesOptions& options) {
+  CanopyShortlistProvider provider(options.canopy,
+                                   options.engine.num_clusters);
+  return RunEngine(dataset, options.engine, provider);
+}
+
+}  // namespace lshclust

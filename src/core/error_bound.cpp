@@ -1,0 +1,165 @@
+#include "core/error_bound.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hashing/minhash.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace lshclust {
+
+std::vector<CollisionTableRow> MakeCollisionTable(
+    uint32_t rows, const std::vector<std::pair<uint32_t, double>>& grid,
+    uint32_t cluster_items) {
+  std::vector<CollisionTableRow> table;
+  table.reserve(grid.size());
+  for (const auto& [bands, jaccard] : grid) {
+    const BandingParams params{bands, rows};
+    CollisionTableRow row;
+    row.bands = bands;
+    row.jaccard = jaccard;
+    row.pair_probability = CandidatePairProbability(jaccard, params);
+    row.mh_probability =
+        ClusterCandidateProbability(jaccard, params, cluster_items);
+    table.push_back(row);
+  }
+  return table;
+}
+
+std::vector<CollisionTableRow> MakePaperTable1() {
+  // Table I: r = 1, "assuming a minimum of 10 other items in the cluster".
+  return MakeCollisionTable(
+      1,
+      {{10, 0.01}, {10, 0.1},   {10, 0.2},  {10, 0.5}, {100, 0.001},
+       {100, 0.01}, {100, 0.1}, {100, 0.5}, {100, 0.8}, {800, 0.0001},
+       {800, 0.001}, {800, 0.01}, {800, 0.1}},
+      /*cluster_items=*/10);
+}
+
+std::vector<CollisionTableRow> MakePaperTable2() {
+  // Table II: r = 5, same cluster assumption.
+  return MakeCollisionTable(5,
+                            {{10, 0.1},  {10, 0.2},  {10, 0.5},
+                             {10, 0.8},  {100, 0.1}, {100, 0.5},
+                             {800, 0.1}, {800, 0.2}, {800, 0.3}},
+                            /*cluster_items=*/10);
+}
+
+namespace {
+
+/// Builds a pair of token sets of size `set_size` whose Jaccard similarity
+/// is as close as possible to `jaccard`: |A∩B| = i tokens shared,
+/// |A∪B| = 2z - i, so s = i / (2z - i) and i = round(2zs / (1+s)).
+/// Token values are disjoint across trials via `base`.
+uint32_t FillPair(double jaccard, uint32_t set_size, uint32_t base,
+                  std::vector<uint32_t>* a, std::vector<uint32_t>* b) {
+  const double z = static_cast<double>(set_size);
+  const uint32_t intersection = static_cast<uint32_t>(
+      std::min(z, std::round(2.0 * z * jaccard / (1.0 + jaccard))));
+  a->clear();
+  b->clear();
+  uint32_t next = base;
+  for (uint32_t i = 0; i < intersection; ++i) {
+    a->push_back(next);
+    b->push_back(next);
+    ++next;
+  }
+  for (uint32_t i = intersection; i < set_size; ++i) a->push_back(next++);
+  for (uint32_t i = intersection; i < set_size; ++i) b->push_back(next++);
+  return intersection;
+}
+
+/// True iff the two signatures share at least one band key.
+bool Collides(const std::vector<uint64_t>& sa, const std::vector<uint64_t>& sb,
+              BandingParams params) {
+  for (uint32_t band = 0; band < params.bands; ++band) {
+    bool equal = true;
+    for (uint32_t r = 0; r < params.rows; ++r) {
+      if (sa[band * params.rows + r] != sb[band * params.rows + r]) {
+        equal = false;
+        break;
+      }
+    }
+    if (equal) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+uint32_t RecommendedSetSize(double jaccard, uint32_t base) {
+  LSHC_CHECK_GT(jaccard, 0.0);
+  const double needed = std::ceil((1.0 + jaccard) / jaccard);
+  return std::min<uint32_t>(
+      20000, std::max<uint32_t>(base, static_cast<uint32_t>(needed)));
+}
+
+MonteCarloEstimate EstimateCollisionProbability(double jaccard,
+                                                BandingParams params,
+                                                uint32_t cluster_items,
+                                                uint32_t set_size,
+                                                uint32_t trials,
+                                                uint64_t seed) {
+  LSHC_CHECK(jaccard > 0.0 && jaccard <= 1.0)
+      << "Monte Carlo needs similarity in (0, 1]";
+  LSHC_CHECK_GE(set_size, 2u);
+  LSHC_CHECK_GE(trials, 1u);
+
+  Rng rng(seed);
+  MonteCarloEstimate estimate;
+  std::vector<uint32_t> a, b;
+  uint64_t pair_hits = 0;
+  uint64_t cluster_hits = 0;
+  double jaccard_sum = 0;
+
+  for (uint32_t trial = 0; trial < trials; ++trial) {
+    // Fresh hash family per trial: the collision probability is over the
+    // random choice of hash functions, not of the sets. Fully independent
+    // components, not double hashing: the Kirsch-Mitzenmacher derivation
+    // correlates components, which visibly inflates band-collision rates
+    // once b*r reaches the thousands (Table II's 800-band rows).
+    const MinHasher hasher(params.num_hashes(), rng.Next(),
+                           MinHashMode::kIndependent);
+    const uint32_t base = trial * (3 * set_size + 8);
+
+    const uint32_t intersection = FillPair(jaccard, set_size, base, &a, &b);
+    jaccard_sum += static_cast<double>(intersection) /
+                   static_cast<double>(2 * set_size - intersection);
+
+    const auto sig_a = hasher.ComputeSignature(a);
+    const auto sig_b = hasher.ComputeSignature(b);
+    if (Collides(sig_a, sig_b, params)) ++pair_hits;
+
+    // Cluster event: any of `cluster_items` similar items collides. Each
+    // member shares a *different* cyclic slice of A's tokens (§III-D
+    // models the members as independent; sharing the same intersection
+    // would correlate their collision events through A's minima).
+    bool any = false;
+    std::vector<uint32_t> c(set_size);
+    for (uint32_t member = 0; member < cluster_items && !any; ++member) {
+      const uint32_t start =
+          static_cast<uint32_t>((static_cast<uint64_t>(member) *
+                                 (intersection + 1)) %
+                                set_size);
+      for (uint32_t t = 0; t < intersection; ++t) {
+        c[t] = a[(start + t) % set_size];
+      }
+      for (uint32_t t = intersection; t < set_size; ++t) {
+        c[t] = base + 2 * set_size + 8 + (member + 1) * set_size + t;
+      }
+      const auto sig_c = hasher.ComputeSignature(c);
+      if (Collides(sig_a, sig_c, params)) any = true;
+    }
+    if (any) ++cluster_hits;
+  }
+
+  estimate.pair_probability =
+      static_cast<double>(pair_hits) / static_cast<double>(trials);
+  estimate.cluster_probability =
+      static_cast<double>(cluster_hits) / static_cast<double>(trials);
+  estimate.realized_jaccard = jaccard_sum / static_cast<double>(trials);
+  return estimate;
+}
+
+}  // namespace lshclust

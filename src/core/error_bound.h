@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file error_bound.h
+/// \brief Generation of the paper's probability tables (Tables I & II) and
+/// Monte-Carlo validation of the analytic model against the real MinHash
+/// implementation.
+
+#include <cstdint>
+#include <vector>
+
+#include "lsh/probability.h"
+
+namespace lshclust {
+
+/// \brief One row of Table I / Table II.
+struct CollisionTableRow {
+  /// Number of bands b (rows r is fixed per table).
+  uint32_t bands = 0;
+  /// The Jaccard similarity examined.
+  double jaccard = 0;
+  /// "Probability": P(two items become a candidate pair) = 1-(1-s^r)^b.
+  double pair_probability = 0;
+  /// "MH-K-Modes Probability": P(the cluster is shortlisted) assuming
+  /// `cluster_items` items of at least that similarity in the cluster.
+  double mh_probability = 0;
+};
+
+/// The exact (bands, jaccard) grid of Table I, r = 1, assuming a minimum of
+/// 10 similar items per cluster.
+std::vector<CollisionTableRow> MakePaperTable1();
+
+/// The exact grid of Table II, r = 5, same assumption.
+std::vector<CollisionTableRow> MakePaperTable2();
+
+/// Builds a table over an arbitrary grid.
+std::vector<CollisionTableRow> MakeCollisionTable(
+    uint32_t rows, const std::vector<std::pair<uint32_t, double>>& grid,
+    uint32_t cluster_items);
+
+/// \brief Empirical estimates from the real MinHash + banding pipeline.
+struct MonteCarloEstimate {
+  /// Fraction of trials in which a pair at the target Jaccard collided.
+  double pair_probability = 0;
+  /// Fraction of trials in which at least one of `cluster_items` similar
+  /// items collided (the shortlist-hit event).
+  double cluster_probability = 0;
+  /// Mean realised Jaccard of the generated pairs (sanity check; should be
+  /// within rounding of the requested value).
+  double realized_jaccard = 0;
+};
+
+/// Runs `trials` Monte-Carlo trials: synthesises token-set pairs at Jaccard
+/// similarity `jaccard` (set size `set_size`), signs them with the classic
+/// MinHasher under fresh seeds, bands, and counts bucket collisions.
+MonteCarloEstimate EstimateCollisionProbability(double jaccard,
+                                                BandingParams params,
+                                                uint32_t cluster_items,
+                                                uint32_t set_size,
+                                                uint32_t trials,
+                                                uint64_t seed);
+
+/// The smallest set size that realises `jaccard` with at least two shared
+/// tokens (i = 2zs/(1+s) >= 2), never below `base` and capped at 20000.
+/// Tiny similarities (Table I's 0.0001) need thousands of tokens per set;
+/// callers should scale trials down proportionally.
+uint32_t RecommendedSetSize(double jaccard, uint32_t base);
+
+}  // namespace lshclust

@@ -1,0 +1,76 @@
+#include "core/experiment.h"
+
+#include "clustering/initializers.h"
+#include "metrics/metrics.h"
+#include "util/macros.h"
+
+namespace lshclust {
+
+MethodSpec KModesSpec() {
+  MethodSpec spec;
+  spec.label = "K-Modes";
+  spec.use_lsh = false;
+  return spec;
+}
+
+MethodSpec MHKModesSpec(uint32_t bands, uint32_t rows) {
+  MethodSpec spec;
+  spec.label = "MH-K-Modes " + std::to_string(bands) + "b " +
+               std::to_string(rows) + "r";
+  spec.use_lsh = true;
+  spec.banding = BandingParams{bands, rows};
+  return spec;
+}
+
+Result<std::vector<MethodRun>> RunComparison(
+    const CategoricalDataset& dataset, const ComparisonOptions& options,
+    const std::vector<MethodSpec>& methods) {
+  if (methods.empty()) {
+    return Status::InvalidArgument("no methods to run");
+  }
+
+  // One shared draw of initial centroids (paper §IV-A: "the same initial
+  // centroid points were selected" for every variant).
+  Rng seed_rng(options.seed);
+  LSHC_ASSIGN_OR_RETURN(
+      const std::vector<uint32_t> shared_seeds,
+      SelectRandomSeeds(dataset, options.num_clusters, seed_rng));
+
+  EngineOptions engine;
+  engine.num_clusters = options.num_clusters;
+  engine.max_iterations = options.max_iterations;
+  engine.empty_cluster_policy = options.empty_cluster_policy;
+  engine.initial_seeds = shared_seeds;
+  engine.seed = options.seed;
+  engine.compute_cost = options.compute_cost;
+
+  std::vector<MethodRun> runs;
+  runs.reserve(methods.size());
+  for (const MethodSpec& spec : methods) {
+    MethodRun run;
+    run.spec = spec;
+    if (spec.use_lsh) {
+      MHKModesOptions mh;
+      mh.engine = engine;
+      mh.index.banding = spec.banding;
+      mh.index.algorithm = spec.algorithm;
+      mh.index.seed = options.seed ^ 0xB4D5EEDULL;
+      LSHC_ASSIGN_OR_RETURN(MHKModesRun mh_run, RunMHKModes(dataset, mh));
+      run.result = std::move(mh_run.result);
+      run.has_index = true;
+      run.index_stats = mh_run.index_stats;
+      run.index_memory_bytes = mh_run.index_memory_bytes;
+    } else {
+      LSHC_ASSIGN_OR_RETURN(run.result, RunKModes(dataset, engine));
+    }
+    if (dataset.has_labels()) {
+      LSHC_ASSIGN_OR_RETURN(run.purity,
+                            ComputePurity(run.result.assignment,
+                                          dataset.labels()));
+    }
+    runs.push_back(std::move(run));
+  }
+  return runs;
+}
+
+}  // namespace lshclust

@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file experiment.h
+/// \brief The experiment harness behind every figure: runs K-Modes and
+/// MH-K-Modes variants on one dataset with *identical initial centroids*
+/// (the paper's controlled comparison, §IV-A) and collects per-iteration
+/// series plus final purity.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "clustering/kmodes.h"
+#include "core/mh_kmodes.h"
+#include "lsh/banded_index.h"
+#include "util/result.h"
+
+namespace lshclust {
+
+/// \brief One algorithm variant in a comparison.
+struct MethodSpec {
+  /// Display label, e.g. "K-Modes" or "MH-K-Modes 20b 5r".
+  std::string label;
+  /// False: exhaustive baseline. True: MinHash-accelerated.
+  bool use_lsh = false;
+  /// Banding shape (LSH methods only).
+  BandingParams banding{20, 5};
+  /// Signature generator (LSH methods only).
+  SignatureAlgorithm algorithm = SignatureAlgorithm::kClassicMinHash;
+};
+
+/// The exhaustive baseline ("K-Modes").
+MethodSpec KModesSpec();
+
+/// An MH-K-Modes variant labelled the paper's way ("MH-K-Modes 20b 5r").
+MethodSpec MHKModesSpec(uint32_t bands, uint32_t rows);
+
+/// \brief One method's outcome within a comparison.
+struct MethodRun {
+  MethodSpec spec;
+  ClusteringResult result;
+  /// Cluster purity against the dataset labels; -1 when unlabeled.
+  double purity = -1.0;
+  /// Index diagnostics (LSH methods only; has_index false otherwise).
+  bool has_index = false;
+  BandedIndex::Stats index_stats;
+  uint64_t index_memory_bytes = 0;
+};
+
+/// \brief Options shared by all methods of one comparison.
+struct ComparisonOptions {
+  /// Number of clusters k.
+  uint32_t num_clusters = 0;
+  /// Refinement iteration cap.
+  uint32_t max_iterations = 100;
+  /// Seeds both the shared initial-centroid draw and the engines.
+  uint64_t seed = 42;
+  /// Evaluate P(W, Q) per iteration.
+  bool compute_cost = true;
+  /// Empty-cluster handling.
+  EmptyClusterPolicy empty_cluster_policy =
+      EmptyClusterPolicy::kKeepPreviousMode;
+};
+
+/// Runs every method on `dataset` with one shared random draw of initial
+/// centroids, so differences between runs come from the assignment
+/// strategy alone. Computes purity when the dataset has labels.
+Result<std::vector<MethodRun>> RunComparison(
+    const CategoricalDataset& dataset, const ComparisonOptions& options,
+    const std::vector<MethodSpec>& methods);
+
+}  // namespace lshclust

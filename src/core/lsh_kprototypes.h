@@ -1,0 +1,148 @@
+#pragma once
+
+/// \file lsh_kprototypes.h
+/// \brief LSH-K-Prototypes: the paper's framework on mixed data, with one
+/// LSH family per modality.
+///
+/// The categorical half of an item is MinHashed (Jaccard over present
+/// tokens, as in MH-K-Modes); the numeric half is SimHashed (angular
+/// similarity). Each modality gets its own banding index, and an item's
+/// candidate clusters are the union of both indexes' shortlists — an item
+/// similar to a cluster in *either* modality reaches the exact mixed
+/// distance computation, which then weighs the modalities by gamma.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "clustering/kprototypes.h"
+#include "hashing/minhash.h"
+#include "hashing/simhash.h"
+#include "lsh/banded_index.h"
+#include "util/result.h"
+
+namespace lshclust {
+
+/// \brief Options for LSH-K-Prototypes.
+struct LshKPrototypesOptions {
+  /// K-Prototypes options shared with the baseline.
+  KPrototypesOptions kprototypes;
+  /// Banding over the MinHash signature of the categorical tokens.
+  BandingParams categorical_banding = {20, 5};
+  /// Banding over the SimHash bits of the numeric vector. SimHash bits
+  /// are weak (collision probability 0.5 for orthogonal vectors), so
+  /// numeric bands need far more rows than MinHash bands: 16 bits per
+  /// band keeps merely-angularly-close clusters out of the shortlist
+  /// while near-identical vectors still collide with high probability.
+  BandingParams numeric_banding = {10, 16};
+  /// Hash family seed.
+  uint64_t seed = 99;
+};
+
+/// \brief Dual-modality provider for RunKPrototypesEngine.
+class MixedShortlistProvider {
+ public:
+  MixedShortlistProvider(const LshKPrototypesOptions& options,
+                         uint32_t num_clusters)
+      : options_(options), num_clusters_(num_clusters) {
+    LSHC_CHECK_GE(num_clusters, 1u);
+    cluster_stamp_.assign(num_clusters, 0);
+  }
+
+  static constexpr bool kExhaustive = false;
+
+  /// Builds both indexes (one pass per modality over the items).
+  Status Prepare(const MixedDataset& dataset) {
+    const uint32_t n = dataset.num_items();
+    if (n == 0) return Status::InvalidArgument("dataset is empty");
+
+    // Categorical index: MinHash over present tokens.
+    {
+      const uint32_t width = options_.categorical_banding.num_hashes();
+      const MinHasher hasher(width, options_.seed);
+      std::vector<uint64_t> signatures(static_cast<size_t>(n) * width);
+      std::vector<uint32_t> tokens;
+      for (uint32_t item = 0; item < n; ++item) {
+        dataset.categorical().PresentTokens(item, &tokens);
+        hasher.ComputeSignature(
+            tokens, signatures.data() + static_cast<size_t>(item) * width);
+      }
+      categorical_index_ = std::make_unique<BandedIndex>(
+          signatures, n, options_.categorical_banding);
+    }
+
+    // Numeric index: SimHash bits over *mean-centered* vectors. SimHash
+    // discriminates by angle from the origin; centering spreads clusters
+    // across directions so nearby-but-distinct clusters stop sharing
+    // sign patterns. Distances are computed on the raw data — centering
+    // only affects candidate generation.
+    {
+      const uint32_t d = dataset.num_numeric();
+      std::vector<double> mean(d, 0.0);
+      for (uint32_t item = 0; item < n; ++item) {
+        const auto row = dataset.numeric().Row(item);
+        for (uint32_t j = 0; j < d; ++j) mean[j] += row[j];
+      }
+      for (auto& coordinate : mean) coordinate /= n;
+
+      const uint32_t width = options_.numeric_banding.num_hashes();
+      const SimHasher hasher(width, d, options_.seed ^ 0x51A5ULL);
+      std::vector<uint64_t> signatures(static_cast<size_t>(n) * width);
+      std::vector<double> centered(d);
+      for (uint32_t item = 0; item < n; ++item) {
+        const auto row = dataset.numeric().Row(item);
+        for (uint32_t j = 0; j < d; ++j) centered[j] = row[j] - mean[j];
+        hasher.ComputeSignature(
+            centered, signatures.data() + static_cast<size_t>(item) * width);
+      }
+      numeric_index_ = std::make_unique<BandedIndex>(
+          signatures, n, options_.numeric_banding);
+    }
+    return Status::OK();
+  }
+
+  /// Union of both modalities' candidate clusters, deduplicated, always
+  /// containing the item's current cluster.
+  void GetCandidates(uint32_t item, std::span<const uint32_t> assignment,
+                     std::vector<uint32_t>* out) {
+    out->clear();
+    ++epoch_;
+    const uint32_t current = assignment[item];
+    cluster_stamp_[current] = epoch_;
+    out->push_back(current);
+    const auto visit = [&](uint32_t other) {
+      const uint32_t cluster = assignment[other];
+      if (cluster_stamp_[cluster] != epoch_) {
+        cluster_stamp_[cluster] = epoch_;
+        out->push_back(cluster);
+      }
+    };
+    categorical_index_->VisitCandidates(item, visit);
+    numeric_index_->VisitCandidates(item, visit);
+  }
+
+  /// The per-modality indexes (null before Prepare).
+  const BandedIndex* categorical_index() const {
+    return categorical_index_.get();
+  }
+  const BandedIndex* numeric_index() const { return numeric_index_.get(); }
+
+ private:
+  LshKPrototypesOptions options_;
+  uint32_t num_clusters_;
+  std::unique_ptr<BandedIndex> categorical_index_;
+  std::unique_ptr<BandedIndex> numeric_index_;
+  std::vector<uint32_t> cluster_stamp_;
+  uint32_t epoch_ = 0;
+};
+
+/// Runs LSH-K-Prototypes.
+inline Result<ClusteringResult> RunLshKPrototypes(
+    const MixedDataset& dataset, const LshKPrototypesOptions& options) {
+  MixedShortlistProvider provider(options,
+                                  options.kprototypes.num_clusters);
+  return RunKPrototypesEngine(dataset, options.kprototypes, provider);
+}
+
+}  // namespace lshclust

@@ -1,0 +1,180 @@
+#include "core/reporters.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+
+#include "util/logging.h"
+
+namespace lshclust {
+
+namespace {
+
+double FieldValue(const IterationStats& stats, IterationField field) {
+  switch (field) {
+    case IterationField::kSeconds:
+      return stats.seconds;
+    case IterationField::kShortlist:
+      return stats.mean_shortlist;
+    case IterationField::kMoves:
+      return static_cast<double>(stats.moves);
+    case IterationField::kCost:
+      return stats.cost;
+  }
+  return 0;
+}
+
+const char* FieldName(IterationField field) {
+  switch (field) {
+    case IterationField::kSeconds:
+      return "time (s)";
+    case IterationField::kShortlist:
+      return "avg. clusters returned";
+    case IterationField::kMoves:
+      return "moves";
+    case IterationField::kCost:
+      return "cost P(W,Q)";
+  }
+  return "?";
+}
+
+void PrintRule(std::ostream& out, size_t width) {
+  for (size_t i = 0; i < width; ++i) out << '-';
+  out << '\n';
+}
+
+}  // namespace
+
+void PrintIterationSeries(std::ostream& out, const std::string& title,
+                          const std::vector<MethodRun>& runs,
+                          IterationField field) {
+  out << "\n== " << title << " — " << FieldName(field) << " ==\n";
+  size_t max_iterations = 0;
+  std::vector<size_t> widths;
+  for (const auto& run : runs) {
+    max_iterations = std::max(max_iterations, run.result.iterations.size());
+    widths.push_back(std::max<size_t>(run.spec.label.size(), 12));
+  }
+
+  out << std::setw(5) << "iter";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    out << "  " << std::setw(static_cast<int>(widths[i]))
+        << runs[i].spec.label;
+  }
+  out << '\n';
+  PrintRule(out, 5 + runs.size() * 14 + 8);
+
+  for (size_t iteration = 0; iteration < max_iterations; ++iteration) {
+    out << std::setw(5) << (iteration + 1);
+    for (size_t i = 0; i < runs.size(); ++i) {
+      out << "  " << std::setw(static_cast<int>(widths[i]));
+      if (iteration < runs[i].result.iterations.size()) {
+        const double value =
+            FieldValue(runs[i].result.iterations[iteration], field);
+        out << std::fixed << std::setprecision(4) << value;
+      } else {
+        out << "-";  // converged earlier
+      }
+    }
+    out << '\n';
+  }
+  out.unsetf(std::ios::fixed);
+}
+
+void PrintSummaryTable(std::ostream& out, const std::string& title,
+                       const std::vector<MethodRun>& runs) {
+  out << "\n== " << title << " — summary ==\n";
+
+  // Baseline for speedup: the first non-LSH method, else the first method.
+  size_t baseline = 0;
+  for (size_t i = 0; i < runs.size(); ++i) {
+    if (!runs[i].spec.use_lsh) {
+      baseline = i;
+      break;
+    }
+  }
+  const double baseline_total = runs[baseline].result.total_seconds;
+
+  out << std::left << std::setw(22) << "method" << std::right  //
+      << std::setw(8) << "iters" << std::setw(6) << "conv"     //
+      << std::setw(11) << "init(s)" << std::setw(11) << "assign0(s)"
+      << std::setw(11) << "index(s)" << std::setw(11) << "refine(s)"
+      << std::setw(11) << "total(s)" << std::setw(9) << "speedup"
+      << std::setw(9) << "purity" << '\n';
+  PrintRule(out, 109);
+  for (const auto& run : runs) {
+    const auto& r = run.result;
+    out << std::left << std::setw(22) << run.spec.label << std::right
+        << std::setw(8) << r.iterations.size()                        //
+        << std::setw(6) << (r.converged ? "yes" : "no")               //
+        << std::setw(11) << std::fixed << std::setprecision(3)
+        << r.init_seconds                                             //
+        << std::setw(11) << r.initial_assign_seconds                  //
+        << std::setw(11) << r.index_build_seconds                     //
+        << std::setw(11) << r.RefinementSeconds()                     //
+        << std::setw(11) << r.total_seconds;
+    out << std::setw(8) << std::setprecision(2)
+        << (r.total_seconds > 0 ? baseline_total / r.total_seconds : 0.0)
+        << "x";
+    if (run.purity >= 0) {
+      out << std::setw(9) << std::setprecision(4) << run.purity;
+    } else {
+      out << std::setw(9) << "-";
+    }
+    out << '\n';
+  }
+  out.unsetf(std::ios::fixed);
+
+  for (const auto& run : runs) {
+    if (run.has_index) {
+      out << "  [" << run.spec.label << "] index: "
+          << run.index_stats.total_buckets << " buckets, largest "
+          << run.index_stats.largest_bucket << ", mean size " << std::fixed
+          << std::setprecision(2) << run.index_stats.mean_bucket_size
+          << ", ~" << (run.index_memory_bytes >> 20) << " MiB\n";
+      out.unsetf(std::ios::fixed);
+    }
+  }
+}
+
+void PrintCollisionTable(std::ostream& out, const std::string& title,
+                         uint32_t minhash_rows,
+                         const std::vector<CollisionTableRow>& rows,
+                         const std::vector<MonteCarloEstimate>& monte_carlo) {
+  const bool with_mc = !monte_carlo.empty();
+  if (with_mc) {
+    LSHC_CHECK_EQ(monte_carlo.size(), rows.size())
+        << "Monte-Carlo estimates must parallel the analytic rows";
+  }
+  out << "\n== " << title << " (r = " << minhash_rows << ") ==\n";
+  out << std::right << std::setw(7) << "bands" << std::setw(12) << "jaccard"
+      << std::setw(13) << "P(pair)" << std::setw(15) << "P(MH-K-Modes)";
+  if (with_mc) {
+    out << std::setw(13) << "MC P(pair)" << std::setw(15) << "MC P(clust)";
+  }
+  out << '\n';
+  PrintRule(out, with_mc ? 75 : 47);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    out << std::setw(7) << row.bands                                     //
+        << std::setw(12) << std::setprecision(6) << row.jaccard          //
+        << std::setw(13) << std::fixed << std::setprecision(4)
+        << row.pair_probability                                          //
+        << std::setw(15) << row.mh_probability;
+    if (with_mc) {
+      out << std::setw(13) << monte_carlo[i].pair_probability  //
+          << std::setw(15) << monte_carlo[i].cluster_probability;
+    }
+    out << '\n';
+    out.unsetf(std::ios::fixed);
+  }
+}
+
+void PrintExperimentHeader(std::ostream& out, const std::string& name,
+                           uint32_t items, uint32_t attributes,
+                           uint32_t clusters) {
+  out << "\n#### " << name << ": " << items << " items, " << attributes
+      << " attributes, " << clusters << " clusters ####\n";
+}
+
+}  // namespace lshclust

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file reporters.h
+/// \brief Text-table reporters that print the same rows/series the paper's
+/// figures and tables show (one bench driver per figure calls these).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/error_bound.h"
+#include "core/experiment.h"
+
+namespace lshclust {
+
+/// \brief Which per-iteration series to print.
+enum class IterationField {
+  kSeconds,    ///< "Time taken per iteration" (Figs. 2a, 3a, 4c, 5a, 9a, 10a)
+  kShortlist,  ///< "Avg. Clusters Returned" (Figs. 2b, 3c, 4a, 5b, 9b, 10c)
+  kMoves,      ///< "Moves" (Figs. 2c, 3d, 4b, 9c, 10d)
+  kCost,       ///< P(W, Q) per iteration (not plotted in the paper; extra)
+};
+
+/// Prints one column per method, one row per iteration, e.g.
+/// `iter  MH-K-Modes 20b 5r  K-Modes` — the tabular form of a figure panel.
+void PrintIterationSeries(std::ostream& out, const std::string& title,
+                          const std::vector<MethodRun>& runs,
+                          IterationField field);
+
+/// Prints the per-method summary: phase times (init / initial assignment /
+/// index build), refinement time, total, iterations, convergence, speedup
+/// over the first non-LSH method, and purity when available — the tabular
+/// form of the "total time taken" and purity bar charts (Figs. 7, 8, 9d,
+/// 9e, 10b).
+void PrintSummaryTable(std::ostream& out, const std::string& title,
+                       const std::vector<MethodRun>& runs);
+
+/// Prints a Table I/II-style collision-probability table. When
+/// `monte_carlo` is non-empty it must parallel `rows` and the empirical
+/// estimates are printed alongside the analytic values.
+void PrintCollisionTable(std::ostream& out, const std::string& title,
+                         uint32_t minhash_rows,
+                         const std::vector<CollisionTableRow>& rows,
+                         const std::vector<MonteCarloEstimate>& monte_carlo = {});
+
+/// Prints dataset shape + banding parameters header used by every driver.
+void PrintExperimentHeader(std::ostream& out, const std::string& name,
+                           uint32_t items, uint32_t attributes,
+                           uint32_t clusters);
+
+}  // namespace lshclust

@@ -1,0 +1,188 @@
+#include "core/streaming.h"
+
+#include "clustering/dissimilarity.h"
+#include "clustering/engine.h"
+#include "util/macros.h"
+
+namespace lshclust {
+
+Result<StreamingMHKModes> StreamingMHKModes::Bootstrap(
+    const CategoricalDataset& warmup,
+    const StreamingMHKModesOptions& options) {
+  const uint32_t k = options.bootstrap.engine.num_clusters;
+  const uint32_t m = warmup.num_attributes();
+  if (k == 0) {
+    return Status::InvalidArgument("num_clusters must be positive");
+  }
+
+  StreamingMHKModes stream;
+  stream.options_ = options;
+  stream.num_clusters_ = k;
+  stream.num_attributes_ = m;
+
+  // 1. Batch warm-up clustering.
+  {
+    ClusterShortlistProvider provider(options.bootstrap.index, k);
+    LSHC_ASSIGN_OR_RETURN(
+        stream.bootstrap_result_,
+        RunEngine(warmup, options.bootstrap.engine, provider));
+  }
+  stream.assignment_ = stream.bootstrap_result_.assignment;
+
+  // 2. Signature machinery, configured identically to the batch index so
+  //    stream-time signatures are comparable.
+  const uint32_t width = options.bootstrap.index.banding.num_hashes();
+  if (options.bootstrap.index.algorithm ==
+      SignatureAlgorithm::kClassicMinHash) {
+    stream.minhasher_ = std::make_unique<MinHasher>(
+        width, options.bootstrap.index.seed,
+        options.bootstrap.index.minhash_mode);
+  } else {
+    stream.oph_ = std::make_unique<OnePermutationMinHasher>(
+        width, options.bootstrap.index.seed);
+  }
+  stream.signature_.resize(width);
+
+  // 3. Load every warm-up item into the growable index.
+  stream.index_ = std::make_unique<DynamicBandedIndex>(
+      options.bootstrap.index.banding, warmup.num_items());
+  for (uint32_t item = 0; item < warmup.num_items(); ++item) {
+    warmup.PresentTokens(item, &stream.tokens_);
+    if (stream.minhasher_ != nullptr) {
+      stream.minhasher_->ComputeSignature(stream.tokens_,
+                                          stream.signature_.data());
+    } else {
+      stream.oph_->ComputeSignature(stream.tokens_,
+                                    stream.signature_.data());
+    }
+    stream.index_->Insert(stream.signature_);
+  }
+
+  // 4. Presence semantics for stream-time token filtering.
+  if (warmup.has_absence_semantics()) {
+    stream.absent_codes_.resize(warmup.num_codes());
+    for (uint32_t code = 0; code < warmup.num_codes(); ++code) {
+      stream.absent_codes_[code] = !warmup.IsPresent(code);
+    }
+  }
+
+  // 5. Modes + incremental majority state.
+  stream.modes_ = std::make_unique<ModeTable>(k, m);
+  Rng rng(options.bootstrap.engine.seed);
+  stream.modes_->RecomputeFromAssignment(
+      warmup, stream.assignment_,
+      options.bootstrap.engine.empty_cluster_policy, rng);
+
+  stream.attribute_counts_.resize(m);
+  stream.best_counts_.assign(static_cast<size_t>(k) * m, 0);
+  const uint32_t* codes = warmup.codes().data();
+  for (uint32_t attribute = 0; attribute < m; ++attribute) {
+    FlatHashMap64& counts = stream.attribute_counts_[attribute];
+    counts.Reserve(warmup.num_items());
+    for (uint32_t item = 0; item < warmup.num_items(); ++item) {
+      const uint32_t code = codes[static_cast<size_t>(item) * m + attribute];
+      const uint64_t key =
+          (static_cast<uint64_t>(stream.assignment_[item]) << 32) | code;
+      ++*counts.FindOrInsert(key, 0);
+    }
+    // Seed the running maxima with the bootstrap modes' counts.
+    for (uint32_t cluster = 0; cluster < k; ++cluster) {
+      const uint32_t mode_code = stream.modes_->Mode(cluster)[attribute];
+      const uint64_t key = (static_cast<uint64_t>(cluster) << 32) | mode_code;
+      const uint32_t* count = counts.Find(key);
+      stream.best_counts_[static_cast<size_t>(cluster) * m + attribute] =
+          count == nullptr ? 0 : *count;
+    }
+  }
+
+  stream.cluster_stamp_.assign(k, 0);
+  return stream;
+}
+
+void StreamingMHKModes::UpdateModeWithItem(uint32_t cluster,
+                                           std::span<const uint32_t> row) {
+  const uint32_t m = num_attributes_;
+  for (uint32_t attribute = 0; attribute < m; ++attribute) {
+    const uint64_t key =
+        (static_cast<uint64_t>(cluster) << 32) | row[attribute];
+    const uint32_t count =
+        ++*attribute_counts_[attribute].FindOrInsert(key, 0);
+    uint32_t& best = best_counts_[static_cast<size_t>(cluster) * m +
+                                  attribute];
+    // Increment-only majority: the mode component changes exactly when a
+    // count strictly overtakes the current maximum.
+    if (count > best) {
+      best = count;
+      modes_->SetModeCode(cluster, attribute, row[attribute]);
+    }
+  }
+}
+
+Result<uint32_t> StreamingMHKModes::Ingest(std::span<const uint32_t> row) {
+  if (row.size() != num_attributes_) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(row.size()) + " codes, expected " +
+        std::to_string(num_attributes_));
+  }
+
+  // Presence filtering (Alg. 2 lines 2-4); codes beyond the warm-up
+  // bitmap are new values, necessarily "present".
+  tokens_.clear();
+  for (const uint32_t code : row) {
+    if (code < absent_codes_.size() && absent_codes_[code]) continue;
+    tokens_.push_back(code);
+  }
+  if (minhasher_ != nullptr) {
+    minhasher_->ComputeSignature(tokens_, signature_.data());
+  } else {
+    oph_->ComputeSignature(tokens_, signature_.data());
+  }
+
+  // Shortlist the clusters of similar predecessors.
+  shortlist_.clear();
+  ++epoch_;
+  index_->VisitCandidatesOfSignature(signature_, [&](uint32_t other) {
+    const uint32_t cluster = assignment_[other];
+    if (cluster_stamp_[cluster] != epoch_) {
+      cluster_stamp_[cluster] = epoch_;
+      shortlist_.push_back(cluster);
+    }
+  });
+
+  uint32_t best_cluster = 0;
+  uint32_t best_distance = ~0u;
+  if (shortlist_.empty()) {
+    // No similar predecessor anywhere: exhaustive scan (rare).
+    ++stats_.exhaustive_fallbacks;
+    for (uint32_t cluster = 0; cluster < num_clusters_; ++cluster) {
+      const uint32_t distance = BoundedMismatchDistance(
+          row.data(), modes_->ModeData(cluster), num_attributes_,
+          best_distance);
+      if (distance < best_distance) {
+        best_distance = distance;
+        best_cluster = cluster;
+      }
+    }
+  } else {
+    stats_.shortlist_total += shortlist_.size();
+    for (const uint32_t cluster : shortlist_) {
+      const uint32_t distance = BoundedMismatchDistance(
+          row.data(), modes_->ModeData(cluster), num_attributes_,
+          best_distance);
+      if (distance < best_distance) {
+        best_distance = distance;
+        best_cluster = cluster;
+      }
+    }
+  }
+
+  assignment_.push_back(best_cluster);
+  index_->Insert(signature_);
+  if (options_.update_modes) {
+    UpdateModeWithItem(best_cluster, row);
+  }
+  ++stats_.ingested;
+  return best_cluster;
+}
+
+}  // namespace lshclust

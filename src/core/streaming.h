@@ -1,0 +1,126 @@
+#pragma once
+
+/// \file streaming.h
+/// \brief Streaming MH-K-Modes — the paper's §VI future work: an online
+/// clustering front end built from the same pieces as the batch algorithm.
+///
+/// Lifecycle:
+///  1. Bootstrap: run batch MH-K-Modes over a warm-up dataset; load its
+///     items into a growable (dynamic) banding index; build incremental
+///     per-cluster attribute frequency tables.
+///  2. Ingest(row): presence-filter, sign, shortlist through the index
+///     (falling back to an exhaustive mode scan when the shortlist is
+///     empty — possible for items with no similar predecessor), assign to
+///     the nearest mode, insert into the index, and update the assigned
+///     cluster's mode incrementally (increment-only majority tracking is
+///     exact: a mode component changes only when some count overtakes the
+///     current maximum).
+///
+/// Every ingested item immediately becomes retrievable: later arrivals
+/// shortlist against it exactly like against warm-up items.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/mh_kmodes.h"
+#include "lsh/dynamic_banded_index.h"
+#include "util/result.h"
+
+namespace lshclust {
+
+/// \brief Options for StreamingMHKModes.
+struct StreamingMHKModesOptions {
+  /// Batch options for the warm-up clustering (engine + index).
+  MHKModesOptions bootstrap;
+  /// Maintain modes incrementally as items arrive. When false, modes stay
+  /// frozen at their bootstrap values (cheaper; suits stable streams).
+  bool update_modes = true;
+};
+
+/// \brief Online clusterer; construct via Bootstrap.
+class StreamingMHKModes {
+ public:
+  /// Runs the batch warm-up and prepares the streaming state.
+  static Result<StreamingMHKModes> Bootstrap(
+      const CategoricalDataset& warmup,
+      const StreamingMHKModesOptions& options);
+
+  /// Assigns one arriving item (a row of `num_attributes` codes in the
+  /// warm-up dataset's code space; codes never seen before are legal) and
+  /// returns its cluster.
+  Result<uint32_t> Ingest(std::span<const uint32_t> row);
+
+  /// Number of clusters k.
+  uint32_t num_clusters() const { return num_clusters_; }
+  /// Attributes per item m.
+  uint32_t num_attributes() const { return num_attributes_; }
+
+  /// Assignment of every item seen so far (warm-up items first, then
+  /// ingested ones in arrival order).
+  const std::vector<uint32_t>& assignment() const { return assignment_; }
+
+  /// The current mode of `cluster`.
+  std::span<const uint32_t> ModeOf(uint32_t cluster) const {
+    return modes_->Mode(cluster);
+  }
+
+  /// \brief Ingest-side counters.
+  struct Stats {
+    /// Items ingested after bootstrap.
+    uint64_t ingested = 0;
+    /// Ingests whose shortlist was empty (exhaustive fallback taken).
+    uint64_t exhaustive_fallbacks = 0;
+    /// Shortlist sizes summed over ingests (mean = total / ingested).
+    uint64_t shortlist_total = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// The bootstrap clustering outcome (per-iteration instrumentation).
+  const ClusteringResult& bootstrap_result() const {
+    return bootstrap_result_;
+  }
+
+  StreamingMHKModes(StreamingMHKModes&&) = default;
+  StreamingMHKModes& operator=(StreamingMHKModes&&) = default;
+
+ private:
+  StreamingMHKModes() = default;
+
+  void UpdateModeWithItem(uint32_t cluster, std::span<const uint32_t> row);
+
+  StreamingMHKModesOptions options_;
+  uint32_t num_clusters_ = 0;
+  uint32_t num_attributes_ = 0;
+
+  // Signature machinery (matches the bootstrap index configuration).
+  std::unique_ptr<MinHasher> minhasher_;
+  std::unique_ptr<OnePermutationMinHasher> oph_;
+  std::unique_ptr<DynamicBandedIndex> index_;
+
+  // Presence semantics copied from the warm-up dataset; codes beyond the
+  // bitmap (values first seen in the stream) are treated as present.
+  std::vector<bool> absent_codes_;
+
+  // Cluster state.
+  std::unique_ptr<ModeTable> modes_;
+  std::vector<uint32_t> assignment_;
+
+  // Incremental majority tracking: per attribute a (cluster, code) -> count
+  // table plus the running best count per (cluster, attribute).
+  std::vector<FlatHashMap64> attribute_counts_;  // size m
+  std::vector<uint32_t> best_counts_;            // k x m
+
+  // Query scratch.
+  std::vector<uint32_t> cluster_stamp_;
+  uint32_t epoch_ = 0;
+  std::vector<uint64_t> signature_;
+  std::vector<uint32_t> tokens_;
+  std::vector<uint32_t> shortlist_;
+
+  ClusteringResult bootstrap_result_;
+  Stats stats_;
+};
+
+}  // namespace lshclust

@@ -1,0 +1,174 @@
+#pragma once
+
+/// \file categorical_dataset.h
+/// \brief Immutable categorical dataset: n items x m attributes of interned
+/// codes, optional ground-truth labels, optional presence semantics.
+///
+/// Items are stored row-major as dense uint32 codes so the assignment-step
+/// inner loop (mismatch counting against a mode) is a linear scan of two
+/// arrays. The dataset is immutable after construction — the property the
+/// paper's index exploits: MinHash signatures and band buckets are computed
+/// once, and only item->cluster references change between iterations.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/interner.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace lshclust {
+
+/// \brief Immutable collection of categorical items.
+class CategoricalDataset {
+ public:
+  /// Constructs an empty dataset (0 items); populate via FromCodes or the
+  /// builder.
+  CategoricalDataset() = default;
+
+  /// Number of items n.
+  uint32_t num_items() const { return num_items_; }
+  /// Number of attributes m.
+  uint32_t num_attributes() const { return num_attributes_; }
+  /// Total number of distinct codes (exclusive upper bound of code values).
+  uint32_t num_codes() const { return num_codes_; }
+
+  /// The codes of one item, length num_attributes().
+  std::span<const uint32_t> Row(uint32_t item) const {
+    LSHC_DCHECK(item < num_items_) << "item index out of range";
+    return {codes_.data() + static_cast<size_t>(item) * num_attributes_,
+            num_attributes_};
+  }
+
+  /// Flat row-major code matrix (n * m entries).
+  std::span<const uint32_t> codes() const { return codes_; }
+
+  /// True iff ground-truth labels are attached.
+  bool has_labels() const { return !labels_.empty(); }
+  /// Ground-truth labels (empty when absent).
+  const std::vector<uint32_t>& labels() const { return labels_; }
+
+  /// True iff `code` denotes a present feature (always true when the
+  /// dataset has no absence semantics).
+  bool IsPresent(uint32_t code) const {
+    return absent_codes_.empty() ? true : !absent_codes_[code];
+  }
+
+  /// True iff any code is marked absent (i.e. presence filtering applies).
+  bool has_absence_semantics() const { return !absent_codes_.empty(); }
+
+  /// Collects the *present* codes of `item` into `out` (cleared first) —
+  /// the presence filtering of Algorithm 2 lines 2-4. Returns out->size().
+  size_t PresentTokens(uint32_t item, std::vector<uint32_t>* out) const;
+
+  /// The shared dictionary, or nullptr for datasets built from raw codes.
+  const ValueInterner* interner() const { return interner_.get(); }
+
+  /// Shared ownership of the dictionary (for building derived datasets
+  /// that must outlive this one, e.g. slices).
+  std::shared_ptr<ValueInterner> shared_interner() const { return interner_; }
+
+  /// Renders the value of (item, attribute) for debugging: the interned
+  /// string when a dictionary exists, otherwise "#<code>".
+  std::string ValueToString(uint32_t item, uint32_t attribute) const;
+
+  /// Constructs a dataset directly from a code matrix. `codes` must have
+  /// num_items * num_attributes entries all < num_codes; `labels` is empty
+  /// or one label per item; `absent_codes` is empty or num_codes flags.
+  /// Used by the synthetic generators which produce codes natively.
+  static Result<CategoricalDataset> FromCodes(
+      uint32_t num_items, uint32_t num_attributes, uint32_t num_codes,
+      std::vector<uint32_t> codes, std::vector<uint32_t> labels = {},
+      std::vector<bool> absent_codes = {},
+      std::shared_ptr<ValueInterner> interner = nullptr);
+
+ private:
+  friend class CategoricalDatasetBuilder;
+
+  uint32_t num_items_ = 0;
+  uint32_t num_attributes_ = 0;
+  uint32_t num_codes_ = 0;
+  std::vector<uint32_t> codes_;         // row-major n x m
+  std::vector<uint32_t> labels_;        // empty or size n
+  std::vector<bool> absent_codes_;      // empty or size num_codes
+  std::shared_ptr<ValueInterner> interner_;  // may be null
+};
+
+/// \brief Incremental builder interning string values row by row.
+///
+/// \code
+///   CategoricalDatasetBuilder builder({"colour", "size"});
+///   builder.MarkAbsentValue("No");
+///   LSHC_CHECK_OK(builder.AddRow({"blue", "No"}, /*label=*/0));
+///   auto dataset = std::move(builder).Build();
+/// \endcode
+class CategoricalDatasetBuilder {
+ public:
+  /// \param attribute_names one name per attribute; defines m
+  explicit CategoricalDatasetBuilder(std::vector<std::string> attribute_names);
+
+  /// Declares a value string (e.g. "No", "0") as meaning "feature absent";
+  /// codes interning to it are excluded from MinHash token sets. Must be
+  /// called before the first AddRow.
+  void MarkAbsentValue(std::string value);
+
+  /// Appends one item; `values` must have exactly one value per attribute.
+  Status AddRow(std::span<const std::string> values,
+                std::optional<uint32_t> label = std::nullopt);
+
+  /// Number of rows added so far.
+  uint32_t num_rows() const { return num_rows_; }
+
+  /// Finalizes the dataset. The builder is consumed.
+  CategoricalDataset Build() &&;
+
+ private:
+  std::vector<std::string> attribute_names_;
+  std::vector<std::string> absent_values_;
+  std::shared_ptr<ValueInterner> interner_ = std::make_shared<ValueInterner>();
+  std::vector<uint32_t> codes_;
+  std::vector<uint32_t> labels_;
+  std::vector<bool> absent_codes_;
+  uint32_t num_rows_ = 0;
+  bool any_label_ = false;
+  bool any_absent_ = false;
+};
+
+/// \brief Immutable numeric dataset (n items x d dimensions of doubles)
+/// used by the K-Means / LSH-K-Means extension.
+class NumericDataset {
+ public:
+  NumericDataset() = default;
+
+  /// Constructs from a row-major matrix; `values` must have
+  /// num_items * dimensions entries.
+  static Result<NumericDataset> FromValues(uint32_t num_items,
+                                           uint32_t dimensions,
+                                           std::vector<double> values,
+                                           std::vector<uint32_t> labels = {});
+
+  uint32_t num_items() const { return num_items_; }
+  uint32_t dimensions() const { return dimensions_; }
+
+  /// One item's coordinates, length dimensions().
+  std::span<const double> Row(uint32_t item) const {
+    LSHC_DCHECK(item < num_items_) << "item index out of range";
+    return {values_.data() + static_cast<size_t>(item) * dimensions_,
+            dimensions_};
+  }
+
+  bool has_labels() const { return !labels_.empty(); }
+  const std::vector<uint32_t>& labels() const { return labels_; }
+
+ private:
+  uint32_t num_items_ = 0;
+  uint32_t dimensions_ = 0;
+  std::vector<double> values_;
+  std::vector<uint32_t> labels_;
+};
+
+}  // namespace lshclust

@@ -1,0 +1,151 @@
+#include "data/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/macros.h"
+#include "util/string_util.h"
+
+namespace lshclust {
+
+namespace {
+
+Result<CategoricalDataset> ParseLines(std::istream& input,
+                                      const CsvOptions& options) {
+  std::string line;
+  if (!std::getline(input, line)) {
+    return Status::InvalidArgument("CSV input is empty (no header)");
+  }
+  std::vector<std::string> header = Split(Trim(line), options.delimiter);
+  for (auto& name : header) name = std::string(Trim(name));
+
+  int label_index = -1;
+  std::vector<std::string> attribute_names;
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == options.label_column) {
+      if (label_index >= 0) {
+        return Status::InvalidArgument("duplicate label column '" +
+                                       options.label_column + "'");
+      }
+      label_index = static_cast<int>(i);
+    } else {
+      attribute_names.push_back(header[i]);
+    }
+  }
+  if (attribute_names.empty()) {
+    return Status::InvalidArgument("CSV has no attribute columns");
+  }
+
+  CategoricalDatasetBuilder builder(attribute_names);
+  for (const auto& absent : options.absent_values) {
+    builder.MarkAbsentValue(absent);
+  }
+
+  std::vector<std::string> row_values(attribute_names.size());
+  size_t line_number = 1;
+  while (std::getline(input, line)) {
+    ++line_number;
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty()) continue;  // skip blank lines
+    const std::vector<std::string> fields = Split(trimmed, options.delimiter);
+    if (fields.size() != header.size()) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_number) + " has " +
+          std::to_string(fields.size()) + " fields, expected " +
+          std::to_string(header.size()));
+    }
+    std::optional<uint32_t> label;
+    size_t out = 0;
+    for (size_t i = 0; i < fields.size(); ++i) {
+      const std::string_view field = Trim(fields[i]);
+      if (static_cast<int>(i) == label_index) {
+        int64_t value = 0;
+        if (!ParseInt64(field, &value) || value < 0) {
+          return Status::InvalidArgument(
+              "line " + std::to_string(line_number) +
+              ": label must be a non-negative integer, got '" +
+              std::string(field) + "'");
+        }
+        label = static_cast<uint32_t>(value);
+      } else {
+        row_values[out++] = std::string(field);
+      }
+    }
+    LSHC_RETURN_NOT_OK(
+        builder.AddRow(row_values, label)
+            .WithContext("line " + std::to_string(line_number)));
+  }
+  if (builder.num_rows() == 0) {
+    return Status::InvalidArgument("CSV contains a header but no rows");
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace
+
+Result<CategoricalDataset> ReadCategoricalCsv(const std::string& path,
+                                              const CsvOptions& options) {
+  std::ifstream file(path);
+  if (!file.is_open()) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  auto result = ParseLines(file, options);
+  if (!result.ok()) return result.status().WithContext(path);
+  return result;
+}
+
+Result<CategoricalDataset> ParseCategoricalCsv(std::string_view text,
+                                               const CsvOptions& options) {
+  std::istringstream stream{std::string(text)};
+  return ParseLines(stream, options);
+}
+
+Status WriteCategoricalCsv(const CategoricalDataset& dataset,
+                           const std::string& path,
+                           const CsvOptions& options) {
+  if (dataset.interner() == nullptr) {
+    return Status::InvalidArgument(
+        "dataset has no value dictionary; cannot serialize to CSV");
+  }
+  std::ofstream file(path);
+  if (!file.is_open()) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+
+  // Recover attribute names by splitting the "attribute=value" tokens of
+  // the first row.
+  const uint32_t m = dataset.num_attributes();
+  std::vector<std::string> attribute_names(m);
+  for (uint32_t a = 0; a < m; ++a) {
+    const std::string& token = dataset.interner()->ToString(dataset.Row(0)[a]);
+    const size_t eq = token.find('=');
+    attribute_names[a] = eq == std::string::npos ? token : token.substr(0, eq);
+  }
+
+  for (uint32_t a = 0; a < m; ++a) {
+    if (a > 0) file << options.delimiter;
+    file << attribute_names[a];
+  }
+  if (dataset.has_labels()) file << options.delimiter << options.label_column;
+  file << '\n';
+
+  for (uint32_t i = 0; i < dataset.num_items(); ++i) {
+    for (uint32_t a = 0; a < m; ++a) {
+      if (a > 0) file << options.delimiter;
+      const std::string& token =
+          dataset.interner()->ToString(dataset.Row(i)[a]);
+      const size_t eq = token.find('=');
+      file << (eq == std::string::npos ? token : token.substr(eq + 1));
+    }
+    if (dataset.has_labels()) {
+      file << options.delimiter << dataset.labels()[i];
+    }
+    file << '\n';
+  }
+  if (!file.good()) {
+    return Status::IOError("write to '" + path + "' failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace lshclust

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file csv.h
+/// \brief CSV reader/writer for categorical datasets.
+///
+/// Format: first line is the header of attribute names; an optional final
+/// column named `label` carries integer ground-truth labels. Fields are
+/// split on a configurable delimiter; quoting is not supported (values in
+/// this domain are category identifiers, not free text).
+
+#include <string>
+#include <string_view>
+
+#include "data/categorical_dataset.h"
+#include "util/result.h"
+
+namespace lshclust {
+
+/// \brief Options controlling CSV parsing.
+struct CsvOptions {
+  /// Field delimiter.
+  char delimiter = ',';
+  /// Name of the column treated as the ground-truth label.
+  std::string label_column = "label";
+  /// Value strings that denote "feature absent" (excluded from MinHash
+  /// token sets, see Algorithm 2 lines 2-4). Empty means no absence
+  /// semantics.
+  std::vector<std::string> absent_values;
+};
+
+/// \brief Parses a CSV file into a CategoricalDataset.
+Result<CategoricalDataset> ReadCategoricalCsv(const std::string& path,
+                                              const CsvOptions& options = {});
+
+/// \brief Parses CSV text (same format) from a string, for tests and small
+/// embedded datasets.
+Result<CategoricalDataset> ParseCategoricalCsv(std::string_view text,
+                                               const CsvOptions& options = {});
+
+/// \brief Writes a dataset to CSV (inverse of ReadCategoricalCsv). Requires
+/// the dataset to carry an interner (string-backed values). The label
+/// column is emitted iff labels are present.
+Status WriteCategoricalCsv(const CategoricalDataset& dataset,
+                           const std::string& path,
+                           const CsvOptions& options = {});
+
+}  // namespace lshclust

@@ -1,0 +1,29 @@
+#include "data/interner.h"
+
+namespace lshclust {
+
+uint32_t ValueInterner::Intern(std::string_view text) {
+  auto it = index_.find(std::string(text));
+  if (it != index_.end()) return it->second;
+  const uint32_t code = static_cast<uint32_t>(strings_.size());
+  strings_.emplace_back(text);
+  index_.emplace(strings_.back(), code);
+  return code;
+}
+
+uint32_t ValueInterner::Lookup(std::string_view text) const {
+  auto it = index_.find(std::string(text));
+  return it == index_.end() ? kNotFound : it->second;
+}
+
+std::string ValueInterner::MakeToken(std::string_view attribute,
+                                     std::string_view value) {
+  std::string token;
+  token.reserve(attribute.size() + value.size() + 1);
+  token += attribute;
+  token += '=';
+  token += value;
+  return token;
+}
+
+}  // namespace lshclust

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file interner.h
+/// \brief Bidirectional string <-> dense uint32 code dictionary.
+///
+/// Every distinct `(attribute, value)` pair in a categorical dataset is
+/// interned to a dense 32-bit code. Codes serve double duty:
+///  * positional equality of codes implements Huang's mismatch measure
+///    d(X, Y) (Eq. 1-2 of the paper), and
+///  * the set of *present* codes of an item is the token set fed to MinHash
+///    (Algorithm 2 lines 1-5).
+/// Global uniqueness across attributes guarantees that equal values under
+/// different attributes never alias as MinHash tokens.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace lshclust {
+
+/// \brief Append-only dictionary assigning dense codes 0..n-1 to strings.
+class ValueInterner {
+ public:
+  ValueInterner() = default;
+
+  /// Returns the code of `text`, inserting it if unseen.
+  uint32_t Intern(std::string_view text);
+
+  /// Returns the code of `text` or kNotFound if never interned.
+  uint32_t Lookup(std::string_view text) const;
+
+  /// Returns the string for `code`; code must be < size().
+  const std::string& ToString(uint32_t code) const {
+    LSHC_CHECK_LT(code, strings_.size()) << "interner code out of range";
+    return strings_[code];
+  }
+
+  /// Number of distinct interned strings.
+  uint32_t size() const { return static_cast<uint32_t>(strings_.size()); }
+
+  /// Sentinel returned by Lookup for unknown strings.
+  static constexpr uint32_t kNotFound = ~0u;
+
+  /// Builds the canonical token string for an attribute/value pair,
+  /// "attribute=value" — e.g. "colour=blue", or "zoo=1" for the binary
+  /// word-presence encoding of §IV-B.
+  static std::string MakeToken(std::string_view attribute,
+                               std::string_view value);
+
+ private:
+  std::unordered_map<std::string, uint32_t> index_;
+  std::vector<std::string> strings_;
+};
+
+}  // namespace lshclust

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file mixed_dataset.h
+/// \brief Mixed categorical + numeric items — the substrate for
+/// K-Prototypes (Huang 1998) and its LSH acceleration (the paper's §VI:
+/// "not only categorical data, but numeric data, or combinations of
+/// both").
+
+#include <cstdint>
+
+#include "data/categorical_dataset.h"
+#include "util/result.h"
+
+namespace lshclust {
+
+/// \brief n items, each with m categorical codes and d numeric values.
+/// Labels (when present) live on the categorical part.
+class MixedDataset {
+ public:
+  /// Combines two datasets over the same items. Item counts must agree;
+  /// labels, if any, are taken from the categorical part.
+  static Result<MixedDataset> Combine(CategoricalDataset categorical,
+                                      NumericDataset numeric) {
+    if (categorical.num_items() != numeric.num_items()) {
+      return Status::InvalidArgument(
+          "categorical part has " + std::to_string(categorical.num_items()) +
+          " items, numeric part " + std::to_string(numeric.num_items()));
+    }
+    if (categorical.num_items() == 0) {
+      return Status::InvalidArgument("dataset is empty");
+    }
+    MixedDataset dataset;
+    dataset.categorical_ = std::move(categorical);
+    dataset.numeric_ = std::move(numeric);
+    return dataset;
+  }
+
+  uint32_t num_items() const { return categorical_.num_items(); }
+  uint32_t num_categorical() const { return categorical_.num_attributes(); }
+  uint32_t num_numeric() const { return numeric_.dimensions(); }
+
+  const CategoricalDataset& categorical() const { return categorical_; }
+  const NumericDataset& numeric() const { return numeric_; }
+
+  bool has_labels() const { return categorical_.has_labels(); }
+  const std::vector<uint32_t>& labels() const {
+    return categorical_.labels();
+  }
+
+ private:
+  MixedDataset() = default;
+  CategoricalDataset categorical_;
+  NumericDataset numeric_;
+};
+
+}  // namespace lshclust

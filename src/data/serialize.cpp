@@ -1,0 +1,148 @@
+#include "data/serialize.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "util/macros.h"
+
+namespace lshclust {
+
+namespace {
+
+constexpr char kMagic[4] = {'L', 'S', 'H', 'C'};
+constexpr uint32_t kVersion = 1;
+
+constexpr uint8_t kFlagLabels = 1;
+constexpr uint8_t kFlagAbsence = 2;
+constexpr uint8_t kFlagDictionary = 4;
+
+void WriteU32(std::ostream& out, uint32_t value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+bool ReadU32(std::istream& in, uint32_t* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(*value));
+  return in.good();
+}
+
+}  // namespace
+
+Status SaveDatasetBinary(const CategoricalDataset& dataset,
+                         const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  out.write(kMagic, sizeof(kMagic));
+  WriteU32(out, kVersion);
+  WriteU32(out, dataset.num_items());
+  WriteU32(out, dataset.num_attributes());
+  WriteU32(out, dataset.num_codes());
+
+  uint8_t flags = 0;
+  if (dataset.has_labels()) flags |= kFlagLabels;
+  if (dataset.has_absence_semantics()) flags |= kFlagAbsence;
+  if (dataset.interner() != nullptr) flags |= kFlagDictionary;
+  out.write(reinterpret_cast<const char*>(&flags), 1);
+
+  const auto codes = dataset.codes();
+  out.write(reinterpret_cast<const char*>(codes.data()),
+            static_cast<std::streamsize>(codes.size() * sizeof(uint32_t)));
+  if (dataset.has_labels()) {
+    out.write(reinterpret_cast<const char*>(dataset.labels().data()),
+              static_cast<std::streamsize>(dataset.labels().size() *
+                                           sizeof(uint32_t)));
+  }
+  if (dataset.has_absence_semantics()) {
+    for (uint32_t code = 0; code < dataset.num_codes(); ++code) {
+      const uint8_t absent = dataset.IsPresent(code) ? 0 : 1;
+      out.write(reinterpret_cast<const char*>(&absent), 1);
+    }
+  }
+  if (dataset.interner() != nullptr) {
+    WriteU32(out, dataset.interner()->size());
+    for (uint32_t code = 0; code < dataset.interner()->size(); ++code) {
+      const std::string& text = dataset.interner()->ToString(code);
+      WriteU32(out, static_cast<uint32_t>(text.size()));
+      out.write(text.data(), static_cast<std::streamsize>(text.size()));
+    }
+  }
+  if (!out.good()) {
+    return Status::IOError("write to '" + path + "' failed");
+  }
+  return Status::OK();
+}
+
+Result<CategoricalDataset> LoadDatasetBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("'" + path +
+                                   "' is not an lshclust dataset file");
+  }
+  uint32_t version = 0, n = 0, m = 0, num_codes = 0;
+  if (!ReadU32(in, &version) || version != kVersion) {
+    return Status::InvalidArgument("unsupported dataset file version");
+  }
+  if (!ReadU32(in, &n) || !ReadU32(in, &m) || !ReadU32(in, &num_codes)) {
+    return Status::IOError("truncated dataset header");
+  }
+  uint8_t flags = 0;
+  in.read(reinterpret_cast<char*>(&flags), 1);
+  if (!in.good()) return Status::IOError("truncated dataset header");
+
+  std::vector<uint32_t> codes(static_cast<size_t>(n) * m);
+  in.read(reinterpret_cast<char*>(codes.data()),
+          static_cast<std::streamsize>(codes.size() * sizeof(uint32_t)));
+  if (!in.good()) return Status::IOError("truncated code matrix");
+
+  std::vector<uint32_t> labels;
+  if (flags & kFlagLabels) {
+    labels.resize(n);
+    in.read(reinterpret_cast<char*>(labels.data()),
+            static_cast<std::streamsize>(labels.size() * sizeof(uint32_t)));
+    if (!in.good()) return Status::IOError("truncated label array");
+  }
+
+  std::vector<bool> absent_codes;
+  if (flags & kFlagAbsence) {
+    absent_codes.resize(num_codes);
+    for (uint32_t code = 0; code < num_codes; ++code) {
+      uint8_t absent = 0;
+      in.read(reinterpret_cast<char*>(&absent), 1);
+      if (!in.good()) return Status::IOError("truncated absence bitmap");
+      absent_codes[code] = absent != 0;
+    }
+  }
+
+  std::shared_ptr<ValueInterner> interner;
+  if (flags & kFlagDictionary) {
+    interner = std::make_shared<ValueInterner>();
+    uint32_t count = 0;
+    if (!ReadU32(in, &count)) return Status::IOError("truncated dictionary");
+    std::string text;
+    for (uint32_t i = 0; i < count; ++i) {
+      uint32_t length = 0;
+      if (!ReadU32(in, &length)) return Status::IOError("truncated dictionary");
+      text.resize(length);
+      in.read(text.data(), static_cast<std::streamsize>(length));
+      if (!in.good()) return Status::IOError("truncated dictionary entry");
+      const uint32_t code = interner->Intern(text);
+      if (code != i) {
+        return Status::InvalidArgument(
+            "dictionary contains duplicate entries");
+      }
+    }
+  }
+
+  return CategoricalDataset::FromCodes(n, m, num_codes, std::move(codes),
+                                       std::move(labels),
+                                       std::move(absent_codes),
+                                       std::move(interner));
+}
+
+}  // namespace lshclust

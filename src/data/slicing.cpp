@@ -1,0 +1,112 @@
+#include "data/slicing.h"
+
+#include <algorithm>
+
+namespace lshclust {
+
+namespace {
+
+/// Copies presence flags out of a dataset (empty when none).
+std::vector<bool> AbsentFlags(const CategoricalDataset& dataset) {
+  if (!dataset.has_absence_semantics()) return {};
+  std::vector<bool> absent(dataset.num_codes());
+  for (uint32_t code = 0; code < dataset.num_codes(); ++code) {
+    absent[code] = !dataset.IsPresent(code);
+  }
+  return absent;
+}
+
+/// Builds a dataset from selected item indices of a source.
+Result<CategoricalDataset> Select(const CategoricalDataset& dataset,
+                                  const std::vector<uint32_t>& items) {
+  const uint32_t m = dataset.num_attributes();
+  std::vector<uint32_t> codes;
+  codes.reserve(static_cast<size_t>(items.size()) * m);
+  std::vector<uint32_t> labels;
+  if (dataset.has_labels()) labels.reserve(items.size());
+  for (const uint32_t item : items) {
+    const auto row = dataset.Row(item);
+    codes.insert(codes.end(), row.begin(), row.end());
+    if (dataset.has_labels()) labels.push_back(dataset.labels()[item]);
+  }
+  // The dictionary is shared with the source, not copied.
+  return CategoricalDataset::FromCodes(
+      static_cast<uint32_t>(items.size()), m, dataset.num_codes(),
+      std::move(codes), std::move(labels), AbsentFlags(dataset),
+      dataset.shared_interner());
+}
+
+}  // namespace
+
+Result<CategoricalDataset> SliceDataset(const CategoricalDataset& dataset,
+                                        uint32_t begin, uint32_t end) {
+  if (begin > end || end > dataset.num_items()) {
+    return Status::OutOfRange(
+        "slice [" + std::to_string(begin) + ", " + std::to_string(end) +
+        ") out of range for " + std::to_string(dataset.num_items()) +
+        " items");
+  }
+  if (begin == end) {
+    return Status::InvalidArgument("slice is empty");
+  }
+  std::vector<uint32_t> items(end - begin);
+  for (uint32_t i = begin; i < end; ++i) items[i - begin] = i;
+  return Select(dataset, items);
+}
+
+Result<CategoricalDataset> SampleDataset(const CategoricalDataset& dataset,
+                                         uint32_t count, uint64_t seed) {
+  if (count == 0) {
+    return Status::InvalidArgument("sample is empty");
+  }
+  if (count > dataset.num_items()) {
+    return Status::OutOfRange("cannot sample " + std::to_string(count) +
+                              " items from " +
+                              std::to_string(dataset.num_items()));
+  }
+  Rng rng(seed);
+  std::vector<uint32_t> items =
+      rng.SampleWithoutReplacement(dataset.num_items(), count);
+  std::sort(items.begin(), items.end());  // keep source order
+  return Select(dataset, items);
+}
+
+Result<CategoricalDataset> ConcatDatasets(const CategoricalDataset& first,
+                                          const CategoricalDataset& second) {
+  if (first.num_attributes() != second.num_attributes()) {
+    return Status::InvalidArgument("attribute counts differ");
+  }
+  if (first.num_codes() != second.num_codes()) {
+    return Status::InvalidArgument("code spaces differ");
+  }
+  if (first.has_labels() != second.has_labels()) {
+    return Status::InvalidArgument(
+        "one dataset is labeled and the other is not");
+  }
+  if (first.has_absence_semantics() != second.has_absence_semantics()) {
+    return Status::InvalidArgument("presence semantics differ");
+  }
+  if (first.has_absence_semantics()) {
+    for (uint32_t code = 0; code < first.num_codes(); ++code) {
+      if (first.IsPresent(code) != second.IsPresent(code)) {
+        return Status::InvalidArgument("presence flags differ at code " +
+                                       std::to_string(code));
+      }
+    }
+  }
+
+  std::vector<uint32_t> codes(first.codes().begin(), first.codes().end());
+  codes.insert(codes.end(), second.codes().begin(), second.codes().end());
+  std::vector<uint32_t> labels;
+  if (first.has_labels()) {
+    labels = first.labels();
+    labels.insert(labels.end(), second.labels().begin(),
+                  second.labels().end());
+  }
+  return CategoricalDataset::FromCodes(
+      first.num_items() + second.num_items(), first.num_attributes(),
+      first.num_codes(), std::move(codes), std::move(labels),
+      AbsentFlags(first), first.shared_interner());
+}
+
+}  // namespace lshclust

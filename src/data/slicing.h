@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file slicing.h
+/// \brief Dataset slicing, sampling and concatenation.
+///
+/// All operations preserve the code space, presence semantics and
+/// dictionary of the source dataset, so slices remain interoperable with
+/// indexes and mode tables built over the same codes (used e.g. to split a
+/// catalog into an indexed base and a stream of arrivals).
+
+#include <cstdint>
+
+#include "data/categorical_dataset.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace lshclust {
+
+/// Items [begin, end) of `dataset` as a new dataset (labels kept).
+Result<CategoricalDataset> SliceDataset(const CategoricalDataset& dataset,
+                                        uint32_t begin, uint32_t end);
+
+/// `count` items sampled without replacement (order preserved).
+Result<CategoricalDataset> SampleDataset(const CategoricalDataset& dataset,
+                                         uint32_t count, uint64_t seed);
+
+/// Concatenates two datasets sharing a code space. Both must agree on
+/// num_attributes, num_codes, presence flags, and label presence.
+Result<CategoricalDataset> ConcatDatasets(const CategoricalDataset& first,
+                                          const CategoricalDataset& second);
+
+}  // namespace lshclust

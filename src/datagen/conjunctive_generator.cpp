@@ -1,0 +1,81 @@
+#include "datagen/conjunctive_generator.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace lshclust {
+
+Result<CategoricalDataset> GenerateConjunctiveRuleData(
+    const ConjunctiveDataOptions& options) {
+  const uint32_t n = options.num_items;
+  const uint32_t m = options.num_attributes;
+  const uint32_t k = options.num_clusters;
+  if (n == 0 || m == 0 || k == 0) {
+    return Status::InvalidArgument(
+        "num_items, num_attributes and num_clusters must be positive");
+  }
+  if (k > n) {
+    return Status::InvalidArgument("more clusters than items");
+  }
+  if (options.domain_size < 2) {
+    return Status::InvalidArgument("domain_size must be at least 2");
+  }
+  if (!(options.min_rule_fraction >= 0.0 &&
+        options.min_rule_fraction <= options.max_rule_fraction &&
+        options.max_rule_fraction <= 1.0)) {
+    return Status::InvalidArgument(
+        "rule fractions must satisfy 0 <= min <= max <= 1");
+  }
+  if (static_cast<uint64_t>(m) * options.domain_size > (1ULL << 32)) {
+    return Status::InvalidArgument(
+        "num_attributes * domain_size exceeds the 32-bit code space");
+  }
+
+  Rng rng(options.seed);
+
+  // Rule construction: per cluster, the fixed attributes and their values.
+  const uint32_t min_rule = static_cast<uint32_t>(
+      options.min_rule_fraction * static_cast<double>(m));
+  const uint32_t max_rule = std::max<uint32_t>(
+      1, static_cast<uint32_t>(options.max_rule_fraction *
+                               static_cast<double>(m)));
+  std::vector<std::vector<uint32_t>> rule_attributes(k);
+  std::vector<std::vector<uint32_t>> rule_values(k);
+  for (uint32_t cluster = 0; cluster < k; ++cluster) {
+    const uint32_t rule_size = static_cast<uint32_t>(
+        rng.Uniform(std::max<uint32_t>(1, min_rule), max_rule));
+    rule_attributes[cluster] = rng.SampleWithoutReplacement(m, rule_size);
+    std::sort(rule_attributes[cluster].begin(),
+              rule_attributes[cluster].end());
+    rule_values[cluster].reserve(rule_size);
+    for (uint32_t i = 0; i < rule_size; ++i) {
+      rule_values[cluster].push_back(
+          static_cast<uint32_t>(rng.Below(options.domain_size)));
+    }
+  }
+
+  // Item construction: round-robin cluster membership; rule attributes get
+  // the rule values, the rest uniform noise.
+  std::vector<uint32_t> codes(static_cast<size_t>(n) * m);
+  std::vector<uint32_t> labels(n);
+  for (uint32_t item = 0; item < n; ++item) {
+    const uint32_t cluster = item % k;
+    labels[item] = cluster;
+    uint32_t* row = codes.data() + static_cast<size_t>(item) * m;
+    for (uint32_t a = 0; a < m; ++a) {
+      row[a] = a * options.domain_size +
+               static_cast<uint32_t>(rng.Below(options.domain_size));
+    }
+    const auto& attributes = rule_attributes[cluster];
+    const auto& values = rule_values[cluster];
+    for (size_t i = 0; i < attributes.size(); ++i) {
+      row[attributes[i]] = attributes[i] * options.domain_size + values[i];
+    }
+  }
+
+  return CategoricalDataset::FromCodes(n, m, m * options.domain_size,
+                                       std::move(codes), std::move(labels));
+}
+
+}  // namespace lshclust

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file conjunctive_generator.h
+/// \brief `datgen`-style synthetic categorical data (§IV-A).
+///
+/// Reproduces the paper's generation recipe (the original datgen tool at
+/// datasetgenerator.com is defunct — see DESIGN.md §6): every cluster is
+/// defined by a conjunctive rule fixing a random subset of attributes to
+/// rule-specific category values from a shared domain; items of the
+/// cluster satisfy the rule and fill the remaining attributes with uniform
+/// noise. The paper's base setting: domain of 40000 values, rules covering
+/// 40-80 of 100 attributes, scaled proportionally for wider items.
+///
+/// Ground-truth labels are the rule (cluster) indices, enabling the purity
+/// figures (Fig. 8).
+
+#include <cstdint>
+
+#include "data/categorical_dataset.h"
+#include "util/result.h"
+
+namespace lshclust {
+
+/// \brief Options for GenerateConjunctiveRuleData. Defaults are the paper's
+/// base synthetic dataset scaled by the caller.
+struct ConjunctiveDataOptions {
+  /// Items n.
+  uint32_t num_items = 90000;
+  /// Attributes m per item.
+  uint32_t num_attributes = 100;
+  /// Clusters k (= number of conjunctive rules).
+  uint32_t num_clusters = 20000;
+  /// Category values available to each attribute (paper: 40000).
+  uint32_t domain_size = 40000;
+  /// A rule fixes between min and max fraction of the attributes
+  /// (paper: 40-80 of 100 attributes).
+  double min_rule_fraction = 0.4;
+  double max_rule_fraction = 0.8;
+  /// RNG seed; generation is fully deterministic given the options.
+  uint64_t seed = 1;
+};
+
+/// Generates the dataset. Codes are `attribute * domain_size + value`, so
+/// they are globally unique across attributes as the MinHash token
+/// contract requires. Items are dealt to clusters round-robin (clusters
+/// differ in size by at most one item) and labelled with their cluster.
+Result<CategoricalDataset> GenerateConjunctiveRuleData(
+    const ConjunctiveDataOptions& options);
+
+}  // namespace lshclust

@@ -1,0 +1,44 @@
+#include "datagen/gaussian_mixture.h"
+
+#include "util/rng.h"
+
+namespace lshclust {
+
+Result<NumericDataset> GenerateGaussianMixture(
+    const GaussianMixtureOptions& options) {
+  const uint32_t n = options.num_items;
+  const uint32_t d = options.dimensions;
+  const uint32_t k = options.num_clusters;
+  if (n == 0 || d == 0 || k == 0) {
+    return Status::InvalidArgument(
+        "num_items, dimensions and num_clusters must be positive");
+  }
+  if (k > n) {
+    return Status::InvalidArgument("more clusters than items");
+  }
+  if (options.stddev < 0.0) {
+    return Status::InvalidArgument("stddev must be non-negative");
+  }
+
+  Rng rng(options.seed);
+  std::vector<double> centers(static_cast<size_t>(k) * d);
+  for (auto& coordinate : centers) {
+    coordinate = (rng.NextDouble() * 2.0 - 1.0) * options.center_box;
+  }
+
+  std::vector<double> values(static_cast<size_t>(n) * d);
+  std::vector<uint32_t> labels(n);
+  for (uint32_t item = 0; item < n; ++item) {
+    const uint32_t cluster = item % k;
+    labels[item] = cluster;
+    const double* center = centers.data() + static_cast<size_t>(cluster) * d;
+    double* row = values.data() + static_cast<size_t>(item) * d;
+    for (uint32_t j = 0; j < d; ++j) {
+      row[j] = center[j] + rng.NextGaussian() * options.stddev;
+    }
+  }
+  return NumericDataset::FromValues(n, d, std::move(values),
+                                    std::move(labels));
+}
+
+}  // namespace lshclust

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file gaussian_mixture.h
+/// \brief Isotropic Gaussian mixture generator for the numeric (K-Means /
+/// LSH-K-Means) extension.
+
+#include <cstdint>
+
+#include "data/categorical_dataset.h"
+#include "util/result.h"
+
+namespace lshclust {
+
+/// \brief Options for GenerateGaussianMixture.
+struct GaussianMixtureOptions {
+  /// Items n.
+  uint32_t num_items = 10000;
+  /// Dimensions d.
+  uint32_t dimensions = 32;
+  /// Mixture components (= ground-truth clusters).
+  uint32_t num_clusters = 100;
+  /// Component centres are uniform in [-center_box, center_box]^d.
+  double center_box = 10.0;
+  /// Isotropic standard deviation of each component.
+  double stddev = 1.0;
+  /// RNG seed.
+  uint64_t seed = 11;
+};
+
+/// Generates n points dealt round-robin to the components, labelled with
+/// their component index.
+Result<NumericDataset> GenerateGaussianMixture(
+    const GaussianMixtureOptions& options);
+
+}  // namespace lshclust

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file mixed_generator.h
+/// \brief Synthetic mixed categorical + numeric data: every cluster is
+/// defined by a conjunctive rule over the categorical attributes AND an
+/// isotropic Gaussian component in the numeric space, with a shared label
+/// — the test bed for K-Prototypes / LSH-K-Prototypes.
+
+#include <cstdint>
+
+#include "data/mixed_dataset.h"
+#include "datagen/conjunctive_generator.h"
+#include "datagen/gaussian_mixture.h"
+#include "util/result.h"
+
+namespace lshclust {
+
+/// \brief Options for GenerateMixedData.
+struct MixedDataOptions {
+  /// Categorical side (num_items/num_clusters/seed are shared with the
+  /// numeric side; set them here).
+  ConjunctiveDataOptions categorical;
+  /// Numeric dimensionality.
+  uint32_t numeric_dimensions = 16;
+  /// Numeric component geometry.
+  double center_box = 10.0;
+  double stddev = 1.0;
+};
+
+/// Generates the dataset. Item i belongs to cluster i % k in *both*
+/// modalities (round-robin, matching the per-modality generators).
+inline Result<MixedDataset> GenerateMixedData(const MixedDataOptions& options) {
+  LSHC_ASSIGN_OR_RETURN(CategoricalDataset categorical,
+                        GenerateConjunctiveRuleData(options.categorical));
+  GaussianMixtureOptions numeric;
+  numeric.num_items = options.categorical.num_items;
+  numeric.dimensions = options.numeric_dimensions;
+  numeric.num_clusters = options.categorical.num_clusters;
+  numeric.center_box = options.center_box;
+  numeric.stddev = options.stddev;
+  numeric.seed = options.categorical.seed ^ 0x4D49584544ULL;  // "MIXED"
+  LSHC_ASSIGN_OR_RETURN(NumericDataset numeric_part,
+                        GenerateGaussianMixture(numeric));
+  return MixedDataset::Combine(std::move(categorical),
+                               std::move(numeric_part));
+}
+
+}  // namespace lshclust

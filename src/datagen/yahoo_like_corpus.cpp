@@ -1,0 +1,98 @@
+#include "datagen/yahoo_like_corpus.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace lshclust {
+
+TokenizedCorpus GenerateYahooLikeCorpus(const YahooCorpusOptions& options) {
+  LSHC_CHECK_GE(options.num_topics, 1u);
+  LSHC_CHECK_GE(options.questions_per_topic, 1u);
+  LSHC_CHECK_GE(options.background_vocabulary, 1u);
+  LSHC_CHECK_GE(options.keywords_per_topic, 1u);
+  LSHC_CHECK(options.min_words >= 1 &&
+             options.min_words <= options.max_words)
+      << "question length bounds invalid";
+  LSHC_CHECK(options.keyword_probability >= 0.0 &&
+             options.keyword_probability <= 1.0);
+  LSHC_CHECK(options.keyword_overlap >= 0.0 &&
+             options.keyword_overlap < 1.0);
+
+  Rng rng(options.seed);
+  TokenizedCorpus corpus;
+  corpus.num_topics = options.num_topics;
+
+  // Vocabulary: background words first, then per-topic keywords.
+  corpus.vocabulary.reserve(options.background_vocabulary +
+                            static_cast<size_t>(options.num_topics) *
+                                options.keywords_per_topic);
+  for (uint32_t w = 0; w < options.background_vocabulary; ++w) {
+    corpus.vocabulary.push_back("bg" + std::to_string(w));
+  }
+  std::vector<std::vector<uint32_t>> topic_keywords(options.num_topics);
+  for (uint32_t topic = 0; topic < options.num_topics; ++topic) {
+    auto& keywords = topic_keywords[topic];
+    keywords.reserve(options.keywords_per_topic);
+    for (uint32_t j = 0; j < options.keywords_per_topic; ++j) {
+      keywords.push_back(static_cast<uint32_t>(corpus.vocabulary.size()));
+      corpus.vocabulary.push_back("topic" + std::to_string(topic) + "_kw" +
+                                  std::to_string(j));
+    }
+  }
+  // Keyword overlap: each topic replaces a prefix of its keywords with
+  // keywords of the next topic (cyclically), making neighbours confusable.
+  if (options.keyword_overlap > 0.0 && options.num_topics > 1) {
+    const uint32_t shared = static_cast<uint32_t>(
+        options.keyword_overlap * options.keywords_per_topic);
+    for (uint32_t topic = 0; topic < options.num_topics; ++topic) {
+      const uint32_t next = (topic + 1) % options.num_topics;
+      for (uint32_t j = 0; j < shared; ++j) {
+        topic_keywords[topic][j] = topic_keywords[next][
+            options.keywords_per_topic - 1 - j];
+      }
+    }
+  }
+
+  const ZipfSampler background(options.background_vocabulary,
+                               options.zipf_exponent);
+
+  corpus.documents.reserve(static_cast<size_t>(options.num_topics) *
+                           options.questions_per_topic);
+  for (uint32_t topic = 0; topic < options.num_topics; ++topic) {
+    for (uint32_t q = 0; q < options.questions_per_topic; ++q) {
+      Document doc;
+      doc.topic = topic;
+      const uint32_t length = static_cast<uint32_t>(
+          rng.Uniform(options.min_words, options.max_words));
+      doc.words.reserve(length);
+      for (uint32_t w = 0; w < length; ++w) {
+        if (rng.Bernoulli(options.keyword_probability)) {
+          const auto& keywords = topic_keywords[topic];
+          doc.words.push_back(
+              keywords[rng.Below(keywords.size())]);
+        } else {
+          doc.words.push_back(background.Sample(rng));
+        }
+      }
+      corpus.documents.push_back(std::move(doc));
+    }
+  }
+  return corpus;
+}
+
+std::string RenderQuestionText(const TokenizedCorpus& corpus,
+                               uint32_t document) {
+  LSHC_CHECK_LT(document, corpus.documents.size());
+  const Document& doc = corpus.documents[document];
+  std::string text;
+  for (size_t i = 0; i < doc.words.size(); ++i) {
+    if (i > 0) text += ' ';
+    text += corpus.vocabulary[doc.words[i]];
+  }
+  text += '?';
+  return text;
+}
+
+}  // namespace lshclust

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file yahoo_like_corpus.h
+/// \brief Synthetic Yahoo!-Answers-like question corpus (§IV-B substitute).
+///
+/// The real Webscope L6 dataset is license-gated, so we generate a corpus
+/// with the same statistical structure (DESIGN.md §6): T fine-grained
+/// topics; a Zipf-distributed background vocabulary shared by all topics
+/// (natural-language word frequencies); per-topic keyword vocabularies
+/// (the "zoologist"/"zoo" words of the paper's example); and questions of
+/// 5-30 words mixing topic keywords with background noise. Topic keyword
+/// overlap is controllable: adjacent topics can share keywords, modelling
+/// the "number of similar clusters" effect the paper blames for the 0.25
+/// purity ceiling on the real data.
+
+#include <cstdint>
+
+#include "text/corpus.h"
+
+namespace lshclust {
+
+/// \brief Options for GenerateYahooLikeCorpus.
+struct YahooCorpusOptions {
+  /// Number of topics (the paper's slice had 2916).
+  uint32_t num_topics = 300;
+  /// Questions generated per topic (the paper capped at 100).
+  uint32_t questions_per_topic = 30;
+  /// Background vocabulary size shared by all topics.
+  uint32_t background_vocabulary = 4000;
+  /// Keywords private to each topic.
+  uint32_t keywords_per_topic = 12;
+  /// Fraction of keywords shared with the *next* topic (cyclically),
+  /// creating confusable neighbouring topics; 0 disables overlap.
+  double keyword_overlap = 0.25;
+  /// Probability that a question word is drawn from the topic's keywords
+  /// rather than the background distribution.
+  double keyword_probability = 0.4;
+  /// Question length bounds (words).
+  uint32_t min_words = 5;
+  uint32_t max_words = 30;
+  /// Zipf exponent of the background word distribution.
+  double zipf_exponent = 1.05;
+  /// RNG seed.
+  uint64_t seed = 7;
+};
+
+/// Generates the corpus. Word ids 0..background_vocabulary-1 are background
+/// words ("bg<i>"), the rest topic keywords ("topic<t>_kw<j>"); documents
+/// carry their topic as the ground-truth label.
+TokenizedCorpus GenerateYahooLikeCorpus(const YahooCorpusOptions& options);
+
+/// Renders one generated question as a plausible text string (words joined
+/// with spaces and a question mark), for examples exercising the raw-text
+/// Tokenizer path.
+std::string RenderQuestionText(const TokenizedCorpus& corpus,
+                               uint32_t document);
+
+}  // namespace lshclust

@@ -1,0 +1,36 @@
+#include "hashing/hash_family.h"
+
+namespace lshclust {
+
+MultiplyShiftFamily::MultiplyShiftFamily(uint32_t count, uint64_t seed) {
+  Rng rng(seed);
+  multipliers_.reserve(count);
+  increments_.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    multipliers_.push_back(rng.Next() | 1ULL);  // multiplier must be odd
+    increments_.push_back(rng.Next());
+  }
+}
+
+UniversalHashFamily::UniversalHashFamily(uint32_t count, uint64_t seed) {
+  Rng rng(seed);
+  a_.reserve(count);
+  b_.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    a_.push_back(1 + rng.Below(kPrime - 1));  // a in [1, p)
+    b_.push_back(rng.Below(kPrime));          // b in [0, p)
+  }
+}
+
+TabulationHashFamily::TabulationHashFamily(uint32_t count, uint64_t seed)
+    : count_(count) {
+  Rng rng(seed);
+  tables_.resize(count);
+  for (auto& tables : tables_) {
+    for (auto& table : tables) {
+      for (auto& entry : table) entry = rng.Next();
+    }
+  }
+}
+
+}  // namespace lshclust

@@ -1,0 +1,112 @@
+#pragma once
+
+/// \file hash_family.h
+/// \brief Families of pseudo-random hash functions over 64-bit keys.
+///
+/// MinHash (Broder 1997) simulates random permutations of the token
+/// universe with hash functions, exactly as §III-A2 of the paper describes
+/// ("the random permutations of the matrix can be simulated by the use of n
+/// randomly chosen hash functions"). This header provides three
+/// interchangeable families:
+///
+///  * MultiplyShiftFamily — fastest; universal in the top bits.
+///  * UniversalHashFamily — (a*x + b) mod p with p = 2^61 - 1; the textbook
+///    2-universal family matching the paper's example h(x) = 2x+1 mod 5.
+///  * TabulationHashFamily — 3-independent, strongest guarantees.
+///
+/// All families are deterministic given a seed.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace lshclust {
+
+/// \brief h(x) = (a * x) >> (64 - out_bits) with odd multiplier `a`;
+/// multiply-shift hashing (Dietzfelbinger et al.). The full-width product is
+/// kept so callers can take the top bits they need.
+class MultiplyShiftFamily {
+ public:
+  /// Draws `count` independent functions from the family.
+  MultiplyShiftFamily(uint32_t count, uint64_t seed);
+
+  /// Number of functions in the family.
+  uint32_t size() const { return static_cast<uint32_t>(multipliers_.size()); }
+
+  /// Applies function `index` to `key`.
+  uint64_t Hash(uint32_t index, uint64_t key) const {
+    // Adding the increment first makes the family behave well on small
+    // consecutive integer keys (pure multiply-shift maps 0 to 0).
+    return (key + increments_[index]) * multipliers_[index];
+  }
+
+ private:
+  std::vector<uint64_t> multipliers_;  // always odd
+  std::vector<uint64_t> increments_;
+};
+
+/// \brief h(x) = ((a*x + b) mod p) with p = 2^61 - 1 (Mersenne prime),
+/// 1 <= a < p, 0 <= b < p. Exactly 2-universal; this is the family the
+/// paper's worked example ("h(x) = 2x + 1 mod 5") comes from.
+class UniversalHashFamily {
+ public:
+  /// The Mersenne prime 2^61 - 1 used as the modulus.
+  static constexpr uint64_t kPrime = (1ULL << 61) - 1;
+
+  /// Draws `count` independent (a, b) pairs.
+  UniversalHashFamily(uint32_t count, uint64_t seed);
+
+  /// Number of functions in the family.
+  uint32_t size() const { return static_cast<uint32_t>(a_.size()); }
+
+  /// Applies function `index` to `key`. Output is in [0, 2^61 - 1).
+  uint64_t Hash(uint32_t index, uint64_t key) const {
+    return ModMulAdd(a_[index], key % kPrime, b_[index]);
+  }
+
+  /// Computes (a*x + b) mod p without overflow via 128-bit arithmetic.
+  static uint64_t ModMulAdd(uint64_t a, uint64_t x, uint64_t b) {
+    const __uint128_t product = static_cast<__uint128_t>(a) * x + b;
+    // Fast reduction modulo 2^61 - 1: fold the high bits onto the low bits.
+    uint64_t lo = static_cast<uint64_t>(product & kPrime);
+    uint64_t hi = static_cast<uint64_t>(product >> 61);
+    uint64_t result = lo + hi;
+    if (result >= kPrime) result -= kPrime;
+    return result;
+  }
+
+ private:
+  std::vector<uint64_t> a_;
+  std::vector<uint64_t> b_;
+};
+
+/// \brief Simple tabulation hashing over the 8 bytes of a 64-bit key:
+/// h(x) = T0[x0] ^ T1[x1] ^ ... ^ T7[x7]. 3-independent (Patrascu &
+/// Thorup), used where the strongest distribution guarantees are wanted.
+class TabulationHashFamily {
+ public:
+  /// Draws `count` independent table sets.
+  TabulationHashFamily(uint32_t count, uint64_t seed);
+
+  /// Number of functions in the family.
+  uint32_t size() const { return count_; }
+
+  /// Applies function `index` to `key`.
+  uint64_t Hash(uint32_t index, uint64_t key) const {
+    const Tables& t = tables_[index];
+    uint64_t h = 0;
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= t[byte][static_cast<uint8_t>(key >> (8 * byte))];
+    }
+    return h;
+  }
+
+ private:
+  using Tables = std::array<std::array<uint64_t, 256>, 8>;
+  uint32_t count_;
+  std::vector<Tables> tables_;
+};
+
+}  // namespace lshclust

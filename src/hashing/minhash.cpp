@@ -1,0 +1,67 @@
+#include "hashing/minhash.h"
+
+#include <algorithm>
+
+namespace lshclust {
+
+MinHasher::MinHasher(uint32_t num_hashes, uint64_t seed, MinHashMode mode)
+    : num_hashes_(num_hashes), mode_(mode) {
+  LSHC_CHECK_GE(num_hashes, 1u) << "MinHasher needs at least one hash";
+  Rng rng(seed);
+  seed1_ = rng.Next();
+  seed2_ = rng.Next();
+  if (mode_ == MinHashMode::kIndependent) {
+    component_seeds_.reserve(num_hashes);
+    for (uint32_t i = 0; i < num_hashes; ++i) {
+      component_seeds_.push_back(rng.Next());
+    }
+  }
+}
+
+void MinHasher::ComputeSignature(std::span<const uint32_t> tokens,
+                                 uint64_t* out) const {
+  std::fill(out, out + num_hashes_, kEmptySetSignature);
+  if (tokens.empty()) return;
+
+  if (mode_ == MinHashMode::kDoubleHashing) {
+    for (const uint32_t token : tokens) {
+      // Two independent base hashes per token; component i derives from
+      // g1 + i*g2 (Kirsch-Mitzenmacher), so cost per token is O(n) adds.
+      const uint64_t g1 = Mix64(token ^ seed1_);
+      uint64_t h = Mix64(token ^ seed2_);
+      const uint64_t step = g1 | 1ULL;  // odd step visits all residues
+      for (uint32_t i = 0; i < num_hashes_; ++i) {
+        if (h < out[i]) out[i] = h;
+        h += step;
+      }
+    }
+  } else {
+    for (const uint32_t token : tokens) {
+      for (uint32_t i = 0; i < num_hashes_; ++i) {
+        const uint64_t h = Mix64(token ^ component_seeds_[i]);
+        if (h < out[i]) out[i] = h;
+      }
+    }
+  }
+}
+
+std::vector<uint64_t> MinHasher::ComputeSignature(
+    std::span<const uint32_t> tokens) const {
+  std::vector<uint64_t> signature(num_hashes_);
+  ComputeSignature(tokens, signature.data());
+  return signature;
+}
+
+double MinHasher::EstimateJaccard(std::span<const uint64_t> a,
+                                  std::span<const uint64_t> b) {
+  LSHC_CHECK_EQ(a.size(), b.size())
+      << "signatures must have equal length to compare";
+  LSHC_CHECK(!a.empty()) << "cannot estimate Jaccard from empty signatures";
+  size_t agree = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    agree += (a[i] == b[i]) ? 1 : 0;
+  }
+  return static_cast<double>(agree) / static_cast<double>(a.size());
+}
+
+}  // namespace lshclust

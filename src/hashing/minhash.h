@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file minhash.h
+/// \brief MinHash signature generation (Algorithm 1 of the paper, "SIGGEN").
+///
+/// A MinHash signature of a token set S under hash functions h_1..h_n is
+/// (min_{x in S} h_1(x), ..., min_{x in S} h_n(x)). The probability that two
+/// sets agree in one signature component equals their Jaccard similarity
+/// (Broder 1997), which makes the componentwise agreement rate an unbiased
+/// Jaccard estimator and — after banding, see lsh/banded_index.h — yields
+/// the 1-(1-s^r)^b candidate-pair probability the paper builds on.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hashing/hash_family.h"
+#include "util/logging.h"
+
+namespace lshclust {
+
+/// Sentinel signature component for an empty token set: no token ever hashes
+/// to 2^64-1 under the families used here in practice, so empty sets never
+/// collide with non-empty ones.
+inline constexpr uint64_t kEmptySetSignature = ~0ULL;
+
+/// \brief How the n per-component hash functions are derived.
+///
+/// Double hashing is the default: one strong hash per token regardless of
+/// n, and at the banding shapes the paper uses (b*r <= ~250) its component
+/// correlations are negligible. At very large b*r (thousands of
+/// components) the correlations measurably inflate band-collision rates —
+/// use kIndependent where fidelity to the analytic model matters more
+/// than signing speed (the Monte-Carlo validator in core/error_bound.h
+/// does).
+enum class MinHashMode {
+  /// n fully independent Mix64-based functions: h_i(x) = mix(x ^ seed_i).
+  /// Slower but each component is an independent permutation simulation.
+  kIndependent,
+  /// Kirsch-Mitzenmacher double hashing: h_i(x) = g1(x) + i * g2(x) from two
+  /// independent base hashes. One mix per token regardless of n; the default.
+  kDoubleHashing,
+};
+
+/// \brief Computes MinHash signatures over token sets (Algorithm 1).
+///
+/// Tokens are 32-bit interned codes produced by the data layer (an
+/// `attribute=value` pair each). The caller is responsible for *presence
+/// filtering* — dropping "feature absent" tokens before signing — which the
+/// paper performs in lines 2-4 of Algorithm 2 (data::CategoricalDataset
+/// exposes PresentTokens() for this).
+class MinHasher {
+ public:
+  /// \param num_hashes signature length n (= bands * rows when banding)
+  /// \param seed seeds the hash family; equal seeds give equal signatures
+  /// \param mode see MinHashMode
+  MinHasher(uint32_t num_hashes, uint64_t seed,
+            MinHashMode mode = MinHashMode::kDoubleHashing);
+
+  /// Signature length.
+  uint32_t num_hashes() const { return num_hashes_; }
+
+  /// Computes the signature of `tokens` into `out` (length num_hashes()).
+  /// An empty token set produces all kEmptySetSignature components.
+  void ComputeSignature(std::span<const uint32_t> tokens, uint64_t* out) const;
+
+  /// Convenience overload returning a fresh vector.
+  std::vector<uint64_t> ComputeSignature(
+      std::span<const uint32_t> tokens) const;
+
+  /// Fraction of agreeing components between two signatures — the unbiased
+  /// MinHash estimate of the Jaccard similarity of the underlying sets.
+  static double EstimateJaccard(std::span<const uint64_t> a,
+                                std::span<const uint64_t> b);
+
+ private:
+  uint32_t num_hashes_;
+  MinHashMode mode_;
+  uint64_t seed1_;
+  uint64_t seed2_;
+  std::vector<uint64_t> component_seeds_;  // kIndependent mode only
+};
+
+}  // namespace lshclust

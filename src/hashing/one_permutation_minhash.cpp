@@ -1,0 +1,64 @@
+#include "hashing/one_permutation_minhash.h"
+
+#include <algorithm>
+
+#include "hashing/minhash.h"
+
+namespace lshclust {
+
+OnePermutationMinHasher::OnePermutationMinHasher(uint32_t num_bins,
+                                                 uint64_t seed)
+    : num_bins_(num_bins), seed_(seed) {
+  LSHC_CHECK_GE(num_bins, 1u) << "need at least one bin";
+  Rng rng(seed ^ 0x09E3779B97F4A7C1ULL);
+  rotation_seeds_.reserve(num_bins);
+  for (uint32_t i = 0; i < num_bins; ++i) rotation_seeds_.push_back(rng.Next());
+}
+
+void OnePermutationMinHasher::ComputeSignature(
+    std::span<const uint32_t> tokens, uint64_t* out) const {
+  std::fill(out, out + num_bins_, kEmptySetSignature);
+  if (tokens.empty()) return;
+
+  // One strong hash per token; the top bits select the bin, the full value
+  // is the candidate minimum within the bin.
+  for (const uint32_t token : tokens) {
+    const uint64_t h = Mix64(token ^ seed_);
+    const uint32_t bin = static_cast<uint32_t>(
+        (static_cast<__uint128_t>(h) * num_bins_) >> 64);
+    if (h < out[bin]) out[bin] = h;
+  }
+
+  // Optimal densification: every empty bin borrows the value of a
+  // pseudo-randomly chosen *originally* non-empty bin. The probe sequence
+  // depends only on (bin, attempt), never on the set contents, so two sets
+  // with the same non-empty bins densify identically.
+  std::vector<bool> originally_empty(num_bins_);
+  for (uint32_t bin = 0; bin < num_bins_; ++bin) {
+    originally_empty[bin] = (out[bin] == kEmptySetSignature);
+  }
+  for (uint32_t bin = 0; bin < num_bins_; ++bin) {
+    if (!originally_empty[bin]) continue;
+    uint64_t attempt_state = rotation_seeds_[bin];
+    while (true) {
+      const uint64_t roll = SplitMix64(attempt_state);
+      const uint32_t donor = static_cast<uint32_t>(
+          (static_cast<__uint128_t>(roll) * num_bins_) >> 64);
+      if (!originally_empty[donor]) {
+        // Mix in the bin index so distinct empty bins that pick the same
+        // donor do not become identical components.
+        out[bin] = Mix64(out[donor] ^ (static_cast<uint64_t>(bin) << 32));
+        break;
+      }
+    }
+  }
+}
+
+std::vector<uint64_t> OnePermutationMinHasher::ComputeSignature(
+    std::span<const uint32_t> tokens) const {
+  std::vector<uint64_t> signature(num_bins_);
+  ComputeSignature(tokens, signature.data());
+  return signature;
+}
+
+}  // namespace lshclust

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file one_permutation_minhash.h
+/// \brief One-permutation MinHash with optimal densification (extension).
+///
+/// Classic MinHash (minhash.h) costs O(|S| * n) per item for n signature
+/// components. One-permutation hashing (Li, Owen, Zhang 2012) hashes every
+/// token once, partitions the 64-bit hash range into n fixed bins and keeps
+/// the minimum per bin — O(|S| + n) per item. Empty bins are filled by
+/// "optimal densification" (Shrivastava 2017): bin i borrows from a
+/// pseudo-randomly chosen non-empty bin, preserving the collision property
+/// P(sig_a[i] == sig_b[i]) ≈ J(A, B).
+///
+/// This is the signature generator to reach for at paper scale (250 000
+/// items × 250 hash functions); the ablation bench quantifies the speedup.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace lshclust {
+
+/// \brief Drop-in alternative to MinHasher with identical output contract
+/// (length-n uint64 signatures, kEmptySetSignature sentinel for empty sets).
+class OnePermutationMinHasher {
+ public:
+  /// \param num_bins signature length n
+  /// \param seed seeds the permutation and the densification rotation
+  OnePermutationMinHasher(uint32_t num_bins, uint64_t seed);
+
+  /// Signature length.
+  uint32_t num_hashes() const { return num_bins_; }
+
+  /// Computes the signature of `tokens` into `out` (length num_hashes()).
+  void ComputeSignature(std::span<const uint32_t> tokens, uint64_t* out) const;
+
+  /// Convenience overload returning a fresh vector.
+  std::vector<uint64_t> ComputeSignature(
+      std::span<const uint32_t> tokens) const;
+
+ private:
+  uint32_t num_bins_;
+  uint64_t seed_;
+  std::vector<uint64_t> rotation_seeds_;
+};
+
+}  // namespace lshclust

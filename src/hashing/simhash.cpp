@@ -1,0 +1,43 @@
+#include "hashing/simhash.h"
+
+#include <cmath>
+
+namespace lshclust {
+
+SimHasher::SimHasher(uint32_t num_bits, uint32_t dimensions, uint64_t seed)
+    : num_bits_(num_bits), dimensions_(dimensions) {
+  LSHC_CHECK_GE(num_bits, 1u) << "SimHasher needs at least one bit";
+  LSHC_CHECK_GE(dimensions, 1u) << "SimHasher needs at least one dimension";
+  Rng rng(seed);
+  hyperplanes_.resize(static_cast<size_t>(num_bits) * dimensions);
+  for (auto& coefficient : hyperplanes_) {
+    coefficient = rng.NextGaussian();
+  }
+}
+
+void SimHasher::ComputeSignature(std::span<const double> vec,
+                                 uint64_t* out) const {
+  LSHC_CHECK_EQ(vec.size(), static_cast<size_t>(dimensions_))
+      << "input vector dimensionality mismatch";
+  for (uint32_t bit = 0; bit < num_bits_; ++bit) {
+    const double* row = &hyperplanes_[static_cast<size_t>(bit) * dimensions_];
+    double dot = 0.0;
+    for (uint32_t d = 0; d < dimensions_; ++d) {
+      dot += row[d] * vec[d];
+    }
+    out[bit] = dot >= 0.0 ? 1 : 0;
+  }
+}
+
+std::vector<uint64_t> SimHasher::ComputeSignature(
+    std::span<const double> vec) const {
+  std::vector<uint64_t> signature(num_bits_);
+  ComputeSignature(vec, signature.data());
+  return signature;
+}
+
+double SimHasher::BitCollisionProbability(double theta_radians) {
+  return 1.0 - theta_radians / 3.14159265358979323846;
+}
+
+}  // namespace lshclust

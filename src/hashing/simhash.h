@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file simhash.h
+/// \brief Random-hyperplane (sign random projection) LSH for numeric
+/// vectors — the hash family behind the LSH-K-Means extension.
+///
+/// The paper's framework is hash-family agnostic: any LSH whose collision
+/// probability rises with similarity can feed the banding index. §VI names
+/// numeric data as future work; we realise it with Charikar's SimHash,
+/// whose per-bit collision probability for vectors u, v is
+/// 1 - theta(u, v) / pi. Each signature component is one sign bit (0/1)
+/// stored as uint64 so the banding machinery in lsh/banded_index.h applies
+/// unchanged: a band of r bits collides iff all r hyperplane sides agree.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace lshclust {
+
+/// \brief Computes sign-random-projection signatures for dense float
+/// vectors.
+class SimHasher {
+ public:
+  /// \param num_bits signature length (= bands * rows when banding)
+  /// \param dimensions input vector dimensionality
+  /// \param seed seeds the Gaussian hyperplane matrix
+  SimHasher(uint32_t num_bits, uint32_t dimensions, uint64_t seed);
+
+  /// Signature length.
+  uint32_t num_hashes() const { return num_bits_; }
+  /// Expected input dimensionality.
+  uint32_t dimensions() const { return dimensions_; }
+
+  /// Computes the signature of `vec` (length dimensions()) into `out`
+  /// (length num_hashes()); each component is 0 or 1.
+  void ComputeSignature(std::span<const double> vec, uint64_t* out) const;
+
+  /// Convenience overload returning a fresh vector.
+  std::vector<uint64_t> ComputeSignature(std::span<const double> vec) const;
+
+  /// Analytic per-bit collision probability for two vectors at angle
+  /// `theta_radians`: 1 - theta/pi.
+  static double BitCollisionProbability(double theta_radians);
+
+ private:
+  uint32_t num_bits_;
+  uint32_t dimensions_;
+  std::vector<double> hyperplanes_;  // row-major num_bits x dimensions
+};
+
+}  // namespace lshclust

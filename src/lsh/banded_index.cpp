@@ -1,0 +1,92 @@
+#include "lsh/banded_index.h"
+
+#include <algorithm>
+
+namespace lshclust {
+
+BandedIndex::BandedIndex(std::span<const uint64_t> signatures,
+                         uint32_t num_items, BandingParams params)
+    : num_items_(num_items), params_(params) {
+  LSHC_CHECK(params.bands >= 1 && params.rows >= 1)
+      << "banding needs at least one band and one row";
+  LSHC_CHECK_EQ(signatures.size(),
+                static_cast<size_t>(num_items) * params.num_hashes())
+      << "signature matrix size does not match items x hashes";
+
+  const uint32_t width = params_.num_hashes();
+  bands_.resize(params_.bands);
+
+  for (uint32_t b = 0; b < params_.bands; ++b) {
+    Band& band = bands_[b];
+    band.key_to_bucket.Reserve(num_items);
+    band.item_bucket.resize(num_items);
+
+    // Pass 1: assign dense bucket ids and count occupancy.
+    std::vector<uint32_t> bucket_sizes;
+    for (uint32_t item = 0; item < num_items; ++item) {
+      const uint64_t* signature =
+          signatures.data() + static_cast<size_t>(item) * width;
+      const uint64_t key = BandKey(signature, b);
+      const uint32_t next_id = static_cast<uint32_t>(bucket_sizes.size());
+      uint32_t* bucket = band.key_to_bucket.FindOrInsert(key, next_id);
+      if (*bucket == next_id && next_id == bucket_sizes.size()) {
+        bucket_sizes.push_back(0);
+      }
+      band.item_bucket[item] = *bucket;
+      ++bucket_sizes[*bucket];
+    }
+
+    // Pass 2: CSR offsets + fill.
+    const uint32_t num_buckets = static_cast<uint32_t>(bucket_sizes.size());
+    band.bucket_offsets.resize(num_buckets + 1);
+    uint32_t offset = 0;
+    for (uint32_t bucket = 0; bucket < num_buckets; ++bucket) {
+      band.bucket_offsets[bucket] = offset;
+      offset += bucket_sizes[bucket];
+    }
+    band.bucket_offsets[num_buckets] = offset;
+
+    band.bucket_items.resize(num_items);
+    std::vector<uint32_t> cursor(band.bucket_offsets.begin(),
+                                 band.bucket_offsets.end() - 1);
+    for (uint32_t item = 0; item < num_items; ++item) {
+      const uint32_t bucket = band.item_bucket[item];
+      band.bucket_items[cursor[bucket]++] = item;
+    }
+  }
+}
+
+BandedIndex::Stats BandedIndex::ComputeStats() const {
+  Stats stats;
+  uint64_t total_entries = 0;
+  for (const Band& band : bands_) {
+    const size_t buckets = band.bucket_offsets.size() - 1;
+    stats.total_buckets += buckets;
+    total_entries += band.bucket_items.size();
+    for (size_t bucket = 0; bucket < buckets; ++bucket) {
+      const uint64_t size =
+          band.bucket_offsets[bucket + 1] - band.bucket_offsets[bucket];
+      stats.largest_bucket = std::max(stats.largest_bucket, size);
+    }
+  }
+  stats.mean_bucket_size =
+      stats.total_buckets == 0
+          ? 0.0
+          : static_cast<double>(total_entries) /
+                static_cast<double>(stats.total_buckets);
+  return stats;
+}
+
+uint64_t BandedIndex::MemoryUsageBytes() const {
+  uint64_t bytes = sizeof(*this);
+  for (const Band& band : bands_) {
+    bytes += band.key_to_bucket.capacity() *
+             (sizeof(uint64_t) + sizeof(uint32_t) + sizeof(uint8_t));
+    bytes += band.bucket_offsets.size() * sizeof(uint32_t);
+    bytes += band.bucket_items.size() * sizeof(uint32_t);
+    bytes += band.item_bucket.size() * sizeof(uint32_t);
+  }
+  return bytes;
+}
+
+}  // namespace lshclust

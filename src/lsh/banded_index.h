@@ -1,0 +1,136 @@
+#pragma once
+
+/// \file banded_index.h
+/// \brief The banding LSH index over a static set of item signatures.
+///
+/// Signatures are divided into b bands of r rows; each band's r values are
+/// hashed to a bucket key, and each band maintains its own bucket space so
+/// "no overlapping between bands can occur" (§III-A2). Two items are
+/// *candidates* iff they share a bucket in at least one band, which happens
+/// with probability 1 - (1 - s^r)^b for Jaccard similarity s.
+///
+/// The index is built once over all items (the paper's single pass after
+/// centroid initialisation) and is immutable afterwards. Buckets use a CSR
+/// layout (offsets + flat item array) per band, so a candidate visit is a
+/// contiguous scan.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "lsh/flat_hash_table.h"
+#include "lsh/probability.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace lshclust {
+
+/// Hashes the `rows` signature components of band `band` into a bucket
+/// key. Seeded with the band index so identical row values in different
+/// bands never alias ("no overlapping between bands can occur", §III-A2).
+/// Shared by the static and dynamic indexes so their bucketing agrees.
+inline uint64_t ComputeBandKey(const uint64_t* band_rows, uint32_t band,
+                               uint32_t rows) {
+  uint64_t key = Mix64(0x9E3779B97F4A7C15ULL ^ band);
+  for (uint32_t r = 0; r < rows; ++r) {
+    key = Mix64(key ^ band_rows[r]);
+  }
+  return key;
+}
+
+/// \brief Immutable banding index; query by member item id or by external
+/// signature.
+class BandedIndex {
+ public:
+  /// Builds the index.
+  /// \param signatures row-major n x (bands*rows) signature matrix
+  /// \param num_items n
+  /// \param params banding shape; bands*rows must equal the signature width
+  BandedIndex(std::span<const uint64_t> signatures, uint32_t num_items,
+              BandingParams params);
+
+  /// Number of indexed items.
+  uint32_t num_items() const { return num_items_; }
+  /// The banding shape.
+  BandingParams params() const { return params_; }
+
+  /// Invokes `visit(item_id)` for every item sharing a bucket with `item`
+  /// in any band. Includes `item` itself (once per band); an item
+  /// co-bucketed in several bands is visited several times — deduplication
+  /// is the caller's concern (the shortlist builder uses an epoch stamp).
+  template <typename Visitor>
+  void VisitCandidates(uint32_t item, Visitor&& visit) const {
+    LSHC_DCHECK(item < num_items_) << "item index out of range";
+    for (uint32_t b = 0; b < params_.bands; ++b) {
+      const Band& band = bands_[b];
+      const uint32_t bucket = band.item_bucket[item];
+      const uint32_t begin = band.bucket_offsets[bucket];
+      const uint32_t end = band.bucket_offsets[bucket + 1];
+      for (uint32_t i = begin; i < end; ++i) {
+        visit(band.bucket_items[i]);
+      }
+    }
+  }
+
+  /// Invokes `visit(item_id)` for every indexed item sharing a bucket with
+  /// the external `signature` (length params().num_hashes()). Bands whose
+  /// key was never inserted are skipped.
+  template <typename Visitor>
+  void VisitCandidatesOfSignature(std::span<const uint64_t> signature,
+                                  Visitor&& visit) const {
+    LSHC_DCHECK(signature.size() == params_.num_hashes())
+        << "signature width mismatch";
+    for (uint32_t b = 0; b < params_.bands; ++b) {
+      const uint64_t key = BandKey(signature.data(), b);
+      const uint32_t* bucket = bands_[b].key_to_bucket.Find(key);
+      if (bucket == nullptr) continue;
+      const Band& band = bands_[b];
+      const uint32_t begin = band.bucket_offsets[*bucket];
+      const uint32_t end = band.bucket_offsets[*bucket + 1];
+      for (uint32_t i = begin; i < end; ++i) {
+        visit(band.bucket_items[i]);
+      }
+    }
+  }
+
+  /// The number of items in `item`'s bucket of band `b` (including itself).
+  uint32_t BucketSize(uint32_t band, uint32_t item) const {
+    LSHC_DCHECK(band < params_.bands && item < num_items_);
+    const Band& b = bands_[band];
+    const uint32_t bucket = b.item_bucket[item];
+    return b.bucket_offsets[bucket + 1] - b.bucket_offsets[bucket];
+  }
+
+  /// \brief Aggregate occupancy statistics for diagnostics and tests.
+  struct Stats {
+    uint64_t total_buckets = 0;   ///< buckets across all bands
+    uint64_t largest_bucket = 0;  ///< max items in one bucket
+    double mean_bucket_size = 0;  ///< n*b / total_buckets
+  };
+  /// Computes occupancy statistics over all bands.
+  Stats ComputeStats() const;
+
+  /// Approximate heap footprint of the index in bytes.
+  uint64_t MemoryUsageBytes() const;
+
+ private:
+  struct Band {
+    FlatHashMap64 key_to_bucket;          // band key -> dense bucket id
+    std::vector<uint32_t> bucket_offsets; // CSR offsets, size buckets+1
+    std::vector<uint32_t> bucket_items;   // CSR payload, size n
+    std::vector<uint32_t> item_bucket;    // item -> its bucket id, size n
+  };
+
+  /// Band key of one band of a full signature.
+  uint64_t BandKey(const uint64_t* signature, uint32_t band) const {
+    return ComputeBandKey(
+        signature + static_cast<size_t>(band) * params_.rows, band,
+        params_.rows);
+  }
+
+  uint32_t num_items_;
+  BandingParams params_;
+  std::vector<Band> bands_;
+};
+
+}  // namespace lshclust

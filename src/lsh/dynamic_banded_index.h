@@ -1,0 +1,110 @@
+#pragma once
+
+/// \file dynamic_banded_index.h
+/// \brief Growable banding index for streaming workloads (§VI of the
+/// paper: "adapting our algorithm to develop an online streaming
+/// clustering framework").
+///
+/// The static BandedIndex packs buckets into CSR arrays for scan speed but
+/// cannot accept new items. This variant chains bucket members through a
+/// per-band `next` array (insertion is O(bands) hash-map operations) while
+/// keeping the identical band-key function, so a dynamic index built over
+/// the same signatures yields the same buckets as the static one.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "lsh/banded_index.h"
+#include "lsh/flat_hash_table.h"
+#include "lsh/probability.h"
+#include "util/logging.h"
+
+namespace lshclust {
+
+/// \brief Insert-only banding index over growing item ids 0, 1, 2, ...
+class DynamicBandedIndex {
+ public:
+  /// \param params banding shape
+  /// \param expected_items sizing hint for the per-band hash maps
+  explicit DynamicBandedIndex(BandingParams params,
+                              uint32_t expected_items = 0)
+      : params_(params) {
+    LSHC_CHECK(params.bands >= 1 && params.rows >= 1)
+        << "banding needs at least one band and one row";
+    bands_.resize(params.bands);
+    for (auto& band : bands_) {
+      band.key_to_head.Reserve(expected_items);
+      band.next.reserve(expected_items);
+    }
+  }
+
+  /// Number of inserted items.
+  uint32_t num_items() const { return num_items_; }
+  /// The banding shape.
+  BandingParams params() const { return params_; }
+
+  /// Inserts the next item (id = num_items()) with the given signature
+  /// (length params().num_hashes()). Returns the assigned id.
+  uint32_t Insert(std::span<const uint64_t> signature) {
+    LSHC_DCHECK(signature.size() == params_.num_hashes())
+        << "signature width mismatch";
+    const uint32_t item = num_items_++;
+    for (uint32_t b = 0; b < params_.bands; ++b) {
+      Band& band = bands_[b];
+      const uint64_t key = ComputeBandKey(
+          signature.data() + static_cast<size_t>(b) * params_.rows, b,
+          params_.rows);
+      // Head is stored +1 so 0 can mean "empty bucket".
+      uint32_t* head = band.key_to_head.FindOrInsert(key, 0);
+      band.next.push_back(*head);  // next[item] = previous head (or 0)
+      *head = item + 1;
+    }
+    return item;
+  }
+
+  /// Invokes `visit(item_id)` for every inserted item sharing a bucket
+  /// with `signature` in any band (repeats across bands possible, like
+  /// BandedIndex).
+  template <typename Visitor>
+  void VisitCandidatesOfSignature(std::span<const uint64_t> signature,
+                                  Visitor&& visit) const {
+    LSHC_DCHECK(signature.size() == params_.num_hashes())
+        << "signature width mismatch";
+    for (uint32_t b = 0; b < params_.bands; ++b) {
+      const Band& band = bands_[b];
+      const uint64_t key = ComputeBandKey(
+          signature.data() + static_cast<size_t>(b) * params_.rows, b,
+          params_.rows);
+      const uint32_t* head = band.key_to_head.Find(key);
+      if (head == nullptr) continue;
+      for (uint32_t cursor = *head; cursor != 0;
+           cursor = band.next[cursor - 1]) {
+        visit(cursor - 1);
+      }
+    }
+  }
+
+  /// Approximate heap footprint in bytes.
+  uint64_t MemoryUsageBytes() const {
+    uint64_t bytes = sizeof(*this);
+    for (const Band& band : bands_) {
+      bytes += band.key_to_head.capacity() *
+               (sizeof(uint64_t) + sizeof(uint32_t) + sizeof(uint8_t));
+      bytes += band.next.capacity() * sizeof(uint32_t);
+    }
+    return bytes;
+  }
+
+ private:
+  struct Band {
+    FlatHashMap64 key_to_head;  // band key -> 1 + head item id (0 = empty)
+    std::vector<uint32_t> next; // item -> 1 + next item in bucket (0 = end)
+  };
+
+  BandingParams params_;
+  uint32_t num_items_ = 0;
+  std::vector<Band> bands_;
+};
+
+}  // namespace lshclust

@@ -1,0 +1,51 @@
+#include "lsh/probability.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace lshclust {
+
+double CandidatePairProbability(double s, BandingParams params) {
+  LSHC_CHECK(s >= 0.0 && s <= 1.0) << "similarity must be in [0, 1]";
+  LSHC_CHECK(params.bands >= 1 && params.rows >= 1)
+      << "banding needs at least one band and one row";
+  const double per_band = std::pow(s, static_cast<double>(params.rows));
+  return 1.0 - std::pow(1.0 - per_band, static_cast<double>(params.bands));
+}
+
+double ThresholdSimilarity(BandingParams params) {
+  LSHC_CHECK(params.bands >= 1 && params.rows >= 1)
+      << "banding needs at least one band and one row";
+  return std::pow(1.0 / static_cast<double>(params.bands),
+                  1.0 / static_cast<double>(params.rows));
+}
+
+double ClusterCandidateProbability(double s, BandingParams params,
+                                   uint32_t similar_items) {
+  // One collision with any of the c similar items suffices:
+  // 1 - (1 - s^r)^(b*c). Computed in log space for numeric stability when
+  // b*c is large.
+  LSHC_CHECK(s >= 0.0 && s <= 1.0) << "similarity must be in [0, 1]";
+  const double per_band = std::pow(s, static_cast<double>(params.rows));
+  if (per_band >= 1.0) return 1.0;
+  const double log_miss = static_cast<double>(params.bands) *
+                          static_cast<double>(similar_items) *
+                          std::log1p(-per_band);
+  return 1.0 - std::exp(log_miss);
+}
+
+double MinJaccardSharedAttribute(uint32_t num_attributes) {
+  LSHC_CHECK(num_attributes >= 1) << "need at least one attribute";
+  return 1.0 / (2.0 * static_cast<double>(num_attributes) - 1.0);
+}
+
+double AssignmentErrorBound(uint32_t num_attributes, BandingParams params,
+                            uint32_t cluster_size) {
+  const double s = MinJaccardSharedAttribute(num_attributes);
+  // (1 - s^r)^(b*|C|) — the complement of ClusterCandidateProbability at
+  // the worst-case similarity.
+  return 1.0 - ClusterCandidateProbability(s, params, cluster_size);
+}
+
+}  // namespace lshclust

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file probability.h
+/// \brief The analytic collision-probability model of §III (MinHash /
+/// banding S-curve, shortlist hit probability, assignment error bound).
+///
+/// These closed forms generate Tables I and II and back the guaranteed
+/// error bound of §III-C; the test suite validates the MinHash + banding
+/// implementation against them by Monte Carlo.
+
+#include <cstdint>
+
+namespace lshclust {
+
+/// \brief Banding configuration: b bands of r rows each (signature length
+/// b*r).
+struct BandingParams {
+  uint32_t bands = 20;
+  uint32_t rows = 5;
+
+  /// Total signature components b*r.
+  uint32_t num_hashes() const { return bands * rows; }
+};
+
+/// Probability that two sets with Jaccard similarity `s` agree in all rows
+/// of at least one band: 1 - (1 - s^r)^b (§III-A2).
+double CandidatePairProbability(double s, BandingParams params);
+
+/// The similarity at which the probability S-curve is steepest,
+/// (1/b)^(1/r); below it pairs are unlikely candidates, above it likely
+/// (§III-A2).
+double ThresholdSimilarity(BandingParams params);
+
+/// Probability that a cluster containing `similar_items` items of Jaccard
+/// similarity >= s with the query enters the shortlist: one collision with
+/// any of them suffices, so 1 - (1 - s^r)^(b * c) (§III-D; the paper's
+/// footnote example 1 - (1 - 0.1)^50 = 0.99).
+double ClusterCandidateProbability(double s, BandingParams params,
+                                   uint32_t similar_items);
+
+/// The worst-case Jaccard similarity of two items with m attributes that
+/// agree on at least one of them: 1 / (2m - 1) (§III-C).
+double MinJaccardSharedAttribute(uint32_t num_attributes);
+
+/// §III-C upper bound on the probability that the true best cluster (size
+/// `cluster_size`) is missing from an item's shortlist:
+/// (1 - (1/(2m-1))^r)^(b * |C|). The paper's worked example: m=100, r=1,
+/// b=25, |C|=20 gives 0.08.
+double AssignmentErrorBound(uint32_t num_attributes, BandingParams params,
+                            uint32_t cluster_size);
+
+}  // namespace lshclust

@@ -1,0 +1,76 @@
+#include "lsh/tuning.h"
+
+#include <cmath>
+#include <string>
+
+namespace lshclust {
+
+Result<BandingRecommendation> RecommendBanding(
+    uint32_t num_attributes, uint32_t min_cluster_size,
+    const BandingConstraints& constraints) {
+  if (num_attributes == 0) {
+    return Status::InvalidArgument("num_attributes must be positive");
+  }
+  if (min_cluster_size == 0) {
+    return Status::InvalidArgument("min_cluster_size must be positive");
+  }
+  if (!(constraints.max_error > 0.0 && constraints.max_error < 1.0)) {
+    return Status::InvalidArgument("max_error must be in (0, 1)");
+  }
+  if (constraints.min_rows == 0 ||
+      constraints.min_rows > constraints.max_rows) {
+    return Status::InvalidArgument("row range is empty");
+  }
+
+  const double s = MinJaccardSharedAttribute(num_attributes);
+  bool found = false;
+  BandingRecommendation best;
+
+  for (uint32_t rows = constraints.min_rows; rows <= constraints.max_rows;
+       ++rows) {
+    // Error = (1 - s^r)^(b*c) <= max_error
+    //   <=>  b >= log(max_error) / (c * log(1 - s^r)).
+    const double per_band = std::pow(s, static_cast<double>(rows));
+    if (per_band <= 0.0 || per_band >= 1.0) continue;
+    const double bands_needed = std::log(constraints.max_error) /
+                                (static_cast<double>(min_cluster_size) *
+                                 std::log1p(-per_band));
+    if (!(bands_needed > 0.0) ||
+        bands_needed > static_cast<double>(constraints.max_hashes)) {
+      continue;  // not reachable within budget at this row count
+    }
+    const uint32_t bands =
+        std::max<uint32_t>(1, static_cast<uint32_t>(std::ceil(bands_needed)));
+    if (static_cast<uint64_t>(bands) * rows > constraints.max_hashes) {
+      continue;
+    }
+
+    BandingRecommendation candidate;
+    candidate.params = BandingParams{bands, rows};
+    candidate.error_bound =
+        AssignmentErrorBound(num_attributes, candidate.params,
+                             min_cluster_size);
+    candidate.threshold_similarity = ThresholdSimilarity(candidate.params);
+    candidate.num_hashes = bands * rows;
+
+    // Cheapest first; prefer more rows (higher threshold -> fewer false
+    // positives) when hash counts tie.
+    if (!found || candidate.num_hashes < best.num_hashes ||
+        (candidate.num_hashes == best.num_hashes &&
+         candidate.params.rows > best.params.rows)) {
+      best = candidate;
+      found = true;
+    }
+  }
+
+  if (!found) {
+    return Status::OutOfRange(
+        "no banding within " + std::to_string(constraints.max_hashes) +
+        " hashes meets error " + std::to_string(constraints.max_error) +
+        " at m=" + std::to_string(num_attributes) +
+        ", |C|=" + std::to_string(min_cluster_size));
+  }
+  return best;
+}
+
+}  // namespace lshclust

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file tuning.h
+/// \brief Automated choice of the banding parameters (b, r) — §III-D of
+/// the paper, turned into an optimizer.
+///
+/// Given the dataset width m, a lower bound on cluster size |C| and a
+/// tolerated shortlist-miss probability, RecommendBanding finds the
+/// cheapest banding (fewest hash functions b*r) whose §III-C error bound
+/// (1 - (1/(2m-1))^r)^(b*|C|) stays within the tolerance. Among equal-cost
+/// candidates it prefers more rows: a higher similarity threshold
+/// (1/b)^(1/r) admits fewer false-positive clusters into shortlists.
+
+#include <cstdint>
+
+#include "lsh/probability.h"
+#include "util/result.h"
+
+namespace lshclust {
+
+/// \brief Result of a banding search.
+struct BandingRecommendation {
+  /// The chosen shape.
+  BandingParams params;
+  /// Its §III-C assignment error bound at the given m and |C|.
+  double error_bound = 0;
+  /// The S-curve threshold similarity (1/b)^(1/r).
+  double threshold_similarity = 0;
+  /// Total hash functions b*r (the per-item signing cost).
+  uint32_t num_hashes = 0;
+};
+
+/// \brief Search constraints.
+struct BandingConstraints {
+  /// Tolerated probability that an item's true best cluster is missing
+  /// from its shortlist (the paper's worked example achieves 0.08).
+  double max_error = 0.05;
+  /// Hash-count budget per item (b*r <= max_hashes).
+  uint32_t max_hashes = 1024;
+  /// Row range to search.
+  uint32_t min_rows = 1;
+  uint32_t max_rows = 10;
+};
+
+/// Finds the cheapest banding meeting `constraints` for items of
+/// `num_attributes` attributes and clusters of at least
+/// `min_cluster_size` items. Fails when no shape within the budget can
+/// meet the error tolerance.
+Result<BandingRecommendation> RecommendBanding(uint32_t num_attributes,
+                                               uint32_t min_cluster_size,
+                                               const BandingConstraints&
+                                                   constraints = {});
+
+}  // namespace lshclust

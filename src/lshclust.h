@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file lshclust.h
+/// \brief Umbrella header: the whole public API of lshclust.
+///
+/// Most applications need only a subset:
+///   * data/csv.h + core/mh_kmodes.h           — cluster categorical data
+///   * core/experiment.h + core/reporters.h    — baseline comparisons
+///   * core/streaming.h                        — online ingestion
+///   * core/lsh_kmeans.h / core/lsh_kprototypes.h — numeric / mixed data
+/// Include those directly for faster builds; include this header for
+/// exploration and prototyping.
+
+// Foundation.
+#include "util/flags.h"          // IWYU pragma: export
+#include "util/logging.h"        // IWYU pragma: export
+#include "util/macros.h"         // IWYU pragma: export
+#include "util/result.h"         // IWYU pragma: export
+#include "util/rng.h"            // IWYU pragma: export
+#include "util/status.h"         // IWYU pragma: export
+#include "util/stopwatch.h"      // IWYU pragma: export
+#include "util/string_util.h"    // IWYU pragma: export
+
+// Hashing substrate.
+#include "hashing/hash_family.h"              // IWYU pragma: export
+#include "hashing/minhash.h"                  // IWYU pragma: export
+#include "hashing/one_permutation_minhash.h"  // IWYU pragma: export
+#include "hashing/simhash.h"                  // IWYU pragma: export
+
+// LSH machinery.
+#include "lsh/banded_index.h"          // IWYU pragma: export
+#include "lsh/dynamic_banded_index.h"  // IWYU pragma: export
+#include "lsh/flat_hash_table.h"       // IWYU pragma: export
+#include "lsh/probability.h"           // IWYU pragma: export
+#include "lsh/tuning.h"                // IWYU pragma: export
+
+// Datasets and I/O.
+#include "data/categorical_dataset.h"  // IWYU pragma: export
+#include "data/csv.h"                  // IWYU pragma: export
+#include "data/interner.h"             // IWYU pragma: export
+#include "data/mixed_dataset.h"        // IWYU pragma: export
+#include "data/serialize.h"            // IWYU pragma: export
+#include "data/slicing.h"              // IWYU pragma: export
+
+// Synthetic data generators.
+#include "datagen/conjunctive_generator.h"  // IWYU pragma: export
+#include "datagen/gaussian_mixture.h"       // IWYU pragma: export
+#include "datagen/mixed_generator.h"        // IWYU pragma: export
+#include "datagen/yahoo_like_corpus.h"      // IWYU pragma: export
+
+// Text pipeline.
+#include "text/binarizer.h"  // IWYU pragma: export
+#include "text/corpus.h"     // IWYU pragma: export
+#include "text/tfidf.h"      // IWYU pragma: export
+#include "text/tokenizer.h"  // IWYU pragma: export
+
+// Clustering substrates.
+#include "clustering/canopy.h"         // IWYU pragma: export
+#include "clustering/dissimilarity.h"  // IWYU pragma: export
+#include "clustering/engine.h"         // IWYU pragma: export
+#include "clustering/fuzzy_kmodes.h"   // IWYU pragma: export
+#include "clustering/initializers.h"   // IWYU pragma: export
+#include "clustering/kmeans.h"         // IWYU pragma: export
+#include "clustering/kmodes.h"         // IWYU pragma: export
+#include "clustering/kprototypes.h"    // IWYU pragma: export
+#include "clustering/modes.h"          // IWYU pragma: export
+#include "clustering/types.h"          // IWYU pragma: export
+
+// Quality metrics.
+#include "metrics/metrics.h"  // IWYU pragma: export
+
+// The paper's contribution and its extensions.
+#include "core/canopy_kmodes.h"            // IWYU pragma: export
+#include "core/cluster_shortlist_index.h"  // IWYU pragma: export
+#include "core/error_bound.h"              // IWYU pragma: export
+#include "core/experiment.h"               // IWYU pragma: export
+#include "core/lsh_kmeans.h"               // IWYU pragma: export
+#include "core/lsh_kprototypes.h"          // IWYU pragma: export
+#include "core/mh_kmodes.h"                // IWYU pragma: export
+#include "core/reporters.h"                // IWYU pragma: export
+#include "core/streaming.h"                // IWYU pragma: export

@@ -1,0 +1,144 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "lsh/flat_hash_table.h"
+#include "util/macros.h"
+
+namespace lshclust {
+
+namespace {
+
+/// Remaps arbitrary ids to dense 0..c-1 ids, preserving first-seen order.
+std::vector<uint32_t> Densify(std::span<const uint32_t> ids,
+                              uint32_t* num_distinct) {
+  std::unordered_map<uint32_t, uint32_t> remap;
+  std::vector<uint32_t> dense(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const auto [it, inserted] =
+        remap.emplace(ids[i], static_cast<uint32_t>(remap.size()));
+    dense[i] = it->second;
+  }
+  *num_distinct = static_cast<uint32_t>(remap.size());
+  return dense;
+}
+
+double Entropy(const std::vector<uint64_t>& sizes, uint64_t total) {
+  double h = 0;
+  for (const uint64_t size : sizes) {
+    if (size == 0) continue;
+    const double p = static_cast<double>(size) / static_cast<double>(total);
+    h -= p * std::log(p);
+  }
+  return h;
+}
+
+/// n choose 2 as a double (n can exceed 2^32).
+double Choose2(uint64_t n) {
+  return 0.5 * static_cast<double>(n) * static_cast<double>(n - 1);
+}
+
+}  // namespace
+
+Result<ContingencyTable> ContingencyTable::Build(
+    std::span<const uint32_t> clusters, std::span<const uint32_t> labels) {
+  if (clusters.empty()) {
+    return Status::InvalidArgument("clustering is empty");
+  }
+  if (clusters.size() != labels.size()) {
+    return Status::InvalidArgument(
+        "clusters and labels must have equal length; got " +
+        std::to_string(clusters.size()) + " vs " +
+        std::to_string(labels.size()));
+  }
+
+  ContingencyTable table;
+  table.total_ = clusters.size();
+
+  uint32_t num_clusters = 0, num_labels = 0;
+  const std::vector<uint32_t> dense_clusters = Densify(clusters, &num_clusters);
+  const std::vector<uint32_t> dense_labels = Densify(labels, &num_labels);
+
+  table.cluster_sizes_.assign(num_clusters, 0);
+  table.label_sizes_.assign(num_labels, 0);
+
+  // Sparse (cluster, label) -> cell index.
+  FlatHashMap64 cell_index(clusters.size());
+  for (size_t i = 0; i < clusters.size(); ++i) {
+    const uint32_t c = dense_clusters[i];
+    const uint32_t l = dense_labels[i];
+    ++table.cluster_sizes_[c];
+    ++table.label_sizes_[l];
+    const uint64_t key = (static_cast<uint64_t>(c) << 32) | l;
+    uint32_t* slot = cell_index.FindOrInsert(
+        key, static_cast<uint32_t>(table.cells_.size()));
+    if (*slot == table.cells_.size()) {
+      table.cells_.push_back(Cell{c, l, 0});
+    }
+    ++table.cells_[*slot].count;
+  }
+  return table;
+}
+
+double Purity(const ContingencyTable& table) {
+  // max count per cluster, then sum.
+  std::vector<uint64_t> best(table.num_clusters(), 0);
+  for (const auto& cell : table.cells()) {
+    best[cell.cluster] = std::max(best[cell.cluster], cell.count);
+  }
+  uint64_t correct = 0;
+  for (const uint64_t count : best) correct += count;
+  return static_cast<double>(correct) / static_cast<double>(table.total());
+}
+
+double NormalizedMutualInformation(const ContingencyTable& table) {
+  const double n = static_cast<double>(table.total());
+  double mutual_information = 0;
+  for (const auto& cell : table.cells()) {
+    const double joint = static_cast<double>(cell.count) / n;
+    const double p_cluster =
+        static_cast<double>(table.cluster_sizes()[cell.cluster]) / n;
+    const double p_label =
+        static_cast<double>(table.label_sizes()[cell.label]) / n;
+    mutual_information += joint * std::log(joint / (p_cluster * p_label));
+  }
+  const double h_cluster = Entropy(table.cluster_sizes(), table.total());
+  const double h_label = Entropy(table.label_sizes(), table.total());
+  if (h_cluster + h_label == 0.0) {
+    return 1.0;  // both partitions are a single block: identical
+  }
+  const double nmi = 2.0 * mutual_information / (h_cluster + h_label);
+  // Clamp tiny negative values from floating-point noise.
+  return std::clamp(nmi, 0.0, 1.0);
+}
+
+double AdjustedRandIndex(const ContingencyTable& table) {
+  double sum_cells = 0;
+  for (const auto& cell : table.cells()) sum_cells += Choose2(cell.count);
+  double sum_clusters = 0;
+  for (const uint64_t size : table.cluster_sizes()) {
+    sum_clusters += Choose2(size);
+  }
+  double sum_labels = 0;
+  for (const uint64_t size : table.label_sizes()) sum_labels += Choose2(size);
+
+  const double total_pairs = Choose2(table.total());
+  if (total_pairs == 0) return 1.0;  // single item: identical partitions
+  const double expected = sum_clusters * sum_labels / total_pairs;
+  const double maximum = 0.5 * (sum_clusters + sum_labels);
+  if (maximum == expected) {
+    return 1.0;  // degenerate: both partitions all-singletons or all-one
+  }
+  return (sum_cells - expected) / (maximum - expected);
+}
+
+Result<double> ComputePurity(std::span<const uint32_t> clusters,
+                             std::span<const uint32_t> labels) {
+  LSHC_ASSIGN_OR_RETURN(const ContingencyTable table,
+                        ContingencyTable::Build(clusters, labels));
+  return Purity(table);
+}
+
+}  // namespace lshclust

@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file metrics.h
+/// \brief External clustering quality measures against ground-truth labels.
+///
+/// The paper evaluates quality with *cluster purity* (Figs. 8, 9e):
+/// purity = (1/N) Σ_clusters max_class |cluster ∩ class|. NMI and ARI are
+/// provided additionally because purity alone is insensitive to
+/// over-splitting (it trivially reaches 1.0 at k = n).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/result.h"
+
+namespace lshclust {
+
+/// \brief Sparse contingency table between a clustering and ground-truth
+/// labels, the common substrate of all three measures.
+class ContingencyTable {
+ public:
+  /// Builds the table; `clusters` and `labels` must be equal-length and
+  /// non-empty.
+  static Result<ContingencyTable> Build(std::span<const uint32_t> clusters,
+                                        std::span<const uint32_t> labels);
+
+  /// Total items N.
+  uint64_t total() const { return total_; }
+  /// Number of distinct cluster ids observed.
+  uint32_t num_clusters() const {
+    return static_cast<uint32_t>(cluster_sizes_.size());
+  }
+  /// Number of distinct label ids observed.
+  uint32_t num_labels() const {
+    return static_cast<uint32_t>(label_sizes_.size());
+  }
+
+  /// Items per cluster (indexed by dense cluster id).
+  const std::vector<uint64_t>& cluster_sizes() const { return cluster_sizes_; }
+  /// Items per label (indexed by dense label id).
+  const std::vector<uint64_t>& label_sizes() const { return label_sizes_; }
+
+  /// Non-zero cells as (cluster, label, count) triples.
+  struct Cell {
+    uint32_t cluster;
+    uint32_t label;
+    uint64_t count;
+  };
+  const std::vector<Cell>& cells() const { return cells_; }
+
+ private:
+  uint64_t total_ = 0;
+  std::vector<uint64_t> cluster_sizes_;
+  std::vector<uint64_t> label_sizes_;
+  std::vector<Cell> cells_;
+};
+
+/// Cluster purity in [0, 1]: the fraction of items that belong to the
+/// majority class of their cluster.
+double Purity(const ContingencyTable& table);
+
+/// Normalized mutual information in [0, 1] (arithmetic-mean normalisation,
+/// NMI = 2 I(C;L) / (H(C) + H(L))). Returns 1.0 when both partitions are
+/// single-cluster (degenerate but identical).
+double NormalizedMutualInformation(const ContingencyTable& table);
+
+/// Adjusted Rand index in (-1, 1]; 0 is chance level, 1 is identical
+/// partitions.
+double AdjustedRandIndex(const ContingencyTable& table);
+
+/// Convenience: builds the table and computes purity.
+Result<double> ComputePurity(std::span<const uint32_t> clusters,
+                             std::span<const uint32_t> labels);
+
+}  // namespace lshclust

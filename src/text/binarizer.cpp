@@ -1,0 +1,72 @@
+#include "text/binarizer.h"
+
+#include <algorithm>
+
+namespace lshclust {
+
+Result<CategoricalDataset> BinarizeCorpus(const TokenizedCorpus& corpus,
+                                          std::span<const uint32_t> vocabulary,
+                                          bool drop_empty_items) {
+  if (vocabulary.empty()) {
+    return Status::InvalidArgument("vocabulary is empty");
+  }
+  if (!std::is_sorted(vocabulary.begin(), vocabulary.end())) {
+    return Status::InvalidArgument("vocabulary word ids must be ascending");
+  }
+  if (!corpus.Valid()) {
+    return Status::InvalidArgument("corpus is inconsistent");
+  }
+
+  const uint32_t m = static_cast<uint32_t>(vocabulary.size());
+  // Attribute a uses code 2a for "absent" and 2a+1 for "present"; codes are
+  // interned so ValueToString renders the paper's zoo-0 / zoo-1 form.
+  const uint32_t num_codes = 2 * m;
+  auto interner = std::make_shared<ValueInterner>();
+  std::vector<bool> absent_codes(num_codes, false);
+  for (uint32_t a = 0; a < m; ++a) {
+    const std::string& word = corpus.vocabulary[vocabulary[a]];
+    const uint32_t absent = interner->Intern(ValueInterner::MakeToken(word, "0"));
+    const uint32_t present =
+        interner->Intern(ValueInterner::MakeToken(word, "1"));
+    LSHC_CHECK_EQ(absent, 2 * a);
+    LSHC_CHECK_EQ(present, 2 * a + 1);
+    absent_codes[absent] = true;
+  }
+
+  // word id -> attribute index (or kNoAttribute).
+  constexpr uint32_t kNoAttribute = ~0u;
+  std::vector<uint32_t> word_to_attribute(corpus.vocabulary.size(),
+                                          kNoAttribute);
+  for (uint32_t a = 0; a < m; ++a) word_to_attribute[vocabulary[a]] = a;
+
+  std::vector<uint32_t> codes;
+  std::vector<uint32_t> labels;
+  std::vector<uint32_t> row(m);
+  uint32_t num_items = 0;
+  for (const Document& doc : corpus.documents) {
+    for (uint32_t a = 0; a < m; ++a) row[a] = 2 * a;  // all absent
+    bool any_present = false;
+    for (const uint32_t word : doc.words) {
+      const uint32_t attribute = word_to_attribute[word];
+      if (attribute != kNoAttribute) {
+        row[attribute] = 2 * attribute + 1;
+        any_present = true;
+      }
+    }
+    if (drop_empty_items && !any_present) continue;
+    codes.insert(codes.end(), row.begin(), row.end());
+    labels.push_back(doc.topic);
+    ++num_items;
+  }
+  if (num_items == 0) {
+    return Status::InvalidArgument(
+        "no document contains any vocabulary word");
+  }
+
+  return CategoricalDataset::FromCodes(num_items, m, num_codes,
+                                       std::move(codes), std::move(labels),
+                                       std::move(absent_codes),
+                                       std::move(interner));
+}
+
+}  // namespace lshclust

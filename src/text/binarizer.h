@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file binarizer.h
+/// \brief Corpus -> binary word-presence categorical dataset (§IV-B).
+///
+/// Each selected vocabulary word becomes one attribute whose value is the
+/// feature-name-augmented presence indicator the paper describes: "the
+/// value for the feature 'zoo' will become either 'zoo-0' or 'zoo-1'"
+/// (here rendered as the interned token "zoo=0" / "zoo=1"). Absent values
+/// ("...=0") are marked with absence semantics so MinHash token sets
+/// contain only the present words — Algorithm 2's presence filtering,
+/// which makes Jaccard meaningful on sparse vectors.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/categorical_dataset.h"
+#include "text/corpus.h"
+#include "util/result.h"
+
+namespace lshclust {
+
+/// \brief Builds the clustering input: one item per document, one binary
+/// attribute per vocabulary word, ground-truth labels = topics.
+///
+/// \param corpus the tokenized documents
+/// \param vocabulary the selected word ids (from TopicTfIdf), ascending
+/// \param drop_empty_items skip documents containing no vocabulary word
+///        (they carry no signal; the paper's TF-IDF step implicitly drops
+///        questions whose words were all filtered)
+Result<CategoricalDataset> BinarizeCorpus(const TokenizedCorpus& corpus,
+                                          std::span<const uint32_t> vocabulary,
+                                          bool drop_empty_items = true);
+
+}  // namespace lshclust

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file corpus.h
+/// \brief Tokenized document collection — the interchange type between the
+/// corpus sources (datagen, tokenizer) and the TF-IDF / binarization
+/// pipeline of §IV-B.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace lshclust {
+
+/// \brief One tokenized document (a question in the paper's setting).
+struct Document {
+  /// Ground-truth topic id (the Yahoo! Answers topic).
+  uint32_t topic = 0;
+  /// Word ids into TokenizedCorpus::vocabulary. Duplicates allowed.
+  std::vector<uint32_t> words;
+};
+
+/// \brief A corpus of tokenized documents over a shared word vocabulary.
+struct TokenizedCorpus {
+  /// word id -> surface string.
+  std::vector<std::string> vocabulary;
+  /// The documents.
+  std::vector<Document> documents;
+  /// Number of distinct topics (topic ids are < num_topics).
+  uint32_t num_topics = 0;
+
+  /// Validates internal consistency (word ids and topic ids in range).
+  bool Valid() const {
+    for (const auto& doc : documents) {
+      if (doc.topic >= num_topics) return false;
+      for (const uint32_t word : doc.words) {
+        if (word >= vocabulary.size()) return false;
+      }
+    }
+    return true;
+  }
+};
+
+}  // namespace lshclust

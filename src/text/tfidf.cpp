@@ -1,0 +1,106 @@
+#include "text/tfidf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace lshclust {
+
+Result<TopicTfIdf> TopicTfIdf::Compute(const TokenizedCorpus& corpus) {
+  if (corpus.documents.empty()) {
+    return Status::InvalidArgument("corpus has no documents");
+  }
+  if (corpus.num_topics == 0) {
+    return Status::InvalidArgument("corpus has no topics");
+  }
+  if (!corpus.Valid()) {
+    return Status::InvalidArgument(
+        "corpus is inconsistent (word or topic ids out of range)");
+  }
+
+  TopicTfIdf model;
+  model.num_topics_ = corpus.num_topics;
+  model.vocabulary_size_ = static_cast<uint32_t>(corpus.vocabulary.size());
+  model.topic_terms_.resize(corpus.num_topics);
+  model.topic_max_count_.assign(corpus.num_topics, 0);
+  model.topic_frequency_.assign(corpus.vocabulary.size(), 0);
+
+  // Accumulate term counts per topic.
+  std::unordered_map<uint32_t, uint32_t> counts;
+  for (uint32_t topic = 0; topic < corpus.num_topics; ++topic) {
+    counts.clear();
+    for (const auto& doc : corpus.documents) {
+      if (doc.topic != topic) continue;
+      for (const uint32_t word : doc.words) ++counts[word];
+    }
+    auto& terms = model.topic_terms_[topic];
+    terms.reserve(counts.size());
+    for (const auto& [word, count] : counts) {
+      terms.push_back(TopicTerm{word, count});
+      model.topic_max_count_[topic] =
+          std::max(model.topic_max_count_[topic], count);
+      ++model.topic_frequency_[word];
+    }
+    std::sort(terms.begin(), terms.end(),
+              [](const TopicTerm& a, const TopicTerm& b) {
+                return a.word < b.word;
+              });
+  }
+  return model;
+}
+
+double TopicTfIdf::NormalizedIdf(uint32_t word) const {
+  LSHC_CHECK_LT(word, topic_frequency_.size());
+  if (num_topics_ <= 1) return 0.0;
+  const uint32_t tf = topic_frequency_[word];
+  if (tf == 0) return 0.0;
+  return std::log(static_cast<double>(num_topics_) / tf) /
+         std::log(static_cast<double>(num_topics_));
+}
+
+double TopicTfIdf::Score(uint32_t topic, uint32_t word) const {
+  LSHC_CHECK_LT(topic, num_topics_);
+  const auto& terms = topic_terms_[topic];
+  const auto it = std::lower_bound(
+      terms.begin(), terms.end(), word,
+      [](const TopicTerm& term, uint32_t w) { return term.word < w; });
+  if (it == terms.end() || it->word != word) return 0.0;
+  const double augmented_tf =
+      0.5 + 0.5 * static_cast<double>(it->count) /
+                static_cast<double>(topic_max_count_[topic]);
+  return augmented_tf * NormalizedIdf(word);
+}
+
+std::vector<uint32_t> TopicTfIdf::SelectVocabulary(
+    const TfIdfOptions& options) const {
+  std::vector<bool> selected(vocabulary_size_, false);
+  std::vector<std::pair<double, uint32_t>> scored;  // (-score, word)
+  for (uint32_t topic = 0; topic < num_topics_; ++topic) {
+    scored.clear();
+    for (const TopicTerm& term : topic_terms_[topic]) {
+      const double augmented_tf =
+          0.5 + 0.5 * static_cast<double>(term.count) /
+                    static_cast<double>(topic_max_count_[topic]);
+      const double score = augmented_tf * NormalizedIdf(term.word);
+      if (score >= options.threshold) {
+        scored.emplace_back(-score, term.word);
+      }
+    }
+    // Cap at max_words_per_topic, best-scoring first.
+    if (scored.size() > options.max_words_per_topic) {
+      std::nth_element(scored.begin(),
+                       scored.begin() + options.max_words_per_topic,
+                       scored.end());
+      scored.resize(options.max_words_per_topic);
+    }
+    for (const auto& [neg_score, word] : scored) selected[word] = true;
+  }
+
+  std::vector<uint32_t> vocabulary;
+  for (uint32_t word = 0; word < vocabulary_size_; ++word) {
+    if (selected[word]) vocabulary.push_back(word);
+  }
+  return vocabulary;
+}
+
+}  // namespace lshclust

@@ -1,0 +1,84 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace lshclust {
+
+namespace {
+
+// Compact English stopword list covering the function words that dominate
+// question text (the paper's example: "im interested in being a zoologist
+// but im not sure what do they really do" reduces to content words).
+const char* const kStopwords[] = {
+    "a",     "about", "after", "all",   "also",  "am",    "an",    "and",
+    "any",   "are",   "as",    "at",    "be",    "been",  "being", "but",
+    "by",    "can",   "could", "did",   "do",    "does",  "doing", "dont",
+    "for",   "from",  "get",   "had",   "has",   "have",  "he",    "her",
+    "here",  "him",   "his",   "how",   "i",     "if",    "im",    "in",
+    "into",  "is",    "it",    "its",   "just",  "like",  "me",    "more",
+    "most",  "my",    "no",    "not",   "now",   "of",    "on",    "only",
+    "or",    "other", "our",   "out",   "over",  "own",   "re",    "really",
+    "s",     "same",  "she",   "should","so",    "some",  "such",  "sure",
+    "t",     "than",  "that",  "the",   "their", "them",  "then",  "there",
+    "these", "they",  "this",  "those", "to",    "too",   "under", "until",
+    "up",    "very",  "was",   "we",    "were",  "what",  "when",  "where",
+    "which", "while", "who",   "whom",  "why",   "will",  "with",  "would",
+    "you",   "your",
+};
+
+}  // namespace
+
+Tokenizer::Tokenizer() {
+  for (const char* word : kStopwords) stopwords_.insert(word);
+}
+
+bool Tokenizer::IsStopword(std::string_view word) const {
+  return stopwords_.count(std::string(word)) > 0;
+}
+
+std::vector<std::string> Tokenizer::TokenizeToStrings(
+    std::string_view text) const {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&]() {
+    if (current.size() > 1 && !IsStopword(current)) {
+      tokens.push_back(current);
+    }
+    current.clear();
+  };
+  for (const char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current += static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c)));
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return tokens;
+}
+
+uint32_t Tokenizer::InternWord(const std::string& word,
+                               TokenizedCorpus* corpus) {
+  const auto [it, inserted] = word_index_.emplace(
+      word, static_cast<uint32_t>(corpus->vocabulary.size()));
+  if (inserted) corpus->vocabulary.push_back(word);
+  return it->second;
+}
+
+void Tokenizer::AddDocument(std::string_view text, uint32_t topic,
+                            TokenizedCorpus* corpus) {
+  if (bound_corpus_ == nullptr) bound_corpus_ = corpus;
+  LSHC_CHECK(bound_corpus_ == corpus)
+      << "a Tokenizer instance is bound to one corpus; use a fresh "
+         "Tokenizer per corpus";
+  Document doc;
+  doc.topic = topic;
+  for (const std::string& word : TokenizeToStrings(text)) {
+    doc.words.push_back(InternWord(word, corpus));
+  }
+  corpus->documents.push_back(std::move(doc));
+  if (topic >= corpus->num_topics) corpus->num_topics = topic + 1;
+}
+
+}  // namespace lshclust

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file tokenizer.h
+/// \brief Word tokenizer for raw question text: lower-cases, splits on
+/// non-alphanumeric characters, drops stopwords and one-character tokens.
+///
+/// This is the front of the §IV-B pipeline when starting from raw text
+/// ("im interested in being a zoologist ..." -> {interested, zoologist,
+/// ...}); the synthetic corpus generator can bypass it by emitting word
+/// ids directly.
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "text/corpus.h"
+
+namespace lshclust {
+
+/// \brief Stateful tokenizer that interns words into a growing vocabulary.
+class Tokenizer {
+ public:
+  /// Constructs with the built-in English stopword list.
+  Tokenizer();
+
+  /// Splits `text` into normalized word strings (no interning).
+  std::vector<std::string> TokenizeToStrings(std::string_view text) const;
+
+  /// Tokenizes `text` and appends a document with topic `topic` to
+  /// `corpus`, interning unseen words into its vocabulary. A Tokenizer
+  /// instance is bound to the first corpus it writes to (its word-id state
+  /// lives here); feeding a second corpus is a programming error.
+  void AddDocument(std::string_view text, uint32_t topic,
+                   TokenizedCorpus* corpus);
+
+  /// True iff `word` (already lower-case) is a stopword.
+  bool IsStopword(std::string_view word) const;
+
+ private:
+  uint32_t InternWord(const std::string& word, TokenizedCorpus* corpus);
+
+  std::unordered_set<std::string> stopwords_;
+  std::unordered_map<std::string, uint32_t> word_index_;
+  const TokenizedCorpus* bound_corpus_ = nullptr;
+};
+
+}  // namespace lshclust

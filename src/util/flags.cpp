@@ -1,0 +1,161 @@
+#include "util/flags.h"
+
+#include <cstdio>
+
+#include "util/macros.h"
+#include "util/string_util.h"
+
+namespace lshclust {
+
+namespace {
+
+std::string BoolRepr(bool value) { return value ? "true" : "false"; }
+
+}  // namespace
+
+void FlagSet::AddInt64(std::string name, int64_t* target, std::string help) {
+  flags_[std::move(name)] =
+      Flag{Kind::kInt64, target, std::move(help), std::to_string(*target)};
+}
+
+void FlagSet::AddDouble(std::string name, double* target, std::string help) {
+  flags_[std::move(name)] =
+      Flag{Kind::kDouble, target, std::move(help), FormatDouble(*target)};
+}
+
+void FlagSet::AddBool(std::string name, bool* target, std::string help) {
+  flags_[std::move(name)] =
+      Flag{Kind::kBool, target, std::move(help), BoolRepr(*target)};
+}
+
+void FlagSet::AddString(std::string name, std::string* target,
+                        std::string help) {
+  flags_[std::move(name)] =
+      Flag{Kind::kString, target, std::move(help), *target};
+}
+
+Status FlagSet::SetValue(const std::string& name, Flag& flag,
+                         std::string_view text) {
+  switch (flag.kind) {
+    case Kind::kInt64: {
+      int64_t value = 0;
+      if (!ParseInt64(text, &value)) {
+        return Status::InvalidArgument("flag --" + name +
+                                       " expects an integer, got '" +
+                                       std::string(text) + "'");
+      }
+      *static_cast<int64_t*>(flag.target) = value;
+      return Status::OK();
+    }
+    case Kind::kDouble: {
+      double value = 0;
+      if (!ParseDouble(text, &value)) {
+        return Status::InvalidArgument("flag --" + name +
+                                       " expects a number, got '" +
+                                       std::string(text) + "'");
+      }
+      *static_cast<double*>(flag.target) = value;
+      return Status::OK();
+    }
+    case Kind::kBool: {
+      const std::string lower = ToLower(text);
+      if (lower == "true" || lower == "1" || lower == "yes") {
+        *static_cast<bool*>(flag.target) = true;
+      } else if (lower == "false" || lower == "0" || lower == "no") {
+        *static_cast<bool*>(flag.target) = false;
+      } else {
+        return Status::InvalidArgument("flag --" + name +
+                                       " expects true/false, got '" +
+                                       std::string(text) + "'");
+      }
+      return Status::OK();
+    }
+    case Kind::kString:
+      *static_cast<std::string*>(flag.target) = std::string(text);
+      return Status::OK();
+  }
+  return Status::UnknownError("unhandled flag kind");
+}
+
+Status FlagSet::Parse(int argc, char** argv) {
+  positional_.clear();
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(Usage().c_str(), stdout);
+      return Status::AlreadyExists("help requested");
+    }
+    if (!StartsWith(arg, "--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+
+    std::string name;
+    std::string_view value;
+    bool has_value = false;
+    const size_t eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      name = std::string(arg.substr(0, eq));
+      value = arg.substr(eq + 1);
+      has_value = true;
+    } else {
+      name = std::string(arg);
+    }
+
+    // `--no-foo` negates a boolean flag `foo`.
+    if (!has_value && StartsWith(name, "no-")) {
+      const std::string positive = name.substr(3);
+      auto it = flags_.find(positive);
+      if (it != flags_.end() && it->second.kind == Kind::kBool) {
+        *static_cast<bool*>(it->second.target) = false;
+        continue;
+      }
+    }
+
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      return Status::InvalidArgument("unknown flag --" + name + "\n" +
+                                     Usage());
+    }
+    Flag& flag = it->second;
+
+    if (!has_value) {
+      if (flag.kind == Kind::kBool) {
+        *static_cast<bool*>(flag.target) = true;
+        continue;
+      }
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("flag --" + name + " expects a value");
+      }
+      value = argv[++i];
+    }
+    LSHC_RETURN_NOT_OK(SetValue(name, flag, value));
+  }
+  return Status::OK();
+}
+
+std::string FlagSet::Usage() const {
+  std::string out = "Usage: " + program_ + " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    out += "  --" + name;
+    switch (flag.kind) {
+      case Kind::kInt64:
+        out += "=<int>";
+        break;
+      case Kind::kDouble:
+        out += "=<num>";
+        break;
+      case Kind::kBool:
+        out += "[=true|false]";
+        break;
+      case Kind::kString:
+        out += "=<str>";
+        break;
+    }
+    out += "\n      " + flag.help + " (default: " + flag.default_repr + ")\n";
+  }
+  return out;
+}
+
+}  // namespace lshclust

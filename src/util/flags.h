@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file flags.h
+/// \brief Tiny command-line flag parser used by the bench drivers and
+/// examples. Supports `--name=value`, `--name value` and boolean
+/// `--name` / `--no-name` forms, prints a generated `--help`.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace lshclust {
+
+/// \brief Declarative flag set: register flags bound to variables, then
+/// Parse(argc, argv).
+///
+/// \code
+///   FlagSet flags("fig2_clusters20k");
+///   double scale = 0.1;
+///   flags.AddDouble("scale", &scale, "dataset scale factor");
+///   LSHC_CHECK_OK(flags.Parse(argc, argv));
+/// \endcode
+class FlagSet {
+ public:
+  /// \param program name shown in --help output
+  explicit FlagSet(std::string program) : program_(std::move(program)) {}
+
+  /// Registers an int64 flag bound to `target` (which holds the default).
+  void AddInt64(std::string name, int64_t* target, std::string help);
+  /// Registers a double flag bound to `target`.
+  void AddDouble(std::string name, double* target, std::string help);
+  /// Registers a boolean flag (`--name`, `--name=true/false`, `--no-name`).
+  void AddBool(std::string name, bool* target, std::string help);
+  /// Registers a string flag bound to `target`.
+  void AddString(std::string name, std::string* target, std::string help);
+
+  /// Parses argv. On `--help`, prints usage and returns a Status with code
+  /// kAlreadyExists that callers treat as "exit 0". Unknown flags and
+  /// malformed values produce kInvalidArgument.
+  Status Parse(int argc, char** argv);
+
+  /// Positional (non-flag) arguments encountered during Parse.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Renders the --help text.
+  std::string Usage() const;
+
+ private:
+  enum class Kind { kInt64, kDouble, kBool, kString };
+  struct Flag {
+    Kind kind;
+    void* target;
+    std::string help;
+    std::string default_repr;
+  };
+
+  Status SetValue(const std::string& name, Flag& flag, std::string_view text);
+
+  std::string program_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace lshclust

@@ -1,0 +1,100 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace lshclust {
+
+namespace {
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+LogLevel InitialLevel() {
+  const char* env = std::getenv("LSHCLUST_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kWarning;
+  return Logger::ParseLevel(env);
+}
+
+std::atomic<LogLevel>& GlobalLevel() {
+  static std::atomic<LogLevel> level{InitialLevel()};
+  return level;
+}
+
+// Strips the leading path so log lines show "util/logging.cpp" style names.
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash == nullptr ? path : slash + 1;
+}
+
+}  // namespace
+
+LogLevel Logger::level() { return GlobalLevel().load(std::memory_order_relaxed); }
+
+void Logger::set_level(LogLevel level) {
+  GlobalLevel().store(level, std::memory_order_relaxed);
+}
+
+LogLevel Logger::ParseLevel(std::string_view text) {
+  auto equals = [&](const char* name) {
+    if (text.size() != std::strlen(name)) return false;
+    for (size_t i = 0; i < text.size(); ++i) {
+      if (std::tolower(static_cast<unsigned char>(text[i])) != name[i]) {
+        return false;
+      }
+    }
+    return true;
+  };
+  if (equals("trace")) return LogLevel::kTrace;
+  if (equals("debug")) return LogLevel::kDebug;
+  if (equals("info")) return LogLevel::kInfo;
+  if (equals("warn") || equals("warning")) return LogLevel::kWarning;
+  if (equals("error")) return LogLevel::kError;
+  if (equals("fatal")) return LogLevel::kFatal;
+  if (equals("off")) return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+void Logger::Write(LogLevel level, const char* file, int line,
+                   const std::string& message) {
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), Basename(file),
+               line, message.c_str());
+}
+
+namespace internal {
+
+LogMessage::~LogMessage() {
+  if (LSHC_LOG_ENABLED(level_)) {
+    Logger::Write(level_, file_, line_, stream_.str());
+  }
+}
+
+FatalLogMessage::~FatalLogMessage() {
+  // The base destructor has not run yet, so emit explicitly then abort.
+  Logger::Write(LogLevel::kFatal, "", 0, stream().str());
+  std::abort();
+}
+
+}  // namespace internal
+
+}  // namespace lshclust

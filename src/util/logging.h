@@ -1,0 +1,144 @@
+#pragma once
+
+/// \file logging.h
+/// \brief Minimal leveled logging plus CHECK macros for invariants.
+///
+/// `LSHC_CHECK(cond) << "message"` aborts the process with file/line context
+/// when `cond` is false. `LSHC_DCHECK` compiles away in release builds and
+/// is used for hot-path invariants. Log lines go to stderr; the threshold is
+/// controlled with Logger::set_level or the LSHCLUST_LOG_LEVEL environment
+/// variable (trace|debug|info|warn|error|off).
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace lshclust {
+
+/// \brief Severity of a log line.
+enum class LogLevel : int8_t {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarning = 3,
+  kError = 4,
+  kFatal = 5,
+  kOff = 6,
+};
+
+/// \brief Process-wide logging configuration and sink.
+class Logger {
+ public:
+  /// Returns the current threshold; lines below it are discarded.
+  static LogLevel level();
+  /// Sets the threshold for subsequent log lines.
+  static void set_level(LogLevel level);
+  /// Parses "trace".."off" (case-insensitive); returns kInfo on no match.
+  static LogLevel ParseLevel(std::string_view text);
+  /// Writes one formatted line to stderr (thread-safe at the line level).
+  static void Write(LogLevel level, const char* file, int line,
+                    const std::string& message);
+};
+
+namespace internal {
+
+/// Accumulates one log line via operator<< and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Like LogMessage but aborts the process after emitting (used by CHECK).
+class FatalLogMessage : public LogMessage {
+ public:
+  FatalLogMessage(const char* file, int line)
+      : LogMessage(LogLevel::kFatal, file, line) {}
+  [[noreturn]] ~FatalLogMessage();
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& value) {
+    stream() << value;
+    return *this;
+  }
+};
+
+/// Swallows the streamed expression when a log level is disabled.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+#define LSHC_LOG_ENABLED(lvl) \
+  (static_cast<int>(lvl) >= static_cast<int>(::lshclust::Logger::level()))
+
+#define LSHC_LOG(lvl)                                             \
+  if (!LSHC_LOG_ENABLED(::lshclust::LogLevel::lvl))               \
+    ;                                                             \
+  else                                                            \
+    ::lshclust::internal::LogMessage(::lshclust::LogLevel::lvl,   \
+                                     __FILE__, __LINE__)
+
+#define LSHC_LOG_TRACE() LSHC_LOG(kTrace)
+#define LSHC_LOG_DEBUG() LSHC_LOG(kDebug)
+#define LSHC_LOG_INFO() LSHC_LOG(kInfo)
+#define LSHC_LOG_WARN() LSHC_LOG(kWarning)
+#define LSHC_LOG_ERROR() LSHC_LOG(kError)
+
+/// Aborts with a diagnostic when `condition` is false. Always on.
+#define LSHC_CHECK(condition)                                       \
+  if (condition)                                                    \
+    ;                                                               \
+  else                                                              \
+    ::lshclust::internal::FatalLogMessage(__FILE__, __LINE__)       \
+        << "Check failed: " #condition " "
+
+#define LSHC_CHECK_OK(expr)                                         \
+  if (::lshclust::Status _lshc_st = (expr); _lshc_st.ok())          \
+    ;                                                               \
+  else                                                              \
+    ::lshclust::internal::FatalLogMessage(__FILE__, __LINE__)       \
+        << "Operation failed: " << _lshc_st.ToString() << " "
+
+#define LSHC_CHECK_EQ(a, b) LSHC_CHECK((a) == (b))
+#define LSHC_CHECK_NE(a, b) LSHC_CHECK((a) != (b))
+#define LSHC_CHECK_LT(a, b) LSHC_CHECK((a) < (b))
+#define LSHC_CHECK_LE(a, b) LSHC_CHECK((a) <= (b))
+#define LSHC_CHECK_GT(a, b) LSHC_CHECK((a) > (b))
+#define LSHC_CHECK_GE(a, b) LSHC_CHECK((a) >= (b))
+
+/// Debug-only invariant check; compiles to nothing with NDEBUG.
+#ifdef NDEBUG
+#define LSHC_DCHECK(condition) \
+  if (true)                    \
+    ;                          \
+  else                         \
+    ::lshclust::internal::NullStream()
+#else
+#define LSHC_DCHECK(condition) LSHC_CHECK(condition)
+#endif
+
+}  // namespace lshclust

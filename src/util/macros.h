@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file macros.h
+/// \brief Error-propagation macros used throughout the library
+/// (Arrow-style RETURN_NOT_OK / ASSIGN_OR_RETURN).
+
+#define LSHC_CONCAT_IMPL(x, y) x##y
+#define LSHC_CONCAT(x, y) LSHC_CONCAT_IMPL(x, y)
+
+/// Evaluates an expression returning Status; returns it from the enclosing
+/// function if it is an error.
+#define LSHC_RETURN_NOT_OK(expr)             \
+  do {                                       \
+    ::lshclust::Status _st = (expr);         \
+    if (!_st.ok()) return _st;               \
+  } while (false)
+
+/// Evaluates an expression returning Result<T>; on success assigns the value
+/// to `lhs` (which may be a declaration), on error returns the status from
+/// the enclosing function.
+#define LSHC_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                               \
+  if (!result_name.ok()) return result_name.status();       \
+  lhs = std::move(result_name).ValueUnsafe()
+
+#define LSHC_ASSIGN_OR_RETURN(lhs, rexpr) \
+  LSHC_ASSIGN_OR_RETURN_IMPL(LSHC_CONCAT(_lshc_result_, __COUNTER__), lhs, rexpr)
+
+/// Marks intentionally unused values (e.g. must-check results in tests).
+#define LSHC_UNUSED(x) (void)(x)

@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file result.h
+/// \brief `Result<T>`: value-or-Status, the return type of fallible
+/// operations that produce a value. Mirrors arrow::Result.
+
+#include <utility>
+#include <variant>
+
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace lshclust {
+
+/// \brief Holds either a `T` or a non-OK `Status` explaining why the value
+/// could not be produced.
+///
+/// Typical usage:
+/// \code
+///   Result<Dataset> r = CsvReader::Read(path);
+///   if (!r.ok()) return r.status();
+///   Dataset d = std::move(r).ValueOrDie();
+/// \endcode
+/// or via the LSHC_ASSIGN_OR_RETURN macro in macros.h.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Constructs from a value (implicit, enables `return value;`).
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status (implicit, enables `return status;`).
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : storage_(std::move(status)) {
+    LSHC_CHECK(!std::get<Status>(storage_).ok())
+        << "Result constructed from an OK Status carries no value";
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return std::holds_alternative<T>(storage_); }
+
+  /// The status: OK when a value is present, the error otherwise.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(storage_);
+  }
+
+  /// Returns the value; aborts if the Result holds an error.
+  const T& ValueOrDie() const& {
+    DieIfError();
+    return std::get<T>(storage_);
+  }
+  T& ValueOrDie() & {
+    DieIfError();
+    return std::get<T>(storage_);
+  }
+  T ValueOrDie() && {
+    DieIfError();
+    return std::move(std::get<T>(storage_));
+  }
+
+  /// Returns the value without checking; undefined behaviour on error.
+  const T& ValueUnsafe() const& { return std::get<T>(storage_); }
+  T& ValueUnsafe() & { return std::get<T>(storage_); }
+  T ValueUnsafe() && { return std::move(std::get<T>(storage_)); }
+
+  /// Returns the contained value or `fallback` when in error state.
+  T ValueOr(T fallback) const& {
+    return ok() ? std::get<T>(storage_) : std::move(fallback);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  void DieIfError() const {
+    if (!ok()) std::get<Status>(storage_).Abort("Result::ValueOrDie");
+  }
+
+  std::variant<Status, T> storage_;
+};
+
+}  // namespace lshclust

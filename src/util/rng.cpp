@@ -1,0 +1,31 @@
+#include "util/rng.h"
+
+#include <algorithm>
+
+namespace lshclust {
+
+ZipfSampler::ZipfSampler(uint32_t n, double s) {
+  LSHC_CHECK_GE(n, 1u) << "ZipfSampler requires a non-empty population";
+  LSHC_CHECK_GT(s, 0.0) << "ZipfSampler requires a positive exponent";
+  cdf_.resize(n);
+  double total = 0.0;
+  for (uint32_t r = 0; r < n; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), s);
+    cdf_[r] = total;
+  }
+  for (auto& value : cdf_) value /= total;
+}
+
+uint32_t ZipfSampler::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint32_t>(std::min<size_t>(
+      static_cast<size_t>(it - cdf_.begin()), cdf_.size() - 1));
+}
+
+double ZipfSampler::Probability(uint32_t rank) const {
+  LSHC_CHECK_LT(rank, cdf_.size());
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace lshclust

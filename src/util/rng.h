@@ -1,0 +1,165 @@
+#pragma once
+
+/// \file rng.h
+/// \brief Deterministic pseudo-random number generation.
+///
+/// All randomized components of the library (hash family sampling, data
+/// generators, initial centroid selection) draw from `Rng`, a
+/// xoshiro256** generator seeded through SplitMix64. Given the same seed the
+/// whole pipeline is bit-reproducible, which the experiment harness relies
+/// on: the paper fixes initial centroids across algorithm variants so that
+/// initialization does not confound the efficiency comparison (§IV-A).
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace lshclust {
+
+/// \brief One step of the SplitMix64 sequence; also usable as a 64-bit
+/// integer mixer/finalizer.
+inline uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// \brief Mixes a 64-bit value into a well-distributed 64-bit hash
+/// (stateless SplitMix64 finalizer).
+inline uint64_t Mix64(uint64_t x) {
+  uint64_t state = x;
+  return SplitMix64(state);
+}
+
+/// \brief xoshiro256** PRNG: fast, high quality, 2^256-1 period.
+///
+/// Satisfies the UniformRandomBitGenerator concept so it can also feed
+/// <random> distributions where convenient.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Constructs from a seed; equal seeds produce equal sequences.
+  explicit Rng(uint64_t seed = 0xC0FFEE) { Seed(seed); }
+
+  /// Re-seeds the generator (expands the seed through SplitMix64).
+  void Seed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : state_) word = SplitMix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Next raw 64 random bits.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+  result_type operator()() { return Next(); }
+
+  /// Uniform integer in [0, bound) via Lemire's multiply-shift rejection.
+  /// `bound` must be positive.
+  uint64_t Below(uint64_t bound) {
+    LSHC_DCHECK(bound > 0) << "Below() requires a positive bound";
+    // Unbiased: rejects the short final stripe of the 2^64 range.
+    const uint64_t threshold = (~bound + 1) % bound;  // (2^64 - bound) % bound
+    while (true) {
+      const uint64_t r = Next();
+      __uint128_t m = static_cast<__uint128_t>(r) * bound;
+      if (static_cast<uint64_t>(m) >= threshold) {
+        return static_cast<uint64_t>(m >> 64);
+      }
+    }
+  }
+
+  /// Uniform integer in the closed interval [lo, hi].
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    LSHC_DCHECK(lo <= hi) << "Uniform() requires lo <= hi";
+    return lo + static_cast<int64_t>(
+                    Below(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of entropy.
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Standard normal deviate (Box-Muller; one value per call).
+  double NextGaussian() {
+    double u1 = NextDouble();
+    while (u1 <= 1e-300) u1 = NextDouble();
+    const double u2 = NextDouble();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * 3.14159265358979323846 * u2);
+  }
+
+  /// Fisher-Yates shuffle of a vector.
+  template <typename T>
+  void Shuffle(std::vector<T>& values) {
+    for (size_t i = values.size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(Below(i));
+      std::swap(values[i - 1], values[j]);
+    }
+  }
+
+  /// Samples `count` distinct indices from [0, population) (partial
+  /// Fisher-Yates; O(population) memory, O(population + count) time).
+  std::vector<uint32_t> SampleWithoutReplacement(uint32_t population,
+                                                 uint32_t count) {
+    LSHC_CHECK_LE(count, population)
+        << "cannot sample " << count << " distinct values from a population"
+        << " of " << population;
+    std::vector<uint32_t> pool(population);
+    for (uint32_t i = 0; i < population; ++i) pool[i] = i;
+    for (uint32_t i = 0; i < count; ++i) {
+      const uint32_t j =
+          i + static_cast<uint32_t>(Below(population - i));
+      std::swap(pool[i], pool[j]);
+    }
+    pool.resize(count);
+    return pool;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4] = {};
+};
+
+/// \brief Zipf-distributed integer sampler over {0, .., n-1} with exponent
+/// `s`, using precomputed inverse-CDF lookup. Used by the Yahoo!-like corpus
+/// generator to model natural-language word frequencies.
+class ZipfSampler {
+ public:
+  /// \param n population size (must be >= 1)
+  /// \param s exponent (> 0; ~1.0 for natural language)
+  ZipfSampler(uint32_t n, double s);
+
+  /// Draws one rank in [0, n); rank 0 is the most probable.
+  uint32_t Sample(Rng& rng) const;
+
+  /// The probability mass of rank `r`.
+  double Probability(uint32_t rank) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace lshclust

@@ -1,0 +1,78 @@
+#include "util/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lshclust {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kIOError:
+      return "IO error";
+    case StatusCode::kKeyError:
+      return "Key error";
+    case StatusCode::kOutOfRange:
+      return "Out of range";
+    case StatusCode::kNotImplemented:
+      return "Not implemented";
+    case StatusCode::kAlreadyExists:
+      return "Already exists";
+    case StatusCode::kUnknownError:
+      return "Unknown error";
+  }
+  return "Unrecognized status code";
+}
+
+Status::Status(StatusCode code, std::string message) {
+  if (code != StatusCode::kOk) {
+    state_ = std::make_unique<State>(State{code, std::move(message)});
+  }
+}
+
+Status::Status(const Status& other) {
+  if (other.state_ != nullptr) {
+    state_ = std::make_unique<State>(*other.state_);
+  }
+}
+
+Status& Status::operator=(const Status& other) {
+  if (this != &other) {
+    state_ = other.state_ == nullptr ? nullptr
+                                     : std::make_unique<State>(*other.state_);
+  }
+  return *this;
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeToString(code()));
+  out += ": ";
+  out += message();
+  return out;
+}
+
+Status Status::WithContext(std::string_view context) const {
+  if (ok()) return *this;
+  std::string annotated(context);
+  annotated += ": ";
+  annotated += message();
+  return Status(code(), std::move(annotated));
+}
+
+void Status::Abort(std::string_view context) const {
+  if (ok()) return;
+  if (context.empty()) {
+    std::fprintf(stderr, "Fatal status: %s\n", ToString().c_str());
+  } else {
+    std::fprintf(stderr, "Fatal status (%.*s): %s\n",
+                 static_cast<int>(context.size()), context.data(),
+                 ToString().c_str());
+  }
+  std::abort();
+}
+
+}  // namespace lshclust

@@ -1,0 +1,138 @@
+#pragma once
+
+/// \file status.h
+/// \brief Arrow-style Status object used as the error-reporting channel of
+/// the whole library. Library code never throws; fallible operations return
+/// `Status` (or `Result<T>`, see result.h) instead.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace lshclust {
+
+/// \brief Machine-readable category of an error.
+enum class StatusCode : int8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kIOError = 2,
+  kKeyError = 3,
+  kOutOfRange = 4,
+  kNotImplemented = 5,
+  kAlreadyExists = 6,
+  kUnknownError = 7,
+};
+
+/// \brief Returns a human-readable name for a status code, e.g.
+/// "Invalid argument" for StatusCode::kInvalidArgument.
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation: either OK or a coded error with a
+/// message.
+///
+/// The OK state carries no allocation; error states allocate a small state
+/// block. Copying an error Status deep-copies the message so a Status is
+/// safe to store and move across threads.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+
+  /// Constructs a status with an explicit code and message. Prefer the named
+  /// factories (Status::InvalidArgument etc.) in application code.
+  Status(StatusCode code, std::string message);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&& other) noexcept = default;
+  Status& operator=(Status&& other) noexcept = default;
+
+  /// Returns an OK status.
+  static Status OK() { return Status(); }
+
+  /// Returns an error carrying StatusCode::kInvalidArgument.
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  /// Returns an error carrying StatusCode::kIOError.
+  static Status IOError(std::string message) {
+    return Status(StatusCode::kIOError, std::move(message));
+  }
+  /// Returns an error carrying StatusCode::kKeyError.
+  static Status KeyError(std::string message) {
+    return Status(StatusCode::kKeyError, std::move(message));
+  }
+  /// Returns an error carrying StatusCode::kOutOfRange.
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  /// Returns an error carrying StatusCode::kNotImplemented.
+  static Status NotImplemented(std::string message) {
+    return Status(StatusCode::kNotImplemented, std::move(message));
+  }
+  /// Returns an error carrying StatusCode::kAlreadyExists.
+  static Status AlreadyExists(std::string message) {
+    return Status(StatusCode::kAlreadyExists, std::move(message));
+  }
+  /// Returns an error carrying StatusCode::kUnknownError.
+  static Status UnknownError(std::string message) {
+    return Status(StatusCode::kUnknownError, std::move(message));
+  }
+
+  /// True iff the status is OK.
+  bool ok() const noexcept { return state_ == nullptr; }
+
+  /// The status code; kOk when ok().
+  StatusCode code() const noexcept {
+    return state_ == nullptr ? StatusCode::kOk : state_->code;
+  }
+
+  /// The error message; empty when ok().
+  const std::string& message() const noexcept {
+    static const std::string kEmpty;
+    return state_ == nullptr ? kEmpty : state_->message;
+  }
+
+  /// True iff the status carries the given error code.
+  bool Is(StatusCode code) const noexcept { return this->code() == code; }
+  bool IsInvalidArgument() const noexcept {
+    return Is(StatusCode::kInvalidArgument);
+  }
+  bool IsIOError() const noexcept { return Is(StatusCode::kIOError); }
+  bool IsKeyError() const noexcept { return Is(StatusCode::kKeyError); }
+  bool IsOutOfRange() const noexcept { return Is(StatusCode::kOutOfRange); }
+  bool IsNotImplemented() const noexcept {
+    return Is(StatusCode::kNotImplemented);
+  }
+  bool IsAlreadyExists() const noexcept {
+    return Is(StatusCode::kAlreadyExists);
+  }
+
+  /// Renders "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  /// Returns a copy of this status with `context` prepended to the message,
+  /// used to annotate errors as they propagate up a call chain. OK statuses
+  /// are returned unchanged.
+  Status WithContext(std::string_view context) const;
+
+  /// Aborts the process with the status message if not OK. Intended for
+  /// examples and tooling where an error is unrecoverable.
+  void Abort(std::string_view context = {}) const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code() == b.code() && a.message() == b.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  // nullptr means OK; this keeps the success path allocation-free.
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace lshclust

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file stopwatch.h
+/// \brief Monotonic wall-clock stopwatch used by the experiment harness to
+/// time iterations and total runs.
+
+#include <chrono>
+#include <cstdint>
+
+namespace lshclust {
+
+/// \brief Measures elapsed wall-clock time from construction or the last
+/// Restart().
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since start as a double.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since start as a double.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Elapsed nanoseconds since start.
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace lshclust

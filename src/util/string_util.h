@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file string_util.h
+/// \brief Small string helpers shared by the CSV reader, tokenizer and flag
+/// parser.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lshclust {
+
+/// Splits `text` on `delimiter`, keeping empty fields ("a,,b" -> 3 fields).
+std::vector<std::string> Split(std::string_view text, char delimiter);
+
+/// Joins `parts` with `separator`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// Lower-cases ASCII characters.
+std::string ToLower(std::string_view text);
+
+/// True iff `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Parses a signed 64-bit integer; the full string must be consumed.
+bool ParseInt64(std::string_view text, int64_t* out);
+
+/// Parses a double; the full string must be consumed.
+bool ParseDouble(std::string_view text, double* out);
+
+/// Formats a double with `digits` significant digits (for table printers).
+std::string FormatDouble(double value, int digits = 6);
+
+/// Renders a byte count as a human-readable string ("1.5 MiB").
+std::string HumanBytes(uint64_t bytes);
+
+}  // namespace lshclust

@@ -1,0 +1,185 @@
+// Tests for canopy clustering (clustering/canopy.h) and Canopy-K-Modes
+// (core/canopy_kmodes.h) — the related-work accelerator baseline.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "clustering/kmodes.h"
+#include "core/canopy_kmodes.h"
+#include "datagen/conjunctive_generator.h"
+#include "metrics/metrics.h"
+
+namespace lshclust {
+namespace {
+
+CategoricalDataset MakeData(uint32_t n, uint32_t k, uint64_t seed,
+                            double min_rule = 0.6, double max_rule = 0.9) {
+  ConjunctiveDataOptions options;
+  options.num_items = n;
+  options.num_attributes = 20;
+  options.num_clusters = k;
+  options.domain_size = 1000;
+  options.min_rule_fraction = min_rule;
+  options.max_rule_fraction = max_rule;
+  options.seed = seed;
+  return GenerateConjunctiveRuleData(options).ValueOrDie();
+}
+
+TEST(CanopyTest, EveryItemIsCovered) {
+  const auto dataset = MakeData(300, 15, 3);
+  CanopyOptions options;
+  options.seed = 5;
+  const auto index = CanopyIndex::Build(dataset, options).ValueOrDie();
+  EXPECT_GT(index.num_canopies(), 0u);
+  for (uint32_t item = 0; item < dataset.num_items(); ++item) {
+    EXPECT_GE(index.CanopiesOf(item).size(), 1u) << "item " << item;
+  }
+}
+
+TEST(CanopyTest, MembershipListsAreConsistent) {
+  const auto dataset = MakeData(200, 10, 7);
+  CanopyOptions options;
+  options.seed = 9;
+  const auto index = CanopyIndex::Build(dataset, options).ValueOrDie();
+  // item -> canopies and canopy -> items must be inverses.
+  for (uint32_t canopy = 0; canopy < index.num_canopies(); ++canopy) {
+    for (const uint32_t item : index.CanopyMembers(canopy)) {
+      const auto canopies = index.CanopiesOf(item);
+      EXPECT_NE(std::find(canopies.begin(), canopies.end(), canopy),
+                canopies.end());
+    }
+  }
+  for (uint32_t item = 0; item < dataset.num_items(); ++item) {
+    for (const uint32_t canopy : index.CanopiesOf(item)) {
+      const auto members = index.CanopyMembers(canopy);
+      EXPECT_NE(std::find(members.begin(), members.end(), item),
+                members.end());
+    }
+  }
+}
+
+TEST(CanopyTest, IdenticalItemsShareACanopy) {
+  auto dataset = CategoricalDataset::FromCodes(
+                     4, 4, 40,
+                     {1, 2, 3, 4,      //
+                      1, 2, 3, 4,      // identical to item 0
+                      10, 11, 12, 13,  //
+                      20, 21, 22, 23})
+                     .ValueOrDie();
+  CanopyOptions options;
+  options.cheap_attributes = 4;
+  options.seed = 3;
+  const auto index = CanopyIndex::Build(dataset, options).ValueOrDie();
+  bool shared = false;
+  for (const uint32_t canopy : index.CanopiesOf(0)) {
+    const auto members = index.CanopyMembers(canopy);
+    if (std::find(members.begin(), members.end(), 1u) != members.end()) {
+      shared = true;
+    }
+  }
+  EXPECT_TRUE(shared);
+}
+
+TEST(CanopyTest, LooserThresholdGrowsCanopies) {
+  const auto dataset = MakeData(300, 15, 11);
+  CanopyOptions tight;
+  tight.loose_fraction = 0.5;
+  tight.tight_fraction = 0.3;
+  tight.seed = 13;
+  CanopyOptions loose;
+  loose.loose_fraction = 1.0;  // everything joins every canopy
+  loose.tight_fraction = 0.9;
+  loose.seed = 13;
+  const auto small = CanopyIndex::Build(dataset, tight).ValueOrDie();
+  const auto large = CanopyIndex::Build(dataset, loose).ValueOrDie();
+  EXPECT_GE(large.MeanCanopySize(), small.MeanCanopySize());
+}
+
+TEST(CanopyTest, ValidatesOptions) {
+  const auto dataset = MakeData(50, 5, 17);
+  CanopyOptions options;
+  options.tight_fraction = 0.9;
+  options.loose_fraction = 0.5;  // tight > loose
+  EXPECT_TRUE(CanopyIndex::Build(dataset, options)
+                  .status().IsInvalidArgument());
+  options = CanopyOptions{};
+  options.cheap_attributes = 0;
+  EXPECT_TRUE(CanopyIndex::Build(dataset, options)
+                  .status().IsInvalidArgument());
+}
+
+TEST(CanopyTest, DeterministicPerSeed) {
+  const auto dataset = MakeData(150, 8, 19);
+  CanopyOptions options;
+  options.seed = 21;
+  const auto a = CanopyIndex::Build(dataset, options).ValueOrDie();
+  const auto b = CanopyIndex::Build(dataset, options).ValueOrDie();
+  ASSERT_EQ(a.num_canopies(), b.num_canopies());
+  for (uint32_t canopy = 0; canopy < a.num_canopies(); ++canopy) {
+    const auto ma = a.CanopyMembers(canopy);
+    const auto mb = b.CanopyMembers(canopy);
+    EXPECT_TRUE(std::equal(ma.begin(), ma.end(), mb.begin(), mb.end()));
+  }
+}
+
+// --------------------------------------------------- canopy-k-modes --
+
+TEST(CanopyKModesTest, ProducesValidClusteringWithSmallShortlists) {
+  const auto dataset = MakeData(600, 60, 23);
+  CanopyKModesOptions options;
+  options.engine.num_clusters = 60;
+  options.engine.seed = 25;
+  options.canopy.seed = 27;
+  const auto result = RunCanopyKModes(dataset, options).ValueOrDie();
+  EXPECT_EQ(result.assignment.size(), dataset.num_items());
+  for (const auto& iteration : result.iterations) {
+    EXPECT_GE(iteration.mean_shortlist, 1.0);
+    EXPECT_LE(iteration.mean_shortlist, 60.0);
+  }
+}
+
+TEST(CanopyKModesTest, CostMonotoneNonIncreasing) {
+  const auto dataset = MakeData(400, 30, 29);
+  CanopyKModesOptions options;
+  options.engine.num_clusters = 30;
+  options.engine.seed = 31;
+  const auto result = RunCanopyKModes(dataset, options).ValueOrDie();
+  for (size_t i = 1; i < result.iterations.size(); ++i) {
+    EXPECT_LE(result.iterations[i].cost, result.iterations[i - 1].cost);
+  }
+}
+
+TEST(CanopyKModesTest, MatchesKModesOnSeparatedData) {
+  const auto dataset = MakeData(200, 4, 33, 1.0, 1.0);
+  EngineOptions engine;
+  engine.num_clusters = 4;
+  engine.initial_seeds = {0, 1, 2, 3};
+  const auto baseline = RunKModes(dataset, engine).ValueOrDie();
+
+  CanopyKModesOptions options;
+  options.engine = engine;
+  const auto canopy = RunCanopyKModes(dataset, options).ValueOrDie();
+  EXPECT_EQ(baseline.assignment, canopy.assignment);
+  EXPECT_EQ(canopy.final_cost, 0.0);
+}
+
+TEST(CanopyKModesTest, ComparablePurityToBaseline) {
+  const auto dataset = MakeData(500, 25, 35);
+  EngineOptions engine;
+  engine.num_clusters = 25;
+  engine.seed = 37;
+  const auto baseline = RunKModes(dataset, engine).ValueOrDie();
+  CanopyKModesOptions options;
+  options.engine = engine;
+  const auto canopy = RunCanopyKModes(dataset, options).ValueOrDie();
+  const double purity_baseline =
+      ComputePurity(baseline.assignment, dataset.labels()).ValueOrDie();
+  const double purity_canopy =
+      ComputePurity(canopy.assignment, dataset.labels()).ValueOrDie();
+  EXPECT_GE(purity_canopy, purity_baseline - 0.15);
+}
+
+}  // namespace
+}  // namespace lshclust

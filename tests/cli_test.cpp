@@ -1,0 +1,150 @@
+// End-to-end tests of the `lshclust` command-line tool, driven in-process
+// through RunCli (tools/cli.h).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "tools/cli.h"
+
+namespace lshclust {
+namespace {
+
+/// Runs the CLI with the given arguments (argv[0] is supplied).
+int RunTool(std::vector<std::string> args) {
+  std::vector<char*> argv;
+  std::string program = "lshclust";
+  argv.push_back(program.data());
+  for (auto& arg : args) argv.push_back(arg.data());
+  return RunCli(static_cast<int>(argv.size()), argv.data());
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    directory_ = std::filesystem::temp_directory_path() /
+                 ("lshclust_cli_" + std::to_string(::getpid()) + "_" +
+                  ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    std::filesystem::create_directories(directory_);
+  }
+  void TearDown() override { std::filesystem::remove_all(directory_); }
+
+  std::string Path(const std::string& name) const {
+    return (directory_ / name).string();
+  }
+  std::filesystem::path directory_;
+};
+
+TEST_F(CliTest, NoArgumentsPrintsUsage) {
+  EXPECT_EQ(RunTool({}), 2);
+  EXPECT_EQ(RunTool({"frobnicate"}), 2);
+}
+
+TEST_F(CliTest, GenerateClusterEvaluateRoundTrip) {
+  const std::string dataset = Path("data.lshc");
+  const std::string assignment = Path("assignment.csv");
+
+  ASSERT_EQ(RunTool({"generate", "--items=600", "--attributes=20",
+                 "--clusters=30", "--domain=500", "--seed=3",
+                 "--output=" + dataset}),
+            0);
+  ASSERT_TRUE(std::filesystem::exists(dataset));
+
+  ASSERT_EQ(RunTool({"cluster", "--input=" + dataset, "--k=30",
+                 "--method=mh-kmodes", "--bands=16", "--rows=2",
+                 "--output=" + assignment}),
+            0);
+  ASSERT_TRUE(std::filesystem::exists(assignment));
+
+  EXPECT_EQ(RunTool({"evaluate", "--dataset=" + dataset,
+                 "--assignment=" + assignment}),
+            0);
+}
+
+TEST_F(CliTest, ClusterWithExhaustiveKModes) {
+  const std::string dataset = Path("data.lshc");
+  const std::string assignment = Path("assignment.csv");
+  ASSERT_EQ(RunTool({"generate", "--items=200", "--attributes=10",
+                 "--clusters=8", "--domain=100", "--output=" + dataset}),
+            0);
+  EXPECT_EQ(RunTool({"cluster", "--input=" + dataset, "--k=8",
+                 "--method=kmodes", "--output=" + assignment}),
+            0);
+  // The assignment file has a header plus one line per item.
+  std::ifstream in(assignment);
+  std::string line;
+  size_t lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 201u);
+}
+
+TEST_F(CliTest, InspectReportsShapeAndAdvice) {
+  const std::string dataset = Path("data.lshc");
+  ASSERT_EQ(RunTool({"generate", "--items=300", "--attributes=50",
+                 "--clusters=10", "--output=" + dataset}),
+            0);
+  EXPECT_EQ(RunTool({"inspect", "--input=" + dataset}), 0);
+}
+
+TEST_F(CliTest, ClusterRequiresInputAndK) {
+  EXPECT_EQ(RunTool({"cluster"}), 2);
+  EXPECT_EQ(RunTool({"cluster", "--k=5"}), 2);
+}
+
+TEST_F(CliTest, ClusterRejectsUnknownMethod) {
+  const std::string dataset = Path("data.lshc");
+  ASSERT_EQ(RunTool({"generate", "--items=100", "--attributes=8",
+                 "--clusters=4", "--output=" + dataset}),
+            0);
+  EXPECT_EQ(RunTool({"cluster", "--input=" + dataset, "--k=4",
+                 "--method=quantum"}),
+            2);
+}
+
+TEST_F(CliTest, MissingFilesFailGracefully) {
+  EXPECT_EQ(RunTool({"cluster", "--input=" + Path("nope.lshc"), "--k=4"}), 1);
+  EXPECT_EQ(RunTool({"evaluate", "--dataset=" + Path("nope.lshc"),
+                 "--assignment=" + Path("nope.csv")}),
+            1);
+  EXPECT_EQ(RunTool({"inspect", "--input=" + Path("nope.lshc")}), 1);
+}
+
+TEST_F(CliTest, EvaluateRejectsMalformedAssignment) {
+  const std::string dataset = Path("data.lshc");
+  ASSERT_EQ(RunTool({"generate", "--items=100", "--attributes=8",
+                 "--clusters=4", "--output=" + dataset}),
+            0);
+  const std::string bad = Path("bad.csv");
+  std::ofstream(bad) << "item,cluster\n0,not-a-number\n";
+  EXPECT_EQ(RunTool({"evaluate", "--dataset=" + dataset,
+                 "--assignment=" + bad}),
+            1);
+}
+
+TEST_F(CliTest, EvaluateRejectsLengthMismatch) {
+  const std::string dataset = Path("data.lshc");
+  ASSERT_EQ(RunTool({"generate", "--items=100", "--attributes=8",
+                 "--clusters=4", "--output=" + dataset}),
+            0);
+  const std::string wrong = Path("short.csv");
+  std::ofstream(wrong) << "item,cluster\n0,1\n1,2\n";
+  EXPECT_EQ(RunTool({"evaluate", "--dataset=" + dataset,
+                 "--assignment=" + wrong}),
+            1);
+}
+
+TEST_F(CliTest, GenerateToCsvRequiresDictionary) {
+  // The conjunctive generator produces raw codes without a dictionary, so
+  // CSV output must be rejected with a clear error.
+  EXPECT_EQ(RunTool({"generate", "--items=50", "--attributes=5",
+                 "--clusters=2", "--output=" + Path("data.csv")}),
+            1);
+}
+
+}  // namespace
+}  // namespace lshclust

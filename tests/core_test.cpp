@@ -1,0 +1,529 @@
+// Tests for src/core: the cluster shortlist provider, MH-K-Modes, the
+// error-bound machinery (Tables I/II + Monte Carlo), LSH-K-Means, the
+// experiment harness and the reporters.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "core/cluster_shortlist_index.h"
+#include "core/error_bound.h"
+#include "core/experiment.h"
+#include "core/lsh_kmeans.h"
+#include "core/mh_kmodes.h"
+#include "core/reporters.h"
+#include "datagen/conjunctive_generator.h"
+#include "datagen/gaussian_mixture.h"
+#include "metrics/metrics.h"
+
+namespace lshclust {
+namespace {
+
+CategoricalDataset MakeData(uint32_t n, uint32_t m, uint32_t k,
+                            uint32_t domain, uint64_t seed,
+                            double min_rule = 0.4, double max_rule = 0.8) {
+  ConjunctiveDataOptions options;
+  options.num_items = n;
+  options.num_attributes = m;
+  options.num_clusters = k;
+  options.domain_size = domain;
+  options.min_rule_fraction = min_rule;
+  options.max_rule_fraction = max_rule;
+  options.seed = seed;
+  return GenerateConjunctiveRuleData(options).ValueOrDie();
+}
+
+// -------------------------------------------- ClusterShortlistProvider --
+
+TEST(ShortlistProviderTest, ShortlistAlwaysContainsCurrentCluster) {
+  const auto dataset = MakeData(300, 16, 20, 500, 3);
+  ShortlistIndexOptions options;
+  options.banding = {8, 4};
+  ClusterShortlistProvider provider(options, 20);
+  ASSERT_TRUE(provider.Prepare(dataset).ok());
+
+  std::vector<uint32_t> assignment(dataset.num_items());
+  Rng rng(5);
+  for (auto& cluster : assignment) {
+    cluster = static_cast<uint32_t>(rng.Below(20));
+  }
+  std::vector<uint32_t> shortlist;
+  for (uint32_t item = 0; item < dataset.num_items(); ++item) {
+    provider.GetCandidates(item, assignment, &shortlist);
+    ASSERT_FALSE(shortlist.empty());
+    EXPECT_NE(std::find(shortlist.begin(), shortlist.end(), assignment[item]),
+              shortlist.end())
+        << "item " << item;
+  }
+}
+
+TEST(ShortlistProviderTest, ShortlistIsDeduplicatedAndInRange) {
+  const auto dataset = MakeData(200, 12, 10, 50, 7);
+  ShortlistIndexOptions options;
+  options.banding = {10, 1};  // aggressive: big shortlists
+  ClusterShortlistProvider provider(options, 10);
+  ASSERT_TRUE(provider.Prepare(dataset).ok());
+
+  std::vector<uint32_t> assignment(dataset.num_items());
+  for (uint32_t i = 0; i < dataset.num_items(); ++i) assignment[i] = i % 10;
+  std::vector<uint32_t> shortlist;
+  for (uint32_t item = 0; item < dataset.num_items(); item += 7) {
+    provider.GetCandidates(item, assignment, &shortlist);
+    std::set<uint32_t> unique(shortlist.begin(), shortlist.end());
+    EXPECT_EQ(unique.size(), shortlist.size()) << "duplicates in shortlist";
+    for (const uint32_t cluster : shortlist) EXPECT_LT(cluster, 10u);
+  }
+}
+
+TEST(ShortlistProviderTest, ShortlistContainsClustersOfIdenticalItems) {
+  // Construct a dataset with two identical items assigned to different
+  // clusters: each must see the other's cluster in its shortlist.
+  auto dataset = CategoricalDataset::FromCodes(
+                     4, 3, 30,
+                     {1, 2, 3,    // item 0
+                      1, 2, 3,    // item 1 (identical to 0)
+                      10, 11, 12, // item 2
+                      20, 21, 22})// item 3
+                     .ValueOrDie();
+  ShortlistIndexOptions options;
+  options.banding = {4, 4};
+  ClusterShortlistProvider provider(options, 4);
+  ASSERT_TRUE(provider.Prepare(dataset).ok());
+
+  const std::vector<uint32_t> assignment{0, 1, 2, 3};
+  std::vector<uint32_t> shortlist;
+  provider.GetCandidates(0, assignment, &shortlist);
+  EXPECT_NE(std::find(shortlist.begin(), shortlist.end(), 1u),
+            shortlist.end())
+      << "identical item's cluster missing from shortlist";
+}
+
+TEST(ShortlistProviderTest, ReflectsLiveAssignmentUpdates) {
+  // Moving an item's neighbours must change what the shortlist
+  // dereferences — the "update the cluster reference" step of Alg. 2.
+  auto dataset = CategoricalDataset::FromCodes(
+                     2, 2, 20, {1, 2, 1, 2})  // two identical items
+                     .ValueOrDie();
+  ShortlistIndexOptions options;
+  options.banding = {2, 2};
+  ClusterShortlistProvider provider(options, 5);
+  ASSERT_TRUE(provider.Prepare(dataset).ok());
+
+  std::vector<uint32_t> assignment{0, 3};
+  std::vector<uint32_t> shortlist;
+  provider.GetCandidates(0, assignment, &shortlist);
+  EXPECT_NE(std::find(shortlist.begin(), shortlist.end(), 3u),
+            shortlist.end());
+  assignment[1] = 4;  // the move: just a reference update
+  provider.GetCandidates(0, assignment, &shortlist);
+  EXPECT_NE(std::find(shortlist.begin(), shortlist.end(), 4u),
+            shortlist.end());
+  EXPECT_EQ(std::find(shortlist.begin(), shortlist.end(), 3u),
+            shortlist.end());
+}
+
+TEST(ShortlistProviderTest, ExternalTokenQueryFindsSimilarItems) {
+  const auto dataset = MakeData(100, 10, 5, 40, 11);
+  ShortlistIndexOptions options;
+  options.banding = {6, 2};
+  ClusterShortlistProvider provider(options, 5);
+  ASSERT_TRUE(provider.Prepare(dataset).ok());
+
+  std::vector<uint32_t> assignment(dataset.num_items());
+  for (uint32_t i = 0; i < dataset.num_items(); ++i) assignment[i] = i % 5;
+
+  // Query with item 0's own tokens: its cluster must appear.
+  std::vector<uint32_t> tokens;
+  dataset.PresentTokens(0, &tokens);
+  std::vector<uint32_t> shortlist;
+  provider.GetCandidatesForTokens(tokens, assignment, &shortlist);
+  EXPECT_NE(std::find(shortlist.begin(), shortlist.end(), assignment[0]),
+            shortlist.end());
+}
+
+TEST(ShortlistProviderTest, OnePermutationBackendWorks) {
+  const auto dataset = MakeData(200, 12, 8, 100, 13);
+  ShortlistIndexOptions options;
+  options.banding = {8, 2};
+  options.algorithm = SignatureAlgorithm::kOnePermutation;
+  ClusterShortlistProvider provider(options, 8);
+  ASSERT_TRUE(provider.Prepare(dataset).ok());
+  std::vector<uint32_t> assignment(dataset.num_items());
+  for (uint32_t i = 0; i < dataset.num_items(); ++i) assignment[i] = i % 8;
+  std::vector<uint32_t> shortlist;
+  provider.GetCandidates(0, assignment, &shortlist);
+  EXPECT_FALSE(shortlist.empty());
+  EXPECT_GT(provider.IndexStats().total_buckets, 0u);
+}
+
+TEST(ShortlistProviderTest, TimersAndMemoryArePopulated) {
+  const auto dataset = MakeData(150, 10, 6, 80, 17);
+  ShortlistIndexOptions options;
+  options.banding = {4, 3};
+  ClusterShortlistProvider provider(options, 6);
+  ASSERT_TRUE(provider.Prepare(dataset).ok());
+  EXPECT_GE(provider.signature_seconds(), 0.0);
+  EXPECT_GE(provider.index_seconds(), 0.0);
+  EXPECT_GT(provider.MemoryUsageBytes(), 0u);
+  ASSERT_NE(provider.index(), nullptr);
+  EXPECT_EQ(provider.index()->num_items(), dataset.num_items());
+}
+
+// --------------------------------------------------------- MH-K-Modes --
+
+TEST(MHKModesTest, ProducesValidClusteringWithSmallShortlists) {
+  const auto dataset = MakeData(600, 20, 60, 2000, 19);
+  MHKModesOptions options;
+  options.engine.num_clusters = 60;
+  options.engine.seed = 21;
+  options.index.banding = {20, 5};
+  const auto run = RunMHKModes(dataset, options).ValueOrDie();
+
+  EXPECT_EQ(run.result.assignment.size(), dataset.num_items());
+  for (const uint32_t cluster : run.result.assignment) {
+    EXPECT_LT(cluster, 60u);
+  }
+  ASSERT_FALSE(run.result.iterations.empty());
+  // The whole point: shortlists are far smaller than k.
+  for (const auto& iteration : run.result.iterations) {
+    EXPECT_LT(iteration.mean_shortlist, 60.0);
+  }
+  EXPECT_GT(run.index_stats.total_buckets, 0u);
+  EXPECT_GT(run.index_memory_bytes, 0u);
+}
+
+TEST(MHKModesTest, CostMonotoneNonIncreasing) {
+  const auto dataset = MakeData(400, 16, 30, 300, 23);
+  MHKModesOptions options;
+  options.engine.num_clusters = 30;
+  options.engine.seed = 25;
+  options.index.banding = {16, 2};
+  const auto run = RunMHKModes(dataset, options).ValueOrDie();
+  for (size_t i = 1; i < run.result.iterations.size(); ++i) {
+    EXPECT_LE(run.result.iterations[i].cost,
+              run.result.iterations[i - 1].cost);
+  }
+}
+
+TEST(MHKModesTest, MatchesKModesOnWellSeparatedData) {
+  // With pure clusters and shared seeds covering each cluster, both
+  // algorithms must find the exact ground truth.
+  const auto dataset = MakeData(200, 10, 4, 5000, 27, 1.0, 1.0);
+  EngineOptions engine;
+  engine.num_clusters = 4;
+  engine.initial_seeds = {0, 1, 2, 3};
+
+  const auto baseline = RunKModes(dataset, engine).ValueOrDie();
+
+  MHKModesOptions options;
+  options.engine = engine;
+  options.index.banding = {20, 5};
+  const auto accelerated = RunMHKModes(dataset, options).ValueOrDie();
+
+  EXPECT_EQ(baseline.final_cost, 0.0);
+  EXPECT_EQ(accelerated.result.final_cost, 0.0);
+  EXPECT_EQ(baseline.assignment, accelerated.result.assignment);
+}
+
+TEST(MHKModesTest, ComparablePurityToBaseline) {
+  // The paper's headline: comparable purity, much less work. On noisy
+  // synthetic data require MH purity within 10% of the baseline.
+  const auto dataset = MakeData(800, 24, 40, 4000, 29);
+  ComparisonOptions options;
+  options.num_clusters = 40;
+  options.seed = 31;
+  const auto runs = RunComparison(
+                        dataset, options,
+                        {KModesSpec(), MHKModesSpec(20, 5)})
+                        .ValueOrDie();
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_GE(runs[1].purity, runs[0].purity - 0.1);
+}
+
+TEST(MHKModesTest, DeterministicPerSeed) {
+  const auto dataset = MakeData(300, 12, 20, 200, 33);
+  MHKModesOptions options;
+  options.engine.num_clusters = 20;
+  options.engine.seed = 35;
+  options.index.banding = {10, 3};
+  const auto a = RunMHKModes(dataset, options).ValueOrDie();
+  const auto b = RunMHKModes(dataset, options).ValueOrDie();
+  EXPECT_EQ(a.result.assignment, b.result.assignment);
+  EXPECT_EQ(a.result.final_cost, b.result.final_cost);
+}
+
+TEST(MHKModesTest, OneBandOneRowStillClusters) {
+  // The paper's 1b 1r setting (used on Yahoo! data): coarse but valid.
+  const auto dataset = MakeData(300, 12, 15, 500, 37);
+  MHKModesOptions options;
+  options.engine.num_clusters = 15;
+  options.index.banding = {1, 1};
+  const auto run = RunMHKModes(dataset, options).ValueOrDie();
+  EXPECT_EQ(run.result.assignment.size(), dataset.num_items());
+}
+
+// §III-C error-bound conformance: the fraction of items whose true best
+// cluster is missing from the shortlist must not exceed the analytic bound.
+class ErrorBoundConformanceTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t>> {};
+
+TEST_P(ErrorBoundConformanceTest, EmpiricalMissRateBelowBound) {
+  const auto [bands, rows] = GetParam();
+  const uint32_t k = 25;
+  const uint32_t per_cluster = 20;  // |C| for the bound
+  const auto dataset =
+      MakeData(k * per_cluster, 30, k, 1000, 41, 0.6, 0.9);
+
+  ShortlistIndexOptions options;
+  options.banding = {bands, rows};
+  ClusterShortlistProvider provider(options, k);
+  ASSERT_TRUE(provider.Prepare(dataset).ok());
+
+  // Ground-truth assignment; modes = per-cluster majorities.
+  const std::vector<uint32_t>& assignment = dataset.labels();
+  ModeTable modes(k, dataset.num_attributes());
+  Rng rng(43);
+  modes.RecomputeFromAssignment(dataset, assignment,
+                                EmptyClusterPolicy::kKeepPreviousMode, rng);
+
+  uint32_t misses = 0;
+  std::vector<uint32_t> shortlist;
+  for (uint32_t item = 0; item < dataset.num_items(); ++item) {
+    // The true best cluster by exhaustive search.
+    uint32_t best_cluster = 0;
+    uint32_t best_distance = ~0u;
+    for (uint32_t cluster = 0; cluster < k; ++cluster) {
+      const uint32_t d =
+          MismatchDistance(dataset.Row(item), modes.Mode(cluster));
+      if (d < best_distance) {
+        best_distance = d;
+        best_cluster = cluster;
+      }
+    }
+    provider.GetCandidates(item, assignment, &shortlist);
+    if (std::find(shortlist.begin(), shortlist.end(), best_cluster) ==
+        shortlist.end()) {
+      ++misses;
+    }
+  }
+  const double miss_rate =
+      static_cast<double>(misses) / dataset.num_items();
+  const double bound = AssignmentErrorBound(dataset.num_attributes(),
+                                            options.banding, per_cluster);
+  // The bound is worst-case (items share >= 1 attribute with their best
+  // cluster; real similarity is far higher), so the empirical rate must
+  // sit clearly below it. Allow Monte-Carlo slack above tiny bounds.
+  EXPECT_LE(miss_rate, std::min(1.0, bound + 0.02))
+      << "b=" << bands << " r=" << rows << " bound=" << bound;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ErrorBoundConformanceTest,
+                         ::testing::Values(std::make_tuple(25u, 1u),
+                                           std::make_tuple(20u, 2u),
+                                           std::make_tuple(20u, 5u),
+                                           std::make_tuple(50u, 5u)));
+
+// -------------------------------------------------------- error bound --
+
+TEST(ErrorBoundTablesTest, Table1MatchesPaperValues) {
+  const auto table = MakePaperTable1();
+  ASSERT_EQ(table.size(), 13u);
+  // Row "10 bands, s=0.1": P=0.65, MH=1.
+  EXPECT_EQ(table[1].bands, 10u);
+  EXPECT_NEAR(table[1].pair_probability, 0.65, 0.005);
+  EXPECT_NEAR(table[1].mh_probability, 1.0, 0.005);
+  // Row "800 bands, s=0.0001": P=0.077; the paper prints MH=0.52 because
+  // it composes from the rounded 0.07 — the exact value is 0.551.
+  EXPECT_NEAR(table[9].pair_probability, 0.07, 0.01);
+  EXPECT_NEAR(table[9].mh_probability, 0.5507, 0.005);
+}
+
+TEST(ErrorBoundTablesTest, Table2MatchesPaperValues) {
+  const auto table = MakePaperTable2();
+  ASSERT_EQ(table.size(), 9u);
+  // Row "10 bands, s=0.5": P=0.27, MH=0.96.
+  EXPECT_EQ(table[2].bands, 10u);
+  EXPECT_NEAR(table[2].pair_probability, 0.27, 0.01);
+  EXPECT_NEAR(table[2].mh_probability, 0.96, 0.01);
+}
+
+TEST(ErrorBoundMonteCarloTest, MatchesAnalyticModel) {
+  const BandingParams params{10, 1};
+  const double jaccard = 0.2;
+  const auto estimate =
+      EstimateCollisionProbability(jaccard, params, 10, 64, 400, 7);
+  EXPECT_NEAR(estimate.realized_jaccard, jaccard, 0.02);
+  const double expected =
+      CandidatePairProbability(estimate.realized_jaccard, params);
+  EXPECT_NEAR(estimate.pair_probability, expected, 0.08);
+  const double expected_cluster = ClusterCandidateProbability(
+      estimate.realized_jaccard, params, 10);
+  EXPECT_NEAR(estimate.cluster_probability, expected_cluster, 0.08);
+}
+
+TEST(ErrorBoundMonteCarloTest, HighSimilarityAlwaysCollides) {
+  const BandingParams params{20, 2};
+  const auto estimate =
+      EstimateCollisionProbability(0.95, params, 5, 64, 100, 9);
+  EXPECT_GT(estimate.pair_probability, 0.99);
+  EXPECT_GT(estimate.cluster_probability, 0.99);
+}
+
+// --------------------------------------------------------- LSH-K-Means --
+
+TEST(LshKMeansTest, MatchesKMeansOnSeparatedBlobs) {
+  GaussianMixtureOptions data;
+  data.num_items = 400;
+  data.dimensions = 8;
+  data.num_clusters = 8;
+  data.center_box = 50.0;
+  data.stddev = 0.5;
+  data.seed = 47;
+  const auto dataset = GenerateGaussianMixture(data).ValueOrDie();
+
+  KMeansOptions kmeans;
+  kmeans.num_clusters = 8;
+  kmeans.initial_seeds = {0, 1, 2, 3, 4, 5, 6, 7};
+  const auto baseline = RunKMeans(dataset, kmeans).ValueOrDie();
+
+  LshKMeansOptions options;
+  options.kmeans = kmeans;
+  options.banding = {16, 4};
+  const auto accelerated = RunLshKMeans(dataset, options).ValueOrDie();
+
+  EXPECT_EQ(baseline.assignment, accelerated.assignment);
+  // Shortlists must beat exhaustive k.
+  for (const auto& iteration : accelerated.iterations) {
+    EXPECT_LT(iteration.mean_shortlist, 8.0);
+  }
+}
+
+TEST(LshKMeansTest, InertiaMonotone) {
+  GaussianMixtureOptions data;
+  data.num_items = 500;
+  data.dimensions = 6;
+  data.num_clusters = 20;
+  data.center_box = 5.0;
+  data.stddev = 1.5;
+  data.seed = 53;
+  const auto dataset = GenerateGaussianMixture(data).ValueOrDie();
+
+  LshKMeansOptions options;
+  options.kmeans.num_clusters = 20;
+  options.kmeans.seed = 55;
+  options.banding = {12, 3};
+  const auto result = RunLshKMeans(dataset, options).ValueOrDie();
+  for (size_t i = 1; i < result.iterations.size(); ++i) {
+    EXPECT_LE(result.iterations[i].cost,
+              result.iterations[i - 1].cost + 1e-9);
+  }
+}
+
+// ----------------------------------------------------------- experiment --
+
+TEST(ExperimentTest, SharedSeedsMakeInitialConditionsEqual) {
+  const auto dataset = MakeData(300, 14, 20, 400, 59);
+  ComparisonOptions options;
+  options.num_clusters = 20;
+  options.seed = 61;
+  const auto runs =
+      RunComparison(dataset, options,
+                    {KModesSpec(), MHKModesSpec(20, 5), MHKModesSpec(20, 2)})
+          .ValueOrDie();
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_EQ(runs[0].spec.label, "K-Modes");
+  EXPECT_EQ(runs[1].spec.label, "MH-K-Modes 20b 5r");
+  EXPECT_FALSE(runs[0].has_index);
+  EXPECT_TRUE(runs[1].has_index);
+  for (const auto& run : runs) {
+    EXPECT_GE(run.purity, 0.0);
+    EXPECT_LE(run.purity, 1.0);
+    EXPECT_FALSE(run.result.iterations.empty());
+  }
+}
+
+TEST(ExperimentTest, RejectsEmptyMethodList) {
+  const auto dataset = MakeData(50, 8, 5, 30, 63);
+  ComparisonOptions options;
+  options.num_clusters = 5;
+  EXPECT_TRUE(RunComparison(dataset, options, {})
+                  .status().IsInvalidArgument());
+}
+
+TEST(ExperimentTest, UnlabeledDatasetYieldsNoPurity) {
+  auto dataset = CategoricalDataset::FromCodes(
+                     20, 4, 100,
+                     [] {
+                       std::vector<uint32_t> codes(80);
+                       Rng rng(67);
+                       for (auto& code : codes) {
+                         code = static_cast<uint32_t>(rng.Below(100));
+                       }
+                       return codes;
+                     }())
+                     .ValueOrDie();
+  ComparisonOptions options;
+  options.num_clusters = 4;
+  const auto runs =
+      RunComparison(dataset, options, {KModesSpec()}).ValueOrDie();
+  EXPECT_LT(runs[0].purity, 0.0);  // sentinel -1
+}
+
+// ------------------------------------------------------------ reporters --
+
+TEST(ReportersTest, IterationSeriesMentionsMethodsAndValues) {
+  const auto dataset = MakeData(200, 10, 10, 100, 71);
+  ComparisonOptions options;
+  options.num_clusters = 10;
+  const auto runs = RunComparison(dataset, options,
+                                  {KModesSpec(), MHKModesSpec(10, 2)})
+                        .ValueOrDie();
+  std::ostringstream out;
+  PrintIterationSeries(out, "Fig. X", runs, IterationField::kSeconds);
+  PrintIterationSeries(out, "Fig. X", runs, IterationField::kShortlist);
+  PrintIterationSeries(out, "Fig. X", runs, IterationField::kMoves);
+  PrintIterationSeries(out, "Fig. X", runs, IterationField::kCost);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("K-Modes"), std::string::npos);
+  EXPECT_NE(text.find("MH-K-Modes 10b 2r"), std::string::npos);
+  EXPECT_NE(text.find("avg. clusters returned"), std::string::npos);
+  EXPECT_NE(text.find("moves"), std::string::npos);
+}
+
+TEST(ReportersTest, SummaryTableIncludesSpeedupAndPurity) {
+  const auto dataset = MakeData(200, 10, 10, 100, 73);
+  ComparisonOptions options;
+  options.num_clusters = 10;
+  const auto runs = RunComparison(dataset, options,
+                                  {KModesSpec(), MHKModesSpec(10, 2)})
+                        .ValueOrDie();
+  std::ostringstream out;
+  PrintSummaryTable(out, "Fig. X", runs);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("speedup"), std::string::npos);
+  EXPECT_NE(text.find("purity"), std::string::npos);
+  EXPECT_NE(text.find("index:"), std::string::npos);
+}
+
+TEST(ReportersTest, CollisionTablePrintsAnalyticAndMonteCarlo) {
+  const auto rows = MakePaperTable1();
+  std::vector<MonteCarloEstimate> mc(rows.size());
+  std::ostringstream out;
+  PrintCollisionTable(out, "Table I", 1, rows, mc);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("P(pair)"), std::string::npos);
+  EXPECT_NE(text.find("MC P(pair)"), std::string::npos);
+  EXPECT_NE(text.find("800"), std::string::npos);
+}
+
+TEST(ReportersTest, ExperimentHeaderShowsShape) {
+  std::ostringstream out;
+  PrintExperimentHeader(out, "Figure 2", 90000, 100, 20000);
+  EXPECT_NE(out.str().find("90000 items"), std::string::npos);
+  EXPECT_NE(out.str().find("20000 clusters"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lshclust

@@ -1,0 +1,367 @@
+// Unit tests for src/data: interner, dataset builder/factory, presence
+// semantics, CSV I/O and binary serialization (including failure cases).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "data/categorical_dataset.h"
+#include "data/csv.h"
+#include "data/interner.h"
+#include "data/serialize.h"
+
+namespace lshclust {
+namespace {
+
+// ---------------------------------------------------------------- interner --
+
+TEST(InternerTest, AssignsDenseCodesInOrder) {
+  ValueInterner interner;
+  EXPECT_EQ(interner.Intern("a"), 0u);
+  EXPECT_EQ(interner.Intern("b"), 1u);
+  EXPECT_EQ(interner.Intern("a"), 0u);  // idempotent
+  EXPECT_EQ(interner.size(), 2u);
+}
+
+TEST(InternerTest, RoundTripsStrings) {
+  ValueInterner interner;
+  const uint32_t code = interner.Intern("colour=blue");
+  EXPECT_EQ(interner.ToString(code), "colour=blue");
+}
+
+TEST(InternerTest, LookupWithoutInsert) {
+  ValueInterner interner;
+  interner.Intern("present");
+  EXPECT_EQ(interner.Lookup("present"), 0u);
+  EXPECT_EQ(interner.Lookup("absent"), ValueInterner::kNotFound);
+}
+
+TEST(InternerTest, MakeToken) {
+  EXPECT_EQ(ValueInterner::MakeToken("zoo", "1"), "zoo=1");
+  EXPECT_EQ(ValueInterner::MakeToken("colour", "blue"), "colour=blue");
+}
+
+TEST(InternerTest, ManyDistinctValues) {
+  ValueInterner interner;
+  for (uint32_t i = 0; i < 10000; ++i) {
+    EXPECT_EQ(interner.Intern("v" + std::to_string(i)), i);
+  }
+  EXPECT_EQ(interner.size(), 10000u);
+  EXPECT_EQ(interner.ToString(9999), "v9999");
+}
+
+// ----------------------------------------------------------------- builder --
+
+TEST(DatasetBuilderTest, BuildsRowsAndLabels) {
+  CategoricalDatasetBuilder builder({"colour", "size"});
+  ASSERT_TRUE(builder.AddRow(std::vector<std::string>{"blue", "large"}, 0).ok());
+  ASSERT_TRUE(builder.AddRow(std::vector<std::string>{"red", "small"}, 1).ok());
+  ASSERT_TRUE(builder.AddRow(std::vector<std::string>{"blue", "small"}, 0).ok());
+  const CategoricalDataset dataset = std::move(builder).Build();
+
+  EXPECT_EQ(dataset.num_items(), 3u);
+  EXPECT_EQ(dataset.num_attributes(), 2u);
+  EXPECT_EQ(dataset.num_codes(), 4u);  // blue, large, red, small
+  EXPECT_TRUE(dataset.has_labels());
+  EXPECT_EQ(dataset.labels(), (std::vector<uint32_t>{0, 1, 0}));
+  // Rows 0 and 2 share the colour code but differ in size.
+  EXPECT_EQ(dataset.Row(0)[0], dataset.Row(2)[0]);
+  EXPECT_NE(dataset.Row(0)[1], dataset.Row(2)[1]);
+  EXPECT_EQ(dataset.ValueToString(0, 0), "colour=blue");
+}
+
+TEST(DatasetBuilderTest, RejectsWrongArity) {
+  CategoricalDatasetBuilder builder({"a", "b"});
+  EXPECT_TRUE(builder.AddRow(std::vector<std::string>{"x"})
+                  .IsInvalidArgument());
+  EXPECT_TRUE(builder.AddRow(std::vector<std::string>{"x", "y", "z"})
+                  .IsInvalidArgument());
+}
+
+TEST(DatasetBuilderTest, RejectsMixedLabelPresence) {
+  CategoricalDatasetBuilder builder({"a"});
+  ASSERT_TRUE(builder.AddRow(std::vector<std::string>{"x"}, 1).ok());
+  EXPECT_TRUE(builder.AddRow(std::vector<std::string>{"y"})
+                  .IsInvalidArgument());
+}
+
+TEST(DatasetBuilderTest, SameValueDifferentAttributeGetsDistinctCodes) {
+  CategoricalDatasetBuilder builder({"a", "b"});
+  ASSERT_TRUE(builder.AddRow(std::vector<std::string>{"yes", "yes"}).ok());
+  const CategoricalDataset dataset = std::move(builder).Build();
+  // "a=yes" and "b=yes" must not alias as MinHash tokens.
+  EXPECT_NE(dataset.Row(0)[0], dataset.Row(0)[1]);
+}
+
+TEST(DatasetBuilderTest, AbsenceSemantics) {
+  CategoricalDatasetBuilder builder({"cat", "dog", "fox"});
+  builder.MarkAbsentValue("0");
+  ASSERT_TRUE(builder.AddRow(std::vector<std::string>{"1", "0", "1"}).ok());
+  ASSERT_TRUE(builder.AddRow(std::vector<std::string>{"0", "0", "0"}).ok());
+  const CategoricalDataset dataset = std::move(builder).Build();
+
+  EXPECT_TRUE(dataset.has_absence_semantics());
+  std::vector<uint32_t> tokens;
+  EXPECT_EQ(dataset.PresentTokens(0, &tokens), 2u);  // cat=1, fox=1
+  EXPECT_EQ(dataset.PresentTokens(1, &tokens), 0u);  // nothing present
+}
+
+TEST(DatasetBuilderTest, NoAbsenceMeansAllPresent) {
+  CategoricalDatasetBuilder builder({"x", "y"});
+  ASSERT_TRUE(builder.AddRow(std::vector<std::string>{"1", "2"}).ok());
+  const CategoricalDataset dataset = std::move(builder).Build();
+  EXPECT_FALSE(dataset.has_absence_semantics());
+  std::vector<uint32_t> tokens;
+  EXPECT_EQ(dataset.PresentTokens(0, &tokens), 2u);
+  for (uint32_t code = 0; code < dataset.num_codes(); ++code) {
+    EXPECT_TRUE(dataset.IsPresent(code));
+  }
+}
+
+// ---------------------------------------------------------------- FromCodes --
+
+TEST(FromCodesTest, ValidatesMatrixSize) {
+  EXPECT_TRUE(CategoricalDataset::FromCodes(2, 3, 10, {0, 1, 2, 3})
+                  .status().IsInvalidArgument());
+}
+
+TEST(FromCodesTest, ValidatesCodeRange) {
+  EXPECT_TRUE(CategoricalDataset::FromCodes(1, 2, 3, {0, 5})
+                  .status().IsOutOfRange());
+}
+
+TEST(FromCodesTest, ValidatesLabelLength) {
+  EXPECT_TRUE(CategoricalDataset::FromCodes(2, 1, 3, {0, 1}, {0})
+                  .status().IsInvalidArgument());
+}
+
+TEST(FromCodesTest, ValidatesAbsenceLength) {
+  EXPECT_TRUE(CategoricalDataset::FromCodes(1, 1, 3, {0}, {}, {true})
+                  .status().IsInvalidArgument());
+}
+
+TEST(FromCodesTest, BuildsValidDataset) {
+  auto result = CategoricalDataset::FromCodes(2, 2, 4, {0, 1, 2, 3}, {7, 9});
+  ASSERT_TRUE(result.ok());
+  const CategoricalDataset& dataset = *result;
+  EXPECT_EQ(dataset.num_items(), 2u);
+  EXPECT_EQ(dataset.num_attributes(), 2u);
+  EXPECT_EQ(dataset.Row(1)[0], 2u);
+  EXPECT_EQ(dataset.labels(), (std::vector<uint32_t>{7, 9}));
+  EXPECT_EQ(dataset.ValueToString(1, 0), "#2");  // no interner
+}
+
+// --------------------------------------------------------------------- CSV --
+
+constexpr const char* kCsvText =
+    "colour,size,label\n"
+    "blue,large,0\n"
+    "red,small,1\n"
+    "blue,small,0\n";
+
+TEST(CsvTest, ParsesHeaderRowsAndLabels) {
+  auto result = ParseCategoricalCsv(kCsvText);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const CategoricalDataset& dataset = *result;
+  EXPECT_EQ(dataset.num_items(), 3u);
+  EXPECT_EQ(dataset.num_attributes(), 2u);
+  EXPECT_EQ(dataset.labels(), (std::vector<uint32_t>{0, 1, 0}));
+  EXPECT_EQ(dataset.ValueToString(1, 0), "colour=red");
+}
+
+TEST(CsvTest, LabelColumnPositionIsFlexible) {
+  auto result = ParseCategoricalCsv(
+      "label,a,b\n"
+      "3,x,y\n"
+      "4,z,w\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->labels(), (std::vector<uint32_t>{3, 4}));
+  EXPECT_EQ(result->num_attributes(), 2u);
+}
+
+TEST(CsvTest, NoLabelColumnMeansUnlabeled) {
+  auto result = ParseCategoricalCsv("a,b\nx,y\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->has_labels());
+}
+
+TEST(CsvTest, SkipsBlankLinesAndTrimsFields) {
+  auto result = ParseCategoricalCsv("a , b \n x , y \n\n z , w \n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_items(), 2u);
+  EXPECT_EQ(result->ValueToString(0, 0), "a=x");
+}
+
+TEST(CsvTest, CustomDelimiter) {
+  CsvOptions options;
+  options.delimiter = ';';
+  auto result = ParseCategoricalCsv("a;b\n1;2\n", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_attributes(), 2u);
+}
+
+TEST(CsvTest, AbsentValuesFlowThrough) {
+  CsvOptions options;
+  options.absent_values = {"No"};
+  auto result = ParseCategoricalCsv(
+      "w1,w2\n"
+      "Yes,No\n"
+      "No,Yes\n",
+      options);
+  ASSERT_TRUE(result.ok());
+  std::vector<uint32_t> tokens;
+  EXPECT_EQ(result->PresentTokens(0, &tokens), 1u);
+}
+
+TEST(CsvTest, ErrorOnEmptyInput) {
+  EXPECT_TRUE(ParseCategoricalCsv("").status().IsInvalidArgument());
+}
+
+TEST(CsvTest, ErrorOnHeaderOnly) {
+  EXPECT_TRUE(ParseCategoricalCsv("a,b\n").status().IsInvalidArgument());
+}
+
+TEST(CsvTest, ErrorOnFieldCountMismatch) {
+  const auto status = ParseCategoricalCsv("a,b\nx\n").status();
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_NE(status.message().find("line 2"), std::string::npos);
+}
+
+TEST(CsvTest, ErrorOnNonIntegerLabel) {
+  EXPECT_TRUE(ParseCategoricalCsv("a,label\nx,lots\n")
+                  .status().IsInvalidArgument());
+}
+
+TEST(CsvTest, ErrorOnNegativeLabel) {
+  EXPECT_TRUE(ParseCategoricalCsv("a,label\nx,-1\n")
+                  .status().IsInvalidArgument());
+}
+
+TEST(CsvTest, ErrorOnDuplicateLabelColumn) {
+  EXPECT_TRUE(ParseCategoricalCsv("label,label\n1,2\n")
+                  .status().IsInvalidArgument());
+}
+
+TEST(CsvTest, ErrorOnOnlyLabelColumn) {
+  EXPECT_TRUE(ParseCategoricalCsv("label\n1\n")
+                  .status().IsInvalidArgument());
+}
+
+TEST(CsvTest, ReadMissingFileIsIOError) {
+  EXPECT_TRUE(ReadCategoricalCsv("/nonexistent/path.csv")
+                  .status().IsIOError());
+}
+
+class CsvFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("lshclust_csv_test_" + std::to_string(::getpid()) + ".csv");
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::filesystem::path path_;
+};
+
+TEST_F(CsvFileTest, WriteThenReadRoundTrips) {
+  auto original = ParseCategoricalCsv(kCsvText);
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(WriteCategoricalCsv(*original, path_.string()).ok());
+
+  auto reloaded = ReadCategoricalCsv(path_.string());
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ(reloaded->num_items(), original->num_items());
+  EXPECT_EQ(reloaded->num_attributes(), original->num_attributes());
+  EXPECT_EQ(reloaded->labels(), original->labels());
+  for (uint32_t i = 0; i < original->num_items(); ++i) {
+    for (uint32_t a = 0; a < original->num_attributes(); ++a) {
+      EXPECT_EQ(reloaded->ValueToString(i, a), original->ValueToString(i, a));
+    }
+  }
+}
+
+TEST_F(CsvFileTest, WriteRequiresInterner) {
+  auto dataset = CategoricalDataset::FromCodes(1, 1, 2, {1});
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_TRUE(WriteCategoricalCsv(*dataset, path_.string())
+                  .IsInvalidArgument());
+}
+
+// ----------------------------------------------------------- binary format --
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("lshclust_bin_test_" + std::to_string(::getpid()) + ".lshc");
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::filesystem::path path_;
+};
+
+TEST_F(SerializeTest, RoundTripsCodesLabelsAbsenceAndDictionary) {
+  CategoricalDatasetBuilder builder({"w1", "w2", "w3"});
+  builder.MarkAbsentValue("0");
+  ASSERT_TRUE(builder.AddRow(std::vector<std::string>{"1", "0", "1"}, 5).ok());
+  ASSERT_TRUE(builder.AddRow(std::vector<std::string>{"0", "1", "0"}, 6).ok());
+  const CategoricalDataset original = std::move(builder).Build();
+
+  ASSERT_TRUE(SaveDatasetBinary(original, path_.string()).ok());
+  auto reloaded = LoadDatasetBinary(path_.string());
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+
+  EXPECT_EQ(reloaded->num_items(), original.num_items());
+  EXPECT_EQ(reloaded->num_attributes(), original.num_attributes());
+  EXPECT_EQ(reloaded->num_codes(), original.num_codes());
+  EXPECT_EQ(reloaded->labels(), original.labels());
+  EXPECT_TRUE(reloaded->has_absence_semantics());
+  for (uint32_t code = 0; code < original.num_codes(); ++code) {
+    EXPECT_EQ(reloaded->IsPresent(code), original.IsPresent(code));
+  }
+  ASSERT_NE(reloaded->interner(), nullptr);
+  EXPECT_EQ(reloaded->ValueToString(0, 0), original.ValueToString(0, 0));
+  std::vector<uint32_t> a, b;
+  original.PresentTokens(0, &a);
+  reloaded->PresentTokens(0, &b);
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(SerializeTest, RoundTripsRawCodeDataset) {
+  auto original = CategoricalDataset::FromCodes(3, 2, 7, {0, 6, 1, 5, 2, 4});
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(SaveDatasetBinary(*original, path_.string()).ok());
+  auto reloaded = LoadDatasetBinary(path_.string());
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_FALSE(reloaded->has_labels());
+  EXPECT_EQ(reloaded->interner(), nullptr);
+  for (uint32_t i = 0; i < 3; ++i) {
+    for (uint32_t a = 0; a < 2; ++a) {
+      EXPECT_EQ(reloaded->Row(i)[a], original->Row(i)[a]);
+    }
+  }
+}
+
+TEST_F(SerializeTest, RejectsGarbageFile) {
+  std::ofstream out(path_);
+  out << "this is not a dataset";
+  out.close();
+  EXPECT_TRUE(LoadDatasetBinary(path_.string()).status().IsInvalidArgument());
+}
+
+TEST_F(SerializeTest, RejectsTruncatedFile) {
+  auto original = CategoricalDataset::FromCodes(4, 4, 9,
+                                                std::vector<uint32_t>(16, 3));
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(SaveDatasetBinary(*original, path_.string()).ok());
+  // Truncate to the first 20 bytes (header survives, codes do not).
+  std::filesystem::resize_file(path_, 20);
+  EXPECT_FALSE(LoadDatasetBinary(path_.string()).ok());
+}
+
+TEST_F(SerializeTest, MissingFileIsIOError) {
+  EXPECT_TRUE(LoadDatasetBinary("/no/such/file.lshc").status().IsIOError());
+}
+
+}  // namespace
+}  // namespace lshclust

@@ -1,0 +1,280 @@
+// Unit tests for src/datagen: the conjunctive-rule generator (datgen
+// substitute), the Yahoo!-like corpus generator, and the Gaussian mixture.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "clustering/dissimilarity.h"
+#include "datagen/conjunctive_generator.h"
+#include "datagen/gaussian_mixture.h"
+#include "datagen/yahoo_like_corpus.h"
+
+namespace lshclust {
+namespace {
+
+// ---------------------------------------------------------- conjunctive --
+
+ConjunctiveDataOptions SmallOptions() {
+  ConjunctiveDataOptions options;
+  options.num_items = 400;
+  options.num_attributes = 20;
+  options.num_clusters = 16;
+  options.domain_size = 100;
+  options.seed = 5;
+  return options;
+}
+
+TEST(ConjunctiveGeneratorTest, ShapeAndLabels) {
+  const auto dataset = GenerateConjunctiveRuleData(SmallOptions()).ValueOrDie();
+  EXPECT_EQ(dataset.num_items(), 400u);
+  EXPECT_EQ(dataset.num_attributes(), 20u);
+  EXPECT_EQ(dataset.num_codes(), 20u * 100u);
+  ASSERT_TRUE(dataset.has_labels());
+  // Round-robin: every cluster gets 400/16 = 25 items.
+  std::map<uint32_t, int> counts;
+  for (const uint32_t label : dataset.labels()) ++counts[label];
+  EXPECT_EQ(counts.size(), 16u);
+  for (const auto& [label, count] : counts) EXPECT_EQ(count, 25);
+}
+
+TEST(ConjunctiveGeneratorTest, CodesAreAttributeScoped) {
+  // Code of attribute a lies in [a*domain, (a+1)*domain): globally unique
+  // across attributes, as the MinHash token contract requires.
+  const auto options = SmallOptions();
+  const auto dataset = GenerateConjunctiveRuleData(options).ValueOrDie();
+  for (uint32_t i = 0; i < dataset.num_items(); ++i) {
+    const auto row = dataset.Row(i);
+    for (uint32_t a = 0; a < dataset.num_attributes(); ++a) {
+      EXPECT_GE(row[a], a * options.domain_size);
+      EXPECT_LT(row[a], (a + 1) * options.domain_size);
+    }
+  }
+}
+
+TEST(ConjunctiveGeneratorTest, SameClusterSharesRuleAttributes) {
+  // Items of one cluster agree on at least min_rule_fraction*m attributes
+  // (the rule), so their mismatch distance is at most m - min_rule.
+  auto options = SmallOptions();
+  options.min_rule_fraction = 0.5;
+  options.max_rule_fraction = 0.8;
+  const auto dataset = GenerateConjunctiveRuleData(options).ValueOrDie();
+  const uint32_t m = dataset.num_attributes();
+  const uint32_t max_distance =
+      m - static_cast<uint32_t>(options.min_rule_fraction * m);
+  for (uint32_t i = 0; i < 100; ++i) {
+    for (uint32_t j = i + 1; j < 100; ++j) {
+      if (dataset.labels()[i] != dataset.labels()[j]) continue;
+      EXPECT_LE(MismatchDistance(dataset.Row(i), dataset.Row(j)),
+                max_distance)
+          << "items " << i << ", " << j;
+    }
+  }
+}
+
+TEST(ConjunctiveGeneratorTest, DifferentClustersAreFarApart) {
+  // With a huge domain, noise attributes collide with negligible
+  // probability, so cross-cluster distances should be near m.
+  auto options = SmallOptions();
+  options.domain_size = 40000;  // the paper's domain
+  const auto dataset = GenerateConjunctiveRuleData(options).ValueOrDie();
+  const uint32_t m = dataset.num_attributes();
+  uint64_t total = 0;
+  uint32_t pairs = 0;
+  for (uint32_t i = 0; i < 50; ++i) {
+    for (uint32_t j = i + 1; j < 50; ++j) {
+      if (dataset.labels()[i] == dataset.labels()[j]) continue;
+      total += MismatchDistance(dataset.Row(i), dataset.Row(j));
+      ++pairs;
+    }
+  }
+  EXPECT_GT(static_cast<double>(total) / pairs, 0.9 * m);
+}
+
+TEST(ConjunctiveGeneratorTest, DeterministicPerSeed) {
+  const auto a = GenerateConjunctiveRuleData(SmallOptions()).ValueOrDie();
+  const auto b = GenerateConjunctiveRuleData(SmallOptions()).ValueOrDie();
+  EXPECT_TRUE(std::equal(a.codes().begin(), a.codes().end(),
+                         b.codes().begin()));
+  auto different = SmallOptions();
+  different.seed = 6;
+  const auto c = GenerateConjunctiveRuleData(different).ValueOrDie();
+  EXPECT_FALSE(std::equal(a.codes().begin(), a.codes().end(),
+                          c.codes().begin()));
+}
+
+TEST(ConjunctiveGeneratorTest, ValidatesOptions) {
+  auto options = SmallOptions();
+  options.num_items = 0;
+  EXPECT_TRUE(GenerateConjunctiveRuleData(options)
+                  .status().IsInvalidArgument());
+  options = SmallOptions();
+  options.num_clusters = options.num_items + 1;
+  EXPECT_TRUE(GenerateConjunctiveRuleData(options)
+                  .status().IsInvalidArgument());
+  options = SmallOptions();
+  options.domain_size = 1;
+  EXPECT_TRUE(GenerateConjunctiveRuleData(options)
+                  .status().IsInvalidArgument());
+  options = SmallOptions();
+  options.min_rule_fraction = 0.9;
+  options.max_rule_fraction = 0.5;
+  EXPECT_TRUE(GenerateConjunctiveRuleData(options)
+                  .status().IsInvalidArgument());
+  options = SmallOptions();
+  options.num_attributes = 200000;
+  options.domain_size = 40000;  // 8e9 codes: exceeds 32-bit code space
+  EXPECT_TRUE(GenerateConjunctiveRuleData(options)
+                  .status().IsInvalidArgument());
+}
+
+// ------------------------------------------------------------ yahoo corpus --
+
+YahooCorpusOptions SmallCorpusOptions() {
+  YahooCorpusOptions options;
+  options.num_topics = 20;
+  options.questions_per_topic = 15;
+  options.background_vocabulary = 300;
+  options.keywords_per_topic = 6;
+  options.seed = 9;
+  return options;
+}
+
+TEST(YahooCorpusTest, ShapeAndValidity) {
+  const auto corpus = GenerateYahooLikeCorpus(SmallCorpusOptions());
+  EXPECT_TRUE(corpus.Valid());
+  EXPECT_EQ(corpus.num_topics, 20u);
+  EXPECT_EQ(corpus.documents.size(), 20u * 15u);
+  EXPECT_EQ(corpus.vocabulary.size(), 300u + 20u * 6u);
+}
+
+TEST(YahooCorpusTest, QuestionLengthsWithinBounds) {
+  const auto options = SmallCorpusOptions();
+  const auto corpus = GenerateYahooLikeCorpus(options);
+  for (const auto& doc : corpus.documents) {
+    EXPECT_GE(doc.words.size(), options.min_words);
+    EXPECT_LE(doc.words.size(), options.max_words);
+  }
+}
+
+TEST(YahooCorpusTest, TopicsUseTheirOwnKeywords) {
+  auto options = SmallCorpusOptions();
+  options.keyword_overlap = 0.0;
+  options.keyword_probability = 1.0;  // keywords only
+  const auto corpus = GenerateYahooLikeCorpus(options);
+  for (const auto& doc : corpus.documents) {
+    for (const uint32_t word : doc.words) {
+      // All words must be keyword ids of the document's own topic.
+      const uint32_t keyword_base =
+          options.background_vocabulary +
+          doc.topic * options.keywords_per_topic;
+      EXPECT_GE(word, keyword_base);
+      EXPECT_LT(word, keyword_base + options.keywords_per_topic);
+    }
+  }
+}
+
+TEST(YahooCorpusTest, ZeroKeywordProbabilityUsesOnlyBackground) {
+  auto options = SmallCorpusOptions();
+  options.keyword_probability = 0.0;
+  const auto corpus = GenerateYahooLikeCorpus(options);
+  for (const auto& doc : corpus.documents) {
+    for (const uint32_t word : doc.words) {
+      EXPECT_LT(word, options.background_vocabulary);
+    }
+  }
+}
+
+TEST(YahooCorpusTest, OverlapSharesKeywordsBetweenNeighbours) {
+  auto options = SmallCorpusOptions();
+  options.keyword_overlap = 0.5;
+  options.keyword_probability = 1.0;
+  const auto corpus = GenerateYahooLikeCorpus(options);
+  // With 50% overlap, topic t draws some words from topic t+1's range.
+  std::set<uint32_t> topic0_words;
+  for (const auto& doc : corpus.documents) {
+    if (doc.topic == 0) {
+      topic0_words.insert(doc.words.begin(), doc.words.end());
+    }
+  }
+  bool uses_foreign = false;
+  const uint32_t own_base = options.background_vocabulary;
+  for (const uint32_t word : topic0_words) {
+    if (word >= own_base + options.keywords_per_topic) uses_foreign = true;
+  }
+  EXPECT_TRUE(uses_foreign);
+}
+
+TEST(YahooCorpusTest, DeterministicPerSeed) {
+  const auto a = GenerateYahooLikeCorpus(SmallCorpusOptions());
+  const auto b = GenerateYahooLikeCorpus(SmallCorpusOptions());
+  ASSERT_EQ(a.documents.size(), b.documents.size());
+  for (size_t i = 0; i < a.documents.size(); ++i) {
+    EXPECT_EQ(a.documents[i].words, b.documents[i].words);
+  }
+}
+
+TEST(YahooCorpusTest, RenderQuestionTextJoinsWords) {
+  const auto corpus = GenerateYahooLikeCorpus(SmallCorpusOptions());
+  const std::string text = RenderQuestionText(corpus, 0);
+  EXPECT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '?');
+  // Word count in the text equals the document length.
+  size_t spaces = 0;
+  for (const char c : text) spaces += c == ' ' ? 1 : 0;
+  EXPECT_EQ(spaces + 1, corpus.documents[0].words.size());
+}
+
+// -------------------------------------------------------- gaussian mixture --
+
+TEST(GaussianMixtureTest, ShapeAndLabels) {
+  GaussianMixtureOptions options;
+  options.num_items = 100;
+  options.dimensions = 5;
+  options.num_clusters = 4;
+  options.seed = 3;
+  const auto dataset = GenerateGaussianMixture(options).ValueOrDie();
+  EXPECT_EQ(dataset.num_items(), 100u);
+  EXPECT_EQ(dataset.dimensions(), 5u);
+  ASSERT_TRUE(dataset.has_labels());
+  for (uint32_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(dataset.labels()[i], i % 4);
+  }
+}
+
+TEST(GaussianMixtureTest, ItemsClusterAroundTheirCenters) {
+  GaussianMixtureOptions options;
+  options.num_items = 400;
+  options.dimensions = 8;
+  options.num_clusters = 4;
+  options.center_box = 100.0;
+  options.stddev = 0.5;
+  options.seed = 7;
+  const auto dataset = GenerateGaussianMixture(options).ValueOrDie();
+  // Same-cluster distances are tiny relative to cross-cluster ones.
+  auto squared_distance = [&](uint32_t i, uint32_t j) {
+    double sum = 0;
+    for (uint32_t d = 0; d < dataset.dimensions(); ++d) {
+      const double diff = dataset.Row(i)[d] - dataset.Row(j)[d];
+      sum += diff * diff;
+    }
+    return sum;
+  };
+  EXPECT_LT(squared_distance(0, 4), squared_distance(0, 1));  // 0,4 share label
+}
+
+TEST(GaussianMixtureTest, ValidatesOptions) {
+  GaussianMixtureOptions options;
+  options.num_items = 0;
+  EXPECT_TRUE(GenerateGaussianMixture(options).status().IsInvalidArgument());
+  options.num_items = 5;
+  options.num_clusters = 10;
+  EXPECT_TRUE(GenerateGaussianMixture(options).status().IsInvalidArgument());
+  options.num_clusters = 2;
+  options.stddev = -1.0;
+  EXPECT_TRUE(GenerateGaussianMixture(options).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace lshclust

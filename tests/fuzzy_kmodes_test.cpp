@@ -1,0 +1,144 @@
+// Tests for fuzzy K-Modes (clustering/fuzzy_kmodes.h).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "clustering/fuzzy_kmodes.h"
+#include "clustering/kmodes.h"
+#include "datagen/conjunctive_generator.h"
+#include "metrics/metrics.h"
+
+namespace lshclust {
+namespace {
+
+CategoricalDataset MakeData(uint32_t n, uint32_t k, uint64_t seed,
+                            uint32_t domain = 50,
+                            double min_rule = 0.6, double max_rule = 0.9) {
+  ConjunctiveDataOptions options;
+  options.num_items = n;
+  options.num_attributes = 10;
+  options.num_clusters = k;
+  options.domain_size = domain;
+  options.min_rule_fraction = min_rule;
+  options.max_rule_fraction = max_rule;
+  options.seed = seed;
+  return GenerateConjunctiveRuleData(options).ValueOrDie();
+}
+
+TEST(FuzzyKModesTest, MembershipsAreDistributions) {
+  const auto dataset = MakeData(200, 8, 3);
+  FuzzyKModesOptions options;
+  options.num_clusters = 8;
+  options.alpha = 1.6;
+  options.seed = 5;
+  const auto result = RunFuzzyKModes(dataset, options).ValueOrDie();
+  ASSERT_EQ(result.memberships.size(), 200u * 8u);
+  for (uint32_t item = 0; item < 200; ++item) {
+    double total = 0;
+    for (uint32_t cluster = 0; cluster < 8; ++cluster) {
+      const double membership = result.Membership(item, cluster);
+      EXPECT_GE(membership, 0.0);
+      EXPECT_LE(membership, 1.0);
+      total += membership;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9) << "item " << item;
+  }
+}
+
+TEST(FuzzyKModesTest, ObjectiveIsNonIncreasing) {
+  const auto dataset = MakeData(300, 12, 7, /*domain=*/6);  // noisy
+  FuzzyKModesOptions options;
+  options.num_clusters = 12;
+  options.alpha = 1.4;
+  options.seed = 9;
+  const auto result = RunFuzzyKModes(dataset, options).ValueOrDie();
+  ASSERT_GE(result.objective.size(), 2u);
+  for (size_t i = 1; i < result.objective.size(); ++i) {
+    EXPECT_LE(result.objective[i], result.objective[i - 1] + 1e-9)
+        << "iteration " << i;
+  }
+}
+
+TEST(FuzzyKModesTest, RecoversSeparatedClusters) {
+  const auto dataset = MakeData(160, 4, 11, /*domain=*/5000, 1.0, 1.0);
+  FuzzyKModesOptions options;
+  options.num_clusters = 4;
+  options.alpha = 1.5;
+  options.initial_seeds = {0, 1, 2, 3};
+  const auto result = RunFuzzyKModes(dataset, options).ValueOrDie();
+  const double purity =
+      ComputePurity(result.hard_assignment, dataset.labels()).ValueOrDie();
+  EXPECT_DOUBLE_EQ(purity, 1.0);
+  // Items identical to a mode carry membership 1 on it.
+  for (uint32_t item = 0; item < dataset.num_items(); ++item) {
+    const uint32_t cluster = result.hard_assignment[item];
+    EXPECT_NEAR(result.Membership(item, cluster), 1.0, 1e-9);
+  }
+}
+
+TEST(FuzzyKModesTest, SmallAlphaApproachesHardKModes) {
+  const auto dataset = MakeData(250, 10, 13);
+  FuzzyKModesOptions fuzzy;
+  fuzzy.num_clusters = 10;
+  fuzzy.alpha = 1.05;  // nearly hard
+  fuzzy.seed = 15;
+  const auto soft = RunFuzzyKModes(dataset, fuzzy).ValueOrDie();
+
+  // Memberships concentrate: the top cluster holds almost everything.
+  double mean_top = 0;
+  for (uint32_t item = 0; item < dataset.num_items(); ++item) {
+    mean_top += soft.Membership(item, soft.hard_assignment[item]);
+  }
+  mean_top /= dataset.num_items();
+  EXPECT_GT(mean_top, 0.95);
+}
+
+TEST(FuzzyKModesTest, LargeAlphaBlursMemberships) {
+  const auto dataset = MakeData(250, 10, 17);
+  FuzzyKModesOptions options;
+  options.num_clusters = 10;
+  options.alpha = 8.0;
+  options.seed = 19;
+  const auto result = RunFuzzyKModes(dataset, options).ValueOrDie();
+  // With strong blurring the max membership sits well below 1 for items
+  // that match no mode exactly.
+  double mean_top = 0;
+  uint32_t counted = 0;
+  for (uint32_t item = 0; item < dataset.num_items(); ++item) {
+    const double top = result.Membership(item, result.hard_assignment[item]);
+    if (top < 1.0 - 1e-9) {  // skip exact-match items
+      mean_top += top;
+      ++counted;
+    }
+  }
+  ASSERT_GT(counted, 0u);
+  EXPECT_LT(mean_top / counted, 0.6);
+}
+
+TEST(FuzzyKModesTest, ValidatesOptions) {
+  const auto dataset = MakeData(50, 5, 21);
+  FuzzyKModesOptions options;
+  options.num_clusters = 0;
+  EXPECT_TRUE(RunFuzzyKModes(dataset, options).status().IsInvalidArgument());
+  options.num_clusters = 5;
+  options.alpha = 1.0;  // must be > 1
+  EXPECT_TRUE(RunFuzzyKModes(dataset, options).status().IsInvalidArgument());
+  options.alpha = 1.5;
+  options.initial_seeds = {1, 2, 3};
+  EXPECT_TRUE(RunFuzzyKModes(dataset, options).status().IsInvalidArgument());
+}
+
+TEST(FuzzyKModesTest, DeterministicPerSeed) {
+  const auto dataset = MakeData(150, 6, 23);
+  FuzzyKModesOptions options;
+  options.num_clusters = 6;
+  options.seed = 25;
+  const auto a = RunFuzzyKModes(dataset, options).ValueOrDie();
+  const auto b = RunFuzzyKModes(dataset, options).ValueOrDie();
+  EXPECT_EQ(a.hard_assignment, b.hard_assignment);
+  EXPECT_EQ(a.memberships, b.memberships);
+}
+
+}  // namespace
+}  // namespace lshclust

@@ -1,0 +1,360 @@
+// Unit and property tests for src/hashing: hash families, MinHash
+// (Algorithm 1), one-permutation MinHash, SimHash.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "hashing/hash_family.h"
+#include "hashing/minhash.h"
+#include "hashing/one_permutation_minhash.h"
+#include "hashing/simhash.h"
+#include "util/rng.h"
+
+namespace lshclust {
+namespace {
+
+// --------------------------------------------------------- hash families --
+
+template <typename Family>
+void ExpectDeterministicPerSeed() {
+  Family a(4, 99), b(4, 99), c(4, 100);
+  ASSERT_EQ(a.size(), 4u);
+  for (uint32_t f = 0; f < 4; ++f) {
+    for (uint64_t key : {0ULL, 1ULL, 42ULL, ~0ULL}) {
+      EXPECT_EQ(a.Hash(f, key), b.Hash(f, key));
+    }
+  }
+  bool differs = false;
+  for (uint32_t f = 0; f < 4; ++f) {
+    if (a.Hash(f, 12345) != c.Hash(f, 12345)) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(HashFamilyTest, MultiplyShiftDeterministic) {
+  ExpectDeterministicPerSeed<MultiplyShiftFamily>();
+}
+TEST(HashFamilyTest, UniversalDeterministic) {
+  ExpectDeterministicPerSeed<UniversalHashFamily>();
+}
+TEST(HashFamilyTest, TabulationDeterministic) {
+  ExpectDeterministicPerSeed<TabulationHashFamily>();
+}
+
+TEST(HashFamilyTest, FunctionsWithinFamilyDiffer) {
+  MultiplyShiftFamily family(8, 7);
+  std::set<uint64_t> values;
+  for (uint32_t f = 0; f < 8; ++f) values.insert(family.Hash(f, 999));
+  EXPECT_GT(values.size(), 6u);  // near-certain all distinct
+}
+
+TEST(HashFamilyTest, UniversalOutputsBelowPrime) {
+  UniversalHashFamily family(16, 3);
+  Rng rng(5);
+  for (uint32_t f = 0; f < 16; ++f) {
+    for (int i = 0; i < 100; ++i) {
+      EXPECT_LT(family.Hash(f, rng.Next()), UniversalHashFamily::kPrime);
+    }
+  }
+}
+
+TEST(HashFamilyTest, UniversalModMulAddMatchesNaive) {
+  // Small values where (a*x + b) mod p is computable directly.
+  EXPECT_EQ(UniversalHashFamily::ModMulAdd(2, 3, 1), 7u);  // 2*3+1 = 7 < p
+  EXPECT_EQ(UniversalHashFamily::ModMulAdd(0, 12345, 17), 17u);
+  // A case that overflows 64 bits without the 128-bit path.
+  const uint64_t p = UniversalHashFamily::kPrime;
+  const uint64_t a = p - 1, x = p - 2, b = p - 3;
+  const __uint128_t expect = (static_cast<__uint128_t>(a) * x + b) % p;
+  EXPECT_EQ(UniversalHashFamily::ModMulAdd(a, x, b),
+            static_cast<uint64_t>(expect));
+}
+
+TEST(HashFamilyTest, UniversalCollisionRateIsUniversal) {
+  // For a 2-universal family, Pr[h(x) = h(y)] <= 1/p is astronomically
+  // small; sampled pairs must not collide.
+  UniversalHashFamily family(32, 11);
+  Rng rng(13);
+  for (uint32_t f = 0; f < 32; ++f) {
+    const uint64_t x = rng.Next() % UniversalHashFamily::kPrime;
+    const uint64_t y = rng.Next() % UniversalHashFamily::kPrime;
+    if (x != y) {
+      EXPECT_NE(family.Hash(f, x), family.Hash(f, y));
+    }
+  }
+}
+
+TEST(HashFamilyTest, TabulationDistributesBytes) {
+  TabulationHashFamily family(1, 17);
+  // Changing one input byte must change the hash (XOR of random tables).
+  const uint64_t base = family.Hash(0, 0x0123456789ABCDEFULL);
+  for (int byte = 0; byte < 8; ++byte) {
+    const uint64_t flipped = 0x0123456789ABCDEFULL ^ (0xFFULL << (8 * byte));
+    EXPECT_NE(family.Hash(0, flipped), base);
+  }
+}
+
+TEST(HashFamilyTest, MultiplyShiftHighBitsUniform) {
+  // Bucket 10k sequential keys by the top 4 bits; expect rough uniformity
+  // (sequential keys are the adversarial case for weak hashes).
+  MultiplyShiftFamily family(1, 23);
+  std::vector<int> buckets(16, 0);
+  for (uint64_t key = 0; key < 10000; ++key) {
+    ++buckets[family.Hash(0, key) >> 60];
+  }
+  for (const int count : buckets) {
+    EXPECT_GT(count, 300);
+    EXPECT_LT(count, 1000);
+  }
+}
+
+// ---------------------------------------------------------------- minhash --
+
+TEST(MinHashTest, IdenticalSetsProduceIdenticalSignatures) {
+  const MinHasher hasher(64, 42);
+  const std::vector<uint32_t> tokens{5, 9, 100, 3000};
+  EXPECT_EQ(hasher.ComputeSignature(tokens), hasher.ComputeSignature(tokens));
+}
+
+TEST(MinHashTest, OrderInvariant) {
+  const MinHasher hasher(64, 42);
+  const std::vector<uint32_t> a{1, 2, 3, 4, 5};
+  const std::vector<uint32_t> b{5, 3, 1, 4, 2};
+  EXPECT_EQ(hasher.ComputeSignature(a), hasher.ComputeSignature(b));
+}
+
+TEST(MinHashTest, DuplicateTokensDoNotChangeSignature) {
+  const MinHasher hasher(32, 7);
+  const std::vector<uint32_t> a{1, 2, 3};
+  const std::vector<uint32_t> b{1, 1, 2, 2, 3, 3, 3};
+  EXPECT_EQ(hasher.ComputeSignature(a), hasher.ComputeSignature(b));
+}
+
+TEST(MinHashTest, EmptySetGetsSentinelSignature) {
+  const MinHasher hasher(16, 3);
+  const auto signature = hasher.ComputeSignature(std::vector<uint32_t>{});
+  for (const uint64_t component : signature) {
+    EXPECT_EQ(component, kEmptySetSignature);
+  }
+}
+
+TEST(MinHashTest, SignatureIsMinOverTokenHashes) {
+  // Adding a token can only lower (or keep) each component.
+  const MinHasher hasher(32, 11);
+  std::vector<uint32_t> tokens{10, 20, 30};
+  const auto before = hasher.ComputeSignature(tokens);
+  tokens.push_back(40);
+  const auto after = hasher.ComputeSignature(tokens);
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_LE(after[i], before[i]);
+  }
+}
+
+TEST(MinHashTest, DisjointSetsDisagreeAlmostEverywhere) {
+  const MinHasher hasher(128, 5);
+  std::vector<uint32_t> a, b;
+  for (uint32_t i = 0; i < 50; ++i) a.push_back(i);
+  for (uint32_t i = 100; i < 150; ++i) b.push_back(i);
+  const double estimate = MinHasher::EstimateJaccard(
+      hasher.ComputeSignature(a), hasher.ComputeSignature(b));
+  EXPECT_LT(estimate, 0.05);
+}
+
+TEST(MinHashTest, EstimateJaccardOfIdenticalSignaturesIsOne) {
+  const MinHasher hasher(64, 9);
+  const std::vector<uint32_t> tokens{3, 1, 4, 1, 5};
+  const auto sig = hasher.ComputeSignature(tokens);
+  EXPECT_DOUBLE_EQ(MinHasher::EstimateJaccard(sig, sig), 1.0);
+}
+
+// Builds two token sets with exact Jaccard similarity `s` given set size z:
+// intersection i = 2zs/(1+s).
+std::pair<std::vector<uint32_t>, std::vector<uint32_t>> MakePairWithJaccard(
+    double s, uint32_t z) {
+  const uint32_t i = static_cast<uint32_t>(
+      std::round(2.0 * z * s / (1.0 + s)));
+  std::vector<uint32_t> a, b;
+  uint32_t next = 1;
+  for (uint32_t t = 0; t < i; ++t) {
+    a.push_back(next);
+    b.push_back(next);
+    ++next;
+  }
+  while (a.size() < z) a.push_back(next++);
+  while (b.size() < z) b.push_back(next++);
+  return {a, b};
+}
+
+double TrueJaccard(const std::vector<uint32_t>& a,
+                   const std::vector<uint32_t>& b) {
+  std::set<uint32_t> sa(a.begin(), a.end()), sb(b.begin(), b.end());
+  std::vector<uint32_t> inter, uni;
+  std::set_intersection(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                        std::back_inserter(inter));
+  std::set_union(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                 std::back_inserter(uni));
+  return static_cast<double>(inter.size()) / static_cast<double>(uni.size());
+}
+
+/// Property sweep: the MinHash estimate converges to the true Jaccard for
+/// both hash-derivation modes, across similarity levels.
+class MinHashAccuracyTest
+    : public ::testing::TestWithParam<std::tuple<double, MinHashMode>> {};
+
+TEST_P(MinHashAccuracyTest, EstimateWithinTolerance) {
+  const auto [target, mode] = GetParam();
+  const uint32_t kHashes = 512;
+  const uint32_t kSetSize = 200;
+  auto [a, b] = MakePairWithJaccard(target, kSetSize);
+  const double truth = TrueJaccard(a, b);
+
+  // Average over several independent hash families to tighten variance.
+  double total = 0;
+  const int kFamilies = 8;
+  for (int f = 0; f < kFamilies; ++f) {
+    const MinHasher hasher(kHashes, 1000 + f, mode);
+    total += MinHasher::EstimateJaccard(hasher.ComputeSignature(a),
+                                        hasher.ComputeSignature(b));
+  }
+  const double estimate = total / kFamilies;
+  // sigma = sqrt(s(1-s)/n), n = 512*8; allow 4 sigma + rounding slack.
+  const double sigma = std::sqrt(truth * (1 - truth) / (kHashes * kFamilies));
+  EXPECT_NEAR(estimate, truth, 4 * sigma + 0.01)
+      << "target similarity " << target;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Similarities, MinHashAccuracyTest,
+    ::testing::Combine(::testing::Values(0.05, 0.1, 0.25, 0.5, 0.75, 0.9),
+                       ::testing::Values(MinHashMode::kDoubleHashing,
+                                         MinHashMode::kIndependent)));
+
+// --------------------------------------------- one-permutation minhash --
+
+TEST(OnePermutationMinHashTest, DeterministicAndOrderInvariant) {
+  const OnePermutationMinHasher hasher(64, 21);
+  const std::vector<uint32_t> a{1, 2, 3, 4, 5, 6, 7, 8};
+  const std::vector<uint32_t> b{8, 7, 6, 5, 4, 3, 2, 1};
+  EXPECT_EQ(hasher.ComputeSignature(a), hasher.ComputeSignature(b));
+}
+
+TEST(OnePermutationMinHashTest, EmptySetGetsSentinel) {
+  const OnePermutationMinHasher hasher(16, 5);
+  const auto sig = hasher.ComputeSignature(std::vector<uint32_t>{});
+  for (const uint64_t component : sig) {
+    EXPECT_EQ(component, kEmptySetSignature);
+  }
+}
+
+TEST(OnePermutationMinHashTest, DensificationFillsAllBins) {
+  // 4 tokens into 64 bins leaves most bins empty; densification must fill
+  // every one with a non-sentinel value.
+  const OnePermutationMinHasher hasher(64, 33);
+  const auto sig = hasher.ComputeSignature(std::vector<uint32_t>{9, 8, 7, 6});
+  for (const uint64_t component : sig) {
+    EXPECT_NE(component, kEmptySetSignature);
+  }
+}
+
+TEST(OnePermutationMinHashTest, IdenticalSetsCollideEverywhere) {
+  const OnePermutationMinHasher hasher(128, 3);
+  const std::vector<uint32_t> tokens{10, 20, 30};
+  EXPECT_EQ(hasher.ComputeSignature(tokens), hasher.ComputeSignature(tokens));
+}
+
+class OphAccuracyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(OphAccuracyTest, CollisionRateTracksJaccard) {
+  const double target = GetParam();
+  const uint32_t kBins = 256;
+  auto [a, b] = MakePairWithJaccard(target, 300);
+  const double truth = TrueJaccard(a, b);
+
+  double total = 0;
+  const int kFamilies = 10;
+  for (int f = 0; f < kFamilies; ++f) {
+    const OnePermutationMinHasher hasher(kBins, 2000 + f);
+    const auto sa = hasher.ComputeSignature(a);
+    const auto sb = hasher.ComputeSignature(b);
+    size_t agree = 0;
+    for (size_t i = 0; i < sa.size(); ++i) agree += sa[i] == sb[i];
+    total += static_cast<double>(agree) / kBins;
+  }
+  const double estimate = total / kFamilies;
+  // Densified OPH is approximately unbiased; allow a looser tolerance.
+  EXPECT_NEAR(estimate, truth, 0.05) << "target similarity " << target;
+}
+
+INSTANTIATE_TEST_SUITE_P(Similarities, OphAccuracyTest,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.9));
+
+// ---------------------------------------------------------------- simhash --
+
+TEST(SimHashTest, DeterministicPerSeed) {
+  const SimHasher a(32, 8, 5), b(32, 8, 5);
+  const std::vector<double> vec{1, -2, 3, -4, 5, -6, 7, -8};
+  EXPECT_EQ(a.ComputeSignature(vec), b.ComputeSignature(vec));
+}
+
+TEST(SimHashTest, ComponentsAreBits) {
+  const SimHasher hasher(64, 4, 9);
+  const std::vector<double> vec{0.5, -0.25, 1.5, 2.0};
+  for (const uint64_t bit : hasher.ComputeSignature(vec)) {
+    EXPECT_TRUE(bit == 0 || bit == 1);
+  }
+}
+
+TEST(SimHashTest, ScaleInvariant) {
+  // sign(w . cv) == sign(w . v) for c > 0.
+  const SimHasher hasher(64, 6, 13);
+  std::vector<double> v{1, -1, 2, -2, 0.5, 3};
+  std::vector<double> scaled(v);
+  for (auto& x : scaled) x *= 7.5;
+  EXPECT_EQ(hasher.ComputeSignature(v), hasher.ComputeSignature(scaled));
+}
+
+TEST(SimHashTest, OppositeVectorsDisagreeEverywhere) {
+  const SimHasher hasher(64, 6, 17);
+  std::vector<double> v{1, -1, 2, -2, 0.5, 3};
+  std::vector<double> negated(v);
+  for (auto& x : negated) x = -x;
+  const auto sa = hasher.ComputeSignature(v);
+  const auto sb = hasher.ComputeSignature(negated);
+  // Ignoring exact-zero dot products (measure zero), all bits flip.
+  size_t agree = 0;
+  for (size_t i = 0; i < sa.size(); ++i) agree += sa[i] == sb[i];
+  EXPECT_EQ(agree, 0u);
+}
+
+TEST(SimHashTest, CollisionRateMatchesAngle) {
+  // Vectors at 60 degrees should agree on ~1 - 60/180 = 2/3 of bits.
+  const double theta = 3.14159265358979323846 / 3.0;
+  std::vector<double> u{1, 0};
+  std::vector<double> v{std::cos(theta), std::sin(theta)};
+  double total = 0;
+  const int kFamilies = 20;
+  const uint32_t kBits = 256;
+  for (int f = 0; f < kFamilies; ++f) {
+    const SimHasher hasher(kBits, 2, 100 + f);
+    const auto su = hasher.ComputeSignature(u);
+    const auto sv = hasher.ComputeSignature(v);
+    size_t agree = 0;
+    for (size_t i = 0; i < su.size(); ++i) agree += su[i] == sv[i];
+    total += static_cast<double>(agree) / kBits;
+  }
+  EXPECT_NEAR(total / kFamilies, SimHasher::BitCollisionProbability(theta),
+              0.02);
+}
+
+TEST(SimHashTest, BitCollisionProbabilityFormula) {
+  EXPECT_DOUBLE_EQ(SimHasher::BitCollisionProbability(0.0), 1.0);
+  EXPECT_NEAR(SimHasher::BitCollisionProbability(3.14159265358979), 0.0,
+              1e-9);
+}
+
+}  // namespace
+}  // namespace lshclust

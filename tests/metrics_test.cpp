@@ -1,0 +1,163 @@
+// Unit tests for src/metrics: contingency table, purity, NMI, ARI.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "metrics/metrics.h"
+
+namespace lshclust {
+namespace {
+
+TEST(ContingencyTest, RejectsEmptyAndMismatchedInputs) {
+  const std::vector<uint32_t> empty;
+  const std::vector<uint32_t> one{0};
+  EXPECT_TRUE(ContingencyTable::Build(empty, empty)
+                  .status().IsInvalidArgument());
+  EXPECT_TRUE(ContingencyTable::Build(one, empty)
+                  .status().IsInvalidArgument());
+}
+
+TEST(ContingencyTest, CountsCellsAndMarginals) {
+  const std::vector<uint32_t> clusters{0, 0, 1, 1, 1};
+  const std::vector<uint32_t> labels{7, 7, 7, 9, 9};
+  const auto table = ContingencyTable::Build(clusters, labels).ValueOrDie();
+  EXPECT_EQ(table.total(), 5u);
+  EXPECT_EQ(table.num_clusters(), 2u);
+  EXPECT_EQ(table.num_labels(), 2u);
+  EXPECT_EQ(table.cluster_sizes(), (std::vector<uint64_t>{2, 3}));
+  EXPECT_EQ(table.label_sizes(), (std::vector<uint64_t>{3, 2}));
+  EXPECT_EQ(table.cells().size(), 3u);  // (0,7)=2 (1,7)=1 (1,9)=2
+}
+
+TEST(ContingencyTest, SparseIdsAreDensified) {
+  // Non-contiguous ids must not blow up the table.
+  const std::vector<uint32_t> clusters{1000000, 5, 1000000};
+  const std::vector<uint32_t> labels{42, 42, 7};
+  const auto table = ContingencyTable::Build(clusters, labels).ValueOrDie();
+  EXPECT_EQ(table.num_clusters(), 2u);
+  EXPECT_EQ(table.num_labels(), 2u);
+}
+
+TEST(PurityTest, PerfectClusteringScoresOne) {
+  const std::vector<uint32_t> clusters{0, 0, 1, 1, 2, 2};
+  const std::vector<uint32_t> labels{5, 5, 9, 9, 7, 7};
+  const auto table = ContingencyTable::Build(clusters, labels).ValueOrDie();
+  EXPECT_DOUBLE_EQ(Purity(table), 1.0);
+}
+
+TEST(PurityTest, HandComputedExample) {
+  // Cluster 0: {a,a,b} majority 2; cluster 1: {b,b,a} majority 2.
+  // Purity = (2+2)/6 = 2/3.
+  const std::vector<uint32_t> clusters{0, 0, 0, 1, 1, 1};
+  const std::vector<uint32_t> labels{0, 0, 1, 1, 1, 0};
+  const auto table = ContingencyTable::Build(clusters, labels).ValueOrDie();
+  EXPECT_DOUBLE_EQ(Purity(table), 2.0 / 3.0);
+}
+
+TEST(PurityTest, SingleClusterScoresMajorityFraction) {
+  const std::vector<uint32_t> clusters{0, 0, 0, 0};
+  const std::vector<uint32_t> labels{1, 1, 1, 2};
+  const auto table = ContingencyTable::Build(clusters, labels).ValueOrDie();
+  EXPECT_DOUBLE_EQ(Purity(table), 0.75);
+}
+
+TEST(PurityTest, AllSingletonsScoreOne) {
+  // Purity is trivially 1 at k = n — the reason NMI/ARI are also provided.
+  const std::vector<uint32_t> clusters{0, 1, 2, 3};
+  const std::vector<uint32_t> labels{0, 0, 1, 1};
+  const auto table = ContingencyTable::Build(clusters, labels).ValueOrDie();
+  EXPECT_DOUBLE_EQ(Purity(table), 1.0);
+}
+
+TEST(PurityTest, InvariantToClusterRelabeling) {
+  const std::vector<uint32_t> clusters_a{0, 0, 1, 1, 2};
+  const std::vector<uint32_t> clusters_b{9, 9, 4, 4, 0};  // same partition
+  const std::vector<uint32_t> labels{1, 1, 2, 2, 3};
+  const auto ta = ContingencyTable::Build(clusters_a, labels).ValueOrDie();
+  const auto tb = ContingencyTable::Build(clusters_b, labels).ValueOrDie();
+  EXPECT_DOUBLE_EQ(Purity(ta), Purity(tb));
+}
+
+TEST(PurityTest, ConvenienceWrapper) {
+  const std::vector<uint32_t> clusters{0, 0, 1, 1};
+  const std::vector<uint32_t> labels{3, 3, 4, 4};
+  EXPECT_DOUBLE_EQ(ComputePurity(clusters, labels).ValueOrDie(), 1.0);
+}
+
+TEST(NmiTest, IdenticalPartitionsScoreOne) {
+  const std::vector<uint32_t> clusters{0, 0, 1, 1, 2, 2};
+  const std::vector<uint32_t> labels{4, 4, 5, 5, 6, 6};
+  const auto table = ContingencyTable::Build(clusters, labels).ValueOrDie();
+  EXPECT_NEAR(NormalizedMutualInformation(table), 1.0, 1e-12);
+}
+
+TEST(NmiTest, IndependentPartitionsScoreNearZero) {
+  // Perfectly balanced independent partitions: I(C;L) = 0.
+  const std::vector<uint32_t> clusters{0, 0, 1, 1};
+  const std::vector<uint32_t> labels{0, 1, 0, 1};
+  const auto table = ContingencyTable::Build(clusters, labels).ValueOrDie();
+  EXPECT_NEAR(NormalizedMutualInformation(table), 0.0, 1e-12);
+}
+
+TEST(NmiTest, DegenerateSingleBlockPartitions) {
+  const std::vector<uint32_t> clusters{0, 0, 0};
+  const std::vector<uint32_t> labels{1, 1, 1};
+  const auto table = ContingencyTable::Build(clusters, labels).ValueOrDie();
+  EXPECT_DOUBLE_EQ(NormalizedMutualInformation(table), 1.0);
+}
+
+TEST(NmiTest, BetweenZeroAndOne) {
+  const std::vector<uint32_t> clusters{0, 0, 0, 1, 1, 2};
+  const std::vector<uint32_t> labels{0, 0, 1, 1, 2, 2};
+  const auto table = ContingencyTable::Build(clusters, labels).ValueOrDie();
+  const double nmi = NormalizedMutualInformation(table);
+  EXPECT_GT(nmi, 0.0);
+  EXPECT_LT(nmi, 1.0);
+}
+
+TEST(AriTest, IdenticalPartitionsScoreOne) {
+  const std::vector<uint32_t> clusters{0, 0, 1, 1, 2, 2, 2};
+  const std::vector<uint32_t> labels{9, 9, 5, 5, 6, 6, 6};
+  const auto table = ContingencyTable::Build(clusters, labels).ValueOrDie();
+  EXPECT_NEAR(AdjustedRandIndex(table), 1.0, 1e-12);
+}
+
+TEST(AriTest, HandComputedExample) {
+  // Classic example: clusters {a,a,b},{a,b,b}; labels {a,a,a},{b,b,b}.
+  const std::vector<uint32_t> clusters{0, 0, 0, 1, 1, 1};
+  const std::vector<uint32_t> labels{0, 0, 1, 0, 1, 1};
+  const auto table = ContingencyTable::Build(clusters, labels).ValueOrDie();
+  // sum_cells C(2,2)*2 + ... : cells (0,0)=2,(0,1)=1,(1,0)=1,(1,1)=2
+  // sum_cells = 1 + 0 + 0 + 1 = 2; clusters: 2*C(3,2)=6; labels: 6.
+  // expected = 6*6/15 = 2.4; max = 6; ARI = (2-2.4)/(6-2.4) = -1/9.
+  EXPECT_NEAR(AdjustedRandIndex(table), -1.0 / 9.0, 1e-12);
+}
+
+TEST(AriTest, CrossedPartitionsScoreNegative) {
+  // Fully crossed partitions: sum_cells = 0, expected = 2/3, max = 2,
+  // ARI = (0 - 2/3) / (2 - 2/3) = -0.5 — worse than chance.
+  const std::vector<uint32_t> clusters{0, 0, 1, 1};
+  const std::vector<uint32_t> labels{0, 1, 0, 1};
+  const auto table = ContingencyTable::Build(clusters, labels).ValueOrDie();
+  EXPECT_NEAR(AdjustedRandIndex(table), -0.5, 1e-12);
+}
+
+TEST(AriTest, InvariantToRelabeling) {
+  const std::vector<uint32_t> clusters_a{0, 0, 1, 2, 2};
+  const std::vector<uint32_t> clusters_b{5, 5, 9, 1, 1};
+  const std::vector<uint32_t> labels{0, 1, 1, 2, 2};
+  const auto ta = ContingencyTable::Build(clusters_a, labels).ValueOrDie();
+  const auto tb = ContingencyTable::Build(clusters_b, labels).ValueOrDie();
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex(ta), AdjustedRandIndex(tb));
+}
+
+TEST(AriTest, SingleItem) {
+  const std::vector<uint32_t> clusters{0};
+  const std::vector<uint32_t> labels{3};
+  const auto table = ContingencyTable::Build(clusters, labels).ValueOrDie();
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex(table), 1.0);
+}
+
+}  // namespace
+}  // namespace lshclust

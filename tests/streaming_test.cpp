@@ -1,0 +1,210 @@
+// Tests for core/streaming.h: bootstrap, online ingestion, incremental
+// mode maintenance, fallback behaviour.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "clustering/dissimilarity.h"
+#include "core/streaming.h"
+#include "data/slicing.h"
+#include "datagen/conjunctive_generator.h"
+#include "metrics/metrics.h"
+
+namespace lshclust {
+namespace {
+
+CategoricalDataset MakeData(uint32_t n, uint32_t k, uint64_t seed,
+                            double min_rule = 0.6, double max_rule = 0.9) {
+  ConjunctiveDataOptions options;
+  options.num_items = n;
+  options.num_attributes = 20;
+  options.num_clusters = k;
+  options.domain_size = 2000;
+  options.min_rule_fraction = min_rule;
+  options.max_rule_fraction = max_rule;
+  options.seed = seed;
+  return GenerateConjunctiveRuleData(options).ValueOrDie();
+}
+
+StreamingMHKModesOptions MakeOptions(uint32_t k, uint64_t seed = 5) {
+  StreamingMHKModesOptions options;
+  options.bootstrap.engine.num_clusters = k;
+  options.bootstrap.engine.seed = seed;
+  options.bootstrap.index.banding = {12, 3};
+  return options;
+}
+
+TEST(StreamingTest, BootstrapMatchesBatchClustering) {
+  const auto warmup = MakeData(400, 20, 3);
+  const auto options = MakeOptions(20);
+  auto stream = StreamingMHKModes::Bootstrap(warmup, options).ValueOrDie();
+
+  // The streaming bootstrap runs the identical batch algorithm.
+  const auto batch = RunMHKModes(warmup, options.bootstrap).ValueOrDie();
+  EXPECT_EQ(stream.assignment(), batch.result.assignment);
+  EXPECT_EQ(stream.num_clusters(), 20u);
+  EXPECT_EQ(stream.num_attributes(), warmup.num_attributes());
+  EXPECT_EQ(stream.stats().ingested, 0u);
+}
+
+TEST(StreamingTest, IngestAssignsValidClustersAndGrowsAssignment) {
+  const auto all = MakeData(600, 20, 7);
+  const auto warmup = SliceDataset(all, 0, 400).ValueOrDie();
+  auto stream =
+      StreamingMHKModes::Bootstrap(warmup, MakeOptions(20)).ValueOrDie();
+
+  for (uint32_t item = 400; item < 600; ++item) {
+    const auto cluster = stream.Ingest(all.Row(item));
+    ASSERT_TRUE(cluster.ok());
+    EXPECT_LT(*cluster, 20u);
+  }
+  EXPECT_EQ(stream.assignment().size(), 600u);
+  EXPECT_EQ(stream.stats().ingested, 200u);
+  // LSH routing keeps shortlists far below k.
+  if (stream.stats().ingested > stream.stats().exhaustive_fallbacks) {
+    const double mean_shortlist =
+        static_cast<double>(stream.stats().shortlist_total) /
+        (stream.stats().ingested - stream.stats().exhaustive_fallbacks);
+    EXPECT_LT(mean_shortlist, 20.0);
+  }
+}
+
+TEST(StreamingTest, StreamedItemsLandWithTheirBatchPeers) {
+  // On cleanly separated data, an arriving item must join the cluster its
+  // ground-truth peers occupy.
+  const auto all = MakeData(300, 6, 11, 1.0, 1.0);  // pure clusters
+  const auto warmup = SliceDataset(all, 0, 200).ValueOrDie();
+
+  auto options = MakeOptions(6);
+  options.bootstrap.engine.initial_seeds = {0, 1, 2, 3, 4, 5};
+  auto stream = StreamingMHKModes::Bootstrap(warmup, options).ValueOrDie();
+
+  for (uint32_t item = 200; item < 300; ++item) {
+    const uint32_t cluster = stream.Ingest(all.Row(item)).ValueOrDie();
+    // Find a warm-up item with the same label; it must share the cluster.
+    for (uint32_t peer = 0; peer < 200; ++peer) {
+      if (all.labels()[peer] == all.labels()[item]) {
+        EXPECT_EQ(cluster, stream.assignment()[peer])
+            << "item " << item << " split from its peers";
+        break;
+      }
+    }
+  }
+}
+
+TEST(StreamingTest, IncrementalModesMatchFullRecompute) {
+  // After ingesting a batch, the incrementally-maintained modes must equal
+  // a full recompute over (warmup + ingested) with the same assignment.
+  const auto all = MakeData(500, 10, 13);
+  const auto warmup = SliceDataset(all, 0, 300).ValueOrDie();
+  auto stream =
+      StreamingMHKModes::Bootstrap(warmup, MakeOptions(10)).ValueOrDie();
+  for (uint32_t item = 300; item < 500; ++item) {
+    ASSERT_TRUE(stream.Ingest(all.Row(item)).ok());
+  }
+
+  ModeTable reference(10, all.num_attributes());
+  Rng rng(1);
+  reference.RecomputeFromAssignment(all, stream.assignment(),
+                                    EmptyClusterPolicy::kKeepPreviousMode,
+                                    rng);
+  // Compare component-wise where the majority is unique; on ties the
+  // incremental tracker keeps the first-reaching code while the batch
+  // recompute takes the smallest, so compare supports instead of codes:
+  // both codes must have the same frequency within the cluster.
+  for (uint32_t cluster = 0; cluster < 10; ++cluster) {
+    for (uint32_t attribute = 0; attribute < all.num_attributes();
+         ++attribute) {
+      const uint32_t incremental = stream.ModeOf(cluster)[attribute];
+      const uint32_t recomputed = reference.Mode(cluster)[attribute];
+      if (incremental == recomputed) continue;
+      uint32_t incremental_count = 0, recomputed_count = 0;
+      for (uint32_t item = 0; item < all.num_items(); ++item) {
+        if (stream.assignment()[item] != cluster) continue;
+        const uint32_t code = all.Row(item)[attribute];
+        incremental_count += code == incremental ? 1 : 0;
+        recomputed_count += code == recomputed ? 1 : 0;
+      }
+      EXPECT_EQ(incremental_count, recomputed_count)
+          << "cluster " << cluster << " attribute " << attribute
+          << ": incremental mode is not a majority";
+    }
+  }
+}
+
+TEST(StreamingTest, FrozenModesWhenUpdateDisabled) {
+  const auto all = MakeData(400, 8, 17);
+  const auto warmup = SliceDataset(all, 0, 300).ValueOrDie();
+  auto options = MakeOptions(8);
+  options.update_modes = false;
+  auto stream = StreamingMHKModes::Bootstrap(warmup, options).ValueOrDie();
+
+  std::vector<std::vector<uint32_t>> before;
+  for (uint32_t cluster = 0; cluster < 8; ++cluster) {
+    before.emplace_back(stream.ModeOf(cluster).begin(),
+                        stream.ModeOf(cluster).end());
+  }
+  for (uint32_t item = 300; item < 400; ++item) {
+    ASSERT_TRUE(stream.Ingest(all.Row(item)).ok());
+  }
+  for (uint32_t cluster = 0; cluster < 8; ++cluster) {
+    EXPECT_EQ(std::vector<uint32_t>(stream.ModeOf(cluster).begin(),
+                                    stream.ModeOf(cluster).end()),
+              before[cluster]);
+  }
+}
+
+TEST(StreamingTest, RejectsWrongArityRows) {
+  const auto warmup = MakeData(200, 5, 19);
+  auto stream =
+      StreamingMHKModes::Bootstrap(warmup, MakeOptions(5)).ValueOrDie();
+  const std::vector<uint32_t> short_row(warmup.num_attributes() - 1, 0);
+  EXPECT_TRUE(stream.Ingest(short_row).status().IsInvalidArgument());
+}
+
+TEST(StreamingTest, UnknownCodesFallBackGracefully) {
+  // An item of entirely novel codes has no similar predecessor: it must
+  // still get assigned (exhaustive fallback) and be counted as such.
+  const auto warmup = MakeData(200, 5, 23);
+  auto stream =
+      StreamingMHKModes::Bootstrap(warmup, MakeOptions(5)).ValueOrDie();
+  std::vector<uint32_t> alien(warmup.num_attributes());
+  for (uint32_t a = 0; a < alien.size(); ++a) {
+    alien[a] = 4000000000u + a;  // far outside the warm-up code space
+  }
+  const auto cluster = stream.Ingest(alien);
+  ASSERT_TRUE(cluster.ok());
+  EXPECT_LT(*cluster, 5u);
+  EXPECT_EQ(stream.stats().exhaustive_fallbacks, 1u);
+
+  // A second identical alien now HAS a similar predecessor (the first):
+  // it must shortlist instead of falling back, and join the same cluster.
+  const auto second = stream.Ingest(alien);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*second, *cluster);
+  EXPECT_EQ(stream.stats().exhaustive_fallbacks, 1u);
+}
+
+TEST(StreamingTest, StreamingPurityTracksBatchPurity) {
+  const auto all = MakeData(800, 40, 29);
+  const auto warmup = SliceDataset(all, 0, 500).ValueOrDie();
+  auto stream =
+      StreamingMHKModes::Bootstrap(warmup, MakeOptions(40)).ValueOrDie();
+  for (uint32_t item = 500; item < 800; ++item) {
+    ASSERT_TRUE(stream.Ingest(all.Row(item)).ok());
+  }
+  const double streaming_purity =
+      ComputePurity(stream.assignment(), all.labels()).ValueOrDie();
+
+  auto batch_options = MakeOptions(40).bootstrap;
+  const auto batch = RunMHKModes(all, batch_options).ValueOrDie();
+  const double batch_purity =
+      ComputePurity(batch.result.assignment, all.labels()).ValueOrDie();
+
+  EXPECT_GE(streaming_purity, batch_purity - 0.15)
+      << "streaming lost too much quality vs batch re-clustering";
+}
+
+}  // namespace
+}  // namespace lshclust

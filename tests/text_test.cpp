@@ -1,0 +1,269 @@
+// Unit tests for src/text: tokenizer, per-topic TF-IDF, vocabulary
+// selection and the binarizer (the §IV-B pipeline pieces).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "datagen/yahoo_like_corpus.h"
+#include "text/binarizer.h"
+#include "text/corpus.h"
+#include "text/tfidf.h"
+#include "text/tokenizer.h"
+
+namespace lshclust {
+namespace {
+
+// -------------------------------------------------------------- tokenizer --
+
+TEST(TokenizerTest, LowercasesAndSplitsOnNonAlnum) {
+  Tokenizer tokenizer;
+  const auto tokens =
+      tokenizer.TokenizeToStrings("Does a Zoologist work ONLY in zoo-land?");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"zoologist", "work", "zoo",
+                                              "land"}));
+}
+
+TEST(TokenizerTest, DropsStopwordsAndSingleChars) {
+  Tokenizer tokenizer;
+  EXPECT_TRUE(tokenizer.IsStopword("the"));
+  EXPECT_TRUE(tokenizer.IsStopword("im"));
+  EXPECT_FALSE(tokenizer.IsStopword("zoologist"));
+  const auto tokens = tokenizer.TokenizeToStrings("i am a x zoologist");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"zoologist"}));
+}
+
+TEST(TokenizerTest, PaperExampleKeepsContentWords) {
+  Tokenizer tokenizer;
+  const auto tokens = tokenizer.TokenizeToStrings(
+      "im interested in being a zoologist but im not sure what do they "
+      "really do.Does zoologist work only in zoo?");
+  // The content words survive; the function words do not.
+  EXPECT_NE(std::find(tokens.begin(), tokens.end(), "zoologist"),
+            tokens.end());
+  EXPECT_NE(std::find(tokens.begin(), tokens.end(), "zoo"), tokens.end());
+  EXPECT_EQ(std::find(tokens.begin(), tokens.end(), "im"), tokens.end());
+  EXPECT_EQ(std::find(tokens.begin(), tokens.end(), "the"), tokens.end());
+}
+
+TEST(TokenizerTest, EmptyAndPunctuationOnlyInputs) {
+  Tokenizer tokenizer;
+  EXPECT_TRUE(tokenizer.TokenizeToStrings("").empty());
+  EXPECT_TRUE(tokenizer.TokenizeToStrings("?!.,;:").empty());
+}
+
+TEST(TokenizerTest, AddDocumentInternsWordsAndTracksTopics) {
+  Tokenizer tokenizer;
+  TokenizedCorpus corpus;
+  tokenizer.AddDocument("zoologist zoo animals", 2, &corpus);
+  tokenizer.AddDocument("zoo tickets prices", 1, &corpus);
+  EXPECT_EQ(corpus.documents.size(), 2u);
+  EXPECT_EQ(corpus.num_topics, 3u);  // max topic id + 1
+  EXPECT_TRUE(corpus.Valid());
+  // "zoo" appears in both documents under the same word id.
+  ASSERT_EQ(corpus.documents[0].words.size(), 3u);
+  ASSERT_EQ(corpus.documents[1].words.size(), 3u);
+  EXPECT_EQ(corpus.documents[0].words[1], corpus.documents[1].words[0]);
+}
+
+// ------------------------------------------------------------------ tfidf --
+
+/// Small hand-built corpus: topic 0 talks about zoos, topic 1 about tax;
+/// "common" appears in both topics.
+TokenizedCorpus HandCorpus() {
+  Tokenizer tokenizer;
+  TokenizedCorpus corpus;
+  tokenizer.AddDocument("zoologist zoo animals common", 0, &corpus);
+  tokenizer.AddDocument("zoo zookeeper animals common", 0, &corpus);
+  tokenizer.AddDocument("taxes income deduction common", 1, &corpus);
+  tokenizer.AddDocument("income taxes refund common", 1, &corpus);
+  return corpus;
+}
+
+TEST(TfIdfTest, RejectsEmptyCorpus) {
+  TokenizedCorpus corpus;
+  EXPECT_TRUE(TopicTfIdf::Compute(corpus).status().IsInvalidArgument());
+}
+
+TEST(TfIdfTest, TopicFrequencyCounts) {
+  const auto corpus = HandCorpus();
+  const auto model = TopicTfIdf::Compute(corpus).ValueOrDie();
+  EXPECT_EQ(model.num_topics(), 2u);
+  // Find the word ids.
+  const auto find_word = [&](const std::string& word) {
+    for (uint32_t w = 0; w < corpus.vocabulary.size(); ++w) {
+      if (corpus.vocabulary[w] == word) return w;
+    }
+    ADD_FAILURE() << "word not found: " << word;
+    return 0u;
+  };
+  EXPECT_EQ(model.TopicFrequency(find_word("zoo")), 1u);
+  EXPECT_EQ(model.TopicFrequency(find_word("common")), 2u);
+}
+
+TEST(TfIdfTest, TopicExclusiveWordsOutscoreSharedWords) {
+  const auto corpus = HandCorpus();
+  const auto model = TopicTfIdf::Compute(corpus).ValueOrDie();
+  const auto find_word = [&](const std::string& word) {
+    for (uint32_t w = 0; w < corpus.vocabulary.size(); ++w) {
+      if (corpus.vocabulary[w] == word) return w;
+    }
+    return ~0u;
+  };
+  const uint32_t zoo = find_word("zoo");
+  const uint32_t common = find_word("common");
+  // "common" occurs in every topic: IDF (and hence score) is zero.
+  EXPECT_DOUBLE_EQ(model.NormalizedIdf(common), 0.0);
+  EXPECT_GT(model.NormalizedIdf(zoo), 0.0);
+  EXPECT_GT(model.Score(0, zoo), model.Score(0, common));
+  // "zoo" does not occur in topic 1 at all.
+  EXPECT_DOUBLE_EQ(model.Score(1, zoo), 0.0);
+}
+
+TEST(TfIdfTest, ScoresAreInUnitInterval) {
+  const auto corpus =
+      GenerateYahooLikeCorpus([] {
+        YahooCorpusOptions options;
+        options.num_topics = 10;
+        options.questions_per_topic = 10;
+        options.seed = 31;
+        return options;
+      }());
+  const auto model = TopicTfIdf::Compute(corpus).ValueOrDie();
+  for (uint32_t topic = 0; topic < 10; ++topic) {
+    for (uint32_t w = 0; w < corpus.vocabulary.size(); w += 17) {
+      const double score = model.Score(topic, w);
+      EXPECT_GE(score, 0.0);
+      EXPECT_LE(score, 1.0);
+    }
+  }
+}
+
+TEST(TfIdfTest, LowerThresholdGrowsVocabulary) {
+  // The paper's lever: 0.7 -> 382 attributes, 0.3 -> 2881. Directionally,
+  // lowering the threshold must (weakly) grow the vocabulary.
+  YahooCorpusOptions corpus_options;
+  corpus_options.num_topics = 30;
+  corpus_options.questions_per_topic = 20;
+  corpus_options.seed = 17;
+  const auto corpus = GenerateYahooLikeCorpus(corpus_options);
+  const auto model = TopicTfIdf::Compute(corpus).ValueOrDie();
+
+  TfIdfOptions strict;
+  strict.threshold = 0.7;
+  TfIdfOptions loose;
+  loose.threshold = 0.3;
+  const auto small = model.SelectVocabulary(strict);
+  const auto large = model.SelectVocabulary(loose);
+  EXPECT_GT(large.size(), small.size());
+  EXPECT_GT(small.size(), 0u);
+  // Strict vocabulary is a subset of the loose one.
+  for (const uint32_t word : small) {
+    EXPECT_TRUE(std::binary_search(large.begin(), large.end(), word));
+  }
+}
+
+TEST(TfIdfTest, VocabularyIsSortedAndUnique) {
+  const auto corpus = HandCorpus();
+  const auto model = TopicTfIdf::Compute(corpus).ValueOrDie();
+  TfIdfOptions options;
+  options.threshold = 0.1;
+  const auto vocabulary = model.SelectVocabulary(options);
+  EXPECT_TRUE(std::is_sorted(vocabulary.begin(), vocabulary.end()));
+  EXPECT_EQ(std::adjacent_find(vocabulary.begin(), vocabulary.end()),
+            vocabulary.end());
+}
+
+TEST(TfIdfTest, PerTopicCapLimitsSelection) {
+  const auto corpus = HandCorpus();
+  const auto model = TopicTfIdf::Compute(corpus).ValueOrDie();
+  TfIdfOptions options;
+  options.threshold = 0.01;
+  options.max_words_per_topic = 1;
+  const auto vocabulary = model.SelectVocabulary(options);
+  // At most one word per topic can be selected.
+  EXPECT_LE(vocabulary.size(), 2u);
+  EXPECT_GE(vocabulary.size(), 1u);
+}
+
+// -------------------------------------------------------------- binarizer --
+
+TEST(BinarizerTest, BuildsPresenceDatasetWithAugmentedNames) {
+  const auto corpus = HandCorpus();
+  const auto model = TopicTfIdf::Compute(corpus).ValueOrDie();
+  TfIdfOptions options;
+  options.threshold = 0.2;
+  const auto vocabulary = model.SelectVocabulary(options);
+  ASSERT_GT(vocabulary.size(), 0u);
+
+  const auto dataset = BinarizeCorpus(corpus, vocabulary).ValueOrDie();
+  EXPECT_EQ(dataset.num_attributes(), vocabulary.size());
+  EXPECT_EQ(dataset.num_codes(), 2 * vocabulary.size());
+  EXPECT_TRUE(dataset.has_absence_semantics());
+  EXPECT_TRUE(dataset.has_labels());
+
+  // Values render as the paper's feature-name-augmented form "word=0/1".
+  const std::string value = dataset.ValueToString(0, 0);
+  EXPECT_TRUE(value.ends_with("=0") || value.ends_with("=1")) << value;
+
+  // Present tokens of an item are exactly its vocabulary words.
+  std::vector<uint32_t> tokens;
+  for (uint32_t i = 0; i < dataset.num_items(); ++i) {
+    dataset.PresentTokens(i, &tokens);
+    EXPECT_GT(tokens.size(), 0u);  // drop_empty_items guarantees this
+    for (const uint32_t code : tokens) {
+      EXPECT_EQ(code % 2, 1u);  // present codes are odd by construction
+    }
+  }
+}
+
+TEST(BinarizerTest, LabelsAreTopics) {
+  const auto corpus = HandCorpus();
+  const auto model = TopicTfIdf::Compute(corpus).ValueOrDie();
+  TfIdfOptions options;
+  options.threshold = 0.2;
+  const auto vocabulary = model.SelectVocabulary(options);
+  const auto dataset = BinarizeCorpus(corpus, vocabulary,
+                                      /*drop_empty_items=*/false)
+                           .ValueOrDie();
+  ASSERT_EQ(dataset.num_items(), corpus.documents.size());
+  for (uint32_t i = 0; i < dataset.num_items(); ++i) {
+    EXPECT_EQ(dataset.labels()[i], corpus.documents[i].topic);
+  }
+}
+
+TEST(BinarizerTest, DropEmptyItemsSkipsDocsWithoutVocabularyWords) {
+  Tokenizer tokenizer;
+  TokenizedCorpus corpus;
+  tokenizer.AddDocument("alpha beta", 0, &corpus);
+  tokenizer.AddDocument("gamma delta", 1, &corpus);  // no vocab words
+  // Vocabulary = {alpha} only.
+  const std::vector<uint32_t> vocabulary{0};
+  const auto kept = BinarizeCorpus(corpus, vocabulary, true).ValueOrDie();
+  EXPECT_EQ(kept.num_items(), 1u);
+  const auto all = BinarizeCorpus(corpus, vocabulary, false).ValueOrDie();
+  EXPECT_EQ(all.num_items(), 2u);
+}
+
+TEST(BinarizerTest, ValidatesInputs) {
+  const auto corpus = HandCorpus();
+  EXPECT_TRUE(BinarizeCorpus(corpus, std::vector<uint32_t>{})
+                  .status().IsInvalidArgument());
+  EXPECT_TRUE(BinarizeCorpus(corpus, std::vector<uint32_t>{3, 1})
+                  .status().IsInvalidArgument());  // unsorted
+}
+
+TEST(BinarizerTest, ErrorWhenNothingSurvives) {
+  // A corpus whose only document contains no vocabulary word: dropping
+  // empty items leaves nothing to cluster.
+  TokenizedCorpus corpus;
+  corpus.vocabulary = {"alpha"};
+  corpus.documents.push_back(Document{0, {}});
+  corpus.num_topics = 1;
+  const std::vector<uint32_t> vocabulary{0};
+  EXPECT_TRUE(BinarizeCorpus(corpus, vocabulary, true)
+                  .status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace lshclust

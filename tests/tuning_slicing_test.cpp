@@ -1,0 +1,259 @@
+// Tests for the banding parameter advisor (lsh/tuning.h), dataset
+// slicing/sampling/concatenation (data/slicing.h), and the dynamic
+// banding index (lsh/dynamic_banded_index.h).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "clustering/dissimilarity.h"
+#include "data/csv.h"
+#include "data/slicing.h"
+#include "datagen/conjunctive_generator.h"
+#include "hashing/minhash.h"
+#include "lsh/banded_index.h"
+#include "lsh/dynamic_banded_index.h"
+#include "lsh/tuning.h"
+
+namespace lshclust {
+namespace {
+
+// ------------------------------------------------------------- tuning --
+
+TEST(TuningTest, MeetsRequestedErrorBound) {
+  for (const uint32_t m : {20u, 100u, 400u}) {
+    for (const uint32_t cluster_size : {5u, 20u, 100u}) {
+      BandingConstraints constraints;
+      constraints.max_error = 0.05;
+      constraints.max_hashes = 4096;
+      auto recommendation = RecommendBanding(m, cluster_size, constraints);
+      ASSERT_TRUE(recommendation.ok())
+          << "m=" << m << " |C|=" << cluster_size;
+      EXPECT_LE(recommendation->error_bound, 0.05);
+      EXPECT_LE(recommendation->num_hashes, 4096u);
+      EXPECT_EQ(recommendation->num_hashes,
+                recommendation->params.bands * recommendation->params.rows);
+    }
+  }
+}
+
+TEST(TuningTest, PaperWorkedExampleIsFeasible) {
+  // §III-C: m=100, |C|=20, r=1, b=25 gives error 0.08. The advisor asked
+  // for 0.08 must find something at most that cheap.
+  BandingConstraints constraints;
+  constraints.max_error = 0.081;
+  auto recommendation = RecommendBanding(100, 20, constraints);
+  ASSERT_TRUE(recommendation.ok());
+  EXPECT_LE(recommendation->num_hashes, 25u);
+  EXPECT_LE(recommendation->error_bound, 0.081);
+}
+
+TEST(TuningTest, TighterErrorCostsMoreHashes) {
+  BandingConstraints loose, tight;
+  loose.max_error = 0.2;
+  tight.max_error = 0.01;
+  const auto cheap = RecommendBanding(100, 20, loose).ValueOrDie();
+  const auto expensive = RecommendBanding(100, 20, tight).ValueOrDie();
+  EXPECT_LE(cheap.num_hashes, expensive.num_hashes);
+}
+
+TEST(TuningTest, BiggerClustersNeedFewerHashes) {
+  BandingConstraints constraints;
+  constraints.max_error = 0.05;
+  const auto small = RecommendBanding(100, 5, constraints).ValueOrDie();
+  const auto large = RecommendBanding(100, 200, constraints).ValueOrDie();
+  EXPECT_GE(small.num_hashes, large.num_hashes);
+}
+
+TEST(TuningTest, InfeasibleBudgetIsOutOfRange) {
+  BandingConstraints constraints;
+  constraints.max_error = 1e-9;
+  constraints.max_hashes = 4;
+  EXPECT_TRUE(RecommendBanding(400, 2, constraints).status().IsOutOfRange());
+}
+
+TEST(TuningTest, ValidatesArguments) {
+  EXPECT_TRUE(RecommendBanding(0, 10).status().IsInvalidArgument());
+  EXPECT_TRUE(RecommendBanding(10, 0).status().IsInvalidArgument());
+  BandingConstraints bad;
+  bad.max_error = 1.5;
+  EXPECT_TRUE(RecommendBanding(10, 10, bad).status().IsInvalidArgument());
+  bad = BandingConstraints{};
+  bad.min_rows = 5;
+  bad.max_rows = 2;
+  EXPECT_TRUE(RecommendBanding(10, 10, bad).status().IsInvalidArgument());
+}
+
+TEST(TuningTest, ThresholdAndBoundAreConsistent) {
+  const auto recommendation = RecommendBanding(100, 20).ValueOrDie();
+  EXPECT_DOUBLE_EQ(recommendation.threshold_similarity,
+                   ThresholdSimilarity(recommendation.params));
+  EXPECT_DOUBLE_EQ(recommendation.error_bound,
+                   AssignmentErrorBound(100, recommendation.params, 20));
+}
+
+// ------------------------------------------------------------ slicing --
+
+CategoricalDataset SliceSource() {
+  ConjunctiveDataOptions options;
+  options.num_items = 100;
+  options.num_attributes = 6;
+  options.num_clusters = 10;
+  options.domain_size = 20;
+  options.seed = 3;
+  return GenerateConjunctiveRuleData(options).ValueOrDie();
+}
+
+TEST(SlicingTest, SlicePreservesRowsAndLabels) {
+  const auto source = SliceSource();
+  const auto slice = SliceDataset(source, 10, 25).ValueOrDie();
+  EXPECT_EQ(slice.num_items(), 15u);
+  EXPECT_EQ(slice.num_attributes(), source.num_attributes());
+  EXPECT_EQ(slice.num_codes(), source.num_codes());
+  for (uint32_t i = 0; i < 15; ++i) {
+    EXPECT_EQ(MismatchDistance(slice.Row(i), source.Row(10 + i)), 0u);
+    EXPECT_EQ(slice.labels()[i], source.labels()[10 + i]);
+  }
+}
+
+TEST(SlicingTest, SliceValidatesRange) {
+  const auto source = SliceSource();
+  EXPECT_TRUE(SliceDataset(source, 50, 40).status().IsOutOfRange());
+  EXPECT_TRUE(SliceDataset(source, 0, 101).status().IsOutOfRange());
+  EXPECT_TRUE(SliceDataset(source, 5, 5).status().IsInvalidArgument());
+}
+
+TEST(SlicingTest, SampleIsSubsetWithoutDuplicates) {
+  const auto source = SliceSource();
+  const auto sample = SampleDataset(source, 30, 7).ValueOrDie();
+  EXPECT_EQ(sample.num_items(), 30u);
+  // Every sampled row must exist in the source (rows are distinct enough
+  // under this generator to use exact row matching).
+  for (uint32_t i = 0; i < sample.num_items(); ++i) {
+    bool found = false;
+    for (uint32_t j = 0; j < source.num_items() && !found; ++j) {
+      found = MismatchDistance(sample.Row(i), source.Row(j)) == 0 &&
+              sample.labels()[i] == source.labels()[j];
+    }
+    EXPECT_TRUE(found) << "sampled row " << i << " not in source";
+  }
+}
+
+TEST(SlicingTest, SampleValidates) {
+  const auto source = SliceSource();
+  EXPECT_TRUE(SampleDataset(source, 0, 1).status().IsInvalidArgument());
+  EXPECT_TRUE(SampleDataset(source, 101, 1).status().IsOutOfRange());
+}
+
+TEST(SlicingTest, ConcatRoundTripsSlices) {
+  const auto source = SliceSource();
+  const auto head = SliceDataset(source, 0, 40).ValueOrDie();
+  const auto tail = SliceDataset(source, 40, 100).ValueOrDie();
+  const auto joined = ConcatDatasets(head, tail).ValueOrDie();
+  ASSERT_EQ(joined.num_items(), source.num_items());
+  for (uint32_t i = 0; i < source.num_items(); ++i) {
+    EXPECT_EQ(MismatchDistance(joined.Row(i), source.Row(i)), 0u);
+    EXPECT_EQ(joined.labels()[i], source.labels()[i]);
+  }
+}
+
+TEST(SlicingTest, ConcatRejectsMismatchedShapes) {
+  const auto source = SliceSource();
+  ConjunctiveDataOptions other_options;
+  other_options.num_items = 10;
+  other_options.num_attributes = 4;  // different m
+  other_options.num_clusters = 2;
+  other_options.domain_size = 20;
+  const auto other =
+      GenerateConjunctiveRuleData(other_options).ValueOrDie();
+  EXPECT_TRUE(ConcatDatasets(source, other).status().IsInvalidArgument());
+}
+
+TEST(SlicingTest, SlicePreservesPresenceSemanticsAndDictionary) {
+  CsvOptions csv;
+  csv.absent_values = {"0"};
+  const auto source = ParseCategoricalCsv(
+                          "w1,w2,label\n"
+                          "1,0,0\n"
+                          "0,1,1\n"
+                          "1,1,0\n",
+                          csv)
+                          .ValueOrDie();
+  const auto slice = SliceDataset(source, 1, 3).ValueOrDie();
+  EXPECT_TRUE(slice.has_absence_semantics());
+  ASSERT_NE(slice.interner(), nullptr);
+  EXPECT_EQ(slice.interner(), source.interner());  // shared, not copied
+  std::vector<uint32_t> tokens;
+  EXPECT_EQ(slice.PresentTokens(0, &tokens), 1u);  // row "0,1"
+  EXPECT_EQ(slice.ValueToString(0, 1), "w2=1");
+}
+
+// ------------------------------------------------- dynamic banded index --
+
+TEST(DynamicIndexTest, AgreesWithStaticIndexOnSameSignatures) {
+  const BandingParams params{6, 3};
+  const MinHasher hasher(params.num_hashes(), 5);
+  std::vector<std::vector<uint32_t>> sets;
+  Rng rng(7);
+  for (uint32_t i = 0; i < 200; ++i) {
+    std::vector<uint32_t> set;
+    for (int t = 0; t < 10; ++t) {
+      set.push_back(static_cast<uint32_t>(rng.Below(400)));
+    }
+    sets.push_back(std::move(set));
+  }
+  std::vector<uint64_t> all(sets.size() * params.num_hashes());
+  DynamicBandedIndex dynamic(params);
+  for (size_t i = 0; i < sets.size(); ++i) {
+    hasher.ComputeSignature(sets[i], all.data() + i * params.num_hashes());
+    dynamic.Insert({all.data() + i * params.num_hashes(),
+                    params.num_hashes()});
+  }
+  const BandedIndex fixed(all, static_cast<uint32_t>(sets.size()), params);
+
+  // Querying both indexes with each signature yields identical candidate
+  // multisets.
+  for (size_t i = 0; i < sets.size(); i += 13) {
+    std::multiset<uint32_t> from_static, from_dynamic;
+    const std::span<const uint64_t> signature{
+        all.data() + i * params.num_hashes(), params.num_hashes()};
+    fixed.VisitCandidatesOfSignature(
+        signature, [&](uint32_t item) { from_static.insert(item); });
+    dynamic.VisitCandidatesOfSignature(
+        signature, [&](uint32_t item) { from_dynamic.insert(item); });
+    EXPECT_EQ(from_static, from_dynamic) << "item " << i;
+  }
+}
+
+TEST(DynamicIndexTest, InsertAssignsSequentialIds) {
+  const BandingParams params{2, 2};
+  DynamicBandedIndex index(params);
+  const std::vector<uint64_t> sig(params.num_hashes(), 42);
+  EXPECT_EQ(index.Insert(sig), 0u);
+  EXPECT_EQ(index.Insert(sig), 1u);
+  EXPECT_EQ(index.num_items(), 2u);
+}
+
+TEST(DynamicIndexTest, LaterInsertsBecomeVisible) {
+  const BandingParams params{4, 2};
+  const MinHasher hasher(params.num_hashes(), 9);
+  DynamicBandedIndex index(params);
+  const std::vector<uint32_t> tokens{1, 2, 3, 4};
+  const auto signature = hasher.ComputeSignature(tokens);
+
+  size_t count = 0;
+  index.VisitCandidatesOfSignature(signature, [&](uint32_t) { ++count; });
+  EXPECT_EQ(count, 0u);  // empty index
+
+  index.Insert(signature);
+  index.Insert(signature);
+  std::set<uint32_t> seen;
+  index.VisitCandidatesOfSignature(signature,
+                                   [&](uint32_t item) { seen.insert(item); });
+  EXPECT_EQ(seen, (std::set<uint32_t>{0, 1}));
+  EXPECT_GT(index.MemoryUsageBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace lshclust

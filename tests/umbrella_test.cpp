@@ -1,0 +1,47 @@
+// Compiles the umbrella header and exercises one symbol from each layer,
+// guarding against the umbrella drifting out of sync with the tree.
+
+#include "lshclust.h"
+
+#include <gtest/gtest.h>
+
+namespace lshclust {
+namespace {
+
+TEST(UmbrellaTest, EveryLayerIsReachable) {
+  // util
+  EXPECT_TRUE(Status::OK().ok());
+  // hashing
+  const MinHasher hasher(4, 1);
+  EXPECT_EQ(hasher.num_hashes(), 4u);
+  // lsh
+  EXPECT_GT(CandidatePairProbability(0.5, BandingParams{20, 5}), 0.0);
+  // data
+  CategoricalDatasetBuilder builder({"a"});
+  EXPECT_TRUE(builder.AddRow(std::vector<std::string>{"x"}).ok());
+  // datagen
+  ConjunctiveDataOptions data;
+  data.num_items = 16;
+  data.num_attributes = 4;
+  data.num_clusters = 2;
+  data.domain_size = 8;
+  EXPECT_TRUE(GenerateConjunctiveRuleData(data).ok());
+  // text
+  Tokenizer tokenizer;
+  EXPECT_FALSE(tokenizer.TokenizeToStrings("zoologist zoo").empty());
+  // clustering
+  EXPECT_EQ(MismatchDistance(std::vector<uint32_t>{1, 2},
+                             std::vector<uint32_t>{1, 3}),
+            1u);
+  // metrics
+  EXPECT_DOUBLE_EQ(
+      ComputePurity(std::vector<uint32_t>{0, 1}, std::vector<uint32_t>{5, 6})
+          .ValueOrDie(),
+      1.0);
+  // core
+  MHKModesOptions options;
+  EXPECT_EQ(options.index.banding.num_hashes(), 100u);  // 20b x 5r default
+}
+
+}  // namespace
+}  // namespace lshclust

@@ -1,0 +1,318 @@
+#include "tools/cli.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <string_view>
+
+#include "core/experiment.h"
+#include "core/mh_kmodes.h"
+#include "data/csv.h"
+#include "data/serialize.h"
+#include "datagen/conjunctive_generator.h"
+#include "lsh/tuning.h"
+#include "metrics/metrics.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+
+namespace lshclust {
+
+namespace {
+
+bool IsBinaryPath(std::string_view path) {
+  return path.size() >= 5 && path.substr(path.size() - 5) == ".lshc";
+}
+
+Result<CategoricalDataset> LoadDataset(const std::string& path) {
+  if (IsBinaryPath(path)) return LoadDatasetBinary(path);
+  return ReadCategoricalCsv(path);
+}
+
+Status SaveDataset(const CategoricalDataset& dataset,
+                   const std::string& path) {
+  if (IsBinaryPath(path)) return SaveDatasetBinary(dataset, path);
+  return WriteCategoricalCsv(dataset, path);
+}
+
+Status WriteAssignmentCsv(const std::vector<uint32_t>& assignment,
+                          const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  out << "item,cluster\n";
+  for (size_t item = 0; item < assignment.size(); ++item) {
+    out << item << ',' << assignment[item] << '\n';
+  }
+  if (!out.good()) return Status::IOError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Result<std::vector<uint32_t>> ReadAssignmentCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  std::string line;
+  if (!std::getline(in, line) || Trim(line) != "item,cluster") {
+    return Status::InvalidArgument(
+        "'" + path + "' is not an assignment file (bad header)");
+  }
+  std::vector<uint32_t> assignment;
+  size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (Trim(line).empty()) continue;
+    const auto fields = Split(Trim(line), ',');
+    int64_t item = 0, cluster = 0;
+    if (fields.size() != 2 || !ParseInt64(fields[0], &item) ||
+        !ParseInt64(fields[1], &cluster) ||
+        item != static_cast<int64_t>(assignment.size()) || cluster < 0) {
+      return Status::InvalidArgument("'" + path + "' line " +
+                                     std::to_string(line_number) +
+                                     " is malformed");
+    }
+    assignment.push_back(static_cast<uint32_t>(cluster));
+  }
+  if (assignment.empty()) {
+    return Status::InvalidArgument("'" + path + "' contains no assignments");
+  }
+  return assignment;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+// ---------------------------------------------------------------- generate --
+
+int CmdGenerate(int argc, char** argv) {
+  FlagSet flags("lshclust generate");
+  int64_t items = 10000, attributes = 100, clusters = 1000;
+  int64_t domain = 40000, seed = 1;
+  std::string output = "dataset.lshc";
+  flags.AddInt64("items", &items, "items to generate");
+  flags.AddInt64("attributes", &attributes, "attributes per item");
+  flags.AddInt64("clusters", &clusters, "ground-truth clusters");
+  flags.AddInt64("domain", &domain, "category values per attribute");
+  flags.AddInt64("seed", &seed, "RNG seed");
+  flags.AddString("output", &output, "output path (.lshc binary or .csv)");
+  const Status parsed = flags.Parse(argc, argv);
+  if (parsed.IsAlreadyExists()) return 0;
+  if (!parsed.ok()) return Fail(parsed);
+
+  ConjunctiveDataOptions options;
+  options.num_items = static_cast<uint32_t>(items);
+  options.num_attributes = static_cast<uint32_t>(attributes);
+  options.num_clusters = static_cast<uint32_t>(clusters);
+  options.domain_size = static_cast<uint32_t>(domain);
+  options.seed = static_cast<uint64_t>(seed);
+  auto dataset = GenerateConjunctiveRuleData(options);
+  if (!dataset.ok()) return Fail(dataset.status());
+  // CSV output needs string values; binary stores raw codes directly.
+  if (!IsBinaryPath(output) && dataset->interner() == nullptr) {
+    return Fail(Status::InvalidArgument(
+        "the conjunctive generator emits raw codes; use a .lshc output "
+        "path"));
+  }
+  const Status saved = SaveDataset(*dataset, output);
+  if (!saved.ok()) return Fail(saved);
+  std::printf("wrote %u items x %u attributes (%u clusters) to %s\n",
+              dataset->num_items(), dataset->num_attributes(),
+              options.num_clusters, output.c_str());
+  return 0;
+}
+
+// ----------------------------------------------------------------- cluster --
+
+int CmdCluster(int argc, char** argv) {
+  FlagSet flags("lshclust cluster");
+  std::string input, output = "assignment.csv", method = "mh-kmodes";
+  int64_t k = 0, bands = 20, rows = 5, max_iterations = 100, seed = 42;
+  flags.AddString("input", &input, "dataset path (.lshc or .csv)");
+  flags.AddString("output", &output, "assignment CSV path");
+  flags.AddString("method", &method, "kmodes | mh-kmodes");
+  flags.AddInt64("k", &k, "number of clusters");
+  flags.AddInt64("bands", &bands, "MinHash bands (mh-kmodes)");
+  flags.AddInt64("rows", &rows, "rows per band (mh-kmodes)");
+  flags.AddInt64("max-iters", &max_iterations, "iteration cap");
+  flags.AddInt64("seed", &seed, "RNG seed");
+  const Status parsed = flags.Parse(argc, argv);
+  if (parsed.IsAlreadyExists()) return 0;
+  if (!parsed.ok()) return Fail(parsed);
+  if (input.empty() || k <= 0) {
+    std::fprintf(stderr, "usage: lshclust cluster --input=<file> --k=<n> "
+                         "[--method=mh-kmodes]\n");
+    return 2;
+  }
+
+  auto dataset = LoadDataset(input);
+  if (!dataset.ok()) return Fail(dataset.status());
+  std::printf("loaded %u items x %u attributes from %s\n",
+              dataset->num_items(), dataset->num_attributes(),
+              input.c_str());
+
+  EngineOptions engine;
+  engine.num_clusters = static_cast<uint32_t>(k);
+  engine.max_iterations = static_cast<uint32_t>(max_iterations);
+  engine.seed = static_cast<uint64_t>(seed);
+
+  Result<ClusteringResult> result = Status::UnknownError("unset");
+  if (method == "kmodes") {
+    result = RunKModes(*dataset, engine);
+  } else if (method == "mh-kmodes") {
+    MHKModesOptions options;
+    options.engine = engine;
+    options.index.banding = {static_cast<uint32_t>(bands),
+                             static_cast<uint32_t>(rows)};
+    auto run = RunMHKModes(*dataset, options);
+    if (run.ok()) {
+      result = std::move(run->result);
+    } else {
+      result = run.status();
+    }
+  } else {
+    std::fprintf(stderr, "unknown --method '%s' (kmodes | mh-kmodes)\n",
+                 method.c_str());
+    return 2;
+  }
+  if (!result.ok()) return Fail(result.status());
+
+  std::printf("%s: %zu iterations (%s), cost %.0f, %.3fs total\n",
+              method.c_str(), result->iterations.size(),
+              result->converged ? "converged" : "iteration cap",
+              result->final_cost, result->total_seconds);
+  if (dataset->has_labels()) {
+    auto purity = ComputePurity(result->assignment, dataset->labels());
+    if (purity.ok()) std::printf("purity vs labels: %.4f\n", *purity);
+  }
+  const Status saved = WriteAssignmentCsv(result->assignment, output);
+  if (!saved.ok()) return Fail(saved);
+  std::printf("assignment written to %s\n", output.c_str());
+  return 0;
+}
+
+// ---------------------------------------------------------------- evaluate --
+
+int CmdEvaluate(int argc, char** argv) {
+  FlagSet flags("lshclust evaluate");
+  std::string dataset_path, assignment_path;
+  flags.AddString("dataset", &dataset_path, "labeled dataset path");
+  flags.AddString("assignment", &assignment_path, "assignment CSV path");
+  const Status parsed = flags.Parse(argc, argv);
+  if (parsed.IsAlreadyExists()) return 0;
+  if (!parsed.ok()) return Fail(parsed);
+  if (dataset_path.empty() || assignment_path.empty()) {
+    std::fprintf(stderr, "usage: lshclust evaluate --dataset=<file> "
+                         "--assignment=<file>\n");
+    return 2;
+  }
+
+  auto dataset = LoadDataset(dataset_path);
+  if (!dataset.ok()) return Fail(dataset.status());
+  if (!dataset->has_labels()) {
+    return Fail(Status::InvalidArgument("dataset carries no labels"));
+  }
+  auto assignment = ReadAssignmentCsv(assignment_path);
+  if (!assignment.ok()) return Fail(assignment.status());
+  if (assignment->size() != dataset->num_items()) {
+    return Fail(Status::InvalidArgument(
+        "assignment covers " + std::to_string(assignment->size()) +
+        " items, dataset has " + std::to_string(dataset->num_items())));
+  }
+
+  auto table = ContingencyTable::Build(*assignment, dataset->labels());
+  if (!table.ok()) return Fail(table.status());
+  std::printf("items:   %llu\n",
+              static_cast<unsigned long long>(table->total()));
+  std::printf("purity:  %.4f\n", Purity(*table));
+  std::printf("NMI:     %.4f\n", NormalizedMutualInformation(*table));
+  std::printf("ARI:     %.4f\n", AdjustedRandIndex(*table));
+  return 0;
+}
+
+// ----------------------------------------------------------------- inspect --
+
+int CmdInspect(int argc, char** argv) {
+  FlagSet flags("lshclust inspect");
+  std::string input;
+  int64_t cluster_size = 10;
+  double max_error = 0.05;
+  flags.AddString("input", &input, "dataset path (.lshc or .csv)");
+  flags.AddInt64("cluster-size", &cluster_size,
+                 "assumed minimum cluster size for banding advice");
+  flags.AddDouble("max-error", &max_error,
+                  "tolerated shortlist-miss probability");
+  const Status parsed = flags.Parse(argc, argv);
+  if (parsed.IsAlreadyExists()) return 0;
+  if (!parsed.ok()) return Fail(parsed);
+  if (input.empty()) {
+    std::fprintf(stderr, "usage: lshclust inspect --input=<file>\n");
+    return 2;
+  }
+
+  auto dataset = LoadDataset(input);
+  if (!dataset.ok()) return Fail(dataset.status());
+  std::printf("items:       %u\n", dataset->num_items());
+  std::printf("attributes:  %u\n", dataset->num_attributes());
+  std::printf("codes:       %u\n", dataset->num_codes());
+  std::printf("labels:      %s\n", dataset->has_labels() ? "yes" : "no");
+  std::printf("presence:    %s\n",
+              dataset->has_absence_semantics() ? "sparse (absent values)"
+                                               : "dense");
+  if (dataset->has_labels()) {
+    std::vector<bool> seen;
+    for (const uint32_t label : dataset->labels()) {
+      if (label >= seen.size()) seen.resize(label + 1, false);
+      seen[label] = true;
+    }
+    size_t distinct = 0;
+    for (const bool present : seen) distinct += present ? 1 : 0;
+    std::printf("classes:     %zu\n", distinct);
+  }
+
+  BandingConstraints constraints;
+  constraints.max_error = max_error;
+  auto advice = RecommendBanding(dataset->num_attributes(),
+                                 static_cast<uint32_t>(cluster_size),
+                                 constraints);
+  if (advice.ok()) {
+    std::printf("suggested banding: %ub %ur (%u hashes, error bound "
+                "%.4f, threshold similarity %.4f)\n",
+                advice->params.bands, advice->params.rows,
+                advice->num_hashes, advice->error_bound,
+                advice->threshold_similarity);
+  } else {
+    std::printf("no banding within budget meets error %.3f\n", max_error);
+  }
+  return 0;
+}
+
+int Usage() {
+  std::fputs(
+      "usage: lshclust <command> [flags]\n"
+      "commands:\n"
+      "  generate   write a synthetic conjunctive-rule dataset\n"
+      "  cluster    cluster a dataset with K-Modes or MH-K-Modes\n"
+      "  evaluate   score an assignment against dataset labels\n"
+      "  inspect    print dataset shape and banding advice\n"
+      "run `lshclust <command> --help` for the command's flags\n",
+      stderr);
+  return 2;
+}
+
+}  // namespace
+
+int RunCli(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string_view command = argv[1];
+  // Shift argv so each command's FlagSet sees its own flags.
+  if (command == "generate") return CmdGenerate(argc - 1, argv + 1);
+  if (command == "cluster") return CmdCluster(argc - 1, argv + 1);
+  if (command == "evaluate") return CmdEvaluate(argc - 1, argv + 1);
+  if (command == "inspect") return CmdInspect(argc - 1, argv + 1);
+  return Usage();
+}
+
+}  // namespace lshclust

@@ -1,0 +1,24 @@
+#pragma once
+
+/// \file cli.h
+/// \brief The `lshclust` command-line tool, as a library so tests can
+/// drive it in-process.
+///
+/// Subcommands:
+///   generate  — write a synthetic conjunctive-rule dataset to disk
+///   cluster   — cluster a dataset file with K-Modes or MH-K-Modes and
+///               write the assignment
+///   evaluate  — score an assignment against the dataset's labels
+///   inspect   — print dataset shape and banding recommendations
+///
+/// Dataset files are either the binary format of data/serialize.h
+/// (".lshc") or CSV (anything else). Assignments are two-column CSV
+/// ("item,cluster").
+
+namespace lshclust {
+
+/// Runs one CLI invocation; returns the process exit code (0 success,
+/// 1 operational failure, 2 usage error).
+int RunCli(int argc, char** argv);
+
+}  // namespace lshclust

@@ -1,0 +1,6 @@
+// Entry point of the `lshclust` command-line tool; the logic lives in
+// cli.cpp so the test suite can drive it in-process.
+
+#include "tools/cli.h"
+
+int main(int argc, char** argv) { return lshclust::RunCli(argc, argv); }
