@@ -1,0 +1,191 @@
+// Thread-scaling baseline for the batch-parallel assignment step of the
+// unified clustering engine: one synthetic workload per dataset family,
+// run at 1/2/4/8 worker threads, reporting refinement (assignment-phase)
+// wall time and throughput. Results are bit-identical across thread
+// counts by construction (see clustering/engine.h), so the only thing
+// that may change with the thread knob is the numbers printed here —
+// future PRs can use this as the scaling baseline.
+//
+// Flags: --items, --clusters, --attrs, --dims, --iters, --seed,
+//        --threads (comma list, default 1,2,4,8)
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "clustering/kmodes.h"
+#include "clustering/kprototypes.h"
+#include "core/lsh_kmeans.h"
+#include "core/lsh_kprototypes.h"
+#include "core/mh_kmodes.h"
+#include "datagen/conjunctive_generator.h"
+#include "datagen/gaussian_mixture.h"
+#include "datagen/mixed_generator.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace lshclust;
+
+struct BenchFlags {
+  int64_t items = 20000;
+  int64_t clusters = 200;
+  int64_t attrs = 24;
+  int64_t dims = 16;
+  int64_t iters = 5;
+  int64_t seed = 42;
+  std::string threads = "1,2,4,8";
+};
+
+bool ParseThreadList(const std::string& spec,
+                     std::vector<uint32_t>* threads) {
+  threads->clear();
+  for (const auto& field : Split(spec, ',')) {
+    if (field.empty()) continue;
+    size_t consumed = 0;
+    unsigned long value = 0;
+    try {
+      value = std::stoul(field, &consumed);
+    } catch (const std::exception&) {
+      return false;
+    }
+    if (consumed != field.size() || value == 0 || value > 1024) return false;
+    threads->push_back(static_cast<uint32_t>(value));
+  }
+  return !threads->empty();
+}
+
+void Report(const char* name, uint32_t num_threads, int64_t items,
+            const ClusteringResult& result) {
+  const double refine_seconds = result.RefinementSeconds();
+  const double items_per_second =
+      refine_seconds > 0
+          ? static_cast<double>(items) * result.iterations.size() /
+                refine_seconds
+          : 0.0;
+  std::printf(
+      "%-18s threads=%u  iters=%zu  refine=%8.3fs  assign-throughput=%12.0f "
+      "items/s  moves=%" PRIu64 "\n",
+      name, num_threads, result.iterations.size(), refine_seconds,
+      items_per_second, result.TotalMoves());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchFlags flags;
+  FlagSet flag_set("engine_threads");
+  flag_set.AddInt64("items", &flags.items, "items per dataset");
+  flag_set.AddInt64("clusters", &flags.clusters, "clusters k");
+  flag_set.AddInt64("attrs", &flags.attrs, "categorical attributes");
+  flag_set.AddInt64("dims", &flags.dims, "numeric dimensions");
+  flag_set.AddInt64("iters", &flags.iters, "refinement iteration cap");
+  flag_set.AddInt64("seed", &flags.seed, "master RNG seed");
+  flag_set.AddString("threads", &flags.threads,
+                     "comma-separated worker-thread counts");
+  if (auto status = flag_set.Parse(argc, argv); !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::vector<uint32_t> thread_counts;
+  if (!ParseThreadList(flags.threads, &thread_counts)) {
+    std::fprintf(stderr,
+                 "error: --threads wants a comma list of counts in "
+                 "[1, 1024], got \"%s\"\n",
+                 flags.threads.c_str());
+    return 1;
+  }
+
+  const auto n = static_cast<uint32_t>(flags.items);
+  const auto k = static_cast<uint32_t>(flags.clusters);
+
+  // --- categorical: K-Modes and MH-K-Modes -------------------------------
+  ConjunctiveDataOptions categorical;
+  categorical.num_items = n;
+  categorical.num_attributes = static_cast<uint32_t>(flags.attrs);
+  categorical.num_clusters = k;
+  categorical.domain_size = 4 * k;
+  categorical.seed = static_cast<uint64_t>(flags.seed);
+  const auto categorical_data =
+      GenerateConjunctiveRuleData(categorical).ValueOrDie();
+
+  std::printf("== categorical: %u items x %u attrs, k=%u ==\n", n,
+              categorical.num_attributes, k);
+  for (const uint32_t threads : thread_counts) {
+    EngineOptions options;
+    options.num_clusters = k;
+    options.max_iterations = static_cast<uint32_t>(flags.iters);
+    options.seed = static_cast<uint64_t>(flags.seed);
+    options.compute_cost = false;  // pure assignment timing
+    options.num_threads = threads;
+    Report("kmodes", threads, flags.items,
+           RunKModes(categorical_data, options).ValueOrDie());
+
+    MHKModesOptions mh;
+    mh.engine = options;
+    mh.index.banding = {20, 5};
+    Report("mh-kmodes", threads, flags.items,
+           RunMHKModes(categorical_data, mh).ValueOrDie().result);
+  }
+
+  // --- numeric: K-Means and LSH-K-Means ----------------------------------
+  GaussianMixtureOptions numeric;
+  numeric.num_items = n;
+  numeric.dimensions = static_cast<uint32_t>(flags.dims);
+  numeric.num_clusters = k;
+  numeric.seed = static_cast<uint64_t>(flags.seed) + 1;
+  const auto numeric_data = GenerateGaussianMixture(numeric).ValueOrDie();
+
+  std::printf("== numeric: %u items x %u dims, k=%u ==\n", n,
+              numeric.dimensions, k);
+  for (const uint32_t threads : thread_counts) {
+    KMeansOptions options;
+    options.num_clusters = k;
+    options.max_iterations = static_cast<uint32_t>(flags.iters);
+    options.seed = static_cast<uint64_t>(flags.seed);
+    options.compute_cost = false;
+    options.num_threads = threads;
+    Report("kmeans", threads, flags.items,
+           RunKMeans(numeric_data, options).ValueOrDie());
+
+    LshKMeansOptions lsh;
+    lsh.kmeans = options;
+    lsh.banding = {16, 4};
+    Report("lsh-kmeans", threads, flags.items,
+           RunLshKMeans(numeric_data, lsh).ValueOrDie());
+  }
+
+  // --- mixed: K-Prototypes and LSH-K-Prototypes --------------------------
+  MixedDataOptions mixed;
+  mixed.categorical.num_items = n;
+  mixed.categorical.num_attributes = static_cast<uint32_t>(flags.attrs);
+  mixed.categorical.num_clusters = k;
+  mixed.categorical.domain_size = 4 * k;
+  mixed.categorical.seed = static_cast<uint64_t>(flags.seed) + 2;
+  mixed.numeric_dimensions = static_cast<uint32_t>(flags.dims);
+  const auto mixed_data = GenerateMixedData(mixed).ValueOrDie();
+
+  std::printf("== mixed: %u items, %u attrs + %u dims, k=%u ==\n", n,
+              mixed.categorical.num_attributes, mixed.numeric_dimensions, k);
+  for (const uint32_t threads : thread_counts) {
+    KPrototypesOptions options;
+    options.num_clusters = k;
+    options.max_iterations = static_cast<uint32_t>(flags.iters);
+    options.seed = static_cast<uint64_t>(flags.seed);
+    options.gamma = 0.5;
+    options.compute_cost = false;
+    options.num_threads = threads;
+    Report("kprototypes", threads, flags.items,
+           RunKPrototypes(mixed_data, options).ValueOrDie());
+
+    LshKPrototypesOptions lsh;
+    lsh.kprototypes = options;
+    Report("lsh-kprototypes", threads, flags.items,
+           RunLshKPrototypes(mixed_data, lsh).ValueOrDie());
+  }
+  return 0;
+}

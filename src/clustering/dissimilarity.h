@@ -58,6 +58,45 @@ inline uint32_t BoundedMismatchDistance(const uint32_t* a, const uint32_t* b,
   return mismatches;
 }
 
+namespace internal {
+
+/// Squared Euclidean distance with early exit at `bound`, scanned in
+/// 8-wide blocks with a bound check after each (the numeric twin of
+/// BoundedMismatchDistance). Shared by the K-Means and K-Prototypes
+/// distance traits so both families run the identical kernel.
+inline double BoundedSquaredL2(const double* a, const double* b, uint32_t d,
+                               double bound) {
+  double sum = 0;
+  uint32_t j = 0;
+  constexpr uint32_t kBlock = 8;
+  while (j + kBlock <= d) {
+    for (uint32_t t = 0; t < kBlock; ++t) {
+      const double diff = a[j + t] - b[j + t];
+      sum += diff * diff;
+    }
+    j += kBlock;
+    if (sum >= bound) return sum;
+  }
+  for (; j < d; ++j) {
+    const double diff = a[j] - b[j];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+/// Plain squared Euclidean distance (used by cost evaluation, where the
+/// exact unblocked summation order is part of the reported number).
+inline double SquaredL2(std::span<const double> a, std::span<const double> b) {
+  double sum = 0;
+  for (size_t j = 0; j < a.size(); ++j) {
+    const double diff = a[j] - b[j];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+}  // namespace internal
+
 /// Jaccard similarity of two items' *present-token sets* when every
 /// attribute is present: q matching attributes of m give |X∩Y| = q and
 /// |X∪Y| = 2m - q, hence s = q / (2m - q). With at least one match,

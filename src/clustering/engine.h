@@ -1,32 +1,72 @@
 #pragma once
 
 /// \file engine.h
-/// \brief The shared K-Modes refinement engine, templated on a candidate
-/// provider.
+/// \brief The unified centroid-clustering refinement engine, templated on
+/// the dataset family (via traits) and the candidate provider.
 ///
-/// The paper's framework changes exactly one thing about K-Modes: where the
-/// assignment step looks for candidate clusters. The engine therefore takes
-/// a *provider* policy:
+/// The paper's framework changes exactly one thing about centroid-based
+/// clustering: where the assignment step looks for candidate clusters.
+/// Everything else — seeding, the initial exhaustive pass, centroid
+/// updates, the convergence test, instrumentation — is shared. The engine
+/// therefore factors along two axes:
 ///
-///  * ExhaustiveProvider — every cluster is a candidate: original K-Modes.
-///  * core/ClusterShortlistProvider — candidates come from the MinHash
-///    index: MH-K-Modes (Algorithm 2).
+///  * **Traits** describe the dataset family and its dissimilarity:
+///    - CategoricalClusteringTraits (here): K-Modes, mismatch counts.
+///    - NumericClusteringTraits (clustering/kmeans.h): K-Means, squared L2.
+///    - MixedClusteringTraits (clustering/kprototypes.h): K-Prototypes,
+///      mismatches + gamma * squared L2.
+///  * **Provider** is the candidate policy:
+///    - ExhaustiveProvider — every cluster is a candidate: the original
+///      algorithm of the family.
+///    - ShortlistProvider<Family> (core/shortlist_provider.h) — candidates
+///      come from an LSH banding index: the paper's acceleration.
 ///
-/// Both variants share every other line of code, which keeps the
-/// efficiency comparison honest (same distance kernel, same mode updates,
-/// same convergence test — mirroring the paper's single code base for both
-/// algorithms).
+/// One engine body serves all six combinations (and more, e.g. the canopy
+/// provider), which keeps the paper's efficiency comparisons honest: both
+/// sides of every comparison run the same code except candidate
+/// generation.
 ///
 /// Phases, timed separately (see ClusteringResult):
-///   1. init: seed selection, initial modes = seed items.
+///   1. init: seed selection, initial centroids = seed items.
 ///   2. initial assignment: one exhaustive pass (the paper performs this
 ///      for MH-K-Modes too, before the index exists — Alg. 2 step 2).
 ///   3. provider.Prepare(): signature computation + index build
 ///      (no-op for the baseline).
 ///   4. refinement iterations until no item moves or max_iterations.
+///
+/// ## Batch-parallel assignment
+///
+/// The assignment step — the hot loop the whole paper is about — is
+/// dispatched in fixed-size item chunks to a small worker pool
+/// (util/thread_pool.h) when EngineOptions::num_threads > 1. Determinism
+/// is preserved by construction, so `num_threads = 1` and `num_threads =
+/// 64` produce bit-identical assignments, costs and move counts:
+///
+///  * Candidate providers dereference a *snapshot* of the assignment taken
+///    at the start of the pass (the cluster-reference store of §III-B,
+///    frozen per iteration), so an item's shortlist never depends on how
+///    many items before it already moved this pass. Each item writes only
+///    its own assignment slot.
+///  * Per-chunk move/shortlist accumulators are merged in chunk order
+///    after the pass.
+///  * Centroid updates and cost evaluation stay sequential: they are
+///    cheap (one scan) and their floating-point summation order is part
+///    of the reported numbers.
+///
+/// Providers that opt into parallel queries expose `MakeScratch()` and a
+/// const `GetCandidates(item, assignment, scratch, out)`; the engine gives
+/// every worker its own scratch. Legacy single-threaded providers (a
+/// non-const 3-argument `GetCandidates`) still work — the engine detects
+/// them and runs their passes sequentially on the live assignment array,
+/// preserving their historical in-place semantics.
 
 #include <cstdint>
+#include <limits>
+#include <optional>
 #include <span>
+#include <string>
+#include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "clustering/dissimilarity.h"
@@ -38,19 +78,22 @@
 #include "util/result.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace lshclust {
 
-/// \brief Options shared by K-Modes and MH-K-Modes runs.
+/// \brief Options shared by every engine family (K-Modes, K-Means,
+/// K-Prototypes and their LSH-accelerated variants).
 struct EngineOptions {
   /// Number of clusters k.
   uint32_t num_clusters = 0;
   /// Refinement iteration cap (the paper caps Fig. 10 at 10).
   uint32_t max_iterations = 100;
-  /// Empty-cluster handling during mode updates.
+  /// Empty-cluster handling during centroid updates.
   EmptyClusterPolicy empty_cluster_policy =
       EmptyClusterPolicy::kKeepPreviousMode;
-  /// Initial centroid selection method (ignored when initial_seeds given).
+  /// Initial centroid selection method (ignored when initial_seeds given;
+  /// kHuang/kCao are categorical-only).
   InitMethod init_method = InitMethod::kRandom;
   /// Explicit seed items; the experiment harness draws these once and
   /// passes the same vector to every variant, as the paper does.
@@ -59,259 +102,509 @@ struct EngineOptions {
   uint64_t seed = 42;
   /// Use the bounded early-exit distance kernel (ablation switch).
   bool early_exit = true;
-  /// Evaluate the cost function P(W, Q) after each iteration (Eq. 4).
-  /// Costs one extra n*m scan per iteration; switch off for pure timing.
+  /// Evaluate the cost function after each iteration (Eq. 4 for K-Modes,
+  /// inertia for K-Means, the mixed objective for K-Prototypes). Costs one
+  /// extra n*m scan per iteration; switch off for pure timing.
   bool compute_cost = true;
+  /// Worker threads for the batch-parallel assignment step. 1 = run
+  /// in-line on the calling thread (default); 0 = one per hardware
+  /// thread. Any value produces bit-identical results.
+  uint32_t num_threads = 1;
 };
 
 /// \brief Candidate provider that enumerates every cluster — plugging this
-/// into the engine yields the original K-Modes.
+/// into the engine yields the family's original algorithm. One struct
+/// serves all dataset families (Prepare is a template; the engine never
+/// queries candidates on the exhaustive path).
 struct ExhaustiveProvider {
   /// Tells the engine to scan all k clusters without materialising lists.
   static constexpr bool kExhaustive = true;
 
   /// Nothing to build.
-  Status Prepare(const CategoricalDataset&) { return Status::OK(); }
+  template <typename Dataset>
+  Status Prepare(const Dataset&) {
+    return Status::OK();
+  }
+};
 
-  /// Never called (kExhaustive short-circuits); present to satisfy the
-  /// provider interface.
-  void GetCandidates(uint32_t, std::span<const uint32_t>,
-                     std::vector<uint32_t>*) {}
+/// \brief Dissimilarity/centroid traits for categorical data (K-Modes).
+struct CategoricalClusteringTraits {
+  using Dataset = CategoricalDataset;
+  using Options = EngineOptions;
+  using DistanceType = uint32_t;
+  using Centroids = ModeTable;
+
+  /// Bound that never triggers an early exit (mismatches <= m << 2^32).
+  static constexpr DistanceType kInfiniteDistance = ~0u;
+
+  static Status ValidateOptions(const Dataset&, const Options&) {
+    return Status::OK();
+  }
+
+  static Result<std::vector<uint32_t>> SelectSeedItems(const Dataset& dataset,
+                                                       const Options& options,
+                                                       Rng& rng) {
+    return SelectSeeds(dataset, options.num_clusters, options.init_method,
+                       rng);
+  }
+
+  static Centroids MakeCentroids(const Dataset& dataset,
+                                 const Options& options) {
+    return ModeTable(options.num_clusters, dataset.num_attributes());
+  }
+
+  static void SeedCentroid(Centroids& modes, uint32_t cluster,
+                           const Dataset& dataset, uint32_t item) {
+    modes.SetModeFromItem(cluster, dataset, item);
+  }
+
+  /// Mismatch count of item vs mode. EarlyExit selects the bounded
+  /// blockwise kernel; the plain kernel is kept distinct so the ablation
+  /// bench measures exactly the kernels it names.
+  template <bool EarlyExit>
+  static DistanceType ComputeDistance(const Dataset& dataset,
+                                      const Centroids& modes, const Options&,
+                                      uint32_t item, uint32_t cluster,
+                                      DistanceType bound) {
+    if constexpr (EarlyExit) {
+      return BoundedMismatchDistance(dataset.Row(item).data(),
+                                     modes.ModeData(cluster),
+                                     dataset.num_attributes(), bound);
+    } else {
+      return MismatchDistance(dataset.Row(item), modes.Mode(cluster));
+    }
+  }
+
+  static void UpdateCentroids(const Dataset& dataset, Centroids& modes,
+                              std::span<const uint32_t> assignment,
+                              const Options& options, Rng& rng) {
+    modes.RecomputeFromAssignment(dataset, assignment,
+                                  options.empty_cluster_policy, rng);
+  }
+
+  /// Cost P(W, Q) (Eq. 4): summed mismatch of every item to its mode.
+  static double ComputeCost(const Dataset& dataset, const Centroids& modes,
+                            const Options&,
+                            std::span<const uint32_t> assignment) {
+    double cost = 0;
+    for (uint32_t item = 0; item < dataset.num_items(); ++item) {
+      cost +=
+          MismatchDistance(dataset.Row(item), modes.Mode(assignment[item]));
+    }
+    return cost;
+  }
 };
 
 namespace internal {
 
-/// One exhaustive assignment pass used for the initial assignment of both
-/// variants (and per-iteration by the baseline). Returns the number of
-/// items whose cluster changed. When `first_pass` is true every item is
-/// (re)assigned from scratch and moves are not counted.
-inline uint64_t ExhaustiveAssignPass(const CategoricalDataset& dataset,
-                                     const ModeTable& modes,
-                                     std::span<uint32_t> assignment,
-                                     bool early_exit, bool first_pass) {
-  const uint32_t n = dataset.num_items();
-  const uint32_t m = dataset.num_attributes();
-  const uint32_t k = modes.num_clusters();
-  uint64_t moves = 0;
-  // The kernel choice is hoisted out of the hot loop: a runtime ternary
-  // per distance defeats the vectorizer for both kernels.
-  auto scan = [&](auto&& kernel) {
-    for (uint32_t item = 0; item < n; ++item) {
-      const uint32_t* row = dataset.Row(item).data();
-      uint32_t best_cluster;
-      uint32_t best_distance;
-      uint32_t first_other = 0;
-      if (first_pass) {
-        best_cluster = 0;
-        best_distance = MismatchDistance(dataset.Row(item), modes.Mode(0));
-        first_other = 1;
-      } else {
-        // Seed the bound with the current cluster so early exit prunes
-        // aggressively once the clustering stabilises.
-        best_cluster = assignment[item];
-        best_distance =
-            MismatchDistance(dataset.Row(item), modes.Mode(best_cluster));
-      }
-      for (uint32_t cluster = first_other; cluster < k; ++cluster) {
-        if (!first_pass && cluster == assignment[item]) continue;
-        const uint32_t distance =
-            kernel(row, modes.ModeData(cluster), m, best_distance);
-        if (distance < best_distance) {
-          best_distance = distance;
-          best_cluster = cluster;
-        }
-      }
-      if (first_pass) {
-        assignment[item] = best_cluster;
-      } else if (best_cluster != assignment[item]) {
-        assignment[item] = best_cluster;
-        ++moves;
-      }
-    }
-  };
-  if (early_exit) {
-    scan([](const uint32_t* a, const uint32_t* b, uint32_t width,
-            uint32_t bound) {
-      return BoundedMismatchDistance(a, b, width, bound);
-    });
-  } else {
-    scan([](const uint32_t* a, const uint32_t* b, uint32_t width,
-            uint32_t) {
-      return MismatchDistance({a, width}, {b, width});
-    });
-  }
-  return moves;
-}
-
-/// Shortlist-driven assignment pass (the accelerated path). The provider
-/// fills a deduplicated candidate list that must contain the item's current
-/// cluster. Returns moves and accumulates the shortlist-size total.
+/// Scratch type of a provider: providers that support parallel queries
+/// expose MakeScratch(); everything else gets an empty placeholder.
 template <typename Provider>
-uint64_t ShortlistAssignPass(const CategoricalDataset& dataset,
-                             const ModeTable& modes, Provider& provider,
-                             std::span<uint32_t> assignment, bool early_exit,
-                             uint64_t* shortlist_total) {
-  const uint32_t n = dataset.num_items();
-  const uint32_t m = dataset.num_attributes();
-  uint64_t moves = 0;
-  std::vector<uint32_t> shortlist;
-  auto scan = [&](auto&& kernel) {
-    for (uint32_t item = 0; item < n; ++item) {
-      provider.GetCandidates(item, assignment, &shortlist);
-      *shortlist_total += shortlist.size();
-      const uint32_t* row = dataset.Row(item).data();
-      const uint32_t current = assignment[item];
-      uint32_t best_cluster = current;
-      uint32_t best_distance =
-          MismatchDistance(dataset.Row(item), modes.Mode(current));
-      for (const uint32_t cluster : shortlist) {
-        if (cluster == current) continue;
-        const uint32_t distance =
-            kernel(row, modes.ModeData(cluster), m, best_distance);
-        if (distance < best_distance) {
-          best_distance = distance;
-          best_cluster = cluster;
-        }
-      }
-      if (best_cluster != current) {
-        assignment[item] = best_cluster;
-        ++moves;
-      }
-    }
-  };
-  if (early_exit) {
-    scan([](const uint32_t* a, const uint32_t* b, uint32_t width,
-            uint32_t bound) {
-      return BoundedMismatchDistance(a, b, width, bound);
-    });
-  } else {
-    scan([](const uint32_t* a, const uint32_t* b, uint32_t width,
-            uint32_t) {
-      return MismatchDistance({a, width}, {b, width});
-    });
-  }
-  return moves;
-}
-
-/// Evaluates the cost function P(W, Q) (Eq. 4): the summed mismatch of
-/// every item to its assigned mode.
-inline double ComputeCost(const CategoricalDataset& dataset,
-                          const ModeTable& modes,
-                          std::span<const uint32_t> assignment) {
-  double cost = 0;
-  for (uint32_t item = 0; item < dataset.num_items(); ++item) {
-    cost += MismatchDistance(dataset.Row(item), modes.Mode(assignment[item]));
-  }
-  return cost;
-}
+struct ProviderScratch {
+  struct None {};
+  using type = None;
+};
+template <typename Provider>
+  requires requires(const Provider& p) { p.MakeScratch(); }
+struct ProviderScratch<Provider> {
+  using type = decltype(std::declval<const Provider&>().MakeScratch());
+};
 
 }  // namespace internal
 
-/// \brief Runs the full K-Modes procedure with candidate clusters supplied
-/// by `provider`. See the file comment for the phase structure.
-///
-/// \param dataset items to cluster
-/// \param options engine options; num_clusters must be in [1, n]
-/// \param provider candidate policy (ExhaustiveProvider for the baseline)
-/// \return per-iteration instrumentation and the final assignment
+/// \brief The unified refinement engine. See the file comment.
+template <typename Traits, typename Provider>
+class ClusteringEngine {
+ public:
+  using Dataset = typename Traits::Dataset;
+  using Options = typename Traits::Options;
+  using DistanceType = typename Traits::DistanceType;
+  using Centroids = typename Traits::Centroids;
+
+  /// Runs the full procedure with candidate clusters supplied by
+  /// `provider`.
+  ///
+  /// \param dataset items to cluster
+  /// \param options engine options; num_clusters must be in [1, n]
+  /// \param provider candidate policy (ExhaustiveProvider for baselines)
+  /// \return per-iteration instrumentation and the final assignment
+  static Result<ClusteringResult> Run(const Dataset& dataset,
+                                      const Options& options,
+                                      Provider& provider) {
+    const uint32_t n = dataset.num_items();
+    const uint32_t k = options.num_clusters;
+    if (n == 0) return Status::InvalidArgument("dataset is empty");
+    if (k == 0 || k > n) {
+      return Status::InvalidArgument(
+          "num_clusters must be in [1, n]; got k=" + std::to_string(k) +
+          " with n=" + std::to_string(n));
+    }
+    LSHC_RETURN_NOT_OK(Traits::ValidateOptions(dataset, options));
+
+    ClusteringResult result;
+    Rng rng(options.seed);
+    Stopwatch total_watch;
+
+    // Phase 1: seeds -> initial centroids.
+    Stopwatch phase_watch;
+    std::vector<uint32_t> seeds = options.initial_seeds;
+    if (seeds.empty()) {
+      LSHC_ASSIGN_OR_RETURN(seeds,
+                            Traits::SelectSeedItems(dataset, options, rng));
+    } else if (seeds.size() != k) {
+      return Status::InvalidArgument(
+          "initial_seeds has " + std::to_string(seeds.size()) +
+          " entries, expected k=" + std::to_string(k));
+    }
+    for (const uint32_t seed_item : seeds) {
+      if (seed_item >= n) {
+        return Status::OutOfRange("seed item " + std::to_string(seed_item) +
+                                  " out of range");
+      }
+    }
+    Centroids centroids = Traits::MakeCentroids(dataset, options);
+    for (uint32_t cluster = 0; cluster < k; ++cluster) {
+      Traits::SeedCentroid(centroids, cluster, dataset, seeds[cluster]);
+    }
+    result.init_seconds = phase_watch.ElapsedSeconds();
+
+    // Worker pool shared by every pass of this run. Legacy providers
+    // cannot be queried concurrently, so their shortlist passes run
+    // sequentially either way; the exhaustive passes still parallelise.
+    const uint32_t num_threads =
+        options.num_threads == 0
+            ? std::max(1u, std::thread::hardware_concurrency())
+            : options.num_threads;
+    std::optional<ThreadPool> pool_storage;
+    ThreadPool* pool = nullptr;
+    if (num_threads > 1) {
+      pool_storage.emplace(num_threads);
+      pool = &*pool_storage;
+    }
+
+    // Per-worker query state for parallel-capable shortlist providers.
+    [[maybe_unused]] std::vector<Scratch> scratches;
+    [[maybe_unused]] std::vector<std::vector<uint32_t>> shortlists;
+    if constexpr (!Provider::kExhaustive && kParallelProvider) {
+      scratches.reserve(num_threads);
+      for (uint32_t i = 0; i < num_threads; ++i) {
+        scratches.push_back(provider.MakeScratch());
+      }
+      shortlists.resize(num_threads);
+    }
+
+    // Phase 2: initial exhaustive assignment + first centroid update.
+    phase_watch.Restart();
+    result.assignment.assign(n, 0);
+    DispatchEarlyExit(options.early_exit, [&](auto early_exit) {
+      ExhaustivePass<early_exit.value, /*FirstPass=*/true>(
+          dataset, centroids, options, result.assignment, pool);
+    });
+    Traits::UpdateCentroids(dataset, centroids, result.assignment, options,
+                            rng);
+    result.initial_assign_seconds = phase_watch.ElapsedSeconds();
+
+    // Phase 3: provider preparation (signatures + LSH index).
+    phase_watch.Restart();
+    LSHC_RETURN_NOT_OK(provider.Prepare(dataset));
+    result.index_build_seconds = phase_watch.ElapsedSeconds();
+
+    // Phase 4: refinement until convergence.
+    std::vector<uint32_t> snapshot;
+    [[maybe_unused]] std::vector<uint32_t> legacy_shortlist;
+    for (uint32_t iteration = 1; iteration <= options.max_iterations;
+         ++iteration) {
+      phase_watch.Restart();
+      uint64_t moves = 0;
+      uint64_t shortlist_total = 0;
+      DispatchEarlyExit(options.early_exit, [&](auto early_exit) {
+        constexpr bool kEarlyExit = early_exit.value;
+        if constexpr (Provider::kExhaustive) {
+          moves = ExhaustivePass<kEarlyExit, /*FirstPass=*/false>(
+              dataset, centroids, options, result.assignment, pool);
+          shortlist_total = static_cast<uint64_t>(n) * k;
+        } else if constexpr (kParallelProvider) {
+          // Freeze the cluster-reference store for this pass: queries see
+          // the pre-pass assignment regardless of chunk order, which is
+          // what makes the pass thread-count-invariant.
+          snapshot.assign(result.assignment.begin(),
+                          result.assignment.end());
+          moves = ShortlistPass<kEarlyExit>(dataset, centroids, options,
+                                            provider, snapshot,
+                                            result.assignment, pool,
+                                            scratches, shortlists,
+                                            &shortlist_total);
+        } else {
+          moves = LegacyShortlistPass<kEarlyExit>(
+              dataset, centroids, options, provider, result.assignment,
+              legacy_shortlist, &shortlist_total);
+        }
+      });
+      Traits::UpdateCentroids(dataset, centroids, result.assignment, options,
+                              rng);
+
+      IterationStats stats;
+      stats.iteration = iteration;
+      stats.moves = moves;
+      stats.mean_shortlist =
+          static_cast<double>(shortlist_total) / static_cast<double>(n);
+      // The iteration clock stops before cost evaluation: the cost is
+      // instrumentation, not part of any of the algorithms.
+      stats.seconds = phase_watch.ElapsedSeconds();
+      if (options.compute_cost) {
+        stats.cost =
+            Traits::ComputeCost(dataset, centroids, options,
+                                result.assignment);
+      }
+      result.iterations.push_back(stats);
+
+      if (moves == 0) {
+        result.converged = true;
+        break;
+      }
+    }
+
+    result.final_cost =
+        result.iterations.empty() ? 0.0 : result.iterations.back().cost;
+    result.total_seconds = total_watch.ElapsedSeconds();
+    return result;
+  }
+
+ private:
+  /// Items per work unit of the parallel assignment step. Fixed (never
+  /// derived from the thread count) so the chunk decomposition — and with
+  /// it any per-chunk bookkeeping — is identical for every num_threads.
+  static constexpr uint32_t kChunkSize = 1024;
+
+  /// True when the provider supports concurrent queries via per-worker
+  /// scratch state.
+  static constexpr bool kParallelProvider =
+      requires(const Provider& p) { p.MakeScratch(); };
+
+  using Scratch = typename internal::ProviderScratch<Provider>::type;
+
+  /// Per-chunk accumulator, merged in chunk order after a pass.
+  struct ChunkStats {
+    uint64_t moves = 0;
+    uint64_t shortlist = 0;
+  };
+
+  /// Hoists the early-exit switch out of the hot loops: a runtime branch
+  /// per distance defeats vectorization of both kernels.
+  template <typename Fn>
+  static void DispatchEarlyExit(bool early_exit, Fn&& fn) {
+    if (early_exit) {
+      fn(std::bool_constant<true>{});
+    } else {
+      fn(std::bool_constant<false>{});
+    }
+  }
+
+  /// Best cluster for `item` scanning every cluster. `seed_cluster` is
+  /// evaluated exactly first (so the early-exit bound starts tight once
+  /// the clustering stabilises) and skipped in the scan.
+  template <bool EarlyExit>
+  static uint32_t BestClusterExhaustive(const Dataset& dataset,
+                                        const Centroids& centroids,
+                                        const Options& options, uint32_t item,
+                                        uint32_t seed_cluster, uint32_t k) {
+    uint32_t best_cluster = seed_cluster;
+    DistanceType best_distance = Traits::template ComputeDistance<false>(
+        dataset, centroids, options, item, seed_cluster,
+        Traits::kInfiniteDistance);
+    for (uint32_t cluster = 0; cluster < k; ++cluster) {
+      if (cluster == seed_cluster) continue;
+      const DistanceType distance =
+          Traits::template ComputeDistance<EarlyExit>(
+              dataset, centroids, options, item, cluster, best_distance);
+      if (distance < best_distance) {
+        best_distance = distance;
+        best_cluster = cluster;
+      }
+    }
+    return best_cluster;
+  }
+
+  /// Best cluster for `item` among `shortlist` (which contains
+  /// `seed_cluster`, the item's current cluster).
+  template <bool EarlyExit>
+  static uint32_t BestClusterShortlist(const Dataset& dataset,
+                                       const Centroids& centroids,
+                                       const Options& options, uint32_t item,
+                                       uint32_t seed_cluster,
+                                       std::span<const uint32_t> shortlist) {
+    uint32_t best_cluster = seed_cluster;
+    DistanceType best_distance = Traits::template ComputeDistance<false>(
+        dataset, centroids, options, item, seed_cluster,
+        Traits::kInfiniteDistance);
+    for (const uint32_t cluster : shortlist) {
+      if (cluster == seed_cluster) continue;
+      const DistanceType distance =
+          Traits::template ComputeDistance<EarlyExit>(
+              dataset, centroids, options, item, cluster, best_distance);
+      if (distance < best_distance) {
+        best_distance = distance;
+        best_cluster = cluster;
+      }
+    }
+    return best_cluster;
+  }
+
+  /// One exhaustive chunk: items [begin, end) against all k clusters.
+  /// Accumulates into locals and stores to `stats` once at the end:
+  /// adjacent chunks' ChunkStats share cache lines, and per-item writes
+  /// through the pointer would false-share between workers.
+  template <bool EarlyExit, bool FirstPass>
+  static void ExhaustiveChunk(const Dataset& dataset,
+                              const Centroids& centroids,
+                              const Options& options,
+                              std::span<uint32_t> assignment, uint32_t begin,
+                              uint32_t end, ChunkStats* stats) {
+    const uint32_t k = options.num_clusters;
+    uint64_t moves = 0;
+    for (uint32_t item = begin; item < end; ++item) {
+      const uint32_t seed_cluster = FirstPass ? 0u : assignment[item];
+      const uint32_t best = BestClusterExhaustive<EarlyExit>(
+          dataset, centroids, options, item, seed_cluster, k);
+      if (FirstPass) {
+        assignment[item] = best;
+      } else if (best != seed_cluster) {
+        assignment[item] = best;
+        ++moves;
+      }
+    }
+    stats->moves = moves;
+  }
+
+  /// Full exhaustive pass; chunked across the pool when present. Each
+  /// item touches only its own assignment slot, so in-place parallel
+  /// writes are race-free and order-independent.
+  template <bool EarlyExit, bool FirstPass>
+  static uint64_t ExhaustivePass(const Dataset& dataset,
+                                 const Centroids& centroids,
+                                 const Options& options,
+                                 std::span<uint32_t> assignment,
+                                 ThreadPool* pool) {
+    const uint32_t n = dataset.num_items();
+    if (pool == nullptr) {
+      ChunkStats stats;
+      ExhaustiveChunk<EarlyExit, FirstPass>(dataset, centroids, options,
+                                            assignment, 0, n, &stats);
+      return stats.moves;
+    }
+    std::vector<ChunkStats> stats((n + kChunkSize - 1) / kChunkSize);
+    pool->ParallelFor(0, n, kChunkSize,
+                      [&](uint32_t begin, uint32_t end, uint32_t) {
+                        ExhaustiveChunk<EarlyExit, FirstPass>(
+                            dataset, centroids, options, assignment, begin,
+                            end, &stats[begin / kChunkSize]);
+                      });
+    uint64_t moves = 0;
+    for (const ChunkStats& chunk : stats) moves += chunk.moves;
+    return moves;
+  }
+
+  /// One shortlist chunk (parallel-capable providers): queries against the
+  /// frozen `reference` snapshot, writes into the live assignment. Local
+  /// accumulators for the same false-sharing reason as ExhaustiveChunk.
+  template <bool EarlyExit>
+  static void ShortlistChunk(const Dataset& dataset,
+                             const Centroids& centroids,
+                             const Options& options, const Provider& provider,
+                             std::span<const uint32_t> reference,
+                             std::span<uint32_t> assignment, uint32_t begin,
+                             uint32_t end, Scratch& scratch,
+                             std::vector<uint32_t>& shortlist,
+                             ChunkStats* stats) {
+    uint64_t moves = 0;
+    uint64_t shortlist_total = 0;
+    for (uint32_t item = begin; item < end; ++item) {
+      provider.GetCandidates(item, reference, scratch, &shortlist);
+      shortlist_total += shortlist.size();
+      const uint32_t seed_cluster = assignment[item];
+      const uint32_t best = BestClusterShortlist<EarlyExit>(
+          dataset, centroids, options, item, seed_cluster, shortlist);
+      if (best != seed_cluster) {
+        assignment[item] = best;
+        ++moves;
+      }
+    }
+    stats->moves = moves;
+    stats->shortlist = shortlist_total;
+  }
+
+  /// Full shortlist pass for parallel-capable providers.
+  template <bool EarlyExit>
+  static uint64_t ShortlistPass(
+      const Dataset& dataset, const Centroids& centroids,
+      const Options& options, const Provider& provider,
+      std::span<const uint32_t> reference, std::span<uint32_t> assignment,
+      ThreadPool* pool, std::vector<Scratch>& scratches,
+      std::vector<std::vector<uint32_t>>& shortlists,
+      uint64_t* shortlist_total) {
+    const uint32_t n = dataset.num_items();
+    if (pool == nullptr) {
+      ChunkStats stats;
+      ShortlistChunk<EarlyExit>(dataset, centroids, options, provider,
+                                reference, assignment, 0, n, scratches[0],
+                                shortlists[0], &stats);
+      *shortlist_total += stats.shortlist;
+      return stats.moves;
+    }
+    std::vector<ChunkStats> stats((n + kChunkSize - 1) / kChunkSize);
+    pool->ParallelFor(
+        0, n, kChunkSize,
+        [&](uint32_t begin, uint32_t end, uint32_t worker) {
+          ShortlistChunk<EarlyExit>(dataset, centroids, options, provider,
+                                    reference, assignment, begin, end,
+                                    scratches[worker], shortlists[worker],
+                                    &stats[begin / kChunkSize]);
+        });
+    uint64_t moves = 0;
+    for (const ChunkStats& chunk : stats) {
+      moves += chunk.moves;
+      *shortlist_total += chunk.shortlist;
+    }
+    return moves;
+  }
+
+  /// Sequential pass for legacy providers (non-const 3-argument
+  /// GetCandidates): queries run in item order against the live
+  /// assignment, preserving their historical in-place semantics.
+  template <bool EarlyExit>
+  static uint64_t LegacyShortlistPass(const Dataset& dataset,
+                                      const Centroids& centroids,
+                                      const Options& options,
+                                      Provider& provider,
+                                      std::span<uint32_t> assignment,
+                                      std::vector<uint32_t>& shortlist,
+                                      uint64_t* shortlist_total) {
+    const uint32_t n = dataset.num_items();
+    uint64_t moves = 0;
+    for (uint32_t item = 0; item < n; ++item) {
+      provider.GetCandidates(item, assignment, &shortlist);
+      *shortlist_total += shortlist.size();
+      const uint32_t seed_cluster = assignment[item];
+      const uint32_t best = BestClusterShortlist<EarlyExit>(
+          dataset, centroids, options, item, seed_cluster, shortlist);
+      if (best != seed_cluster) {
+        assignment[item] = best;
+        ++moves;
+      }
+    }
+    return moves;
+  }
+};
+
+/// Runs the categorical (K-Modes) engine with candidate clusters supplied
+/// by `provider` — kept as the historical entry point; MH-K-Modes wraps it
+/// in core/mh_kmodes.h.
 template <typename Provider>
 Result<ClusteringResult> RunEngine(const CategoricalDataset& dataset,
                                    const EngineOptions& options,
                                    Provider& provider) {
-  const uint32_t n = dataset.num_items();
-  const uint32_t k = options.num_clusters;
-  if (n == 0) return Status::InvalidArgument("dataset is empty");
-  if (k == 0 || k > n) {
-    return Status::InvalidArgument(
-        "num_clusters must be in [1, n]; got k=" + std::to_string(k) +
-        " with n=" + std::to_string(n));
-  }
-
-  ClusteringResult result;
-  Rng rng(options.seed);
-  Stopwatch total_watch;
-
-  // Phase 1: seeds -> initial modes.
-  Stopwatch phase_watch;
-  std::vector<uint32_t> seeds = options.initial_seeds;
-  if (seeds.empty()) {
-    LSHC_ASSIGN_OR_RETURN(seeds,
-                          SelectSeeds(dataset, k, options.init_method, rng));
-  } else if (seeds.size() != k) {
-    return Status::InvalidArgument(
-        "initial_seeds has " + std::to_string(seeds.size()) +
-        " entries, expected k=" + std::to_string(k));
-  }
-  for (const uint32_t seed_item : seeds) {
-    if (seed_item >= n) {
-      return Status::OutOfRange("seed item " + std::to_string(seed_item) +
-                                " out of range");
-    }
-  }
-  ModeTable modes(k, dataset.num_attributes());
-  for (uint32_t cluster = 0; cluster < k; ++cluster) {
-    modes.SetModeFromItem(cluster, dataset, seeds[cluster]);
-  }
-  result.init_seconds = phase_watch.ElapsedSeconds();
-
-  // Phase 2: initial exhaustive assignment + first mode update.
-  phase_watch.Restart();
-  result.assignment.assign(n, 0);
-  internal::ExhaustiveAssignPass(dataset, modes, result.assignment,
-                                 options.early_exit, /*first_pass=*/true);
-  modes.RecomputeFromAssignment(dataset, result.assignment,
-                                options.empty_cluster_policy, rng);
-  result.initial_assign_seconds = phase_watch.ElapsedSeconds();
-
-  // Phase 3: provider preparation (signatures + LSH index for MH-K-Modes).
-  phase_watch.Restart();
-  LSHC_RETURN_NOT_OK(provider.Prepare(dataset));
-  result.index_build_seconds = phase_watch.ElapsedSeconds();
-
-  // Phase 4: refinement until convergence.
-  for (uint32_t iteration = 1; iteration <= options.max_iterations;
-       ++iteration) {
-    phase_watch.Restart();
-    uint64_t moves = 0;
-    uint64_t shortlist_total = 0;
-    if constexpr (Provider::kExhaustive) {
-      moves = internal::ExhaustiveAssignPass(dataset, modes,
-                                             result.assignment,
-                                             options.early_exit,
-                                             /*first_pass=*/false);
-      shortlist_total = static_cast<uint64_t>(n) * k;
-    } else {
-      moves = internal::ShortlistAssignPass(dataset, modes, provider,
-                                            result.assignment,
-                                            options.early_exit,
-                                            &shortlist_total);
-    }
-    modes.RecomputeFromAssignment(dataset, result.assignment,
-                                  options.empty_cluster_policy, rng);
-
-    IterationStats stats;
-    stats.iteration = iteration;
-    stats.moves = moves;
-    stats.mean_shortlist =
-        static_cast<double>(shortlist_total) / static_cast<double>(n);
-    // The iteration clock stops before cost evaluation: P(W, Q) is
-    // instrumentation, not part of either algorithm.
-    stats.seconds = phase_watch.ElapsedSeconds();
-    if (options.compute_cost) {
-      stats.cost = internal::ComputeCost(dataset, modes, result.assignment);
-    }
-    result.iterations.push_back(stats);
-
-    if (moves == 0) {
-      result.converged = true;
-      break;
-    }
-  }
-
-  result.final_cost =
-      result.iterations.empty() ? 0.0 : result.iterations.back().cost;
-  result.total_seconds = total_watch.ElapsedSeconds();
-  return result;
+  return ClusteringEngine<CategoricalClusteringTraits, Provider>::Run(
+      dataset, options, provider);
 }
 
 }  // namespace lshclust

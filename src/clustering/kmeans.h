@@ -1,256 +1,118 @@
 #pragma once
 
 /// \file kmeans.h
-/// \brief K-Means (Lloyd) on numeric data, with the same provider hook as
-/// the categorical engine, plus the mini-batch variant (Sculley 2010,
-/// paper ref [16]).
+/// \brief K-Means (Lloyd) on numeric data as a traits instantiation of the
+/// unified clustering engine (clustering/engine.h), plus the mini-batch
+/// variant (Sculley 2010, paper ref [16]).
 ///
 /// The paper's framework is algorithm-agnostic for centroid-based
 /// clustering (§I, §VI names numeric data as future work); this module is
 /// the numeric substrate that core/lsh_kmeans.h accelerates with SimHash.
+/// The refinement loop itself lives in ClusteringEngine — K-Means only
+/// supplies the squared-L2 distance and mean-centroid update.
 
 #include <cstdint>
 #include <limits>
 #include <span>
 #include <vector>
 
+#include "clustering/centroid_table.h"
+#include "clustering/dissimilarity.h"
+#include "clustering/engine.h"
 #include "clustering/types.h"
 #include "data/categorical_dataset.h"
 #include "util/macros.h"
 #include "util/result.h"
 #include "util/rng.h"
-#include "util/stopwatch.h"
 
 namespace lshclust {
 
-/// \brief Options for K-Means runs.
-struct KMeansOptions {
-  /// Number of clusters k.
-  uint32_t num_clusters = 0;
-  /// Iteration cap.
-  uint32_t max_iterations = 100;
-  /// Explicit seed items (same contract as EngineOptions::initial_seeds).
-  std::vector<uint32_t> initial_seeds;
-  /// RNG seed for seed selection.
-  uint64_t seed = 42;
-  /// Use the bounded early-exit distance kernel.
-  bool early_exit = true;
-};
+/// \brief Options for K-Means runs: the shared engine options. (kHuang and
+/// kCao seeding are categorical-only; numeric runs use kRandom.)
+struct KMeansOptions : EngineOptions {};
 
 /// \brief Candidate provider scanning all clusters (original K-Means).
-struct ExhaustiveNumericProvider {
-  static constexpr bool kExhaustive = true;
-  Status Prepare(const NumericDataset&) { return Status::OK(); }
-  void GetCandidates(uint32_t, std::span<const uint32_t>,
-                     std::vector<uint32_t>*) {}
+using ExhaustiveNumericProvider = ExhaustiveProvider;
+
+/// \brief Dissimilarity/centroid traits for numeric data (K-Means).
+struct NumericClusteringTraits {
+  using Dataset = NumericDataset;
+  using Options = KMeansOptions;
+  using DistanceType = double;
+  using Centroids = CentroidTable;
+
+  static constexpr DistanceType kInfiniteDistance =
+      std::numeric_limits<double>::infinity();
+
+  static Status ValidateOptions(const Dataset&, const Options& options) {
+    if (options.initial_seeds.empty() &&
+        options.init_method != InitMethod::kRandom) {
+      return Status::InvalidArgument(
+          "only InitMethod::kRandom is supported for numeric data");
+    }
+    return Status::OK();
+  }
+
+  static Result<std::vector<uint32_t>> SelectSeedItems(const Dataset& dataset,
+                                                       const Options& options,
+                                                       Rng& rng) {
+    return rng.SampleWithoutReplacement(dataset.num_items(),
+                                        options.num_clusters);
+  }
+
+  static Centroids MakeCentroids(const Dataset& dataset,
+                                 const Options& options) {
+    return CentroidTable(options.num_clusters, dataset.dimensions());
+  }
+
+  static void SeedCentroid(Centroids& centroids, uint32_t cluster,
+                           const Dataset& dataset, uint32_t item) {
+    centroids.SetFromItem(cluster, dataset, item);
+  }
+
+  /// Squared L2 distance of item vs centroid; the bound is only honoured
+  /// when EarlyExit is set (the blocked kernel is used either way so the
+  /// summation order — and hence the value — never depends on the switch).
+  template <bool EarlyExit>
+  static DistanceType ComputeDistance(const Dataset& dataset,
+                                      const Centroids& centroids,
+                                      const Options&, uint32_t item,
+                                      uint32_t cluster, DistanceType bound) {
+    return internal::BoundedSquaredL2(
+        dataset.Row(item).data(), centroids.CentroidData(cluster),
+        dataset.dimensions(),
+        EarlyExit ? bound : std::numeric_limits<double>::infinity());
+  }
+
+  static void UpdateCentroids(const Dataset& dataset, Centroids& centroids,
+                              std::span<const uint32_t> assignment,
+                              const Options& options, Rng& rng) {
+    centroids.RecomputeFromAssignment(dataset, assignment,
+                                      options.empty_cluster_policy, rng);
+  }
+
+  /// Inertia: summed exact squared L2 of every item to its centroid.
+  static double ComputeCost(const Dataset& dataset, const Centroids& centroids,
+                            const Options&,
+                            std::span<const uint32_t> assignment) {
+    double inertia = 0;
+    for (uint32_t item = 0; item < dataset.num_items(); ++item) {
+      inertia += internal::SquaredL2(dataset.Row(item),
+                                     centroids.Centroid(assignment[item]));
+    }
+    return inertia;
+  }
 };
 
-namespace internal {
-
-/// Squared Euclidean distance with early exit at `bound`.
-inline double BoundedSquaredL2(const double* a, const double* b, uint32_t d,
-                               double bound) {
-  double sum = 0;
-  uint32_t j = 0;
-  constexpr uint32_t kBlock = 8;
-  while (j + kBlock <= d) {
-    for (uint32_t t = 0; t < kBlock; ++t) {
-      const double diff = a[j + t] - b[j + t];
-      sum += diff * diff;
-    }
-    j += kBlock;
-    if (sum >= bound) return sum;
-  }
-  for (; j < d; ++j) {
-    const double diff = a[j] - b[j];
-    sum += diff * diff;
-  }
-  return sum;
-}
-
-/// Plain squared Euclidean distance.
-inline double SquaredL2(std::span<const double> a, std::span<const double> b) {
-  double sum = 0;
-  for (size_t j = 0; j < a.size(); ++j) {
-    const double diff = a[j] - b[j];
-    sum += diff * diff;
-  }
-  return sum;
-}
-
-}  // namespace internal
-
-/// \brief Runs Lloyd's algorithm with candidates from `provider` (the
-/// numeric twin of RunEngine in engine.h; same phase structure, same
-/// instrumentation semantics).
+/// \brief Runs Lloyd's algorithm with candidates from `provider` — the
+/// numeric instantiation of the unified engine (same phase structure, same
+/// instrumentation semantics as RunEngine).
 template <typename Provider>
 Result<ClusteringResult> RunKMeansEngine(const NumericDataset& dataset,
                                          const KMeansOptions& options,
                                          Provider& provider) {
-  const uint32_t n = dataset.num_items();
-  const uint32_t d = dataset.dimensions();
-  const uint32_t k = options.num_clusters;
-  if (n == 0) return Status::InvalidArgument("dataset is empty");
-  if (k == 0 || k > n) {
-    return Status::InvalidArgument(
-        "num_clusters must be in [1, n]; got k=" + std::to_string(k) +
-        " with n=" + std::to_string(n));
-  }
-
-  ClusteringResult result;
-  Rng rng(options.seed);
-  Stopwatch total_watch;
-  Stopwatch phase_watch;
-
-  // Phase 1: seeds -> initial centroids.
-  std::vector<uint32_t> seeds = options.initial_seeds;
-  if (seeds.empty()) {
-    seeds = rng.SampleWithoutReplacement(n, k);
-  } else if (seeds.size() != k) {
-    return Status::InvalidArgument("initial_seeds size must equal k");
-  }
-  std::vector<double> centroids(static_cast<size_t>(k) * d);
-  for (uint32_t cluster = 0; cluster < k; ++cluster) {
-    if (seeds[cluster] >= n) {
-      return Status::OutOfRange("seed item out of range");
-    }
-    const auto row = dataset.Row(seeds[cluster]);
-    std::copy(row.begin(), row.end(),
-              centroids.begin() + static_cast<size_t>(cluster) * d);
-  }
-  result.init_seconds = phase_watch.ElapsedSeconds();
-
-  auto assign_exhaustive = [&](bool first_pass) -> uint64_t {
-    uint64_t moves = 0;
-    for (uint32_t item = 0; item < n; ++item) {
-      const double* row = dataset.Row(item).data();
-      uint32_t best_cluster =
-          first_pass ? 0u : result.assignment[item];
-      double best_distance = internal::BoundedSquaredL2(
-          row, centroids.data() + static_cast<size_t>(best_cluster) * d, d,
-          std::numeric_limits<double>::infinity());
-      for (uint32_t cluster = 0; cluster < k; ++cluster) {
-        if (cluster == best_cluster) continue;
-        const double distance = internal::BoundedSquaredL2(
-            row, centroids.data() + static_cast<size_t>(cluster) * d, d,
-            options.early_exit ? best_distance
-                               : std::numeric_limits<double>::infinity());
-        if (distance < best_distance) {
-          best_distance = distance;
-          best_cluster = cluster;
-        }
-      }
-      if (first_pass) {
-        result.assignment[item] = best_cluster;
-      } else if (best_cluster != result.assignment[item]) {
-        result.assignment[item] = best_cluster;
-        ++moves;
-      }
-    }
-    return moves;
-  };
-
-  auto update_centroids = [&]() {
-    std::vector<double> sums(static_cast<size_t>(k) * d, 0.0);
-    std::vector<uint32_t> counts(k, 0);
-    for (uint32_t item = 0; item < n; ++item) {
-      const uint32_t cluster = result.assignment[item];
-      ++counts[cluster];
-      const auto row = dataset.Row(item);
-      double* sum = sums.data() + static_cast<size_t>(cluster) * d;
-      for (uint32_t j = 0; j < d; ++j) sum[j] += row[j];
-    }
-    for (uint32_t cluster = 0; cluster < k; ++cluster) {
-      if (counts[cluster] == 0) continue;  // keep previous centroid
-      double* centroid = centroids.data() + static_cast<size_t>(cluster) * d;
-      const double* sum = sums.data() + static_cast<size_t>(cluster) * d;
-      for (uint32_t j = 0; j < d; ++j) {
-        centroid[j] = sum[j] / counts[cluster];
-      }
-    }
-  };
-
-  auto compute_inertia = [&]() {
-    double inertia = 0;
-    for (uint32_t item = 0; item < n; ++item) {
-      inertia += internal::SquaredL2(
-          dataset.Row(item),
-          {centroids.data() + static_cast<size_t>(result.assignment[item]) * d,
-           d});
-    }
-    return inertia;
-  };
-
-  // Phase 2: initial exhaustive assignment + centroid update.
-  phase_watch.Restart();
-  result.assignment.assign(n, 0);
-  assign_exhaustive(/*first_pass=*/true);
-  update_centroids();
-  result.initial_assign_seconds = phase_watch.ElapsedSeconds();
-
-  // Phase 3: provider preparation (SimHash signatures for LSH-K-Means).
-  phase_watch.Restart();
-  LSHC_RETURN_NOT_OK(provider.Prepare(dataset));
-  result.index_build_seconds = phase_watch.ElapsedSeconds();
-
-  // Phase 4: refinement.
-  std::vector<uint32_t> shortlist;
-  for (uint32_t iteration = 1; iteration <= options.max_iterations;
-       ++iteration) {
-    phase_watch.Restart();
-    uint64_t moves = 0;
-    uint64_t shortlist_total = 0;
-    if constexpr (Provider::kExhaustive) {
-      moves = assign_exhaustive(/*first_pass=*/false);
-      shortlist_total = static_cast<uint64_t>(n) * k;
-    } else {
-      for (uint32_t item = 0; item < n; ++item) {
-        provider.GetCandidates(item, result.assignment, &shortlist);
-        shortlist_total += shortlist.size();
-        const double* row = dataset.Row(item).data();
-        const uint32_t current = result.assignment[item];
-        uint32_t best_cluster = current;
-        double best_distance = internal::BoundedSquaredL2(
-            row, centroids.data() + static_cast<size_t>(current) * d, d,
-            std::numeric_limits<double>::infinity());
-        for (const uint32_t cluster : shortlist) {
-          if (cluster == current) continue;
-          const double distance = internal::BoundedSquaredL2(
-              row, centroids.data() + static_cast<size_t>(cluster) * d, d,
-              options.early_exit ? best_distance
-                                 : std::numeric_limits<double>::infinity());
-          if (distance < best_distance) {
-            best_distance = distance;
-            best_cluster = cluster;
-          }
-        }
-        if (best_cluster != current) {
-          result.assignment[item] = best_cluster;
-          ++moves;
-        }
-      }
-    }
-    update_centroids();
-
-    IterationStats stats;
-    stats.iteration = iteration;
-    stats.moves = moves;
-    stats.mean_shortlist =
-        static_cast<double>(shortlist_total) / static_cast<double>(n);
-    stats.seconds = phase_watch.ElapsedSeconds();
-    stats.cost = compute_inertia();
-    result.iterations.push_back(stats);
-
-    if (moves == 0) {
-      result.converged = true;
-      break;
-    }
-  }
-
-  result.final_cost =
-      result.iterations.empty() ? 0.0 : result.iterations.back().cost;
-  result.total_seconds = total_watch.ElapsedSeconds();
-  return result;
+  return ClusteringEngine<NumericClusteringTraits, Provider>::Run(
+      dataset, options, provider);
 }
 
 /// Runs exhaustive K-Means (Lloyd's algorithm).

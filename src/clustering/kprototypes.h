@@ -2,226 +2,158 @@
 
 /// \file kprototypes.h
 /// \brief K-Prototypes (Huang 1998): centroid clustering of mixed
-/// categorical + numeric items, with the same candidate-provider hook as
-/// the categorical and numeric engines.
+/// categorical + numeric items as a traits instantiation of the unified
+/// clustering engine (clustering/engine.h).
 ///
 /// Distance between item X and prototype P (mode Q, centroid c):
 ///   d(X, P) = mismatches(X_cat, Q) + gamma * ||X_num - c||^2
 /// Prototype update: per-attribute majority for the categorical part,
 /// mean for the numeric part. `gamma` balances the modalities (Huang
-/// suggests ~0.5 * mean numeric variance; here it is explicit).
+/// suggests ~0.5 * mean numeric variance; here it is explicit). The
+/// refinement loop lives in ClusteringEngine; this module only supplies
+/// the mixed distance and the dual-modality prototype update.
 
 #include <cstdint>
 #include <limits>
 #include <span>
 #include <vector>
 
+#include "clustering/centroid_table.h"
 #include "clustering/dissimilarity.h"
-#include "clustering/kmeans.h"
+#include "clustering/engine.h"
 #include "clustering/modes.h"
 #include "clustering/types.h"
 #include "data/mixed_dataset.h"
 #include "util/macros.h"
 #include "util/result.h"
 #include "util/rng.h"
-#include "util/stopwatch.h"
 
 namespace lshclust {
 
-/// \brief Options for K-Prototypes runs.
-struct KPrototypesOptions {
-  /// Number of clusters k.
-  uint32_t num_clusters = 0;
+/// \brief Options for K-Prototypes runs: the shared engine options plus
+/// the modality weight.
+struct KPrototypesOptions : EngineOptions {
   /// Weight of the numeric squared distance against categorical
   /// mismatches.
   double gamma = 1.0;
-  /// Iteration cap.
-  uint32_t max_iterations = 100;
-  /// Explicit seed items (same contract as EngineOptions::initial_seeds).
-  std::vector<uint32_t> initial_seeds;
-  /// RNG seed.
-  uint64_t seed = 42;
 };
 
 /// \brief Candidate provider scanning all clusters (original K-Prototypes).
-struct ExhaustiveMixedProvider {
-  static constexpr bool kExhaustive = true;
-  Status Prepare(const MixedDataset&) { return Status::OK(); }
-  void GetCandidates(uint32_t, std::span<const uint32_t>,
-                     std::vector<uint32_t>*) {}
-};
+using ExhaustiveMixedProvider = ExhaustiveProvider;
 
-/// \brief Runs K-Prototypes with candidates from `provider` (the mixed
-/// twin of RunEngine / RunKMeansEngine; same phases, same instrumentation).
-template <typename Provider>
-Result<ClusteringResult> RunKPrototypesEngine(const MixedDataset& dataset,
-                                              const KPrototypesOptions& options,
-                                              Provider& provider) {
-  const uint32_t n = dataset.num_items();
-  const uint32_t m = dataset.num_categorical();
-  const uint32_t d = dataset.num_numeric();
-  const uint32_t k = options.num_clusters;
-  if (k == 0 || k > n) {
-    return Status::InvalidArgument(
-        "num_clusters must be in [1, n]; got k=" + std::to_string(k) +
-        " with n=" + std::to_string(n));
-  }
-  if (options.gamma < 0.0) {
-    return Status::InvalidArgument("gamma must be non-negative");
-  }
+/// \brief Dissimilarity/centroid traits for mixed data (K-Prototypes).
+struct MixedClusteringTraits {
+  using Dataset = MixedDataset;
+  using Options = KPrototypesOptions;
+  using DistanceType = double;
 
-  ClusteringResult result;
-  Rng rng(options.seed);
-  Stopwatch total_watch;
-  Stopwatch phase_watch;
+  /// Mode + centroid per cluster.
+  struct Centroids {
+    ModeTable modes;
+    CentroidTable centroids;
+  };
 
-  // Phase 1: prototypes seeded from items.
-  std::vector<uint32_t> seeds = options.initial_seeds;
-  if (seeds.empty()) {
-    seeds = rng.SampleWithoutReplacement(n, k);
-  } else if (seeds.size() != k) {
-    return Status::InvalidArgument("initial_seeds size must equal k");
-  }
-  ModeTable modes(k, m);
-  std::vector<double> centroids(static_cast<size_t>(k) * d);
-  for (uint32_t cluster = 0; cluster < k; ++cluster) {
-    if (seeds[cluster] >= n) {
-      return Status::OutOfRange("seed item out of range");
+  /// Not infinity: the categorical bound conversion below compares
+  /// against 4e9 to detect "no bound yet", mirroring the historical
+  /// K-Prototypes kernel.
+  static constexpr DistanceType kInfiniteDistance =
+      std::numeric_limits<double>::max();
+
+  static Status ValidateOptions(const Dataset&, const Options& options) {
+    if (options.gamma < 0.0) {
+      return Status::InvalidArgument("gamma must be non-negative");
     }
-    modes.SetModeFromItem(cluster, dataset.categorical(), seeds[cluster]);
-    const auto numeric_row = dataset.numeric().Row(seeds[cluster]);
-    std::copy(numeric_row.begin(), numeric_row.end(),
-              centroids.begin() + static_cast<size_t>(cluster) * d);
+    if (options.initial_seeds.empty() &&
+        options.init_method != InitMethod::kRandom) {
+      return Status::InvalidArgument(
+          "only InitMethod::kRandom is supported for mixed data");
+    }
+    return Status::OK();
   }
-  result.init_seconds = phase_watch.ElapsedSeconds();
 
-  // Mixed distance with early exit through both modalities: the
-  // categorical mismatch count is a lower bound on the total, so the
-  // bounded kernel prunes before the numeric part is touched.
-  auto distance = [&](uint32_t item, uint32_t cluster,
-                      double bound) -> double {
+  static Result<std::vector<uint32_t>> SelectSeedItems(const Dataset& dataset,
+                                                       const Options& options,
+                                                       Rng& rng) {
+    return rng.SampleWithoutReplacement(dataset.num_items(),
+                                        options.num_clusters);
+  }
+
+  static Centroids MakeCentroids(const Dataset& dataset,
+                                 const Options& options) {
+    return Centroids{
+        ModeTable(options.num_clusters, dataset.num_categorical()),
+        CentroidTable(options.num_clusters, dataset.num_numeric())};
+  }
+
+  static void SeedCentroid(Centroids& prototypes, uint32_t cluster,
+                           const Dataset& dataset, uint32_t item) {
+    prototypes.modes.SetModeFromItem(cluster, dataset.categorical(), item);
+    prototypes.centroids.SetFromItem(cluster, dataset.numeric(), item);
+  }
+
+  /// Mixed distance with early exit through both modalities: the
+  /// categorical mismatch count is a lower bound on the total, so the
+  /// bounded kernel prunes before the numeric part is touched.
+  template <bool EarlyExit>
+  static DistanceType ComputeDistance(const Dataset& dataset,
+                                      const Centroids& prototypes,
+                                      const Options& options, uint32_t item,
+                                      uint32_t cluster, DistanceType bound) {
+    if constexpr (!EarlyExit) bound = kInfiniteDistance;
+    const uint32_t m = dataset.num_categorical();
     const uint32_t categorical_part = BoundedMismatchDistance(
-        dataset.categorical().Row(item).data(), modes.ModeData(cluster), m,
+        dataset.categorical().Row(item).data(),
+        prototypes.modes.ModeData(cluster), m,
         bound >= 4.0e9 ? ~0u : static_cast<uint32_t>(bound) + 1);
     if (static_cast<double>(categorical_part) >= bound) {
       return static_cast<double>(categorical_part);
     }
     const double numeric_part = internal::BoundedSquaredL2(
         dataset.numeric().Row(item).data(),
-        centroids.data() + static_cast<size_t>(cluster) * d, d,
+        prototypes.centroids.CentroidData(cluster), dataset.num_numeric(),
         (bound - categorical_part) / (options.gamma > 0 ? options.gamma
                                                         : 1.0));
     return categorical_part + options.gamma * numeric_part;
-  };
-
-  auto assign_pass = [&](bool first_pass, bool exhaustive,
-                         uint64_t* shortlist_total) -> uint64_t {
-    uint64_t moves = 0;
-    std::vector<uint32_t> shortlist;
-    for (uint32_t item = 0; item < n; ++item) {
-      uint32_t best_cluster =
-          first_pass ? 0u : result.assignment[item];
-      double best_distance =
-          distance(item, best_cluster, std::numeric_limits<double>::max());
-      auto consider = [&](uint32_t cluster) {
-        if (cluster == best_cluster) return;
-        const double candidate = distance(item, cluster, best_distance);
-        if (candidate < best_distance) {
-          best_distance = candidate;
-          best_cluster = cluster;
-        }
-      };
-      if (exhaustive) {
-        for (uint32_t cluster = 0; cluster < k; ++cluster) consider(cluster);
-        if (shortlist_total != nullptr) *shortlist_total += k;
-      } else {
-        provider.GetCandidates(item, result.assignment, &shortlist);
-        if (shortlist_total != nullptr) {
-          *shortlist_total += shortlist.size();
-        }
-        for (const uint32_t cluster : shortlist) consider(cluster);
-      }
-      if (first_pass) {
-        result.assignment[item] = best_cluster;
-      } else if (best_cluster != result.assignment[item]) {
-        result.assignment[item] = best_cluster;
-        ++moves;
-      }
-    }
-    return moves;
-  };
-
-  auto update_prototypes = [&]() {
-    modes.RecomputeFromAssignment(dataset.categorical(), result.assignment,
-                                  EmptyClusterPolicy::kKeepPreviousMode, rng);
-    std::vector<double> sums(static_cast<size_t>(k) * d, 0.0);
-    std::vector<uint32_t> counts(k, 0);
-    for (uint32_t item = 0; item < n; ++item) {
-      const uint32_t cluster = result.assignment[item];
-      ++counts[cluster];
-      const auto row = dataset.numeric().Row(item);
-      double* sum = sums.data() + static_cast<size_t>(cluster) * d;
-      for (uint32_t j = 0; j < d; ++j) sum[j] += row[j];
-    }
-    for (uint32_t cluster = 0; cluster < k; ++cluster) {
-      if (counts[cluster] == 0) continue;
-      double* centroid = centroids.data() + static_cast<size_t>(cluster) * d;
-      const double* sum = sums.data() + static_cast<size_t>(cluster) * d;
-      for (uint32_t j = 0; j < d; ++j) {
-        centroid[j] = sum[j] / counts[cluster];
-      }
-    }
-  };
-
-  auto compute_cost = [&]() {
-    double cost = 0;
-    for (uint32_t item = 0; item < n; ++item) {
-      cost += distance(item, result.assignment[item],
-                       std::numeric_limits<double>::max());
-    }
-    return cost;
-  };
-
-  // Phase 2: initial exhaustive assignment + prototype update.
-  phase_watch.Restart();
-  result.assignment.assign(n, 0);
-  assign_pass(/*first_pass=*/true, /*exhaustive=*/true, nullptr);
-  update_prototypes();
-  result.initial_assign_seconds = phase_watch.ElapsedSeconds();
-
-  // Phase 3: provider preparation (dual index for LSH-K-Prototypes).
-  phase_watch.Restart();
-  LSHC_RETURN_NOT_OK(provider.Prepare(dataset));
-  result.index_build_seconds = phase_watch.ElapsedSeconds();
-
-  // Phase 4: refinement.
-  for (uint32_t iteration = 1; iteration <= options.max_iterations;
-       ++iteration) {
-    phase_watch.Restart();
-    uint64_t shortlist_total = 0;
-    const uint64_t moves = assign_pass(
-        /*first_pass=*/false, /*exhaustive=*/Provider::kExhaustive,
-        &shortlist_total);
-    update_prototypes();
-
-    IterationStats stats;
-    stats.iteration = iteration;
-    stats.moves = moves;
-    stats.mean_shortlist =
-        static_cast<double>(shortlist_total) / static_cast<double>(n);
-    stats.seconds = phase_watch.ElapsedSeconds();
-    stats.cost = compute_cost();
-    result.iterations.push_back(stats);
-    if (moves == 0) {
-      result.converged = true;
-      break;
-    }
   }
 
-  result.final_cost =
-      result.iterations.empty() ? 0.0 : result.iterations.back().cost;
-  result.total_seconds = total_watch.ElapsedSeconds();
-  return result;
+  /// Majority modes + mean centroids. With kReseedRandomItem each empty
+  /// cluster draws one random item per modality (two draws), so keep the
+  /// default kKeepPreviousMode unless reseeding is really wanted.
+  static void UpdateCentroids(const Dataset& dataset, Centroids& prototypes,
+                              std::span<const uint32_t> assignment,
+                              const Options& options, Rng& rng) {
+    prototypes.modes.RecomputeFromAssignment(dataset.categorical(),
+                                             assignment,
+                                             options.empty_cluster_policy,
+                                             rng);
+    prototypes.centroids.RecomputeFromAssignment(
+        dataset.numeric(), assignment, options.empty_cluster_policy, rng);
+  }
+
+  /// The mixed objective: summed exact mixed distance of every item to its
+  /// prototype.
+  static double ComputeCost(const Dataset& dataset,
+                            const Centroids& prototypes,
+                            const Options& options,
+                            std::span<const uint32_t> assignment) {
+    double cost = 0;
+    for (uint32_t item = 0; item < dataset.num_items(); ++item) {
+      cost += ComputeDistance<false>(dataset, prototypes, options, item,
+                                     assignment[item], kInfiniteDistance);
+    }
+    return cost;
+  }
+};
+
+/// \brief Runs K-Prototypes with candidates from `provider` — the mixed
+/// instantiation of the unified engine (same phases, same instrumentation
+/// as RunEngine / RunKMeansEngine).
+template <typename Provider>
+Result<ClusteringResult> RunKPrototypesEngine(const MixedDataset& dataset,
+                                              const KPrototypesOptions& options,
+                                              Provider& provider) {
+  return ClusteringEngine<MixedClusteringTraits, Provider>::Run(
+      dataset, options, provider);
 }
 
 /// Runs exhaustive K-Prototypes.

@@ -18,6 +18,7 @@
 
 #include "clustering/canopy.h"
 #include "clustering/engine.h"
+#include "core/shortlist_provider.h"
 #include "util/result.h"
 
 namespace lshclust {
@@ -31,15 +32,23 @@ struct CanopyKModesOptions {
 };
 
 /// \brief Engine provider producing canopy-peer cluster shortlists.
+/// Parallel-capable: queries are const with per-caller scratch, same
+/// contract as ShortlistProvider.
 class CanopyShortlistProvider {
  public:
   CanopyShortlistProvider(const CanopyOptions& options, uint32_t num_clusters)
       : options_(options), num_clusters_(num_clusters) {
     LSHC_CHECK_GE(num_clusters, 1u);
-    cluster_stamp_.assign(num_clusters, 0);
+    scratch_ = MakeScratch();
   }
 
   static constexpr bool kExhaustive = false;
+
+  /// Per-caller query state (see ClusterDedupScratch).
+  using Scratch = ClusterDedupScratch;
+
+  /// A fresh scratch sized for this provider's cluster count.
+  Scratch MakeScratch() const { return MakeClusterDedupScratch(num_clusters_); }
 
   /// Builds the canopy cover (the accelerator's one-time pass).
   Status Prepare(const CategoricalDataset& dataset) {
@@ -50,21 +59,19 @@ class CanopyShortlistProvider {
   }
 
   /// Deduplicated clusters of the item's canopy peers, always containing
-  /// its current cluster.
+  /// its current cluster. Thread-safe given a private `scratch`.
+  void GetCandidates(uint32_t item, std::span<const uint32_t> assignment,
+                     Scratch& scratch, std::vector<uint32_t>* out) const {
+    CollectCandidateClusters(item, assignment, scratch, out,
+                             [&](auto&& sink) {
+                               index_->VisitCanopyPeers(item, sink);
+                             });
+  }
+
+  /// Sequential convenience overload using the provider-owned scratch.
   void GetCandidates(uint32_t item, std::span<const uint32_t> assignment,
                      std::vector<uint32_t>* out) {
-    out->clear();
-    ++epoch_;
-    const uint32_t current = assignment[item];
-    cluster_stamp_[current] = epoch_;
-    out->push_back(current);
-    index_->VisitCanopyPeers(item, [&](uint32_t other) {
-      const uint32_t cluster = assignment[other];
-      if (cluster_stamp_[cluster] != epoch_) {
-        cluster_stamp_[cluster] = epoch_;
-        out->push_back(cluster);
-      }
-    });
+    GetCandidates(item, assignment, scratch_, out);
   }
 
   /// The canopy cover (null before Prepare).
@@ -74,8 +81,7 @@ class CanopyShortlistProvider {
   CanopyOptions options_;
   uint32_t num_clusters_;
   std::unique_ptr<CanopyIndex> index_;
-  std::vector<uint32_t> cluster_stamp_;
-  uint32_t epoch_ = 0;
+  Scratch scratch_;
 };
 
 /// Runs Canopy-K-Modes.

@@ -1,13 +1,9 @@
 #include "core/cluster_shortlist_index.h"
 
-#include "util/stopwatch.h"
-
 namespace lshclust {
 
-ClusterShortlistProvider::ClusterShortlistProvider(
-    const ShortlistIndexOptions& options, uint32_t num_clusters)
-    : options_(options), num_clusters_(num_clusters) {
-  LSHC_CHECK_GE(num_clusters, 1u) << "need at least one cluster";
+MinHashShortlistFamily::MinHashShortlistFamily(const Options& options)
+    : options_(options) {
   LSHC_CHECK(options.banding.bands >= 1 && options.banding.rows >= 1)
       << "banding needs at least one band and one row";
   const uint32_t width = options_.banding.num_hashes();
@@ -17,10 +13,23 @@ ClusterShortlistProvider::ClusterShortlistProvider(
   } else {
     oph_ = std::make_unique<OnePermutationMinHasher>(width, options_.seed);
   }
-  cluster_stamp_.assign(num_clusters, 0);
 }
 
-void ClusterShortlistProvider::ComputeSignature(
+Status MinHashShortlistFamily::ComputeSignatures(
+    const Dataset& dataset, std::vector<uint64_t>* signatures) const {
+  const uint32_t n = dataset.num_items();
+  const uint32_t width = options_.banding.num_hashes();
+  signatures->resize(static_cast<size_t>(n) * width);
+  std::vector<uint32_t> tokens;
+  for (uint32_t item = 0; item < n; ++item) {
+    dataset.PresentTokens(item, &tokens);  // Alg. 2 lines 2-4
+    ComputeQuerySignature(tokens, signatures->data() +
+                                      static_cast<size_t>(item) * width);
+  }
+  return Status::OK();
+}
+
+void MinHashShortlistFamily::ComputeQuerySignature(
     std::span<const uint32_t> tokens, uint64_t* out) const {
   if (minhasher_ != nullptr) {
     minhasher_->ComputeSignature(tokens, out);
@@ -29,80 +38,10 @@ void ClusterShortlistProvider::ComputeSignature(
   }
 }
 
-Status ClusterShortlistProvider::Prepare(const CategoricalDataset& dataset) {
-  const uint32_t n = dataset.num_items();
-  if (n == 0) return Status::InvalidArgument("dataset is empty");
-  const uint32_t width = options_.banding.num_hashes();
-
-  Stopwatch watch;
-  std::vector<uint64_t> signatures(static_cast<size_t>(n) * width);
-  std::vector<uint32_t> tokens;
-  for (uint32_t item = 0; item < n; ++item) {
-    dataset.PresentTokens(item, &tokens);  // Alg. 2 lines 2-4
-    ComputeSignature(tokens, signatures.data() +
-                                 static_cast<size_t>(item) * width);
-  }
-  signature_seconds_ = watch.ElapsedSeconds();
-
-  watch.Restart();
-  index_ = std::make_unique<BandedIndex>(signatures, n, options_.banding);
-  index_seconds_ = watch.ElapsedSeconds();
-
-  if (options_.keep_signatures) {
-    signatures_ = std::move(signatures);
-  }
-  return Status::OK();
-}
-
-void ClusterShortlistProvider::GetCandidates(
-    uint32_t item, std::span<const uint32_t> assignment,
-    std::vector<uint32_t>* out) {
-  LSHC_DCHECK(index_ != nullptr) << "Prepare() must run before queries";
-  out->clear();
-  ++epoch_;
-  // The current cluster is always a candidate (the item collides with
-  // itself, but make it unconditional so the contract holds even for
-  // degenerate banding).
-  const uint32_t current = assignment[item];
-  cluster_stamp_[current] = epoch_;
-  out->push_back(current);
-  index_->VisitCandidates(item, [&](uint32_t other) {
-    const uint32_t cluster = assignment[other];
-    if (cluster_stamp_[cluster] != epoch_) {
-      cluster_stamp_[cluster] = epoch_;
-      out->push_back(cluster);
-    }
-  });
-}
-
-void ClusterShortlistProvider::GetCandidatesForTokens(
-    std::span<const uint32_t> tokens, std::span<const uint32_t> assignment,
-    std::vector<uint32_t>* out) {
-  LSHC_CHECK(index_ != nullptr) << "Prepare() must run before queries";
-  out->clear();
-  ++epoch_;
-  std::vector<uint64_t> signature(options_.banding.num_hashes());
-  ComputeSignature(tokens, signature.data());
-  index_->VisitCandidatesOfSignature(signature, [&](uint32_t other) {
-    const uint32_t cluster = assignment[other];
-    if (cluster_stamp_[cluster] != epoch_) {
-      cluster_stamp_[cluster] = epoch_;
-      out->push_back(cluster);
-    }
-  });
-}
-
-BandedIndex::Stats ClusterShortlistProvider::IndexStats() const {
-  LSHC_CHECK(index_ != nullptr) << "Prepare() must run before IndexStats";
-  return index_->ComputeStats();
-}
-
-uint64_t ClusterShortlistProvider::MemoryUsageBytes() const {
-  uint64_t bytes = sizeof(*this);
-  if (index_ != nullptr) bytes += index_->MemoryUsageBytes();
-  bytes += signatures_.size() * sizeof(uint64_t);
-  bytes += cluster_stamp_.size() * sizeof(uint32_t);
-  return bytes;
+uint64_t MinHashShortlistFamily::MemoryUsageBytes() const {
+  // The hashers hold O(width) seeds; report the dominant term.
+  return static_cast<uint64_t>(options_.banding.num_hashes()) *
+         sizeof(uint64_t);
 }
 
 }  // namespace lshclust

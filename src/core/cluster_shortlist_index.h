@@ -1,31 +1,19 @@
 #pragma once
 
 /// \file cluster_shortlist_index.h
-/// \brief The heart of the paper: the MinHash index that turns "all k
-/// clusters" into a per-item shortlist of candidate clusters (Algorithm 2).
-///
-/// Lifecycle, following §III-B exactly:
-///  1. After the initial assignment, one pass over the dataset computes a
-///     MinHash signature per item (presence-filtered tokens, Alg. 2 lines
-///     1-5) and builds the banding index. Items never change, so this
-///     happens once.
-///  2. During refinement, an item's query walks its own buckets (it was
-///     inserted, so the buckets are known — no re-hashing), collects the
-///     co-bucketed items, and *dereferences their current cluster
-///     assignment*. The deduplicated cluster set is the shortlist.
-///  3. "Updating the index after a move" is writing assignment[item] — the
-///     caller's assignment array is the cluster reference store, which is
-///     why updates are "a fast operation ... merely update the item's
-///     cluster that is stored via a reference or pointer" (§III-B).
-///
-/// The item always shares its buckets with itself, so the shortlist always
-/// contains its current cluster and is never empty.
+/// \brief The MinHash signature family that turns "all k clusters" into a
+/// per-item shortlist of candidate clusters (Algorithm 2): presence
+/// filtered tokens (Alg. 2 lines 1-5) -> MinHash signature -> banding
+/// index. Plugged into the generic ShortlistProvider
+/// (core/shortlist_provider.h); `ClusterShortlistProvider` below is the
+/// resulting provider type, the one MH-K-Modes runs on.
 
 #include <cstdint>
 #include <memory>
 #include <span>
 #include <vector>
 
+#include "core/shortlist_provider.h"
 #include "data/categorical_dataset.h"
 #include "hashing/minhash.h"
 #include "hashing/one_permutation_minhash.h"
@@ -58,67 +46,47 @@ struct ShortlistIndexOptions {
   bool keep_signatures = false;
 };
 
-/// \brief Engine provider (see clustering/engine.h) producing LSH cluster
-/// shortlists. Also usable standalone for any "candidate clusters of this
-/// item" query.
-class ClusterShortlistProvider {
+/// \brief MinHash/Jaccard signature family over categorical token sets
+/// (the paper's family).
+class MinHashShortlistFamily {
  public:
-  /// \param options index configuration
-  /// \param num_clusters k — shortlist entries are cluster ids < k
-  ClusterShortlistProvider(const ShortlistIndexOptions& options,
-                           uint32_t num_clusters);
+  using Dataset = CategoricalDataset;
+  using Options = ShortlistIndexOptions;
 
-  /// Engine contract: shortlists instead of exhaustive scans.
-  static constexpr bool kExhaustive = false;
+  explicit MinHashShortlistFamily(const Options& options);
 
-  /// Computes all signatures and builds the banding index (the one-time
-  /// pass of Alg. 2). Called by the engine after the initial assignment.
-  Status Prepare(const CategoricalDataset& dataset);
+  /// One MinHash signature per item over its *present* tokens (the
+  /// presence filtering of Alg. 2 lines 2-4).
+  Status ComputeSignatures(const Dataset& dataset,
+                           std::vector<uint64_t>* signatures) const;
 
-  /// Fills `out` with the deduplicated candidate clusters of `item`:
-  /// the clusters *currently* containing the items LSH considers similar
-  /// to it, plus the item's own current cluster. Reads `assignment` as the
-  /// live cluster-reference store.
-  void GetCandidates(uint32_t item, std::span<const uint32_t> assignment,
-                     std::vector<uint32_t>* out);
+  /// Uniform layout: banding.bands bands of banding.rows rows.
+  std::vector<uint32_t> BandLayout() const {
+    return std::vector<uint32_t>(options_.banding.bands,
+                                 options_.banding.rows);
+  }
 
-  /// As GetCandidates but for an external item given by its token set
-  /// (e.g. a new item arriving after clustering). Tokens must use the
-  /// dataset's code space.
-  void GetCandidatesForTokens(std::span<const uint32_t> tokens,
-                              std::span<const uint32_t> assignment,
-                              std::vector<uint32_t>* out);
+  uint32_t signature_width() const { return options_.banding.num_hashes(); }
+  bool keep_signatures() const { return options_.keep_signatures; }
 
-  /// The underlying banding index (null before Prepare).
-  const BandedIndex* index() const { return index_.get(); }
+  /// Signature of an external token set (tokens in the dataset's code
+  /// space) — enables GetCandidatesForTokens on the provider.
+  void ComputeQuerySignature(std::span<const uint32_t> tokens,
+                             uint64_t* out) const;
 
-  /// Occupancy statistics of the underlying index.
-  BandedIndex::Stats IndexStats() const;
-
-  /// Approximate heap footprint (index + any kept signatures).
+  /// Approximate hasher footprint.
   uint64_t MemoryUsageBytes() const;
 
-  /// Seconds spent in the last Prepare, split into signature computation
-  /// and index construction.
-  double signature_seconds() const { return signature_seconds_; }
-  double index_seconds() const { return index_seconds_; }
+  const Options& options() const { return options_; }
 
  private:
-  void ComputeSignature(std::span<const uint32_t> tokens, uint64_t* out) const;
-
-  ShortlistIndexOptions options_;
-  uint32_t num_clusters_;
+  Options options_;
   std::unique_ptr<MinHasher> minhasher_;
   std::unique_ptr<OnePermutationMinHasher> oph_;
-  std::unique_ptr<BandedIndex> index_;
-  std::vector<uint64_t> signatures_;  // kept only if options_.keep_signatures
-
-  // Epoch-stamped deduplication; no per-query allocation.
-  std::vector<uint32_t> cluster_stamp_;
-  uint32_t epoch_ = 0;
-
-  double signature_seconds_ = 0;
-  double index_seconds_ = 0;
 };
+
+/// \brief Engine provider producing MinHash cluster shortlists — the
+/// provider of MH-K-Modes (Algorithm 2).
+using ClusterShortlistProvider = ShortlistProvider<MinHashShortlistFamily>;
 
 }  // namespace lshclust

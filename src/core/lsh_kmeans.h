@@ -8,7 +8,9 @@
 /// computed once per item, banded into buckets, and each assignment step
 /// searches only the clusters currently holding the item's bucket
 /// neighbours. Collision probability per bit is 1 - theta/pi, so the
-/// banding S-curve selects by angular similarity instead of Jaccard.
+/// banding S-curve selects by angular similarity instead of Jaccard. The
+/// provider is the generic ShortlistProvider instantiated with the SimHash
+/// family below.
 
 #include <cstdint>
 #include <memory>
@@ -16,13 +18,84 @@
 #include <vector>
 
 #include "clustering/kmeans.h"
+#include "core/shortlist_provider.h"
 #include "hashing/simhash.h"
 #include "lsh/banded_index.h"
 #include "lsh/probability.h"
 #include "util/result.h"
-#include "util/stopwatch.h"
 
 namespace lshclust {
+
+/// \brief Index configuration of the SimHash family.
+struct SimHashIndexOptions {
+  /// Banding shape over SimHash bits.
+  BandingParams banding = {16, 4};
+  /// Hyperplane seed.
+  uint64_t seed = 99;
+};
+
+/// \brief SimHash/angular signature family over numeric vectors.
+class SimHashShortlistFamily {
+ public:
+  using Dataset = NumericDataset;
+  using Options = SimHashIndexOptions;
+
+  explicit SimHashShortlistFamily(const Options& options)
+      : options_(options) {
+    LSHC_CHECK(options.banding.bands >= 1 && options.banding.rows >= 1)
+        << "banding needs at least one band and one row";
+  }
+
+  /// One SimHash bit vector per item. The hasher is created here because
+  /// its hyperplanes need the dataset dimensionality.
+  Status ComputeSignatures(const Dataset& dataset,
+                           std::vector<uint64_t>* signatures) {
+    const uint32_t n = dataset.num_items();
+    const uint32_t width = options_.banding.num_hashes();
+    hasher_ = std::make_unique<SimHasher>(width, dataset.dimensions(),
+                                          options_.seed);
+    signatures->resize(static_cast<size_t>(n) * width);
+    for (uint32_t item = 0; item < n; ++item) {
+      hasher_->ComputeSignature(dataset.Row(item),
+                                signatures->data() +
+                                    static_cast<size_t>(item) * width);
+    }
+    return Status::OK();
+  }
+
+  /// Uniform layout: banding.bands bands of banding.rows rows.
+  std::vector<uint32_t> BandLayout() const {
+    return std::vector<uint32_t>(options_.banding.bands,
+                                 options_.banding.rows);
+  }
+
+  uint32_t signature_width() const { return options_.banding.num_hashes(); }
+  bool keep_signatures() const { return false; }
+
+  /// Signature of an external vector (length = dataset dimensionality).
+  void ComputeQuerySignature(std::span<const double> vec,
+                             uint64_t* out) const {
+    LSHC_CHECK(hasher_ != nullptr) << "ComputeSignatures must run first";
+    hasher_->ComputeSignature(vec, out);
+  }
+
+  uint64_t MemoryUsageBytes() const {
+    return hasher_ == nullptr
+               ? 0
+               : static_cast<uint64_t>(hasher_->num_hashes()) *
+                     hasher_->dimensions() * sizeof(double);
+  }
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  std::unique_ptr<SimHasher> hasher_;
+};
+
+/// \brief Engine provider producing SimHash cluster shortlists for numeric
+/// items (the numeric twin of ClusterShortlistProvider).
+using SimHashShortlistProvider = ShortlistProvider<SimHashShortlistFamily>;
 
 /// \brief Options for LSH-K-Means.
 struct LshKMeansOptions {
@@ -34,69 +107,12 @@ struct LshKMeansOptions {
   uint64_t seed = 99;
 };
 
-/// \brief Engine provider producing SimHash cluster shortlists for numeric
-/// items (the numeric twin of ClusterShortlistProvider).
-class SimHashShortlistProvider {
- public:
-  SimHashShortlistProvider(const LshKMeansOptions& options,
-                           uint32_t num_clusters)
-      : options_(options), num_clusters_(num_clusters) {
-    LSHC_CHECK_GE(num_clusters, 1u);
-    cluster_stamp_.assign(num_clusters, 0);
-  }
-
-  static constexpr bool kExhaustive = false;
-
-  /// Computes all SimHash signatures and builds the banding index.
-  Status Prepare(const NumericDataset& dataset) {
-    const uint32_t n = dataset.num_items();
-    if (n == 0) return Status::InvalidArgument("dataset is empty");
-    const uint32_t width = options_.banding.num_hashes();
-    hasher_ = std::make_unique<SimHasher>(width, dataset.dimensions(),
-                                          options_.seed);
-    std::vector<uint64_t> signatures(static_cast<size_t>(n) * width);
-    for (uint32_t item = 0; item < n; ++item) {
-      hasher_->ComputeSignature(dataset.Row(item),
-                                signatures.data() +
-                                    static_cast<size_t>(item) * width);
-    }
-    index_ = std::make_unique<BandedIndex>(signatures, n, options_.banding);
-    return Status::OK();
-  }
-
-  /// Engine contract; see ClusterShortlistProvider::GetCandidates.
-  void GetCandidates(uint32_t item, std::span<const uint32_t> assignment,
-                     std::vector<uint32_t>* out) {
-    out->clear();
-    ++epoch_;
-    const uint32_t current = assignment[item];
-    cluster_stamp_[current] = epoch_;
-    out->push_back(current);
-    index_->VisitCandidates(item, [&](uint32_t other) {
-      const uint32_t cluster = assignment[other];
-      if (cluster_stamp_[cluster] != epoch_) {
-        cluster_stamp_[cluster] = epoch_;
-        out->push_back(cluster);
-      }
-    });
-  }
-
-  /// The underlying banding index (null before Prepare).
-  const BandedIndex* index() const { return index_.get(); }
-
- private:
-  LshKMeansOptions options_;
-  uint32_t num_clusters_;
-  std::unique_ptr<SimHasher> hasher_;
-  std::unique_ptr<BandedIndex> index_;
-  std::vector<uint32_t> cluster_stamp_;
-  uint32_t epoch_ = 0;
-};
-
 /// Runs LSH-K-Means.
 inline Result<ClusteringResult> RunLshKMeans(const NumericDataset& dataset,
                                              const LshKMeansOptions& options) {
-  SimHashShortlistProvider provider(options, options.kmeans.num_clusters);
+  SimHashShortlistProvider provider(
+      SimHashIndexOptions{options.banding, options.seed},
+      options.kmeans.num_clusters);
   return RunKMeansEngine(dataset, options.kmeans, provider);
 }
 

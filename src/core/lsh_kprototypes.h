@@ -2,14 +2,16 @@
 
 /// \file lsh_kprototypes.h
 /// \brief LSH-K-Prototypes: the paper's framework on mixed data, with one
-/// LSH family per modality.
+/// LSH family per modality concatenated into a single signature.
 ///
 /// The categorical half of an item is MinHashed (Jaccard over present
 /// tokens, as in MH-K-Modes); the numeric half is SimHashed (angular
-/// similarity). Each modality gets its own banding index, and an item's
-/// candidate clusters are the union of both indexes' shortlists — an item
-/// similar to a cluster in *either* modality reaches the exact mixed
-/// distance computation, which then weighs the modalities by gamma.
+/// similarity). The two signatures are concatenated and indexed by one
+/// BandedIndex with a heterogeneous band layout — the categorical bands
+/// first, then the numeric bands. Banding semantics make this exactly the
+/// union of the per-modality candidate sets: an item similar to a cluster
+/// in *either* modality reaches the exact mixed distance computation,
+/// which then weighs the modalities by gamma.
 
 #include <cstdint>
 #include <memory>
@@ -17,6 +19,7 @@
 #include <vector>
 
 #include "clustering/kprototypes.h"
+#include "core/shortlist_provider.h"
 #include "hashing/minhash.h"
 #include "hashing/simhash.h"
 #include "lsh/banded_index.h"
@@ -24,10 +27,8 @@
 
 namespace lshclust {
 
-/// \brief Options for LSH-K-Prototypes.
-struct LshKPrototypesOptions {
-  /// K-Prototypes options shared with the baseline.
-  KPrototypesOptions kprototypes;
+/// \brief Index configuration of the mixed family.
+struct MixedIndexOptions {
   /// Banding over the MinHash signature of the categorical tokens.
   BandingParams categorical_banding = {20, 5};
   /// Banding over the SimHash bits of the numeric vector. SimHash bits
@@ -40,43 +41,50 @@ struct LshKPrototypesOptions {
   uint64_t seed = 99;
 };
 
-/// \brief Dual-modality provider for RunKPrototypesEngine.
-class MixedShortlistProvider {
+/// \brief Concatenated MinHash + SimHash signature family over mixed
+/// items.
+class MixedShortlistFamily {
  public:
-  MixedShortlistProvider(const LshKPrototypesOptions& options,
-                         uint32_t num_clusters)
-      : options_(options), num_clusters_(num_clusters) {
-    LSHC_CHECK_GE(num_clusters, 1u);
-    cluster_stamp_.assign(num_clusters, 0);
+  using Dataset = MixedDataset;
+  using Options = MixedIndexOptions;
+
+  explicit MixedShortlistFamily(const Options& options) : options_(options) {
+    LSHC_CHECK(options.categorical_banding.bands >= 1 &&
+               options.categorical_banding.rows >= 1 &&
+               options.numeric_banding.bands >= 1 &&
+               options.numeric_banding.rows >= 1)
+        << "banding needs at least one band and one row per modality";
   }
 
-  static constexpr bool kExhaustive = false;
-
-  /// Builds both indexes (one pass per modality over the items).
-  Status Prepare(const MixedDataset& dataset) {
+  /// One concatenated signature per item: the MinHash components over the
+  /// present categorical tokens, then the SimHash bits of the
+  /// *mean-centered* numeric vector. SimHash discriminates by angle from
+  /// the origin; centering spreads clusters across directions so
+  /// nearby-but-distinct clusters stop sharing sign patterns. Distances
+  /// are computed on the raw data — centering only affects candidate
+  /// generation.
+  Status ComputeSignatures(const Dataset& dataset,
+                           std::vector<uint64_t>* signatures) {
     const uint32_t n = dataset.num_items();
-    if (n == 0) return Status::InvalidArgument("dataset is empty");
+    const uint32_t categorical_width =
+        options_.categorical_banding.num_hashes();
+    const uint32_t numeric_width = options_.numeric_banding.num_hashes();
+    const uint32_t width = categorical_width + numeric_width;
+    signatures->resize(static_cast<size_t>(n) * width);
 
-    // Categorical index: MinHash over present tokens.
+    // Categorical part: MinHash over present tokens.
     {
-      const uint32_t width = options_.categorical_banding.num_hashes();
-      const MinHasher hasher(width, options_.seed);
-      std::vector<uint64_t> signatures(static_cast<size_t>(n) * width);
+      const MinHasher hasher(categorical_width, options_.seed);
       std::vector<uint32_t> tokens;
       for (uint32_t item = 0; item < n; ++item) {
         dataset.categorical().PresentTokens(item, &tokens);
         hasher.ComputeSignature(
-            tokens, signatures.data() + static_cast<size_t>(item) * width);
+            tokens,
+            signatures->data() + static_cast<size_t>(item) * width);
       }
-      categorical_index_ = std::make_unique<BandedIndex>(
-          signatures, n, options_.categorical_banding);
     }
 
-    // Numeric index: SimHash bits over *mean-centered* vectors. SimHash
-    // discriminates by angle from the origin; centering spreads clusters
-    // across directions so nearby-but-distinct clusters stop sharing
-    // sign patterns. Distances are computed on the raw data — centering
-    // only affects candidate generation.
+    // Numeric part: SimHash bits over centered vectors.
     {
       const uint32_t d = dataset.num_numeric();
       std::vector<double> mean(d, 0.0);
@@ -86,62 +94,69 @@ class MixedShortlistProvider {
       }
       for (auto& coordinate : mean) coordinate /= n;
 
-      const uint32_t width = options_.numeric_banding.num_hashes();
-      const SimHasher hasher(width, d, options_.seed ^ 0x51A5ULL);
-      std::vector<uint64_t> signatures(static_cast<size_t>(n) * width);
+      const SimHasher hasher(numeric_width, d, options_.seed ^ 0x51A5ULL);
       std::vector<double> centered(d);
       for (uint32_t item = 0; item < n; ++item) {
         const auto row = dataset.numeric().Row(item);
         for (uint32_t j = 0; j < d; ++j) centered[j] = row[j] - mean[j];
-        hasher.ComputeSignature(
-            centered, signatures.data() + static_cast<size_t>(item) * width);
+        hasher.ComputeSignature(centered,
+                                signatures->data() +
+                                    static_cast<size_t>(item) * width +
+                                    categorical_width);
       }
-      numeric_index_ = std::make_unique<BandedIndex>(
-          signatures, n, options_.numeric_banding);
     }
     return Status::OK();
   }
 
-  /// Union of both modalities' candidate clusters, deduplicated, always
-  /// containing the item's current cluster.
-  void GetCandidates(uint32_t item, std::span<const uint32_t> assignment,
-                     std::vector<uint32_t>* out) {
-    out->clear();
-    ++epoch_;
-    const uint32_t current = assignment[item];
-    cluster_stamp_[current] = epoch_;
-    out->push_back(current);
-    const auto visit = [&](uint32_t other) {
-      const uint32_t cluster = assignment[other];
-      if (cluster_stamp_[cluster] != epoch_) {
-        cluster_stamp_[cluster] = epoch_;
-        out->push_back(cluster);
-      }
-    };
-    categorical_index_->VisitCandidates(item, visit);
-    numeric_index_->VisitCandidates(item, visit);
+  /// Heterogeneous layout: the categorical bands, then the numeric bands.
+  std::vector<uint32_t> BandLayout() const {
+    std::vector<uint32_t> layout;
+    layout.reserve(options_.categorical_banding.bands +
+                   options_.numeric_banding.bands);
+    layout.insert(layout.end(), options_.categorical_banding.bands,
+                  options_.categorical_banding.rows);
+    layout.insert(layout.end(), options_.numeric_banding.bands,
+                  options_.numeric_banding.rows);
+    return layout;
   }
 
-  /// The per-modality indexes (null before Prepare).
-  const BandedIndex* categorical_index() const {
-    return categorical_index_.get();
+  uint32_t signature_width() const {
+    return options_.categorical_banding.num_hashes() +
+           options_.numeric_banding.num_hashes();
   }
-  const BandedIndex* numeric_index() const { return numeric_index_.get(); }
+  bool keep_signatures() const { return false; }
+
+  uint64_t MemoryUsageBytes() const { return 0; }
+
+  const Options& options() const { return options_; }
 
  private:
-  LshKPrototypesOptions options_;
-  uint32_t num_clusters_;
-  std::unique_ptr<BandedIndex> categorical_index_;
-  std::unique_ptr<BandedIndex> numeric_index_;
-  std::vector<uint32_t> cluster_stamp_;
-  uint32_t epoch_ = 0;
+  Options options_;
+};
+
+/// \brief Dual-modality engine provider for RunKPrototypesEngine.
+using MixedShortlistProvider = ShortlistProvider<MixedShortlistFamily>;
+
+/// \brief Options for LSH-K-Prototypes.
+struct LshKPrototypesOptions {
+  /// K-Prototypes options shared with the baseline.
+  KPrototypesOptions kprototypes;
+  /// Banding over the MinHash signature of the categorical tokens.
+  BandingParams categorical_banding = {20, 5};
+  /// Banding over the SimHash bits of the numeric vector (see
+  /// MixedIndexOptions::numeric_banding).
+  BandingParams numeric_banding = {10, 16};
+  /// Hash family seed.
+  uint64_t seed = 99;
 };
 
 /// Runs LSH-K-Prototypes.
 inline Result<ClusteringResult> RunLshKPrototypes(
     const MixedDataset& dataset, const LshKPrototypesOptions& options) {
-  MixedShortlistProvider provider(options,
-                                  options.kprototypes.num_clusters);
+  MixedShortlistProvider provider(
+      MixedIndexOptions{options.categorical_banding, options.numeric_banding,
+                        options.seed},
+      options.kprototypes.num_clusters);
   return RunKPrototypesEngine(dataset, options.kprototypes, provider);
 }
 

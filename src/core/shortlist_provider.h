@@ -1,0 +1,257 @@
+#pragma once
+
+/// \file shortlist_provider.h
+/// \brief The generic LSH cluster-shortlist provider — the heart of the
+/// paper (Algorithm 2), templated on the hash family.
+///
+/// All three LSH accelerations (MH-K-Modes, LSH-K-Means,
+/// LSH-K-Prototypes) are this one class instantiated with a different
+/// signature family:
+///
+///  * MinHashShortlistFamily (core/cluster_shortlist_index.h) — Jaccard
+///    over present tokens, categorical data.
+///  * SimHashShortlistFamily (core/lsh_kmeans.h) — angular similarity,
+///    numeric data.
+///  * MixedShortlistFamily (core/lsh_kprototypes.h) — concatenated
+///    MinHash + SimHash signatures over a heterogeneous band layout,
+///    mixed data.
+///
+/// Lifecycle, following §III-B exactly:
+///  1. After the initial assignment, one pass over the dataset computes a
+///     signature per item (family-specific) and builds the banding index.
+///     Items never change, so this happens once.
+///  2. During refinement, an item's query walks its own buckets (it was
+///     inserted, so the buckets are known — no re-hashing), collects the
+///     co-bucketed items, and dereferences their cluster through the
+///     `assignment` span the caller passes. The deduplicated cluster set
+///     is the shortlist.
+///  3. "Updating the index after a move" is writing assignment[item] — an
+///     assignment array is the cluster reference store, which is why
+///     updates are "a fast operation ... merely update the item's cluster
+///     that is stored via a reference or pointer" (§III-B). Note the
+///     unified engine passes a snapshot of the assignment taken at the
+///     start of each refinement pass (moves become visible to queries at
+///     the *next* pass, not mid-pass) — that is what makes its
+///     batch-parallel assignment deterministic for every thread count;
+///     see clustering/engine.h.
+///
+/// The item always shares its buckets with itself, so the shortlist always
+/// contains its current cluster and is never empty.
+///
+/// Queries are const and take an explicit Scratch, so the engine can run
+/// them from many worker threads at once (one scratch per worker); the
+/// scratch-less overload uses a provider-owned scratch for sequential
+/// callers.
+///
+/// The family concept:
+/// \code
+///   struct SomeFamily {
+///     using Dataset = ...;                       // what gets indexed
+///     using Options = ...;                       // index configuration
+///     explicit SomeFamily(const Options&);
+///     // Row-major n x signature_width() matrix of signature components.
+///     Status ComputeSignatures(const Dataset&, std::vector<uint64_t>*);
+///     // Rows per band, concatenated over the signature.
+///     std::vector<uint32_t> BandLayout() const;
+///     uint32_t signature_width() const;
+///     bool keep_signatures() const;              // retain the matrix?
+///     uint64_t MemoryUsageBytes() const;         // hasher footprint
+///   };
+/// \endcode
+/// Families may additionally expose ComputeQuerySignature(query, out) for
+/// external (non-indexed) queries; see GetCandidatesForQuery.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "lsh/banded_index.h"
+#include "util/macros.h"
+#include "util/result.h"
+#include "util/stopwatch.h"
+
+namespace lshclust {
+
+/// \brief Per-caller query state for epoch-stamped cluster deduplication:
+/// no per-query allocation, O(1) reset. Shared by every shortlist-style
+/// provider (LSH families here, canopies in core/canopy_kmodes.h); the
+/// engine makes one per worker thread.
+struct ClusterDedupScratch {
+  std::vector<uint32_t> cluster_stamp;
+  uint32_t epoch = 0;
+};
+
+/// Returns a scratch sized for `num_clusters` clusters.
+inline ClusterDedupScratch MakeClusterDedupScratch(uint32_t num_clusters) {
+  ClusterDedupScratch scratch;
+  scratch.cluster_stamp.assign(num_clusters, 0);
+  return scratch;
+}
+
+/// Collects into `out` the deduplicated clusters (per `assignment`) of the
+/// peers that `visit_peers` enumerates, first entry being `item`'s own
+/// current cluster. The one dedup loop behind every shortlist provider.
+///
+/// \param visit_peers callable invoked as visit_peers(sink) where sink is
+///        a callable taking a peer item id; peers may repeat freely
+template <typename VisitPeersFn>
+void CollectCandidateClusters(uint32_t item,
+                              std::span<const uint32_t> assignment,
+                              ClusterDedupScratch& scratch,
+                              std::vector<uint32_t>* out,
+                              VisitPeersFn&& visit_peers) {
+  out->clear();
+  ++scratch.epoch;
+  // The current cluster is always a candidate (the item collides with
+  // itself, but make it unconditional so the contract holds even for
+  // degenerate banding).
+  const uint32_t current = assignment[item];
+  scratch.cluster_stamp[current] = scratch.epoch;
+  out->push_back(current);
+  visit_peers([&](uint32_t other) {
+    const uint32_t cluster = assignment[other];
+    if (scratch.cluster_stamp[cluster] != scratch.epoch) {
+      scratch.cluster_stamp[cluster] = scratch.epoch;
+      out->push_back(cluster);
+    }
+  });
+}
+
+/// \brief Engine provider (see clustering/engine.h) producing LSH cluster
+/// shortlists. Also usable standalone for any "candidate clusters of this
+/// item" query.
+template <typename Family>
+class ShortlistProvider {
+ public:
+  using Dataset = typename Family::Dataset;
+  using Options = typename Family::Options;
+
+  /// \param options family/index configuration
+  /// \param num_clusters k — shortlist entries are cluster ids < k
+  ShortlistProvider(const Options& options, uint32_t num_clusters)
+      : family_(options), num_clusters_(num_clusters) {
+    LSHC_CHECK_GE(num_clusters, 1u) << "need at least one cluster";
+    scratch_ = MakeScratch();
+  }
+
+  /// Engine contract: shortlists instead of exhaustive scans.
+  static constexpr bool kExhaustive = false;
+
+  /// Per-caller query state (see ClusterDedupScratch).
+  using Scratch = ClusterDedupScratch;
+
+  /// A fresh scratch sized for this provider's cluster count.
+  Scratch MakeScratch() const { return MakeClusterDedupScratch(num_clusters_); }
+
+  /// Computes all signatures and builds the banding index (the one-time
+  /// pass of Alg. 2). Called by the engine after the initial assignment.
+  Status Prepare(const Dataset& dataset) {
+    const uint32_t n = dataset.num_items();
+    if (n == 0) return Status::InvalidArgument("dataset is empty");
+
+    Stopwatch watch;
+    std::vector<uint64_t> signatures;
+    LSHC_RETURN_NOT_OK(family_.ComputeSignatures(dataset, &signatures));
+    signature_seconds_ = watch.ElapsedSeconds();
+
+    watch.Restart();
+    const std::vector<uint32_t> layout = family_.BandLayout();
+    index_ = std::make_unique<BandedIndex>(signatures, n, layout);
+    index_seconds_ = watch.ElapsedSeconds();
+
+    if (family_.keep_signatures()) {
+      signatures_ = std::move(signatures);
+    }
+    return Status::OK();
+  }
+
+  /// Fills `out` with the deduplicated candidate clusters of `item`:
+  /// the clusters *currently* containing the items LSH considers similar
+  /// to it, plus the item's own current cluster. Reads `assignment` as the
+  /// cluster-reference store (the engine passes its per-pass snapshot).
+  /// Thread-safe given a private `scratch`.
+  void GetCandidates(uint32_t item, std::span<const uint32_t> assignment,
+                     Scratch& scratch, std::vector<uint32_t>* out) const {
+    LSHC_DCHECK(index_ != nullptr) << "Prepare() must run before queries";
+    CollectCandidateClusters(item, assignment, scratch, out,
+                             [&](auto&& sink) {
+                               index_->VisitCandidates(item, sink);
+                             });
+  }
+
+  /// Sequential convenience overload using the provider-owned scratch.
+  void GetCandidates(uint32_t item, std::span<const uint32_t> assignment,
+                     std::vector<uint32_t>* out) {
+    GetCandidates(item, assignment, scratch_, out);
+  }
+
+  /// As GetCandidates but for an external item given by its
+  /// family-specific query representation (e.g. a token set for MinHash, a
+  /// vector for SimHash) — a new item arriving after clustering. Only
+  /// available for families exposing ComputeQuerySignature.
+  template <typename Query>
+  void GetCandidatesForQuery(const Query& query,
+                             std::span<const uint32_t> assignment,
+                             std::vector<uint32_t>* out) {
+    LSHC_CHECK(index_ != nullptr) << "Prepare() must run before queries";
+    out->clear();
+    ++scratch_.epoch;
+    std::vector<uint64_t> signature(family_.signature_width());
+    family_.ComputeQuerySignature(query, signature.data());
+    index_->VisitCandidatesOfSignature(signature, [&](uint32_t other) {
+      const uint32_t cluster = assignment[other];
+      if (scratch_.cluster_stamp[cluster] != scratch_.epoch) {
+        scratch_.cluster_stamp[cluster] = scratch_.epoch;
+        out->push_back(cluster);
+      }
+    });
+  }
+
+  /// Historical name of the categorical external query: candidates for a
+  /// token set in the dataset's code space.
+  void GetCandidatesForTokens(std::span<const uint32_t> tokens,
+                              std::span<const uint32_t> assignment,
+                              std::vector<uint32_t>* out) {
+    GetCandidatesForQuery(tokens, assignment, out);
+  }
+
+  /// The hash family (hashers + configuration).
+  const Family& family() const { return family_; }
+
+  /// The underlying banding index (null before Prepare).
+  const BandedIndex* index() const { return index_.get(); }
+
+  /// Occupancy statistics of the underlying index.
+  BandedIndex::Stats IndexStats() const {
+    LSHC_CHECK(index_ != nullptr) << "Prepare() must run before IndexStats";
+    return index_->ComputeStats();
+  }
+
+  /// Approximate heap footprint (index + any kept signatures).
+  uint64_t MemoryUsageBytes() const {
+    uint64_t bytes = sizeof(*this);
+    if (index_ != nullptr) bytes += index_->MemoryUsageBytes();
+    bytes += signatures_.size() * sizeof(uint64_t);
+    bytes += scratch_.cluster_stamp.size() * sizeof(uint32_t);
+    bytes += family_.MemoryUsageBytes();
+    return bytes;
+  }
+
+  /// Seconds spent in the last Prepare, split into signature computation
+  /// and index construction.
+  double signature_seconds() const { return signature_seconds_; }
+  double index_seconds() const { return index_seconds_; }
+
+ private:
+  Family family_;
+  uint32_t num_clusters_;
+  std::unique_ptr<BandedIndex> index_;
+  std::vector<uint64_t> signatures_;  // kept only if family says so
+  Scratch scratch_;                   // for the sequential overloads
+
+  double signature_seconds_ = 0;
+  double index_seconds_ = 0;
+};
+
+}  // namespace lshclust

@@ -9,14 +9,48 @@ BandedIndex::BandedIndex(std::span<const uint64_t> signatures,
     : num_items_(num_items), params_(params) {
   LSHC_CHECK(params.bands >= 1 && params.rows >= 1)
       << "banding needs at least one band and one row";
+  signature_width_ = params.num_hashes();
+  bands_.resize(params.bands);
+  for (uint32_t b = 0; b < params.bands; ++b) {
+    bands_[b].offset = b * params.rows;
+    bands_[b].rows = params.rows;
+  }
+  Build(signatures);
+}
+
+BandedIndex::BandedIndex(std::span<const uint64_t> signatures,
+                         uint32_t num_items,
+                         std::span<const uint32_t> band_rows)
+    : num_items_(num_items) {
+  LSHC_CHECK_GE(band_rows.size(), 1u)
+      << "banding needs at least one band";
+  bands_.resize(band_rows.size());
+  uint32_t offset = 0;
+  for (size_t b = 0; b < band_rows.size(); ++b) {
+    LSHC_CHECK_GE(band_rows[b], 1u) << "every band needs at least one row";
+    bands_[b].offset = offset;
+    bands_[b].rows = band_rows[b];
+    offset += band_rows[b];
+  }
+  signature_width_ = offset;
+  // Summary shape: rows is only meaningful when uniform.
+  const bool uniform = std::all_of(
+      band_rows.begin(), band_rows.end(),
+      [&](uint32_t rows) { return rows == band_rows[0]; });
+  params_ = {static_cast<uint32_t>(band_rows.size()),
+             uniform ? band_rows[0] : 0};
+  Build(signatures);
+}
+
+void BandedIndex::Build(std::span<const uint64_t> signatures) {
   LSHC_CHECK_EQ(signatures.size(),
-                static_cast<size_t>(num_items) * params.num_hashes())
+                static_cast<size_t>(num_items_) * signature_width_)
       << "signature matrix size does not match items x hashes";
 
-  const uint32_t width = params_.num_hashes();
-  bands_.resize(params_.bands);
+  const uint32_t num_items = num_items_;
+  const uint32_t width = signature_width_;
 
-  for (uint32_t b = 0; b < params_.bands; ++b) {
+  for (uint32_t b = 0; b < num_bands(); ++b) {
     Band& band = bands_[b];
     band.key_to_bucket.Reserve(num_items);
     band.item_bucket.resize(num_items);

@@ -40,18 +40,40 @@ inline uint64_t ComputeBandKey(const uint64_t* band_rows, uint32_t band,
 
 /// \brief Immutable banding index; query by member item id or by external
 /// signature.
+///
+/// Bands are laid out consecutively over the signature but need not all
+/// have the same row count: a heterogeneous layout lets one index serve
+/// concatenated multi-family signatures (e.g. the mixed MinHash + SimHash
+/// signature of LSH-K-Prototypes, whose modalities want very different
+/// band shapes). Candidate semantics are unchanged — a pair is a
+/// candidate iff it collides in at least one band of the layout, which
+/// for a concatenated layout is exactly the union of the per-family
+/// candidate sets.
 class BandedIndex {
  public:
-  /// Builds the index.
+  /// Builds a uniform index: b bands of r rows.
   /// \param signatures row-major n x (bands*rows) signature matrix
   /// \param num_items n
   /// \param params banding shape; bands*rows must equal the signature width
   BandedIndex(std::span<const uint64_t> signatures, uint32_t num_items,
               BandingParams params);
 
+  /// Builds a heterogeneous index: band i covers band_rows[i] consecutive
+  /// signature components, in order.
+  /// \param signatures row-major n x sum(band_rows) signature matrix
+  /// \param num_items n
+  /// \param band_rows rows per band; all entries must be >= 1
+  BandedIndex(std::span<const uint64_t> signatures, uint32_t num_items,
+              std::span<const uint32_t> band_rows);
+
   /// Number of indexed items.
   uint32_t num_items() const { return num_items_; }
-  /// The banding shape.
+  /// Number of bands.
+  uint32_t num_bands() const { return static_cast<uint32_t>(bands_.size()); }
+  /// Total signature components covered by the layout.
+  uint32_t signature_width() const { return signature_width_; }
+  /// The banding shape. For a heterogeneous layout `rows` is 0 (there is
+  /// no single row count); `bands` is always the band count.
   BandingParams params() const { return params_; }
 
   /// Invokes `visit(item_id)` for every item sharing a bucket with `item`
@@ -61,8 +83,7 @@ class BandedIndex {
   template <typename Visitor>
   void VisitCandidates(uint32_t item, Visitor&& visit) const {
     LSHC_DCHECK(item < num_items_) << "item index out of range";
-    for (uint32_t b = 0; b < params_.bands; ++b) {
-      const Band& band = bands_[b];
+    for (const Band& band : bands_) {
       const uint32_t bucket = band.item_bucket[item];
       const uint32_t begin = band.bucket_offsets[bucket];
       const uint32_t end = band.bucket_offsets[bucket + 1];
@@ -73,18 +94,18 @@ class BandedIndex {
   }
 
   /// Invokes `visit(item_id)` for every indexed item sharing a bucket with
-  /// the external `signature` (length params().num_hashes()). Bands whose
+  /// the external `signature` (length signature_width()). Bands whose
   /// key was never inserted are skipped.
   template <typename Visitor>
   void VisitCandidatesOfSignature(std::span<const uint64_t> signature,
                                   Visitor&& visit) const {
-    LSHC_DCHECK(signature.size() == params_.num_hashes())
+    LSHC_DCHECK(signature.size() == signature_width_)
         << "signature width mismatch";
-    for (uint32_t b = 0; b < params_.bands; ++b) {
+    for (uint32_t b = 0; b < num_bands(); ++b) {
       const uint64_t key = BandKey(signature.data(), b);
-      const uint32_t* bucket = bands_[b].key_to_bucket.Find(key);
-      if (bucket == nullptr) continue;
       const Band& band = bands_[b];
+      const uint32_t* bucket = band.key_to_bucket.Find(key);
+      if (bucket == nullptr) continue;
       const uint32_t begin = band.bucket_offsets[*bucket];
       const uint32_t end = band.bucket_offsets[*bucket + 1];
       for (uint32_t i = begin; i < end; ++i) {
@@ -95,7 +116,7 @@ class BandedIndex {
 
   /// The number of items in `item`'s bucket of band `b` (including itself).
   uint32_t BucketSize(uint32_t band, uint32_t item) const {
-    LSHC_DCHECK(band < params_.bands && item < num_items_);
+    LSHC_DCHECK(band < num_bands() && item < num_items_);
     const Band& b = bands_[band];
     const uint32_t bucket = b.item_bucket[item];
     return b.bucket_offsets[bucket + 1] - b.bucket_offsets[bucket];
@@ -119,17 +140,21 @@ class BandedIndex {
     std::vector<uint32_t> bucket_offsets; // CSR offsets, size buckets+1
     std::vector<uint32_t> bucket_items;   // CSR payload, size n
     std::vector<uint32_t> item_bucket;    // item -> its bucket id, size n
+    uint32_t offset = 0;                  // first signature component
+    uint32_t rows = 0;                    // components in this band
   };
+
+  void Build(std::span<const uint64_t> signatures);
 
   /// Band key of one band of a full signature.
   uint64_t BandKey(const uint64_t* signature, uint32_t band) const {
-    return ComputeBandKey(
-        signature + static_cast<size_t>(band) * params_.rows, band,
-        params_.rows);
+    return ComputeBandKey(signature + bands_[band].offset, band,
+                          bands_[band].rows);
   }
 
   uint32_t num_items_;
   BandingParams params_;
+  uint32_t signature_width_ = 0;
   std::vector<Band> bands_;
 };
 

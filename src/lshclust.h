@@ -19,6 +19,7 @@
 #include "util/rng.h"            // IWYU pragma: export
 #include "util/status.h"         // IWYU pragma: export
 #include "util/stopwatch.h"      // IWYU pragma: export
+#include "util/thread_pool.h"    // IWYU pragma: export
 #include "util/string_util.h"    // IWYU pragma: export
 
 // Hashing substrate.
@@ -56,6 +57,7 @@
 
 // Clustering substrates.
 #include "clustering/canopy.h"         // IWYU pragma: export
+#include "clustering/centroid_table.h" // IWYU pragma: export
 #include "clustering/dissimilarity.h"  // IWYU pragma: export
 #include "clustering/engine.h"         // IWYU pragma: export
 #include "clustering/fuzzy_kmodes.h"   // IWYU pragma: export
@@ -78,4 +80,5 @@
 #include "core/lsh_kprototypes.h"          // IWYU pragma: export
 #include "core/mh_kmodes.h"                // IWYU pragma: export
 #include "core/reporters.h"                // IWYU pragma: export
+#include "core/shortlist_provider.h"       // IWYU pragma: export
 #include "core/streaming.h"                // IWYU pragma: export

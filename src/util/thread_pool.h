@@ -1,0 +1,120 @@
+#pragma once
+
+/// \file thread_pool.h
+/// \brief A small fixed-size worker pool with a blocking ParallelFor, used
+/// by the clustering engine's batch-parallel assignment step.
+///
+/// The pool is deliberately minimal: one kind of job (a chunked index
+/// range), one caller at a time, no futures. Determinism is the caller's
+/// concern — ParallelFor only guarantees that every chunk runs exactly
+/// once and that the call returns after the last chunk finished. Workers
+/// receive a stable `worker_index` in [0, num_threads) so callers can give
+/// each worker its own scratch state instead of locking.
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <condition_variable>
+#include <thread>
+#include <vector>
+
+namespace lshclust {
+
+/// \brief Fixed pool of worker threads executing chunked index ranges.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least one).
+  explicit ThreadPool(uint32_t num_threads) {
+    const uint32_t count = std::max(1u, num_threads);
+    workers_.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      workers_.emplace_back([this, i] { WorkerLoop(i); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& worker : workers_) worker.join();
+  }
+
+  /// Number of worker threads.
+  uint32_t num_threads() const {
+    return static_cast<uint32_t>(workers_.size());
+  }
+
+  /// Splits [begin, end) into consecutive chunks of `chunk_size` (the last
+  /// chunk may be shorter) and invokes
+  /// `fn(chunk_begin, chunk_end, worker_index)` for each across the
+  /// workers. Blocks until every chunk completed. Chunk boundaries are a
+  /// pure function of (begin, end, chunk_size) — never of thread timing —
+  /// so callers that keep per-chunk results get a deterministic
+  /// decomposition. Must not be called concurrently or from a worker.
+  void ParallelFor(uint32_t begin, uint32_t end, uint32_t chunk_size,
+                   const std::function<void(uint32_t, uint32_t, uint32_t)>& fn) {
+    if (begin >= end) return;
+    chunk_size = std::max(1u, chunk_size);
+    std::unique_lock<std::mutex> lock(mutex_);
+    begin_ = begin;
+    end_ = end;
+    chunk_size_ = chunk_size;
+    next_ = begin;
+    completed_ = 0;
+    total_chunks_ =
+        (static_cast<uint64_t>(end) - begin + chunk_size - 1) / chunk_size;
+    fn_ = &fn;
+    ++generation_;
+    work_cv_.notify_all();
+    done_cv_.wait(lock, [this] { return completed_ == total_chunks_; });
+    fn_ = nullptr;
+  }
+
+ private:
+  void WorkerLoop(uint32_t worker_index) {
+    uint64_t seen_generation = 0;
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (true) {
+      work_cv_.wait(lock, [&] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      while (next_ < end_) {
+        const uint32_t chunk_begin = next_;
+        const uint32_t chunk_end =
+            static_cast<uint32_t>(std::min<uint64_t>(
+                end_, static_cast<uint64_t>(chunk_begin) + chunk_size_));
+        next_ = chunk_end;
+        const auto* fn = fn_;
+        lock.unlock();
+        (*fn)(chunk_begin, chunk_end, worker_index);
+        lock.lock();
+        ++completed_;
+        if (completed_ == total_chunks_) done_cv_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+  const std::function<void(uint32_t, uint32_t, uint32_t)>* fn_ = nullptr;
+  uint32_t begin_ = 0;
+  uint32_t end_ = 0;
+  uint32_t chunk_size_ = 1;
+  uint32_t next_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t total_chunks_ = 0;
+  uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace lshclust

@@ -1,0 +1,334 @@
+// Parity tests for the unified clustering engine: the single
+// ClusteringEngine body must reproduce the per-algorithm engines it
+// replaced bit-for-bit, and the batch-parallel assignment step must be
+// invisible — num_threads=1 and num_threads=4 produce identical
+// assignments, move counts and costs for every family, exhaustive and
+// LSH-accelerated alike.
+//
+// The golden values below were captured from the pre-unification
+// per-algorithm implementations (clustering/engine.h K-Modes,
+// clustering/kmeans.h Lloyd, clustering/kprototypes.h) on these exact
+// fixtures and seeds. Drift in seeding, distance kernels, update rules
+// or iteration structure shows up here. One *deliberate* semantic change
+// is invisible on these fixtures: shortlist queries now dereference a
+// per-pass snapshot of the assignment instead of the live array (the
+// price of thread-count-invariant determinism), which can alter LSH-run
+// results on datasets where mid-pass moves would have changed later
+// items' shortlists. The exhaustive goldens are exact regardless; the
+// LSH goldens double as evidence the fixtures are insensitive to it.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "clustering/kmodes.h"
+#include "clustering/kprototypes.h"
+#include "core/lsh_kmeans.h"
+#include "core/lsh_kprototypes.h"
+#include "core/mh_kmodes.h"
+#include "datagen/conjunctive_generator.h"
+#include "datagen/gaussian_mixture.h"
+#include "datagen/mixed_generator.h"
+
+namespace lshclust {
+namespace {
+
+// FNV-1a over the assignment vector: a compact bit-for-bit fingerprint.
+uint64_t AssignmentFingerprint(const std::vector<uint32_t>& assignment) {
+  uint64_t hash = 1469598103934665603ULL;
+  for (const uint32_t cluster : assignment) {
+    hash ^= cluster;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+CategoricalDataset CategoricalFixture() {
+  ConjunctiveDataOptions options;
+  options.num_items = 300;
+  options.num_attributes = 12;
+  options.num_clusters = 8;
+  options.domain_size = 40;
+  options.seed = 17;
+  return GenerateConjunctiveRuleData(options).ValueOrDie();
+}
+
+NumericDataset NumericFixture() {
+  GaussianMixtureOptions options;
+  options.num_items = 240;
+  options.dimensions = 6;
+  options.num_clusters = 6;
+  options.stddev = 0.4;
+  options.seed = 31;
+  return GenerateGaussianMixture(options).ValueOrDie();
+}
+
+MixedDataset MixedFixture() {
+  MixedDataOptions options;
+  options.categorical.num_items = 200;
+  options.categorical.num_attributes = 8;
+  options.categorical.num_clusters = 5;
+  options.categorical.domain_size = 25;
+  options.categorical.seed = 41;
+  options.numeric_dimensions = 4;
+  options.stddev = 0.5;
+  return GenerateMixedData(options).ValueOrDie();
+}
+
+void ExpectIdenticalRuns(const ClusteringResult& a, const ClusteringResult& b) {
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.converged, b.converged);
+  // Costs must agree to the bit, not within a tolerance: both runs are
+  // required to execute the same floating-point operations in the same
+  // order.
+  EXPECT_EQ(a.final_cost, b.final_cost);
+  ASSERT_EQ(a.iterations.size(), b.iterations.size());
+  for (size_t i = 0; i < a.iterations.size(); ++i) {
+    EXPECT_EQ(a.iterations[i].moves, b.iterations[i].moves);
+    EXPECT_EQ(a.iterations[i].cost, b.iterations[i].cost);
+    EXPECT_EQ(a.iterations[i].mean_shortlist, b.iterations[i].mean_shortlist);
+  }
+}
+
+// ------------------------------------------ golden (pre-refactor) parity --
+
+TEST(EngineGoldenParityTest, KModesReproducesPreUnificationResults) {
+  const auto dataset = CategoricalFixture();
+  EngineOptions options;
+  options.num_clusters = 8;
+  options.seed = 21;
+  const auto result = RunKModes(dataset, options).ValueOrDie();
+  EXPECT_EQ(result.iterations.size(), 2u);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.final_cost, 1711.0);
+  EXPECT_EQ(result.TotalMoves(), 35u);
+  EXPECT_EQ(AssignmentFingerprint(result.assignment), 0x3423685dafce5648ULL);
+}
+
+TEST(EngineGoldenParityTest, MHKModesReproducesPreUnificationResults) {
+  const auto dataset = CategoricalFixture();
+  MHKModesOptions options;
+  options.engine.num_clusters = 8;
+  options.engine.seed = 21;
+  options.index.banding = {8, 2};
+  options.index.seed = 77;
+  const auto run = RunMHKModes(dataset, options).ValueOrDie();
+  EXPECT_EQ(run.result.iterations.size(), 2u);
+  EXPECT_TRUE(run.result.converged);
+  EXPECT_EQ(run.result.final_cost, 1711.0);
+  EXPECT_EQ(run.result.TotalMoves(), 35u);
+  EXPECT_EQ(AssignmentFingerprint(run.result.assignment),
+            0x3423685dafce5648ULL);
+}
+
+TEST(EngineGoldenParityTest, KMeansReproducesPreUnificationResults) {
+  const auto dataset = NumericFixture();
+  KMeansOptions options;
+  options.num_clusters = 6;
+  options.seed = 33;
+  const auto result = RunKMeans(dataset, options).ValueOrDie();
+  EXPECT_EQ(result.iterations.size(), 5u);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.final_cost, 3444.6286874818047);
+  EXPECT_EQ(result.TotalMoves(), 14u);
+  EXPECT_EQ(AssignmentFingerprint(result.assignment), 0x89731a86c434c228ULL);
+}
+
+TEST(EngineGoldenParityTest, LshKMeansReproducesPreUnificationResults) {
+  const auto dataset = NumericFixture();
+  LshKMeansOptions options;
+  options.kmeans.num_clusters = 6;
+  options.kmeans.seed = 33;
+  options.banding = {12, 3};
+  options.seed = 55;
+  const auto result = RunLshKMeans(dataset, options).ValueOrDie();
+  EXPECT_EQ(result.iterations.size(), 5u);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.final_cost, 3444.6286874818047);
+  EXPECT_EQ(result.TotalMoves(), 14u);
+  EXPECT_EQ(AssignmentFingerprint(result.assignment), 0x89731a86c434c228ULL);
+}
+
+TEST(EngineGoldenParityTest, KPrototypesReproducesPreUnificationResults) {
+  const auto dataset = MixedFixture();
+  KPrototypesOptions options;
+  options.num_clusters = 5;
+  options.seed = 43;
+  options.gamma = 0.8;
+  const auto result = RunKPrototypes(dataset, options).ValueOrDie();
+  EXPECT_EQ(result.iterations.size(), 2u);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.final_cost, 1898.1575139585696);
+  EXPECT_EQ(result.TotalMoves(), 4u);
+  EXPECT_EQ(AssignmentFingerprint(result.assignment), 0x5718db93db6e1fd5ULL);
+}
+
+TEST(EngineGoldenParityTest, LshKPrototypesReproducesPreUnificationResults) {
+  const auto dataset = MixedFixture();
+  LshKPrototypesOptions options;
+  options.kprototypes.num_clusters = 5;
+  options.kprototypes.seed = 43;
+  options.kprototypes.gamma = 0.8;
+  options.categorical_banding = {10, 2};
+  options.numeric_banding = {6, 8};
+  options.seed = 91;
+  const auto result = RunLshKPrototypes(dataset, options).ValueOrDie();
+  EXPECT_EQ(result.iterations.size(), 2u);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.final_cost, 1898.1575139585696);
+  EXPECT_EQ(result.TotalMoves(), 4u);
+  EXPECT_EQ(AssignmentFingerprint(result.assignment), 0x5718db93db6e1fd5ULL);
+}
+
+// -------------------------------------------------- thread-count parity --
+
+TEST(EngineThreadParityTest, KModesExhaustiveAndShortlist) {
+  const auto dataset = CategoricalFixture();
+  EngineOptions options;
+  options.num_clusters = 8;
+  options.seed = 21;
+
+  options.num_threads = 1;
+  const auto exhaustive_1t = RunKModes(dataset, options).ValueOrDie();
+  options.num_threads = 4;
+  const auto exhaustive_4t = RunKModes(dataset, options).ValueOrDie();
+  ExpectIdenticalRuns(exhaustive_1t, exhaustive_4t);
+
+  MHKModesOptions mh;
+  mh.engine = options;
+  mh.index.banding = {8, 2};
+  mh.index.seed = 77;
+  mh.engine.num_threads = 1;
+  const auto shortlist_1t = RunMHKModes(dataset, mh).ValueOrDie();
+  mh.engine.num_threads = 4;
+  const auto shortlist_4t = RunMHKModes(dataset, mh).ValueOrDie();
+  ExpectIdenticalRuns(shortlist_1t.result, shortlist_4t.result);
+}
+
+TEST(EngineThreadParityTest, KMeansExhaustiveAndShortlist) {
+  const auto dataset = NumericFixture();
+  KMeansOptions options;
+  options.num_clusters = 6;
+  options.seed = 33;
+
+  options.num_threads = 1;
+  const auto exhaustive_1t = RunKMeans(dataset, options).ValueOrDie();
+  options.num_threads = 4;
+  const auto exhaustive_4t = RunKMeans(dataset, options).ValueOrDie();
+  ExpectIdenticalRuns(exhaustive_1t, exhaustive_4t);
+
+  LshKMeansOptions lsh;
+  lsh.kmeans = options;
+  lsh.banding = {12, 3};
+  lsh.seed = 55;
+  lsh.kmeans.num_threads = 1;
+  const auto shortlist_1t = RunLshKMeans(dataset, lsh).ValueOrDie();
+  lsh.kmeans.num_threads = 4;
+  const auto shortlist_4t = RunLshKMeans(dataset, lsh).ValueOrDie();
+  ExpectIdenticalRuns(shortlist_1t, shortlist_4t);
+}
+
+TEST(EngineThreadParityTest, KPrototypesExhaustiveAndShortlist) {
+  const auto dataset = MixedFixture();
+  KPrototypesOptions options;
+  options.num_clusters = 5;
+  options.seed = 43;
+  options.gamma = 0.8;
+
+  options.num_threads = 1;
+  const auto exhaustive_1t = RunKPrototypes(dataset, options).ValueOrDie();
+  options.num_threads = 4;
+  const auto exhaustive_4t = RunKPrototypes(dataset, options).ValueOrDie();
+  ExpectIdenticalRuns(exhaustive_1t, exhaustive_4t);
+
+  LshKPrototypesOptions lsh;
+  lsh.kprototypes = options;
+  lsh.categorical_banding = {10, 2};
+  lsh.numeric_banding = {6, 8};
+  lsh.seed = 91;
+  lsh.kprototypes.num_threads = 1;
+  const auto shortlist_1t = RunLshKPrototypes(dataset, lsh).ValueOrDie();
+  lsh.kprototypes.num_threads = 4;
+  const auto shortlist_4t = RunLshKPrototypes(dataset, lsh).ValueOrDie();
+  ExpectIdenticalRuns(shortlist_1t, shortlist_4t);
+}
+
+// Larger-than-fixture K-Modes run where assignment passes actually split
+// into several chunks per worker, with a banding loose enough that
+// shortlists stay large and iterations keep moving items — a harder
+// determinism target than the tidy fixtures above.
+TEST(EngineThreadParityTest, ManyChunksManyMoves) {
+  ConjunctiveDataOptions data;
+  data.num_items = 5000;
+  data.num_attributes = 10;
+  data.num_clusters = 40;
+  data.domain_size = 25;  // noisy: plenty of moves per iteration
+  data.seed = 71;
+  const auto dataset = GenerateConjunctiveRuleData(data).ValueOrDie();
+
+  MHKModesOptions options;
+  options.engine.num_clusters = 40;
+  options.engine.seed = 73;
+  options.index.banding = {6, 1};  // aggressive recall -> big shortlists
+  options.index.seed = 75;
+
+  options.engine.num_threads = 1;
+  const auto run_1t = RunMHKModes(dataset, options).ValueOrDie();
+  options.engine.num_threads = 4;
+  const auto run_4t = RunMHKModes(dataset, options).ValueOrDie();
+  ExpectIdenticalRuns(run_1t.result, run_4t.result);
+  EXPECT_GT(run_1t.result.TotalMoves(), 0u);
+}
+
+// Numeric twin of ManyChunksManyMoves: floating-point distances across
+// several chunks per pass, exhaustive and SimHash-shortlist.
+TEST(EngineThreadParityTest, ManyChunksNumeric) {
+  GaussianMixtureOptions data;
+  data.num_items = 4000;
+  data.dimensions = 8;
+  data.num_clusters = 25;
+  data.stddev = 3.0;  // heavy overlap: moves keep happening
+  data.seed = 81;
+  const auto dataset = GenerateGaussianMixture(data).ValueOrDie();
+
+  KMeansOptions options;
+  options.num_clusters = 25;
+  options.seed = 83;
+  options.max_iterations = 15;
+
+  options.num_threads = 1;
+  const auto exhaustive_1t = RunKMeans(dataset, options).ValueOrDie();
+  options.num_threads = 4;
+  const auto exhaustive_4t = RunKMeans(dataset, options).ValueOrDie();
+  ExpectIdenticalRuns(exhaustive_1t, exhaustive_4t);
+  EXPECT_GT(exhaustive_1t.TotalMoves(), 0u);
+
+  LshKMeansOptions lsh;
+  lsh.kmeans = options;
+  lsh.banding = {16, 2};
+  lsh.seed = 85;
+  lsh.kmeans.num_threads = 1;
+  const auto shortlist_1t = RunLshKMeans(dataset, lsh).ValueOrDie();
+  lsh.kmeans.num_threads = 4;
+  const auto shortlist_4t = RunLshKMeans(dataset, lsh).ValueOrDie();
+  ExpectIdenticalRuns(shortlist_1t, shortlist_4t);
+}
+
+// The unified engine must also accept an exhaustive provider through the
+// generic entry point with threads (regression for the provider concept
+// detection: ExhaustiveProvider has no scratch and must not be asked for
+// one).
+TEST(EngineThreadParityTest, ExhaustiveProviderHasNoScratchRequirement) {
+  const auto dataset = NumericFixture();
+  KMeansOptions options;
+  options.num_clusters = 6;
+  options.seed = 33;
+  options.num_threads = 3;
+  ExhaustiveProvider provider;
+  const auto result =
+      RunKMeansEngine(dataset, options, provider).ValueOrDie();
+  EXPECT_EQ(AssignmentFingerprint(result.assignment), 0x89731a86c434c228ULL);
+}
+
+}  // namespace
+}  // namespace lshclust

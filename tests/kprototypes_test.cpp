@@ -180,8 +180,7 @@ TEST(LshKPrototypesTest, EitherModalityCanSupplyCandidates) {
       MixedDataset::Combine(std::move(categorical), std::move(numeric))
           .ValueOrDie();
 
-  LshKPrototypesOptions options;
-  options.kprototypes.num_clusters = 2;
+  MixedIndexOptions options;
   MixedShortlistProvider provider(options, 2);
   ASSERT_TRUE(provider.Prepare(dataset).ok());
   const std::vector<uint32_t> assignment{0, 1};
