@@ -1,0 +1,167 @@
+// Streaming-ingest throughput across worker-thread counts, plus the
+// parallel signature/index-build (Prepare) split — the two paths PR 2
+// routed through the thread pool. IngestBatch results are bit-identical
+// to a sequential Ingest loop at every thread count (asserted in
+// tests/streaming_test.cpp), so the only thing that changes here is the
+// wall time.
+//
+// Flags: --warmup, --stream, --attrs, --clusters, --batch, --seed,
+//        --threads (comma list, default 1,2,4,8)
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/cluster_shortlist_index.h"
+#include "core/streaming.h"
+#include "data/slicing.h"
+#include "datagen/conjunctive_generator.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace lshclust;
+
+bool ParseThreadList(const std::string& spec,
+                     std::vector<uint32_t>* threads) {
+  threads->clear();
+  for (const auto& field : Split(spec, ',')) {
+    if (field.empty()) continue;
+    size_t consumed = 0;
+    unsigned long value = 0;
+    try {
+      value = std::stoul(field, &consumed);
+    } catch (const std::exception&) {
+      return false;
+    }
+    if (consumed != field.size() || value == 0 || value > 1024) return false;
+    threads->push_back(static_cast<uint32_t>(value));
+  }
+  return !threads->empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t warmup_items = 20000;
+  int64_t stream_items = 40000;
+  int64_t attrs = 32;
+  int64_t clusters = 200;
+  int64_t batch = 1024;
+  int64_t seed = 42;
+  std::string threads_spec = "1,2,4,8";
+
+  FlagSet flags("streaming_ingest");
+  flags.AddInt64("warmup", &warmup_items, "items in the warm-up batch");
+  flags.AddInt64("stream", &stream_items, "items arriving afterwards");
+  flags.AddInt64("attrs", &attrs, "categorical attributes");
+  flags.AddInt64("clusters", &clusters, "clusters k");
+  flags.AddInt64("batch", &batch, "micro-batch size for IngestBatch");
+  flags.AddInt64("seed", &seed, "RNG seed");
+  flags.AddString("threads", &threads_spec,
+                  "comma-separated worker-thread counts");
+  const Status flag_status = flags.Parse(argc, argv);
+  if (flag_status.IsAlreadyExists()) return 0;
+  LSHC_CHECK_OK(flag_status);
+
+  if (batch < 1) {
+    std::fprintf(stderr, "error: --batch must be >= 1, got %lld\n",
+                 static_cast<long long>(batch));
+    return 1;
+  }
+  std::vector<uint32_t> thread_counts;
+  if (!ParseThreadList(threads_spec, &thread_counts)) {
+    std::fprintf(stderr,
+                 "error: --threads wants a comma list of counts in "
+                 "[1, 1024], got \"%s\"\n",
+                 threads_spec.c_str());
+    return 1;
+  }
+
+  ConjunctiveDataOptions data;
+  data.num_items = static_cast<uint32_t>(warmup_items + stream_items);
+  data.num_attributes = static_cast<uint32_t>(attrs);
+  data.num_clusters = static_cast<uint32_t>(clusters);
+  data.domain_size = 4 * static_cast<uint32_t>(clusters);
+  data.seed = static_cast<uint64_t>(seed);
+  const auto all = GenerateConjunctiveRuleData(data).ValueOrDie();
+  const auto warmup =
+      SliceDataset(all, 0, static_cast<uint32_t>(warmup_items)).ValueOrDie();
+  const uint32_t m = all.num_attributes();
+
+  std::printf("== warmup %lld + stream %lld items x %lld attrs, k=%lld, "
+              "banding 20b 5r, batch=%lld ==\n",
+              static_cast<long long>(warmup_items),
+              static_cast<long long>(stream_items),
+              static_cast<long long>(attrs),
+              static_cast<long long>(clusters),
+              static_cast<long long>(batch));
+
+  // --- Prepare (signature + index build) scaling over the full dataset.
+  std::printf("\n-- ShortlistProvider::Prepare --\n");
+  double prepare_baseline = 0;
+  for (const uint32_t threads : thread_counts) {
+    ShortlistIndexOptions index_options;
+    index_options.banding = {20, 5};
+    ClusterShortlistProvider provider(index_options,
+                                      static_cast<uint32_t>(clusters));
+    std::optional<ThreadPool> pool;
+    if (threads > 1) pool.emplace(threads);
+    Stopwatch watch;
+    LSHC_CHECK_OK(provider.Prepare(all, pool ? &*pool : nullptr));
+    const double seconds = watch.ElapsedSeconds();
+    if (threads == thread_counts.front()) prepare_baseline = seconds;
+    std::printf("prepare           threads=%u  total=%7.3fs  "
+                "(sign=%7.3fs, index=%7.3fs)  speedup=%.2fx\n",
+                threads, seconds, provider.signature_seconds(),
+                provider.index_seconds(),
+                seconds > 0 ? prepare_baseline / seconds : 0.0);
+  }
+
+  // --- IngestBatch throughput.
+  std::printf("\n-- StreamingMHKModes::IngestBatch --\n");
+  double ingest_baseline = 0;
+  for (const uint32_t threads : thread_counts) {
+    StreamingMHKModesOptions options;
+    options.bootstrap.engine.num_clusters = static_cast<uint32_t>(clusters);
+    options.bootstrap.engine.seed = static_cast<uint64_t>(seed);
+    options.bootstrap.engine.num_threads = threads;
+    options.bootstrap.index.banding = {20, 5};
+    options.ingest_threads = threads;
+    auto stream = StreamingMHKModes::Bootstrap(warmup, options).ValueOrDie();
+
+    Stopwatch watch;
+    uint32_t item = static_cast<uint32_t>(warmup_items);
+    while (item < all.num_items()) {
+      const uint32_t take = std::min(static_cast<uint32_t>(batch),
+                                     all.num_items() - item);
+      const std::span<const uint32_t> rows(
+          all.codes().data() + static_cast<size_t>(item) * m,
+          static_cast<size_t>(take) * m);
+      LSHC_CHECK_OK(stream.IngestBatch(rows).status());
+      item += take;
+    }
+    const double seconds = watch.ElapsedSeconds();
+    if (threads == thread_counts.front()) ingest_baseline = seconds;
+    const auto& stats = stream.stats();
+    std::printf("ingest            threads=%u  time=%7.3fs  "
+                "throughput=%9.0f items/s  speedup=%.2fx  "
+                "(mean shortlist=%.2f, fallbacks=%" PRIu64
+                ", revalidated=%" PRIu64 ", rewalked=%" PRIu64 ")\n",
+                threads, seconds,
+                seconds > 0 ? stream_items / seconds : 0.0,
+                seconds > 0 ? ingest_baseline / seconds : 0.0,
+                stats.mean_shortlist(), stats.exhaustive_fallbacks,
+                stats.revalidated, stats.rewalked);
+  }
+  return 0;
+}

@@ -2,15 +2,20 @@
 // framework" future work, running end to end:
 //
 //   $ ./build/examples/streaming_ingest [--warmup=12000] [--stream=8000]
+//       [--batch=256] [--threads=4]
 //
 // A warm-up batch is clustered with batch MH-K-Modes; after that, items
-// arrive one at a time. Each arrival is MinHashed, shortlisted against
-// everything seen so far (warm-up AND earlier arrivals, via the growable
-// index), assigned to the nearest mode, and folded into its cluster's
-// mode incrementally. The demo compares the streaming result against a
-// full batch re-clustering of all items.
+// arrive in micro-batches (--batch=1 ingests one at a time). Each arrival
+// is MinHashed, shortlisted against everything seen so far (warm-up AND
+// earlier arrivals, via the growable index), assigned to the nearest
+// mode, and folded into its cluster's mode incrementally; micro-batches
+// fan the signing and shortlisting out across --threads workers with
+// results bit-identical to one-at-a-time ingestion. The demo compares the
+// streaming result against a full batch re-clustering of all items.
 
+#include <algorithm>
 #include <cstdio>
+#include <span>
 
 #include "core/streaming.h"
 #include "data/slicing.h"
@@ -27,10 +32,15 @@ int main(int argc, char** argv) {
   int64_t stream_items = 8000;
   int64_t groups = 1500;
   int64_t seed = 21;
+  int64_t batch_size = 256;
+  int64_t threads = 1;
   flags.AddInt64("warmup", &warmup_items, "items in the warm-up batch");
   flags.AddInt64("stream", &stream_items, "items arriving afterwards");
   flags.AddInt64("groups", &groups, "clusters k");
   flags.AddInt64("seed", &seed, "RNG seed");
+  flags.AddInt64("batch", &batch_size,
+                 "arrivals per micro-batch (1 = one at a time)");
+  flags.AddInt64("threads", &threads, "ingest worker threads (0 = all cores)");
   const Status flag_status = flags.Parse(argc, argv);
   if (flag_status.IsAlreadyExists()) return 0;
   LSHC_CHECK_OK(flag_status);
@@ -49,7 +59,9 @@ int main(int argc, char** argv) {
   StreamingMHKModesOptions options;
   options.bootstrap.engine.num_clusters = static_cast<uint32_t>(groups);
   options.bootstrap.engine.seed = static_cast<uint64_t>(seed);
+  options.bootstrap.engine.num_threads = static_cast<uint32_t>(threads);
   options.bootstrap.index.banding = {20, 5};
+  options.ingest_threads = static_cast<uint32_t>(threads);
 
   Stopwatch watch;
   auto stream = StreamingMHKModes::Bootstrap(*warmup, options);
@@ -61,20 +73,30 @@ int main(int argc, char** argv) {
               stream->bootstrap_result().iterations.size());
 
   watch.Restart();
-  for (int64_t i = 0; i < stream_items; ++i) {
-    const uint32_t item = static_cast<uint32_t>(warmup_items + i);
-    LSHC_CHECK_OK(stream->Ingest(all->Row(item)).status());
+  if (batch_size <= 1) {
+    for (int64_t i = 0; i < stream_items; ++i) {
+      const uint32_t item = static_cast<uint32_t>(warmup_items + i);
+      LSHC_CHECK_OK(stream->Ingest(all->Row(item)).status());
+    }
+  } else {
+    const uint32_t m = all->num_attributes();
+    uint32_t item = static_cast<uint32_t>(warmup_items);
+    while (item < all->num_items()) {
+      const uint32_t take = std::min(static_cast<uint32_t>(batch_size),
+                                     all->num_items() - item);
+      const std::span<const uint32_t> rows(
+          all->codes().data() + static_cast<size_t>(item) * m,
+          static_cast<size_t>(take) * m);
+      LSHC_CHECK_OK(stream->IngestBatch(rows).status());
+      item += take;
+    }
   }
   const double ingest_seconds = watch.ElapsedSeconds();
   const auto& stats = stream->stats();
   std::printf("streamed %lld items in %.2fs (%.0f items/s, %.2f mean "
               "shortlist, %llu exhaustive fallbacks)\n",
               static_cast<long long>(stream_items), ingest_seconds,
-              stream_items / ingest_seconds,
-              stats.ingested > stats.exhaustive_fallbacks
-                  ? static_cast<double>(stats.shortlist_total) /
-                        (stats.ingested - stats.exhaustive_fallbacks)
-                  : 0.0,
+              stream_items / ingest_seconds, stats.mean_shortlist(),
               static_cast<unsigned long long>(stats.exhaustive_fallbacks));
 
   const double streaming_purity =

@@ -31,7 +31,8 @@
 ///   2. initial assignment: one exhaustive pass (the paper performs this
 ///      for MH-K-Modes too, before the index exists — Alg. 2 step 2).
 ///   3. provider.Prepare(): signature computation + index build
-///      (no-op for the baseline).
+///      (no-op for the baseline). Pool-aware providers receive the worker
+///      pool and parallelize signing over items.
 ///   4. refinement iterations until no item moves or max_iterations.
 ///
 /// ## Batch-parallel assignment
@@ -106,9 +107,10 @@ struct EngineOptions {
   /// inertia for K-Means, the mixed objective for K-Prototypes). Costs one
   /// extra n*m scan per iteration; switch off for pure timing.
   bool compute_cost = true;
-  /// Worker threads for the batch-parallel assignment step. 1 = run
-  /// in-line on the calling thread (default); 0 = one per hardware
-  /// thread. Any value produces bit-identical results.
+  /// Worker threads for the batch-parallel assignment step and the
+  /// provider's signature pass. 1 = run in-line on the calling thread
+  /// (default); 0 = one per hardware thread. Any value produces
+  /// bit-identical results.
   uint32_t num_threads = 1;
 };
 
@@ -271,10 +273,7 @@ class ClusteringEngine {
     // Worker pool shared by every pass of this run. Legacy providers
     // cannot be queried concurrently, so their shortlist passes run
     // sequentially either way; the exhaustive passes still parallelise.
-    const uint32_t num_threads =
-        options.num_threads == 0
-            ? std::max(1u, std::thread::hardware_concurrency())
-            : options.num_threads;
+    const uint32_t num_threads = ResolveThreadCount(options.num_threads);
     std::optional<ThreadPool> pool_storage;
     ThreadPool* pool = nullptr;
     if (num_threads > 1) {
@@ -304,9 +303,15 @@ class ClusteringEngine {
                             rng);
     result.initial_assign_seconds = phase_watch.ElapsedSeconds();
 
-    // Phase 3: provider preparation (signatures + LSH index).
+    // Phase 3: provider preparation (signatures + LSH index). Pool-aware
+    // providers parallelize their signing pass over the same workers the
+    // assignment step uses; others keep their historical signature.
     phase_watch.Restart();
-    LSHC_RETURN_NOT_OK(provider.Prepare(dataset));
+    if constexpr (requires { provider.Prepare(dataset, pool); }) {
+      LSHC_RETURN_NOT_OK(provider.Prepare(dataset, pool));
+    } else {
+      LSHC_RETURN_NOT_OK(provider.Prepare(dataset));
+    }
     result.index_build_seconds = phase_watch.ElapsedSeconds();
 
     // Phase 4: refinement until convergence.

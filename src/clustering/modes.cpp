@@ -57,8 +57,14 @@ void ModeTable::RecomputeFromAssignment(const CategoricalDataset& dataset,
     }
 
     // Per-cluster argmax with deterministic smallest-code tie-break, so
-    // the result is independent of hash-map iteration order.
-    ++epoch_;
+    // the result is independent of hash-map iteration order. When the
+    // epoch counter wraps it could collide with stale stamps (making an
+    // unseen cluster read as seen, with garbage best counts), so clear
+    // the stamps and restart at 1 — same contract as BumpDedupEpoch.
+    if (++epoch_ == 0) {
+      std::fill(stamp_.begin(), stamp_.end(), 0u);
+      epoch_ = 1;
+    }
     frequency.ForEach([&](uint64_t key, uint32_t count) {
       const uint32_t cluster = static_cast<uint32_t>(key >> 32);
       const uint32_t code = static_cast<uint32_t>(key);

@@ -16,15 +16,29 @@ MinHashShortlistFamily::MinHashShortlistFamily(const Options& options)
 }
 
 Status MinHashShortlistFamily::ComputeSignatures(
-    const Dataset& dataset, std::vector<uint64_t>* signatures) const {
+    const Dataset& dataset, std::vector<uint64_t>* signatures,
+    ThreadPool* pool) const {
   const uint32_t n = dataset.num_items();
   const uint32_t width = options_.banding.num_hashes();
   signatures->resize(static_cast<size_t>(n) * width);
-  std::vector<uint32_t> tokens;
-  for (uint32_t item = 0; item < n; ++item) {
-    dataset.PresentTokens(item, &tokens);  // Alg. 2 lines 2-4
-    ComputeQuerySignature(tokens, signatures->data() +
-                                      static_cast<size_t>(item) * width);
+  // Signing is pure per item (each writes only its own matrix row), so the
+  // parallel pass is bit-identical to the sequential one; only the token
+  // scratch is per worker.
+  std::vector<std::vector<uint32_t>> worker_tokens(
+      pool == nullptr ? 1 : pool->num_threads());
+  const auto sign_range = [&](uint32_t begin, uint32_t end,
+                              uint32_t worker) {
+    std::vector<uint32_t>& tokens = worker_tokens[worker];
+    for (uint32_t item = begin; item < end; ++item) {
+      dataset.PresentTokens(item, &tokens);  // Alg. 2 lines 2-4
+      ComputeQuerySignature(tokens, signatures->data() +
+                                        static_cast<size_t>(item) * width);
+    }
+  };
+  if (pool == nullptr) {
+    sign_range(0, n, 0);
+  } else {
+    pool->ParallelFor(0, n, kSignatureChunkSize, sign_range);
   }
   return Status::OK();
 }

@@ -56,9 +56,12 @@ class MinHashShortlistFamily {
   explicit MinHashShortlistFamily(const Options& options);
 
   /// One MinHash signature per item over its *present* tokens (the
-  /// presence filtering of Alg. 2 lines 2-4).
+  /// presence filtering of Alg. 2 lines 2-4). Chunked across `pool` when
+  /// given (per-worker token scratch); bit-identical to the sequential
+  /// pass.
   Status ComputeSignatures(const Dataset& dataset,
-                           std::vector<uint64_t>* signatures) const;
+                           std::vector<uint64_t>* signatures,
+                           ThreadPool* pool = nullptr) const;
 
   /// Uniform layout: banding.bands bands of banding.rows rows.
   std::vector<uint32_t> BandLayout() const {

@@ -47,18 +47,31 @@ class SimHashShortlistFamily {
   }
 
   /// One SimHash bit vector per item. The hasher is created here because
-  /// its hyperplanes need the dataset dimensionality.
+  /// its hyperplanes need the dataset dimensionality. Chunked across
+  /// `pool` when given; projections are pure per item, so the parallel
+  /// pass is bit-identical to the sequential one.
   Status ComputeSignatures(const Dataset& dataset,
-                           std::vector<uint64_t>* signatures) {
+                           std::vector<uint64_t>* signatures,
+                           ThreadPool* pool = nullptr) {
     const uint32_t n = dataset.num_items();
     const uint32_t width = options_.banding.num_hashes();
     hasher_ = std::make_unique<SimHasher>(width, dataset.dimensions(),
                                           options_.seed);
     signatures->resize(static_cast<size_t>(n) * width);
-    for (uint32_t item = 0; item < n; ++item) {
-      hasher_->ComputeSignature(dataset.Row(item),
-                                signatures->data() +
-                                    static_cast<size_t>(item) * width);
+    const auto sign_range = [&](uint32_t begin, uint32_t end) {
+      for (uint32_t item = begin; item < end; ++item) {
+        hasher_->ComputeSignature(dataset.Row(item),
+                                  signatures->data() +
+                                      static_cast<size_t>(item) * width);
+      }
+    };
+    if (pool == nullptr) {
+      sign_range(0, n);
+    } else {
+      pool->ParallelFor(0, n, kSignatureChunkSize,
+                        [&](uint32_t begin, uint32_t end, uint32_t) {
+                          sign_range(begin, end);
+                        });
     }
     return Status::OK();
   }

@@ -64,27 +64,44 @@ class MixedShortlistFamily {
   /// are computed on the raw data — centering only affects candidate
   /// generation.
   Status ComputeSignatures(const Dataset& dataset,
-                           std::vector<uint64_t>* signatures) {
+                           std::vector<uint64_t>* signatures,
+                           ThreadPool* pool = nullptr) {
     const uint32_t n = dataset.num_items();
     const uint32_t categorical_width =
         options_.categorical_banding.num_hashes();
     const uint32_t numeric_width = options_.numeric_banding.num_hashes();
     const uint32_t width = categorical_width + numeric_width;
     signatures->resize(static_cast<size_t>(n) * width);
+    const uint32_t workers = pool == nullptr ? 1 : pool->num_threads();
+
+    // Both halves are pure per item once their hashers exist (the mean is
+    // fixed before the numeric pass), so the chunked parallel passes are
+    // bit-identical to the sequential loops.
 
     // Categorical part: MinHash over present tokens.
     {
       const MinHasher hasher(categorical_width, options_.seed);
-      std::vector<uint32_t> tokens;
-      for (uint32_t item = 0; item < n; ++item) {
-        dataset.categorical().PresentTokens(item, &tokens);
-        hasher.ComputeSignature(
-            tokens,
-            signatures->data() + static_cast<size_t>(item) * width);
+      std::vector<std::vector<uint32_t>> worker_tokens(workers);
+      const auto sign_range = [&](uint32_t begin, uint32_t end,
+                                  uint32_t worker) {
+        std::vector<uint32_t>& tokens = worker_tokens[worker];
+        for (uint32_t item = begin; item < end; ++item) {
+          dataset.categorical().PresentTokens(item, &tokens);
+          hasher.ComputeSignature(
+              tokens,
+              signatures->data() + static_cast<size_t>(item) * width);
+        }
+      };
+      if (pool == nullptr) {
+        sign_range(0, n, 0);
+      } else {
+        pool->ParallelFor(0, n, kSignatureChunkSize, sign_range);
       }
     }
 
-    // Numeric part: SimHash bits over centered vectors.
+    // Numeric part: SimHash bits over centered vectors. The mean stays a
+    // single sequential scan: it is cheap, and its floating-point
+    // summation order is part of the signatures.
     {
       const uint32_t d = dataset.num_numeric();
       std::vector<double> mean(d, 0.0);
@@ -95,14 +112,24 @@ class MixedShortlistFamily {
       for (auto& coordinate : mean) coordinate /= n;
 
       const SimHasher hasher(numeric_width, d, options_.seed ^ 0x51A5ULL);
-      std::vector<double> centered(d);
-      for (uint32_t item = 0; item < n; ++item) {
-        const auto row = dataset.numeric().Row(item);
-        for (uint32_t j = 0; j < d; ++j) centered[j] = row[j] - mean[j];
-        hasher.ComputeSignature(centered,
-                                signatures->data() +
-                                    static_cast<size_t>(item) * width +
-                                    categorical_width);
+      std::vector<std::vector<double>> worker_centered(
+          workers, std::vector<double>(d));
+      const auto sign_range = [&](uint32_t begin, uint32_t end,
+                                  uint32_t worker) {
+        std::vector<double>& centered = worker_centered[worker];
+        for (uint32_t item = begin; item < end; ++item) {
+          const auto row = dataset.numeric().Row(item);
+          for (uint32_t j = 0; j < d; ++j) centered[j] = row[j] - mean[j];
+          hasher.ComputeSignature(centered,
+                                  signatures->data() +
+                                      static_cast<size_t>(item) * width +
+                                      categorical_width);
+        }
+      };
+      if (pool == nullptr) {
+        sign_range(0, n, 0);
+      } else {
+        pool->ParallelFor(0, n, kSignatureChunkSize, sign_range);
       }
     }
     return Status::OK();

@@ -50,7 +50,11 @@
 ///     using Options = ...;                       // index configuration
 ///     explicit SomeFamily(const Options&);
 ///     // Row-major n x signature_width() matrix of signature components.
-///     Status ComputeSignatures(const Dataset&, std::vector<uint64_t>*);
+///     // Signing is pure per item, so families fan the loop out across
+///     // `pool` when one is given (nullptr = sequential) — results are
+///     // bit-identical either way.
+///     Status ComputeSignatures(const Dataset&, std::vector<uint64_t>*,
+///                              ThreadPool* pool);
 ///     // Rows per band, concatenated over the signature.
 ///     std::vector<uint32_t> BandLayout() const;
 ///     uint32_t signature_width() const;
@@ -61,6 +65,7 @@
 /// Families may additionally expose ComputeQuerySignature(query, out) for
 /// external (non-indexed) queries; see GetCandidatesForQuery.
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -70,8 +75,15 @@
 #include "util/macros.h"
 #include "util/result.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace lshclust {
+
+/// Items per ParallelFor unit of a parallel signing pass. Fixed (never
+/// derived from the thread count) so the decomposition is identical for
+/// every pool size; smaller than the engine's assignment chunk because a
+/// signature costs far more than a distance.
+inline constexpr uint32_t kSignatureChunkSize = 256;
 
 /// \brief Per-caller query state for epoch-stamped cluster deduplication:
 /// no per-query allocation, O(1) reset. Shared by every shortlist-style
@@ -89,6 +101,19 @@ inline ClusterDedupScratch MakeClusterDedupScratch(uint32_t num_clusters) {
   return scratch;
 }
 
+/// Starts a new dedup epoch. After 2^32 queries the epoch counter wraps
+/// into values the stamp array may still hold from earlier epochs, which
+/// would make stale stamps read as "already seen" and silently drop
+/// clusters from shortlists — so on wrap the stamps are cleared and the
+/// epoch restarts at 1 (stamp 0 = "never stamped"). Every epoch bump in
+/// the library must go through here.
+inline void BumpDedupEpoch(ClusterDedupScratch& scratch) {
+  if (++scratch.epoch == 0) {
+    std::fill(scratch.cluster_stamp.begin(), scratch.cluster_stamp.end(), 0u);
+    scratch.epoch = 1;
+  }
+}
+
 /// Collects into `out` the deduplicated clusters (per `assignment`) of the
 /// peers that `visit_peers` enumerates, first entry being `item`'s own
 /// current cluster. The one dedup loop behind every shortlist provider.
@@ -102,7 +127,7 @@ void CollectCandidateClusters(uint32_t item,
                               std::vector<uint32_t>* out,
                               VisitPeersFn&& visit_peers) {
   out->clear();
-  ++scratch.epoch;
+  BumpDedupEpoch(scratch);
   // The current cluster is always a candidate (the item collides with
   // itself, but make it unconditional so the contract holds even for
   // degenerate banding).
@@ -146,13 +171,17 @@ class ShortlistProvider {
 
   /// Computes all signatures and builds the banding index (the one-time
   /// pass of Alg. 2). Called by the engine after the initial assignment.
-  Status Prepare(const Dataset& dataset) {
+  /// Signature computation is embarrassingly parallel over items, so when
+  /// the engine hands over its worker pool the signing pass is chunked
+  /// across it; the index build stays sequential. Bit-identical for every
+  /// pool size including none.
+  Status Prepare(const Dataset& dataset, ThreadPool* pool = nullptr) {
     const uint32_t n = dataset.num_items();
     if (n == 0) return Status::InvalidArgument("dataset is empty");
 
     Stopwatch watch;
     std::vector<uint64_t> signatures;
-    LSHC_RETURN_NOT_OK(family_.ComputeSignatures(dataset, &signatures));
+    LSHC_RETURN_NOT_OK(family_.ComputeSignatures(dataset, &signatures, pool));
     signature_seconds_ = watch.ElapsedSeconds();
 
     watch.Restart();
@@ -196,10 +225,12 @@ class ShortlistProvider {
                              std::vector<uint32_t>* out) {
     LSHC_CHECK(index_ != nullptr) << "Prepare() must run before queries";
     out->clear();
-    ++scratch_.epoch;
-    std::vector<uint64_t> signature(family_.signature_width());
-    family_.ComputeQuerySignature(query, signature.data());
-    index_->VisitCandidatesOfSignature(signature, [&](uint32_t other) {
+    BumpDedupEpoch(scratch_);
+    // The signature buffer lives in the provider so repeated queries (the
+    // streaming hot path) never allocate.
+    query_signature_.resize(family_.signature_width());
+    family_.ComputeQuerySignature(query, query_signature_.data());
+    index_->VisitCandidatesOfSignature(query_signature_, [&](uint32_t other) {
       const uint32_t cluster = assignment[other];
       if (scratch_.cluster_stamp[cluster] != scratch_.epoch) {
         scratch_.cluster_stamp[cluster] = scratch_.epoch;
@@ -219,6 +250,11 @@ class ShortlistProvider {
   /// The hash family (hashers + configuration).
   const Family& family() const { return family_; }
 
+  /// The per-item signature matrix computed by Prepare — non-empty only
+  /// when the family keeps signatures. Lets callers (e.g. the streaming
+  /// bootstrap) reuse the signing pass instead of re-hashing every item.
+  std::span<const uint64_t> signatures() const { return signatures_; }
+
   /// The underlying banding index (null before Prepare).
   const BandedIndex* index() const { return index_.get(); }
 
@@ -234,6 +270,7 @@ class ShortlistProvider {
     if (index_ != nullptr) bytes += index_->MemoryUsageBytes();
     bytes += signatures_.size() * sizeof(uint64_t);
     bytes += scratch_.cluster_stamp.size() * sizeof(uint32_t);
+    bytes += query_signature_.capacity() * sizeof(uint64_t);
     bytes += family_.MemoryUsageBytes();
     return bytes;
   }
@@ -249,6 +286,7 @@ class ShortlistProvider {
   std::unique_ptr<BandedIndex> index_;
   std::vector<uint64_t> signatures_;  // kept only if family says so
   Scratch scratch_;                   // for the sequential overloads
+  std::vector<uint64_t> query_signature_;  // GetCandidatesForQuery buffer
 
   double signature_seconds_ = 0;
   double index_seconds_ = 0;

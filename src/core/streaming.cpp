@@ -6,6 +6,17 @@
 
 namespace lshclust {
 
+namespace {
+/// skip_item value meaning "skip nothing" (no real item has this id).
+constexpr uint32_t kSkipNone = ~0u;
+
+/// Items per ParallelFor unit of IngestBatch's parallel phase. Smaller
+/// than kSignatureChunkSize so a 1024-item micro-batch still spreads
+/// evenly over 8 workers; signing a chunk costs far more than a pool
+/// dispatch.
+constexpr uint32_t kIngestChunkSize = 64;
+}  // namespace
+
 Result<StreamingMHKModes> StreamingMHKModes::Bootstrap(
     const CategoricalDataset& warmup,
     const StreamingMHKModesOptions& options) {
@@ -20,43 +31,30 @@ Result<StreamingMHKModes> StreamingMHKModes::Bootstrap(
   stream.num_clusters_ = k;
   stream.num_attributes_ = m;
 
-  // 1. Batch warm-up clustering.
+  // 1. Batch warm-up clustering, forcing the provider to keep its
+  //    signature matrix, and 2. bulk-load it into the growable index —
+  //    the warm-up items are signed exactly once, by the batch provider
+  //    (in parallel when engine.num_threads says so), and the streaming
+  //    index inherits those very signatures, so its buckets cannot
+  //    diverge from the batch index's.
   {
-    ClusterShortlistProvider provider(options.bootstrap.index, k);
+    ShortlistIndexOptions index_options = options.bootstrap.index;
+    index_options.keep_signatures = true;
+    ClusterShortlistProvider provider(index_options, k);
     LSHC_ASSIGN_OR_RETURN(
         stream.bootstrap_result_,
         RunEngine(warmup, options.bootstrap.engine, provider));
+    stream.assignment_ = stream.bootstrap_result_.assignment;
+    stream.index_ = std::make_unique<DynamicBandedIndex>(
+        options.bootstrap.index.banding, warmup.num_items());
+    stream.index_->InsertBatch(provider.signatures(), warmup.num_items());
   }
-  stream.assignment_ = stream.bootstrap_result_.assignment;
 
-  // 2. Signature machinery, configured identically to the batch index so
-  //    stream-time signatures are comparable.
-  const uint32_t width = options.bootstrap.index.banding.num_hashes();
-  if (options.bootstrap.index.algorithm ==
-      SignatureAlgorithm::kClassicMinHash) {
-    stream.minhasher_ = std::make_unique<MinHasher>(
-        width, options.bootstrap.index.seed,
-        options.bootstrap.index.minhash_mode);
-  } else {
-    stream.oph_ = std::make_unique<OnePermutationMinHasher>(
-        width, options.bootstrap.index.seed);
-  }
-  stream.signature_.resize(width);
-
-  // 3. Load every warm-up item into the growable index.
-  stream.index_ = std::make_unique<DynamicBandedIndex>(
-      options.bootstrap.index.banding, warmup.num_items());
-  for (uint32_t item = 0; item < warmup.num_items(); ++item) {
-    warmup.PresentTokens(item, &stream.tokens_);
-    if (stream.minhasher_ != nullptr) {
-      stream.minhasher_->ComputeSignature(stream.tokens_,
-                                          stream.signature_.data());
-    } else {
-      stream.oph_->ComputeSignature(stream.tokens_,
-                                    stream.signature_.data());
-    }
-    stream.index_->Insert(stream.signature_);
-  }
+  // 3. Stream-time signature machinery: the same family type the provider
+  //    used, constructed from the same options, hashes identically.
+  stream.family_ =
+      std::make_unique<MinHashShortlistFamily>(options.bootstrap.index);
+  stream.signature_.resize(stream.family_->signature_width());
 
   // 4. Presence semantics for stream-time token filtering.
   if (warmup.has_absence_semantics()) {
@@ -95,8 +93,84 @@ Result<StreamingMHKModes> StreamingMHKModes::Bootstrap(
     }
   }
 
-  stream.cluster_stamp_.assign(k, 0);
+  stream.dedup_ = MakeClusterDedupScratch(k);
+  stream.mode_dirty_ = MakeClusterDedupScratch(k);
   return stream;
+}
+
+void StreamingMHKModes::SignRow(std::span<const uint32_t> row,
+                                std::vector<uint32_t>& tokens,
+                                uint64_t* signature) const {
+  // Presence filtering (Alg. 2 lines 2-4); codes beyond the warm-up
+  // bitmap are new values, necessarily "present".
+  tokens.clear();
+  for (const uint32_t code : row) {
+    if (code < absent_codes_.size() && absent_codes_[code]) continue;
+    tokens.push_back(code);
+  }
+  family_->ComputeQuerySignature(tokens, signature);
+}
+
+void StreamingMHKModes::ShortlistSignature(
+    std::span<const uint64_t> signature, uint32_t skip_item,
+    ClusterDedupScratch& dedup, std::vector<uint32_t>* shortlist) const {
+  shortlist->clear();
+  BumpDedupEpoch(dedup);
+  index_->VisitCandidatesOfSignature(signature, [&](uint32_t other) {
+    // Skipping the item's own (already inserted, newest-first) entries
+    // reproduces the pre-insert walk exactly.
+    if (other == skip_item) return;
+    const uint32_t cluster = assignment_[other];
+    if (dedup.cluster_stamp[cluster] != dedup.epoch) {
+      dedup.cluster_stamp[cluster] = dedup.epoch;
+      shortlist->push_back(cluster);
+    }
+  });
+}
+
+uint32_t StreamingMHKModes::ScoreRow(
+    std::span<const uint32_t> row,
+    std::span<const uint32_t> shortlist) const {
+  uint32_t best_cluster = 0;
+  uint32_t best_distance = ~0u;
+  if (shortlist.empty()) {
+    // No similar predecessor anywhere: exhaustive scan (rare).
+    for (uint32_t cluster = 0; cluster < num_clusters_; ++cluster) {
+      const uint32_t distance = BoundedMismatchDistance(
+          row.data(), modes_->ModeData(cluster), num_attributes_,
+          best_distance);
+      if (distance < best_distance) {
+        best_distance = distance;
+        best_cluster = cluster;
+      }
+    }
+  } else {
+    for (const uint32_t cluster : shortlist) {
+      const uint32_t distance = BoundedMismatchDistance(
+          row.data(), modes_->ModeData(cluster), num_attributes_,
+          best_distance);
+      if (distance < best_distance) {
+        best_distance = distance;
+        best_cluster = cluster;
+      }
+    }
+  }
+  return best_cluster;
+}
+
+void StreamingMHKModes::CommitAssignment(std::span<const uint32_t> row,
+                                         uint32_t cluster,
+                                         int64_t shortlist_size) {
+  assignment_.push_back(cluster);
+  ++stats_.ingested;
+  if (shortlist_size < 0) {
+    ++stats_.exhaustive_fallbacks;
+  } else {
+    stats_.shortlist_total += static_cast<uint64_t>(shortlist_size);
+  }
+  if (options_.update_modes) {
+    UpdateModeWithItem(cluster, row);
+  }
 }
 
 void StreamingMHKModes::UpdateModeWithItem(uint32_t cluster,
@@ -114,6 +188,12 @@ void StreamingMHKModes::UpdateModeWithItem(uint32_t cluster,
     if (count > best) {
       best = count;
       modes_->SetModeCode(cluster, attribute, row[attribute]);
+      // Record the change for IngestBatch validation: provisional results
+      // that scored this cluster against pre-change modes are stale.
+      if (mode_dirty_.cluster_stamp[cluster] != mode_dirty_.epoch) {
+        mode_dirty_.cluster_stamp[cluster] = mode_dirty_.epoch;
+        ++dirty_clusters_;
+      }
     }
   }
 }
@@ -125,64 +205,149 @@ Result<uint32_t> StreamingMHKModes::Ingest(std::span<const uint32_t> row) {
         std::to_string(num_attributes_));
   }
 
-  // Presence filtering (Alg. 2 lines 2-4); codes beyond the warm-up
-  // bitmap are new values, necessarily "present".
-  tokens_.clear();
-  for (const uint32_t code : row) {
-    if (code < absent_codes_.size() && absent_codes_[code]) continue;
-    tokens_.push_back(code);
-  }
-  if (minhasher_ != nullptr) {
-    minhasher_->ComputeSignature(tokens_, signature_.data());
-  } else {
-    oph_->ComputeSignature(tokens_, signature_.data());
-  }
-
-  // Shortlist the clusters of similar predecessors.
-  shortlist_.clear();
-  ++epoch_;
-  index_->VisitCandidatesOfSignature(signature_, [&](uint32_t other) {
-    const uint32_t cluster = assignment_[other];
-    if (cluster_stamp_[cluster] != epoch_) {
-      cluster_stamp_[cluster] = epoch_;
-      shortlist_.push_back(cluster);
-    }
-  });
-
-  uint32_t best_cluster = 0;
-  uint32_t best_distance = ~0u;
-  if (shortlist_.empty()) {
-    // No similar predecessor anywhere: exhaustive scan (rare).
-    ++stats_.exhaustive_fallbacks;
-    for (uint32_t cluster = 0; cluster < num_clusters_; ++cluster) {
-      const uint32_t distance = BoundedMismatchDistance(
-          row.data(), modes_->ModeData(cluster), num_attributes_,
-          best_distance);
-      if (distance < best_distance) {
-        best_distance = distance;
-        best_cluster = cluster;
-      }
-    }
-  } else {
-    stats_.shortlist_total += shortlist_.size();
-    for (const uint32_t cluster : shortlist_) {
-      const uint32_t distance = BoundedMismatchDistance(
-          row.data(), modes_->ModeData(cluster), num_attributes_,
-          best_distance);
-      if (distance < best_distance) {
-        best_distance = distance;
-        best_cluster = cluster;
-      }
-    }
-  }
-
-  assignment_.push_back(best_cluster);
+  SignRow(row, tokens_, signature_.data());
+  ShortlistSignature(signature_, kSkipNone, dedup_, &shortlist_);
+  const uint32_t best = ScoreRow(row, shortlist_);
   index_->Insert(signature_);
-  if (options_.update_modes) {
-    UpdateModeWithItem(best_cluster, row);
+  CommitAssignment(row, best,
+                   shortlist_.empty()
+                       ? -1
+                       : static_cast<int64_t>(shortlist_.size()));
+  return best;
+}
+
+Result<std::span<const uint32_t>> StreamingMHKModes::IngestBatch(
+    std::span<const uint32_t> rows) {
+  const uint32_t m = num_attributes_;
+  if (m == 0 || rows.size() % m != 0) {
+    return Status::InvalidArgument(
+        "rows has " + std::to_string(rows.size()) +
+        " codes, expected a multiple of " + std::to_string(m));
   }
-  ++stats_.ingested;
-  return best_cluster;
+  const uint32_t count = static_cast<uint32_t>(rows.size() / m);
+  const size_t first_new = assignment_.size();
+  if (count == 0) {
+    return std::span<const uint32_t>();
+  }
+
+  const uint32_t width = family_->signature_width();
+  const uint32_t num_threads = ResolveThreadCount(options_.ingest_threads);
+  if (num_threads > 1 && pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(num_threads);
+  }
+  const uint32_t workers = pool_ == nullptr ? 1 : pool_->num_threads();
+
+  batch_.signatures.resize(static_cast<size_t>(count) * width);
+  batch_.cluster.resize(count);
+  batch_.refs.resize(count);
+  if (batch_.worker_shortlists.size() < workers) {
+    batch_.worker_shortlists.resize(workers);
+    batch_.worker_tokens.resize(workers);
+    batch_.worker_current.resize(workers);
+    while (batch_.worker_dedup.size() < workers) {
+      batch_.worker_dedup.push_back(MakeClusterDedupScratch(num_clusters_));
+    }
+  }
+  for (auto& buffer : batch_.worker_shortlists) buffer.clear();
+
+  // --- Parallel phase: sign + provisionally shortlist and assign every
+  // item against the index and modes frozen at batch start. Chunk
+  // boundaries are a pure function of the batch size, and each item
+  // touches only its own outputs, so the phase is bit-identical for every
+  // worker count.
+  const uint32_t frozen_items = index_->num_items();
+  const auto chunk_fn = [&](uint32_t begin, uint32_t end, uint32_t worker) {
+    std::vector<uint32_t>& tokens = batch_.worker_tokens[worker];
+    ClusterDedupScratch& dedup = batch_.worker_dedup[worker];
+    std::vector<uint32_t>& current = batch_.worker_current[worker];
+    std::vector<uint32_t>& out = batch_.worker_shortlists[worker];
+    for (uint32_t i = begin; i < end; ++i) {
+      const std::span<const uint32_t> row =
+          rows.subspan(static_cast<size_t>(i) * m, m);
+      uint64_t* signature =
+          batch_.signatures.data() + static_cast<size_t>(i) * width;
+      SignRow(row, tokens, signature);
+
+      // The same walk the sequential path runs (shared code keeps the
+      // provisional and apply phases bit-aligned by construction); the
+      // result is stashed in the worker's buffer for the apply phase.
+      ShortlistSignature(std::span<const uint64_t>(signature, width),
+                         kSkipNone, dedup, &current);
+      const uint32_t offset = static_cast<uint32_t>(out.size());
+      out.insert(out.end(), current.begin(), current.end());
+      batch_.refs[i] = {worker, offset,
+                        static_cast<uint32_t>(current.size())};
+      batch_.cluster[i] = ScoreRow(row, current);
+    }
+  };
+  if (pool_ == nullptr) {
+    chunk_fn(0, count, 0);
+  } else {
+    pool_->ParallelFor(0, count, kIngestChunkSize, chunk_fn);
+  }
+
+  // --- Sequential apply phase, in arrival order. Three cases, from cheap
+  // to expensive, each reproducing exactly what a sequential Ingest of
+  // this item would have computed:
+  //
+  //  * No in-batch predecessor in the item's buckets and no mode change
+  //    (so far this batch) on any cluster the provisional decision
+  //    compared: the frozen-state computation saw exactly the sequential
+  //    state — accept it verbatim.
+  //  * No in-batch predecessor but stale modes: the shortlist is still
+  //    provably the sequential one (shortlists read the index, never the
+  //    modes — and an empty one provably stays empty), so re-scoring the
+  //    stored shortlist against the live modes is the sequential
+  //    computation, with no index re-walk.
+  //  * An in-batch predecessor shares a bucket: the sequential shortlist
+  //    itself differs — re-walk the live index and re-score.
+  BumpDedupEpoch(mode_dirty_);
+  dirty_clusters_ = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    const std::span<const uint32_t> row =
+        rows.subspan(static_cast<size_t>(i) * m, m);
+    const std::span<const uint64_t> signature(
+        batch_.signatures.data() + static_cast<size_t>(i) * width, width);
+    bool collided = false;
+    const uint32_t id =
+        index_->InsertDetectingRecent(signature, frozen_items, &collided);
+    const BatchScratch::ShortlistRef ref = batch_.refs[i];
+    if (collided) {
+      ++stats_.revalidated;
+      ++stats_.rewalked;
+      ShortlistSignature(signature, /*skip_item=*/id, dedup_, &shortlist_);
+      const uint32_t best = ScoreRow(row, shortlist_);
+      CommitAssignment(row, best,
+                       shortlist_.empty()
+                           ? -1
+                           : static_cast<int64_t>(shortlist_.size()));
+      continue;
+    }
+    const std::span<const uint32_t> provisional(
+        batch_.worker_shortlists[ref.worker].data() + ref.offset,
+        ref.length);
+    bool scores_stale = false;
+    if (ref.length == 0) {
+      // Provisional exhaustive fallback compared every cluster.
+      scores_stale = dirty_clusters_ != 0;
+    } else {
+      for (const uint32_t cluster : provisional) {
+        if (mode_dirty_.cluster_stamp[cluster] == mode_dirty_.epoch) {
+          scores_stale = true;
+          break;
+        }
+      }
+    }
+    uint32_t best = batch_.cluster[i];
+    if (scores_stale) {
+      ++stats_.revalidated;
+      best = ScoreRow(row, provisional);
+    }
+    CommitAssignment(row, best,
+                     ref.length == 0 ? -1 : static_cast<int64_t>(ref.length));
+  }
+
+  return std::span<const uint32_t>(assignment_).subspan(first_new, count);
 }
 
 }  // namespace lshclust

@@ -47,9 +47,22 @@ class DynamicBandedIndex {
   /// Inserts the next item (id = num_items()) with the given signature
   /// (length params().num_hashes()). Returns the assigned id.
   uint32_t Insert(std::span<const uint64_t> signature) {
+    bool unused = false;
+    return InsertDetectingRecent(signature, ~0u, &unused);
+  }
+
+  /// As Insert, but additionally reports through `saw_recent` whether any
+  /// of the item's buckets already held an item with id >= `min_item`.
+  /// Bucket chains are newest-first, so inspecting each pre-insert head is
+  /// exact and free — this is how the streaming micro-batch apply phase
+  /// detects that a provisional shortlist computed against a frozen index
+  /// missed an in-batch predecessor.
+  uint32_t InsertDetectingRecent(std::span<const uint64_t> signature,
+                                 uint32_t min_item, bool* saw_recent) {
     LSHC_DCHECK(signature.size() == params_.num_hashes())
         << "signature width mismatch";
     const uint32_t item = num_items_++;
+    bool recent = false;
     for (uint32_t b = 0; b < params_.bands; ++b) {
       Band& band = bands_[b];
       const uint64_t key = ComputeBandKey(
@@ -57,10 +70,41 @@ class DynamicBandedIndex {
           params_.rows);
       // Head is stored +1 so 0 can mean "empty bucket".
       uint32_t* head = band.key_to_head.FindOrInsert(key, 0);
+      recent |= *head != 0 && *head - 1 >= min_item;
       band.next.push_back(*head);  // next[item] = previous head (or 0)
       *head = item + 1;
     }
+    *saw_recent = recent;
     return item;
+  }
+
+  /// Bulk-inserts `count` consecutive items whose signatures are packed
+  /// row-major (count x num_hashes()) in `signatures` — the layout
+  /// ShortlistProvider::signatures() keeps — so warm-up loading is one
+  /// pass over an existing matrix instead of re-signing row by row. Runs
+  /// band-major to keep each band's hash map cache-resident; the resulting
+  /// structure is identical to `count` sequential Insert calls.
+  void InsertBatch(std::span<const uint64_t> signatures, uint32_t count) {
+    const uint32_t width = params_.num_hashes();
+    LSHC_CHECK(signatures.size() == static_cast<size_t>(count) * width)
+        << "signature matrix is " << signatures.size()
+        << " components, expected " << count << " x " << width;
+    const uint32_t first = num_items_;
+    for (uint32_t b = 0; b < params_.bands; ++b) {
+      Band& band = bands_[b];
+      band.key_to_head.Reserve(band.key_to_head.size() + count);
+      band.next.reserve(band.next.size() + count);
+      const uint64_t* rows =
+          signatures.data() + static_cast<size_t>(b) * params_.rows;
+      for (uint32_t i = 0; i < count; ++i) {
+        const uint64_t key = ComputeBandKey(
+            rows + static_cast<size_t>(i) * width, b, params_.rows);
+        uint32_t* head = band.key_to_head.FindOrInsert(key, 0);
+        band.next.push_back(*head);
+        *head = first + i + 1;
+      }
+    }
+    num_items_ = first + count;
   }
 
   /// Invokes `visit(item_id)` for every inserted item sharing a bucket

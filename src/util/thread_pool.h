@@ -21,6 +21,16 @@
 
 namespace lshclust {
 
+/// Maps a thread-count option to an actual worker count: 0 means "one per
+/// hardware thread", anything else is taken literally (minimum one). The
+/// shared interpretation of every `num_threads`-style knob in the library.
+inline uint32_t ResolveThreadCount(uint32_t requested) {
+  if (requested == 0) {
+    return std::max(1u, std::thread::hardware_concurrency());
+  }
+  return requested;
+}
+
 /// \brief Fixed pool of worker threads executing chunked index ranges.
 class ThreadPool {
  public:

@@ -59,6 +59,57 @@ TEST(ShortlistProviderTest, ShortlistAlwaysContainsCurrentCluster) {
   }
 }
 
+TEST(ShortlistProviderTest, DedupEpochWrapClearsStaleStamps) {
+  // A fresh scratch has all stamps at 0. If the epoch counter is about to
+  // wrap, the unguarded ++epoch lands on 0 and every cluster reads as
+  // "already seen", silently dropping all peers from the shortlist.
+  ClusterDedupScratch scratch = MakeClusterDedupScratch(4);
+  scratch.epoch = ~0u;  // next bump wraps
+
+  const std::vector<uint32_t> assignment = {0, 1, 2, 3};
+  std::vector<uint32_t> shortlist;
+  const auto visit_all = [&](auto&& sink) {
+    for (uint32_t peer = 0; peer < 4; ++peer) sink(peer);
+  };
+  CollectCandidateClusters(0, assignment, scratch, &shortlist, visit_all);
+  EXPECT_EQ(shortlist, (std::vector<uint32_t>{0, 1, 2, 3}))
+      << "wrapping epoch dropped clusters";
+  EXPECT_EQ(scratch.epoch, 1u) << "epoch must restart past the reserved 0";
+
+  // Dedup still works in the epoch right after the wrap.
+  CollectCandidateClusters(1, assignment, scratch, &shortlist, visit_all);
+  EXPECT_EQ(shortlist, (std::vector<uint32_t>{1, 0, 2, 3}));
+}
+
+TEST(ShortlistProviderTest, ExternalQueryReusesProviderBuffers) {
+  // GetCandidatesForQuery promises no per-query allocation; at minimum,
+  // back-to-back external queries must keep working off the provider's
+  // own signature buffer and dedup scratch (including across an epoch
+  // wrap) and return deduplicated, in-range clusters.
+  const auto dataset = MakeData(300, 16, 20, 500, 7);
+  ShortlistIndexOptions options;
+  options.banding = {8, 4};
+  ClusterShortlistProvider provider(options, 20);
+  ASSERT_TRUE(provider.Prepare(dataset).ok());
+
+  std::vector<uint32_t> assignment(dataset.num_items());
+  Rng rng(5);
+  for (auto& cluster : assignment) {
+    cluster = static_cast<uint32_t>(rng.Below(20));
+  }
+  std::vector<uint32_t> tokens, first, again;
+  dataset.PresentTokens(7, &tokens);
+  provider.GetCandidatesForTokens(tokens, assignment, &first);
+  ASSERT_FALSE(first.empty());  // item 7 collides with itself
+  for (uint32_t repeat = 0; repeat < 3; ++repeat) {
+    provider.GetCandidatesForTokens(tokens, assignment, &again);
+    EXPECT_EQ(again, first) << "repeat " << repeat;
+  }
+  std::set<uint32_t> unique(first.begin(), first.end());
+  EXPECT_EQ(unique.size(), first.size()) << "shortlist not deduplicated";
+  for (const uint32_t cluster : first) EXPECT_LT(cluster, 20u);
+}
+
 TEST(ShortlistProviderTest, ShortlistIsDeduplicatedAndInRange) {
   const auto dataset = MakeData(200, 12, 10, 50, 7);
   ShortlistIndexOptions options;

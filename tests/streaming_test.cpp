@@ -4,6 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <span>
+#include <string>
+#include <vector>
 
 #include "clustering/dissimilarity.h"
 #include "core/streaming.h"
@@ -183,6 +186,184 @@ TEST(StreamingTest, UnknownCodesFallBackGracefully) {
   const auto second = stream.Ingest(alien);
   ASSERT_TRUE(second.ok());
   EXPECT_EQ(*second, *cluster);
+  EXPECT_EQ(stream.stats().exhaustive_fallbacks, 1u);
+}
+
+// Ingests all.Row(warmup_n..n) one at a time and returns the final state.
+StreamingMHKModes IngestSequentially(const CategoricalDataset& all,
+                                     uint32_t warmup_n,
+                                     StreamingMHKModesOptions options) {
+  const auto warmup = SliceDataset(all, 0, warmup_n).ValueOrDie();
+  auto stream = StreamingMHKModes::Bootstrap(warmup, options).ValueOrDie();
+  for (uint32_t item = warmup_n; item < all.num_items(); ++item) {
+    EXPECT_TRUE(stream.Ingest(all.Row(item)).ok());
+  }
+  return stream;
+}
+
+void ExpectSameState(const StreamingMHKModes& expected,
+                     const StreamingMHKModes& actual,
+                     const std::string& label) {
+  EXPECT_EQ(expected.assignment(), actual.assignment()) << label;
+  for (uint32_t cluster = 0; cluster < expected.num_clusters(); ++cluster) {
+    EXPECT_TRUE(std::equal(expected.ModeOf(cluster).begin(),
+                           expected.ModeOf(cluster).end(),
+                           actual.ModeOf(cluster).begin()))
+        << label << ": mode of cluster " << cluster;
+  }
+  EXPECT_EQ(expected.stats().ingested, actual.stats().ingested) << label;
+  EXPECT_EQ(expected.stats().exhaustive_fallbacks,
+            actual.stats().exhaustive_fallbacks)
+      << label;
+  EXPECT_EQ(expected.stats().shortlist_total, actual.stats().shortlist_total)
+      << label;
+}
+
+TEST(StreamingTest, IngestBatchBitIdenticalToSequentialAtEveryThreadCount) {
+  // The tentpole contract: IngestBatch must equal a sequential Ingest
+  // loop over the same arrival order — assignments, modes and stats —
+  // for every worker count. Dense clusters make in-batch bucket
+  // collisions (the revalidation path) common.
+  const auto all = MakeData(900, 12, 31);
+  const uint32_t warmup_n = 500;
+  const auto sequential =
+      IngestSequentially(all, warmup_n, MakeOptions(12));
+
+  uint64_t revalidated = ~0ull;
+  for (const uint32_t threads : {1u, 2u, 4u, 8u}) {
+    auto options = MakeOptions(12);
+    options.ingest_threads = threads;
+    const auto warmup = SliceDataset(all, 0, warmup_n).ValueOrDie();
+    auto stream = StreamingMHKModes::Bootstrap(warmup, options).ValueOrDie();
+    // Mixed micro-batch sizes, including a 1-item batch and a big tail.
+    uint32_t item = warmup_n;
+    for (const uint32_t batch : {64u, 1u, 147u, 400u, 1000u}) {
+      const uint32_t take =
+          std::min(batch, all.num_items() - item);
+      const auto rows = std::span<const uint32_t>(
+          all.codes().data() +
+              static_cast<size_t>(item) * all.num_attributes(),
+          static_cast<size_t>(take) * all.num_attributes());
+      const auto assigned = stream.IngestBatch(rows);
+      ASSERT_TRUE(assigned.ok());
+      EXPECT_EQ(assigned->size(), take);
+      item += take;
+      if (item == all.num_items()) break;
+    }
+    ASSERT_EQ(item, all.num_items());
+    ExpectSameState(sequential, stream,
+                    "ingest_threads=" + std::to_string(threads));
+    // The accept/revalidate split is data-dependent, never
+    // thread-count-dependent.
+    if (revalidated == ~0ull) {
+      revalidated = stream.stats().revalidated;
+    } else {
+      EXPECT_EQ(stream.stats().revalidated, revalidated)
+          << "ingest_threads=" << threads;
+    }
+  }
+}
+
+TEST(StreamingTest, IngestBatchRevalidatesInBatchDuplicates) {
+  // Two identical never-seen-before items in ONE batch: the first must
+  // fall back exhaustively, and the second must find the first through
+  // the index (sequential semantics) instead of also falling back —
+  // exactly what the frozen-index provisional pass alone would get wrong.
+  const auto warmup = MakeData(200, 5, 37);
+  for (const uint32_t threads : {1u, 4u}) {
+    auto options = MakeOptions(5);
+    options.ingest_threads = threads;
+    auto stream = StreamingMHKModes::Bootstrap(warmup, options).ValueOrDie();
+    std::vector<uint32_t> batch;
+    for (uint32_t copy = 0; copy < 2; ++copy) {
+      for (uint32_t a = 0; a < warmup.num_attributes(); ++a) {
+        batch.push_back(4000000000u + a);
+      }
+    }
+    const auto assigned = stream.IngestBatch(batch);
+    ASSERT_TRUE(assigned.ok());
+    ASSERT_EQ(assigned->size(), 2u);
+    EXPECT_EQ((*assigned)[0], (*assigned)[1]);
+    EXPECT_EQ(stream.stats().exhaustive_fallbacks, 1u);
+    EXPECT_GE(stream.stats().revalidated, 1u);
+    // The second item shortlisted (it saw the first), so exactly one
+    // ingest contributed to shortlist_total.
+    EXPECT_GE(stream.stats().shortlist_total, 1u);
+  }
+}
+
+TEST(StreamingTest, IngestBatchRejectsRaggedRows) {
+  const auto warmup = MakeData(200, 5, 41);
+  auto stream =
+      StreamingMHKModes::Bootstrap(warmup, MakeOptions(5)).ValueOrDie();
+  const std::vector<uint32_t> ragged(warmup.num_attributes() * 2 - 1, 0);
+  EXPECT_TRUE(stream.IngestBatch(ragged).status().IsInvalidArgument());
+  const auto empty = stream.IngestBatch(std::span<const uint32_t>());
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST(StreamingTest, StatsExcludeFallbackScansFromShortlistMean) {
+  // Exhaustive fallbacks scan all k clusters but contribute nothing to
+  // shortlist_total; the documented mean divides by the ingests that
+  // actually shortlisted.
+  const auto all = MakeData(500, 10, 43);
+  const auto warmup = SliceDataset(all, 0, 400).ValueOrDie();
+  auto stream =
+      StreamingMHKModes::Bootstrap(warmup, MakeOptions(10)).ValueOrDie();
+  for (uint32_t item = 400; item < 500; ++item) {
+    ASSERT_TRUE(stream.Ingest(all.Row(item)).ok());
+  }
+  const uint64_t shortlist_before = stream.stats().shortlist_total;
+  const uint64_t fallbacks_before = stream.stats().exhaustive_fallbacks;
+
+  // An alien row takes the fallback: total unchanged, fallback counted.
+  std::vector<uint32_t> alien(warmup.num_attributes());
+  for (uint32_t a = 0; a < alien.size(); ++a) alien[a] = 4000000000u + a;
+  ASSERT_TRUE(stream.Ingest(alien).ok());
+  EXPECT_EQ(stream.stats().shortlist_total, shortlist_before);
+  EXPECT_EQ(stream.stats().exhaustive_fallbacks, fallbacks_before + 1);
+
+  const auto& stats = stream.stats();
+  ASSERT_GT(stats.ingested, stats.exhaustive_fallbacks);
+  EXPECT_DOUBLE_EQ(stats.mean_shortlist(),
+                   static_cast<double>(stats.shortlist_total) /
+                       static_cast<double>(stats.ingested -
+                                           stats.exhaustive_fallbacks));
+  EXPECT_GT(stats.mean_shortlist(), 0.0);
+}
+
+TEST(StreamingTest, DedupEpochWrapDoesNotDropClusters) {
+  // Force the dedup epoch to wrap mid-stream: stale stamps must not make
+  // shortlists silently lose clusters. The observable guarantee: a
+  // previously-seen item keeps resolving to the same cluster through the
+  // wrap, without spurious exhaustive fallbacks.
+  const auto warmup = MakeData(200, 5, 47);
+  auto stream =
+      StreamingMHKModes::Bootstrap(warmup, MakeOptions(5)).ValueOrDie();
+  std::vector<uint32_t> alien(warmup.num_attributes());
+  for (uint32_t a = 0; a < alien.size(); ++a) alien[a] = 4000000000u + a;
+  const uint32_t home = stream.Ingest(alien).ValueOrDie();
+  EXPECT_EQ(stream.stats().exhaustive_fallbacks, 1u);
+
+  stream.set_dedup_epoch_for_testing(~0u - 2);
+  for (uint32_t repeat = 0; repeat < 8; ++repeat) {  // crosses the wrap
+    EXPECT_EQ(stream.Ingest(alien).ValueOrDie(), home) << repeat;
+  }
+  // Every post-wrap ingest shortlisted its identical predecessors.
+  EXPECT_EQ(stream.stats().exhaustive_fallbacks, 1u);
+
+  // Same guarantee through IngestBatch's worker-scratch path: one batch
+  // to materialise the worker scratches, then wrap their epochs too.
+  std::vector<uint32_t> batch;
+  for (uint32_t copy = 0; copy < 4; ++copy) {
+    batch.insert(batch.end(), alien.begin(), alien.end());
+  }
+  ASSERT_TRUE(stream.IngestBatch(batch).ok());
+  stream.set_dedup_epoch_for_testing(~0u - 1);
+  const auto assigned = stream.IngestBatch(batch);
+  ASSERT_TRUE(assigned.ok());
+  for (const uint32_t cluster : *assigned) EXPECT_EQ(cluster, home);
   EXPECT_EQ(stream.stats().exhaustive_fallbacks, 1u);
 }
 

@@ -15,6 +15,7 @@
 #include "lsh/banded_index.h"
 #include "lsh/dynamic_banded_index.h"
 #include "lsh/tuning.h"
+#include "util/rng.h"
 
 namespace lshclust {
 namespace {
@@ -224,6 +225,63 @@ TEST(DynamicIndexTest, AgreesWithStaticIndexOnSameSignatures) {
         signature, [&](uint32_t item) { from_dynamic.insert(item); });
     EXPECT_EQ(from_static, from_dynamic) << "item " << i;
   }
+}
+
+TEST(DynamicIndexTest, InsertBatchMatchesSequentialInserts) {
+  // Bulk warm-up loading must produce byte-for-byte the same bucket
+  // structure as one-at-a-time inserts over the same signature matrix.
+  const BandingParams params{6, 3};
+  const MinHasher hasher(params.num_hashes(), 17);
+  const uint32_t n = 120;
+  std::vector<uint64_t> all(static_cast<size_t>(n) * params.num_hashes());
+  Rng rng(23);
+  for (uint32_t i = 0; i < n; ++i) {
+    std::vector<uint32_t> tokens;
+    for (uint32_t t = 0; t < 8; ++t) {
+      tokens.push_back(static_cast<uint32_t>(rng.Below(40)));
+    }
+    hasher.ComputeSignature(tokens, all.data() + i * params.num_hashes());
+  }
+
+  DynamicBandedIndex sequential(params), bulk(params);
+  for (uint32_t i = 0; i < n; ++i) {
+    sequential.Insert({all.data() + i * params.num_hashes(),
+                       params.num_hashes()});
+  }
+  bulk.InsertBatch(all, n);
+  ASSERT_EQ(bulk.num_items(), n);
+
+  for (uint32_t i = 0; i < n; ++i) {
+    const std::span<const uint64_t> signature{
+        all.data() + i * params.num_hashes(), params.num_hashes()};
+    std::vector<uint32_t> from_sequential, from_bulk;
+    sequential.VisitCandidatesOfSignature(
+        signature, [&](uint32_t item) { from_sequential.push_back(item); });
+    bulk.VisitCandidatesOfSignature(
+        signature, [&](uint32_t item) { from_bulk.push_back(item); });
+    // Order matters too: the streaming apply phase relies on identical
+    // chain walks, not just identical sets.
+    EXPECT_EQ(from_sequential, from_bulk) << "item " << i;
+  }
+}
+
+TEST(DynamicIndexTest, InsertDetectingRecentFlagsNewItemsOnly) {
+  const BandingParams params{2, 2};
+  DynamicBandedIndex index(params);
+  const std::vector<uint64_t> sig_a(params.num_hashes(), 42);
+  const std::vector<uint64_t> sig_b(params.num_hashes(), 99);
+  index.Insert(sig_a);  // id 0: the "frozen" prefix
+
+  bool saw_recent = true;
+  // id 1: its buckets hold only item 0 < min_item -> not recent.
+  EXPECT_EQ(index.InsertDetectingRecent(sig_a, 1, &saw_recent), 1u);
+  EXPECT_FALSE(saw_recent);
+  // id 2: bucket head is now item 1 >= min_item -> recent.
+  EXPECT_EQ(index.InsertDetectingRecent(sig_a, 1, &saw_recent), 2u);
+  EXPECT_TRUE(saw_recent);
+  // A signature colliding with nothing is never recent.
+  EXPECT_EQ(index.InsertDetectingRecent(sig_b, 1, &saw_recent), 3u);
+  EXPECT_FALSE(saw_recent);
 }
 
 TEST(DynamicIndexTest, InsertAssignsSequentialIds) {
