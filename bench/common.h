@@ -11,6 +11,8 @@
 ///                 original; implies --scale=1)
 ///   --seed=<n>    master seed (data generation + shared initial centroids)
 ///   --max-iters   refinement iteration cap (0 = the paper's setting)
+///   --json=<path> additionally write machine-readable records (a JSON
+///                 array of flat objects) to <path>; empty disables
 ///
 /// Output is the tabular form of the corresponding figure panels: the same
 /// series (time/iteration, avg shortlist, moves, totals, purity) the paper
@@ -18,6 +20,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -30,12 +33,105 @@
 
 namespace lshclust::bench {
 
+/// \brief Collects flat key/value records and writes them as a JSON array
+/// of objects — the machine-readable twin of the printed tables, so perf
+/// trajectories can be scraped without parsing stdout. No external JSON
+/// dependency: records are flat and values are numbers or short strings.
+class JsonBenchWriter {
+ public:
+  /// Starts a record. Records are written in Begin order.
+  void BeginRecord() {
+    records_.emplace_back();
+    first_field_ = true;
+  }
+
+  void Add(const char* key, const std::string& value) {
+    AddRaw(key, "\"" + Escaped(value) + "\"");
+  }
+  void Add(const char* key, const char* value) {
+    Add(key, std::string(value));
+  }
+  void Add(const char* key, double value) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.17g", value);
+    AddRaw(key, buffer);
+  }
+  void Add(const char* key, uint64_t value) {
+    AddRaw(key, std::to_string(value));
+  }
+  void Add(const char* key, int64_t value) {
+    AddRaw(key, std::to_string(value));
+  }
+  void Add(const char* key, uint32_t value) {
+    Add(key, static_cast<uint64_t>(value));
+  }
+
+  size_t num_records() const { return records_.size(); }
+
+  /// Writes `[ {..}, {..} ]` to `path`. Returns false (with a message on
+  /// stderr) when the file cannot be written.
+  bool WriteFile(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write JSON output to %s\n",
+                   path.c_str());
+      return false;
+    }
+    out << "[\n";
+    for (size_t i = 0; i < records_.size(); ++i) {
+      out << "  {" << records_[i] << "}";
+      if (i + 1 < records_.size()) out << ",";
+      out << "\n";
+    }
+    out << "]\n";
+    return out.good();
+  }
+
+ private:
+  static std::string Escaped(const std::string& value) {
+    std::string escaped;
+    escaped.reserve(value.size());
+    for (const char c : value) {
+      switch (c) {
+        case '"': escaped += "\\\""; break;
+        case '\\': escaped += "\\\\"; break;
+        case '\n': escaped += "\\n"; break;
+        case '\t': escaped += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buffer[8];
+            std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+            escaped += buffer;
+          } else {
+            escaped += c;
+          }
+      }
+    }
+    return escaped;
+  }
+
+  void AddRaw(const char* key, const std::string& value) {
+    LSHC_CHECK(!records_.empty()) << "BeginRecord() before Add()";
+    std::string& record = records_.back();
+    if (!first_field_) record += ", ";
+    first_field_ = false;
+    record += "\"";
+    record += Escaped(key);
+    record += "\": ";
+    record += value;
+  }
+
+  std::vector<std::string> records_;
+  bool first_field_ = true;
+};
+
 /// \brief Flags common to every figure driver.
 struct DriverOptions {
   double scale = 0.1;
   bool paper = false;
   int64_t seed = 42;
   int64_t max_iterations = 0;
+  std::string json;
 
   /// Registers the shared flags on `flags`.
   void Register(FlagSet* flags) {
@@ -46,6 +142,9 @@ struct DriverOptions {
     flags->AddInt64("seed", &seed, "master RNG seed");
     flags->AddInt64("max-iters", &max_iterations,
                     "refinement iteration cap (0 = figure default)");
+    flags->AddString("json", &json,
+                     "write machine-readable records to this path "
+                     "(empty = off)");
   }
 
   /// Parses argv; returns false when the program should exit (e.g. --help
@@ -113,6 +212,27 @@ inline std::vector<MethodRun> RunSyntheticFigure(
     PrintIterationSeries(std::cout, figure_name, runs, field);
   }
   PrintSummaryTable(std::cout, figure_name, runs);
+
+  if (!driver.json.empty()) {
+    JsonBenchWriter writer;
+    for (const MethodRun& run : runs) {
+      writer.BeginRecord();
+      writer.Add("figure", figure_name);
+      writer.Add("method", run.spec.label);
+      writer.Add("items", data.num_items);
+      writer.Add("clusters", data.num_clusters);
+      writer.Add("iterations",
+                 static_cast<uint64_t>(run.result.iterations.size()));
+      writer.Add("converged", static_cast<uint64_t>(run.result.converged));
+      writer.Add("total_seconds", run.result.total_seconds);
+      writer.Add("refine_seconds", run.result.RefinementSeconds());
+      writer.Add("index_build_seconds", run.result.index_build_seconds);
+      writer.Add("final_cost", run.result.final_cost);
+      writer.Add("moves", run.result.TotalMoves());
+      writer.Add("purity", run.purity);
+    }
+    writer.WriteFile(driver.json);
+  }
   return runs;
 }
 

@@ -2,12 +2,17 @@
 // unified clustering engine: one synthetic workload per dataset family,
 // run at 1/2/4/8 worker threads, reporting refinement (assignment-phase)
 // wall time and throughput. Results are bit-identical across thread
-// counts by construction (see clustering/engine.h), so the only thing
-// that may change with the thread knob is the numbers printed here —
-// future PRs can use this as the scaling baseline.
+// counts, shard counts and chunk sizes by construction (see
+// clustering/engine.h), so the only thing that may change with those
+// knobs is the numbers printed here — future PRs can use this as the
+// scaling baseline. Machine-readable records land in --json
+// (BENCH_engine.json by default; see bench/common.h).
 //
 // Flags: --items, --clusters, --attrs, --dims, --iters, --seed,
-//        --threads (comma list, default 1,2,4,8)
+//        --threads (comma list, default 1,2,4,8),
+//        --shards (item-space shards, default 1),
+//        --chunk (items per work unit, default 1024),
+//        --json (output path, empty = off)
 
 #include <cinttypes>
 #include <cstdint>
@@ -15,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/common.h"
 #include "clustering/kmodes.h"
 #include "clustering/kprototypes.h"
 #include "core/lsh_kmeans.h"
@@ -38,7 +44,10 @@ struct BenchFlags {
   int64_t dims = 16;
   int64_t iters = 5;
   int64_t seed = 42;
+  int64_t shards = 1;
+  int64_t chunk = 1024;
   std::string threads = "1,2,4,8";
+  std::string json = "BENCH_engine.json";
 };
 
 bool ParseThreadList(const std::string& spec,
@@ -59,7 +68,8 @@ bool ParseThreadList(const std::string& spec,
   return !threads->empty();
 }
 
-void Report(const char* name, uint32_t num_threads, int64_t items,
+void Report(bench::JsonBenchWriter* writer, const char* family,
+            const char* name, const EngineOptions& engine, int64_t items,
             const ClusteringResult& result) {
   const double refine_seconds = result.RefinementSeconds();
   const double items_per_second =
@@ -70,8 +80,20 @@ void Report(const char* name, uint32_t num_threads, int64_t items,
   std::printf(
       "%-18s threads=%u  iters=%zu  refine=%8.3fs  assign-throughput=%12.0f "
       "items/s  moves=%" PRIu64 "\n",
-      name, num_threads, result.iterations.size(), refine_seconds,
+      name, engine.num_threads, result.iterations.size(), refine_seconds,
       items_per_second, result.TotalMoves());
+  writer->BeginRecord();
+  writer->Add("bench", "engine_threads");
+  writer->Add("family", family);
+  writer->Add("method", name);
+  writer->Add("threads", engine.num_threads);
+  writer->Add("shards", engine.num_shards);
+  writer->Add("chunk_size", engine.chunk_size);
+  writer->Add("items", static_cast<int64_t>(items));
+  writer->Add("iterations", static_cast<uint64_t>(result.iterations.size()));
+  writer->Add("refine_seconds", refine_seconds);
+  writer->Add("assign_items_per_second", items_per_second);
+  writer->Add("moves", result.TotalMoves());
 }
 
 }  // namespace
@@ -85,10 +107,22 @@ int main(int argc, char** argv) {
   flag_set.AddInt64("dims", &flags.dims, "numeric dimensions");
   flag_set.AddInt64("iters", &flags.iters, "refinement iteration cap");
   flag_set.AddInt64("seed", &flags.seed, "master RNG seed");
+  flag_set.AddInt64("shards", &flags.shards,
+                    "item-space shards of the assignment decomposition");
+  flag_set.AddInt64("chunk", &flags.chunk,
+                    "items per work unit within a shard");
   flag_set.AddString("threads", &flags.threads,
                      "comma-separated worker-thread counts");
+  flag_set.AddString("json", &flags.json,
+                     "machine-readable output path (empty = off)");
   if (auto status = flag_set.Parse(argc, argv); !status.ok()) {
     std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  if (flags.shards < 1 || flags.shards > UINT32_MAX || flags.chunk < 1 ||
+      flags.chunk > UINT32_MAX) {
+    std::fprintf(stderr,
+                 "error: --shards and --chunk must be in [1, 2^32-1]\n");
     return 1;
   }
   std::vector<uint32_t> thread_counts;
@@ -102,6 +136,7 @@ int main(int argc, char** argv) {
 
   const auto n = static_cast<uint32_t>(flags.items);
   const auto k = static_cast<uint32_t>(flags.clusters);
+  bench::JsonBenchWriter writer;
 
   // --- categorical: K-Modes and MH-K-Modes -------------------------------
   ConjunctiveDataOptions categorical;
@@ -122,13 +157,15 @@ int main(int argc, char** argv) {
     options.seed = static_cast<uint64_t>(flags.seed);
     options.compute_cost = false;  // pure assignment timing
     options.num_threads = threads;
-    Report("kmodes", threads, flags.items,
+    options.num_shards = static_cast<uint32_t>(flags.shards);
+    options.chunk_size = static_cast<uint32_t>(flags.chunk);
+    Report(&writer, "categorical", "kmodes", options, flags.items,
            RunKModes(categorical_data, options).ValueOrDie());
 
     MHKModesOptions mh;
     mh.engine = options;
     mh.index.banding = {20, 5};
-    Report("mh-kmodes", threads, flags.items,
+    Report(&writer, "categorical", "mh-kmodes", mh.engine, flags.items,
            RunMHKModes(categorical_data, mh).ValueOrDie().result);
   }
 
@@ -149,13 +186,15 @@ int main(int argc, char** argv) {
     options.seed = static_cast<uint64_t>(flags.seed);
     options.compute_cost = false;
     options.num_threads = threads;
-    Report("kmeans", threads, flags.items,
+    options.num_shards = static_cast<uint32_t>(flags.shards);
+    options.chunk_size = static_cast<uint32_t>(flags.chunk);
+    Report(&writer, "numeric", "kmeans", options, flags.items,
            RunKMeans(numeric_data, options).ValueOrDie());
 
     LshKMeansOptions lsh;
     lsh.kmeans = options;
     lsh.banding = {16, 4};
-    Report("lsh-kmeans", threads, flags.items,
+    Report(&writer, "numeric", "lsh-kmeans", lsh.kmeans, flags.items,
            RunLshKMeans(numeric_data, lsh).ValueOrDie());
   }
 
@@ -179,13 +218,20 @@ int main(int argc, char** argv) {
     options.gamma = 0.5;
     options.compute_cost = false;
     options.num_threads = threads;
-    Report("kprototypes", threads, flags.items,
+    options.num_shards = static_cast<uint32_t>(flags.shards);
+    options.chunk_size = static_cast<uint32_t>(flags.chunk);
+    Report(&writer, "mixed", "kprototypes", options, flags.items,
            RunKPrototypes(mixed_data, options).ValueOrDie());
 
     LshKPrototypesOptions lsh;
     lsh.kprototypes = options;
-    Report("lsh-kprototypes", threads, flags.items,
+    Report(&writer, "mixed", "lsh-kprototypes", lsh.kprototypes, flags.items,
            RunLshKPrototypes(mixed_data, lsh).ValueOrDie());
+  }
+
+  if (!flags.json.empty() && writer.WriteFile(flags.json)) {
+    std::printf("wrote %zu records to %s\n", writer.num_records(),
+                flags.json.c_str());
   }
   return 0;
 }

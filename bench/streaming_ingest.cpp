@@ -1,12 +1,16 @@
 // Streaming-ingest throughput across worker-thread counts, plus the
 // parallel signature/index-build (Prepare) split — the two paths PR 2
 // routed through the thread pool. IngestBatch results are bit-identical
-// to a sequential Ingest loop at every thread count (asserted in
-// tests/streaming_test.cpp), so the only thing that changes here is the
-// wall time.
+// to a sequential Ingest loop at every (shard x thread) combination
+// (asserted in tests/streaming_test.cpp), so the only thing that changes
+// here is the wall time. Machine-readable records land in --json
+// (BENCH_streaming.json by default; see bench/common.h).
 //
 // Flags: --warmup, --stream, --attrs, --clusters, --batch, --seed,
-//        --threads (comma list, default 1,2,4,8)
+//        --threads (comma list, default 1,2,4,8),
+//        --shards (ingest shards, default 1),
+//        --ingest-chunk (items per work unit, default 64),
+//        --json (output path, empty = off)
 
 #include <algorithm>
 #include <cinttypes>
@@ -17,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/common.h"
 #include "core/cluster_shortlist_index.h"
 #include "core/streaming.h"
 #include "data/slicing.h"
@@ -58,7 +63,10 @@ int main(int argc, char** argv) {
   int64_t clusters = 200;
   int64_t batch = 1024;
   int64_t seed = 42;
+  int64_t shards = 1;
+  int64_t ingest_chunk = 64;
   std::string threads_spec = "1,2,4,8";
+  std::string json_path = "BENCH_streaming.json";
 
   FlagSet flags("streaming_ingest");
   flags.AddInt64("warmup", &warmup_items, "items in the warm-up batch");
@@ -67,8 +75,14 @@ int main(int argc, char** argv) {
   flags.AddInt64("clusters", &clusters, "clusters k");
   flags.AddInt64("batch", &batch, "micro-batch size for IngestBatch");
   flags.AddInt64("seed", &seed, "RNG seed");
+  flags.AddInt64("shards", &shards,
+                 "item-space shards of IngestBatch's parallel phase");
+  flags.AddInt64("ingest-chunk", &ingest_chunk,
+                 "items per work unit within an ingest shard");
   flags.AddString("threads", &threads_spec,
                   "comma-separated worker-thread counts");
+  flags.AddString("json", &json_path,
+                  "machine-readable output path (empty = off)");
   const Status flag_status = flags.Parse(argc, argv);
   if (flag_status.IsAlreadyExists()) return 0;
   LSHC_CHECK_OK(flag_status);
@@ -76,6 +90,13 @@ int main(int argc, char** argv) {
   if (batch < 1) {
     std::fprintf(stderr, "error: --batch must be >= 1, got %lld\n",
                  static_cast<long long>(batch));
+    return 1;
+  }
+  if (shards < 1 || shards > UINT32_MAX || ingest_chunk < 1 ||
+      ingest_chunk > UINT32_MAX) {
+    std::fprintf(stderr,
+                 "error: --shards and --ingest-chunk must be in "
+                 "[1, 2^32-1]\n");
     return 1;
   }
   std::vector<uint32_t> thread_counts;
@@ -106,6 +127,8 @@ int main(int argc, char** argv) {
               static_cast<long long>(clusters),
               static_cast<long long>(batch));
 
+  bench::JsonBenchWriter writer;
+
   // --- Prepare (signature + index build) scaling over the full dataset.
   std::printf("\n-- ShortlistProvider::Prepare --\n");
   double prepare_baseline = 0;
@@ -125,6 +148,13 @@ int main(int argc, char** argv) {
                 threads, seconds, provider.signature_seconds(),
                 provider.index_seconds(),
                 seconds > 0 ? prepare_baseline / seconds : 0.0);
+    writer.BeginRecord();
+    writer.Add("bench", "streaming_prepare");
+    writer.Add("threads", threads);
+    writer.Add("items", static_cast<uint64_t>(all.num_items()));
+    writer.Add("total_seconds", seconds);
+    writer.Add("sign_seconds", provider.signature_seconds());
+    writer.Add("index_seconds", provider.index_seconds());
   }
 
   // --- IngestBatch throughput.
@@ -137,6 +167,8 @@ int main(int argc, char** argv) {
     options.bootstrap.engine.num_threads = threads;
     options.bootstrap.index.banding = {20, 5};
     options.ingest_threads = threads;
+    options.ingest_shards = static_cast<uint32_t>(shards);
+    options.ingest_chunk_size = static_cast<uint32_t>(ingest_chunk);
     auto stream = StreamingMHKModes::Bootstrap(warmup, options).ValueOrDie();
 
     Stopwatch watch;
@@ -162,6 +194,25 @@ int main(int argc, char** argv) {
                 seconds > 0 ? ingest_baseline / seconds : 0.0,
                 stats.mean_shortlist(), stats.exhaustive_fallbacks,
                 stats.revalidated, stats.rewalked);
+    writer.BeginRecord();
+    writer.Add("bench", "streaming_ingest");
+    writer.Add("threads", threads);
+    writer.Add("shards", static_cast<int64_t>(shards));
+    writer.Add("ingest_chunk_size", static_cast<int64_t>(ingest_chunk));
+    writer.Add("batch", static_cast<int64_t>(batch));
+    writer.Add("stream_items", static_cast<int64_t>(stream_items));
+    writer.Add("seconds", seconds);
+    writer.Add("items_per_second",
+               seconds > 0 ? stream_items / seconds : 0.0);
+    writer.Add("mean_shortlist", stats.mean_shortlist());
+    writer.Add("exhaustive_fallbacks", stats.exhaustive_fallbacks);
+    writer.Add("revalidated", stats.revalidated);
+    writer.Add("rewalked", stats.rewalked);
+  }
+
+  if (!json_path.empty() && writer.WriteFile(json_path)) {
+    std::printf("wrote %zu records to %s\n", writer.num_records(),
+                json_path.c_str());
   }
   return 0;
 }

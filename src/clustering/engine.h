@@ -35,32 +35,49 @@
 ///      pool and parallelize signing over items.
 ///   4. refinement iterations until no item moves or max_iterations.
 ///
-/// ## Batch-parallel assignment
+/// ## Shard-aware batch-parallel assignment
 ///
-/// The assignment step — the hot loop the whole paper is about — is
-/// dispatched in fixed-size item chunks to a small worker pool
-/// (util/thread_pool.h) when EngineOptions::num_threads > 1. Determinism
-/// is preserved by construction, so `num_threads = 1` and `num_threads =
-/// 64` produce bit-identical assignments, costs and move counts:
+/// The assignment step — the hot loop the whole paper is about — runs
+/// through a two-level decomposition (src/shard/shard_plan.h): the item
+/// space is partitioned into `EngineOptions::num_shards` contiguous
+/// shards, each shard is cut into `EngineOptions::chunk_size`-item
+/// chunks, and the chunks are dispatched to a small worker pool
+/// (util/thread_pool.h) when EngineOptions::num_threads > 1. A shard is
+/// the slice a future node / NUMA domain would own: it carries its own
+/// replica handle of the centroid-side shortlist state and its own query
+/// scratch, so nothing about a shard's work references pool-global
+/// mutable state. Determinism is preserved by construction — every
+/// (num_shards x num_threads) combination produces bit-identical
+/// assignments, costs and move counts, and `num_shards = 1` *is* the
+/// historical flat decomposition, not an emulation of it:
 ///
 ///  * Candidate providers dereference a *snapshot* of the assignment taken
 ///    at the start of the pass (the cluster-reference store of §III-B,
 ///    frozen per iteration), so an item's shortlist never depends on how
 ///    many items before it already moved this pass. Each item writes only
-///    its own assignment slot.
-///  * Per-chunk move/shortlist accumulators are merged in chunk order
-///    after the pass.
-///  * Centroid updates and cost evaluation stay sequential: they are
-///    cheap (one scan) and their floating-point summation order is part
-///    of the reported numbers.
+///    its own assignment slot. The snapshot buffer is allocated once per
+///    run and reused across refinement iterations.
+///  * Per-chunk move/shortlist accumulators live in a ShardedAccumulator
+///    and are merged in shard order (chunk order within the shard) after
+///    the pass.
+///  * Centroid updates — including empty-cluster repair — and cost
+///    evaluation stay sequential: they are cheap (one scan) and their
+///    floating-point summation and RNG draw order is part of the
+///    reported numbers.
 ///
 /// Providers that opt into parallel queries expose `MakeScratch()` and a
 /// const `GetCandidates(item, assignment, scratch, out)`; the engine gives
-/// every worker its own scratch. Legacy single-threaded providers (a
-/// non-const 3-argument `GetCandidates`) still work — the engine detects
-/// them and runs their passes sequentially on the live assignment array,
-/// preserving their historical in-place semantics.
+/// every (shard, worker) pair its own scratch. Providers that additionally
+/// expose `MakeReplica()` (see core/shortlist_provider.h) hand each shard
+/// a replica handle of their read-only query state — on one node every
+/// replica aliases the same index, but the handle is the seam where
+/// multi-node scale-out substitutes a per-shard copy. Legacy
+/// single-threaded providers (a non-const 3-argument `GetCandidates`)
+/// still work — the engine detects them and runs their passes
+/// sequentially on the live assignment array, preserving their historical
+/// in-place semantics (the shard plan has no observable effect there).
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 #include <optional>
@@ -75,6 +92,9 @@
 #include "clustering/modes.h"
 #include "clustering/types.h"
 #include "data/categorical_dataset.h"
+#include "shard/shard_executor.h"
+#include "shard/shard_plan.h"
+#include "shard/sharded_accumulator.h"
 #include "util/macros.h"
 #include "util/result.h"
 #include "util/rng.h"
@@ -112,6 +132,20 @@ struct EngineOptions {
   /// (default); 0 = one per hardware thread. Any value produces
   /// bit-identical results.
   uint32_t num_threads = 1;
+  /// Item-space shards of the two-level (shard -> chunk) decomposition.
+  /// Each shard owns a contiguous item slice, a replica handle of the
+  /// centroid-side shortlist state and its own query scratch. Must be
+  /// >= 1; any value produces bit-identical results (1 = the historical
+  /// flat decomposition). Values above the flat chunk count
+  /// (ceil(n / chunk_size)) are clamped to it — the excess shards could
+  /// not own a whole work unit anyway.
+  uint32_t num_shards = 1;
+  /// Items per work unit of the parallel assignment step, within a shard.
+  /// Must be >= 1. Never derived from the thread count, so the chunk
+  /// decomposition — and with it all per-chunk bookkeeping — is identical
+  /// for every num_threads; any value produces bit-identical results
+  /// (tuning knob for the NUMA/chunk-size study).
+  uint32_t chunk_size = 1024;
 };
 
 /// \brief Candidate provider that enumerates every cluster — plugging this
@@ -212,6 +246,19 @@ struct ProviderScratch<Provider> {
   using type = decltype(std::declval<const Provider&>().MakeScratch());
 };
 
+/// Replica-handle type of a provider: providers exposing MakeReplica()
+/// hand each shard a replica of their read-only query state; everything
+/// else gets the engine-supplied fallback (a thin provider reference).
+template <typename Provider, typename Fallback>
+struct ProviderReplica {
+  using type = Fallback;
+};
+template <typename Provider, typename Fallback>
+  requires requires(const Provider& p) { p.MakeReplica(); }
+struct ProviderReplica<Provider, Fallback> {
+  using type = decltype(std::declval<const Provider&>().MakeReplica());
+};
+
 }  // namespace internal
 
 /// \brief The unified refinement engine. See the file comment.
@@ -240,6 +287,12 @@ class ClusteringEngine {
       return Status::InvalidArgument(
           "num_clusters must be in [1, n]; got k=" + std::to_string(k) +
           " with n=" + std::to_string(n));
+    }
+    if (options.num_shards == 0) {
+      return Status::InvalidArgument("num_shards must be >= 1");
+    }
+    if (options.chunk_size == 0) {
+      return Status::InvalidArgument("chunk_size must be >= 1");
     }
     LSHC_RETURN_NOT_OK(Traits::ValidateOptions(dataset, options));
 
@@ -281,15 +334,29 @@ class ClusteringEngine {
       pool = &*pool_storage;
     }
 
-    // Per-worker query state for parallel-capable shortlist providers.
-    [[maybe_unused]] std::vector<Scratch> scratches;
-    [[maybe_unused]] std::vector<std::vector<uint32_t>> shortlists;
+    // The two-level decomposition of this run's item space, and the
+    // per-chunk accumulator storage every pass merges in shard order.
+    // Both are pure functions of (n, num_shards, chunk_size), never of
+    // the pool, which is what keeps every (shards x threads) combination
+    // bit-identical. Clamped() caps the shard count at the flat chunk
+    // count, so per-shard state stays proportional to actual work units.
+    const ShardPlan plan =
+        ShardPlan::Clamped(n, options.num_shards, options.chunk_size);
+    ShardedAccumulator<ChunkStats> accumulator;
+
+    // Shard-local query state for parallel-capable shortlist providers:
+    // each shard owns a replica handle of the provider's read-only query
+    // state plus one scratch slot per worker (filled lazily; see
+    // ShardState) — nothing a shard's queries touch is pool-global.
+    [[maybe_unused]] std::vector<ShardState> shard_states;
     if constexpr (!Provider::kExhaustive && kParallelProvider) {
-      scratches.reserve(num_threads);
-      for (uint32_t i = 0; i < num_threads; ++i) {
-        scratches.push_back(provider.MakeScratch());
+      shard_states.reserve(plan.num_shards());
+      for (uint32_t s = 0; s < plan.num_shards(); ++s) {
+        ShardState state{MakeQueryHandle(provider), {}, {}};
+        state.scratches.resize(num_threads);
+        state.shortlists.resize(num_threads);
+        shard_states.push_back(std::move(state));
       }
-      shortlists.resize(num_threads);
     }
 
     // Phase 2: initial exhaustive assignment + first centroid update.
@@ -297,7 +364,8 @@ class ClusteringEngine {
     result.assignment.assign(n, 0);
     DispatchEarlyExit(options.early_exit, [&](auto early_exit) {
       ExhaustivePass<early_exit.value, /*FirstPass=*/true>(
-          dataset, centroids, options, result.assignment, pool);
+          dataset, centroids, options, result.assignment, plan, pool,
+          accumulator);
     });
     Traits::UpdateCentroids(dataset, centroids, result.assignment, options,
                             rng);
@@ -314,8 +382,12 @@ class ClusteringEngine {
     }
     result.index_build_seconds = phase_watch.ElapsedSeconds();
 
-    // Phase 4: refinement until convergence.
+    // Phase 4: refinement until convergence. The per-pass assignment
+    // snapshot is allocated once here and reused by every iteration.
     std::vector<uint32_t> snapshot;
+    if constexpr (!Provider::kExhaustive && kParallelProvider) {
+      snapshot.resize(n);
+    }
     [[maybe_unused]] std::vector<uint32_t> legacy_shortlist;
     for (uint32_t iteration = 1; iteration <= options.max_iterations;
          ++iteration) {
@@ -326,19 +398,19 @@ class ClusteringEngine {
         constexpr bool kEarlyExit = early_exit.value;
         if constexpr (Provider::kExhaustive) {
           moves = ExhaustivePass<kEarlyExit, /*FirstPass=*/false>(
-              dataset, centroids, options, result.assignment, pool);
+              dataset, centroids, options, result.assignment, plan, pool,
+              accumulator);
           shortlist_total = static_cast<uint64_t>(n) * k;
         } else if constexpr (kParallelProvider) {
           // Freeze the cluster-reference store for this pass: queries see
           // the pre-pass assignment regardless of chunk order, which is
           // what makes the pass thread-count-invariant.
-          snapshot.assign(result.assignment.begin(),
-                          result.assignment.end());
+          std::copy(result.assignment.begin(), result.assignment.end(),
+                    snapshot.begin());
           moves = ShortlistPass<kEarlyExit>(dataset, centroids, options,
-                                            provider, snapshot,
-                                            result.assignment, pool,
-                                            scratches, shortlists,
-                                            &shortlist_total);
+                                            snapshot, result.assignment,
+                                            plan, pool, shard_states,
+                                            accumulator, &shortlist_total);
         } else {
           moves = LegacyShortlistPass<kEarlyExit>(
               dataset, centroids, options, provider, result.assignment,
@@ -376,19 +448,63 @@ class ClusteringEngine {
   }
 
  private:
-  /// Items per work unit of the parallel assignment step. Fixed (never
-  /// derived from the thread count) so the chunk decomposition — and with
-  /// it any per-chunk bookkeeping — is identical for every num_threads.
-  static constexpr uint32_t kChunkSize = 1024;
-
   /// True when the provider supports concurrent queries via per-worker
   /// scratch state.
   static constexpr bool kParallelProvider =
       requires(const Provider& p) { p.MakeScratch(); };
 
+  /// True when the provider hands out shard replica handles of its
+  /// read-only query state (core/shortlist_provider.h). Providers without
+  /// one are wrapped in ProviderRef — same calls, provider-global state.
+  static constexpr bool kHasReplica =
+      requires(const Provider& p) { p.MakeReplica(); };
+
   using Scratch = typename internal::ProviderScratch<Provider>::type;
 
-  /// Per-chunk accumulator, merged in chunk order after a pass.
+  /// Thin query handle for parallel providers without MakeReplica.
+  struct ProviderRef {
+    const Provider* provider = nullptr;
+
+    void GetCandidates(uint32_t item, std::span<const uint32_t> assignment,
+                       Scratch& scratch, std::vector<uint32_t>* out) const {
+      provider->GetCandidates(item, assignment, scratch, out);
+    }
+
+    Scratch MakeScratch() const { return provider->MakeScratch(); }
+  };
+
+  /// What a shard queries through: the provider's replica handle when it
+  /// offers one, a plain provider reference otherwise.
+  using QueryHandle =
+      typename internal::ProviderReplica<Provider, ProviderRef>::type;
+
+  static QueryHandle MakeQueryHandle(const Provider& provider) {
+    if constexpr (kHasReplica) {
+      return provider.MakeReplica();
+    } else {
+      return ProviderRef{&provider};
+    }
+  }
+
+  /// Everything a shard owns besides its item slice: the replica handle
+  /// of the centroid-side shortlist state and per-worker query scratch
+  /// (dedup stamps + shortlist buffers). Indexed by shard; the per-worker
+  /// vectors are indexed by the pool's stable worker id. Scratches are
+  /// materialised lazily, on the worker that first runs one of the
+  /// shard's chunks: scratch contents never influence results (queries
+  /// epoch-reset them), so only (shard, worker) pairs that actually
+  /// execute pay the k-sized stamp array. Together with the shard-count
+  /// clamp in Run (shards <= flat chunk count), total shard-state
+  /// bookkeeping is bounded by the number of work units, not by the
+  /// requested shard count.
+  struct ShardState {
+    QueryHandle handle;
+    std::vector<std::optional<Scratch>> scratches;
+    std::vector<std::vector<uint32_t>> shortlists;
+  };
+
+  /// Per-chunk accumulator, merged in shard order after a pass (see
+  /// shard/sharded_accumulator.h).
   struct ChunkStats {
     uint64_t moves = 0;
     uint64_t shortlist = 0;
@@ -481,41 +597,41 @@ class ClusteringEngine {
     stats->moves = moves;
   }
 
-  /// Full exhaustive pass; chunked across the pool when present. Each
-  /// item touches only its own assignment slot, so in-place parallel
-  /// writes are race-free and order-independent.
+  /// Full exhaustive pass over the shard plan. Each item touches only its
+  /// own assignment slot, so in-place parallel writes are race-free and
+  /// order-independent; per-chunk stats merge through the accumulator in
+  /// shard order.
   template <bool EarlyExit, bool FirstPass>
   static uint64_t ExhaustivePass(const Dataset& dataset,
                                  const Centroids& centroids,
                                  const Options& options,
                                  std::span<uint32_t> assignment,
-                                 ThreadPool* pool) {
-    const uint32_t n = dataset.num_items();
-    if (pool == nullptr) {
-      ChunkStats stats;
-      ExhaustiveChunk<EarlyExit, FirstPass>(dataset, centroids, options,
-                                            assignment, 0, n, &stats);
-      return stats.moves;
-    }
-    std::vector<ChunkStats> stats((n + kChunkSize - 1) / kChunkSize);
-    pool->ParallelFor(0, n, kChunkSize,
-                      [&](uint32_t begin, uint32_t end, uint32_t) {
-                        ExhaustiveChunk<EarlyExit, FirstPass>(
-                            dataset, centroids, options, assignment, begin,
-                            end, &stats[begin / kChunkSize]);
-                      });
+                                 const ShardPlan& plan, ThreadPool* pool,
+                                 ShardedAccumulator<ChunkStats>& accumulator) {
+    accumulator.Reset(plan);
+    ForEachShardChunk(
+        plan, pool,
+        [&](const ShardPlan::Chunk& chunk, uint32_t index, uint32_t) {
+          ExhaustiveChunk<EarlyExit, FirstPass>(dataset, centroids, options,
+                                                assignment, chunk.begin,
+                                                chunk.end,
+                                                accumulator.slot(index));
+        });
     uint64_t moves = 0;
-    for (const ChunkStats& chunk : stats) moves += chunk.moves;
+    accumulator.MergeInOrder(
+        [&](const ChunkStats& stats) { moves += stats.moves; });
     return moves;
   }
 
-  /// One shortlist chunk (parallel-capable providers): queries against the
-  /// frozen `reference` snapshot, writes into the live assignment. Local
-  /// accumulators for the same false-sharing reason as ExhaustiveChunk.
+  /// One shortlist chunk (parallel-capable providers): queries through the
+  /// owning shard's replica `handle` against the frozen `reference`
+  /// snapshot, writes into the live assignment. Local accumulators for the
+  /// same false-sharing reason as ExhaustiveChunk.
   template <bool EarlyExit>
   static void ShortlistChunk(const Dataset& dataset,
                              const Centroids& centroids,
-                             const Options& options, const Provider& provider,
+                             const Options& options,
+                             const QueryHandle& handle,
                              std::span<const uint32_t> reference,
                              std::span<uint32_t> assignment, uint32_t begin,
                              uint32_t end, Scratch& scratch,
@@ -524,7 +640,7 @@ class ClusteringEngine {
     uint64_t moves = 0;
     uint64_t shortlist_total = 0;
     for (uint32_t item = begin; item < end; ++item) {
-      provider.GetCandidates(item, reference, scratch, &shortlist);
+      handle.GetCandidates(item, reference, scratch, &shortlist);
       shortlist_total += shortlist.size();
       const uint32_t seed_cluster = assignment[item];
       const uint32_t best = BestClusterShortlist<EarlyExit>(
@@ -538,38 +654,38 @@ class ClusteringEngine {
     stats->shortlist = shortlist_total;
   }
 
-  /// Full shortlist pass for parallel-capable providers.
+  /// Full shortlist pass for parallel-capable providers: every chunk runs
+  /// against its shard's replica handle and (shard, worker) scratch, and
+  /// the per-chunk stats merge through the accumulator in shard order.
   template <bool EarlyExit>
   static uint64_t ShortlistPass(
       const Dataset& dataset, const Centroids& centroids,
-      const Options& options, const Provider& provider,
-      std::span<const uint32_t> reference, std::span<uint32_t> assignment,
-      ThreadPool* pool, std::vector<Scratch>& scratches,
-      std::vector<std::vector<uint32_t>>& shortlists,
+      const Options& options, std::span<const uint32_t> reference,
+      std::span<uint32_t> assignment, const ShardPlan& plan,
+      ThreadPool* pool, std::vector<ShardState>& shard_states,
+      ShardedAccumulator<ChunkStats>& accumulator,
       uint64_t* shortlist_total) {
-    const uint32_t n = dataset.num_items();
-    if (pool == nullptr) {
-      ChunkStats stats;
-      ShortlistChunk<EarlyExit>(dataset, centroids, options, provider,
-                                reference, assignment, 0, n, scratches[0],
-                                shortlists[0], &stats);
-      *shortlist_total += stats.shortlist;
-      return stats.moves;
-    }
-    std::vector<ChunkStats> stats((n + kChunkSize - 1) / kChunkSize);
-    pool->ParallelFor(
-        0, n, kChunkSize,
-        [&](uint32_t begin, uint32_t end, uint32_t worker) {
-          ShortlistChunk<EarlyExit>(dataset, centroids, options, provider,
-                                    reference, assignment, begin, end,
-                                    scratches[worker], shortlists[worker],
-                                    &stats[begin / kChunkSize]);
+    accumulator.Reset(plan);
+    ForEachShardChunk(
+        plan, pool,
+        [&](const ShardPlan::Chunk& chunk, uint32_t index, uint32_t worker) {
+          ShardState& state = shard_states[chunk.shard];
+          // Lazy scratch materialisation is race-free: slot (shard,
+          // worker) is only ever touched from worker `worker`, and the
+          // slot vector was sized up front (no reallocation).
+          std::optional<Scratch>& scratch = state.scratches[worker];
+          if (!scratch.has_value()) scratch.emplace(state.handle.MakeScratch());
+          ShortlistChunk<EarlyExit>(dataset, centroids, options,
+                                    state.handle, reference, assignment,
+                                    chunk.begin, chunk.end, *scratch,
+                                    state.shortlists[worker],
+                                    accumulator.slot(index));
         });
     uint64_t moves = 0;
-    for (const ChunkStats& chunk : stats) {
-      moves += chunk.moves;
-      *shortlist_total += chunk.shortlist;
-    }
+    accumulator.MergeInOrder([&](const ChunkStats& stats) {
+      moves += stats.moves;
+      *shortlist_total += stats.shortlist;
+    });
     return moves;
   }
 

@@ -169,6 +169,36 @@ class ShortlistProvider {
   /// A fresh scratch sized for this provider's cluster count.
   Scratch MakeScratch() const { return MakeClusterDedupScratch(num_clusters_); }
 
+  /// \brief A shard's handle on the centroid-side shortlist state: a
+  /// read-only view of the banding index + family, carrying no mutable
+  /// provider state (queries go through caller-owned scratch). The engine
+  /// hands one to every shard of its shard plan, so each shard's query
+  /// path owns its state outright. On a single node every replica aliases
+  /// the same index; the handle is the seam where multi-node scale-out
+  /// substitutes a real per-shard copy.
+  class Replica {
+   public:
+    explicit Replica(const ShortlistProvider* provider)
+        : provider_(provider) {}
+
+    /// Same contract as ShortlistProvider::GetCandidates (const overload).
+    void GetCandidates(uint32_t item, std::span<const uint32_t> assignment,
+                       Scratch& scratch, std::vector<uint32_t>* out) const {
+      provider_->GetCandidates(item, assignment, scratch, out);
+    }
+
+    /// A fresh scratch sized for the replicated provider's cluster count.
+    Scratch MakeScratch() const { return provider_->MakeScratch(); }
+
+   private:
+    const ShortlistProvider* provider_;
+  };
+
+  /// A shard replica handle of this provider's read-only query state.
+  /// Valid for the provider's lifetime; Prepare() may run after handles
+  /// were made (the engine creates them before building the index).
+  Replica MakeReplica() const { return Replica(this); }
+
   /// Computes all signatures and builds the banding index (the one-time
   /// pass of Alg. 2). Called by the engine after the initial assignment.
   /// Signature computation is embarrassingly parallel over items, so when

@@ -1,7 +1,11 @@
 #include "core/streaming.h"
 
+#include <algorithm>
+
 #include "clustering/dissimilarity.h"
 #include "clustering/engine.h"
+#include "shard/shard_executor.h"
+#include "shard/shard_plan.h"
 #include "util/macros.h"
 
 namespace lshclust {
@@ -9,12 +13,6 @@ namespace lshclust {
 namespace {
 /// skip_item value meaning "skip nothing" (no real item has this id).
 constexpr uint32_t kSkipNone = ~0u;
-
-/// Items per ParallelFor unit of IngestBatch's parallel phase. Smaller
-/// than kSignatureChunkSize so a 1024-item micro-batch still spreads
-/// evenly over 8 workers; signing a chunk costs far more than a pool
-/// dispatch.
-constexpr uint32_t kIngestChunkSize = 64;
 }  // namespace
 
 Result<StreamingMHKModes> StreamingMHKModes::Bootstrap(
@@ -24,6 +22,12 @@ Result<StreamingMHKModes> StreamingMHKModes::Bootstrap(
   const uint32_t m = warmup.num_attributes();
   if (k == 0) {
     return Status::InvalidArgument("num_clusters must be positive");
+  }
+  if (options.ingest_shards == 0) {
+    return Status::InvalidArgument("ingest_shards must be >= 1");
+  }
+  if (options.ingest_chunk_size == 0) {
+    return Status::InvalidArgument("ingest_chunk_size must be >= 1");
   }
 
   StreamingMHKModes stream;
@@ -237,30 +241,46 @@ Result<std::span<const uint32_t>> StreamingMHKModes::IngestBatch(
   }
   const uint32_t workers = pool_ == nullptr ? 1 : pool_->num_threads();
 
+  // The two-level (shard -> chunk) decomposition of this micro-batch:
+  // `ingest_shards` contiguous arrival-order slices, each cut into
+  // `ingest_chunk_size`-item chunks. Every (shard, worker) pair owns one
+  // scratch slot, so a shard's queries never touch pool-global state.
+  // Clamped() caps the shard count at the batch's flat chunk count, so
+  // slot state stays proportional to actual work units.
+  const ShardPlan plan = ShardPlan::Clamped(count, options_.ingest_shards,
+                                            options_.ingest_chunk_size);
+  const uint32_t slots = plan.num_shards() * workers;
+
   batch_.signatures.resize(static_cast<size_t>(count) * width);
   batch_.cluster.resize(count);
   batch_.refs.resize(count);
-  if (batch_.worker_shortlists.size() < workers) {
-    batch_.worker_shortlists.resize(workers);
-    batch_.worker_tokens.resize(workers);
-    batch_.worker_current.resize(workers);
-    while (batch_.worker_dedup.size() < workers) {
-      batch_.worker_dedup.push_back(MakeClusterDedupScratch(num_clusters_));
-    }
+  if (batch_.worker_shortlists.size() < slots) {
+    batch_.worker_shortlists.resize(slots);
+    batch_.worker_tokens.resize(slots);
+    batch_.worker_current.resize(slots);
+    // Default-constructed scratches; the stamp arrays are materialised
+    // lazily by the first chunk that runs on each slot.
+    batch_.worker_dedup.resize(slots);
   }
   for (auto& buffer : batch_.worker_shortlists) buffer.clear();
 
   // --- Parallel phase: sign + provisionally shortlist and assign every
-  // item against the index and modes frozen at batch start. Chunk
-  // boundaries are a pure function of the batch size, and each item
-  // touches only its own outputs, so the phase is bit-identical for every
-  // worker count.
+  // item against the index and modes frozen at batch start. The shard and
+  // chunk boundaries are a pure function of the batch size and the
+  // options, and each item touches only its own outputs, so the phase is
+  // bit-identical for every (shard x worker) combination.
   const uint32_t frozen_items = index_->num_items();
-  const auto chunk_fn = [&](uint32_t begin, uint32_t end, uint32_t worker) {
-    std::vector<uint32_t>& tokens = batch_.worker_tokens[worker];
-    ClusterDedupScratch& dedup = batch_.worker_dedup[worker];
-    std::vector<uint32_t>& current = batch_.worker_current[worker];
-    std::vector<uint32_t>& out = batch_.worker_shortlists[worker];
+  const auto chunk_fn = [&](uint32_t begin, uint32_t end, uint32_t slot) {
+    std::vector<uint32_t>& tokens = batch_.worker_tokens[slot];
+    ClusterDedupScratch& dedup = batch_.worker_dedup[slot];
+    // Lazy stamp materialisation is race-free: a slot encodes its worker,
+    // so it is only ever touched from that worker's thread (k >= 1, so
+    // empty means never initialised).
+    if (dedup.cluster_stamp.empty()) {
+      dedup = MakeClusterDedupScratch(num_clusters_);
+    }
+    std::vector<uint32_t>& current = batch_.worker_current[slot];
+    std::vector<uint32_t>& out = batch_.worker_shortlists[slot];
     for (uint32_t i = begin; i < end; ++i) {
       const std::span<const uint32_t> row =
           rows.subspan(static_cast<size_t>(i) * m, m);
@@ -270,21 +290,22 @@ Result<std::span<const uint32_t>> StreamingMHKModes::IngestBatch(
 
       // The same walk the sequential path runs (shared code keeps the
       // provisional and apply phases bit-aligned by construction); the
-      // result is stashed in the worker's buffer for the apply phase.
+      // result is stashed in the slot's buffer for the apply phase.
       ShortlistSignature(std::span<const uint64_t>(signature, width),
                          kSkipNone, dedup, &current);
       const uint32_t offset = static_cast<uint32_t>(out.size());
       out.insert(out.end(), current.begin(), current.end());
-      batch_.refs[i] = {worker, offset,
+      batch_.refs[i] = {slot, offset,
                         static_cast<uint32_t>(current.size())};
       batch_.cluster[i] = ScoreRow(row, current);
     }
   };
-  if (pool_ == nullptr) {
-    chunk_fn(0, count, 0);
-  } else {
-    pool_->ParallelFor(0, count, kIngestChunkSize, chunk_fn);
-  }
+  ForEachShardChunk(plan, pool_.get(),
+                    [&](const ShardPlan::Chunk& chunk, uint32_t,
+                        uint32_t worker) {
+                      chunk_fn(chunk.begin, chunk.end,
+                               chunk.shard * workers + worker);
+                    });
 
   // --- Sequential apply phase, in arrival order. Three cases, from cheap
   // to expensive, each reproducing exactly what a sequential Ingest of
@@ -324,7 +345,7 @@ Result<std::span<const uint32_t>> StreamingMHKModes::IngestBatch(
       continue;
     }
     const std::span<const uint32_t> provisional(
-        batch_.worker_shortlists[ref.worker].data() + ref.offset,
+        batch_.worker_shortlists[ref.slot].data() + ref.offset,
         ref.length);
     bool scores_stale = false;
     if (ref.length == 0) {

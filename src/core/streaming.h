@@ -26,14 +26,19 @@
 /// ## Batch-parallel ingest
 ///
 /// IngestBatch is bit-identical to calling Ingest on the same rows in the
-/// same order, at every thread count, by a speculate-then-validate scheme:
+/// same order, at every (shard count x thread count) combination, by a
+/// speculate-then-validate scheme:
 ///
-///  * Parallel phase: the batch is cut into fixed-size chunks (one chunk =
-///    one ParallelFor unit; per-worker ClusterDedupScratch and token
-///    buffers). Each item is filtered, signed, shortlisted against the
-///    index *frozen at batch start*, and provisionally assigned against
-///    the modes frozen at batch start. Signing is the dominant per-item
-///    cost, so this is where the wall time goes.
+///  * Parallel phase: the micro-batch runs through the same two-level
+///    (shard -> chunk) decomposition as the engine's assignment step
+///    (src/shard/shard_plan.h): `ingest_shards` contiguous arrival-order
+///    slices, each cut into `ingest_chunk_size`-item chunks (one chunk =
+///    one ParallelFor unit; ClusterDedupScratch and token buffers are
+///    owned per (shard, worker), never pool-global). Each item is
+///    filtered, signed, shortlisted against the index *frozen at batch
+///    start*, and provisionally assigned against the modes frozen at
+///    batch start. Signing is the dominant per-item cost, so this is
+///    where the wall time goes.
 ///  * Sequential apply phase, in arrival order: each item's signature is
 ///    inserted into the index; the insert reports whether any bucket
 ///    already held an in-batch predecessor (exact, because bucket chains
@@ -75,6 +80,19 @@ struct StreamingMHKModesOptions {
   /// the calling thread (default); 0 = one per hardware thread. Any value
   /// produces bit-identical results.
   uint32_t ingest_threads = 1;
+  /// Item-space shards of IngestBatch's parallel phase: each micro-batch
+  /// is partitioned into this many contiguous arrival-order slices, each
+  /// owning its own query scratch. Must be >= 1; any value produces
+  /// bit-identical results (1 = the historical flat decomposition).
+  /// Values above the batch's flat chunk count
+  /// (ceil(batch / ingest_chunk_size)) are clamped to it — the excess
+  /// shards could not own a whole work unit anyway.
+  uint32_t ingest_shards = 1;
+  /// Items per ParallelFor unit within a shard of the parallel phase.
+  /// Must be >= 1; any value produces bit-identical results. Smaller than
+  /// the engine's assignment chunk because signing an item costs far more
+  /// than a distance.
+  uint32_t ingest_chunk_size = 64;
 };
 
 /// \brief Online clusterer; construct via Bootstrap.
@@ -233,15 +251,21 @@ class StreamingMHKModes {
     std::vector<uint64_t> signatures;
     /// Provisional cluster per item (frozen-state decision).
     std::vector<uint32_t> cluster;
-    /// Provisional shortlist per item: worker pool slice (length 0 with
-    /// worker == 0 and offset == 0 encodes "empty -> fallback").
+    /// Provisional shortlist per item: a slice of one (shard, worker)
+    /// slot's buffer. The apply phase keys the "empty -> exhaustive
+    /// fallback" case off length == 0 alone; slot/offset always name the
+    /// producing slot's buffer position, even for empty shortlists.
     struct ShortlistRef {
-      uint32_t worker = 0;
+      uint32_t slot = 0;
       uint32_t offset = 0;
       uint32_t length = 0;
     };
     std::vector<ShortlistRef> refs;
-    /// Per-worker state for the parallel phase.
+    /// Per-(shard, worker) state for the parallel phase, indexed by
+    /// slot = shard * workers + worker — shard-local, so a shard's
+    /// queries never touch pool-global scratch. Dedup stamp arrays are
+    /// materialised lazily, on the worker that first uses a slot, so
+    /// degenerate shard counts don't pay k stamps per idle slot.
     std::vector<std::vector<uint32_t>> worker_shortlists;
     std::vector<std::vector<uint32_t>> worker_tokens;
     std::vector<std::vector<uint32_t>> worker_current;  // one item's walk

@@ -1,0 +1,82 @@
+#include "shard/shard_plan.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace lshclust {
+
+ShardPlan::ShardPlan(uint32_t num_items, uint32_t num_shards,
+                     uint32_t chunk_size)
+    : num_items_(num_items), num_shards_(num_shards),
+      chunk_size_(chunk_size) {
+  LSHC_CHECK_GE(num_shards, 1u) << "a plan needs at least one shard";
+  LSHC_CHECK_GE(chunk_size, 1u) << "chunk_size must be positive";
+
+  // Sizes and the rounded-up chunk counts are computed in 64 bits: both
+  // num_shards and chunk_size may legally be near 2^32, where
+  // `num_shards + 1` and `size + chunk_size - 1` wrap in uint32.
+  shard_begin_.resize(static_cast<size_t>(num_shards_) + 1);
+  chunk_offset_.resize(static_cast<size_t>(num_shards_) + 1);
+  const uint32_t base = num_items_ / num_shards_;
+  const uint32_t remainder = num_items_ % num_shards_;
+  uint32_t item = 0;
+  uint32_t chunks = 0;
+  for (uint32_t s = 0; s < num_shards_; ++s) {
+    shard_begin_[s] = item;
+    chunk_offset_[s] = chunks;
+    const uint32_t size = base + (s < remainder ? 1u : 0u);
+    item += size;
+    chunks += static_cast<uint32_t>(
+        (static_cast<uint64_t>(size) + chunk_size_ - 1) / chunk_size_);
+  }
+  shard_begin_[num_shards_] = item;
+  chunk_offset_[num_shards_] = chunks;
+  total_chunks_ = chunks;
+}
+
+ShardPlan ShardPlan::Clamped(uint32_t num_items, uint32_t num_shards,
+                             uint32_t chunk_size) {
+  LSHC_CHECK_GE(chunk_size, 1u) << "chunk_size must be positive";
+  const uint32_t flat_chunks = static_cast<uint32_t>(
+      (static_cast<uint64_t>(num_items) + chunk_size - 1) / chunk_size);
+  return ShardPlan(num_items, std::min(num_shards, std::max(1u, flat_chunks)),
+                   chunk_size);
+}
+
+ShardSlice ShardPlan::shard(uint32_t s) const {
+  LSHC_DCHECK(s < num_shards_);
+  return {shard_begin_[s], shard_begin_[s + 1]};
+}
+
+uint32_t ShardPlan::ChunksInShard(uint32_t s) const {
+  LSHC_DCHECK(s < num_shards_);
+  return chunk_offset_[s + 1] - chunk_offset_[s];
+}
+
+uint32_t ShardPlan::ChunkOffsetOfShard(uint32_t s) const {
+  LSHC_DCHECK(s < num_shards_);
+  return chunk_offset_[s];
+}
+
+ShardPlan::Chunk ShardPlan::chunk(uint32_t index) const {
+  LSHC_DCHECK(index < total_chunks_);
+  // First shard whose chunk range ends beyond `index`. Shard counts are
+  // tiny next to item counts, so the binary search is noise.
+  const auto it = std::upper_bound(chunk_offset_.begin(),
+                                   chunk_offset_.end(), index);
+  const uint32_t s =
+      static_cast<uint32_t>(it - chunk_offset_.begin()) - 1;
+  const uint32_t local = index - chunk_offset_[s];
+  // 64-bit again: local * chunk_size and begin + chunk_size can exceed
+  // 2^32 when chunk_size is huge (the results, clamped to the shard end,
+  // always fit).
+  const uint32_t begin = static_cast<uint32_t>(
+      shard_begin_[s] + static_cast<uint64_t>(local) * chunk_size_);
+  const uint32_t end = static_cast<uint32_t>(
+      std::min<uint64_t>(shard_begin_[s + 1],
+                         static_cast<uint64_t>(begin) + chunk_size_));
+  return {s, begin, end};
+}
+
+}  // namespace lshclust

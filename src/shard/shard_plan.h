@@ -1,0 +1,109 @@
+#pragma once
+
+/// \file shard_plan.h
+/// \brief The two-level (shard -> chunk) decomposition of an item range.
+///
+/// The engine's batch-parallel passes and the streaming micro-batch ingest
+/// both cut a flat item range into fixed-size chunks and dispatch them to
+/// a worker pool. A ShardPlan inserts one level above that: the range is
+/// first partitioned into S contiguous *shards* (each the item slice a
+/// future node / NUMA domain would own), and each shard is then cut into
+/// chunks exactly like the flat decomposition cut the whole range.
+///
+/// Two properties make the plan safe to thread through bit-identical
+/// pipelines:
+///
+///  * **Determinism** — every boundary is a pure function of
+///    (num_items, num_shards, chunk_size); nothing depends on thread
+///    timing or on which worker executes which chunk.
+///  * **S=1 degeneracy** — with one shard the chunk decomposition equals
+///    the flat one (chunk c covers [c*chunk_size, ...)), so the sharded
+///    execution path *is* the historical unsharded path, not a parallel
+///    implementation of it.
+///
+/// Shards split as evenly as possible: the first (num_items % S) shards
+/// get one extra item. More shards than items is legal — trailing shards
+/// are empty and own zero chunks.
+///
+/// Chunks are addressed by a single global index in
+/// [0, num_chunks()), ordered shard-major (all of shard 0's chunks, then
+/// shard 1's, ...). Merging per-chunk accumulators in global chunk order
+/// therefore *is* the "merge per-shard results in shard order" rule — see
+/// shard/sharded_accumulator.h.
+
+#include <cstdint>
+#include <vector>
+
+namespace lshclust {
+
+/// \brief A shard's contiguous item slice (may be empty).
+struct ShardSlice {
+  uint32_t begin = 0;
+  uint32_t end = 0;
+
+  uint32_t size() const { return end - begin; }
+  bool empty() const { return begin == end; }
+};
+
+/// \brief Deterministic shard -> chunk decomposition of [0, num_items).
+class ShardPlan {
+ public:
+  /// \brief One schedulable unit: a chunk of consecutive items inside one
+  /// shard.
+  struct Chunk {
+    /// The shard owning this chunk.
+    uint32_t shard = 0;
+    /// Item range [begin, end) — global item ids, never shard-relative.
+    uint32_t begin = 0;
+    uint32_t end = 0;
+  };
+
+  /// Builds the plan. `num_shards` and `chunk_size` must be >= 1
+  /// (checked); `num_items` may be 0 (an empty plan with no chunks).
+  /// The constructor takes `num_shards` literally and allocates two
+  /// (num_shards + 1)-entry offset vectors — callers holding
+  /// user-supplied shard counts should go through Clamped() instead.
+  ShardPlan(uint32_t num_items, uint32_t num_shards, uint32_t chunk_size);
+
+  /// Builds a plan with `num_shards` clamped to the flat chunk count
+  /// (ceil(num_items / chunk_size), minimum 1): a shard smaller than one
+  /// chunk cannot split further, so the clamp is invisible in any
+  /// bit-identical pipeline and keeps per-shard bookkeeping proportional
+  /// to actual work units instead of the requested shard count. This is
+  /// the entry point for user-supplied shard counts (the engine and the
+  /// streaming ingest both construct their plans here).
+  static ShardPlan Clamped(uint32_t num_items, uint32_t num_shards,
+                           uint32_t chunk_size);
+
+  uint32_t num_items() const { return num_items_; }
+  uint32_t num_shards() const { return num_shards_; }
+  uint32_t chunk_size() const { return chunk_size_; }
+
+  /// Total chunk count over all shards.
+  uint32_t num_chunks() const { return total_chunks_; }
+
+  /// The contiguous item slice of shard `s`.
+  ShardSlice shard(uint32_t s) const;
+
+  /// Number of chunks shard `s` owns (0 for empty shards).
+  uint32_t ChunksInShard(uint32_t s) const;
+
+  /// Global index of shard `s`'s first chunk (== num_chunks() of all
+  /// earlier shards summed).
+  uint32_t ChunkOffsetOfShard(uint32_t s) const;
+
+  /// Resolves global chunk index -> (shard, item range).
+  Chunk chunk(uint32_t index) const;
+
+ private:
+  uint32_t num_items_ = 0;
+  uint32_t num_shards_ = 1;
+  uint32_t chunk_size_ = 1;
+  uint32_t total_chunks_ = 0;
+  /// shard s owns items [shard_begin_[s], shard_begin_[s + 1]).
+  std::vector<uint32_t> shard_begin_;
+  /// shard s owns global chunks [chunk_offset_[s], chunk_offset_[s + 1]).
+  std::vector<uint32_t> chunk_offset_;
+};
+
+}  // namespace lshclust

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file sharded_accumulator.h
+/// \brief Per-chunk accumulator storage for a ShardPlan, merged in shard
+/// order.
+///
+/// A sharded pass gives every chunk its own accumulator slot (workers
+/// never share a slot, so the parallel phase needs no locks), then folds
+/// the slots *in global chunk order* — shard-major, chunk order within a
+/// shard — once the pass completes. Because the slot layout and the merge
+/// order are pure functions of the ShardPlan, the folded totals are
+/// bit-identical for every (shard count x thread count) combination; with
+/// S=1 the merge degenerates to the historical flat per-chunk merge.
+///
+/// The slot vector is reused across passes (Reset re-initialises in
+/// place), so a converging refinement loop stops allocating after its
+/// first pass.
+
+#include <cstdint>
+#include <vector>
+
+#include "shard/shard_plan.h"
+#include "util/logging.h"
+
+namespace lshclust {
+
+/// \brief Owns one `Stats` slot per chunk of a ShardPlan.
+template <typename Stats>
+class ShardedAccumulator {
+ public:
+  ShardedAccumulator() = default;
+
+  /// Sizes the accumulator for `plan` and value-initialises every slot.
+  /// Reuses the allocation when the plan's chunk count fits the current
+  /// capacity.
+  explicit ShardedAccumulator(const ShardPlan& plan) { Reset(plan); }
+
+  /// Re-initialises for a (possibly different) plan without shrinking the
+  /// underlying allocation.
+  void Reset(const ShardPlan& plan) {
+    slots_.assign(plan.num_chunks(), Stats{});
+  }
+
+  /// The slot of global chunk `index`; each chunk writes only its own.
+  Stats* slot(uint32_t index) {
+    LSHC_DCHECK(index < slots_.size());
+    return &slots_[index];
+  }
+
+  uint32_t num_slots() const { return static_cast<uint32_t>(slots_.size()); }
+
+  /// Folds every slot in global chunk order (== shard order, then chunk
+  /// order within the shard). `fn` is invoked as fn(const Stats&).
+  template <typename Fn>
+  void MergeInOrder(Fn&& fn) const {
+    for (const Stats& stats : slots_) fn(stats);
+  }
+
+ private:
+  std::vector<Stats> slots_;
+};
+
+}  // namespace lshclust

@@ -20,6 +20,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <string>
 
 #include "clustering/kmodes.h"
 #include "clustering/kprototypes.h"
@@ -312,6 +313,158 @@ TEST(EngineThreadParityTest, ManyChunksNumeric) {
   lsh.kmeans.num_threads = 4;
   const auto shortlist_4t = RunLshKMeans(dataset, lsh).ValueOrDie();
   ExpectIdenticalRuns(shortlist_1t, shortlist_4t);
+}
+
+// --------------------------------------------------------- shard parity --
+//
+// The two-level (shard -> chunk) decomposition must be invisible in the
+// results: every (num_shards x num_threads) combination produces the
+// bit-identical run, for exhaustive and shortlist providers alike, and
+// S=1 is the historical flat decomposition (the golden tests above pin
+// that).
+
+TEST(EngineShardParityTest, ShardSweepMatchesUnshardedAtEveryThreadCount) {
+  ConjunctiveDataOptions data;
+  data.num_items = 2500;
+  data.num_attributes = 10;
+  data.num_clusters = 20;
+  data.domain_size = 25;  // noisy: plenty of moves per iteration
+  data.seed = 91;
+  const auto dataset = GenerateConjunctiveRuleData(data).ValueOrDie();
+
+  MHKModesOptions options;
+  options.engine.num_clusters = 20;
+  options.engine.seed = 93;
+  options.engine.chunk_size = 256;  // several chunks per shard
+  options.index.banding = {6, 1};   // aggressive recall -> big shortlists
+  options.index.seed = 95;
+
+  options.engine.num_shards = 1;
+  options.engine.num_threads = 1;
+  const auto baseline = RunMHKModes(dataset, options).ValueOrDie();
+  EXPECT_GT(baseline.result.TotalMoves(), 0u);
+
+  for (const uint32_t shards : {1u, 2u, 3u, 8u}) {
+    for (const uint32_t threads : {1u, 2u, 4u}) {
+      options.engine.num_shards = shards;
+      options.engine.num_threads = threads;
+      const auto run = RunMHKModes(dataset, options).ValueOrDie();
+      SCOPED_TRACE("shards=" + std::to_string(shards) +
+                   " threads=" + std::to_string(threads));
+      ExpectIdenticalRuns(baseline.result, run.result);
+    }
+  }
+}
+
+TEST(EngineShardParityTest, ExhaustiveNumericShardSweep) {
+  const auto dataset = NumericFixture();
+  KMeansOptions options;
+  options.num_clusters = 6;
+  options.seed = 33;
+  const auto baseline = RunKMeans(dataset, options).ValueOrDie();
+
+  for (const uint32_t shards : {2u, 3u, 8u}) {
+    for (const uint32_t threads : {1u, 2u, 4u}) {
+      options.num_shards = shards;
+      options.num_threads = threads;
+      options.chunk_size = 50;
+      const auto run = RunKMeans(dataset, options).ValueOrDie();
+      SCOPED_TRACE("shards=" + std::to_string(shards) +
+                   " threads=" + std::to_string(threads));
+      ExpectIdenticalRuns(baseline, run);
+    }
+  }
+}
+
+TEST(EngineShardParityTest, ChunkSizeIsInvisible) {
+  // The runtime chunk_size knob (the NUMA/tuning study's subject) must
+  // never change results — including chunks of one item and chunks far
+  // bigger than the dataset.
+  const auto dataset = CategoricalFixture();
+  MHKModesOptions options;
+  options.engine.num_clusters = 8;
+  options.engine.seed = 21;
+  options.index.banding = {8, 2};
+  options.index.seed = 77;
+  const auto baseline = RunMHKModes(dataset, options).ValueOrDie();
+
+  // ~0u is the overflow regression: a near-2^32 chunk size once wrapped
+  // the per-shard chunk count to zero, silently skipping every item.
+  for (const uint32_t chunk_size : {1u, 7u, 100u, 4096u, 1000000u, ~0u}) {
+    for (const uint32_t threads : {1u, 2u}) {
+      options.engine.chunk_size = chunk_size;
+      options.engine.num_threads = threads;
+      options.engine.num_shards = 2;
+      const auto run = RunMHKModes(dataset, options).ValueOrDie();
+      SCOPED_TRACE("chunk_size=" + std::to_string(chunk_size) +
+                   " threads=" + std::to_string(threads));
+      ExpectIdenticalRuns(baseline.result, run.result);
+    }
+  }
+}
+
+TEST(EngineShardParityTest, MoreShardsThanItems) {
+  // Shard counts beyond the flat chunk count are clamped (a shard
+  // smaller than one chunk cannot split further); the run must still be
+  // bit-identical to the unsharded one. Genuinely empty shards are
+  // covered at the plan level in tests/shard_test.cpp.
+  ConjunctiveDataOptions data;
+  data.num_items = 5;
+  data.num_attributes = 6;
+  data.num_clusters = 3;
+  data.domain_size = 12;
+  data.seed = 101;
+  const auto dataset = GenerateConjunctiveRuleData(data).ValueOrDie();
+
+  MHKModesOptions options;
+  options.engine.num_clusters = 3;
+  options.engine.seed = 103;
+  options.index.banding = {4, 2};
+  const auto baseline = RunMHKModes(dataset, options).ValueOrDie();
+
+  options.engine.num_shards = 8;  // > n = 5
+  options.engine.num_threads = 4;
+  const auto sharded = RunMHKModes(dataset, options).ValueOrDie();
+  ExpectIdenticalRuns(baseline.result, sharded.result);
+
+  // Degenerate-but-legal extreme: 2^32-1 shards must neither overflow
+  // the plan (regression: num_shards + 1 wrapped to 0 and wrote out of
+  // bounds) nor allocate per-shard state beyond n shards.
+  options.engine.num_shards = ~0u;
+  const auto extreme = RunMHKModes(dataset, options).ValueOrDie();
+  ExpectIdenticalRuns(baseline.result, extreme.result);
+}
+
+TEST(EngineShardParityTest, SingleClusterDegenerates) {
+  // k=1: every shortlist is {0}, every item stays put after the first
+  // pass, and the sharded run must agree with the flat one.
+  const auto dataset = CategoricalFixture();
+  MHKModesOptions options;
+  options.engine.num_clusters = 1;
+  options.engine.seed = 7;
+  options.index.banding = {4, 2};
+  const auto baseline = RunMHKModes(dataset, options).ValueOrDie();
+  EXPECT_TRUE(baseline.result.converged);
+
+  options.engine.num_shards = 3;
+  options.engine.num_threads = 2;
+  options.engine.chunk_size = 64;
+  const auto sharded = RunMHKModes(dataset, options).ValueOrDie();
+  ExpectIdenticalRuns(baseline.result, sharded.result);
+  for (const uint32_t cluster : sharded.result.assignment) {
+    EXPECT_EQ(cluster, 0u);
+  }
+}
+
+TEST(EngineShardParityTest, RejectsZeroShardsAndZeroChunkSize) {
+  const auto dataset = CategoricalFixture();
+  EngineOptions options;
+  options.num_clusters = 8;
+  options.num_shards = 0;
+  EXPECT_TRUE(RunKModes(dataset, options).status().IsInvalidArgument());
+  options.num_shards = 1;
+  options.chunk_size = 0;
+  EXPECT_TRUE(RunKModes(dataset, options).status().IsInvalidArgument());
 }
 
 // The unified engine must also accept an exhaustive provider through the

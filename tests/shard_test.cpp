@@ -1,0 +1,212 @@
+// Tests for the shard subsystem (src/shard/): the two-level
+// (shard -> chunk) decomposition must cover the item range exactly once,
+// be a pure function of its inputs, degenerate to the flat chunk
+// decomposition at S=1, and survive the edge cases the engine and
+// streaming ingest rely on (more shards than items, empty ranges,
+// 1-item chunks).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "shard/shard_executor.h"
+#include "shard/shard_plan.h"
+#include "shard/sharded_accumulator.h"
+#include "util/thread_pool.h"
+
+namespace lshclust {
+namespace {
+
+// Walks every chunk and checks it tiles [0, n) in order, that chunk
+// ranges stay inside their shard, and that no chunk exceeds chunk_size.
+void ExpectExactTiling(const ShardPlan& plan) {
+  uint32_t expected_begin = 0;
+  for (uint32_t index = 0; index < plan.num_chunks(); ++index) {
+    const ShardPlan::Chunk chunk = plan.chunk(index);
+    EXPECT_EQ(chunk.begin, expected_begin) << "chunk " << index;
+    EXPECT_GT(chunk.end, chunk.begin) << "chunk " << index;
+    EXPECT_LE(chunk.end - chunk.begin, plan.chunk_size()) << "chunk " << index;
+    const ShardSlice slice = plan.shard(chunk.shard);
+    EXPECT_GE(chunk.begin, slice.begin) << "chunk " << index;
+    EXPECT_LE(chunk.end, slice.end) << "chunk " << index;
+    expected_begin = chunk.end;
+  }
+  EXPECT_EQ(expected_begin, plan.num_items());
+}
+
+TEST(ShardPlanTest, ShardsPartitionTheRangeContiguously) {
+  for (const uint32_t n : {0u, 1u, 5u, 64u, 1000u, 4097u}) {
+    for (const uint32_t shards : {1u, 2u, 3u, 8u, 13u}) {
+      const ShardPlan plan(n, shards, 100);
+      uint32_t covered = 0;
+      uint32_t max_size = 0, min_size = ~0u;
+      for (uint32_t s = 0; s < shards; ++s) {
+        const ShardSlice slice = plan.shard(s);
+        EXPECT_EQ(slice.begin, covered) << "n=" << n << " shard " << s;
+        covered = slice.end;
+        max_size = std::max(max_size, slice.size());
+        min_size = std::min(min_size, slice.size());
+      }
+      EXPECT_EQ(covered, n);
+      // Even split: sizes differ by at most one item.
+      EXPECT_LE(max_size - min_size, 1u) << "n=" << n << " S=" << shards;
+      ExpectExactTiling(plan);
+    }
+  }
+}
+
+TEST(ShardPlanTest, SingleShardEqualsFlatChunkDecomposition) {
+  // The S=1 degeneracy the engine's bit-identity rests on: chunk c must
+  // cover exactly [c*chunk_size, min(n, (c+1)*chunk_size)).
+  const uint32_t n = 3000, chunk_size = 1024;
+  const ShardPlan plan(n, 1, chunk_size);
+  ASSERT_EQ(plan.num_chunks(), (n + chunk_size - 1) / chunk_size);
+  for (uint32_t c = 0; c < plan.num_chunks(); ++c) {
+    const ShardPlan::Chunk chunk = plan.chunk(c);
+    EXPECT_EQ(chunk.shard, 0u);
+    EXPECT_EQ(chunk.begin, c * chunk_size);
+    EXPECT_EQ(chunk.end, std::min(n, (c + 1) * chunk_size));
+  }
+}
+
+TEST(ShardPlanTest, MoreShardsThanItemsLeavesTrailingShardsEmpty) {
+  const ShardPlan plan(5, 8, 64);
+  EXPECT_EQ(plan.num_chunks(), 5u);  // five 1-item shards, one chunk each
+  for (uint32_t s = 0; s < 5; ++s) {
+    EXPECT_EQ(plan.shard(s).size(), 1u);
+    EXPECT_EQ(plan.ChunksInShard(s), 1u);
+  }
+  for (uint32_t s = 5; s < 8; ++s) {
+    EXPECT_TRUE(plan.shard(s).empty());
+    EXPECT_EQ(plan.ChunksInShard(s), 0u);
+  }
+  ExpectExactTiling(plan);
+}
+
+TEST(ShardPlanTest, EmptyRangeHasNoChunks) {
+  const ShardPlan plan(0, 4, 16);
+  EXPECT_EQ(plan.num_chunks(), 0u);
+  for (uint32_t s = 0; s < 4; ++s) EXPECT_TRUE(plan.shard(s).empty());
+}
+
+TEST(ShardPlanTest, ChunkOffsetsAccumulateInShardOrder) {
+  const ShardPlan plan(1000, 3, 64);
+  uint32_t offset = 0;
+  for (uint32_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(plan.ChunkOffsetOfShard(s), offset);
+    const ShardSlice slice = plan.shard(s);
+    EXPECT_EQ(plan.ChunksInShard(s), (slice.size() + 63) / 64);
+    offset += plan.ChunksInShard(s);
+  }
+  EXPECT_EQ(offset, plan.num_chunks());
+  ExpectExactTiling(plan);
+}
+
+TEST(ShardPlanTest, OneItemChunksAreLegal) {
+  const ShardPlan plan(17, 4, 1);
+  EXPECT_EQ(plan.num_chunks(), 17u);
+  ExpectExactTiling(plan);
+}
+
+TEST(ShardPlanTest, ClampedCapsShardsAtTheFlatChunkCount) {
+  // Clamped() is the entry point for user-supplied shard counts: the
+  // shard count never exceeds ceil(n / chunk_size), so absurd requests
+  // stay O(work units) instead of allocating per requested shard.
+  const ShardPlan absurd = ShardPlan::Clamped(1000, ~0u, 64);
+  EXPECT_EQ(absurd.num_shards(), (1000u + 63) / 64);
+  ExpectExactTiling(absurd);
+
+  // Requests at or below the cap pass through unchanged.
+  EXPECT_EQ(ShardPlan::Clamped(1000, 3, 64).num_shards(), 3u);
+  // An empty range still yields a (single-shard) valid plan.
+  EXPECT_EQ(ShardPlan::Clamped(0, 8, 64).num_shards(), 1u);
+  EXPECT_EQ(ShardPlan::Clamped(0, 8, 64).num_chunks(), 0u);
+}
+
+TEST(ShardPlanTest, NearMaxChunkSizeDoesNotOverflow) {
+  // Regression: `size + chunk_size - 1` and `begin + chunk_size` wrapped
+  // in uint32 for chunk sizes near 2^32, yielding zero chunks — passes
+  // would silently process no items.
+  const ShardPlan plan(1000, 3, ~0u);
+  EXPECT_EQ(plan.num_chunks(), 3u);  // one whole-shard chunk per shard
+  for (uint32_t s = 0; s < 3; ++s) EXPECT_EQ(plan.ChunksInShard(s), 1u);
+  ExpectExactTiling(plan);
+}
+
+struct TestStats {
+  uint64_t sum = 0;
+  uint32_t chunks = 0;
+};
+
+TEST(ShardedAccumulatorTest, MergesInGlobalChunkOrder) {
+  const ShardPlan plan(250, 3, 32);
+  ShardedAccumulator<TestStats> accumulator(plan);
+  ASSERT_EQ(accumulator.num_slots(), plan.num_chunks());
+  // Fill each slot with its chunk's item-id sum.
+  for (uint32_t index = 0; index < plan.num_chunks(); ++index) {
+    const ShardPlan::Chunk chunk = plan.chunk(index);
+    TestStats* stats = accumulator.slot(index);
+    for (uint32_t item = chunk.begin; item < chunk.end; ++item) {
+      stats->sum += item;
+    }
+    stats->chunks = 1;
+  }
+  uint64_t total = 0;
+  uint32_t chunks = 0;
+  accumulator.MergeInOrder([&](const TestStats& stats) {
+    total += stats.sum;
+    chunks += stats.chunks;
+  });
+  EXPECT_EQ(total, 250ull * 249ull / 2);
+  EXPECT_EQ(chunks, plan.num_chunks());
+
+  // Reset reinitialises every slot for a new (smaller) plan.
+  const ShardPlan smaller(10, 2, 4);
+  accumulator.Reset(smaller);
+  ASSERT_EQ(accumulator.num_slots(), smaller.num_chunks());
+  uint64_t after_reset = 0;
+  accumulator.MergeInOrder(
+      [&](const TestStats& stats) { after_reset += stats.sum; });
+  EXPECT_EQ(after_reset, 0u);
+}
+
+TEST(ShardExecutorTest, VisitsEveryChunkOnceSequentiallyAndPooled) {
+  const ShardPlan plan(1000, 3, 64);
+  // Sequential: chunks arrive in global order with worker 0.
+  std::vector<uint32_t> visited(plan.num_chunks(), 0);
+  uint32_t last_index = 0;
+  bool in_order = true;
+  ForEachShardChunk(plan, nullptr,
+                    [&](const ShardPlan::Chunk&, uint32_t index,
+                        uint32_t worker) {
+                      EXPECT_EQ(worker, 0u);
+                      ++visited[index];
+                      if (index < last_index) in_order = false;
+                      last_index = index;
+                    });
+  EXPECT_TRUE(in_order);
+  for (const uint32_t count : visited) EXPECT_EQ(count, 1u);
+
+  // Pooled: every chunk exactly once, items covered exactly once.
+  ThreadPool pool(4);
+  std::vector<uint32_t> item_visits(plan.num_items(), 0);
+  std::vector<uint32_t> pooled(plan.num_chunks(), 0);
+  ForEachShardChunk(plan, &pool,
+                    [&](const ShardPlan::Chunk& chunk, uint32_t index,
+                        uint32_t worker) {
+                      EXPECT_LT(worker, 4u);
+                      ++pooled[index];
+                      for (uint32_t item = chunk.begin; item < chunk.end;
+                           ++item) {
+                        // Each chunk owns disjoint items: no lock needed.
+                        ++item_visits[item];
+                      }
+                    });
+  for (const uint32_t count : pooled) EXPECT_EQ(count, 1u);
+  for (const uint32_t count : item_visits) EXPECT_EQ(count, 1u);
+}
+
+}  // namespace
+}  // namespace lshclust

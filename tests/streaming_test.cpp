@@ -264,6 +264,138 @@ TEST(StreamingTest, IngestBatchBitIdenticalToSequentialAtEveryThreadCount) {
   }
 }
 
+TEST(StreamingTest, IngestBatchShardSweepBitIdenticalToSequential) {
+  // The shard layer's streaming contract: partitioning micro-batches
+  // across ingest shards must be invisible — every
+  // (ingest_shards x ingest_threads) combination reproduces the
+  // sequential Ingest loop bit-for-bit, assignments, modes and stats.
+  const auto all = MakeData(700, 10, 53);
+  const uint32_t warmup_n = 400;
+  const auto sequential = IngestSequentially(all, warmup_n, MakeOptions(10));
+
+  uint64_t revalidated = ~0ull;
+  for (const uint32_t shards : {1u, 2u, 3u, 8u}) {
+    for (const uint32_t threads : {1u, 2u, 4u}) {
+      auto options = MakeOptions(10);
+      options.ingest_shards = shards;
+      options.ingest_threads = threads;
+      options.ingest_chunk_size = 32;
+      const auto warmup = SliceDataset(all, 0, warmup_n).ValueOrDie();
+      auto stream =
+          StreamingMHKModes::Bootstrap(warmup, options).ValueOrDie();
+      uint32_t item = warmup_n;
+      for (const uint32_t batch : {150u, 1u, 149u}) {
+        const uint32_t take = std::min(batch, all.num_items() - item);
+        const auto rows = std::span<const uint32_t>(
+            all.codes().data() +
+                static_cast<size_t>(item) * all.num_attributes(),
+            static_cast<size_t>(take) * all.num_attributes());
+        ASSERT_TRUE(stream.IngestBatch(rows).ok());
+        item += take;
+      }
+      ASSERT_EQ(item, all.num_items());
+      ExpectSameState(sequential, stream,
+                      "ingest_shards=" + std::to_string(shards) +
+                          " ingest_threads=" + std::to_string(threads));
+      // The accept/revalidate split is data-dependent, never
+      // shard- or thread-count-dependent.
+      if (revalidated == ~0ull) {
+        revalidated = stream.stats().revalidated;
+      } else {
+        EXPECT_EQ(stream.stats().revalidated, revalidated)
+            << "shards=" << shards << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(StreamingTest, IngestBatchMoreShardsThanBatchItems) {
+  // A 3-item batch under an absurd shard count: the count is clamped to
+  // the batch size (regression: 2^32-1 shards once overflowed the plan),
+  // and results must match the sequential loop.
+  const auto all = MakeData(303, 6, 59);
+  const uint32_t warmup_n = 300;
+  const auto sequential = IngestSequentially(all, warmup_n, MakeOptions(6));
+
+  auto options = MakeOptions(6);
+  options.ingest_shards = ~0u;  // clamped to the batch's flat chunk count
+  options.ingest_threads = 4;
+  const auto warmup = SliceDataset(all, 0, warmup_n).ValueOrDie();
+  auto stream = StreamingMHKModes::Bootstrap(warmup, options).ValueOrDie();
+  const auto rows = std::span<const uint32_t>(
+      all.codes().data() +
+          static_cast<size_t>(warmup_n) * all.num_attributes(),
+      static_cast<size_t>(3) * all.num_attributes());
+  const auto assigned = stream.IngestBatch(rows);
+  ASSERT_TRUE(assigned.ok());
+  EXPECT_EQ(assigned->size(), 3u);
+  ExpectSameState(sequential, stream, "2^32-1 shards over a 3-item batch");
+}
+
+TEST(StreamingTest, IngestChunkSizeIsInvisible) {
+  // The runtime ingest_chunk_size knob must never change results.
+  const auto all = MakeData(600, 8, 61);
+  const uint32_t warmup_n = 400;
+  const auto sequential = IngestSequentially(all, warmup_n, MakeOptions(8));
+
+  // ~0u is the overflow regression: a near-2^32 ingest chunk size once
+  // wrapped the chunk count to zero, inserting zero-filled signatures
+  // for the whole batch.
+  for (const uint32_t chunk_size : {1u, 5u, 64u, 1000u, ~0u}) {
+    auto options = MakeOptions(8);
+    options.ingest_chunk_size = chunk_size;
+    options.ingest_shards = 2;
+    options.ingest_threads = 2;
+    const auto warmup = SliceDataset(all, 0, warmup_n).ValueOrDie();
+    auto stream = StreamingMHKModes::Bootstrap(warmup, options).ValueOrDie();
+    const auto rows = std::span<const uint32_t>(
+        all.codes().data() +
+            static_cast<size_t>(warmup_n) * all.num_attributes(),
+        static_cast<size_t>(all.num_items() - warmup_n) *
+            all.num_attributes());
+    ASSERT_TRUE(stream.IngestBatch(rows).ok());
+    ExpectSameState(sequential, stream,
+                    "ingest_chunk_size=" + std::to_string(chunk_size));
+  }
+}
+
+TEST(StreamingTest, SingleClusterStreamingDegenerates) {
+  // k=1 with shards: every arrival lands in cluster 0 through the same
+  // sharded pipeline.
+  const auto all = MakeData(250, 1, 67);
+  const uint32_t warmup_n = 200;
+  const auto sequential = IngestSequentially(all, warmup_n, MakeOptions(1));
+
+  auto options = MakeOptions(1);
+  options.ingest_shards = 3;
+  options.ingest_threads = 2;
+  const auto warmup = SliceDataset(all, 0, warmup_n).ValueOrDie();
+  auto stream = StreamingMHKModes::Bootstrap(warmup, options).ValueOrDie();
+  const auto rows = std::span<const uint32_t>(
+      all.codes().data() +
+          static_cast<size_t>(warmup_n) * all.num_attributes(),
+      static_cast<size_t>(all.num_items() - warmup_n) *
+          all.num_attributes());
+  const auto assigned = stream.IngestBatch(rows);
+  ASSERT_TRUE(assigned.ok());
+  for (const uint32_t cluster : *assigned) EXPECT_EQ(cluster, 0u);
+  ExpectSameState(sequential, stream, "k=1 sharded ingest");
+}
+
+TEST(StreamingTest, BootstrapRejectsZeroShardOptions) {
+  const auto warmup = MakeData(100, 5, 71);
+  auto options = MakeOptions(5);
+  options.ingest_shards = 0;
+  EXPECT_TRUE(StreamingMHKModes::Bootstrap(warmup, options)
+                  .status()
+                  .IsInvalidArgument());
+  options.ingest_shards = 1;
+  options.ingest_chunk_size = 0;
+  EXPECT_TRUE(StreamingMHKModes::Bootstrap(warmup, options)
+                  .status()
+                  .IsInvalidArgument());
+}
+
 TEST(StreamingTest, IngestBatchRevalidatesInBatchDuplicates) {
   // Two identical never-seen-before items in ONE batch: the first must
   // fall back exhaustively, and the second must find the first through
