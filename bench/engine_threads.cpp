@@ -8,6 +8,14 @@
 // scaling baseline. Machine-readable records land in --json
 // (BENCH_engine.json by default; see bench/common.h).
 //
+// Every workload additionally runs through the lshclust::Clusterer front
+// door (api/clusterer.h): the facade record carries via="facade" and a
+// `facade_overhead` field (facade refine time / direct engine refine
+// time). The type-erasure boundary is one virtual call per Fit — the hot
+// loops are the same templated code — so the overhead must stay within
+// timing noise; the bench asserts the results are bit-identical and
+// flags overheads above 10%.
+//
 // Flags: --items, --clusters, --attrs, --dims, --iters, --seed,
 //        --threads (comma list, default 1,2,4,8),
 //        --shards (item-space shards, default 1),
@@ -20,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "api/clusterer.h"
 #include "bench/common.h"
 #include "clustering/kmodes.h"
 #include "clustering/kprototypes.h"
@@ -96,6 +105,45 @@ void Report(bench::JsonBenchWriter* writer, const char* family,
   writer->Add("moves", result.TotalMoves());
 }
 
+/// Runs the same workload through the Clusterer facade and records the
+/// dispatch overhead against the direct engine run. Bit-identity is a
+/// hard assertion; the timing ratio is recorded (and flagged above 10%)
+/// rather than asserted — wall-clock noise on a loaded box is not a
+/// regression.
+template <typename Dataset>
+void ReportFacade(bench::JsonBenchWriter* writer, const char* family,
+                  const char* name, const ClustererSpec& spec,
+                  const Dataset& dataset, int64_t items,
+                  const ClusteringResult& direct) {
+  auto clusterer = Clusterer::Create(spec);
+  LSHC_CHECK_OK(clusterer.status());
+  auto report = clusterer->Fit(dataset);
+  LSHC_CHECK_OK(report.status());
+  const ClusteringResult& facade = report->result;
+  LSHC_CHECK(facade.assignment == direct.assignment)
+      << "facade run diverged from the direct engine (" << family << "/"
+      << name << ")";
+  const double direct_refine = direct.RefinementSeconds();
+  const double facade_refine = facade.RefinementSeconds();
+  const double overhead =
+      direct_refine > 0 ? facade_refine / direct_refine : 1.0;
+  std::printf("%-18s threads=%u  facade refine=%8.3fs  overhead=%.3fx%s\n",
+              name, spec.engine.num_threads, facade_refine, overhead,
+              overhead > 1.10 ? "  [above noise budget]" : "");
+  writer->BeginRecord();
+  writer->Add("bench", "engine_threads");
+  writer->Add("family", family);
+  writer->Add("method", name);
+  writer->Add("via", "facade");
+  writer->Add("threads", spec.engine.num_threads);
+  writer->Add("shards", spec.engine.num_shards);
+  writer->Add("chunk_size", spec.engine.chunk_size);
+  writer->Add("items", static_cast<int64_t>(items));
+  writer->Add("refine_seconds", facade_refine);
+  writer->Add("direct_refine_seconds", direct_refine);
+  writer->Add("facade_overhead", overhead);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -159,14 +207,28 @@ int main(int argc, char** argv) {
     options.num_threads = threads;
     options.num_shards = static_cast<uint32_t>(flags.shards);
     options.chunk_size = static_cast<uint32_t>(flags.chunk);
-    Report(&writer, "categorical", "kmodes", options, flags.items,
-           RunKModes(categorical_data, options).ValueOrDie());
+    const auto kmodes = RunKModes(categorical_data, options).ValueOrDie();
+    Report(&writer, "categorical", "kmodes", options, flags.items, kmodes);
+    ClustererSpec spec;
+    spec.modality = Modality::kCategorical;
+    spec.accelerator = Accelerator::kExhaustive;
+    spec.engine = options;
+    ReportFacade(&writer, "categorical", "kmodes", spec, categorical_data,
+                 flags.items, kmodes);
 
-    MHKModesOptions mh;
-    mh.engine = options;
-    mh.index.banding = {20, 5};
-    Report(&writer, "categorical", "mh-kmodes", mh.engine, flags.items,
-           RunMHKModes(categorical_data, mh).ValueOrDie().result);
+    // Direct engine instantiation — the legacy RunMHKModes entry point is
+    // itself a facade shim now, so the baseline of the overhead
+    // comparison constructs the provider by hand.
+    ShortlistIndexOptions index;
+    index.banding = {20, 5};
+    ClusterShortlistProvider provider(index, options.num_clusters);
+    const auto mh =
+        RunEngine(categorical_data, options, provider).ValueOrDie();
+    Report(&writer, "categorical", "mh-kmodes", options, flags.items, mh);
+    spec.accelerator = Accelerator::kMinHash;
+    spec.minhash = index;
+    ReportFacade(&writer, "categorical", "mh-kmodes", spec, categorical_data,
+                 flags.items, mh);
   }
 
   // --- numeric: K-Means and LSH-K-Means ----------------------------------
@@ -188,14 +250,25 @@ int main(int argc, char** argv) {
     options.num_threads = threads;
     options.num_shards = static_cast<uint32_t>(flags.shards);
     options.chunk_size = static_cast<uint32_t>(flags.chunk);
-    Report(&writer, "numeric", "kmeans", options, flags.items,
-           RunKMeans(numeric_data, options).ValueOrDie());
+    const auto kmeans = RunKMeans(numeric_data, options).ValueOrDie();
+    Report(&writer, "numeric", "kmeans", options, flags.items, kmeans);
+    ClustererSpec spec;
+    spec.modality = Modality::kNumeric;
+    spec.accelerator = Accelerator::kExhaustive;
+    spec.engine = options;
+    ReportFacade(&writer, "numeric", "kmeans", spec, numeric_data,
+                 flags.items, kmeans);
 
-    LshKMeansOptions lsh;
-    lsh.kmeans = options;
-    lsh.banding = {16, 4};
-    Report(&writer, "numeric", "lsh-kmeans", lsh.kmeans, flags.items,
-           RunLshKMeans(numeric_data, lsh).ValueOrDie());
+    SimHashIndexOptions index;
+    index.banding = {16, 4};
+    SimHashShortlistProvider provider(index, options.num_clusters);
+    const auto lsh =
+        RunKMeansEngine(numeric_data, options, provider).ValueOrDie();
+    Report(&writer, "numeric", "lsh-kmeans", options, flags.items, lsh);
+    spec.accelerator = Accelerator::kSimHash;
+    spec.simhash = index;
+    ReportFacade(&writer, "numeric", "lsh-kmeans", spec, numeric_data,
+                 flags.items, lsh);
   }
 
   // --- mixed: K-Prototypes and LSH-K-Prototypes --------------------------
@@ -220,13 +293,26 @@ int main(int argc, char** argv) {
     options.num_threads = threads;
     options.num_shards = static_cast<uint32_t>(flags.shards);
     options.chunk_size = static_cast<uint32_t>(flags.chunk);
+    const auto kprototypes = RunKPrototypes(mixed_data, options).ValueOrDie();
     Report(&writer, "mixed", "kprototypes", options, flags.items,
-           RunKPrototypes(mixed_data, options).ValueOrDie());
+           kprototypes);
+    ClustererSpec spec;
+    spec.modality = Modality::kMixed;
+    spec.accelerator = Accelerator::kExhaustive;
+    spec.engine = options;
+    spec.gamma = options.gamma;
+    ReportFacade(&writer, "mixed", "kprototypes", spec, mixed_data,
+                 flags.items, kprototypes);
 
-    LshKPrototypesOptions lsh;
-    lsh.kprototypes = options;
-    Report(&writer, "mixed", "lsh-kprototypes", lsh.kprototypes, flags.items,
-           RunLshKPrototypes(mixed_data, lsh).ValueOrDie());
+    MixedIndexOptions index;
+    MixedShortlistProvider provider(index, options.num_clusters);
+    const auto lsh =
+        RunKPrototypesEngine(mixed_data, options, provider).ValueOrDie();
+    Report(&writer, "mixed", "lsh-kprototypes", options, flags.items, lsh);
+    spec.accelerator = Accelerator::kMixedConcat;
+    spec.mixed_index = index;
+    ReportFacade(&writer, "mixed", "lsh-kprototypes", spec, mixed_data,
+                 flags.items, lsh);
   }
 
   if (!flags.json.empty() && writer.WriteFile(flags.json)) {

@@ -7,16 +7,17 @@
 //
 // Scenario: a marketplace ingests product listings described by
 // categorical attributes (brand, category, colour, ...); near-duplicate
-// listings must be grouped. The demo clusters the catalog with MH-K-Modes
-// and then *routes newly arriving listings* to candidate groups through
-// the same index — the online-assignment pattern the paper's future work
-// (§VI, streaming) points at, built from GetCandidatesForTokens.
+// listings must be grouped. The demo clusters the catalog through the
+// lshclust::Clusterer front door and then *routes newly arriving
+// listings* to candidate groups through a standalone shortlist index —
+// the online-assignment pattern the paper's future work (§VI, streaming)
+// points at, built from GetCandidatesForTokens.
 
 #include <algorithm>
 #include <cstdio>
 
+#include "api/clusterer.h"
 #include "clustering/dissimilarity.h"
-#include "core/mh_kmodes.h"
 #include "datagen/conjunctive_generator.h"
 #include "util/flags.h"
 #include "util/stopwatch.h"
@@ -66,31 +67,37 @@ int main(int argc, char** argv) {
               catalog->num_items(), catalog->num_attributes(),
               static_cast<long long>(groups));
 
-  MHKModesOptions options;
-  options.engine.num_clusters = static_cast<uint32_t>(groups);
-  options.engine.seed = static_cast<uint64_t>(seed);
-  options.index.banding = {20, 5};
-  options.index.keep_signatures = true;  // we will query external items
+  ClustererSpec spec;
+  spec.modality = Modality::kCategorical;
+  spec.accelerator = Accelerator::kMinHash;
+  spec.engine.num_clusters = static_cast<uint32_t>(groups);
+  spec.engine.seed = static_cast<uint64_t>(seed);
+  spec.minhash.banding = {20, 5};
 
   Stopwatch watch;
-  // Run the clustering but keep the provider alive for routing: build the
-  // pieces explicitly instead of the RunMHKModes convenience wrapper.
-  ClusterShortlistProvider provider(options.index,
-                                    options.engine.num_clusters);
-  auto result = RunEngine(*catalog, options.engine, provider);
-  LSHC_CHECK_OK(result.status());
+  auto clusterer = Clusterer::Create(spec);
+  LSHC_CHECK_OK(clusterer.status());
+  auto report = clusterer->Fit(*catalog);
+  LSHC_CHECK_OK(report.status());
+  const ClusteringResult& result = report->result;
   std::printf("clustered in %.2fs (%zu iterations, %s), mean shortlist "
               "%.2f of %lld groups\n",
-              watch.ElapsedSeconds(), result->iterations.size(),
-              result->converged ? "converged" : "iteration cap",
-              result->iterations.back().mean_shortlist,
+              watch.ElapsedSeconds(), result.iterations.size(),
+              result.converged ? "converged" : "iteration cap",
+              result.iterations.back().mean_shortlist,
               static_cast<long long>(groups));
 
   // Route the new arrivals WITHOUT re-clustering: LSH-shortlist the
-  // candidate groups, then compare only against those modes.
+  // candidate groups through a standalone index over the catalog (same
+  // options and seed as the fit, so buckets match; one extra signing
+  // pass is the price of a routing index that outlives the fit), then
+  // compare only against those modes.
+  ClusterShortlistProvider provider(spec.minhash,
+                                    spec.engine.num_clusters);
+  LSHC_CHECK_OK(provider.Prepare(*catalog));
   ModeTable modes(static_cast<uint32_t>(groups), catalog->num_attributes());
   Rng rng(static_cast<uint64_t>(seed));
-  modes.RecomputeFromAssignment(*catalog, result->assignment,
+  modes.RecomputeFromAssignment(*catalog, result.assignment,
                                 EmptyClusterPolicy::kKeepPreviousMode, rng);
 
   watch.Restart();
@@ -100,7 +107,7 @@ int main(int argc, char** argv) {
   for (int64_t arrival = 0; arrival < arrivals; ++arrival) {
     const uint32_t item = static_cast<uint32_t>(products + arrival);
     all->PresentTokens(item, &tokens);
-    provider.GetCandidatesForTokens(tokens, result->assignment, &shortlist);
+    provider.GetCandidatesForTokens(tokens, result.assignment, &shortlist);
     shortlist_total += shortlist.size();
 
     uint32_t best_group = 0;

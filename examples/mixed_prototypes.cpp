@@ -1,7 +1,8 @@
 // Mixed categorical + numeric clustering — the paper's §VI "combinations
 // of both" future work: K-Prototypes accelerated with one LSH family per
 // modality (MinHash over the categorical tokens, SimHash over the numeric
-// vector; candidate clusters are the union of both indexes).
+// vector; candidate clusters are the union of both indexes), driven
+// through the lshclust::Clusterer front door.
 //
 //   $ ./build/examples/mixed_prototypes [--items=15000] [--clusters=1000]
 //
@@ -10,7 +11,7 @@
 
 #include <cstdio>
 
-#include "core/lsh_kprototypes.h"
+#include "api/clusterer.h"
 #include "datagen/mixed_generator.h"
 #include "metrics/metrics.h"
 #include "util/flags.h"
@@ -47,11 +48,12 @@ int main(int argc, char** argv) {
               dataset->num_items(), dataset->num_categorical(),
               dataset->num_numeric(), static_cast<long long>(clusters));
 
-  KPrototypesOptions base;
-  base.num_clusters = static_cast<uint32_t>(clusters);
-  base.gamma = gamma;
-  base.seed = static_cast<uint64_t>(seed);
-  base.max_iterations = 20;
+  ClustererSpec spec;
+  spec.modality = Modality::kMixed;
+  spec.engine.num_clusters = static_cast<uint32_t>(clusters);
+  spec.engine.seed = static_cast<uint64_t>(seed);
+  spec.engine.max_iterations = 20;
+  spec.gamma = gamma;
 
   std::printf("\n%-26s %10s %10s %8s %12s\n", "method", "total (s)",
               "purity", "iters", "shortlist");
@@ -68,18 +70,23 @@ int main(int argc, char** argv) {
                 mean_shortlist);
   };
 
-  auto baseline = RunKPrototypes(*dataset, base);
+  spec.accelerator = Accelerator::kExhaustive;
+  auto baseline_clusterer = Clusterer::Create(spec);
+  LSHC_CHECK_OK(baseline_clusterer.status());
+  auto baseline = baseline_clusterer->Fit(*dataset);
   LSHC_CHECK_OK(baseline.status());
-  report("K-Prototypes", *baseline);
+  report("K-Prototypes", baseline->result);
 
-  LshKPrototypesOptions accelerated_options;
-  accelerated_options.kprototypes = base;
-  accelerated_options.categorical_banding = {20, 5};
-  auto accelerated = RunLshKPrototypes(*dataset, accelerated_options);
+  spec.accelerator = Accelerator::kMixedConcat;
+  spec.mixed_index.categorical_banding = {20, 5};
+  auto accelerated_clusterer = Clusterer::Create(spec);
+  LSHC_CHECK_OK(accelerated_clusterer.status());
+  auto accelerated = accelerated_clusterer->Fit(*dataset);
   LSHC_CHECK_OK(accelerated.status());
-  report("LSH-K-Prototypes", *accelerated);
+  report("LSH-K-Prototypes", accelerated->result);
 
-  std::printf("\nspeedup: %.1fx\n", baseline->total_seconds /
-                                        accelerated->total_seconds);
+  std::printf("\nspeedup: %.1fx\n",
+              baseline->result.total_seconds /
+                  accelerated->result.total_seconds);
   return 0;
 }

@@ -1,6 +1,8 @@
 // The paper's framework on numeric data (§VI future work): K-Means
 // accelerated with SimHash banding, compared against exhaustive Lloyd and
-// mini-batch K-Means (the paper's ref [16]) on a Gaussian mixture.
+// mini-batch K-Means (the paper's ref [16]) on a Gaussian mixture — both
+// engine variants driven through the lshclust::Clusterer front door (the
+// spec differs only in its accelerator enum).
 //
 //   $ ./build/examples/numeric_kmeans [--points=20000] [--clusters=500]
 //
@@ -10,8 +12,8 @@
 
 #include <cstdio>
 
+#include "api/clusterer.h"
 #include "clustering/kmeans.h"
-#include "core/lsh_kmeans.h"
 #include "datagen/gaussian_mixture.h"
 #include "metrics/metrics.h"
 #include "util/flags.h"
@@ -45,10 +47,11 @@ int main(int argc, char** argv) {
               dataset->num_items(), dataset->dimensions(),
               static_cast<long long>(clusters));
 
-  KMeansOptions kmeans;
-  kmeans.num_clusters = static_cast<uint32_t>(clusters);
-  kmeans.seed = static_cast<uint64_t>(seed);
-  kmeans.max_iterations = 30;
+  ClustererSpec spec;
+  spec.modality = Modality::kNumeric;
+  spec.engine.num_clusters = static_cast<uint32_t>(clusters);
+  spec.engine.seed = static_cast<uint64_t>(seed);
+  spec.engine.max_iterations = 30;
 
   std::printf("\n%-22s %10s %14s %8s %8s\n", "method", "total (s)",
               "inertia", "iters", "purity");
@@ -60,21 +63,25 @@ int main(int argc, char** argv) {
                 result.iterations.size(), purity);
   };
 
-  auto lloyd = RunKMeans(*dataset, kmeans);
+  spec.accelerator = Accelerator::kExhaustive;
+  auto lloyd_clusterer = Clusterer::Create(spec);
+  LSHC_CHECK_OK(lloyd_clusterer.status());
+  auto lloyd = lloyd_clusterer->Fit(*dataset);
   LSHC_CHECK_OK(lloyd.status());
-  report("K-Means (Lloyd)", *lloyd);
+  report("K-Means (Lloyd)", lloyd->result);
 
   // SimHash bits are far weaker than MinHash components (collision
   // probability 0.5 for orthogonal vectors vs Jaccard ~0 for disjoint
   // sets), so bands need many more rows: 10 bits per band keeps random
   // cross-cluster pairs at 12 * 0.5^10 ≈ 1% while same-cluster pairs
   // (tiny angular separation) still collide almost surely.
-  LshKMeansOptions lsh;
-  lsh.kmeans = kmeans;
-  lsh.banding = {12, 10};
-  auto accelerated = RunLshKMeans(*dataset, lsh);
+  spec.accelerator = Accelerator::kSimHash;
+  spec.simhash.banding = {12, 10};
+  auto lsh_clusterer = Clusterer::Create(spec);
+  LSHC_CHECK_OK(lsh_clusterer.status());
+  auto accelerated = lsh_clusterer->Fit(*dataset);
   LSHC_CHECK_OK(accelerated.status());
-  report("LSH-K-Means 12b10r", *accelerated);
+  report("LSH-K-Means 12b10r", accelerated->result);
 
   MiniBatchKMeansOptions minibatch;
   minibatch.num_clusters = static_cast<uint32_t>(clusters);
@@ -87,7 +94,7 @@ int main(int argc, char** argv) {
 
   std::printf("\nLSH-K-Means mean shortlist (vs k = %lld):",
               static_cast<long long>(clusters));
-  for (const auto& iteration : accelerated->iterations) {
+  for (const auto& iteration : accelerated->result.iterations) {
     std::printf(" %.1f", iteration.mean_shortlist);
   }
   std::printf("\n");

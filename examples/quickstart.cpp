@@ -1,15 +1,18 @@
-// Quickstart: cluster a small categorical dataset with MH-K-Modes and
-// inspect the result. Start here — ~60 lines end to end.
+// Quickstart: cluster a small categorical dataset through the
+// lshclust::Clusterer front door and inspect the result. Start here —
+// ~60 lines end to end.
 //
 //   $ ./build/examples/quickstart
 //
 // The dataset is the kind of nominal data K-Modes was built for: items
 // described by unordered category values ("colour=blue"), where means are
-// meaningless and the centroid is the per-attribute mode.
+// meaningless and the centroid is the per-attribute mode. The same
+// ClustererSpec serves every other modality (numeric, mixed, binarized
+// text) by flipping its two enums.
 
 #include <cstdio>
 
-#include "core/mh_kmodes.h"
+#include "api/clusterer.h"
 #include "data/csv.h"
 
 int main() {
@@ -41,33 +44,43 @@ int main() {
   std::printf("loaded %u items x %u attributes\n", dataset->num_items(),
               dataset->num_attributes());
 
-  // Configure MH-K-Modes: k clusters, banding b x r. On 12 items the LSH
+  // Configure the clusterer: categorical data, MinHash acceleration
+  // (MH-K-Modes), k clusters, banding b x r. On 12 items the LSH
   // machinery is overkill — the point is that the API is identical at
-  // 12 items and 250 000.
-  MHKModesOptions options;
-  options.engine.num_clusters = 3;
-  options.engine.seed = 2;
-  options.index.banding = {8, 2};  // 8 bands of 2 rows
-
-  auto run = RunMHKModes(*dataset, options);
-  if (!run.ok()) {
-    std::fprintf(stderr, "clustering failed: %s\n",
-                 run.status().ToString().c_str());
+  // 12 items and 250 000. Create() validates the whole spec up front.
+  ClustererSpec spec;
+  spec.modality = Modality::kCategorical;
+  spec.accelerator = Accelerator::kMinHash;
+  spec.engine.num_clusters = 3;
+  spec.engine.seed = 2;
+  spec.minhash.banding = {8, 2};  // 8 bands of 2 rows
+  auto clusterer = Clusterer::Create(spec);
+  if (!clusterer.ok()) {
+    std::fprintf(stderr, "bad spec: %s\n",
+                 clusterer.status().ToString().c_str());
     return 1;
   }
 
+  auto report = clusterer->Fit(*dataset);
+  if (!report.ok()) {
+    std::fprintf(stderr, "clustering failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+
+  const ClusteringResult& result = report->result;
   std::printf("converged after %zu iterations, cost P(W,Q) = %.0f\n",
-              run->result.iterations.size(), run->result.final_cost);
+              result.iterations.size(), result.final_cost);
   for (uint32_t item = 0; item < dataset->num_items(); ++item) {
     std::printf("  item %2u (%s, %s, %s) -> cluster %u\n", item,
                 dataset->ValueToString(item, 0).c_str(),
                 dataset->ValueToString(item, 1).c_str(),
                 dataset->ValueToString(item, 2).c_str(),
-                run->result.assignment[item]);
+                result.assignment[item]);
   }
 
   // Per-iteration instrumentation: the series the paper's figures plot.
-  for (const auto& it : run->result.iterations) {
+  for (const auto& it : result.iterations) {
     std::printf("iteration %u: %.3f ms, %llu moves, mean shortlist %.2f\n",
                 it.iteration, it.seconds * 1e3,
                 static_cast<unsigned long long>(it.moves),

@@ -1,23 +1,26 @@
 // Streaming clustering — the paper's §VI "online streaming clustering
-// framework" future work, running end to end:
+// framework" future work, running end to end through the
+// lshclust::Clusterer front door:
 //
 //   $ ./build/examples/streaming_ingest [--warmup=12000] [--stream=8000]
 //       [--batch=256] [--threads=4]
 //
-// A warm-up batch is clustered with batch MH-K-Modes; after that, items
-// arrive in micro-batches (--batch=1 ingests one at a time). Each arrival
-// is MinHashed, shortlisted against everything seen so far (warm-up AND
+// A warm-up batch is clustered via Clusterer::MakeStreamingSession
+// (batch MH-K-Modes under the hood); after that, items arrive in
+// micro-batches (--batch=1 ingests one at a time). Each arrival is
+// MinHashed, shortlisted against everything seen so far (warm-up AND
 // earlier arrivals, via the growable index), assigned to the nearest
 // mode, and folded into its cluster's mode incrementally; micro-batches
 // fan the signing and shortlisting out across --threads workers with
 // results bit-identical to one-at-a-time ingestion. The demo compares the
-// streaming result against a full batch re-clustering of all items.
+// streaming result against a full batch re-clustering of all items
+// through the same Clusterer spec.
 
 #include <algorithm>
 #include <cstdio>
 #include <span>
 
-#include "core/streaming.h"
+#include "api/clusterer.h"
 #include "data/slicing.h"
 #include "datagen/conjunctive_generator.h"
 #include "metrics/metrics.h"
@@ -56,15 +59,22 @@ int main(int argc, char** argv) {
   auto warmup = SliceDataset(*all, 0, static_cast<uint32_t>(warmup_items));
   LSHC_CHECK_OK(warmup.status());
 
-  StreamingMHKModesOptions options;
-  options.bootstrap.engine.num_clusters = static_cast<uint32_t>(groups);
-  options.bootstrap.engine.seed = static_cast<uint64_t>(seed);
-  options.bootstrap.engine.num_threads = static_cast<uint32_t>(threads);
-  options.bootstrap.index.banding = {20, 5};
-  options.ingest_threads = static_cast<uint32_t>(threads);
+  // One spec serves the streaming session and the batch reference run.
+  ClustererSpec spec;
+  spec.modality = Modality::kCategorical;
+  spec.accelerator = Accelerator::kMinHash;
+  spec.engine.num_clusters = static_cast<uint32_t>(groups);
+  spec.engine.seed = static_cast<uint64_t>(seed);
+  spec.engine.num_threads = static_cast<uint32_t>(threads);
+  spec.minhash.banding = {20, 5};
+  auto clusterer = Clusterer::Create(spec);
+  LSHC_CHECK_OK(clusterer.status());
+
+  StreamingSessionOptions session_options;
+  session_options.ingest_threads = static_cast<uint32_t>(threads);
 
   Stopwatch watch;
-  auto stream = StreamingMHKModes::Bootstrap(*warmup, options);
+  auto stream = clusterer->MakeStreamingSession(*warmup, session_options);
   LSHC_CHECK_OK(stream.status());
   std::printf("bootstrap: clustered %lld items into %lld groups in %.2fs "
               "(%zu iterations)\n",
@@ -102,9 +112,9 @@ int main(int argc, char** argv) {
   const double streaming_purity =
       ComputePurity(stream->assignment(), all->labels()).ValueOrDie();
 
-  // Reference: re-cluster everything from scratch.
+  // Reference: re-cluster everything from scratch with the same spec.
   watch.Restart();
-  auto batch = RunMHKModes(*all, options.bootstrap);
+  auto batch = clusterer->Fit(*all);
   LSHC_CHECK_OK(batch.status());
   const double batch_seconds = watch.ElapsedSeconds();
   const double batch_purity =

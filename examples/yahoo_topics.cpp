@@ -4,6 +4,10 @@
 //   raw text -> Tokenizer -> per-topic TF-IDF -> vocabulary threshold ->
 //   binary word-presence items -> K-Modes vs MH-K-Modes -> purity.
 //
+// The comparison harness (core/experiment.h) drives both variants through
+// the lshclust::Clusterer front door; binarized text is exactly the
+// facade's kTextBinarized modality (categorical-shaped items).
+//
 //   $ ./build/examples/yahoo_topics [--topics=120] [--threshold=0.5]
 //
 // The corpus is synthetic (the real Yahoo! Answers dump is license-gated;

@@ -1,0 +1,593 @@
+#include "api/clusterer.h"
+
+#include <cmath>
+#include <optional>
+#include <utility>
+
+#include "util/macros.h"
+
+namespace lshclust {
+
+std::string_view ModalityToString(Modality modality) {
+  switch (modality) {
+    case Modality::kCategorical:
+      return "categorical";
+    case Modality::kNumeric:
+      return "numeric";
+    case Modality::kMixed:
+      return "mixed";
+    case Modality::kTextBinarized:
+      return "text-binarized";
+  }
+  return "unrecognized modality";
+}
+
+std::string_view AcceleratorToString(Accelerator accelerator) {
+  switch (accelerator) {
+    case Accelerator::kExhaustive:
+      return "exhaustive";
+    case Accelerator::kMinHash:
+      return "minhash";
+    case Accelerator::kSimHash:
+      return "simhash";
+    case Accelerator::kMixedConcat:
+      return "mixed-concat";
+    case Accelerator::kCanopy:
+      return "canopy";
+  }
+  return "unrecognized accelerator";
+}
+
+Result<Modality> ParseModality(std::string_view text) {
+  for (const Modality modality :
+       {Modality::kCategorical, Modality::kNumeric, Modality::kMixed,
+        Modality::kTextBinarized}) {
+    if (text == ModalityToString(modality)) return modality;
+  }
+  return Status::InvalidArgument(
+      "unknown modality '" + std::string(text) +
+      "' (categorical | numeric | mixed | text-binarized)");
+}
+
+Result<Accelerator> ParseAccelerator(std::string_view text) {
+  for (const Accelerator accelerator :
+       {Accelerator::kExhaustive, Accelerator::kMinHash, Accelerator::kSimHash,
+        Accelerator::kMixedConcat, Accelerator::kCanopy}) {
+    if (text == AcceleratorToString(accelerator)) return accelerator;
+  }
+  return Status::InvalidArgument(
+      "unknown accelerator '" + std::string(text) +
+      "' (exhaustive | minhash | simhash | mixed-concat | canopy)");
+}
+
+namespace {
+
+bool IsCategoricalShaped(Modality modality) {
+  return modality == Modality::kCategorical ||
+         modality == Modality::kTextBinarized;
+}
+
+/// The accelerators each modality supports, for validation and messages.
+std::string_view SupportedAccelerators(Modality modality) {
+  switch (modality) {
+    case Modality::kCategorical:
+    case Modality::kTextBinarized:
+      return "exhaustive | minhash | canopy";
+    case Modality::kNumeric:
+      return "exhaustive | simhash";
+    case Modality::kMixed:
+      return "exhaustive | mixed-concat";
+  }
+  return "";
+}
+
+bool AcceleratorSupported(Modality modality, Accelerator accelerator) {
+  switch (accelerator) {
+    case Accelerator::kExhaustive:
+      return true;
+    case Accelerator::kMinHash:
+    case Accelerator::kCanopy:
+      return IsCategoricalShaped(modality);
+    case Accelerator::kSimHash:
+      return modality == Modality::kNumeric;
+    case Accelerator::kMixedConcat:
+      return modality == Modality::kMixed;
+  }
+  return false;
+}
+
+}  // namespace
+
+Status ValidateClustererSpec(const ClustererSpec& spec) {
+  switch (spec.modality) {
+    case Modality::kCategorical:
+    case Modality::kNumeric:
+    case Modality::kMixed:
+    case Modality::kTextBinarized:
+      break;
+    default:
+      return Status::InvalidArgument(
+          "spec.modality holds an unrecognized value (" +
+          std::to_string(static_cast<int>(spec.modality)) + ")");
+  }
+  if (!AcceleratorSupported(spec.modality, spec.accelerator)) {
+    return Status::InvalidArgument(
+        std::string("the ") +
+        std::string(AcceleratorToString(spec.accelerator)) +
+        " accelerator does not apply to " +
+        std::string(ModalityToString(spec.modality)) +
+        " data; supported accelerators for this modality: " +
+        std::string(SupportedAccelerators(spec.modality)));
+  }
+  LSHC_RETURN_NOT_OK(ValidateEngineOptions(spec.engine).WithContext(
+      "spec.engine"));
+  if (!IsCategoricalShaped(spec.modality) &&
+      spec.engine.initial_seeds.empty() &&
+      spec.engine.init_method != InitMethod::kRandom) {
+    return Status::InvalidArgument(
+        "Huang/Cao seeding is defined on categorical attribute frequencies; "
+        "use InitMethod::kRandom (or explicit initial_seeds) for " +
+        std::string(ModalityToString(spec.modality)) + " data");
+  }
+  if (spec.modality == Modality::kMixed &&
+      !(std::isfinite(spec.gamma) && spec.gamma >= 0.0)) {
+    return Status::InvalidArgument(
+        "spec.gamma weighs the numeric distance and must be a finite "
+        "non-negative number; got " + std::to_string(spec.gamma));
+  }
+  switch (spec.accelerator) {
+    case Accelerator::kMinHash:
+      LSHC_RETURN_NOT_OK(
+          MinHashShortlistFamily::ValidateOptions(spec.minhash)
+              .WithContext("spec.minhash"));
+      break;
+    case Accelerator::kSimHash:
+      LSHC_RETURN_NOT_OK(
+          SimHashShortlistFamily::ValidateOptions(spec.simhash)
+              .WithContext("spec.simhash"));
+      break;
+    case Accelerator::kMixedConcat:
+      LSHC_RETURN_NOT_OK(
+          MixedShortlistFamily::ValidateOptions(spec.mixed_index)
+              .WithContext("spec.mixed_index"));
+      break;
+    case Accelerator::kCanopy:
+      LSHC_RETURN_NOT_OK(
+          ValidateCanopyOptions(spec.canopy).WithContext("spec.canopy"));
+      break;
+    case Accelerator::kExhaustive:
+      break;
+  }
+  return Status::OK();
+}
+
+namespace internal {
+
+namespace {
+
+/// Runs the engine and folds the outcome into a FitReport: cancellation
+/// becomes FitReport::status = kCancelled (the partial result stays), and
+/// banding-index providers contribute their diagnostics.
+template <typename Traits, typename Provider>
+Result<FitReport> RunToReport(const typename Traits::Dataset& dataset,
+                              const typename Traits::Options& options,
+                              Provider& provider,
+                              typename Traits::Centroids* model) {
+  FitReport report;
+  LSHC_ASSIGN_OR_RETURN(report.result,
+                        (ClusteringEngine<Traits, Provider>::Run(
+                            dataset, options, provider, model)));
+  if (report.result.cancelled) {
+    report.status = Status::Cancelled(
+        "run stopped by the cancellation hook after " +
+        std::to_string(report.result.iterations.size()) +
+        " completed refinement iteration(s); the report holds that state");
+  }
+  if constexpr (requires {
+                  provider.index();
+                  provider.IndexStats();
+                }) {
+    if (provider.index() != nullptr) {
+      report.has_index = true;
+      report.index_stats = provider.IndexStats();
+      report.index_memory_bytes = provider.MemoryUsageBytes();
+      report.signature_seconds = provider.signature_seconds();
+      report.index_seconds = provider.index_seconds();
+    }
+  }
+  return report;
+}
+
+/// Nearest fitted centroid for every item of an out-of-sample dataset —
+/// literally the engine's exhaustive argmin kernel
+/// (BestClusterExhaustive, seed cluster 0), so ties resolve identically
+/// to a Fit pass by construction. Chunked across a worker pool when the
+/// spec's num_threads asks for one; per-item pure, so bit-identical
+/// either way.
+template <typename Traits>
+std::vector<uint32_t> AssignNearest(const typename Traits::Dataset& dataset,
+                                    const typename Traits::Centroids& model,
+                                    const typename Traits::Options& options) {
+  const uint32_t n = dataset.num_items();
+  const uint32_t k = options.num_clusters;
+  std::vector<uint32_t> assignment(n, 0);
+  const auto assign_range = [&](uint32_t begin, uint32_t end) {
+    for (uint32_t item = begin; item < end; ++item) {
+      assignment[item] = BestClusterExhaustive<Traits, /*EarlyExit=*/true>(
+          dataset, model, options, item, /*seed_cluster=*/0, k);
+    }
+  };
+  // Predict spawns its pool per call (it has no run to borrow one from),
+  // so small batches — the per-micro-batch routing pattern — stay
+  // sequential rather than paying thread startup per arrival batch.
+  const uint32_t num_threads = ResolveThreadCount(options.num_threads);
+  if (num_threads <= 1 || n < 4096u) {
+    assign_range(0, n);
+  } else {
+    ThreadPool pool(num_threads);
+    pool.ParallelFor(0, n, options.chunk_size,
+                     [&](uint32_t begin, uint32_t end, uint32_t) {
+                       assign_range(begin, end);
+                     });
+  }
+  return assignment;
+}
+
+}  // namespace
+
+/// \brief The type-erasure seam: one virtual Fit/Predict per dataset
+/// shape, overridden by the dispatcher of the spec's modality. The base
+/// implementations reject mismatched dataset shapes with an actionable
+/// error, so every concrete dispatcher only overrides its own shape.
+class EngineDispatcher {
+ public:
+  explicit EngineDispatcher(const ClustererSpec& spec) : spec_(spec) {}
+  virtual ~EngineDispatcher() = default;
+
+  virtual Result<FitReport> Fit(const CategoricalDataset&) {
+    return WrongShape("a categorical");
+  }
+  virtual Result<FitReport> Fit(const NumericDataset&) {
+    return WrongShape("a numeric");
+  }
+  virtual Result<FitReport> Fit(const MixedDataset&) {
+    return WrongShape("a mixed");
+  }
+
+  virtual Result<std::vector<uint32_t>> Predict(
+      const CategoricalDataset&) const {
+    return WrongShape("a categorical");
+  }
+  virtual Result<std::vector<uint32_t>> Predict(
+      const NumericDataset&) const {
+    return WrongShape("a numeric");
+  }
+  virtual Result<std::vector<uint32_t>> Predict(const MixedDataset&) const {
+    return WrongShape("a mixed");
+  }
+
+  virtual bool fitted() const = 0;
+
+  /// The validated spec this dispatcher was built from — the single
+  /// stored copy (Clusterer::spec() reads it through here).
+  const ClustererSpec& spec() const { return spec_; }
+
+ protected:
+  Status WrongShape(std::string_view got) const {
+    return Status::InvalidArgument(
+        "this Clusterer is configured for " +
+        std::string(ModalityToString(spec_.modality)) + " data, but " +
+        std::string(got) +
+        " dataset was passed; create a Clusterer whose spec.modality "
+        "matches the dataset");
+  }
+
+  Status NotFitted() const {
+    return Status::InvalidArgument(
+        "Predict requires a fitted model; call Fit first");
+  }
+
+  Status UnsupportedAccelerator() const {
+    // Unreachable after ValidateClustererSpec; kept as a real error (not
+    // an abort) so a hand-rolled dispatcher misuse stays debuggable.
+    return Status::InvalidArgument(
+        std::string("accelerator ") +
+        std::string(AcceleratorToString(spec_.accelerator)) +
+        " is not implemented for " +
+        std::string(ModalityToString(spec_.modality)) + " data");
+  }
+
+  ClustererSpec spec_;
+};
+
+namespace {
+
+/// K-Modes cell (kCategorical and kTextBinarized): exhaustive, MinHash
+/// shortlists, or canopy shortlists over a CategoricalDataset.
+class CategoricalDispatcher final : public EngineDispatcher {
+ public:
+  using EngineDispatcher::EngineDispatcher;
+
+  Result<FitReport> Fit(const CategoricalDataset& dataset) override {
+    // Built into a local and only moved into the member on success: a
+    // rejected Fit leaves the previously fitted model usable.
+    ModeTable modes(spec_.engine.num_clusters, dataset.num_attributes());
+    FitReport report;
+    switch (spec_.accelerator) {
+      case Accelerator::kExhaustive: {
+        ExhaustiveProvider provider;
+        LSHC_ASSIGN_OR_RETURN(
+            report, (RunToReport<CategoricalClusteringTraits>(
+                        dataset, spec_.engine, provider, &modes)));
+        break;
+      }
+      case Accelerator::kMinHash: {
+        ClusterShortlistProvider provider(spec_.minhash,
+                                          spec_.engine.num_clusters);
+        LSHC_ASSIGN_OR_RETURN(
+            report, (RunToReport<CategoricalClusteringTraits>(
+                        dataset, spec_.engine, provider, &modes)));
+        break;
+      }
+      case Accelerator::kCanopy: {
+        CanopyShortlistProvider provider(spec_.canopy,
+                                         spec_.engine.num_clusters);
+        LSHC_ASSIGN_OR_RETURN(
+            report, (RunToReport<CategoricalClusteringTraits>(
+                        dataset, spec_.engine, provider, &modes)));
+        break;
+      }
+      default:
+        return UnsupportedAccelerator();
+    }
+    num_attributes_ = dataset.num_attributes();
+    modes_ = std::move(modes);
+    return report;
+  }
+
+  Result<std::vector<uint32_t>> Predict(
+      const CategoricalDataset& dataset) const override {
+    if (!modes_.has_value()) return NotFitted();
+    if (dataset.num_items() == 0) {
+      return Status::InvalidArgument("dataset is empty");
+    }
+    if (dataset.num_attributes() != num_attributes_) {
+      return Status::InvalidArgument(
+          "Predict dataset has " + std::to_string(dataset.num_attributes()) +
+          " attributes; the fitted model expects " +
+          std::to_string(num_attributes_));
+    }
+    return AssignNearest<CategoricalClusteringTraits>(dataset, *modes_,
+                                                      spec_.engine);
+  }
+
+  bool fitted() const override { return modes_.has_value(); }
+
+ private:
+  std::optional<ModeTable> modes_;
+  uint32_t num_attributes_ = 0;
+};
+
+/// K-Means cell (kNumeric): exhaustive or SimHash shortlists over a
+/// NumericDataset.
+class NumericDispatcher final : public EngineDispatcher {
+ public:
+  using EngineDispatcher::EngineDispatcher;
+
+  Result<FitReport> Fit(const NumericDataset& dataset) override {
+    // The engine writes centroids_ only when it returns a result, so a
+    // rejected Fit leaves the previously fitted model usable.
+    KMeansOptions options;
+    static_cast<EngineOptions&>(options) = spec_.engine;
+    FitReport report;
+    switch (spec_.accelerator) {
+      case Accelerator::kExhaustive: {
+        ExhaustiveProvider provider;
+        LSHC_ASSIGN_OR_RETURN(report,
+                              (RunToReport<NumericClusteringTraits>(
+                                  dataset, options, provider, &centroids_)));
+        break;
+      }
+      case Accelerator::kSimHash: {
+        SimHashShortlistProvider provider(spec_.simhash,
+                                          spec_.engine.num_clusters);
+        LSHC_ASSIGN_OR_RETURN(report,
+                              (RunToReport<NumericClusteringTraits>(
+                                  dataset, options, provider, &centroids_)));
+        break;
+      }
+      default:
+        return UnsupportedAccelerator();
+    }
+    dimensions_ = dataset.dimensions();
+    fitted_ = true;
+    return report;
+  }
+
+  Result<std::vector<uint32_t>> Predict(
+      const NumericDataset& dataset) const override {
+    if (!fitted_) return NotFitted();
+    if (dataset.num_items() == 0) {
+      return Status::InvalidArgument("dataset is empty");
+    }
+    if (dataset.dimensions() != dimensions_) {
+      return Status::InvalidArgument(
+          "Predict dataset has " + std::to_string(dataset.dimensions()) +
+          " dimensions; the fitted model expects " +
+          std::to_string(dimensions_));
+    }
+    KMeansOptions options;
+    static_cast<EngineOptions&>(options) = spec_.engine;
+    return AssignNearest<NumericClusteringTraits>(dataset, centroids_,
+                                                  options);
+  }
+
+  bool fitted() const override { return fitted_; }
+
+ private:
+  CentroidTable centroids_{0, 0};
+  uint32_t dimensions_ = 0;
+  bool fitted_ = false;
+};
+
+/// K-Prototypes cell (kMixed): exhaustive or concatenated MinHash+SimHash
+/// shortlists over a MixedDataset.
+class MixedDispatcher final : public EngineDispatcher {
+ public:
+  using EngineDispatcher::EngineDispatcher;
+
+  Result<FitReport> Fit(const MixedDataset& dataset) override {
+    // Built into a local and only moved into the member on success: a
+    // rejected Fit leaves the previously fitted model usable.
+    const KPrototypesOptions options = Options();
+    MixedClusteringTraits::Centroids prototypes{
+        ModeTable(spec_.engine.num_clusters, dataset.num_categorical()),
+        CentroidTable(spec_.engine.num_clusters, dataset.num_numeric())};
+    FitReport report;
+    switch (spec_.accelerator) {
+      case Accelerator::kExhaustive: {
+        ExhaustiveProvider provider;
+        LSHC_ASSIGN_OR_RETURN(report,
+                              (RunToReport<MixedClusteringTraits>(
+                                  dataset, options, provider, &prototypes)));
+        break;
+      }
+      case Accelerator::kMixedConcat: {
+        MixedShortlistProvider provider(spec_.mixed_index,
+                                        spec_.engine.num_clusters);
+        LSHC_ASSIGN_OR_RETURN(report,
+                              (RunToReport<MixedClusteringTraits>(
+                                  dataset, options, provider, &prototypes)));
+        break;
+      }
+      default:
+        return UnsupportedAccelerator();
+    }
+    num_categorical_ = dataset.num_categorical();
+    num_numeric_ = dataset.num_numeric();
+    prototypes_ = std::move(prototypes);
+    return report;
+  }
+
+  Result<std::vector<uint32_t>> Predict(
+      const MixedDataset& dataset) const override {
+    if (!prototypes_.has_value()) return NotFitted();
+    if (dataset.num_items() == 0) {
+      return Status::InvalidArgument("dataset is empty");
+    }
+    if (dataset.num_categorical() != num_categorical_ ||
+        dataset.num_numeric() != num_numeric_) {
+      return Status::InvalidArgument(
+          "Predict dataset has " + std::to_string(dataset.num_categorical()) +
+          " categorical + " + std::to_string(dataset.num_numeric()) +
+          " numeric attributes; the fitted model expects " +
+          std::to_string(num_categorical_) + " + " +
+          std::to_string(num_numeric_));
+    }
+    return AssignNearest<MixedClusteringTraits>(dataset, *prototypes_,
+                                                Options());
+  }
+
+  bool fitted() const override { return prototypes_.has_value(); }
+
+ private:
+  KPrototypesOptions Options() const {
+    KPrototypesOptions options;
+    static_cast<EngineOptions&>(options) = spec_.engine;
+    options.gamma = spec_.gamma;
+    return options;
+  }
+
+  std::optional<MixedClusteringTraits::Centroids> prototypes_;
+  uint32_t num_categorical_ = 0;
+  uint32_t num_numeric_ = 0;
+};
+
+}  // namespace
+}  // namespace internal
+
+StreamingSession::StreamingSession(std::unique_ptr<StreamingMHKModes> engine)
+    : engine_(std::move(engine)) {}
+StreamingSession::~StreamingSession() = default;
+StreamingSession::StreamingSession(StreamingSession&&) noexcept = default;
+StreamingSession& StreamingSession::operator=(StreamingSession&&) noexcept =
+    default;
+
+Clusterer::Clusterer(std::unique_ptr<internal::EngineDispatcher> dispatcher)
+    : dispatcher_(std::move(dispatcher)) {}
+Clusterer::~Clusterer() = default;
+Clusterer::Clusterer(Clusterer&&) noexcept = default;
+Clusterer& Clusterer::operator=(Clusterer&&) noexcept = default;
+
+Result<Clusterer> Clusterer::Create(const ClustererSpec& spec) {
+  LSHC_RETURN_NOT_OK(ValidateClustererSpec(spec));
+  std::unique_ptr<internal::EngineDispatcher> dispatcher;
+  switch (spec.modality) {
+    case Modality::kCategorical:
+    case Modality::kTextBinarized:
+      dispatcher = std::make_unique<internal::CategoricalDispatcher>(spec);
+      break;
+    case Modality::kNumeric:
+      dispatcher = std::make_unique<internal::NumericDispatcher>(spec);
+      break;
+    case Modality::kMixed:
+      dispatcher = std::make_unique<internal::MixedDispatcher>(spec);
+      break;
+  }
+  return Clusterer(std::move(dispatcher));
+}
+
+const ClustererSpec& Clusterer::spec() const { return dispatcher_->spec(); }
+
+Result<FitReport> Clusterer::Fit(const CategoricalDataset& dataset) {
+  return dispatcher_->Fit(dataset);
+}
+Result<FitReport> Clusterer::Fit(const NumericDataset& dataset) {
+  return dispatcher_->Fit(dataset);
+}
+Result<FitReport> Clusterer::Fit(const MixedDataset& dataset) {
+  return dispatcher_->Fit(dataset);
+}
+
+Result<std::vector<uint32_t>> Clusterer::Predict(
+    const CategoricalDataset& dataset) const {
+  return dispatcher_->Predict(dataset);
+}
+Result<std::vector<uint32_t>> Clusterer::Predict(
+    const NumericDataset& dataset) const {
+  return dispatcher_->Predict(dataset);
+}
+Result<std::vector<uint32_t>> Clusterer::Predict(
+    const MixedDataset& dataset) const {
+  return dispatcher_->Predict(dataset);
+}
+
+bool Clusterer::fitted() const { return dispatcher_->fitted(); }
+
+Result<StreamingSession> Clusterer::MakeStreamingSession(
+    const CategoricalDataset& warmup,
+    const StreamingSessionOptions& options) const {
+  const ClustererSpec& spec = this->spec();
+  if (!IsCategoricalShaped(spec.modality) ||
+      spec.accelerator != Accelerator::kMinHash) {
+    return Status::InvalidArgument(
+        "streaming sessions require a categorical or text-binarized spec "
+        "with the minhash accelerator (the live index is MinHash-based); "
+        "this Clusterer is " + std::string(ModalityToString(spec.modality)) +
+        " / " + std::string(AcceleratorToString(spec.accelerator)));
+  }
+  StreamingMHKModesOptions streaming;
+  streaming.bootstrap.engine = spec.engine;
+  streaming.bootstrap.index = spec.minhash;
+  streaming.update_modes = options.update_modes;
+  streaming.ingest_threads = options.ingest_threads;
+  streaming.ingest_shards = options.ingest_shards;
+  streaming.ingest_chunk_size = options.ingest_chunk_size;
+  LSHC_RETURN_NOT_OK(ValidateStreamingMHKModesOptions(streaming));
+  LSHC_ASSIGN_OR_RETURN(StreamingMHKModes engine,
+                        StreamingMHKModes::Bootstrap(warmup, streaming));
+  return StreamingSession(
+      std::make_unique<StreamingMHKModes>(std::move(engine)));
+}
+
+}  // namespace lshclust

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "util/macros.h"
+
 namespace lshclust {
 
 Result<CanopyIndex> CanopyIndex::Build(const CategoricalDataset& dataset,
@@ -10,15 +12,7 @@ Result<CanopyIndex> CanopyIndex::Build(const CategoricalDataset& dataset,
   const uint32_t n = dataset.num_items();
   const uint32_t m = dataset.num_attributes();
   if (n == 0) return Status::InvalidArgument("dataset is empty");
-  if (!(options.tight_fraction > 0.0 &&
-        options.tight_fraction <= options.loose_fraction &&
-        options.loose_fraction <= 1.0)) {
-    return Status::InvalidArgument(
-        "thresholds must satisfy 0 < tight <= loose <= 1");
-  }
-  if (options.cheap_attributes == 0) {
-    return Status::InvalidArgument("cheap_attributes must be positive");
-  }
+  LSHC_RETURN_NOT_OK(ValidateCanopyOptions(options));
 
   Rng rng(options.seed);
   const uint32_t sampled = std::min(options.cheap_attributes, m);

@@ -47,6 +47,23 @@ struct CanopyOptions {
   uint64_t seed = 42;
 };
 
+/// Validates the dataset-independent canopy invariants as a returned
+/// Status. CanopyIndex::Build re-checks them, so direct callers keep the
+/// historical behaviour; the front door (api/clusterer.h) reports them at
+/// Clusterer::Create time instead of mid-run.
+inline Status ValidateCanopyOptions(const CanopyOptions& options) {
+  if (!(options.tight_fraction > 0.0 &&
+        options.tight_fraction <= options.loose_fraction &&
+        options.loose_fraction <= 1.0)) {
+    return Status::InvalidArgument(
+        "thresholds must satisfy 0 < tight <= loose <= 1");
+  }
+  if (options.cheap_attributes == 0) {
+    return Status::InvalidArgument("cheap_attributes must be positive");
+  }
+  return Status::OK();
+}
+
 /// \brief Immutable canopy cover of a dataset: every item belongs to at
 /// least one canopy; canopies overlap.
 class CanopyIndex {

@@ -78,7 +78,9 @@
 /// in-place semantics (the shard plan has no observable effect there).
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <optional>
 #include <span>
@@ -146,7 +148,76 @@ struct EngineOptions {
   /// for every num_threads; any value produces bit-identical results
   /// (tuning knob for the NUMA/chunk-size study).
   uint32_t chunk_size = 1024;
+  /// Invoked after every refinement iteration with that iteration's stats
+  /// (the same record appended to ClusteringResult::iterations, cost
+  /// included when compute_cost is set). Runs on the calling thread,
+  /// outside the iteration clock; keep it cheap. Null = no reporting.
+  std::function<void(const IterationStats&)> progress;
+  /// Cooperative cancellation hook: polled between refinement iterations
+  /// and at shard-chunk boundaries inside every assignment pass; return
+  /// true to stop the run. An interrupted pass is rolled back, so the
+  /// engine returns the state after the last completed iteration with
+  /// ClusteringResult::cancelled set. May be called concurrently from
+  /// worker threads — it must be thread-safe (an atomic flag is the
+  /// typical implementation). Null = never cancelled.
+  std::function<bool()> cancel;
 };
+
+/// Validates the dataset-independent EngineOptions invariants as a
+/// returned Status — the front door (api/clusterer.h) and the CLI report
+/// these as usage errors instead of aborting. Dataset-dependent checks
+/// (k <= n, seed items in range) stay in ClusteringEngine::Run, which
+/// re-checks these too, so direct engine callers keep the historical
+/// behaviour.
+inline Status ValidateEngineOptions(const EngineOptions& options) {
+  if (options.num_clusters == 0) {
+    return Status::InvalidArgument("num_clusters must be >= 1");
+  }
+  if (options.num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  if (options.chunk_size == 0) {
+    return Status::InvalidArgument("chunk_size must be >= 1");
+  }
+  if (!options.initial_seeds.empty() &&
+      options.initial_seeds.size() != options.num_clusters) {
+    return Status::InvalidArgument(
+        "initial_seeds has " + std::to_string(options.initial_seeds.size()) +
+        " entries, expected k=" + std::to_string(options.num_clusters));
+  }
+  return Status::OK();
+}
+
+/// Best cluster for `item` scanning every cluster — the family's exact
+/// argmin semantics: `seed_cluster` is evaluated exactly first (so the
+/// early-exit bound starts tight once the clustering stabilises) and
+/// skipped in the scan; strict improvement decides, so ties keep the
+/// lowest-index candidate. The engine's exhaustive passes and the
+/// facade's Predict share this one kernel, so their tie-breaking can
+/// never drift apart.
+template <typename Traits, bool EarlyExit>
+uint32_t BestClusterExhaustive(const typename Traits::Dataset& dataset,
+                               const typename Traits::Centroids& centroids,
+                               const typename Traits::Options& options,
+                               uint32_t item, uint32_t seed_cluster,
+                               uint32_t k) {
+  uint32_t best_cluster = seed_cluster;
+  typename Traits::DistanceType best_distance =
+      Traits::template ComputeDistance<false>(dataset, centroids, options,
+                                              item, seed_cluster,
+                                              Traits::kInfiniteDistance);
+  for (uint32_t cluster = 0; cluster < k; ++cluster) {
+    if (cluster == seed_cluster) continue;
+    const typename Traits::DistanceType distance =
+        Traits::template ComputeDistance<EarlyExit>(
+            dataset, centroids, options, item, cluster, best_distance);
+    if (distance < best_distance) {
+      best_distance = distance;
+      best_cluster = cluster;
+    }
+  }
+  return best_cluster;
+}
 
 /// \brief Candidate provider that enumerates every cluster — plugging this
 /// into the engine yields the family's original algorithm. One struct
@@ -276,10 +347,14 @@ class ClusteringEngine {
   /// \param dataset items to cluster
   /// \param options engine options; num_clusters must be in [1, n]
   /// \param provider candidate policy (ExhaustiveProvider for baselines)
+  /// \param final_centroids when non-null, receives the centroids as of
+  ///        the last completed centroid update (the model the facade's
+  ///        Predict assigns out-of-sample items against)
   /// \return per-iteration instrumentation and the final assignment
   static Result<ClusteringResult> Run(const Dataset& dataset,
                                       const Options& options,
-                                      Provider& provider) {
+                                      Provider& provider,
+                                      Centroids* final_centroids = nullptr) {
     const uint32_t n = dataset.num_items();
     const uint32_t k = options.num_clusters;
     if (n == 0) return Status::InvalidArgument("dataset is empty");
@@ -359,17 +434,43 @@ class ClusteringEngine {
       }
     }
 
+    // Cooperative cancellation: one latch shared by every pass of the run.
+    // Workers poll it at chunk boundaries; once any poll answers "stop",
+    // the remaining chunks are skipped and the interrupted pass is rolled
+    // back below, so the reported state is always a completed iteration's.
+    std::atomic<bool> cancel_latch{false};
+    const CancelPoll cancel{options.cancel ? &options.cancel : nullptr,
+                            &cancel_latch};
+    const auto finish_cancelled = [&](ClusteringResult&& partial) {
+      partial.cancelled = true;
+      partial.final_cost =
+          partial.iterations.empty() ? 0.0 : partial.iterations.back().cost;
+      partial.total_seconds = total_watch.ElapsedSeconds();
+      if (final_centroids != nullptr) *final_centroids = std::move(centroids);
+      return std::move(partial);
+    };
+
     // Phase 2: initial exhaustive assignment + first centroid update.
     phase_watch.Restart();
     result.assignment.assign(n, 0);
     DispatchEarlyExit(options.early_exit, [&](auto early_exit) {
       ExhaustivePass<early_exit.value, /*FirstPass=*/true>(
           dataset, centroids, options, result.assignment, plan, pool,
-          accumulator);
+          accumulator, cancel);
     });
+    if (cancel.Latched()) {
+      // The interrupted initial pass has no previous state to roll back
+      // to — unprocessed chunks still hold the cluster-0 placeholder —
+      // so report no assignment at all rather than a half-applied one.
+      result.assignment.clear();
+      return finish_cancelled(std::move(result));
+    }
     Traits::UpdateCentroids(dataset, centroids, result.assignment, options,
                             rng);
     result.initial_assign_seconds = phase_watch.ElapsedSeconds();
+    // Fresh poll before the index build starts: the initial assignment is
+    // complete and reportable, and Prepare is the next big work unit.
+    if (cancel.Cancelled()) return finish_cancelled(std::move(result));
 
     // Phase 3: provider preparation (signatures + LSH index). Pool-aware
     // providers parallelize their signing pass over the same workers the
@@ -381,25 +482,38 @@ class ClusteringEngine {
       LSHC_RETURN_NOT_OK(provider.Prepare(dataset));
     }
     result.index_build_seconds = phase_watch.ElapsedSeconds();
+    if (cancel.Cancelled()) return finish_cancelled(std::move(result));
 
     // Phase 4: refinement until convergence. The per-pass assignment
-    // snapshot is allocated once here and reused by every iteration.
+    // snapshot is allocated once here and reused by every iteration; it
+    // doubles as the rollback buffer for a cancelled pass, so cancellable
+    // exhaustive runs keep one too.
     std::vector<uint32_t> snapshot;
     if constexpr (!Provider::kExhaustive && kParallelProvider) {
       snapshot.resize(n);
+    } else {
+      if (options.cancel) snapshot.resize(n);
     }
     [[maybe_unused]] std::vector<uint32_t> legacy_shortlist;
     for (uint32_t iteration = 1; iteration <= options.max_iterations;
          ++iteration) {
+      if (cancel.Cancelled()) {
+        result.cancelled = true;
+        break;
+      }
       phase_watch.Restart();
       uint64_t moves = 0;
       uint64_t shortlist_total = 0;
       DispatchEarlyExit(options.early_exit, [&](auto early_exit) {
         constexpr bool kEarlyExit = early_exit.value;
         if constexpr (Provider::kExhaustive) {
+          if (!snapshot.empty()) {
+            std::copy(result.assignment.begin(), result.assignment.end(),
+                      snapshot.begin());
+          }
           moves = ExhaustivePass<kEarlyExit, /*FirstPass=*/false>(
               dataset, centroids, options, result.assignment, plan, pool,
-              accumulator);
+              accumulator, cancel);
           shortlist_total = static_cast<uint64_t>(n) * k;
         } else if constexpr (kParallelProvider) {
           // Freeze the cluster-reference store for this pass: queries see
@@ -410,13 +524,29 @@ class ClusteringEngine {
           moves = ShortlistPass<kEarlyExit>(dataset, centroids, options,
                                             snapshot, result.assignment,
                                             plan, pool, shard_states,
-                                            accumulator, &shortlist_total);
+                                            accumulator, &shortlist_total,
+                                            cancel);
         } else {
+          if (!snapshot.empty()) {
+            std::copy(result.assignment.begin(), result.assignment.end(),
+                      snapshot.begin());
+          }
           moves = LegacyShortlistPass<kEarlyExit>(
               dataset, centroids, options, provider, result.assignment,
-              legacy_shortlist, &shortlist_total);
+              legacy_shortlist, &shortlist_total, cancel);
         }
       });
+      if (cancel.Latched()) {
+        // Some chunk poll answered "stop" mid-pass, so the pass is
+        // half-applied: roll it back to the pre-pass assignment. (A hook
+        // that first turns true after the pass completed is caught by
+        // the next iteration-top poll instead — completed work is never
+        // discarded.)
+        std::copy(snapshot.begin(), snapshot.end(),
+                  result.assignment.begin());
+        result.cancelled = true;
+        break;
+      }
       Traits::UpdateCentroids(dataset, centroids, result.assignment, options,
                               rng);
 
@@ -434,6 +564,7 @@ class ClusteringEngine {
                                 result.assignment);
       }
       result.iterations.push_back(stats);
+      if (options.progress) options.progress(stats);
 
       if (moves == 0) {
         result.converged = true;
@@ -444,10 +575,40 @@ class ClusteringEngine {
     result.final_cost =
         result.iterations.empty() ? 0.0 : result.iterations.back().cost;
     result.total_seconds = total_watch.ElapsedSeconds();
+    if (final_centroids != nullptr) *final_centroids = std::move(centroids);
     return result;
   }
 
  private:
+  /// Polls the caller's cancellation hook, latching the first "stop"
+  /// answer in an atomic so every worker observes it at its next chunk
+  /// boundary without re-invoking the hook. A null hook never cancels and
+  /// costs one branch per poll.
+  struct CancelPoll {
+    const std::function<bool()>* hook = nullptr;
+    std::atomic<bool>* latch = nullptr;
+
+    bool Cancelled() const {
+      if (hook == nullptr) return false;
+      if (latch->load(std::memory_order_relaxed)) return true;
+      if ((*hook)()) {
+        latch->store(true, std::memory_order_relaxed);
+        return true;
+      }
+      return false;
+    }
+
+    /// True iff some earlier poll already answered "stop" — used after a
+    /// pass to decide whether it was interrupted (chunks were skipped).
+    /// Deliberately does NOT re-invoke the hook: a hook that first turns
+    /// true after the pass's last chunk completed must not discard that
+    /// completed pass; the fresh poll before the next work unit stops
+    /// the run instead.
+    bool Latched() const {
+      return hook != nullptr && latch->load(std::memory_order_relaxed);
+    }
+  };
+
   /// True when the provider supports concurrent queries via per-worker
   /// scratch state.
   static constexpr bool kParallelProvider =
@@ -521,31 +682,6 @@ class ClusteringEngine {
     }
   }
 
-  /// Best cluster for `item` scanning every cluster. `seed_cluster` is
-  /// evaluated exactly first (so the early-exit bound starts tight once
-  /// the clustering stabilises) and skipped in the scan.
-  template <bool EarlyExit>
-  static uint32_t BestClusterExhaustive(const Dataset& dataset,
-                                        const Centroids& centroids,
-                                        const Options& options, uint32_t item,
-                                        uint32_t seed_cluster, uint32_t k) {
-    uint32_t best_cluster = seed_cluster;
-    DistanceType best_distance = Traits::template ComputeDistance<false>(
-        dataset, centroids, options, item, seed_cluster,
-        Traits::kInfiniteDistance);
-    for (uint32_t cluster = 0; cluster < k; ++cluster) {
-      if (cluster == seed_cluster) continue;
-      const DistanceType distance =
-          Traits::template ComputeDistance<EarlyExit>(
-              dataset, centroids, options, item, cluster, best_distance);
-      if (distance < best_distance) {
-        best_distance = distance;
-        best_cluster = cluster;
-      }
-    }
-    return best_cluster;
-  }
-
   /// Best cluster for `item` among `shortlist` (which contains
   /// `seed_cluster`, the item's current cluster).
   template <bool EarlyExit>
@@ -585,7 +721,7 @@ class ClusteringEngine {
     uint64_t moves = 0;
     for (uint32_t item = begin; item < end; ++item) {
       const uint32_t seed_cluster = FirstPass ? 0u : assignment[item];
-      const uint32_t best = BestClusterExhaustive<EarlyExit>(
+      const uint32_t best = BestClusterExhaustive<Traits, EarlyExit>(
           dataset, centroids, options, item, seed_cluster, k);
       if (FirstPass) {
         assignment[item] = best;
@@ -607,11 +743,13 @@ class ClusteringEngine {
                                  const Options& options,
                                  std::span<uint32_t> assignment,
                                  const ShardPlan& plan, ThreadPool* pool,
-                                 ShardedAccumulator<ChunkStats>& accumulator) {
+                                 ShardedAccumulator<ChunkStats>& accumulator,
+                                 const CancelPoll& cancel) {
     accumulator.Reset(plan);
     ForEachShardChunk(
         plan, pool,
         [&](const ShardPlan::Chunk& chunk, uint32_t index, uint32_t) {
+          if (cancel.Cancelled()) return;
           ExhaustiveChunk<EarlyExit, FirstPass>(dataset, centroids, options,
                                                 assignment, chunk.begin,
                                                 chunk.end,
@@ -664,11 +802,12 @@ class ClusteringEngine {
       std::span<uint32_t> assignment, const ShardPlan& plan,
       ThreadPool* pool, std::vector<ShardState>& shard_states,
       ShardedAccumulator<ChunkStats>& accumulator,
-      uint64_t* shortlist_total) {
+      uint64_t* shortlist_total, const CancelPoll& cancel) {
     accumulator.Reset(plan);
     ForEachShardChunk(
         plan, pool,
         [&](const ShardPlan::Chunk& chunk, uint32_t index, uint32_t worker) {
+          if (cancel.Cancelled()) return;
           ShardState& state = shard_states[chunk.shard];
           // Lazy scratch materialisation is race-free: slot (shard,
           // worker) is only ever touched from worker `worker`, and the
@@ -699,10 +838,14 @@ class ClusteringEngine {
                                       Provider& provider,
                                       std::span<uint32_t> assignment,
                                       std::vector<uint32_t>& shortlist,
-                                      uint64_t* shortlist_total) {
+                                      uint64_t* shortlist_total,
+                                      const CancelPoll& cancel) {
     const uint32_t n = dataset.num_items();
     uint64_t moves = 0;
     for (uint32_t item = 0; item < n; ++item) {
+      // The sequential pass has no chunks; poll at the same granularity
+      // the chunked passes would (the default chunk size).
+      if ((item & 1023u) == 0 && cancel.Cancelled()) break;
       provider.GetCandidates(item, assignment, &shortlist);
       *shortlist_total += shortlist.size();
       const uint32_t seed_cluster = assignment[item];
@@ -723,9 +866,10 @@ class ClusteringEngine {
 template <typename Provider>
 Result<ClusteringResult> RunEngine(const CategoricalDataset& dataset,
                                    const EngineOptions& options,
-                                   Provider& provider) {
+                                   Provider& provider,
+                                   ModeTable* final_modes = nullptr) {
   return ClusteringEngine<CategoricalClusteringTraits, Provider>::Run(
-      dataset, options, provider);
+      dataset, options, provider, final_modes);
 }
 
 }  // namespace lshclust

@@ -110,9 +110,11 @@ struct NumericClusteringTraits {
 template <typename Provider>
 Result<ClusteringResult> RunKMeansEngine(const NumericDataset& dataset,
                                          const KMeansOptions& options,
-                                         Provider& provider) {
+                                         Provider& provider,
+                                         CentroidTable* final_centroids =
+                                             nullptr) {
   return ClusteringEngine<NumericClusteringTraits, Provider>::Run(
-      dataset, options, provider);
+      dataset, options, provider, final_centroids);
 }
 
 /// Runs exhaustive K-Means (Lloyd's algorithm).

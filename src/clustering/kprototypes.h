@@ -13,6 +13,7 @@
 /// refinement loop lives in ClusteringEngine; this module only supplies
 /// the mixed distance and the dual-modality prototype update.
 
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <span>
@@ -60,8 +61,9 @@ struct MixedClusteringTraits {
       std::numeric_limits<double>::max();
 
   static Status ValidateOptions(const Dataset&, const Options& options) {
-    if (options.gamma < 0.0) {
-      return Status::InvalidArgument("gamma must be non-negative");
+    if (!(std::isfinite(options.gamma) && options.gamma >= 0.0)) {
+      return Status::InvalidArgument(
+          "gamma must be a finite non-negative number");
     }
     if (options.initial_seeds.empty() &&
         options.init_method != InitMethod::kRandom) {
@@ -149,11 +151,12 @@ struct MixedClusteringTraits {
 /// instantiation of the unified engine (same phases, same instrumentation
 /// as RunEngine / RunKMeansEngine).
 template <typename Provider>
-Result<ClusteringResult> RunKPrototypesEngine(const MixedDataset& dataset,
-                                              const KPrototypesOptions& options,
-                                              Provider& provider) {
+Result<ClusteringResult> RunKPrototypesEngine(
+    const MixedDataset& dataset, const KPrototypesOptions& options,
+    Provider& provider,
+    MixedClusteringTraits::Centroids* final_prototypes = nullptr) {
   return ClusteringEngine<MixedClusteringTraits, Provider>::Run(
-      dataset, options, provider);
+      dataset, options, provider, final_prototypes);
 }
 
 /// Runs exhaustive K-Prototypes.

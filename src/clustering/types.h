@@ -52,6 +52,13 @@ struct ClusteringResult {
   std::vector<IterationStats> iterations;
   /// True iff the run stopped because no item moved.
   bool converged = false;
+  /// True iff the run was stopped early by the caller's cancellation hook
+  /// (EngineOptions::cancel). A cancelled result is still consistent: it
+  /// reports the state after the last *completed* iteration (an
+  /// interrupted pass is rolled back, never half-applied). If the hook
+  /// fired before even the initial assignment pass completed, there is no
+  /// completed state to report and `assignment` is empty.
+  bool cancelled = false;
   /// Cost P(W, Q) after the final iteration.
   double final_cost = 0;
   /// Seconds spent selecting seeds and building initial centroids.

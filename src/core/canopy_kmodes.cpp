@@ -1,0 +1,25 @@
+#include "core/canopy_kmodes.h"
+
+#include <utility>
+
+#include "api/clusterer.h"
+#include "util/macros.h"
+
+namespace lshclust {
+
+Result<ClusteringResult> RunCanopyKModes(const CategoricalDataset& dataset,
+                                         const CanopyKModesOptions& options) {
+  ClustererSpec spec;
+  spec.modality = Modality::kCategorical;
+  spec.accelerator = Accelerator::kCanopy;
+  spec.engine = options.engine;
+  spec.canopy = options.canopy;
+  LSHC_ASSIGN_OR_RETURN(Clusterer clusterer, Clusterer::Create(spec));
+  LSHC_ASSIGN_OR_RETURN(FitReport report, clusterer.Fit(dataset));
+  // No channel for a partial report here: a cancelled run surfaces as
+  // the kCancelled error, never as an ok() result.
+  LSHC_RETURN_NOT_OK(report.status);
+  return std::move(report.result);
+}
+
+}  // namespace lshclust

@@ -5,20 +5,15 @@
 /// [15]) plugged into the same engine hook as MH-K-Modes, so the two
 /// search-space-reduction strategies compare head-to-head.
 ///
-/// Candidate clusters of item X = the clusters currently containing X's
-/// canopy peers — structurally identical to the MinHash shortlist, with
-/// canopies (cheap-distance balls) replacing LSH buckets. Canopies are
-/// built once after the initial assignment, exactly where MH-K-Modes
-/// builds its index, so phase timings are comparable.
-
-#include <cstdint>
-#include <memory>
-#include <span>
-#include <vector>
+/// \deprecated This per-algorithm entry point is a compatibility shim over
+/// the `lshclust::Clusterer` front door (api/clusterer.h): RunCanopyKModes
+/// is exactly `Clusterer{categorical, canopy}` and new code should build a
+/// ClustererSpec instead. The canopy provider itself now lives in
+/// core/canopy_shortlist_index.h (re-exported here for compatibility).
 
 #include "clustering/canopy.h"
 #include "clustering/engine.h"
-#include "core/shortlist_provider.h"
+#include "core/canopy_shortlist_index.h"  // IWYU pragma: export
 #include "util/result.h"
 
 namespace lshclust {
@@ -31,65 +26,9 @@ struct CanopyKModesOptions {
   CanopyOptions canopy;
 };
 
-/// \brief Engine provider producing canopy-peer cluster shortlists.
-/// Parallel-capable: queries are const with per-caller scratch, same
-/// contract as ShortlistProvider.
-class CanopyShortlistProvider {
- public:
-  CanopyShortlistProvider(const CanopyOptions& options, uint32_t num_clusters)
-      : options_(options), num_clusters_(num_clusters) {
-    LSHC_CHECK_GE(num_clusters, 1u);
-    scratch_ = MakeScratch();
-  }
-
-  static constexpr bool kExhaustive = false;
-
-  /// Per-caller query state (see ClusterDedupScratch).
-  using Scratch = ClusterDedupScratch;
-
-  /// A fresh scratch sized for this provider's cluster count.
-  Scratch MakeScratch() const { return MakeClusterDedupScratch(num_clusters_); }
-
-  /// Builds the canopy cover (the accelerator's one-time pass).
-  Status Prepare(const CategoricalDataset& dataset) {
-    LSHC_ASSIGN_OR_RETURN(CanopyIndex index,
-                          CanopyIndex::Build(dataset, options_));
-    index_ = std::make_unique<CanopyIndex>(std::move(index));
-    return Status::OK();
-  }
-
-  /// Deduplicated clusters of the item's canopy peers, always containing
-  /// its current cluster. Thread-safe given a private `scratch`.
-  void GetCandidates(uint32_t item, std::span<const uint32_t> assignment,
-                     Scratch& scratch, std::vector<uint32_t>* out) const {
-    CollectCandidateClusters(item, assignment, scratch, out,
-                             [&](auto&& sink) {
-                               index_->VisitCanopyPeers(item, sink);
-                             });
-  }
-
-  /// Sequential convenience overload using the provider-owned scratch.
-  void GetCandidates(uint32_t item, std::span<const uint32_t> assignment,
-                     std::vector<uint32_t>* out) {
-    GetCandidates(item, assignment, scratch_, out);
-  }
-
-  /// The canopy cover (null before Prepare).
-  const CanopyIndex* index() const { return index_.get(); }
-
- private:
-  CanopyOptions options_;
-  uint32_t num_clusters_;
-  std::unique_ptr<CanopyIndex> index_;
-  Scratch scratch_;
-};
-
-/// Runs Canopy-K-Modes.
-inline Result<ClusteringResult> RunCanopyKModes(
-    const CategoricalDataset& dataset, const CanopyKModesOptions& options) {
-  CanopyShortlistProvider provider(options.canopy,
-                                   options.engine.num_clusters);
-  return RunEngine(dataset, options.engine, provider);
-}
+/// Runs Canopy-K-Modes through the Clusterer front door.
+/// \deprecated Prefer api/clusterer.h (see the file comment).
+Result<ClusteringResult> RunCanopyKModes(const CategoricalDataset& dataset,
+                                         const CanopyKModesOptions& options);
 
 }  // namespace lshclust

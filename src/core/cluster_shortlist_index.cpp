@@ -2,10 +2,14 @@
 
 namespace lshclust {
 
+Status MinHashShortlistFamily::ValidateOptions(const Options& options) {
+  return ValidateBanding(options.banding, "MinHash banding");
+}
+
 MinHashShortlistFamily::MinHashShortlistFamily(const Options& options)
     : options_(options) {
-  LSHC_CHECK(options.banding.bands >= 1 && options.banding.rows >= 1)
-      << "banding needs at least one band and one row";
+  LSHC_DCHECK(ValidateOptions(options).ok())
+      << "invalid MinHash index options; call ValidateOptions first";
   const uint32_t width = options_.banding.num_hashes();
   if (options_.algorithm == SignatureAlgorithm::kClassicMinHash) {
     minhasher_ = std::make_unique<MinHasher>(width, options_.seed,

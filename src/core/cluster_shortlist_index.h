@@ -53,6 +53,11 @@ class MinHashShortlistFamily {
   using Dataset = CategoricalDataset;
   using Options = ShortlistIndexOptions;
 
+  /// Validates the index configuration as a returned Status — the front
+  /// door and the legacy entry points check this before constructing the
+  /// family; the constructor keeps a debug backstop.
+  static Status ValidateOptions(const Options& options);
+
   explicit MinHashShortlistFamily(const Options& options);
 
   /// One MinHash signature per item over its *present* tokens (the

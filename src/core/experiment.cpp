@@ -1,5 +1,6 @@
 #include "core/experiment.h"
 
+#include "api/clusterer.h"
 #include "clustering/initializers.h"
 #include "metrics/metrics.h"
 #include "util/macros.h"
@@ -49,20 +50,31 @@ Result<std::vector<MethodRun>> RunComparison(
   for (const MethodSpec& spec : methods) {
     MethodRun run;
     run.spec = spec;
+    // Every variant goes through the Clusterer front door: the baseline
+    // and the accelerated runs differ only in the spec's accelerator, the
+    // controlled comparison the paper's figures need.
+    ClustererSpec clusterer_spec;
+    clusterer_spec.modality = Modality::kCategorical;
+    clusterer_spec.engine = engine;
     if (spec.use_lsh) {
-      MHKModesOptions mh;
-      mh.engine = engine;
-      mh.index.banding = spec.banding;
-      mh.index.algorithm = spec.algorithm;
-      mh.index.seed = options.seed ^ 0xB4D5EEDULL;
-      LSHC_ASSIGN_OR_RETURN(MHKModesRun mh_run, RunMHKModes(dataset, mh));
-      run.result = std::move(mh_run.result);
-      run.has_index = true;
-      run.index_stats = mh_run.index_stats;
-      run.index_memory_bytes = mh_run.index_memory_bytes;
+      clusterer_spec.accelerator = Accelerator::kMinHash;
+      clusterer_spec.minhash.banding = spec.banding;
+      clusterer_spec.minhash.algorithm = spec.algorithm;
+      clusterer_spec.minhash.seed = options.seed ^ 0xB4D5EEDULL;
     } else {
-      LSHC_ASSIGN_OR_RETURN(run.result, RunKModes(dataset, engine));
+      clusterer_spec.accelerator = Accelerator::kExhaustive;
     }
+    LSHC_ASSIGN_OR_RETURN(Clusterer clusterer,
+                          Clusterer::Create(clusterer_spec));
+    LSHC_ASSIGN_OR_RETURN(FitReport report, clusterer.Fit(dataset));
+    // The engine options are built locally above, so no cancel hook can
+    // reach this run today — but never record a non-OK report as a
+    // completed method.
+    LSHC_RETURN_NOT_OK(report.status);
+    run.result = std::move(report.result);
+    run.has_index = report.has_index;
+    run.index_stats = report.index_stats;
+    run.index_memory_bytes = report.index_memory_bytes;
     if (dataset.has_labels()) {
       LSHC_ASSIGN_OR_RETURN(run.purity,
                             ComputePurity(run.result.assignment,

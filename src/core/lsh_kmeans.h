@@ -4,111 +4,23 @@
 /// \brief LSH-K-Means — the paper's framework applied to numeric data
 /// (its §VI future work), with SimHash as the locality sensitive family.
 ///
-/// Identical structure to MH-K-Modes: sign-random-projection signatures are
-/// computed once per item, banded into buckets, and each assignment step
-/// searches only the clusters currently holding the item's bucket
+/// \deprecated This per-algorithm entry point is a compatibility shim over
+/// the `lshclust::Clusterer` front door (api/clusterer.h): RunLshKMeans is
+/// exactly `Clusterer{numeric, simhash}` and new code should build a
+/// ClustererSpec instead. The SimHash family itself now lives in
+/// core/simhash_shortlist_index.h (re-exported here for compatibility).
+///
+/// Identical structure to MH-K-Modes: sign-random-projection signatures
+/// are computed once per item, banded into buckets, and each assignment
+/// step searches only the clusters currently holding the item's bucket
 /// neighbours. Collision probability per bit is 1 - theta/pi, so the
-/// banding S-curve selects by angular similarity instead of Jaccard. The
-/// provider is the generic ShortlistProvider instantiated with the SimHash
-/// family below.
-
-#include <cstdint>
-#include <memory>
-#include <span>
-#include <vector>
+/// banding S-curve selects by angular similarity instead of Jaccard.
 
 #include "clustering/kmeans.h"
-#include "core/shortlist_provider.h"
-#include "hashing/simhash.h"
-#include "lsh/banded_index.h"
-#include "lsh/probability.h"
+#include "core/simhash_shortlist_index.h"  // IWYU pragma: export
 #include "util/result.h"
 
 namespace lshclust {
-
-/// \brief Index configuration of the SimHash family.
-struct SimHashIndexOptions {
-  /// Banding shape over SimHash bits.
-  BandingParams banding = {16, 4};
-  /// Hyperplane seed.
-  uint64_t seed = 99;
-};
-
-/// \brief SimHash/angular signature family over numeric vectors.
-class SimHashShortlistFamily {
- public:
-  using Dataset = NumericDataset;
-  using Options = SimHashIndexOptions;
-
-  explicit SimHashShortlistFamily(const Options& options)
-      : options_(options) {
-    LSHC_CHECK(options.banding.bands >= 1 && options.banding.rows >= 1)
-        << "banding needs at least one band and one row";
-  }
-
-  /// One SimHash bit vector per item. The hasher is created here because
-  /// its hyperplanes need the dataset dimensionality. Chunked across
-  /// `pool` when given; projections are pure per item, so the parallel
-  /// pass is bit-identical to the sequential one.
-  Status ComputeSignatures(const Dataset& dataset,
-                           std::vector<uint64_t>* signatures,
-                           ThreadPool* pool = nullptr) {
-    const uint32_t n = dataset.num_items();
-    const uint32_t width = options_.banding.num_hashes();
-    hasher_ = std::make_unique<SimHasher>(width, dataset.dimensions(),
-                                          options_.seed);
-    signatures->resize(static_cast<size_t>(n) * width);
-    const auto sign_range = [&](uint32_t begin, uint32_t end) {
-      for (uint32_t item = begin; item < end; ++item) {
-        hasher_->ComputeSignature(dataset.Row(item),
-                                  signatures->data() +
-                                      static_cast<size_t>(item) * width);
-      }
-    };
-    if (pool == nullptr) {
-      sign_range(0, n);
-    } else {
-      pool->ParallelFor(0, n, kSignatureChunkSize,
-                        [&](uint32_t begin, uint32_t end, uint32_t) {
-                          sign_range(begin, end);
-                        });
-    }
-    return Status::OK();
-  }
-
-  /// Uniform layout: banding.bands bands of banding.rows rows.
-  std::vector<uint32_t> BandLayout() const {
-    return std::vector<uint32_t>(options_.banding.bands,
-                                 options_.banding.rows);
-  }
-
-  uint32_t signature_width() const { return options_.banding.num_hashes(); }
-  bool keep_signatures() const { return false; }
-
-  /// Signature of an external vector (length = dataset dimensionality).
-  void ComputeQuerySignature(std::span<const double> vec,
-                             uint64_t* out) const {
-    LSHC_CHECK(hasher_ != nullptr) << "ComputeSignatures must run first";
-    hasher_->ComputeSignature(vec, out);
-  }
-
-  uint64_t MemoryUsageBytes() const {
-    return hasher_ == nullptr
-               ? 0
-               : static_cast<uint64_t>(hasher_->num_hashes()) *
-                     hasher_->dimensions() * sizeof(double);
-  }
-
-  const Options& options() const { return options_; }
-
- private:
-  Options options_;
-  std::unique_ptr<SimHasher> hasher_;
-};
-
-/// \brief Engine provider producing SimHash cluster shortlists for numeric
-/// items (the numeric twin of ClusterShortlistProvider).
-using SimHashShortlistProvider = ShortlistProvider<SimHashShortlistFamily>;
 
 /// \brief Options for LSH-K-Means.
 struct LshKMeansOptions {
@@ -120,13 +32,9 @@ struct LshKMeansOptions {
   uint64_t seed = 99;
 };
 
-/// Runs LSH-K-Means.
-inline Result<ClusteringResult> RunLshKMeans(const NumericDataset& dataset,
-                                             const LshKMeansOptions& options) {
-  SimHashShortlistProvider provider(
-      SimHashIndexOptions{options.banding, options.seed},
-      options.kmeans.num_clusters);
-  return RunKMeansEngine(dataset, options.kmeans, provider);
-}
+/// Runs LSH-K-Means through the Clusterer front door.
+/// \deprecated Prefer api/clusterer.h (see the file comment).
+Result<ClusteringResult> RunLshKMeans(const NumericDataset& dataset,
+                                      const LshKMeansOptions& options);
 
 }  // namespace lshclust

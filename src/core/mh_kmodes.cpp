@@ -1,0 +1,33 @@
+#include "core/mh_kmodes.h"
+
+#include <utility>
+
+#include "api/clusterer.h"
+#include "util/macros.h"
+
+namespace lshclust {
+
+Result<MHKModesRun> RunMHKModes(const CategoricalDataset& dataset,
+                                const MHKModesOptions& options) {
+  ClustererSpec spec;
+  spec.modality = Modality::kCategorical;
+  spec.accelerator = Accelerator::kMinHash;
+  spec.engine = options.engine;
+  spec.minhash = options.index;
+  LSHC_ASSIGN_OR_RETURN(Clusterer clusterer, Clusterer::Create(spec));
+  LSHC_ASSIGN_OR_RETURN(FitReport report, clusterer.Fit(dataset));
+  // The legacy signature has no channel for a partial report, so a
+  // cancelled run (options.engine.cancel fired) surfaces as the
+  // kCancelled error rather than an ok() result callers would mistake
+  // for a completed clustering.
+  LSHC_RETURN_NOT_OK(report.status);
+  MHKModesRun run;
+  run.result = std::move(report.result);
+  run.index_stats = report.index_stats;
+  run.index_memory_bytes = report.index_memory_bytes;
+  run.signature_seconds = report.signature_seconds;
+  run.index_seconds = report.index_seconds;
+  return run;
+}
+
+}  // namespace lshclust

@@ -4,6 +4,14 @@
 /// \brief MH-K-Modes — K-Modes accelerated with the MinHash cluster
 /// shortlist index (the paper's algorithm).
 ///
+/// \deprecated This per-algorithm entry point is a compatibility shim over
+/// the `lshclust::Clusterer` front door (api/clusterer.h): RunMHKModes is
+/// exactly `Clusterer{categorical, minhash}` and new code should build a
+/// ClustererSpec instead (it adds Predict, streaming sessions and
+/// progress/cancel hooks with the same bit-identical results). The shim
+/// stays because the experiment idiom — one options struct per method —
+/// reads well in figures code.
+///
 /// \code
 ///   MHKModesOptions options;
 ///   options.engine.num_clusters = 2000;
@@ -40,19 +48,9 @@ struct MHKModesRun {
   double index_seconds = 0;
 };
 
-/// Runs MH-K-Modes (Algorithm 2 wrapped around the shared engine).
-inline Result<MHKModesRun> RunMHKModes(const CategoricalDataset& dataset,
-                                       const MHKModesOptions& options) {
-  ClusterShortlistProvider provider(options.index,
-                                    options.engine.num_clusters);
-  MHKModesRun run;
-  LSHC_ASSIGN_OR_RETURN(run.result,
-                        RunEngine(dataset, options.engine, provider));
-  run.index_stats = provider.IndexStats();
-  run.index_memory_bytes = provider.MemoryUsageBytes();
-  run.signature_seconds = provider.signature_seconds();
-  run.index_seconds = provider.index_seconds();
-  return run;
-}
+/// Runs MH-K-Modes (Algorithm 2) through the Clusterer front door.
+/// \deprecated Prefer api/clusterer.h (see the file comment).
+Result<MHKModesRun> RunMHKModes(const CategoricalDataset& dataset,
+                                const MHKModesOptions& options);
 
 }  // namespace lshclust

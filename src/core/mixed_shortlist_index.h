@@ -1,0 +1,176 @@
+#pragma once
+
+/// \file mixed_shortlist_index.h
+/// \brief The concatenated MinHash + SimHash signature family for mixed
+/// categorical + numeric items — one LSH family per modality, one banding
+/// index. Plugged into the generic ShortlistProvider
+/// (core/shortlist_provider.h); `MixedShortlistProvider` below is the
+/// resulting provider type, the one LSH-K-Prototypes runs on.
+///
+/// The categorical half of an item is MinHashed (Jaccard over present
+/// tokens, as in MH-K-Modes); the numeric half is SimHashed (angular
+/// similarity). The two signatures are concatenated and indexed by one
+/// BandedIndex with a heterogeneous band layout — the categorical bands
+/// first, then the numeric bands. Banding semantics make this exactly the
+/// union of the per-modality candidate sets: an item similar to a cluster
+/// in *either* modality reaches the exact mixed distance computation,
+/// which then weighs the modalities by gamma.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/shortlist_provider.h"
+#include "data/mixed_dataset.h"
+#include "hashing/minhash.h"
+#include "hashing/simhash.h"
+#include "lsh/banded_index.h"
+#include "util/result.h"
+
+namespace lshclust {
+
+/// \brief Index configuration of the mixed family.
+struct MixedIndexOptions {
+  /// Banding over the MinHash signature of the categorical tokens.
+  BandingParams categorical_banding = {20, 5};
+  /// Banding over the SimHash bits of the numeric vector. SimHash bits
+  /// are weak (collision probability 0.5 for orthogonal vectors), so
+  /// numeric bands need far more rows than MinHash bands: 16 bits per
+  /// band keeps merely-angularly-close clusters out of the shortlist
+  /// while near-identical vectors still collide with high probability.
+  BandingParams numeric_banding = {10, 16};
+  /// Hash family seed.
+  uint64_t seed = 99;
+};
+
+/// \brief Concatenated MinHash + SimHash signature family over mixed
+/// items.
+class MixedShortlistFamily {
+ public:
+  using Dataset = MixedDataset;
+  using Options = MixedIndexOptions;
+
+  /// Validates the index configuration as a returned Status — the front
+  /// door and the legacy entry points check this before constructing the
+  /// family; the constructor keeps a debug backstop.
+  static Status ValidateOptions(const Options& options) {
+    LSHC_RETURN_NOT_OK(ValidateBanding(options.categorical_banding,
+                                       "mixed categorical banding"));
+    return ValidateBanding(options.numeric_banding, "mixed numeric banding");
+  }
+
+  explicit MixedShortlistFamily(const Options& options) : options_(options) {
+    LSHC_DCHECK(ValidateOptions(options).ok())
+        << "invalid mixed index options; call ValidateOptions first";
+  }
+
+  /// One concatenated signature per item: the MinHash components over the
+  /// present categorical tokens, then the SimHash bits of the
+  /// *mean-centered* numeric vector. SimHash discriminates by angle from
+  /// the origin; centering spreads clusters across directions so
+  /// nearby-but-distinct clusters stop sharing sign patterns. Distances
+  /// are computed on the raw data — centering only affects candidate
+  /// generation.
+  Status ComputeSignatures(const Dataset& dataset,
+                           std::vector<uint64_t>* signatures,
+                           ThreadPool* pool = nullptr) {
+    const uint32_t n = dataset.num_items();
+    const uint32_t categorical_width =
+        options_.categorical_banding.num_hashes();
+    const uint32_t numeric_width = options_.numeric_banding.num_hashes();
+    const uint32_t width = categorical_width + numeric_width;
+    signatures->resize(static_cast<size_t>(n) * width);
+    const uint32_t workers = pool == nullptr ? 1 : pool->num_threads();
+
+    // Both halves are pure per item once their hashers exist (the mean is
+    // fixed before the numeric pass), so the chunked parallel passes are
+    // bit-identical to the sequential loops.
+
+    // Categorical part: MinHash over present tokens.
+    {
+      const MinHasher hasher(categorical_width, options_.seed);
+      std::vector<std::vector<uint32_t>> worker_tokens(workers);
+      const auto sign_range = [&](uint32_t begin, uint32_t end,
+                                  uint32_t worker) {
+        std::vector<uint32_t>& tokens = worker_tokens[worker];
+        for (uint32_t item = begin; item < end; ++item) {
+          dataset.categorical().PresentTokens(item, &tokens);
+          hasher.ComputeSignature(
+              tokens,
+              signatures->data() + static_cast<size_t>(item) * width);
+        }
+      };
+      if (pool == nullptr) {
+        sign_range(0, n, 0);
+      } else {
+        pool->ParallelFor(0, n, kSignatureChunkSize, sign_range);
+      }
+    }
+
+    // Numeric part: SimHash bits over centered vectors. The mean stays a
+    // single sequential scan: it is cheap, and its floating-point
+    // summation order is part of the signatures.
+    {
+      const uint32_t d = dataset.num_numeric();
+      std::vector<double> mean(d, 0.0);
+      for (uint32_t item = 0; item < n; ++item) {
+        const auto row = dataset.numeric().Row(item);
+        for (uint32_t j = 0; j < d; ++j) mean[j] += row[j];
+      }
+      for (auto& coordinate : mean) coordinate /= n;
+
+      const SimHasher hasher(numeric_width, d, options_.seed ^ 0x51A5ULL);
+      std::vector<std::vector<double>> worker_centered(
+          workers, std::vector<double>(d));
+      const auto sign_range = [&](uint32_t begin, uint32_t end,
+                                  uint32_t worker) {
+        std::vector<double>& centered = worker_centered[worker];
+        for (uint32_t item = begin; item < end; ++item) {
+          const auto row = dataset.numeric().Row(item);
+          for (uint32_t j = 0; j < d; ++j) centered[j] = row[j] - mean[j];
+          hasher.ComputeSignature(centered,
+                                  signatures->data() +
+                                      static_cast<size_t>(item) * width +
+                                      categorical_width);
+        }
+      };
+      if (pool == nullptr) {
+        sign_range(0, n, 0);
+      } else {
+        pool->ParallelFor(0, n, kSignatureChunkSize, sign_range);
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Heterogeneous layout: the categorical bands, then the numeric bands.
+  std::vector<uint32_t> BandLayout() const {
+    std::vector<uint32_t> layout;
+    layout.reserve(options_.categorical_banding.bands +
+                   options_.numeric_banding.bands);
+    layout.insert(layout.end(), options_.categorical_banding.bands,
+                  options_.categorical_banding.rows);
+    layout.insert(layout.end(), options_.numeric_banding.bands,
+                  options_.numeric_banding.rows);
+    return layout;
+  }
+
+  uint32_t signature_width() const {
+    return options_.categorical_banding.num_hashes() +
+           options_.numeric_banding.num_hashes();
+  }
+  bool keep_signatures() const { return false; }
+
+  uint64_t MemoryUsageBytes() const { return 0; }
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+/// \brief Dual-modality engine provider for RunKPrototypesEngine.
+using MixedShortlistProvider = ShortlistProvider<MixedShortlistFamily>;
+
+}  // namespace lshclust

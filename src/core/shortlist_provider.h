@@ -156,7 +156,7 @@ class ShortlistProvider {
   /// \param num_clusters k — shortlist entries are cluster ids < k
   ShortlistProvider(const Options& options, uint32_t num_clusters)
       : family_(options), num_clusters_(num_clusters) {
-    LSHC_CHECK_GE(num_clusters, 1u) << "need at least one cluster";
+    LSHC_DCHECK(num_clusters >= 1) << "need at least one cluster";
     scratch_ = MakeScratch();
   }
 

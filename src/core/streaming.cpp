@@ -15,20 +15,26 @@ namespace {
 constexpr uint32_t kSkipNone = ~0u;
 }  // namespace
 
-Result<StreamingMHKModes> StreamingMHKModes::Bootstrap(
-    const CategoricalDataset& warmup,
+Status ValidateStreamingMHKModesOptions(
     const StreamingMHKModesOptions& options) {
-  const uint32_t k = options.bootstrap.engine.num_clusters;
-  const uint32_t m = warmup.num_attributes();
-  if (k == 0) {
-    return Status::InvalidArgument("num_clusters must be positive");
-  }
+  LSHC_RETURN_NOT_OK(ValidateEngineOptions(options.bootstrap.engine));
+  LSHC_RETURN_NOT_OK(
+      MinHashShortlistFamily::ValidateOptions(options.bootstrap.index));
   if (options.ingest_shards == 0) {
     return Status::InvalidArgument("ingest_shards must be >= 1");
   }
   if (options.ingest_chunk_size == 0) {
     return Status::InvalidArgument("ingest_chunk_size must be >= 1");
   }
+  return Status::OK();
+}
+
+Result<StreamingMHKModes> StreamingMHKModes::Bootstrap(
+    const CategoricalDataset& warmup,
+    const StreamingMHKModesOptions& options) {
+  const uint32_t k = options.bootstrap.engine.num_clusters;
+  const uint32_t m = warmup.num_attributes();
+  LSHC_RETURN_NOT_OK(ValidateStreamingMHKModesOptions(options));
 
   StreamingMHKModes stream;
   stream.options_ = options;
@@ -48,6 +54,14 @@ Result<StreamingMHKModes> StreamingMHKModes::Bootstrap(
     LSHC_ASSIGN_OR_RETURN(
         stream.bootstrap_result_,
         RunEngine(warmup, options.bootstrap.engine, provider));
+    if (stream.bootstrap_result_.cancelled) {
+      // A cancelled warm-up run is not a clustering to stream on top of
+      // (it may not even have built the index); surface it instead of
+      // bootstrapping a session from partial state.
+      return Status::Cancelled(
+          "streaming bootstrap cancelled by the engine's cancellation "
+          "hook before the warm-up clustering completed");
+    }
     stream.assignment_ = stream.bootstrap_result_.assignment;
     stream.index_ = std::make_unique<DynamicBandedIndex>(
         options.bootstrap.index.banding, warmup.num_items());

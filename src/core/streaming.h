@@ -95,6 +95,13 @@ struct StreamingMHKModesOptions {
   uint32_t ingest_chunk_size = 64;
 };
 
+/// Validates a full streaming configuration (bootstrap engine + index
+/// options + ingest knobs) as a returned Status, reusing the engine and
+/// family validators. Bootstrap re-checks it; the front door
+/// (api/clusterer.h) reports it at session-creation time.
+Status ValidateStreamingMHKModesOptions(
+    const StreamingMHKModesOptions& options);
+
 /// \brief Online clusterer; construct via Bootstrap.
 class StreamingMHKModes {
  public:

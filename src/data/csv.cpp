@@ -1,5 +1,6 @@
 #include "data/csv.h"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -10,8 +11,16 @@ namespace lshclust {
 
 namespace {
 
-Result<CategoricalDataset> ParseLines(std::istream& input,
-                                      const CsvOptions& options) {
+/// The parsed header line: feature column names with the label column
+/// (found by name, any position) split out.
+struct CsvHeader {
+  std::vector<std::string> feature_names;
+  int label_index = -1;  // -1 = no label column
+  size_t num_fields = 0;
+};
+
+Result<CsvHeader> ParseCsvHeader(std::istream& input,
+                                 const CsvOptions& options) {
   std::string line;
   if (!std::getline(input, line)) {
     return Status::InvalidArgument("CSV input is empty (no header)");
@@ -19,46 +28,52 @@ Result<CategoricalDataset> ParseLines(std::istream& input,
   std::vector<std::string> header = Split(Trim(line), options.delimiter);
   for (auto& name : header) name = std::string(Trim(name));
 
-  int label_index = -1;
-  std::vector<std::string> attribute_names;
+  CsvHeader parsed;
+  parsed.num_fields = header.size();
   for (size_t i = 0; i < header.size(); ++i) {
     if (header[i] == options.label_column) {
-      if (label_index >= 0) {
+      if (parsed.label_index >= 0) {
         return Status::InvalidArgument("duplicate label column '" +
                                        options.label_column + "'");
       }
-      label_index = static_cast<int>(i);
+      parsed.label_index = static_cast<int>(i);
     } else {
-      attribute_names.push_back(header[i]);
+      parsed.feature_names.push_back(std::move(header[i]));
     }
   }
-  if (attribute_names.empty()) {
+  if (parsed.feature_names.empty()) {
     return Status::InvalidArgument("CSV has no attribute columns");
   }
+  return parsed;
+}
 
-  CategoricalDatasetBuilder builder(attribute_names);
-  for (const auto& absent : options.absent_values) {
-    builder.MarkAbsentValue(absent);
-  }
-
-  std::vector<std::string> row_values(attribute_names.size());
+/// Iterates the data rows after the header: skips blank lines, validates
+/// the field count, trims every field, parses the label, and invokes
+/// `row_fn(features, label, line_number)` per row. The one row-parsing
+/// loop behind every CSV reader — feature `features` is reused across
+/// rows (size = feature_names.size()).
+template <typename RowFn>
+Status ForEachCsvRow(std::istream& input, const CsvHeader& header,
+                     const CsvOptions& options, const RowFn& row_fn) {
+  std::vector<std::string> features(header.feature_names.size());
+  std::string line;
   size_t line_number = 1;
   while (std::getline(input, line)) {
     ++line_number;
     const std::string_view trimmed = Trim(line);
     if (trimmed.empty()) continue;  // skip blank lines
     const std::vector<std::string> fields = Split(trimmed, options.delimiter);
-    if (fields.size() != header.size()) {
+    if (fields.size() != header.num_fields) {
       return Status::InvalidArgument(
           "line " + std::to_string(line_number) + " has " +
           std::to_string(fields.size()) + " fields, expected " +
-          std::to_string(header.size()));
+          std::to_string(header.num_fields));
     }
     std::optional<uint32_t> label;
     size_t out = 0;
     for (size_t i = 0; i < fields.size(); ++i) {
       const std::string_view field = Trim(fields[i]);
-      if (static_cast<int>(i) == label_index) {
+      if (static_cast<int>(i) == header.label_index) {
         int64_t value = 0;
         if (!ParseInt64(field, &value) || value < 0) {
           return Status::InvalidArgument(
@@ -68,13 +83,29 @@ Result<CategoricalDataset> ParseLines(std::istream& input,
         }
         label = static_cast<uint32_t>(value);
       } else {
-        row_values[out++] = std::string(field);
+        features[out++] = std::string(field);
       }
     }
-    LSHC_RETURN_NOT_OK(
-        builder.AddRow(row_values, label)
-            .WithContext("line " + std::to_string(line_number)));
+    LSHC_RETURN_NOT_OK(row_fn(features, label, line_number));
   }
+  return Status::OK();
+}
+
+Result<CategoricalDataset> ParseLines(std::istream& input,
+                                      const CsvOptions& options) {
+  LSHC_ASSIGN_OR_RETURN(const CsvHeader header,
+                        ParseCsvHeader(input, options));
+  CategoricalDatasetBuilder builder(header.feature_names);
+  for (const auto& absent : options.absent_values) {
+    builder.MarkAbsentValue(absent);
+  }
+  LSHC_RETURN_NOT_OK(ForEachCsvRow(
+      input, header, options,
+      [&](const std::vector<std::string>& features,
+          std::optional<uint32_t> label, size_t line_number) {
+        return builder.AddRow(features, label)
+            .WithContext("line " + std::to_string(line_number));
+      }));
   if (builder.num_rows() == 0) {
     return Status::InvalidArgument("CSV contains a header but no rows");
   }
@@ -146,6 +177,158 @@ Status WriteCategoricalCsv(const CategoricalDataset& dataset,
     return Status::IOError("write to '" + path + "' failed");
   }
   return Status::OK();
+}
+
+namespace {
+
+/// A CSV parsed into per-column cells with single-pass numeric sniffing:
+/// a column is numeric iff every cell parsed as a *finite* double (NaN /
+/// inf count as non-numeric — a pandas-style missing value must not
+/// silently poison a clustering objective). Parsed values are kept, so
+/// no cell is parsed twice. Shared front of ReadNumericCsv /
+/// ReadMixedCsv, built on the same header/row framework as
+/// ReadCategoricalCsv. In numeric_strict mode (ReadNumericCsv) the first
+/// non-numeric cell is an immediate error and no cell text is retained —
+/// an all-numeric parse never holds the strings alongside the doubles.
+struct CellTable {
+  std::vector<std::string> columns;             // feature column names
+  std::vector<std::vector<std::string>> cells;  // per column, one per row
+  std::vector<std::vector<double>> numbers;     // parallel, numeric cols
+  std::vector<bool> numeric;                    // per column
+  std::vector<uint32_t> labels;                 // empty or one per row
+  std::vector<size_t> line_numbers;             // source line of each row
+  uint32_t num_rows = 0;
+};
+
+Result<CellTable> ParseCellTable(std::istream& input,
+                                 const CsvOptions& options,
+                                 bool numeric_strict) {
+  LSHC_ASSIGN_OR_RETURN(const CsvHeader header,
+                        ParseCsvHeader(input, options));
+  CellTable table;
+  table.columns = header.feature_names;
+  table.cells.resize(table.columns.size());
+  table.numbers.resize(table.columns.size());
+  table.numeric.assign(table.columns.size(), true);
+
+  LSHC_RETURN_NOT_OK(ForEachCsvRow(
+      input, header, options,
+      [&](const std::vector<std::string>& features,
+          std::optional<uint32_t> label, size_t line_number) -> Status {
+        if (label.has_value()) table.labels.push_back(*label);
+        for (size_t column = 0; column < features.size(); ++column) {
+          const std::string& field = features[column];
+          if (!numeric_strict) table.cells[column].push_back(field);
+          if (!table.numeric[column]) continue;
+          double value = 0;
+          if (ParseDouble(field, &value) && std::isfinite(value)) {
+            table.numbers[column].push_back(value);
+          } else if (numeric_strict) {
+            return Status::InvalidArgument(
+                "column '" + table.columns[column] + "' is not numeric "
+                "(line " + std::to_string(line_number) + ": '" + field +
+                "'); every feature column must parse as a finite double "
+                "(use ReadMixedCsv for mixed data)");
+          } else {
+            table.numeric[column] = false;
+            table.numbers[column].clear();
+          }
+        }
+        table.line_numbers.push_back(line_number);
+        ++table.num_rows;
+        return Status::OK();
+      }));
+  if (table.num_rows == 0) {
+    return Status::InvalidArgument("CSV contains a header but no rows");
+  }
+  return table;
+}
+
+Result<CellTable> ReadCellTable(const std::string& path,
+                                const CsvOptions& options,
+                                bool numeric_strict) {
+  std::ifstream file(path);
+  if (!file.is_open()) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  auto table = ParseCellTable(file, options, numeric_strict);
+  if (!table.ok()) return table.status().WithContext(path);
+  return table;
+}
+
+}  // namespace
+
+Result<NumericDataset> ReadNumericCsv(const std::string& path,
+                                      const CsvOptions& options) {
+  LSHC_ASSIGN_OR_RETURN(
+      CellTable table,
+      ReadCellTable(path, options, /*numeric_strict=*/true));
+  const size_t d = table.columns.size();
+  std::vector<double> values;
+  values.reserve(static_cast<size_t>(table.num_rows) * d);
+  for (uint32_t row = 0; row < table.num_rows; ++row) {
+    for (size_t column = 0; column < d; ++column) {
+      values.push_back(table.numbers[column][row]);
+    }
+  }
+  return NumericDataset::FromValues(table.num_rows,
+                                    static_cast<uint32_t>(d),
+                                    std::move(values),
+                                    std::move(table.labels));
+}
+
+Result<MixedDataset> ReadMixedCsv(const std::string& path,
+                                  const CsvOptions& options) {
+  LSHC_ASSIGN_OR_RETURN(
+      CellTable table,
+      ReadCellTable(path, options, /*numeric_strict=*/false));
+  std::vector<size_t> numeric_columns, categorical_columns;
+  for (size_t column = 0; column < table.columns.size(); ++column) {
+    (table.numeric[column] ? numeric_columns : categorical_columns)
+        .push_back(column);
+  }
+  if (numeric_columns.empty() || categorical_columns.empty()) {
+    return Status::InvalidArgument(
+        "'" + path + "' has " + std::to_string(categorical_columns.size()) +
+        " categorical and " + std::to_string(numeric_columns.size()) +
+        " numeric feature columns; mixed data needs at least one of each "
+        "(use ReadCategoricalCsv or ReadNumericCsv instead)");
+  }
+
+  std::vector<std::string> categorical_names;
+  for (const size_t column : categorical_columns) {
+    categorical_names.push_back(table.columns[column]);
+  }
+  CategoricalDatasetBuilder builder(std::move(categorical_names));
+  for (const auto& absent : options.absent_values) {
+    builder.MarkAbsentValue(absent);
+  }
+  std::vector<std::string> categorical_row(categorical_columns.size());
+  std::vector<double> numeric_values;
+  numeric_values.reserve(static_cast<size_t>(table.num_rows) *
+                         numeric_columns.size());
+  for (uint32_t row = 0; row < table.num_rows; ++row) {
+    for (size_t j = 0; j < categorical_columns.size(); ++j) {
+      categorical_row[j] = table.cells[categorical_columns[j]][row];
+    }
+    const std::optional<uint32_t> label =
+        table.labels.empty() ? std::nullopt
+                             : std::optional<uint32_t>(table.labels[row]);
+    LSHC_RETURN_NOT_OK(
+        builder.AddRow(categorical_row, label)
+            .WithContext("line " +
+                         std::to_string(table.line_numbers[row])));
+    for (const size_t column : numeric_columns) {
+      numeric_values.push_back(table.numbers[column][row]);
+    }
+  }
+  LSHC_ASSIGN_OR_RETURN(
+      NumericDataset numeric,
+      NumericDataset::FromValues(
+          table.num_rows, static_cast<uint32_t>(numeric_columns.size()),
+          std::move(numeric_values)));
+  return MixedDataset::Combine(std::move(builder).Build(),
+                               std::move(numeric));
 }
 
 }  // namespace lshclust

@@ -12,6 +12,7 @@
 #include <string_view>
 
 #include "data/categorical_dataset.h"
+#include "data/mixed_dataset.h"
 #include "util/result.h"
 
 namespace lshclust {
@@ -43,5 +44,18 @@ Result<CategoricalDataset> ParseCategoricalCsv(std::string_view text,
 Status WriteCategoricalCsv(const CategoricalDataset& dataset,
                            const std::string& path,
                            const CsvOptions& options = {});
+
+/// \brief Parses a CSV whose feature columns are all numeric (K-Means
+/// input; every cell must parse as a double). Same header/label/trim
+/// semantics as ReadCategoricalCsv; each cell is parsed exactly once.
+Result<NumericDataset> ReadNumericCsv(const std::string& path,
+                                      const CsvOptions& options = {});
+
+/// \brief Parses a CSV with both kinds of feature columns (K-Prototypes
+/// input): a column whose every value parses as a double is numeric, the
+/// rest are categorical; at least one of each is required. Same
+/// header/label/trim semantics as ReadCategoricalCsv.
+Result<MixedDataset> ReadMixedCsv(const std::string& path,
+                                  const CsvOptions& options = {});
 
 }  // namespace lshclust

@@ -9,6 +9,10 @@
 /// implementation against them by Monte Carlo.
 
 #include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
 
 namespace lshclust {
 
@@ -21,6 +25,21 @@ struct BandingParams {
   /// Total signature components b*r.
   uint32_t num_hashes() const { return bands * rows; }
 };
+
+/// Validates a banding shape as a returned Status; `what` names the
+/// option in the message (e.g. "MinHash banding"). The one banding
+/// invariant every signature family shares — extend here, not per
+/// family.
+inline Status ValidateBanding(const BandingParams& params,
+                              std::string_view what) {
+  if (params.bands < 1 || params.rows < 1) {
+    return Status::InvalidArgument(
+        std::string(what) + " needs at least one band and one row; got " +
+        std::to_string(params.bands) + "b " + std::to_string(params.rows) +
+        "r");
+  }
+  return Status::OK();
+}
 
 /// Probability that two sets with Jaccard similarity `s` agree in all rows
 /// of at least one band: 1 - (1 - s^r)^b (§III-A2).

@@ -3,13 +3,23 @@
 /// \file lshclust.h
 /// \brief Umbrella header: the whole public API of lshclust.
 ///
-/// Most applications need only a subset:
-///   * data/csv.h + core/mh_kmodes.h           — cluster categorical data
+/// **The front door is `api/clusterer.h`** — a runtime-configurable
+/// `lshclust::Clusterer` covering every modality (categorical / numeric /
+/// mixed / text-binarized) and accelerator (exhaustive / minhash /
+/// simhash / mixed-concat / canopy) behind one Fit / Predict / Stream
+/// lifecycle with Status-based validation and progress/cancel hooks.
+/// Most applications need only:
+///   * data/csv.h + api/clusterer.h            — cluster anything
 ///   * core/experiment.h + core/reporters.h    — baseline comparisons
-///   * core/streaming.h                        — online ingestion
-///   * core/lsh_kmeans.h / core/lsh_kprototypes.h — numeric / mixed data
-/// Include those directly for faster builds; include this header for
-/// exploration and prototyping.
+/// The per-algorithm headers (core/mh_kmodes.h, core/lsh_kmeans.h,
+/// core/lsh_kprototypes.h, core/canopy_kmodes.h) are deprecated shims
+/// over the Clusterer, kept for compatibility; core/streaming.h is the
+/// engine beneath Clusterer::MakeStreamingSession. Include individual
+/// headers directly for faster builds; include this one for exploration
+/// and prototyping.
+
+// The front door.
+#include "api/clusterer.h"  // IWYU pragma: export
 
 // Foundation.
 #include "util/flags.h"          // IWYU pragma: export
@@ -71,14 +81,20 @@
 // Quality metrics.
 #include "metrics/metrics.h"  // IWYU pragma: export
 
-// The paper's contribution and its extensions.
-#include "core/canopy_kmodes.h"            // IWYU pragma: export
-#include "core/cluster_shortlist_index.h"  // IWYU pragma: export
-#include "core/error_bound.h"              // IWYU pragma: export
-#include "core/experiment.h"               // IWYU pragma: export
-#include "core/lsh_kmeans.h"               // IWYU pragma: export
-#include "core/lsh_kprototypes.h"          // IWYU pragma: export
-#include "core/mh_kmodes.h"                // IWYU pragma: export
-#include "core/reporters.h"                // IWYU pragma: export
-#include "core/shortlist_provider.h"       // IWYU pragma: export
-#include "core/streaming.h"                // IWYU pragma: export
+// The paper's contribution and its extensions. The shortlist families /
+// providers live in the *_shortlist_index.h headers; the remaining
+// core/{mh_kmodes,lsh_kmeans,lsh_kprototypes,canopy_kmodes}.h entry
+// points are deprecated shims over api/clusterer.h.
+#include "core/canopy_kmodes.h"             // IWYU pragma: export
+#include "core/canopy_shortlist_index.h"    // IWYU pragma: export
+#include "core/cluster_shortlist_index.h"   // IWYU pragma: export
+#include "core/error_bound.h"               // IWYU pragma: export
+#include "core/experiment.h"                // IWYU pragma: export
+#include "core/lsh_kmeans.h"                // IWYU pragma: export
+#include "core/lsh_kprototypes.h"           // IWYU pragma: export
+#include "core/mh_kmodes.h"                 // IWYU pragma: export
+#include "core/mixed_shortlist_index.h"     // IWYU pragma: export
+#include "core/reporters.h"                 // IWYU pragma: export
+#include "core/shortlist_provider.h"        // IWYU pragma: export
+#include "core/simhash_shortlist_index.h"   // IWYU pragma: export
+#include "core/streaming.h"                 // IWYU pragma: export

@@ -23,6 +23,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Already exists";
     case StatusCode::kUnknownError:
       return "Unknown error";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unrecognized status code";
 }

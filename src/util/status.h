@@ -23,6 +23,7 @@ enum class StatusCode : int8_t {
   kNotImplemented = 5,
   kAlreadyExists = 6,
   kUnknownError = 7,
+  kCancelled = 8,
 };
 
 /// \brief Returns a human-readable name for a status code, e.g.
@@ -80,6 +81,11 @@ class Status {
   static Status UnknownError(std::string message) {
     return Status(StatusCode::kUnknownError, std::move(message));
   }
+  /// Returns an error carrying StatusCode::kCancelled (a run stopped by a
+  /// caller-installed cancellation hook, not a failure).
+  static Status Cancelled(std::string message) {
+    return Status(StatusCode::kCancelled, std::move(message));
+  }
 
   /// True iff the status is OK.
   bool ok() const noexcept { return state_ == nullptr; }
@@ -109,6 +115,7 @@ class Status {
   bool IsAlreadyExists() const noexcept {
     return Is(StatusCode::kAlreadyExists);
   }
+  bool IsCancelled() const noexcept { return Is(StatusCode::kCancelled); }
 
   /// Renders "OK" or "<code name>: <message>".
   std::string ToString() const;

@@ -1,0 +1,787 @@
+// Tests of the lshclust::Clusterer front door (api/clusterer.h):
+//
+//  * Golden parity: for every (modality x accelerator) cell the facade's
+//    Fit must be bit-identical — assignments, per-iteration moves /
+//    shortlist stats / costs, and centroids (checked through Predict) —
+//    to driving the corresponding ClusteringEngine instantiation
+//    directly, at threads {1,4} x shards {1,3}.
+//  * Validation: every invalid ClustererSpec combination returns the
+//    right StatusCode with an actionable message instead of aborting.
+//  * Hooks: the progress callback fires once per refinement iteration
+//    with the recorded stats; the cancellation hook stops a run between
+//    iterations (and at shard-chunk boundaries) and surfaces
+//    StatusCode::kCancelled with the partial FitReport.
+//  * Streaming: MakeStreamingSession reproduces StreamingMHKModes
+//    bit-for-bit.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "api/clusterer.h"
+#include "clustering/kmodes.h"
+#include "clustering/kprototypes.h"
+#include "core/canopy_kmodes.h"
+#include "core/lsh_kmeans.h"
+#include "core/lsh_kprototypes.h"
+#include "core/mh_kmodes.h"
+#include "core/streaming.h"
+#include "datagen/conjunctive_generator.h"
+#include "datagen/gaussian_mixture.h"
+#include "datagen/mixed_generator.h"
+#include "datagen/yahoo_like_corpus.h"
+#include "text/binarizer.h"
+#include "text/tfidf.h"
+
+namespace lshclust {
+namespace {
+
+CategoricalDataset CategoricalFixture() {
+  ConjunctiveDataOptions options;
+  options.num_items = 300;
+  options.num_attributes = 12;
+  options.num_clusters = 8;
+  options.domain_size = 40;
+  options.seed = 17;
+  return GenerateConjunctiveRuleData(options).ValueOrDie();
+}
+
+NumericDataset NumericFixture() {
+  GaussianMixtureOptions options;
+  options.num_items = 240;
+  options.dimensions = 6;
+  options.num_clusters = 6;
+  options.stddev = 0.4;
+  options.seed = 31;
+  return GenerateGaussianMixture(options).ValueOrDie();
+}
+
+MixedDataset MixedFixture() {
+  MixedDataOptions options;
+  options.categorical.num_items = 200;
+  options.categorical.num_attributes = 8;
+  options.categorical.num_clusters = 5;
+  options.categorical.domain_size = 25;
+  options.categorical.seed = 41;
+  options.numeric_dimensions = 4;
+  options.stddev = 0.5;
+  return GenerateMixedData(options).ValueOrDie();
+}
+
+/// Binary word-presence items from the synthetic Yahoo!-like corpus —
+/// the kTextBinarized modality's real input shape.
+CategoricalDataset TextFixture() {
+  YahooCorpusOptions corpus_options;
+  corpus_options.num_topics = 10;
+  corpus_options.questions_per_topic = 12;
+  corpus_options.seed = 7;
+  const TokenizedCorpus corpus = GenerateYahooLikeCorpus(corpus_options);
+  auto model = TopicTfIdf::Compute(corpus);
+  TfIdfOptions tfidf;
+  tfidf.threshold = 0.3;
+  return BinarizeCorpus(corpus, model->SelectVocabulary(tfidf)).ValueOrDie();
+}
+
+void ExpectIdenticalRuns(const ClusteringResult& a,
+                         const ClusteringResult& b) {
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.converged, b.converged);
+  ASSERT_EQ(a.iterations.size(), b.iterations.size());
+  for (size_t i = 0; i < a.iterations.size(); ++i) {
+    EXPECT_EQ(a.iterations[i].moves, b.iterations[i].moves) << "iter " << i;
+    EXPECT_EQ(a.iterations[i].mean_shortlist, b.iterations[i].mean_shortlist)
+        << "iter " << i;
+    EXPECT_EQ(a.iterations[i].cost, b.iterations[i].cost) << "iter " << i;
+  }
+  EXPECT_EQ(a.final_cost, b.final_cost);
+}
+
+EngineOptions BaseEngine(uint32_t k, uint32_t threads, uint32_t shards) {
+  EngineOptions engine;
+  engine.num_clusters = k;
+  engine.max_iterations = 6;
+  engine.seed = 5;
+  engine.num_threads = threads;
+  engine.num_shards = shards;
+  engine.chunk_size = 64;
+  return engine;
+}
+
+/// Runs one facade cell and its direct-engine twin, proving bit-identity
+/// of the run and (through Predict on the training items) of the
+/// centroids. `direct` is invoked as direct(options, &centroids_out).
+template <typename Traits, typename DirectFn>
+void ExpectFacadeParity(const ClustererSpec& spec,
+                        const typename Traits::Dataset& dataset,
+                        const typename Traits::Options& direct_options,
+                        const DirectFn& direct) {
+  auto clusterer = Clusterer::Create(spec);
+  ASSERT_TRUE(clusterer.ok()) << clusterer.status().ToString();
+  auto report = clusterer->Fit(dataset);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->status.ok());
+
+  typename Traits::Centroids centroids = Traits::MakeCentroids(
+      dataset, direct_options);
+  auto reference = direct(direct_options, &centroids);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  ExpectIdenticalRuns(report->result, *reference);
+
+  // Centroid parity, observed through the facade's Predict: each training
+  // item's nearest fitted centroid must match a manual scan against the
+  // direct run's centroids.
+  auto predicted = clusterer->Predict(dataset);
+  ASSERT_TRUE(predicted.ok()) << predicted.status().ToString();
+  const uint32_t k = direct_options.num_clusters;
+  for (uint32_t item = 0; item < dataset.num_items(); ++item) {
+    uint32_t best_cluster = 0;
+    auto best = Traits::template ComputeDistance<false>(
+        dataset, centroids, direct_options, item, 0,
+        Traits::kInfiniteDistance);
+    for (uint32_t cluster = 1; cluster < k; ++cluster) {
+      const auto distance = Traits::template ComputeDistance<false>(
+          dataset, centroids, direct_options, item, cluster,
+          Traits::kInfiniteDistance);
+      if (distance < best) {
+        best = distance;
+        best_cluster = cluster;
+      }
+    }
+    ASSERT_EQ((*predicted)[item], best_cluster) << "item " << item;
+  }
+}
+
+struct ParityGrid {
+  uint32_t threads;
+  uint32_t shards;
+};
+const ParityGrid kGrid[] = {{1, 1}, {1, 3}, {4, 1}, {4, 3}};
+
+// ------------------------------------------------------------- parity ----
+
+TEST(FacadeParityTest, CategoricalCells) {
+  const CategoricalDataset dataset = CategoricalFixture();
+  for (const Modality modality :
+       {Modality::kCategorical, Modality::kTextBinarized}) {
+    for (const auto& grid : kGrid) {
+      ClustererSpec spec;
+      spec.modality = modality;
+      spec.engine = BaseEngine(8, grid.threads, grid.shards);
+
+      spec.accelerator = Accelerator::kExhaustive;
+      ExpectFacadeParity<CategoricalClusteringTraits>(
+          spec, dataset, spec.engine,
+          [&](const EngineOptions& options, ModeTable* centroids) {
+            ExhaustiveProvider provider;
+            return RunEngine(dataset, options, provider, centroids);
+          });
+
+      spec.accelerator = Accelerator::kMinHash;
+      spec.minhash.banding = {8, 2};
+      ExpectFacadeParity<CategoricalClusteringTraits>(
+          spec, dataset, spec.engine,
+          [&](const EngineOptions& options, ModeTable* centroids) {
+            ClusterShortlistProvider provider(spec.minhash,
+                                              options.num_clusters);
+            return RunEngine(dataset, options, provider, centroids);
+          });
+
+      spec.accelerator = Accelerator::kCanopy;
+      spec.canopy.cheap_attributes = 4;
+      ExpectFacadeParity<CategoricalClusteringTraits>(
+          spec, dataset, spec.engine,
+          [&](const EngineOptions& options, ModeTable* centroids) {
+            CanopyShortlistProvider provider(spec.canopy,
+                                             options.num_clusters);
+            return RunEngine(dataset, options, provider, centroids);
+          });
+    }
+  }
+}
+
+TEST(FacadeParityTest, TextBinarizedOnRealBinarizedCorpus) {
+  // The categorical grid above already proves kTextBinarized dispatch;
+  // this runs the modality on its actual input shape (sparse binarized
+  // text with absence semantics).
+  const CategoricalDataset dataset = TextFixture();
+  ClustererSpec spec;
+  spec.modality = Modality::kTextBinarized;
+  spec.accelerator = Accelerator::kMinHash;
+  spec.engine = BaseEngine(10, 4, 3);
+  spec.minhash.banding = {10, 1};
+  ExpectFacadeParity<CategoricalClusteringTraits>(
+      spec, dataset, spec.engine,
+      [&](const EngineOptions& options, ModeTable* centroids) {
+        ClusterShortlistProvider provider(spec.minhash, options.num_clusters);
+        return RunEngine(dataset, options, provider, centroids);
+      });
+}
+
+TEST(FacadeParityTest, NumericCells) {
+  const NumericDataset dataset = NumericFixture();
+  for (const auto& grid : kGrid) {
+    ClustererSpec spec;
+    spec.modality = Modality::kNumeric;
+    spec.engine = BaseEngine(6, grid.threads, grid.shards);
+    KMeansOptions options;
+    static_cast<EngineOptions&>(options) = spec.engine;
+
+    spec.accelerator = Accelerator::kExhaustive;
+    ExpectFacadeParity<NumericClusteringTraits>(
+        spec, dataset, options,
+        [&](const KMeansOptions& direct, CentroidTable* centroids) {
+          ExhaustiveProvider provider;
+          return RunKMeansEngine(dataset, direct, provider, centroids);
+        });
+
+    spec.accelerator = Accelerator::kSimHash;
+    spec.simhash.banding = {6, 3};
+    ExpectFacadeParity<NumericClusteringTraits>(
+        spec, dataset, options,
+        [&](const KMeansOptions& direct, CentroidTable* centroids) {
+          SimHashShortlistProvider provider(spec.simhash,
+                                            direct.num_clusters);
+          return RunKMeansEngine(dataset, direct, provider, centroids);
+        });
+  }
+}
+
+TEST(FacadeParityTest, MixedCells) {
+  const MixedDataset dataset = MixedFixture();
+  for (const auto& grid : kGrid) {
+    ClustererSpec spec;
+    spec.modality = Modality::kMixed;
+    spec.engine = BaseEngine(5, grid.threads, grid.shards);
+    spec.gamma = 0.5;
+    KPrototypesOptions options;
+    static_cast<EngineOptions&>(options) = spec.engine;
+    options.gamma = spec.gamma;
+
+    spec.accelerator = Accelerator::kExhaustive;
+    ExpectFacadeParity<MixedClusteringTraits>(
+        spec, dataset, options,
+        [&](const KPrototypesOptions& direct,
+            MixedClusteringTraits::Centroids* centroids) {
+          ExhaustiveProvider provider;
+          return RunKPrototypesEngine(dataset, direct, provider, centroids);
+        });
+
+    spec.accelerator = Accelerator::kMixedConcat;
+    spec.mixed_index.categorical_banding = {8, 2};
+    spec.mixed_index.numeric_banding = {4, 8};
+    ExpectFacadeParity<MixedClusteringTraits>(
+        spec, dataset, options,
+        [&](const KPrototypesOptions& direct,
+            MixedClusteringTraits::Centroids* centroids) {
+          MixedShortlistProvider provider(spec.mixed_index,
+                                          direct.num_clusters);
+          return RunKPrototypesEngine(dataset, direct, provider, centroids);
+        });
+  }
+}
+
+TEST(FacadeParityTest, LegacyEntryPointsMatchFacade) {
+  // The deprecated shims route through the facade; their results must
+  // still match a facade call spelled directly.
+  const CategoricalDataset dataset = CategoricalFixture();
+  MHKModesOptions legacy;
+  legacy.engine = BaseEngine(8, 1, 1);
+  legacy.index.banding = {8, 2};
+  auto shim = RunMHKModes(dataset, legacy);
+  ASSERT_TRUE(shim.ok());
+
+  ClustererSpec spec;
+  spec.modality = Modality::kCategorical;
+  spec.accelerator = Accelerator::kMinHash;
+  spec.engine = legacy.engine;
+  spec.minhash = legacy.index;
+  auto clusterer = Clusterer::Create(spec);
+  ASSERT_TRUE(clusterer.ok());
+  auto report = clusterer->Fit(dataset);
+  ASSERT_TRUE(report.ok());
+  ExpectIdenticalRuns(shim->result, report->result);
+  EXPECT_TRUE(report->has_index);
+  EXPECT_EQ(shim->index_memory_bytes, report->index_memory_bytes);
+}
+
+// --------------------------------------------------------- validation ----
+
+Status CreateStatus(const ClustererSpec& spec) {
+  return Clusterer::Create(spec).status();
+}
+
+TEST(FacadeValidationTest, RejectsIncompatibleAcceleratorModalityPairs) {
+  ClustererSpec spec;
+  spec.engine.num_clusters = 4;
+
+  spec.modality = Modality::kNumeric;
+  spec.accelerator = Accelerator::kCanopy;
+  Status status = CreateStatus(spec);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("canopy"), std::string::npos);
+  EXPECT_NE(status.message().find("simhash"), std::string::npos)
+      << "message should name the supported accelerators: "
+      << status.message();
+
+  spec.accelerator = Accelerator::kMinHash;
+  EXPECT_EQ(CreateStatus(spec).code(), StatusCode::kInvalidArgument);
+  spec.accelerator = Accelerator::kMixedConcat;
+  EXPECT_EQ(CreateStatus(spec).code(), StatusCode::kInvalidArgument);
+
+  spec.modality = Modality::kCategorical;
+  spec.accelerator = Accelerator::kSimHash;
+  EXPECT_EQ(CreateStatus(spec).code(), StatusCode::kInvalidArgument);
+  spec.accelerator = Accelerator::kMixedConcat;
+  EXPECT_EQ(CreateStatus(spec).code(), StatusCode::kInvalidArgument);
+
+  spec.modality = Modality::kMixed;
+  spec.accelerator = Accelerator::kMinHash;
+  EXPECT_EQ(CreateStatus(spec).code(), StatusCode::kInvalidArgument);
+  spec.accelerator = Accelerator::kCanopy;
+  EXPECT_EQ(CreateStatus(spec).code(), StatusCode::kInvalidArgument);
+
+  spec.modality = Modality::kTextBinarized;
+  spec.accelerator = Accelerator::kSimHash;
+  EXPECT_EQ(CreateStatus(spec).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FacadeValidationTest, RejectsBadEngineOptions) {
+  ClustererSpec spec;
+
+  spec.engine.num_clusters = 0;
+  Status status = CreateStatus(spec);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("num_clusters"), std::string::npos);
+
+  spec.engine.num_clusters = 4;
+  spec.engine.num_shards = 0;
+  status = CreateStatus(spec);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("num_shards"), std::string::npos);
+
+  spec.engine.num_shards = 1;
+  spec.engine.chunk_size = 0;
+  status = CreateStatus(spec);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("chunk_size"), std::string::npos);
+
+  spec.engine.chunk_size = 1024;
+  spec.engine.initial_seeds = {1, 2};  // wrong arity for k=4
+  status = CreateStatus(spec);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("initial_seeds"), std::string::npos);
+}
+
+TEST(FacadeValidationTest, RejectsCategoricalOnlySeedingOffModality) {
+  ClustererSpec spec;
+  spec.modality = Modality::kNumeric;
+  spec.accelerator = Accelerator::kExhaustive;
+  spec.engine.num_clusters = 4;
+  spec.engine.init_method = InitMethod::kHuang;
+  Status status = CreateStatus(spec);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("kRandom"), std::string::npos);
+
+  spec.modality = Modality::kMixed;
+  spec.engine.init_method = InitMethod::kCao;
+  EXPECT_EQ(CreateStatus(spec).code(), StatusCode::kInvalidArgument);
+
+  // Huang is fine on categorical data.
+  spec.modality = Modality::kCategorical;
+  spec.engine.init_method = InitMethod::kHuang;
+  EXPECT_TRUE(CreateStatus(spec).ok());
+}
+
+TEST(FacadeValidationTest, RejectsBadAcceleratorOptions) {
+  ClustererSpec spec;
+  spec.engine.num_clusters = 4;
+
+  spec.modality = Modality::kCategorical;
+  spec.accelerator = Accelerator::kMinHash;
+  spec.minhash.banding = {0, 5};
+  Status status = CreateStatus(spec);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("spec.minhash"), std::string::npos);
+
+  spec.minhash.banding = {20, 5};
+  spec.accelerator = Accelerator::kCanopy;
+  spec.canopy.tight_fraction = 0.9;
+  spec.canopy.loose_fraction = 0.5;  // tight > loose
+  status = CreateStatus(spec);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("spec.canopy"), std::string::npos);
+
+  spec.modality = Modality::kNumeric;
+  spec.accelerator = Accelerator::kSimHash;
+  spec.simhash.banding = {16, 0};
+  EXPECT_EQ(CreateStatus(spec).code(), StatusCode::kInvalidArgument);
+
+  spec.modality = Modality::kMixed;
+  spec.accelerator = Accelerator::kMixedConcat;
+  spec.mixed_index.numeric_banding = {0, 16};
+  EXPECT_EQ(CreateStatus(spec).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FacadeValidationTest, RejectsNegativeGammaOnMixed) {
+  ClustererSpec spec;
+  spec.modality = Modality::kMixed;
+  spec.accelerator = Accelerator::kExhaustive;
+  spec.engine.num_clusters = 4;
+  spec.gamma = -0.25;
+  Status status = CreateStatus(spec);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("gamma"), std::string::npos);
+
+  // NaN / inf would silently poison every mixed distance; both must be
+  // rejected up front.
+  spec.gamma = std::nan("");
+  EXPECT_EQ(CreateStatus(spec).code(), StatusCode::kInvalidArgument);
+  spec.gamma = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(CreateStatus(spec).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FacadeValidationTest, RejectedFitPreservesPreviousModel) {
+  const CategoricalDataset dataset = CategoricalFixture();
+  ClustererSpec spec;
+  spec.modality = Modality::kCategorical;
+  spec.engine.num_clusters = 8;
+  auto clusterer = Clusterer::Create(spec);
+  ASSERT_TRUE(clusterer.ok());
+  ASSERT_TRUE(clusterer->Fit(dataset).ok());
+  auto before = clusterer->Predict(dataset);
+  ASSERT_TRUE(before.ok());
+
+  // k > n: the engine rejects the run; the fitted model must survive.
+  auto tiny = CategoricalDataset::FromCodes(2, 12, 40,
+                                            std::vector<uint32_t>(24, 0));
+  ASSERT_TRUE(tiny.ok());
+  EXPECT_FALSE(clusterer->Fit(*tiny).ok());
+  EXPECT_TRUE(clusterer->fitted());
+  auto after = clusterer->Predict(dataset);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*before, *after);
+}
+
+TEST(FacadeValidationTest, RejectsUnrecognizedEnumValues) {
+  ClustererSpec spec;
+  spec.engine.num_clusters = 4;
+  spec.modality = static_cast<Modality>(250);
+  EXPECT_EQ(CreateStatus(spec).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FacadeValidationTest, FitRejectsMismatchedDatasetShape) {
+  ClustererSpec spec;
+  spec.modality = Modality::kCategorical;
+  spec.engine.num_clusters = 4;
+  auto clusterer = Clusterer::Create(spec);
+  ASSERT_TRUE(clusterer.ok());
+  auto report = clusterer->Fit(NumericFixture());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(report.status().message().find("categorical"),
+            std::string::npos);
+}
+
+TEST(FacadeValidationTest, PredictRequiresFitAndMatchingShape) {
+  ClustererSpec spec;
+  spec.modality = Modality::kNumeric;
+  spec.engine.num_clusters = 4;
+  auto clusterer = Clusterer::Create(spec);
+  ASSERT_TRUE(clusterer.ok());
+  EXPECT_FALSE(clusterer->fitted());
+  EXPECT_EQ(clusterer->Predict(NumericFixture()).status().code(),
+            StatusCode::kInvalidArgument);
+
+  const NumericDataset dataset = NumericFixture();
+  ASSERT_TRUE(clusterer->Fit(dataset).ok());
+  EXPECT_TRUE(clusterer->fitted());
+
+  // Wrong dimensionality is rejected.
+  auto skinny = NumericDataset::FromValues(2, 2, {0.0, 1.0, 2.0, 3.0});
+  ASSERT_TRUE(skinny.ok());
+  EXPECT_EQ(clusterer->Predict(*skinny).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FacadeValidationTest, StreamingRequiresMinHashSpec) {
+  const CategoricalDataset dataset = CategoricalFixture();
+  ClustererSpec spec;
+  spec.modality = Modality::kCategorical;
+  spec.accelerator = Accelerator::kExhaustive;
+  spec.engine.num_clusters = 4;
+  auto clusterer = Clusterer::Create(spec);
+  ASSERT_TRUE(clusterer.ok());
+  Status status =
+      clusterer->MakeStreamingSession(dataset).status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("minhash"), std::string::npos);
+
+  spec.accelerator = Accelerator::kMinHash;
+  auto lsh_clusterer = Clusterer::Create(spec);
+  ASSERT_TRUE(lsh_clusterer.ok());
+  StreamingSessionOptions bad;
+  bad.ingest_shards = 0;
+  EXPECT_EQ(lsh_clusterer->MakeStreamingSession(dataset, bad).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// -------------------------------------------------------------- hooks ----
+
+TEST(FacadeHooksTest, ProgressFiresOncePerIterationWithRecordedStats) {
+  const CategoricalDataset dataset = CategoricalFixture();
+  std::vector<IterationStats> seen;
+  ClustererSpec spec;
+  spec.modality = Modality::kCategorical;
+  spec.accelerator = Accelerator::kMinHash;
+  spec.engine = BaseEngine(8, 1, 1);
+  spec.minhash.banding = {8, 2};
+  spec.engine.progress = [&](const IterationStats& stats) {
+    seen.push_back(stats);
+  };
+  auto clusterer = Clusterer::Create(spec);
+  ASSERT_TRUE(clusterer.ok());
+  auto report = clusterer->Fit(dataset);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(seen.size(), report->result.iterations.size());
+  for (size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i].iteration, report->result.iterations[i].iteration);
+    EXPECT_EQ(seen[i].moves, report->result.iterations[i].moves);
+    EXPECT_EQ(seen[i].cost, report->result.iterations[i].cost);
+  }
+}
+
+TEST(FacadeHooksTest, CancelBetweenIterationsReturnsPartialReport) {
+  const CategoricalDataset dataset = CategoricalFixture();
+
+  // Reference: the honest two-iteration prefix.
+  ClustererSpec spec;
+  spec.modality = Modality::kCategorical;
+  spec.accelerator = Accelerator::kMinHash;
+  spec.engine = BaseEngine(8, 1, 1);
+  spec.minhash.banding = {8, 2};
+  spec.engine.max_iterations = 2;
+  auto prefix_clusterer = Clusterer::Create(spec);
+  ASSERT_TRUE(prefix_clusterer.ok());
+  auto prefix = prefix_clusterer->Fit(dataset);
+  ASSERT_TRUE(prefix.ok());
+  ASSERT_EQ(prefix->result.iterations.size(), 2u);
+
+  // Cancelled run: stop as soon as two iterations completed.
+  int completed = 0;
+  spec.engine.max_iterations = 100;
+  spec.engine.progress = [&](const IterationStats&) { ++completed; };
+  spec.engine.cancel = [&] { return completed >= 2; };
+  auto clusterer = Clusterer::Create(spec);
+  ASSERT_TRUE(clusterer.ok());
+  auto report = clusterer->Fit(dataset);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  EXPECT_EQ(report->status.code(), StatusCode::kCancelled);
+  EXPECT_TRUE(report->result.cancelled);
+  EXPECT_FALSE(report->result.converged);
+  ASSERT_EQ(report->result.iterations.size(), 2u);
+  // The partial report is exactly the two-iteration prefix — an
+  // interrupted pass never leaks into it.
+  ExpectIdenticalRuns(report->result, prefix->result);
+  // A cancelled fit still yields a usable model.
+  EXPECT_TRUE(clusterer->fitted());
+  EXPECT_TRUE(clusterer->Predict(dataset).ok());
+}
+
+TEST(FacadeHooksTest, CancelDuringInitialPassReturnsEmptyIterations) {
+  const CategoricalDataset dataset = CategoricalFixture();
+  ClustererSpec spec;
+  spec.modality = Modality::kCategorical;
+  spec.accelerator = Accelerator::kExhaustive;
+  spec.engine = BaseEngine(8, 1, 1);
+  spec.engine.cancel = [] { return true; };
+  auto clusterer = Clusterer::Create(spec);
+  ASSERT_TRUE(clusterer.ok());
+  auto report = clusterer->Fit(dataset);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->status.code(), StatusCode::kCancelled);
+  EXPECT_TRUE(report->result.cancelled);
+  EXPECT_TRUE(report->result.iterations.empty());
+  // The initial pass never completed, so there is no consistent state to
+  // report — a half-applied assignment must not leak out.
+  EXPECT_TRUE(report->result.assignment.empty());
+}
+
+TEST(FacadeHooksTest, CancelMidPassRollsBackToLastCompletedIteration) {
+  const CategoricalDataset dataset = CategoricalFixture();
+
+  // Reference: stop exactly after the initial assignment (no refinement).
+  ClustererSpec spec;
+  spec.modality = Modality::kCategorical;
+  spec.accelerator = Accelerator::kExhaustive;
+  spec.engine = BaseEngine(8, 1, 1);
+  spec.engine.max_iterations = 0;
+  auto base_clusterer = Clusterer::Create(spec);
+  ASSERT_TRUE(base_clusterer.ok());
+  auto base = base_clusterer->Fit(dataset);
+  ASSERT_TRUE(base.ok());
+
+  // Cancel mid-way through refinement iteration 1's pass. With threads=1
+  // the poll sequence is deterministic: one poll per chunk of the initial
+  // pass (ceil(n / chunk_size)), one after the pass, one after Prepare,
+  // one at the top of iteration 1, then one per chunk of its pass.
+  // Triggering two chunks into that pass means two chunks' assignments
+  // were already overwritten when the cancel lands — exactly what the
+  // roll-back must undo. (If the poll schedule ever shifts earlier the
+  // test still holds: cancelling sooner also leaves the
+  // initial-assignment state.)
+  spec.engine.max_iterations = 100;
+  const int chunk_polls = static_cast<int>(
+      (dataset.num_items() + spec.engine.chunk_size - 1) /
+      spec.engine.chunk_size);
+  const int polls_before_refinement_pass = chunk_polls + 3;
+  int total_polls = 0;
+  spec.engine.cancel = [&, polls_before_refinement_pass] {
+    ++total_polls;
+    return total_polls > polls_before_refinement_pass + 2;
+  };
+  auto clusterer = Clusterer::Create(spec);
+  ASSERT_TRUE(clusterer.ok());
+  auto report = clusterer->Fit(dataset);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->status.code(), StatusCode::kCancelled);
+  EXPECT_TRUE(report->result.cancelled);
+  EXPECT_TRUE(report->result.iterations.empty());
+  // The interrupted first refinement pass was rolled back: the assignment
+  // is bit-identical to the max_iterations=0 run.
+  EXPECT_EQ(report->result.assignment, base->result.assignment);
+}
+
+TEST(FacadeHooksTest, LegacyShimsSurfaceCancellationAsError) {
+  // The legacy entry points have no channel for a partial report; a
+  // cancelled run must come back as the kCancelled error, never as an
+  // ok() result with a partial (possibly empty) assignment.
+  const CategoricalDataset dataset = CategoricalFixture();
+  MHKModesOptions options;
+  options.engine = BaseEngine(8, 1, 1);
+  options.engine.cancel = [] { return true; };
+  options.index.banding = {8, 2};
+  auto run = RunMHKModes(dataset, options);
+  EXPECT_EQ(run.status().code(), StatusCode::kCancelled);
+}
+
+TEST(FacadeHooksTest, CancelledBootstrapFailsStreamingSessionCreation) {
+  const CategoricalDataset dataset = CategoricalFixture();
+  ClustererSpec spec;
+  spec.modality = Modality::kCategorical;
+  spec.accelerator = Accelerator::kMinHash;
+  spec.engine = BaseEngine(8, 1, 1);
+  spec.minhash.banding = {8, 2};
+  spec.engine.cancel = [] { return true; };
+  auto clusterer = Clusterer::Create(spec);
+  ASSERT_TRUE(clusterer.ok());
+  // A session must never be built on a partial warm-up clustering.
+  Status status = clusterer->MakeStreamingSession(dataset).status();
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+}
+
+// ---------------------------------------------------------- streaming ----
+
+TEST(FacadeStreamingTest, SessionMatchesDirectStreamingEngine) {
+  ConjunctiveDataOptions data;
+  data.num_items = 400;
+  data.num_attributes = 16;
+  data.num_clusters = 10;
+  data.domain_size = 60;
+  data.seed = 23;
+  const auto all = GenerateConjunctiveRuleData(data).ValueOrDie();
+  const uint32_t warmup_items = 300;
+  const uint32_t m = all.num_attributes();
+  auto warmup = CategoricalDataset::FromCodes(
+      warmup_items, m, all.num_codes(),
+      {all.codes().begin(), all.codes().begin() + warmup_items * m});
+  ASSERT_TRUE(warmup.ok());
+
+  ClustererSpec spec;
+  spec.modality = Modality::kCategorical;
+  spec.accelerator = Accelerator::kMinHash;
+  spec.engine = BaseEngine(10, 1, 1);
+  spec.minhash.banding = {10, 2};
+
+  auto clusterer = Clusterer::Create(spec);
+  ASSERT_TRUE(clusterer.ok());
+  StreamingSessionOptions session_options;
+  session_options.ingest_threads = 2;
+  auto session = clusterer->MakeStreamingSession(*warmup, session_options);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+
+  StreamingMHKModesOptions direct_options;
+  direct_options.bootstrap.engine = spec.engine;
+  direct_options.bootstrap.index = spec.minhash;
+  direct_options.ingest_threads = 2;
+  auto direct = StreamingMHKModes::Bootstrap(*warmup, direct_options);
+  ASSERT_TRUE(direct.ok());
+
+  const std::span<const uint32_t> rows(
+      all.codes().data() + static_cast<size_t>(warmup_items) * m,
+      static_cast<size_t>(all.num_items() - warmup_items) * m);
+  ASSERT_TRUE(session->IngestBatch(rows).ok());
+  ASSERT_TRUE(direct->IngestBatch(rows).ok());
+
+  EXPECT_EQ(session->assignment(), direct->assignment());
+  EXPECT_EQ(session->stats().ingested, direct->stats().ingested);
+  EXPECT_EQ(session->stats().shortlist_total,
+            direct->stats().shortlist_total);
+  EXPECT_EQ(session->num_clusters(), 10u);
+  EXPECT_EQ(session->num_attributes(), m);
+}
+
+// ------------------------------------------------------------- report ----
+
+TEST(FacadeReportTest, IndexDiagnosticsOnlyForIndexAccelerators) {
+  const CategoricalDataset dataset = CategoricalFixture();
+  ClustererSpec spec;
+  spec.modality = Modality::kCategorical;
+  spec.engine = BaseEngine(8, 1, 1);
+
+  spec.accelerator = Accelerator::kExhaustive;
+  auto exhaustive = Clusterer::Create(spec);
+  ASSERT_TRUE(exhaustive.ok());
+  auto plain = exhaustive->Fit(dataset);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(plain->has_index);
+
+  spec.accelerator = Accelerator::kMinHash;
+  spec.minhash.banding = {8, 2};
+  auto accelerated = Clusterer::Create(spec);
+  ASSERT_TRUE(accelerated.ok());
+  auto indexed = accelerated->Fit(dataset);
+  ASSERT_TRUE(indexed.ok());
+  EXPECT_TRUE(indexed->has_index);
+  EXPECT_GT(indexed->index_memory_bytes, 0u);
+  EXPECT_GT(indexed->index_stats.total_buckets, 0u);
+}
+
+TEST(FacadeReportTest, EnumRoundTrips) {
+  for (const Modality modality :
+       {Modality::kCategorical, Modality::kNumeric, Modality::kMixed,
+        Modality::kTextBinarized}) {
+    auto parsed = ParseModality(ModalityToString(modality));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, modality);
+  }
+  for (const Accelerator accelerator :
+       {Accelerator::kExhaustive, Accelerator::kMinHash,
+        Accelerator::kSimHash, Accelerator::kMixedConcat,
+        Accelerator::kCanopy}) {
+    auto parsed = ParseAccelerator(AcceleratorToString(accelerator));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, accelerator);
+  }
+  EXPECT_EQ(ParseModality("tabular").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseAccelerator("warp-drive").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace lshclust

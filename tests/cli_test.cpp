@@ -146,5 +146,80 @@ TEST_F(CliTest, GenerateToCsvRequiresDictionary) {
             1);
 }
 
+TEST_F(CliTest, ClusterRunsKMeansOnNumericCsv) {
+  const std::string dataset = Path("points.csv");
+  std::ofstream(dataset) << "x,y,label\n"
+                            "1.0,1.1,0\n1.2,0.9,0\n0.9,1.0,0\n"
+                            "10.0,10.2,1\n10.1,9.9,1\n9.8,10.0,1\n";
+  const std::string assignment = Path("assignment.csv");
+  for (const char* accel : {"exhaustive", "lsh"}) {
+    EXPECT_EQ(RunTool({"cluster", "--input=" + dataset, "--k=2",
+                   "--algo=kmeans", std::string("--accel=") + accel,
+                   "--output=" + assignment}),
+              0)
+        << accel;
+    std::ifstream in(assignment);
+    std::string line;
+    size_t lines = 0;
+    while (std::getline(in, line)) ++lines;
+    EXPECT_EQ(lines, 7u);
+  }
+}
+
+TEST_F(CliTest, ClusterRunsKPrototypesOnMixedCsv) {
+  const std::string dataset = Path("records.csv");
+  // Whitespace-padded cells must not flip a numeric column categorical
+  // (fields are trimmed exactly like the categorical CSV reader's).
+  std::ofstream(dataset) << "plan,mrr,region,usage,label\n"
+                            "pro, 10.5 ,eu,100.2,0\npro,11.0,eu,98.0,0\n"
+                            "pro,10.0,eu,101.5,0\nfree,0.0,us,5.1,1\n"
+                            "free,0.5,us,4.8,1\nfree,0.0,us,5.5,1\n";
+  const std::string assignment = Path("assignment.csv");
+  EXPECT_EQ(RunTool({"cluster", "--input=" + dataset, "--k=2",
+                 "--algo=kprototypes", "--gamma=0.1",
+                 "--output=" + assignment}),
+            0);
+  EXPECT_TRUE(std::filesystem::exists(assignment));
+}
+
+TEST_F(CliTest, ClusterRunsCanopyAccelerator) {
+  const std::string dataset = Path("data.lshc");
+  const std::string assignment = Path("assignment.csv");
+  ASSERT_EQ(RunTool({"generate", "--items=200", "--attributes=10",
+                 "--clusters=8", "--domain=100", "--output=" + dataset}),
+            0);
+  EXPECT_EQ(RunTool({"cluster", "--input=" + dataset, "--k=8",
+                 "--algo=kmodes", "--accel=canopy",
+                 "--output=" + assignment}),
+            0);
+  // --accel must also be honoured without --algo (the legacy --method
+  // shorthand only fills the gap, never overrides an explicit choice).
+  EXPECT_EQ(RunTool({"cluster", "--input=" + dataset, "--k=8",
+                 "--accel=canopy", "--output=" + assignment}),
+            0);
+}
+
+TEST_F(CliTest, ClusterUsageErrorsExitWithCode2) {
+  const std::string numeric = Path("points.csv");
+  std::ofstream(numeric) << "x,y\n1.0,1.1\n2.0,2.1\n";
+  // Invalid spec combination: canopy on numeric data.
+  EXPECT_EQ(RunTool({"cluster", "--input=" + numeric, "--k=2",
+                 "--algo=kmeans", "--accel=canopy"}),
+            2);
+  // Unknown algo / accel names.
+  EXPECT_EQ(RunTool({"cluster", "--input=" + numeric, "--k=2",
+                 "--algo=qmeans"}),
+            2);
+  EXPECT_EQ(RunTool({"cluster", "--input=" + numeric, "--k=2",
+                 "--algo=kmeans", "--accel=warp"}),
+            2);
+  // kmeans on a categorical-valued CSV is a data error (exit 1).
+  const std::string categorical = Path("cats.csv");
+  std::ofstream(categorical) << "colour,size\nblue,small\nred,large\n";
+  EXPECT_EQ(RunTool({"cluster", "--input=" + categorical, "--k=2",
+                 "--algo=kmeans"}),
+            1);
+}
+
 }  // namespace
 }  // namespace lshclust

@@ -288,6 +288,61 @@ TEST_F(CsvFileTest, WriteRequiresInterner) {
                   .IsInvalidArgument());
 }
 
+TEST_F(CsvFileTest, ReadNumericCsvParsesValuesAndLabels) {
+  std::ofstream(path_) << "x,y,label\n 1.0 ,2.5,0\n-3.0,4e2,1\n";
+  auto dataset = ReadNumericCsv(path_.string());
+  ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+  EXPECT_EQ(dataset->num_items(), 2u);
+  EXPECT_EQ(dataset->dimensions(), 2u);
+  EXPECT_EQ(dataset->Row(0)[0], 1.0);
+  EXPECT_EQ(dataset->Row(1)[1], 400.0);
+  EXPECT_EQ(dataset->labels(), (std::vector<uint32_t>{0, 1}));
+}
+
+TEST_F(CsvFileTest, ReadNumericCsvRejectsNonNumericColumn) {
+  std::ofstream(path_) << "x,y\n1.0,2.0\ncat,3.0\n";
+  Status status = ReadNumericCsv(path_.string()).status();
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_NE(status.message().find("column 'x'"), std::string::npos);
+}
+
+TEST_F(CsvFileTest, ReadNumericCsvRejectsNonFiniteCells) {
+  // Pandas-style missing values must error, not poison the objective.
+  std::ofstream(path_) << "x,y\n1.0,2.0\n3.0,NaN\n";
+  EXPECT_TRUE(ReadNumericCsv(path_.string()).status().IsInvalidArgument());
+
+  std::ofstream(path_, std::ios::trunc) << "x,y\n1.0,inf\n3.0,4.0\n";
+  EXPECT_TRUE(ReadNumericCsv(path_.string()).status().IsInvalidArgument());
+}
+
+TEST_F(CsvFileTest, ReadMixedCsvTreatsNonFiniteColumnAsCategorical) {
+  std::ofstream(path_) << "name,score\nalice,NaN\nbob,2.0\n";
+  auto dataset = ReadMixedCsv(path_.string());
+  // 'score' holds a NaN, so it cannot be a numeric feature — the file
+  // degenerates to all-categorical, which mixed data rejects.
+  EXPECT_TRUE(dataset.status().IsInvalidArgument());
+}
+
+TEST_F(CsvFileTest, ReadMixedCsvSplitsColumnsByType) {
+  std::ofstream(path_) << "plan,mrr,region,usage,label\n"
+                          "pro, 10.5 ,eu,100.0,0\nfree,0.0,us,5.0,1\n";
+  auto dataset = ReadMixedCsv(path_.string());
+  ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+  EXPECT_EQ(dataset->num_items(), 2u);
+  EXPECT_EQ(dataset->num_categorical(), 2u);  // plan, region
+  EXPECT_EQ(dataset->num_numeric(), 2u);      // mrr, usage
+  EXPECT_EQ(dataset->numeric().Row(0)[0], 10.5);
+  EXPECT_EQ(dataset->labels(), (std::vector<uint32_t>{0, 1}));
+}
+
+TEST_F(CsvFileTest, ReadMixedCsvNeedsBothColumnKinds) {
+  std::ofstream(path_) << "x,y\n1.0,2.0\n3.0,4.0\n";
+  Status status = ReadMixedCsv(path_.string()).status();
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_NE(status.message().find("at least one of each"),
+            std::string::npos);
+}
+
 // ----------------------------------------------------------- binary format --
 
 class SerializeTest : public ::testing::Test {

@@ -4,10 +4,11 @@
 #include <fstream>
 #include <string>
 #include <string_view>
+#include <vector>
 
-#include "core/experiment.h"
-#include "core/mh_kmodes.h"
+#include "api/clusterer.h"
 #include "data/csv.h"
+#include "data/mixed_dataset.h"
 #include "data/serialize.h"
 #include "datagen/conjunctive_generator.h"
 #include "lsh/tuning.h"
@@ -80,9 +81,18 @@ Result<std::vector<uint32_t>> ReadAssignmentCsv(const std::string& path) {
   return assignment;
 }
 
+/// Data / IO failure: exit code 1.
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+/// Usage failure (bad flags, invalid spec combination): exit code 2, the
+/// same code the usage strings return, so scripts can tell "you called me
+/// wrong" from "your data is broken".
+int FailUsage(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 2;
 }
 
 // ---------------------------------------------------------------- generate --
@@ -100,7 +110,7 @@ int CmdGenerate(int argc, char** argv) {
   flags.AddString("output", &output, "output path (.lshc binary or .csv)");
   const Status parsed = flags.Parse(argc, argv);
   if (parsed.IsAlreadyExists()) return 0;
-  if (!parsed.ok()) return Fail(parsed);
+  if (!parsed.ok()) return FailUsage(parsed);
 
   ConjunctiveDataOptions options;
   options.num_items = static_cast<uint32_t>(items);
@@ -126,71 +136,187 @@ int CmdGenerate(int argc, char** argv) {
 
 // ----------------------------------------------------------------- cluster --
 
-int CmdCluster(int argc, char** argv) {
-  FlagSet flags("lshclust cluster");
-  std::string input, output = "assignment.csv", method = "mh-kmodes";
-  int64_t k = 0, bands = 20, rows = 5, max_iterations = 100, seed = 42;
-  flags.AddString("input", &input, "dataset path (.lshc or .csv)");
-  flags.AddString("output", &output, "assignment CSV path");
-  flags.AddString("method", &method, "kmodes | mh-kmodes");
-  flags.AddInt64("k", &k, "number of clusters");
-  flags.AddInt64("bands", &bands, "MinHash bands (mh-kmodes)");
-  flags.AddInt64("rows", &rows, "rows per band (mh-kmodes)");
-  flags.AddInt64("max-iters", &max_iterations, "iteration cap");
-  flags.AddInt64("seed", &seed, "RNG seed");
-  const Status parsed = flags.Parse(argc, argv);
-  if (parsed.IsAlreadyExists()) return 0;
-  if (!parsed.ok()) return Fail(parsed);
-  if (input.empty() || k <= 0) {
-    std::fprintf(stderr, "usage: lshclust cluster --input=<file> --k=<n> "
-                         "[--method=mh-kmodes]\n");
-    return 2;
-  }
-
-  auto dataset = LoadDataset(input);
-  if (!dataset.ok()) return Fail(dataset.status());
-  std::printf("loaded %u items x %u attributes from %s\n",
-              dataset->num_items(), dataset->num_attributes(),
-              input.c_str());
-
-  EngineOptions engine;
-  engine.num_clusters = static_cast<uint32_t>(k);
-  engine.max_iterations = static_cast<uint32_t>(max_iterations);
-  engine.seed = static_cast<uint64_t>(seed);
-
-  Result<ClusteringResult> result = Status::UnknownError("unset");
-  if (method == "kmodes") {
-    result = RunKModes(*dataset, engine);
-  } else if (method == "mh-kmodes") {
-    MHKModesOptions options;
-    options.engine = engine;
-    options.index.banding = {static_cast<uint32_t>(bands),
-                             static_cast<uint32_t>(rows)};
-    auto run = RunMHKModes(*dataset, options);
-    if (run.ok()) {
-      result = std::move(run->result);
-    } else {
-      result = run.status();
-    }
-  } else {
-    std::fprintf(stderr, "unknown --method '%s' (kmodes | mh-kmodes)\n",
-                 method.c_str());
-    return 2;
-  }
-  if (!result.ok()) return Fail(result.status());
-
+/// Shared tail of every cluster run: report, purity, assignment CSV.
+int FinishCluster(const std::string& label, const ClusteringResult& result,
+                  const std::vector<uint32_t>& labels,
+                  const std::string& output) {
   std::printf("%s: %zu iterations (%s), cost %.0f, %.3fs total\n",
-              method.c_str(), result->iterations.size(),
-              result->converged ? "converged" : "iteration cap",
-              result->final_cost, result->total_seconds);
-  if (dataset->has_labels()) {
-    auto purity = ComputePurity(result->assignment, dataset->labels());
+              label.c_str(), result.iterations.size(),
+              result.converged ? "converged" : "iteration cap",
+              result.final_cost, result.total_seconds);
+  if (!labels.empty()) {
+    auto purity = ComputePurity(result.assignment, labels);
     if (purity.ok()) std::printf("purity vs labels: %.4f\n", *purity);
   }
-  const Status saved = WriteAssignmentCsv(result->assignment, output);
+  const Status saved = WriteAssignmentCsv(result.assignment, output);
   if (!saved.ok()) return Fail(saved);
   std::printf("assignment written to %s\n", output.c_str());
   return 0;
+}
+
+int CmdCluster(int argc, char** argv) {
+  FlagSet flags("lshclust cluster");
+  std::string input, output = "assignment.csv", method = "mh-kmodes";
+  std::string algo, accel;
+  int64_t k = 0, bands = 0, rows = 0, max_iterations = 100, seed = 42;
+  int64_t threads = 1;
+  double gamma = 1.0;
+  flags.AddString("input", &input, "dataset path (.lshc or .csv)");
+  flags.AddString("output", &output, "assignment CSV path");
+  flags.AddString("method", &method,
+                  "legacy shorthand: kmodes | mh-kmodes (superseded by "
+                  "--algo/--accel)");
+  flags.AddString("algo", &algo,
+                  "algorithm family: kmodes | kmeans | kprototypes");
+  flags.AddString("accel", &accel,
+                  "candidate strategy: lsh | exhaustive | canopy "
+                  "(default lsh)");
+  flags.AddInt64("k", &k, "number of clusters");
+  flags.AddInt64("bands", &bands, "LSH bands (0 = accelerator default)");
+  flags.AddInt64("rows", &rows, "rows per band (0 = accelerator default)");
+  flags.AddInt64("max-iters", &max_iterations, "iteration cap");
+  flags.AddInt64("seed", &seed, "RNG seed");
+  flags.AddInt64("threads", &threads,
+                 "assignment worker threads (0 = all cores)");
+  flags.AddDouble("gamma", &gamma,
+                  "numeric-vs-categorical weight (kprototypes)");
+  const Status parsed = flags.Parse(argc, argv);
+  if (parsed.IsAlreadyExists()) return 0;
+  if (!parsed.ok()) return FailUsage(parsed);
+  if (input.empty() || k <= 0) {
+    std::fprintf(stderr, "usage: lshclust cluster --input=<file> --k=<n> "
+                         "[--algo=kmodes|kmeans|kprototypes] "
+                         "[--accel=lsh|exhaustive|canopy]\n");
+    return 2;
+  }
+  if (bands < 0 || rows < 0 || threads < 0 || max_iterations < 0) {
+    return FailUsage(Status::InvalidArgument(
+        "--bands, --rows, --threads and --max-iters must be non-negative"));
+  }
+
+  // Resolve the (algo, accel) pair: --algo/--accel when given, the legacy
+  // --method shorthand otherwise (kmodes = exhaustive K-Modes,
+  // mh-kmodes = MinHash-accelerated K-Modes — unchanged behaviour and
+  // output for existing invocations). An explicit --accel always wins;
+  // --method only fills the gap, and the printed label keeps the method
+  // name only when the method's accelerator actually ran.
+  std::string label;
+  if (algo.empty()) {
+    std::string method_accel;
+    if (method == "kmodes") {
+      method_accel = "exhaustive";
+    } else if (method == "mh-kmodes") {
+      method_accel = "lsh";
+    } else {
+      std::fprintf(stderr,
+                   "unknown --method '%s' (kmodes | mh-kmodes; use "
+                   "--algo/--accel for the full matrix)\n",
+                   method.c_str());
+      return 2;
+    }
+    algo = "kmodes";
+    if (accel.empty()) {
+      accel = method_accel;
+      label = method;
+    }
+  }
+  if (accel.empty()) accel = "lsh";
+
+  ClustererSpec spec;
+  spec.engine.num_clusters = static_cast<uint32_t>(k);
+  spec.engine.max_iterations = static_cast<uint32_t>(max_iterations);
+  spec.engine.seed = static_cast<uint64_t>(seed);
+  spec.engine.num_threads = static_cast<uint32_t>(threads);
+  if (algo == "kmodes") {
+    spec.modality = Modality::kCategorical;
+  } else if (algo == "kmeans") {
+    spec.modality = Modality::kNumeric;
+  } else if (algo == "kprototypes") {
+    spec.modality = Modality::kMixed;
+    spec.gamma = gamma;
+  } else {
+    std::fprintf(stderr, "unknown --algo '%s' (kmodes | kmeans | "
+                         "kprototypes)\n",
+                 algo.c_str());
+    return 2;
+  }
+  if (accel == "exhaustive") {
+    spec.accelerator = Accelerator::kExhaustive;
+  } else if (accel == "canopy") {
+    spec.accelerator = Accelerator::kCanopy;
+  } else if (accel == "lsh") {
+    spec.accelerator = spec.modality == Modality::kCategorical
+                           ? Accelerator::kMinHash
+                           : spec.modality == Modality::kNumeric
+                                 ? Accelerator::kSimHash
+                                 : Accelerator::kMixedConcat;
+  } else {
+    std::fprintf(stderr, "unknown --accel '%s' (lsh | exhaustive | "
+                         "canopy)\n",
+                 accel.c_str());
+    return 2;
+  }
+  // --bands/--rows override the chosen accelerator's banding defaults
+  // (the categorical half for mixed-concat); 0 keeps the default.
+  const auto apply_banding = [&](BandingParams* params) {
+    if (bands > 0) params->bands = static_cast<uint32_t>(bands);
+    if (rows > 0) params->rows = static_cast<uint32_t>(rows);
+  };
+  apply_banding(&spec.minhash.banding);
+  apply_banding(&spec.simhash.banding);
+  apply_banding(&spec.mixed_index.categorical_banding);
+  if (label.empty()) {
+    label = algo + "/" + std::string(AcceleratorToString(spec.accelerator));
+  }
+
+  // Validate the full spec before touching the data: bad combinations are
+  // usage errors (exit 2), reported without waiting for a dataset load.
+  auto clusterer = Clusterer::Create(spec);
+  if (!clusterer.ok()) return FailUsage(clusterer.status());
+
+  Result<FitReport> report = Status::UnknownError("unset");
+  std::vector<uint32_t> truth_labels;
+  if (spec.modality == Modality::kCategorical) {
+    auto dataset = LoadDataset(input);
+    if (!dataset.ok()) return Fail(dataset.status());
+    std::printf("loaded %u items x %u attributes from %s\n",
+                dataset->num_items(), dataset->num_attributes(),
+                input.c_str());
+    if (dataset->has_labels()) truth_labels = dataset->labels();
+    report = clusterer->Fit(*dataset);
+  } else if (spec.modality == Modality::kNumeric) {
+    if (IsBinaryPath(input)) {
+      return FailUsage(Status::InvalidArgument(
+          ".lshc files store categorical codes; --algo=kmeans needs a "
+          "numeric CSV"));
+    }
+    auto dataset = ReadNumericCsv(input);
+    if (!dataset.ok()) return Fail(dataset.status());
+    std::printf("loaded %u items x %u dimensions from %s\n",
+                dataset->num_items(), dataset->dimensions(), input.c_str());
+    if (dataset->has_labels()) truth_labels = dataset->labels();
+    report = clusterer->Fit(*dataset);
+  } else {
+    if (IsBinaryPath(input)) {
+      return FailUsage(Status::InvalidArgument(
+          ".lshc files store categorical codes; --algo=kprototypes needs "
+          "a mixed CSV"));
+    }
+    auto dataset = ReadMixedCsv(input);
+    if (!dataset.ok()) return Fail(dataset.status());
+    std::printf("loaded %u items (%u categorical + %u numeric attributes) "
+                "from %s\n",
+                dataset->num_items(), dataset->num_categorical(),
+                dataset->num_numeric(), input.c_str());
+    if (dataset->has_labels()) truth_labels = dataset->labels();
+    report = clusterer->Fit(*dataset);
+  }
+  if (!report.ok()) {
+    // k > n and friends are usage errors too; IO problems are not.
+    return report.status().IsInvalidArgument() ? FailUsage(report.status())
+                                               : Fail(report.status());
+  }
+  return FinishCluster(label, report->result, truth_labels, output);
 }
 
 // ---------------------------------------------------------------- evaluate --
@@ -202,7 +328,7 @@ int CmdEvaluate(int argc, char** argv) {
   flags.AddString("assignment", &assignment_path, "assignment CSV path");
   const Status parsed = flags.Parse(argc, argv);
   if (parsed.IsAlreadyExists()) return 0;
-  if (!parsed.ok()) return Fail(parsed);
+  if (!parsed.ok()) return FailUsage(parsed);
   if (dataset_path.empty() || assignment_path.empty()) {
     std::fprintf(stderr, "usage: lshclust evaluate --dataset=<file> "
                          "--assignment=<file>\n");
@@ -246,7 +372,7 @@ int CmdInspect(int argc, char** argv) {
                   "tolerated shortlist-miss probability");
   const Status parsed = flags.Parse(argc, argv);
   if (parsed.IsAlreadyExists()) return 0;
-  if (!parsed.ok()) return Fail(parsed);
+  if (!parsed.ok()) return FailUsage(parsed);
   if (input.empty()) {
     std::fprintf(stderr, "usage: lshclust inspect --input=<file>\n");
     return 2;
@@ -295,6 +421,7 @@ int Usage() {
       "commands:\n"
       "  generate   write a synthetic conjunctive-rule dataset\n"
       "  cluster    cluster a dataset with K-Modes or MH-K-Modes\n"
+      "             (--algo also selects kmeans | kprototypes)\n"
       "  evaluate   score an assignment against dataset labels\n"
       "  inspect    print dataset shape and banding advice\n"
       "run `lshclust <command> --help` for the command's flags\n",
