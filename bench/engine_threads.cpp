@@ -16,6 +16,14 @@
 // timing noise; the bench asserts the results are bit-identical and
 // flags overheads above 10%.
 //
+// Each LSH cell additionally runs a routed-predict throughput workload:
+// the fitted Clusterer retains its index (spec.retain_index), every item
+// is then routed out-of-sample through PredictRouted (sign -> probe the
+// fit-time buckets -> nearest-of-shortlist) and through the exhaustive
+// Predict, and the record carries both timings plus their ratio
+// (method="routed-predict"). The fitted dataset is hard-asserted to be
+// signed exactly once (IndexHandle::dataset_sign_passes).
+//
 // Flags: --items, --clusters, --attrs, --dims, --iters, --seed,
 //        --threads (comma list, default 1,2,4,8),
 //        --shards (item-space shards, default 1),
@@ -30,6 +38,7 @@
 
 #include "api/clusterer.h"
 #include "bench/common.h"
+#include "util/stopwatch.h"
 #include "clustering/kmodes.h"
 #include "clustering/kprototypes.h"
 #include "core/lsh_kmeans.h"
@@ -144,6 +153,69 @@ void ReportFacade(bench::JsonBenchWriter* writer, const char* family,
   writer->Add("facade_overhead", overhead);
 }
 
+/// Routed-vs-exhaustive out-of-sample assignment throughput through the
+/// retained fit-time index: Fit once (retaining the index), then route
+/// every item of `arrivals` via PredictRouted and via the exhaustive
+/// Predict. Zero re-signing of the fitted dataset is a hard assertion;
+/// the agreement rate is recorded (routing can differ where the probe
+/// misses the exhaustive winner — that is the recall/throughput
+/// trade-off the record quantifies).
+template <typename Dataset>
+void ReportRoutedPredict(bench::JsonBenchWriter* writer, const char* family,
+                         const ClustererSpec& spec, const Dataset& fit_data,
+                         const Dataset& arrivals) {
+  auto clusterer = Clusterer::Create(spec);
+  LSHC_CHECK_OK(clusterer.status());
+  auto report = clusterer->Fit(fit_data);
+  LSHC_CHECK_OK(report.status());
+  LSHC_CHECK(report->index_retained)
+      << "routed-predict workload needs a retained index (" << family
+      << ")";
+
+  Stopwatch watch;
+  auto routed = clusterer->PredictRouted(arrivals);
+  LSHC_CHECK_OK(routed.status());
+  const double routed_seconds = watch.ElapsedSeconds();
+  watch.Restart();
+  auto exhaustive = clusterer->Predict(arrivals);
+  LSHC_CHECK_OK(exhaustive.status());
+  const double exhaustive_seconds = watch.ElapsedSeconds();
+
+  auto handle = clusterer->index();
+  LSHC_CHECK_OK(handle.status());
+  LSHC_CHECK(handle->dataset_sign_passes() == 1)
+      << "routed predict re-signed the fitted dataset (" << family << ")";
+
+  uint64_t agree = 0;
+  for (size_t i = 0; i < routed->size(); ++i) {
+    agree += (*routed)[i] == (*exhaustive)[i] ? 1 : 0;
+  }
+  const uint32_t n = arrivals.num_items();
+  const double items_per_second =
+      routed_seconds > 0 ? static_cast<double>(n) / routed_seconds : 0.0;
+  const double speedup =
+      routed_seconds > 0 ? exhaustive_seconds / routed_seconds : 0.0;
+  std::printf("%-18s threads=%u  routed=%8.3fs  exhaustive=%8.3fs  "
+              "(%.1fx)  agreement=%.1f%%\n",
+              "routed-predict", spec.engine.num_threads, routed_seconds,
+              exhaustive_seconds, speedup,
+              100.0 * static_cast<double>(agree) / n);
+  writer->BeginRecord();
+  writer->Add("bench", "engine_threads");
+  writer->Add("family", family);
+  writer->Add("method", "routed-predict");
+  writer->Add("threads", spec.engine.num_threads);
+  writer->Add("shards", spec.engine.num_shards);
+  writer->Add("chunk_size", spec.engine.chunk_size);
+  writer->Add("items", static_cast<int64_t>(n));
+  writer->Add("routed_seconds", routed_seconds);
+  writer->Add("exhaustive_predict_seconds", exhaustive_seconds);
+  writer->Add("routed_speedup", speedup);
+  writer->Add("routed_items_per_second", items_per_second);
+  writer->Add("agreement",
+              static_cast<double>(agree) / static_cast<double>(n));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -229,6 +301,8 @@ int main(int argc, char** argv) {
     spec.minhash = index;
     ReportFacade(&writer, "categorical", "mh-kmodes", spec, categorical_data,
                  flags.items, mh);
+    ReportRoutedPredict(&writer, "categorical", spec, categorical_data,
+                        categorical_data);
   }
 
   // --- numeric: K-Means and LSH-K-Means ----------------------------------
@@ -269,6 +343,8 @@ int main(int argc, char** argv) {
     spec.simhash = index;
     ReportFacade(&writer, "numeric", "lsh-kmeans", spec, numeric_data,
                  flags.items, lsh);
+    ReportRoutedPredict(&writer, "numeric", spec, numeric_data,
+                        numeric_data);
   }
 
   // --- mixed: K-Prototypes and LSH-K-Prototypes --------------------------
@@ -313,6 +389,7 @@ int main(int argc, char** argv) {
     spec.mixed_index = index;
     ReportFacade(&writer, "mixed", "lsh-kprototypes", spec, mixed_data,
                  flags.items, lsh);
+    ReportRoutedPredict(&writer, "mixed", spec, mixed_data, mixed_data);
   }
 
   if (!flags.json.empty() && writer.WriteFile(flags.json)) {

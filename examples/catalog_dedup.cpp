@@ -9,15 +9,18 @@
 // categorical attributes (brand, category, colour, ...); near-duplicate
 // listings must be grouped. The demo clusters the catalog through the
 // lshclust::Clusterer front door and then *routes newly arriving
-// listings* to candidate groups through a standalone shortlist index —
-// the online-assignment pattern the paper's future work (§VI, streaming)
-// points at, built from GetCandidatesForTokens.
+// listings* through the very index the fit built: Fit retains its
+// shortlist state (spec.retain_index, on by default), so
+// Clusterer::PredictRouted signs each arrival, probes the fit-time
+// buckets and compares only against the candidate groups — no second
+// signing pass over the catalog, no standalone re-built index (the
+// IndexHandle's dataset_sign_passes counter proves it below). The
+// handle also enumerates near-duplicate candidates directly, the raw
+// material of pairwise dedup.
 
-#include <algorithm>
 #include <cstdio>
 
 #include "api/clusterer.h"
-#include "clustering/dissimilarity.h"
 #include "datagen/conjunctive_generator.h"
 #include "util/flags.h"
 #include "util/stopwatch.h"
@@ -62,6 +65,12 @@ int main(int argc, char** argv) {
        all->codes().begin() + products * all->num_attributes()},
       {all->labels().begin(), all->labels().begin() + products});
   LSHC_CHECK_OK(catalog.status());
+  auto arriving = CategoricalDataset::FromCodes(
+      static_cast<uint32_t>(arrivals), all->num_attributes(),
+      all->num_codes(),
+      {all->codes().begin() + products * all->num_attributes(),
+       all->codes().end()});
+  LSHC_CHECK_OK(arriving.status());
 
   std::printf("catalog: %u listings x %u attributes into %lld groups\n",
               catalog->num_items(), catalog->num_attributes(),
@@ -73,6 +82,8 @@ int main(int argc, char** argv) {
   spec.engine.num_clusters = static_cast<uint32_t>(groups);
   spec.engine.seed = static_cast<uint64_t>(seed);
   spec.minhash.banding = {20, 5};
+  // spec.retain_index defaults to true: Fit keeps the index it built,
+  // which is what the routed arrivals below run against.
 
   Stopwatch watch;
   auto clusterer = Clusterer::Create(spec);
@@ -80,6 +91,8 @@ int main(int argc, char** argv) {
   auto report = clusterer->Fit(*catalog);
   LSHC_CHECK_OK(report.status());
   const ClusteringResult& result = report->result;
+  LSHC_CHECK(report->index_retained)
+      << "fit should have retained its shortlist index";
   std::printf("clustered in %.2fs (%zu iterations, %s), mean shortlist "
               "%.2f of %lld groups\n",
               watch.ElapsedSeconds(), result.iterations.size(),
@@ -87,70 +100,65 @@ int main(int argc, char** argv) {
               result.iterations.back().mean_shortlist,
               static_cast<long long>(groups));
 
-  // Route the new arrivals WITHOUT re-clustering: LSH-shortlist the
-  // candidate groups through a standalone index over the catalog (same
-  // options and seed as the fit, so buckets match; one extra signing
-  // pass is the price of a routing index that outlives the fit), then
-  // compare only against those modes.
-  ClusterShortlistProvider provider(spec.minhash,
-                                    spec.engine.num_clusters);
-  LSHC_CHECK_OK(provider.Prepare(*catalog));
-  ModeTable modes(static_cast<uint32_t>(groups), catalog->num_attributes());
-  Rng rng(static_cast<uint64_t>(seed));
-  modes.RecomputeFromAssignment(*catalog, result.assignment,
-                                EmptyClusterPolicy::kKeepPreviousMode, rng);
-
-  watch.Restart();
-  std::vector<uint32_t> tokens, shortlist;
-  uint64_t shortlist_total = 0;
-  std::vector<uint32_t> routed(arrivals);
-  for (int64_t arrival = 0; arrival < arrivals; ++arrival) {
-    const uint32_t item = static_cast<uint32_t>(products + arrival);
-    all->PresentTokens(item, &tokens);
-    provider.GetCandidatesForTokens(tokens, result.assignment, &shortlist);
-    shortlist_total += shortlist.size();
-
-    uint32_t best_group = 0;
-    uint32_t best_distance = ~0u;
-    for (const uint32_t group : shortlist) {
-      const uint32_t d = MismatchDistance(all->Row(item), modes.Mode(group));
-      if (d < best_distance) {
-        best_distance = d;
-        best_group = group;
-      }
-    }
-    routed[arrival] = best_group;
+  // The retained fit-time index, as a live handle: occupancy stats for
+  // capacity planning, and direct near-duplicate candidate enumeration —
+  // the pairs the banding S-curve considers similar, with zero distance
+  // computations.
+  auto handle = clusterer->index();
+  LSHC_CHECK_OK(handle.status());
+  const BandedIndex::Stats occupancy = handle->ComputeStats();
+  std::printf("retained index: %llu buckets (largest %llu, mean %.2f), "
+              "%.1f MiB\n",
+              static_cast<unsigned long long>(occupancy.total_buckets),
+              static_cast<unsigned long long>(occupancy.largest_bucket),
+              occupancy.mean_bucket_size,
+              static_cast<double>(handle->memory_bytes()) / (1024.0 * 1024.0));
+  uint64_t duplicate_candidates = 0;
+  const uint32_t sampled =
+      catalog->num_items() < 100u ? catalog->num_items() : 100u;
+  for (uint32_t item = 0; item < sampled; ++item) {
+    duplicate_candidates += handle->CandidateItemsOf(item).size() - 1;
   }
+  std::printf("dedup candidates: %.1f co-bucketed listings per listing "
+              "(first %u sampled)\n",
+              static_cast<double>(duplicate_candidates) / sampled, sampled);
+
+  // Route the new arrivals WITHOUT re-clustering and WITHOUT re-signing
+  // the catalog: each arrival is signed, probes the fit-time buckets and
+  // is compared only against the candidate groups (exhaustive fallback
+  // when a probe comes back empty).
+  watch.Restart();
+  auto routed = clusterer->PredictRouted(*arriving);
+  LSHC_CHECK_OK(routed.status());
   const double routing_seconds = watch.ElapsedSeconds();
 
-  // Reference: exhaustive nearest-mode routing over all groups.
+  // The dedup decisions must come from the retained index alone: the
+  // catalog was signed exactly once (by Fit), routing added nothing.
+  // (The counter is snapshotted at handle creation, so re-fetch a fresh
+  // handle to observe the post-routing value.)
+  LSHC_CHECK(clusterer->index()->dataset_sign_passes() == 1)
+      << "routing re-signed the fitted catalog";
+  // Routing is deterministic: a second pass decides identically.
+  auto routed_again = clusterer->PredictRouted(*arriving);
+  LSHC_CHECK_OK(routed_again.status());
+  LSHC_CHECK(*routed == *routed_again)
+      << "routed dedup decisions changed between identical calls";
+
+  // Reference: exhaustive nearest-group routing over all groups.
   watch.Restart();
-  uint32_t agree = 0;
-  for (int64_t arrival = 0; arrival < arrivals; ++arrival) {
-    const uint32_t item = static_cast<uint32_t>(products + arrival);
-    uint32_t best_distance = ~0u;
-    for (int64_t group = 0; group < groups; ++group) {
-      const uint32_t d = BoundedMismatchDistance(
-          all->Row(item).data(), modes.ModeData(static_cast<uint32_t>(group)),
-          all->num_attributes(), best_distance);
-      if (d < best_distance) {
-        best_distance = d;
-      }
-    }
-    // The shortlist route agrees when it reaches the same distance (ties
-    // between equally-near groups count as agreement).
-    agree += MismatchDistance(all->Row(item), modes.Mode(routed[arrival])) ==
-                     best_distance
-                 ? 1
-                 : 0;
-  }
+  auto exhaustive = clusterer->Predict(*arriving);
+  LSHC_CHECK_OK(exhaustive.status());
   const double exhaustive_seconds = watch.ElapsedSeconds();
 
-  std::printf("routed %lld arrivals in %.3fs via LSH shortlists (mean size "
-              "%.1f) vs %.3fs exhaustively (%.1fx); %.1f%% routed to an "
-              "equally-near group\n",
+  uint32_t agree = 0;
+  for (int64_t arrival = 0; arrival < arrivals; ++arrival) {
+    agree += (*routed)[arrival] == (*exhaustive)[arrival] ? 1 : 0;
+  }
+
+  std::printf("routed %lld arrivals in %.3fs via the retained fit-time "
+              "index vs %.3fs exhaustively (%.1fx); %.1f%% routed to the "
+              "exhaustive scan's group\n",
               static_cast<long long>(arrivals), routing_seconds,
-              static_cast<double>(shortlist_total) / arrivals,
               exhaustive_seconds, exhaustive_seconds / routing_seconds,
               100.0 * agree / arrivals);
   return 0;

@@ -1,9 +1,12 @@
 #include "api/clusterer.h"
 
+#include <algorithm>
 #include <cmath>
 #include <optional>
 #include <utility>
 
+#include "shard/shard_executor.h"
+#include "shard/shard_plan.h"
 #include "util/macros.h"
 
 namespace lshclust {
@@ -167,12 +170,17 @@ namespace {
 
 /// Runs the engine and folds the outcome into a FitReport: cancellation
 /// becomes FitReport::status = kCancelled (the partial result stays), and
-/// banding-index providers contribute their diagnostics.
+/// banding-index providers contribute their diagnostics. `retain` mirrors
+/// the dispatcher's retention decision: occupancy stats and the memory
+/// footprint are reported only for an index that stays alive (the
+/// dispatcher commits exactly the providers this marks retained), so the
+/// report can never describe freed state.
 template <typename Traits, typename Provider>
 Result<FitReport> RunToReport(const typename Traits::Dataset& dataset,
                               const typename Traits::Options& options,
                               Provider& provider,
-                              typename Traits::Centroids* model) {
+                              typename Traits::Centroids* model,
+                              bool retain = false) {
   FitReport report;
   LSHC_ASSIGN_OR_RETURN(report.result,
                         (ClusteringEngine<Traits, Provider>::Run(
@@ -189,10 +197,13 @@ Result<FitReport> RunToReport(const typename Traits::Dataset& dataset,
                 }) {
     if (provider.index() != nullptr) {
       report.has_index = true;
-      report.index_stats = provider.IndexStats();
-      report.index_memory_bytes = provider.MemoryUsageBytes();
       report.signature_seconds = provider.signature_seconds();
       report.index_seconds = provider.index_seconds();
+      if (retain) {
+        report.index_retained = true;
+        report.index_stats = provider.IndexStats();
+        report.index_memory_bytes = provider.MemoryUsageBytes();
+      }
     }
   }
   return report;
@@ -233,6 +244,116 @@ std::vector<uint32_t> AssignNearest(const typename Traits::Dataset& dataset,
   return assignment;
 }
 
+/// Per-worker scratch of a routed-predict pass: epoch-stamped cluster
+/// dedup, the query-signature buffer, and family-specific signing scratch
+/// (token list for MinHash, centered vector for the mixed family) — one
+/// per worker, so the hot loop never allocates.
+struct RoutedScratch {
+  ClusterDedupScratch dedup;
+  std::vector<uint64_t> signature;
+  std::vector<uint32_t> shortlist;
+  std::vector<uint32_t> tokens;
+  std::vector<double> centered;
+};
+
+/// Routed nearest-centroid assignment through a retained fit-time index:
+/// per item, sign the query (`sign_query(dataset, item, scratch)` fills
+/// scratch.signature), probe the fit-time buckets, dereference candidate
+/// clusters through the fitted assignment, and take the nearest candidate
+/// — with the exhaustive kernel as the fallback for an empty probe.
+/// Candidates are scanned in ascending cluster-id order with strict
+/// improvement, which is the exhaustive scan's lowest-id tie-breaking:
+/// a probe containing the true argmin yields exactly Predict's answer.
+/// Shard-chunked through the same ShardPlan the engine uses; per-item
+/// work is pure, so every (threads x shards) setting is bit-identical,
+/// and like AssignNearest the pool is spawned per call so small arrival
+/// batches stay sequential.
+template <typename Traits, typename Provider, typename SignQueryFn>
+std::vector<uint32_t> AssignRouted(const typename Traits::Dataset& dataset,
+                                   const typename Traits::Centroids& model,
+                                   const typename Traits::Options& options,
+                                   const Provider& provider,
+                                   std::span<const uint32_t> fit_assignment,
+                                   const SignQueryFn& sign_query) {
+  const uint32_t n = dataset.num_items();
+  const uint32_t k = options.num_clusters;
+  const BandedIndex& index = *provider.index();
+  std::vector<uint32_t> assignment(n, 0);
+
+  const auto route_range = [&](uint32_t begin, uint32_t end,
+                               RoutedScratch& scratch) {
+    for (uint32_t item = begin; item < end; ++item) {
+      sign_query(dataset, item, scratch);
+      scratch.shortlist.clear();
+      BumpDedupEpoch(scratch.dedup);
+      index.VisitCandidatesOfSignature(
+          scratch.signature, [&](uint32_t other) {
+            const uint32_t cluster = fit_assignment[other];
+            if (scratch.dedup.cluster_stamp[cluster] != scratch.dedup.epoch) {
+              scratch.dedup.cluster_stamp[cluster] = scratch.dedup.epoch;
+              scratch.shortlist.push_back(cluster);
+            }
+          });
+      if (scratch.shortlist.empty()) {
+        // External queries, unlike fitted items, share no bucket with
+        // themselves, so an empty probe is possible: fall back to the
+        // exhaustive kernel Predict uses, same seed, same tie-breaking.
+        assignment[item] = BestClusterExhaustive<Traits, /*EarlyExit=*/true>(
+            dataset, model, options, item, /*seed_cluster=*/0, k);
+        continue;
+      }
+      std::sort(scratch.shortlist.begin(), scratch.shortlist.end());
+      uint32_t best_cluster = scratch.shortlist.front();
+      typename Traits::DistanceType best_distance =
+          Traits::template ComputeDistance<false>(dataset, model, options,
+                                                  item, best_cluster,
+                                                  Traits::kInfiniteDistance);
+      for (size_t i = 1; i < scratch.shortlist.size(); ++i) {
+        const uint32_t cluster = scratch.shortlist[i];
+        const typename Traits::DistanceType distance =
+            Traits::template ComputeDistance<true>(
+                dataset, model, options, item, cluster, best_distance);
+        if (distance < best_distance) {
+          best_distance = distance;
+          best_cluster = cluster;
+        }
+      }
+      assignment[item] = best_cluster;
+    }
+  };
+
+  const ShardPlan plan =
+      ShardPlan::Clamped(n, options.num_shards, options.chunk_size);
+  const auto make_scratch = [&] {
+    RoutedScratch scratch;
+    scratch.dedup = MakeClusterDedupScratch(k);
+    scratch.signature.resize(index.signature_width());
+    return scratch;
+  };
+  const uint32_t num_threads = ResolveThreadCount(options.num_threads);
+  if (num_threads <= 1 || n < 4096u) {
+    RoutedScratch scratch = make_scratch();
+    ForEachShardChunk(plan, nullptr,
+                      [&](const ShardPlan::Chunk& chunk, uint32_t, uint32_t) {
+                        route_range(chunk.begin, chunk.end, scratch);
+                      });
+  } else {
+    ThreadPool pool(num_threads);
+    // Scratches are materialised lazily on the worker that first runs a
+    // chunk; their contents never influence results (every query
+    // epoch-resets the dedup and overwrites the signature buffer).
+    std::vector<std::optional<RoutedScratch>> scratches(num_threads);
+    ForEachShardChunk(
+        plan, &pool,
+        [&](const ShardPlan::Chunk& chunk, uint32_t, uint32_t worker) {
+          std::optional<RoutedScratch>& scratch = scratches[worker];
+          if (!scratch.has_value()) scratch.emplace(make_scratch());
+          route_range(chunk.begin, chunk.end, *scratch);
+        });
+  }
+  return assignment;
+}
+
 }  // namespace
 
 /// \brief The type-erasure seam: one virtual Fit/Predict per dataset
@@ -266,6 +387,25 @@ class EngineDispatcher {
     return WrongShape("a mixed");
   }
 
+  virtual Result<std::vector<uint32_t>> PredictRouted(
+      const CategoricalDataset&) const {
+    return WrongShape("a categorical");
+  }
+  virtual Result<std::vector<uint32_t>> PredictRouted(
+      const NumericDataset&) const {
+    return WrongShape("a numeric");
+  }
+  virtual Result<std::vector<uint32_t>> PredictRouted(
+      const MixedDataset&) const {
+    return WrongShape("a mixed");
+  }
+
+  /// Handle on the retained fit-time index; overridden by dispatchers
+  /// that can retain one.
+  virtual Result<IndexHandle> RetainedIndex() const {
+    return NoRetainedIndex();
+  }
+
   virtual bool fitted() const = 0;
 
   /// The validated spec this dispatcher was built from — the single
@@ -287,6 +427,23 @@ class EngineDispatcher {
         "Predict requires a fitted model; call Fit first");
   }
 
+  Status NoRetainedIndex() const {
+    return Status::InvalidArgument(
+        "no retained shortlist index: either no Fit with a banding "
+        "accelerator (minhash | simhash | mixed-concat) has succeeded "
+        "yet, spec.retain_index is false, or the fit was cancelled "
+        "before its index was built");
+  }
+
+  /// IndexHandle's constructor is private to this seam; dispatchers that
+  /// retain an index build their handles through here.
+  static IndexHandle MakeHandle(const BandedIndex* index,
+                                std::span<const uint32_t> assignment,
+                                uint64_t memory_bytes,
+                                uint64_t dataset_sign_passes) {
+    return IndexHandle(index, assignment, memory_bytes, dataset_sign_passes);
+  }
+
   Status UnsupportedAccelerator() const {
     // Unreachable after ValidateClustererSpec; kept as a real error (not
     // an abort) so a hand-rolled dispatcher misuse stays debuggable.
@@ -303,15 +460,19 @@ class EngineDispatcher {
 namespace {
 
 /// K-Modes cell (kCategorical and kTextBinarized): exhaustive, MinHash
-/// shortlists, or canopy shortlists over a CategoricalDataset.
+/// shortlists, or canopy shortlists over a CategoricalDataset. The
+/// MinHash cell retains its prepared provider (spec.retain_index) as the
+/// model's routed-query state.
 class CategoricalDispatcher final : public EngineDispatcher {
  public:
   using EngineDispatcher::EngineDispatcher;
 
   Result<FitReport> Fit(const CategoricalDataset& dataset) override {
-    // Built into a local and only moved into the member on success: a
-    // rejected Fit leaves the previously fitted model usable.
+    // Built into locals and only moved into the members on success: a
+    // rejected Fit leaves the previously fitted model — and any retained
+    // index with outstanding handles — usable.
     ModeTable modes(spec_.engine.num_clusters, dataset.num_attributes());
+    std::unique_ptr<ClusterShortlistProvider> retained;
     FitReport report;
     switch (spec_.accelerator) {
       case Accelerator::kExhaustive: {
@@ -322,11 +483,17 @@ class CategoricalDispatcher final : public EngineDispatcher {
         break;
       }
       case Accelerator::kMinHash: {
-        ClusterShortlistProvider provider(spec_.minhash,
-                                          spec_.engine.num_clusters);
+        auto provider = std::make_unique<ClusterShortlistProvider>(
+            spec_.minhash, spec_.engine.num_clusters);
         LSHC_ASSIGN_OR_RETURN(
             report, (RunToReport<CategoricalClusteringTraits>(
-                        dataset, spec_.engine, provider, &modes)));
+                        dataset, spec_.engine, *provider, &modes,
+                        spec_.retain_index)));
+        // A cancelled Prepare installs no index; never retain a provider
+        // without one.
+        if (spec_.retain_index && provider->index() != nullptr) {
+          retained = std::move(provider);
+        }
         break;
       }
       case Accelerator::kCanopy: {
@@ -342,11 +509,53 @@ class CategoricalDispatcher final : public EngineDispatcher {
     }
     num_attributes_ = dataset.num_attributes();
     modes_ = std::move(modes);
+    retained_ = std::move(retained);
+    // The fitted assignment is the routed queries' cluster-reference
+    // store; without a retained index nothing can read it, so don't
+    // hold an n-sized copy for the model's lifetime.
+    if (retained_ != nullptr) {
+      fit_assignment_ = report.result.assignment;
+    } else {
+      fit_assignment_ = {};
+    }
     return report;
   }
 
   Result<std::vector<uint32_t>> Predict(
       const CategoricalDataset& dataset) const override {
+    LSHC_RETURN_NOT_OK(CheckPredictable(dataset));
+    return AssignNearest<CategoricalClusteringTraits>(dataset, *modes_,
+                                                      spec_.engine);
+  }
+
+  Result<std::vector<uint32_t>> PredictRouted(
+      const CategoricalDataset& dataset) const override {
+    LSHC_RETURN_NOT_OK(CheckPredictable(dataset));
+    if (retained_ == nullptr) {
+      return AssignNearest<CategoricalClusteringTraits>(dataset, *modes_,
+                                                        spec_.engine);
+    }
+    return AssignRouted<CategoricalClusteringTraits>(
+        dataset, *modes_, spec_.engine, *retained_, fit_assignment_,
+        [this](const CategoricalDataset& queries, uint32_t item,
+               RoutedScratch& scratch) {
+          queries.PresentTokens(item, &scratch.tokens);
+          retained_->family().ComputeQuerySignature(
+              scratch.tokens, scratch.signature.data());
+        });
+  }
+
+  Result<IndexHandle> RetainedIndex() const override {
+    if (retained_ == nullptr) return NoRetainedIndex();
+    return MakeHandle(retained_->index(), fit_assignment_,
+                      retained_->MemoryUsageBytes(),
+                      retained_->dataset_sign_passes());
+  }
+
+  bool fitted() const override { return modes_.has_value(); }
+
+ private:
+  Status CheckPredictable(const CategoricalDataset& dataset) const {
     if (!modes_.has_value()) return NotFitted();
     if (dataset.num_items() == 0) {
       return Status::InvalidArgument("dataset is empty");
@@ -357,28 +566,32 @@ class CategoricalDispatcher final : public EngineDispatcher {
           " attributes; the fitted model expects " +
           std::to_string(num_attributes_));
     }
-    return AssignNearest<CategoricalClusteringTraits>(dataset, *modes_,
-                                                      spec_.engine);
+    return Status::OK();
   }
 
-  bool fitted() const override { return modes_.has_value(); }
-
- private:
   std::optional<ModeTable> modes_;
   uint32_t num_attributes_ = 0;
+  // Retained fit-time shortlist state (kMinHash + retain_index): the
+  // provider that prepared the index during Fit, plus the fitted
+  // assignment as the cluster-reference store routed queries dereference.
+  // Heap-allocated so handles and routed queries survive Clusterer moves.
+  std::unique_ptr<ClusterShortlistProvider> retained_;
+  std::vector<uint32_t> fit_assignment_;
 };
 
 /// K-Means cell (kNumeric): exhaustive or SimHash shortlists over a
-/// NumericDataset.
+/// NumericDataset. The SimHash cell retains its prepared provider
+/// (spec.retain_index) as the model's routed-query state.
 class NumericDispatcher final : public EngineDispatcher {
  public:
   using EngineDispatcher::EngineDispatcher;
 
   Result<FitReport> Fit(const NumericDataset& dataset) override {
-    // The engine writes centroids_ only when it returns a result, so a
-    // rejected Fit leaves the previously fitted model usable.
-    KMeansOptions options;
-    static_cast<EngineOptions&>(options) = spec_.engine;
+    // The engine writes centroids_ only when it returns a result — and
+    // the retained provider is committed only then too — so a rejected
+    // Fit leaves the previously fitted model usable.
+    const KMeansOptions options = Options();
+    std::unique_ptr<SimHashShortlistProvider> retained;
     FitReport report;
     switch (spec_.accelerator) {
       case Accelerator::kExhaustive: {
@@ -389,11 +602,15 @@ class NumericDispatcher final : public EngineDispatcher {
         break;
       }
       case Accelerator::kSimHash: {
-        SimHashShortlistProvider provider(spec_.simhash,
-                                          spec_.engine.num_clusters);
+        auto provider = std::make_unique<SimHashShortlistProvider>(
+            spec_.simhash, spec_.engine.num_clusters);
         LSHC_ASSIGN_OR_RETURN(report,
                               (RunToReport<NumericClusteringTraits>(
-                                  dataset, options, provider, &centroids_)));
+                                  dataset, options, *provider, &centroids_,
+                                  spec_.retain_index)));
+        if (spec_.retain_index && provider->index() != nullptr) {
+          retained = std::move(provider);
+        }
         break;
       }
       default:
@@ -401,11 +618,58 @@ class NumericDispatcher final : public EngineDispatcher {
     }
     dimensions_ = dataset.dimensions();
     fitted_ = true;
+    retained_ = std::move(retained);
+    // The fitted assignment is the routed queries' cluster-reference
+    // store; without a retained index nothing can read it, so don't
+    // hold an n-sized copy for the model's lifetime.
+    if (retained_ != nullptr) {
+      fit_assignment_ = report.result.assignment;
+    } else {
+      fit_assignment_ = {};
+    }
     return report;
   }
 
   Result<std::vector<uint32_t>> Predict(
       const NumericDataset& dataset) const override {
+    LSHC_RETURN_NOT_OK(CheckPredictable(dataset));
+    return AssignNearest<NumericClusteringTraits>(dataset, centroids_,
+                                                  Options());
+  }
+
+  Result<std::vector<uint32_t>> PredictRouted(
+      const NumericDataset& dataset) const override {
+    LSHC_RETURN_NOT_OK(CheckPredictable(dataset));
+    if (retained_ == nullptr) {
+      return AssignNearest<NumericClusteringTraits>(dataset, centroids_,
+                                                    Options());
+    }
+    return AssignRouted<NumericClusteringTraits>(
+        dataset, centroids_, Options(), *retained_, fit_assignment_,
+        [this](const NumericDataset& queries, uint32_t item,
+               RoutedScratch& scratch) {
+          retained_->family().ComputeQuerySignature(
+              queries.Row(item), scratch.signature.data());
+        });
+  }
+
+  Result<IndexHandle> RetainedIndex() const override {
+    if (retained_ == nullptr) return NoRetainedIndex();
+    return MakeHandle(retained_->index(), fit_assignment_,
+                      retained_->MemoryUsageBytes(),
+                      retained_->dataset_sign_passes());
+  }
+
+  bool fitted() const override { return fitted_; }
+
+ private:
+  KMeansOptions Options() const {
+    KMeansOptions options;
+    static_cast<EngineOptions&>(options) = spec_.engine;
+    return options;
+  }
+
+  Status CheckPredictable(const NumericDataset& dataset) const {
     if (!fitted_) return NotFitted();
     if (dataset.num_items() == 0) {
       return Status::InvalidArgument("dataset is empty");
@@ -416,33 +680,32 @@ class NumericDispatcher final : public EngineDispatcher {
           " dimensions; the fitted model expects " +
           std::to_string(dimensions_));
     }
-    KMeansOptions options;
-    static_cast<EngineOptions&>(options) = spec_.engine;
-    return AssignNearest<NumericClusteringTraits>(dataset, centroids_,
-                                                  options);
+    return Status::OK();
   }
 
-  bool fitted() const override { return fitted_; }
-
- private:
   CentroidTable centroids_{0, 0};
   uint32_t dimensions_ = 0;
   bool fitted_ = false;
+  std::unique_ptr<SimHashShortlistProvider> retained_;
+  std::vector<uint32_t> fit_assignment_;
 };
 
 /// K-Prototypes cell (kMixed): exhaustive or concatenated MinHash+SimHash
-/// shortlists over a MixedDataset.
+/// shortlists over a MixedDataset. The mixed-concat cell retains its
+/// prepared provider (spec.retain_index) as the model's routed-query
+/// state.
 class MixedDispatcher final : public EngineDispatcher {
  public:
   using EngineDispatcher::EngineDispatcher;
 
   Result<FitReport> Fit(const MixedDataset& dataset) override {
-    // Built into a local and only moved into the member on success: a
+    // Built into locals and only moved into the members on success: a
     // rejected Fit leaves the previously fitted model usable.
     const KPrototypesOptions options = Options();
     MixedClusteringTraits::Centroids prototypes{
         ModeTable(spec_.engine.num_clusters, dataset.num_categorical()),
         CentroidTable(spec_.engine.num_clusters, dataset.num_numeric())};
+    std::unique_ptr<MixedShortlistProvider> retained;
     FitReport report;
     switch (spec_.accelerator) {
       case Accelerator::kExhaustive: {
@@ -453,11 +716,15 @@ class MixedDispatcher final : public EngineDispatcher {
         break;
       }
       case Accelerator::kMixedConcat: {
-        MixedShortlistProvider provider(spec_.mixed_index,
-                                        spec_.engine.num_clusters);
+        auto provider = std::make_unique<MixedShortlistProvider>(
+            spec_.mixed_index, spec_.engine.num_clusters);
         LSHC_ASSIGN_OR_RETURN(report,
                               (RunToReport<MixedClusteringTraits>(
-                                  dataset, options, provider, &prototypes)));
+                                  dataset, options, *provider, &prototypes,
+                                  spec_.retain_index)));
+        if (spec_.retain_index && provider->index() != nullptr) {
+          retained = std::move(provider);
+        }
         break;
       }
       default:
@@ -466,11 +733,61 @@ class MixedDispatcher final : public EngineDispatcher {
     num_categorical_ = dataset.num_categorical();
     num_numeric_ = dataset.num_numeric();
     prototypes_ = std::move(prototypes);
+    retained_ = std::move(retained);
+    // The fitted assignment is the routed queries' cluster-reference
+    // store; without a retained index nothing can read it, so don't
+    // hold an n-sized copy for the model's lifetime.
+    if (retained_ != nullptr) {
+      fit_assignment_ = report.result.assignment;
+    } else {
+      fit_assignment_ = {};
+    }
     return report;
   }
 
   Result<std::vector<uint32_t>> Predict(
       const MixedDataset& dataset) const override {
+    LSHC_RETURN_NOT_OK(CheckPredictable(dataset));
+    return AssignNearest<MixedClusteringTraits>(dataset, *prototypes_,
+                                                Options());
+  }
+
+  Result<std::vector<uint32_t>> PredictRouted(
+      const MixedDataset& dataset) const override {
+    LSHC_RETURN_NOT_OK(CheckPredictable(dataset));
+    if (retained_ == nullptr) {
+      return AssignNearest<MixedClusteringTraits>(dataset, *prototypes_,
+                                                  Options());
+    }
+    return AssignRouted<MixedClusteringTraits>(
+        dataset, *prototypes_, Options(), *retained_, fit_assignment_,
+        [this](const MixedDataset& queries, uint32_t item,
+               RoutedScratch& scratch) {
+          queries.categorical().PresentTokens(item, &scratch.tokens);
+          retained_->family().ComputeQuerySignature(
+              scratch.tokens, queries.numeric().Row(item),
+              &scratch.centered, scratch.signature.data());
+        });
+  }
+
+  Result<IndexHandle> RetainedIndex() const override {
+    if (retained_ == nullptr) return NoRetainedIndex();
+    return MakeHandle(retained_->index(), fit_assignment_,
+                      retained_->MemoryUsageBytes(),
+                      retained_->dataset_sign_passes());
+  }
+
+  bool fitted() const override { return prototypes_.has_value(); }
+
+ private:
+  KPrototypesOptions Options() const {
+    KPrototypesOptions options;
+    static_cast<EngineOptions&>(options) = spec_.engine;
+    options.gamma = spec_.gamma;
+    return options;
+  }
+
+  Status CheckPredictable(const MixedDataset& dataset) const {
     if (!prototypes_.has_value()) return NotFitted();
     if (dataset.num_items() == 0) {
       return Status::InvalidArgument("dataset is empty");
@@ -484,23 +801,14 @@ class MixedDispatcher final : public EngineDispatcher {
           std::to_string(num_categorical_) + " + " +
           std::to_string(num_numeric_));
     }
-    return AssignNearest<MixedClusteringTraits>(dataset, *prototypes_,
-                                                Options());
-  }
-
-  bool fitted() const override { return prototypes_.has_value(); }
-
- private:
-  KPrototypesOptions Options() const {
-    KPrototypesOptions options;
-    static_cast<EngineOptions&>(options) = spec_.engine;
-    options.gamma = spec_.gamma;
-    return options;
+    return Status::OK();
   }
 
   std::optional<MixedClusteringTraits::Centroids> prototypes_;
   uint32_t num_categorical_ = 0;
   uint32_t num_numeric_ = 0;
+  std::unique_ptr<MixedShortlistProvider> retained_;
+  std::vector<uint32_t> fit_assignment_;
 };
 
 }  // namespace
@@ -560,6 +868,23 @@ Result<std::vector<uint32_t>> Clusterer::Predict(
 Result<std::vector<uint32_t>> Clusterer::Predict(
     const MixedDataset& dataset) const {
   return dispatcher_->Predict(dataset);
+}
+
+Result<std::vector<uint32_t>> Clusterer::PredictRouted(
+    const CategoricalDataset& dataset) const {
+  return dispatcher_->PredictRouted(dataset);
+}
+Result<std::vector<uint32_t>> Clusterer::PredictRouted(
+    const NumericDataset& dataset) const {
+  return dispatcher_->PredictRouted(dataset);
+}
+Result<std::vector<uint32_t>> Clusterer::PredictRouted(
+    const MixedDataset& dataset) const {
+  return dispatcher_->PredictRouted(dataset);
+}
+
+Result<IndexHandle> Clusterer::index() const {
+  return dispatcher_->RetainedIndex();
 }
 
 bool Clusterer::fitted() const { return dispatcher_->fitted(); }

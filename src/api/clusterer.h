@@ -62,6 +62,7 @@
 #include <string_view>
 #include <vector>
 
+#include "api/index_handle.h"
 #include "clustering/canopy.h"
 #include "clustering/engine.h"
 #include "clustering/kmeans.h"
@@ -136,6 +137,15 @@ struct ClustererSpec {
   /// Weight of the numeric squared distance against categorical
   /// mismatches (kMixed only).
   double gamma = 1.0;
+  /// Retain the fitted shortlist state (signatures machinery + banded
+  /// buckets + the fitted assignment) inside the Clusterer after Fit —
+  /// the model keeps the index it built instead of discarding it, which
+  /// is what powers PredictRouted and index(). Costs the index's memory
+  /// for the model's lifetime; switch off for fit-and-forget batch jobs
+  /// (PredictRouted then degenerates to the exhaustive Predict and
+  /// index() reports no retained index). Only the banding accelerators
+  /// (kMinHash / kSimHash / kMixedConcat) build an index to retain.
+  bool retain_index = true;
   /// MinHash index configuration (kMinHash only).
   ShortlistIndexOptions minhash;
   /// SimHash index configuration (kSimHash only).
@@ -166,11 +176,22 @@ struct FitReport {
   /// initial pass completed).
   Status status;
   /// True when an accelerator built a banding index this run (kMinHash /
-  /// kSimHash / kMixedConcat); the fields below are valid only then.
+  /// kSimHash / kMixedConcat) — false if a cancel landed during index
+  /// preparation (a partial index is never installed, so there is none to
+  /// describe). The timing split below is valid only when set.
   bool has_index = false;
-  /// Bucket occupancy of the banding index.
+  /// True when that index was retained on the Clusterer
+  /// (spec.retain_index) and `index_stats` / `index_memory_bytes` below
+  /// describe *live* state reachable through Clusterer::index() and
+  /// PredictRouted. When retention is disabled the index is gone by the
+  /// time Fit returns, so those two fields are zero — the report never
+  /// describes freed state.
+  bool index_retained = false;
+  /// Bucket occupancy of the retained banding index (zero when
+  /// !index_retained).
   BandedIndex::Stats index_stats;
-  /// Approximate index memory footprint.
+  /// Approximate footprint of the retained shortlist state (zero when
+  /// !index_retained).
   uint64_t index_memory_bytes = 0;
   /// Prepare() split: signature computation vs index construction.
   double signature_seconds = 0;
@@ -286,6 +307,40 @@ class Clusterer {
       const CategoricalDataset& dataset) const;
   Result<std::vector<uint32_t>> Predict(const NumericDataset& dataset) const;
   Result<std::vector<uint32_t>> Predict(const MixedDataset& dataset) const;
+
+  /// LSH-routed out-of-sample assignment through the retained fit-time
+  /// index — the paper's shortlist idea applied to the query side. Per
+  /// item: sign the query with the fitted family's hashers, probe the
+  /// fit-time buckets, dereference the co-bucketed fitted items' clusters
+  /// through the fitted assignment, and assign the nearest candidate
+  /// cluster; an item whose probe yields no candidates (external queries,
+  /// unlike fitted items, share no bucket with themselves) falls back to
+  /// the exhaustive scan. Candidates are scanned in ascending cluster-id
+  /// order, so ties resolve to the lowest id exactly as Predict does —
+  /// whenever the probe contains the true nearest cluster the routed
+  /// answer is bit-identical to Predict's. The fitted dataset is never
+  /// re-signed (see IndexHandle::dataset_sign_passes). Batch-parallel and
+  /// shard-chunked through the spec's ShardPlan; per-item work is pure,
+  /// so every (threads x shards) setting is bit-identical. Requires a
+  /// prior successful Fit of matching shape; with no retained index
+  /// (non-banding accelerators, spec.retain_index = false, or a fit
+  /// cancelled before its index was built) every item takes the fallback
+  /// and PredictRouted returns exactly Predict's assignment.
+  Result<std::vector<uint32_t>> PredictRouted(
+      const CategoricalDataset& dataset) const;
+  Result<std::vector<uint32_t>> PredictRouted(
+      const NumericDataset& dataset) const;
+  Result<std::vector<uint32_t>> PredictRouted(
+      const MixedDataset& dataset) const;
+
+  /// A read-only handle on the retained fit-time shortlist index: bucket
+  /// occupancy, memory, the dataset-signing counter, and candidate
+  /// enumeration for dedup workloads (see api/index_handle.h for the
+  /// lifetime contract — valid until the next Fit or destruction).
+  /// kInvalidArgument when nothing is retained: no successful Fit yet, a
+  /// non-banding accelerator, retention disabled, or the fit was
+  /// cancelled before its index was built.
+  Result<IndexHandle> index() const;
 
   /// Opens a streaming session: batch-clusters `warmup` with this spec's
   /// engine + minhash options, then every Ingest assigns one arrival and

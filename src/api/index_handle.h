@@ -1,0 +1,123 @@
+#pragma once
+
+/// \file index_handle.h
+/// \brief A read-only handle on the shortlist index a Clusterer::Fit
+/// built and retained — the fit-time LSH state (banded buckets over the
+/// fitted items' signatures plus the fitted assignment as the
+/// cluster-reference store) exposed to callers instead of being thrown
+/// away when Fit returns.
+///
+/// The handle powers two things:
+///  * diagnostics of the retained state — bucket occupancy (computed
+///    live from the index), plus the memory footprint and the provider's
+///    dataset-signing counter (both snapshotted when the handle is
+///    created; the counter proves routed prediction never re-signs the
+///    fitted dataset — re-fetch a handle after routing to observe it),
+///    and
+///  * candidate enumeration for dedup-style workloads: the fitted items
+///    co-bucketed with a fitted item are exactly the near-duplicate
+///    candidates the paper's banding S-curve selects, without any
+///    distance computation.
+///
+/// Lifetime: a handle is a *view* into the Clusterer's retained model. It
+/// stays valid until the originating Clusterer is destroyed or its next
+/// Fit call begins (a successful Fit replaces the retained index; a
+/// rejected one leaves it — and outstanding handles — untouched). Moving
+/// the Clusterer keeps handles valid (the model's storage is stable);
+/// holding a handle across a Fit is a use-after-free.
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "lsh/banded_index.h"
+#include "util/logging.h"
+
+namespace lshclust {
+
+namespace internal {
+class EngineDispatcher;
+}  // namespace internal
+
+/// \brief Read-only view of a Clusterer's retained fit-time shortlist
+/// index. Obtained from Clusterer::index(); see the file comment for the
+/// lifetime contract. Copyable (it is two pointers and two counters).
+class IndexHandle {
+ public:
+  /// Number of fitted items the index covers (= the fitted dataset size).
+  uint32_t num_indexed_items() const { return index_->num_items(); }
+
+  /// Number of bands of the banding layout.
+  uint32_t num_bands() const { return index_->num_bands(); }
+
+  /// Bucket-occupancy statistics, computed from the live retained index.
+  BandedIndex::Stats ComputeStats() const { return index_->ComputeStats(); }
+
+  /// Approximate heap footprint of the retained shortlist state (banded
+  /// index + hashers + any kept signatures), as of handle creation.
+  uint64_t memory_bytes() const { return memory_bytes_; }
+
+  /// Number of completed full-dataset signing passes the retained
+  /// provider had executed when this handle was created — 1 after a Fit,
+  /// and still 1 on a handle fetched after any number of PredictRouted
+  /// calls (each query signs only itself; the fitted dataset is never
+  /// re-signed). Snapshotted at creation: to assert routing added no
+  /// pass, fetch a fresh handle after routing.
+  uint64_t dataset_sign_passes() const { return dataset_sign_passes_; }
+
+  /// The fitted cluster of fitted item `item` (the assignment Fit
+  /// returned — the cluster-reference store routed queries dereference).
+  uint32_t ClusterOf(uint32_t item) const {
+    LSHC_DCHECK(item < assignment_.size()) << "item index out of range";
+    return assignment_[item];
+  }
+
+  /// The deduplicated fitted items co-bucketed with fitted `item` in at
+  /// least one band, ascending (always includes `item` itself — an item
+  /// shares every one of its buckets with itself). This is the raw
+  /// near-duplicate candidate set of dedup workloads: pairs the banding
+  /// S-curve considers similar, before any exact distance is computed.
+  std::vector<uint32_t> CandidateItemsOf(uint32_t item) const {
+    std::vector<uint32_t> items;
+    index_->VisitCandidates(item,
+                            [&](uint32_t other) { items.push_back(other); });
+    std::sort(items.begin(), items.end());
+    items.erase(std::unique(items.begin(), items.end()), items.end());
+    return items;
+  }
+
+  /// The deduplicated clusters (per the fitted assignment) of the items
+  /// CandidateItemsOf enumerates, ascending — the shortlist a fit-time
+  /// refinement query for `item` would see against the final assignment.
+  std::vector<uint32_t> CandidateClustersOf(uint32_t item) const {
+    std::vector<uint32_t> clusters;
+    clusters.push_back(assignment_[item]);
+    index_->VisitCandidates(item, [&](uint32_t other) {
+      clusters.push_back(assignment_[other]);
+    });
+    std::sort(clusters.begin(), clusters.end());
+    clusters.erase(std::unique(clusters.begin(), clusters.end()),
+                   clusters.end());
+    return clusters;
+  }
+
+ private:
+  friend class internal::EngineDispatcher;
+
+  IndexHandle(const BandedIndex* index, std::span<const uint32_t> assignment,
+              uint64_t memory_bytes, uint64_t dataset_sign_passes)
+      : index_(index),
+        assignment_(assignment),
+        memory_bytes_(memory_bytes),
+        dataset_sign_passes_(dataset_sign_passes) {
+    LSHC_DCHECK(index != nullptr) << "handle requires a live index";
+  }
+
+  const BandedIndex* index_;
+  std::span<const uint32_t> assignment_;
+  uint64_t memory_bytes_;
+  uint64_t dataset_sign_passes_;
+};
+
+}  // namespace lshclust

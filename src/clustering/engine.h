@@ -153,12 +153,15 @@ struct EngineOptions {
   /// included when compute_cost is set). Runs on the calling thread,
   /// outside the iteration clock; keep it cheap. Null = no reporting.
   std::function<void(const IterationStats&)> progress;
-  /// Cooperative cancellation hook: polled between refinement iterations
-  /// and at shard-chunk boundaries inside every assignment pass; return
-  /// true to stop the run. An interrupted pass is rolled back, so the
-  /// engine returns the state after the last completed iteration with
-  /// ClusteringResult::cancelled set. May be called concurrently from
-  /// worker threads — it must be thread-safe (an atomic flag is the
+  /// Cooperative cancellation hook: polled between refinement iterations,
+  /// at shard-chunk boundaries inside every assignment pass, and at
+  /// signing-batch boundaries inside the provider's Prepare (cancel-aware
+  /// providers; the signature + index-build phase is the most expensive
+  /// pre-iteration work); return true to stop the run. An interrupted
+  /// pass is rolled back — and an interrupted Prepare installs no index —
+  /// so the engine returns the state after the last completed iteration
+  /// with ClusteringResult::cancelled set. May be called concurrently
+  /// from worker threads — it must be thread-safe (an atomic flag is the
   /// typical implementation). Null = never cancelled.
   std::function<bool()> cancel;
 };
@@ -475,13 +478,33 @@ class ClusteringEngine {
     // Phase 3: provider preparation (signatures + LSH index). Pool-aware
     // providers parallelize their signing pass over the same workers the
     // assignment step uses; others keep their historical signature.
+    // Cancel-aware providers additionally poll the run's hook at
+    // signing-batch boundaries — Prepare is the most expensive
+    // pre-iteration phase, so a cancel landing here must not wait for the
+    // first refinement pass. A Prepare stopped that way reports the same
+    // rollback contract as any other cancel point: the state after the
+    // completed initial assignment, with no (partial) index installed.
     phase_watch.Restart();
-    if constexpr (requires { provider.Prepare(dataset, pool); }) {
-      LSHC_RETURN_NOT_OK(provider.Prepare(dataset, pool));
+    const std::function<bool()> prepare_cancel = [&cancel] {
+      return cancel.Cancelled();
+    };
+    const std::function<bool()>* prepare_cancel_hook =
+        options.cancel ? &prepare_cancel : nullptr;
+    Status prepare_status;
+    if constexpr (requires {
+                    provider.Prepare(dataset, pool, prepare_cancel_hook);
+                  }) {
+      prepare_status = provider.Prepare(dataset, pool, prepare_cancel_hook);
+    } else if constexpr (requires { provider.Prepare(dataset, pool); }) {
+      prepare_status = provider.Prepare(dataset, pool);
     } else {
-      LSHC_RETURN_NOT_OK(provider.Prepare(dataset));
+      prepare_status = provider.Prepare(dataset);
     }
     result.index_build_seconds = phase_watch.ElapsedSeconds();
+    if (prepare_status.IsCancelled()) {
+      return finish_cancelled(std::move(result));
+    }
+    LSHC_RETURN_NOT_OK(prepare_status);
     if (cancel.Cancelled()) return finish_cancelled(std::move(result));
 
     // Phase 4: refinement until convergence. The per-pass assignment

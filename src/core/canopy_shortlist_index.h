@@ -13,6 +13,7 @@
 /// builds its index, so phase timings are comparable.
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
@@ -43,8 +44,21 @@ class CanopyShortlistProvider {
   /// A fresh scratch sized for this provider's cluster count.
   Scratch MakeScratch() const { return MakeClusterDedupScratch(num_clusters_); }
 
-  /// Builds the canopy cover (the accelerator's one-time pass).
-  Status Prepare(const CategoricalDataset& dataset) {
+  /// Builds the canopy cover (the accelerator's one-time pass). The pool
+  /// is accepted for engine-signature parity but unused (canopy
+  /// construction is inherently sequential); when `cancel` is non-null it
+  /// is polled before the build, and a true answer aborts with
+  /// StatusCode::kCancelled leaving the provider cover-less (any previous
+  /// cover is dropped on entry, matching ShortlistProvider::Prepare's
+  /// no-partial-index contract).
+  Status Prepare(const CategoricalDataset& dataset,
+                 ThreadPool* /*pool*/ = nullptr,
+                 const std::function<bool()>* cancel = nullptr) {
+    index_.reset();
+    if (cancel != nullptr && (*cancel)()) {
+      return Status::Cancelled(
+          "canopy construction stopped by the cancellation hook");
+    }
     LSHC_ASSIGN_OR_RETURN(CanopyIndex index,
                           CanopyIndex::Build(dataset, options_));
     index_ = std::make_unique<CanopyIndex>(std::move(index));

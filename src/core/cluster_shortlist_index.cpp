@@ -1,5 +1,8 @@
 #include "core/cluster_shortlist_index.h"
 
+#include <algorithm>
+#include <atomic>
+
 namespace lshclust {
 
 Status MinHashShortlistFamily::ValidateOptions(const Options& options) {
@@ -21,17 +24,27 @@ MinHashShortlistFamily::MinHashShortlistFamily(const Options& options)
 
 Status MinHashShortlistFamily::ComputeSignatures(
     const Dataset& dataset, std::vector<uint64_t>* signatures,
-    ThreadPool* pool) const {
+    ThreadPool* pool, const std::function<bool()>* cancel) const {
   const uint32_t n = dataset.num_items();
   const uint32_t width = options_.banding.num_hashes();
   signatures->resize(static_cast<size_t>(n) * width);
   // Signing is pure per item (each writes only its own matrix row), so the
   // parallel pass is bit-identical to the sequential one; only the token
-  // scratch is per worker.
+  // scratch is per worker. The cancel hook is polled once per batch —
+  // a batch that already started still completes, so a cancelled pass
+  // wastes at most one batch per worker.
+  std::atomic<bool> cancelled{false};
   std::vector<std::vector<uint32_t>> worker_tokens(
       pool == nullptr ? 1 : pool->num_threads());
   const auto sign_range = [&](uint32_t begin, uint32_t end,
                               uint32_t worker) {
+    if (cancel != nullptr) {
+      if (cancelled.load(std::memory_order_relaxed)) return;
+      if ((*cancel)()) {
+        cancelled.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
     std::vector<uint32_t>& tokens = worker_tokens[worker];
     for (uint32_t item = begin; item < end; ++item) {
       dataset.PresentTokens(item, &tokens);  // Alg. 2 lines 2-4
@@ -40,9 +53,20 @@ Status MinHashShortlistFamily::ComputeSignatures(
     }
   };
   if (pool == nullptr) {
-    sign_range(0, n, 0);
+    // Same batch decomposition as the pooled path, so the poll cadence —
+    // and with it the cancellation latency — does not depend on whether a
+    // pool was given.
+    for (uint32_t begin = 0; begin < n; begin += kSignatureChunkSize) {
+      sign_range(begin, std::min(n, begin + kSignatureChunkSize), 0);
+      if (cancelled.load(std::memory_order_relaxed)) break;
+    }
   } else {
     pool->ParallelFor(0, n, kSignatureChunkSize, sign_range);
+  }
+  if (cancelled.load(std::memory_order_relaxed)) {
+    return Status::Cancelled(
+        "signature computation stopped by the cancellation hook at a "
+        "batch boundary");
   }
   return Status::OK();
 }

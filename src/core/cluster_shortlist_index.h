@@ -9,6 +9,7 @@
 /// resulting provider type, the one MH-K-Modes runs on.
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
@@ -63,10 +64,14 @@ class MinHashShortlistFamily {
   /// One MinHash signature per item over its *present* tokens (the
   /// presence filtering of Alg. 2 lines 2-4). Chunked across `pool` when
   /// given (per-worker token scratch); bit-identical to the sequential
-  /// pass.
+  /// pass. When `cancel` is non-null it is polled at batch boundaries
+  /// (kSignatureChunkSize items; thread-safe hook required) and a true
+  /// answer aborts with StatusCode::kCancelled.
   Status ComputeSignatures(const Dataset& dataset,
                            std::vector<uint64_t>* signatures,
-                           ThreadPool* pool = nullptr) const;
+                           ThreadPool* pool = nullptr,
+                           const std::function<bool()>* cancel =
+                               nullptr) const;
 
   /// Uniform layout: banding.bands bands of banding.rows rows.
   std::vector<uint32_t> BandLayout() const {

@@ -16,7 +16,10 @@
 /// in *either* modality reaches the exact mixed distance computation,
 /// which then weighs the modalities by gamma.
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
@@ -71,10 +74,15 @@ class MixedShortlistFamily {
   /// the origin; centering spreads clusters across directions so
   /// nearby-but-distinct clusters stop sharing sign patterns. Distances
   /// are computed on the raw data — centering only affects candidate
-  /// generation.
+  /// generation. The hashers and the centering mean are retained so
+  /// external items can later be signed into the same bucket space
+  /// (ComputeQuerySignature). When `cancel` is non-null it is polled at
+  /// batch boundaries of both passes (thread-safe hook required); a true
+  /// answer aborts with StatusCode::kCancelled.
   Status ComputeSignatures(const Dataset& dataset,
                            std::vector<uint64_t>* signatures,
-                           ThreadPool* pool = nullptr) {
+                           ThreadPool* pool = nullptr,
+                           const std::function<bool()>* cancel = nullptr) {
     const uint32_t n = dataset.num_items();
     const uint32_t categorical_width =
         options_.categorical_banding.num_hashes();
@@ -82,6 +90,26 @@ class MixedShortlistFamily {
     const uint32_t width = categorical_width + numeric_width;
     signatures->resize(static_cast<size_t>(n) * width);
     const uint32_t workers = pool == nullptr ? 1 : pool->num_threads();
+    std::atomic<bool> cancelled{false};
+    const auto poll_cancel = [&] {
+      if (cancel == nullptr) return false;
+      if (cancelled.load(std::memory_order_relaxed)) return true;
+      if ((*cancel)()) {
+        cancelled.store(true, std::memory_order_relaxed);
+        return true;
+      }
+      return false;
+    };
+    const auto run_batched = [&](const auto& sign_range) {
+      if (pool == nullptr) {
+        for (uint32_t begin = 0; begin < n; begin += kSignatureChunkSize) {
+          sign_range(begin, std::min(n, begin + kSignatureChunkSize), 0u);
+          if (cancelled.load(std::memory_order_relaxed)) break;
+        }
+      } else {
+        pool->ParallelFor(0, n, kSignatureChunkSize, sign_range);
+      }
+    };
 
     // Both halves are pure per item once their hashers exist (the mean is
     // fixed before the numeric pass), so the chunked parallel passes are
@@ -89,59 +117,80 @@ class MixedShortlistFamily {
 
     // Categorical part: MinHash over present tokens.
     {
-      const MinHasher hasher(categorical_width, options_.seed);
+      categorical_hasher_ =
+          std::make_unique<MinHasher>(categorical_width, options_.seed);
       std::vector<std::vector<uint32_t>> worker_tokens(workers);
-      const auto sign_range = [&](uint32_t begin, uint32_t end,
-                                  uint32_t worker) {
+      run_batched([&](uint32_t begin, uint32_t end, uint32_t worker) {
+        if (poll_cancel()) return;
         std::vector<uint32_t>& tokens = worker_tokens[worker];
         for (uint32_t item = begin; item < end; ++item) {
           dataset.categorical().PresentTokens(item, &tokens);
-          hasher.ComputeSignature(
+          categorical_hasher_->ComputeSignature(
               tokens,
               signatures->data() + static_cast<size_t>(item) * width);
         }
-      };
-      if (pool == nullptr) {
-        sign_range(0, n, 0);
-      } else {
-        pool->ParallelFor(0, n, kSignatureChunkSize, sign_range);
-      }
+      });
     }
 
     // Numeric part: SimHash bits over centered vectors. The mean stays a
     // single sequential scan: it is cheap, and its floating-point
     // summation order is part of the signatures.
-    {
+    if (!cancelled.load(std::memory_order_relaxed)) {
       const uint32_t d = dataset.num_numeric();
-      std::vector<double> mean(d, 0.0);
+      mean_.assign(d, 0.0);
       for (uint32_t item = 0; item < n; ++item) {
         const auto row = dataset.numeric().Row(item);
-        for (uint32_t j = 0; j < d; ++j) mean[j] += row[j];
+        for (uint32_t j = 0; j < d; ++j) mean_[j] += row[j];
       }
-      for (auto& coordinate : mean) coordinate /= n;
+      for (auto& coordinate : mean_) coordinate /= n;
 
-      const SimHasher hasher(numeric_width, d, options_.seed ^ 0x51A5ULL);
+      numeric_hasher_ = std::make_unique<SimHasher>(
+          numeric_width, d, options_.seed ^ 0x51A5ULL);
       std::vector<std::vector<double>> worker_centered(
           workers, std::vector<double>(d));
-      const auto sign_range = [&](uint32_t begin, uint32_t end,
-                                  uint32_t worker) {
+      run_batched([&](uint32_t begin, uint32_t end, uint32_t worker) {
+        if (poll_cancel()) return;
         std::vector<double>& centered = worker_centered[worker];
         for (uint32_t item = begin; item < end; ++item) {
           const auto row = dataset.numeric().Row(item);
-          for (uint32_t j = 0; j < d; ++j) centered[j] = row[j] - mean[j];
-          hasher.ComputeSignature(centered,
-                                  signatures->data() +
-                                      static_cast<size_t>(item) * width +
-                                      categorical_width);
+          for (uint32_t j = 0; j < d; ++j) centered[j] = row[j] - mean_[j];
+          numeric_hasher_->ComputeSignature(
+              centered, signatures->data() +
+                            static_cast<size_t>(item) * width +
+                            categorical_width);
         }
-      };
-      if (pool == nullptr) {
-        sign_range(0, n, 0);
-      } else {
-        pool->ParallelFor(0, n, kSignatureChunkSize, sign_range);
-      }
+      });
+    }
+    if (cancelled.load(std::memory_order_relaxed)) {
+      return Status::Cancelled(
+          "signature computation stopped by the cancellation hook at a "
+          "batch boundary");
     }
     return Status::OK();
+  }
+
+  /// Signature of an external mixed item: MinHash over its present
+  /// categorical tokens (codes in the fitted dataset's code space)
+  /// followed by the SimHash bits of its numeric vector centered on the
+  /// *fitted* dataset's mean — the exact signing rule of
+  /// ComputeSignatures, so an external duplicate of a fitted item lands
+  /// in the same buckets. `centered_scratch` is caller-owned so repeated
+  /// queries (the routed-predict hot path) never allocate. Requires a
+  /// completed ComputeSignatures (the hashers and the mean live there).
+  void ComputeQuerySignature(std::span<const uint32_t> tokens,
+                             std::span<const double> numeric,
+                             std::vector<double>* centered_scratch,
+                             uint64_t* out) const {
+    LSHC_CHECK(categorical_hasher_ != nullptr && numeric_hasher_ != nullptr)
+        << "ComputeSignatures must run first";
+    categorical_hasher_->ComputeSignature(tokens, out);
+    const uint32_t d = static_cast<uint32_t>(mean_.size());
+    centered_scratch->resize(d);
+    for (uint32_t j = 0; j < d; ++j) {
+      (*centered_scratch)[j] = numeric[j] - mean_[j];
+    }
+    numeric_hasher_->ComputeSignature(
+        *centered_scratch, out + options_.categorical_banding.num_hashes());
   }
 
   /// Heterogeneous layout: the categorical bands, then the numeric bands.
@@ -162,12 +211,30 @@ class MixedShortlistFamily {
   }
   bool keep_signatures() const { return false; }
 
-  uint64_t MemoryUsageBytes() const { return 0; }
+  /// Approximate footprint of the retained hashers + centering mean.
+  uint64_t MemoryUsageBytes() const {
+    uint64_t bytes = mean_.size() * sizeof(double);
+    if (categorical_hasher_ != nullptr) {
+      bytes += static_cast<uint64_t>(
+                   options_.categorical_banding.num_hashes()) *
+               sizeof(uint64_t);
+    }
+    if (numeric_hasher_ != nullptr) {
+      bytes += static_cast<uint64_t>(numeric_hasher_->num_hashes()) *
+               numeric_hasher_->dimensions() * sizeof(double);
+    }
+    return bytes;
+  }
 
   const Options& options() const { return options_; }
 
  private:
   Options options_;
+  // Retained by ComputeSignatures so external queries sign identically
+  // (ComputeQuerySignature); null / empty before the first signing pass.
+  std::unique_ptr<MinHasher> categorical_hasher_;
+  std::unique_ptr<SimHasher> numeric_hasher_;
+  std::vector<double> mean_;
 };
 
 /// \brief Dual-modality engine provider for RunKPrototypesEngine.

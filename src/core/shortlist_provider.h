@@ -52,7 +52,10 @@
 ///     // Row-major n x signature_width() matrix of signature components.
 ///     // Signing is pure per item, so families fan the loop out across
 ///     // `pool` when one is given (nullptr = sequential) — results are
-///     // bit-identical either way.
+///     // bit-identical either way. Families may accept a trailing
+///     // `const std::function<bool()>* cancel` and poll it at batch
+///     // boundaries, returning kCancelled (Prepare forwards the engine's
+///     // cooperative-cancel hook to such families).
 ///     Status ComputeSignatures(const Dataset&, std::vector<uint64_t>*,
 ///                              ThreadPool* pool);
 ///     // Rows per band, concatenated over the signature.
@@ -67,6 +70,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
@@ -205,14 +209,51 @@ class ShortlistProvider {
   /// the engine hands over its worker pool the signing pass is chunked
   /// across it; the index build stays sequential. Bit-identical for every
   /// pool size including none.
-  Status Prepare(const Dataset& dataset, ThreadPool* pool = nullptr) {
+  ///
+  /// Cooperative cancellation: when `cancel` is non-null it is polled at
+  /// signing-batch boundaries (every kSignatureChunkSize items, from
+  /// whichever worker runs the batch — the hook must be thread-safe, same
+  /// contract as EngineOptions::cancel) and again between the signing and
+  /// index-build phases. A poll answering true aborts with
+  /// StatusCode::kCancelled and leaves the provider index-less: any
+  /// previous index is dropped on entry and the new one is only installed
+  /// on success, so a cancelled Prepare can never leak a stale or partial
+  /// index into diagnostics.
+  Status Prepare(const Dataset& dataset, ThreadPool* pool = nullptr,
+                 const std::function<bool()>* cancel = nullptr) {
     const uint32_t n = dataset.num_items();
     if (n == 0) return Status::InvalidArgument("dataset is empty");
 
+    // Either this Prepare completes and installs a fresh index, or the
+    // provider ends up with none — never a half-built or stale one.
+    index_.reset();
+    signatures_.clear();
+
     Stopwatch watch;
     std::vector<uint64_t> signatures;
-    LSHC_RETURN_NOT_OK(family_.ComputeSignatures(dataset, &signatures, pool));
+    if constexpr (requires {
+                    family_.ComputeSignatures(dataset, &signatures, pool,
+                                              cancel);
+                  }) {
+      LSHC_RETURN_NOT_OK(
+          family_.ComputeSignatures(dataset, &signatures, pool, cancel));
+    } else {
+      if (cancel != nullptr && (*cancel)()) {
+        return Status::Cancelled(
+            "index preparation stopped by the cancellation hook before "
+            "signature computation");
+      }
+      LSHC_RETURN_NOT_OK(family_.ComputeSignatures(dataset, &signatures,
+                                                   pool));
+    }
+    ++dataset_sign_passes_;
     signature_seconds_ = watch.ElapsedSeconds();
+
+    if (cancel != nullptr && (*cancel)()) {
+      return Status::Cancelled(
+          "index preparation stopped by the cancellation hook between "
+          "signature computation and index construction");
+    }
 
     watch.Restart();
     const std::vector<uint32_t> layout = family_.BandLayout();
@@ -310,6 +351,13 @@ class ShortlistProvider {
   double signature_seconds() const { return signature_seconds_; }
   double index_seconds() const { return index_seconds_; }
 
+  /// Number of completed full-dataset signing passes this provider has
+  /// executed — 1 after one successful Prepare. Query-side work (routed
+  /// prediction, GetCandidatesForQuery) signs only the query and never
+  /// raises this, which is how callers assert the fitted dataset is never
+  /// re-signed when the fit-time index is reused.
+  uint64_t dataset_sign_passes() const { return dataset_sign_passes_; }
+
  private:
   Family family_;
   uint32_t num_clusters_;
@@ -320,6 +368,7 @@ class ShortlistProvider {
 
   double signature_seconds_ = 0;
   double index_seconds_ = 0;
+  uint64_t dataset_sign_passes_ = 0;
 };
 
 }  // namespace lshclust

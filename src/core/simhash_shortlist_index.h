@@ -11,7 +11,10 @@
 /// Collision probability per bit is 1 - theta/pi, so the banding S-curve
 /// selects by angular similarity instead of Jaccard.
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
@@ -55,16 +58,27 @@ class SimHashShortlistFamily {
   /// One SimHash bit vector per item. The hasher is created here because
   /// its hyperplanes need the dataset dimensionality. Chunked across
   /// `pool` when given; projections are pure per item, so the parallel
-  /// pass is bit-identical to the sequential one.
+  /// pass is bit-identical to the sequential one. When `cancel` is
+  /// non-null it is polled at batch boundaries (thread-safe hook
+  /// required); a true answer aborts with StatusCode::kCancelled.
   Status ComputeSignatures(const Dataset& dataset,
                            std::vector<uint64_t>* signatures,
-                           ThreadPool* pool = nullptr) {
+                           ThreadPool* pool = nullptr,
+                           const std::function<bool()>* cancel = nullptr) {
     const uint32_t n = dataset.num_items();
     const uint32_t width = options_.banding.num_hashes();
     hasher_ = std::make_unique<SimHasher>(width, dataset.dimensions(),
                                           options_.seed);
     signatures->resize(static_cast<size_t>(n) * width);
-    const auto sign_range = [&](uint32_t begin, uint32_t end) {
+    std::atomic<bool> cancelled{false};
+    const auto sign_range = [&](uint32_t begin, uint32_t end, uint32_t) {
+      if (cancel != nullptr) {
+        if (cancelled.load(std::memory_order_relaxed)) return;
+        if ((*cancel)()) {
+          cancelled.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
       for (uint32_t item = begin; item < end; ++item) {
         hasher_->ComputeSignature(dataset.Row(item),
                                   signatures->data() +
@@ -72,12 +86,17 @@ class SimHashShortlistFamily {
       }
     };
     if (pool == nullptr) {
-      sign_range(0, n);
+      for (uint32_t begin = 0; begin < n; begin += kSignatureChunkSize) {
+        sign_range(begin, std::min(n, begin + kSignatureChunkSize), 0);
+        if (cancelled.load(std::memory_order_relaxed)) break;
+      }
     } else {
-      pool->ParallelFor(0, n, kSignatureChunkSize,
-                        [&](uint32_t begin, uint32_t end, uint32_t) {
-                          sign_range(begin, end);
-                        });
+      pool->ParallelFor(0, n, kSignatureChunkSize, sign_range);
+    }
+    if (cancelled.load(std::memory_order_relaxed)) {
+      return Status::Cancelled(
+          "signature computation stopped by the cancellation hook at a "
+          "batch boundary");
     }
     return Status::OK();
   }

@@ -18,8 +18,10 @@
 /// headers directly for faster builds; include this one for exploration
 /// and prototyping.
 
-// The front door.
+// The front door (clusterer.h pulls in index_handle.h — the retained
+// fit-time index Fit hands back for routed prediction and dedup probes).
 #include "api/clusterer.h"  // IWYU pragma: export
+#include "api/index_handle.h"  // IWYU pragma: export
 
 // Foundation.
 #include "util/flags.h"          // IWYU pragma: export

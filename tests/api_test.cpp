@@ -16,9 +16,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <set>
 #include <span>
 #include <string>
 #include <vector>
@@ -759,6 +761,523 @@ TEST(FacadeReportTest, IndexDiagnosticsOnlyForIndexAccelerators) {
   EXPECT_TRUE(indexed->has_index);
   EXPECT_GT(indexed->index_memory_bytes, 0u);
   EXPECT_GT(indexed->index_stats.total_buckets, 0u);
+}
+
+// ------------------------------------------------------ routed predict ----
+//
+// PredictRouted must (a) agree bit-for-bit with a reference probe built
+// the way catalog_dedup historically routed — a standalone provider with
+// the same options signs the arrival, probes the buckets, dereferences
+// candidate clusters through the fitted assignment, and takes the
+// nearest candidate with lowest-id ties — except that PredictRouted does
+// it against the *retained* fit-time index with zero re-signing of the
+// fitted dataset; (b) equal exhaustive Predict wherever the probe
+// contains Predict's winner (or is empty: fallback); and (c) be
+// bit-identical at every (threads x shards) grid point.
+
+/// Slices `count` items starting at `begin` out of a generated
+/// categorical dataset (labels dropped; arrivals have none).
+CategoricalDataset SliceCategorical(const CategoricalDataset& all,
+                                    uint32_t begin, uint32_t count) {
+  const uint32_t m = all.num_attributes();
+  std::vector<uint32_t> codes(
+      all.codes().begin() + static_cast<size_t>(begin) * m,
+      all.codes().begin() + static_cast<size_t>(begin + count) * m);
+  return CategoricalDataset::FromCodes(count, m, all.num_codes(),
+                                       std::move(codes))
+      .ValueOrDie();
+}
+
+NumericDataset SliceNumeric(const NumericDataset& all, uint32_t begin,
+                            uint32_t count) {
+  std::vector<double> values;
+  values.reserve(static_cast<size_t>(count) * all.dimensions());
+  for (uint32_t item = begin; item < begin + count; ++item) {
+    const auto row = all.Row(item);
+    values.insert(values.end(), row.begin(), row.end());
+  }
+  return NumericDataset::FromValues(count, all.dimensions(),
+                                    std::move(values))
+      .ValueOrDie();
+}
+
+/// Reference nearest-of-candidates with exact distances and ascending
+/// (lowest-id-ties) order — the documented PredictRouted decision rule.
+template <typename Traits>
+uint32_t NearestOfCandidates(const typename Traits::Dataset& arrivals,
+                             const typename Traits::Centroids& centroids,
+                             const typename Traits::Options& options,
+                             uint32_t item,
+                             std::vector<uint32_t> candidates) {
+  std::sort(candidates.begin(), candidates.end());
+  uint32_t best_cluster = candidates.front();
+  auto best = Traits::template ComputeDistance<false>(
+      arrivals, centroids, options, item, best_cluster,
+      Traits::kInfiniteDistance);
+  for (size_t i = 1; i < candidates.size(); ++i) {
+    const auto distance = Traits::template ComputeDistance<false>(
+        arrivals, centroids, options, item, candidates[i],
+        Traits::kInfiniteDistance);
+    if (distance < best) {
+      best = distance;
+      best_cluster = candidates[i];
+    }
+  }
+  return best_cluster;
+}
+
+/// Proves the routed contract for one banding cell. `direct` runs the
+/// engine twin (options, &centroids) -> Result<ClusteringResult>;
+/// `probe` returns arrival `item`'s deduplicated candidate clusters from
+/// a standalone re-signed provider (the legacy routing pattern the
+/// retained index replaces).
+template <typename Traits, typename DirectFn, typename ProbeFn>
+void ExpectRoutedParity(const ClustererSpec& base_spec,
+                        const typename Traits::Dataset& fit_data,
+                        const typename Traits::Dataset& arrivals,
+                        const typename Traits::Options& direct_options,
+                        const DirectFn& direct, const ProbeFn& probe) {
+  typename Traits::Centroids centroids =
+      Traits::MakeCentroids(fit_data, direct_options);
+  auto reference_run = direct(direct_options, &centroids);
+  ASSERT_TRUE(reference_run.ok()) << reference_run.status().ToString();
+
+  auto clusterer = Clusterer::Create(base_spec);
+  ASSERT_TRUE(clusterer.ok()) << clusterer.status().ToString();
+  auto report = clusterer->Fit(fit_data);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->result.assignment, reference_run->assignment);
+  ASSERT_TRUE(report->index_retained);
+
+  auto handle = clusterer->index();
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+  EXPECT_EQ(handle->dataset_sign_passes(), 1u);
+  EXPECT_EQ(handle->num_indexed_items(), fit_data.num_items());
+
+  auto routed = clusterer->PredictRouted(arrivals);
+  ASSERT_TRUE(routed.ok()) << routed.status().ToString();
+  auto predicted = clusterer->Predict(arrivals);
+  ASSERT_TRUE(predicted.ok());
+
+  // Routing signed only the queries: the fitted dataset's signing counter
+  // is untouched by any number of routed calls.
+  auto routed_again = clusterer->PredictRouted(arrivals);
+  ASSERT_TRUE(routed_again.ok());
+  EXPECT_EQ(*routed, *routed_again);
+  EXPECT_EQ(clusterer->index()->dataset_sign_passes(), 1u);
+
+  uint32_t fallbacks = 0;
+  for (uint32_t item = 0; item < arrivals.num_items(); ++item) {
+    const std::vector<uint32_t> candidates =
+        probe(item, reference_run->assignment);
+    if (candidates.empty()) {
+      // Empty probe: the exhaustive fallback must equal Predict.
+      EXPECT_EQ((*routed)[item], (*predicted)[item]) << "item " << item;
+      ++fallbacks;
+      continue;
+    }
+    const uint32_t expected = NearestOfCandidates<Traits>(
+        arrivals, centroids, direct_options, item, candidates);
+    EXPECT_EQ((*routed)[item], expected) << "item " << item;
+    // Shortlist hit: whenever the probe contains Predict's winner the
+    // routed assignment is bit-identical to Predict's.
+    if (std::find(candidates.begin(), candidates.end(),
+                  (*predicted)[item]) != candidates.end()) {
+      EXPECT_EQ((*routed)[item], (*predicted)[item]) << "item " << item;
+    }
+  }
+
+  // Bit-identity across the (threads x shards) grid: the decomposition
+  // and worker count are invisible in routed results.
+  for (const auto& grid : kGrid) {
+    ClustererSpec spec = base_spec;
+    spec.engine.num_threads = grid.threads;
+    spec.engine.num_shards = grid.shards;
+    auto grid_clusterer = Clusterer::Create(spec);
+    ASSERT_TRUE(grid_clusterer.ok());
+    ASSERT_TRUE(grid_clusterer->Fit(fit_data).ok());
+    auto grid_routed = grid_clusterer->PredictRouted(arrivals);
+    ASSERT_TRUE(grid_routed.ok());
+    EXPECT_EQ(*grid_routed, *routed)
+        << "threads=" << grid.threads << " shards=" << grid.shards;
+  }
+}
+
+TEST(RoutedPredictTest, CategoricalMinHashMatchesStandaloneProbe) {
+  ConjunctiveDataOptions options;
+  options.num_items = 360;
+  options.num_attributes = 12;
+  options.num_clusters = 8;
+  options.domain_size = 40;
+  options.seed = 17;
+  const auto all = GenerateConjunctiveRuleData(options).ValueOrDie();
+  const auto fit_data = SliceCategorical(all, 0, 300);
+  const auto arrivals = SliceCategorical(all, 300, 60);
+
+  for (const Modality modality :
+       {Modality::kCategorical, Modality::kTextBinarized}) {
+    ClustererSpec spec;
+    spec.modality = modality;
+    spec.accelerator = Accelerator::kMinHash;
+    spec.engine = BaseEngine(8, 1, 1);
+    spec.minhash.banding = {8, 2};
+
+    // The legacy routing pattern: a standalone provider re-signs and
+    // re-indexes the fitted dataset (what catalog_dedup used to do).
+    ClusterShortlistProvider standalone(spec.minhash,
+                                        spec.engine.num_clusters);
+    ASSERT_TRUE(standalone.Prepare(fit_data).ok());
+    std::vector<uint32_t> tokens, candidates;
+    ExpectRoutedParity<CategoricalClusteringTraits>(
+        spec, fit_data, arrivals, spec.engine,
+        [&](const EngineOptions& direct, ModeTable* centroids) {
+          ClusterShortlistProvider provider(spec.minhash,
+                                            direct.num_clusters);
+          return RunEngine(fit_data, direct, provider, centroids);
+        },
+        [&](uint32_t item, std::span<const uint32_t> fit_assignment) {
+          arrivals.PresentTokens(item, &tokens);
+          standalone.GetCandidatesForTokens(tokens, fit_assignment,
+                                            &candidates);
+          return candidates;
+        });
+  }
+}
+
+TEST(RoutedPredictTest, NumericSimHashMatchesStandaloneProbe) {
+  GaussianMixtureOptions options;
+  options.num_items = 300;
+  options.dimensions = 6;
+  options.num_clusters = 6;
+  options.stddev = 0.4;
+  options.seed = 31;
+  const auto all = GenerateGaussianMixture(options).ValueOrDie();
+  const auto fit_data = SliceNumeric(all, 0, 240);
+  const auto arrivals = SliceNumeric(all, 240, 60);
+
+  ClustererSpec spec;
+  spec.modality = Modality::kNumeric;
+  spec.accelerator = Accelerator::kSimHash;
+  spec.engine = BaseEngine(6, 1, 1);
+  spec.simhash.banding = {6, 3};
+  KMeansOptions direct_options;
+  static_cast<EngineOptions&>(direct_options) = spec.engine;
+
+  SimHashShortlistProvider standalone(spec.simhash,
+                                      spec.engine.num_clusters);
+  ASSERT_TRUE(standalone.Prepare(fit_data).ok());
+  std::vector<uint32_t> candidates;
+  ExpectRoutedParity<NumericClusteringTraits>(
+      spec, fit_data, arrivals, direct_options,
+      [&](const KMeansOptions& direct, CentroidTable* centroids) {
+        SimHashShortlistProvider provider(spec.simhash,
+                                          direct.num_clusters);
+        return RunKMeansEngine(fit_data, direct, provider, centroids);
+      },
+      [&](uint32_t item, std::span<const uint32_t> fit_assignment) {
+        standalone.GetCandidatesForQuery(arrivals.Row(item), fit_assignment,
+                                         &candidates);
+        return candidates;
+      });
+}
+
+TEST(RoutedPredictTest, MixedConcatMatchesStandaloneProbe) {
+  MixedDataOptions options;
+  options.categorical.num_items = 260;
+  options.categorical.num_attributes = 8;
+  options.categorical.num_clusters = 5;
+  options.categorical.domain_size = 25;
+  options.categorical.seed = 41;
+  options.numeric_dimensions = 4;
+  options.stddev = 0.5;
+  const auto all = GenerateMixedData(options).ValueOrDie();
+  const auto fit_data =
+      MixedDataset::Combine(SliceCategorical(all.categorical(), 0, 200),
+                            SliceNumeric(all.numeric(), 0, 200))
+          .ValueOrDie();
+  const auto arrivals =
+      MixedDataset::Combine(SliceCategorical(all.categorical(), 200, 60),
+                            SliceNumeric(all.numeric(), 200, 60))
+          .ValueOrDie();
+
+  ClustererSpec spec;
+  spec.modality = Modality::kMixed;
+  spec.accelerator = Accelerator::kMixedConcat;
+  spec.engine = BaseEngine(5, 1, 1);
+  spec.gamma = 0.5;
+  spec.mixed_index.categorical_banding = {8, 2};
+  spec.mixed_index.numeric_banding = {4, 8};
+  KPrototypesOptions direct_options;
+  static_cast<EngineOptions&>(direct_options) = spec.engine;
+  direct_options.gamma = spec.gamma;
+
+  // The mixed family's query representation is two spans, so the probe
+  // signs by hand and walks the index directly (same bucket space: same
+  // options + seed + items as the retained index).
+  MixedShortlistProvider standalone(spec.mixed_index,
+                                    spec.engine.num_clusters);
+  ASSERT_TRUE(standalone.Prepare(fit_data).ok());
+  std::vector<uint32_t> tokens;
+  std::vector<double> centered;
+  std::vector<uint64_t> signature(standalone.family().signature_width());
+  ExpectRoutedParity<MixedClusteringTraits>(
+      spec, fit_data, arrivals, direct_options,
+      [&](const KPrototypesOptions& direct,
+          MixedClusteringTraits::Centroids* centroids) {
+        MixedShortlistProvider provider(spec.mixed_index,
+                                        direct.num_clusters);
+        return RunKPrototypesEngine(fit_data, direct, provider, centroids);
+      },
+      [&](uint32_t item, std::span<const uint32_t> fit_assignment) {
+        arrivals.categorical().PresentTokens(item, &tokens);
+        standalone.family().ComputeQuerySignature(
+            tokens, arrivals.numeric().Row(item), &centered,
+            signature.data());
+        std::set<uint32_t> clusters;
+        standalone.index()->VisitCandidatesOfSignature(
+            signature, [&](uint32_t other) {
+              clusters.insert(fit_assignment[other]);
+            });
+        return std::vector<uint32_t>(clusters.begin(), clusters.end());
+      });
+}
+
+TEST(RoutedPredictTest, DegeneratesToPredictWithoutARetainedIndex) {
+  const CategoricalDataset dataset = CategoricalFixture();
+  // Exhaustive and canopy accelerators build no banding index; routed
+  // prediction must be exactly Predict, and index() must say why.
+  for (const Accelerator accelerator :
+       {Accelerator::kExhaustive, Accelerator::kCanopy}) {
+    ClustererSpec spec;
+    spec.modality = Modality::kCategorical;
+    spec.accelerator = accelerator;
+    spec.engine = BaseEngine(8, 1, 1);
+    spec.canopy.cheap_attributes = 4;
+    auto clusterer = Clusterer::Create(spec);
+    ASSERT_TRUE(clusterer.ok());
+    auto report = clusterer->Fit(dataset);
+    ASSERT_TRUE(report.ok());
+    EXPECT_FALSE(report->index_retained);
+    auto routed = clusterer->PredictRouted(dataset);
+    auto predicted = clusterer->Predict(dataset);
+    ASSERT_TRUE(routed.ok());
+    ASSERT_TRUE(predicted.ok());
+    EXPECT_EQ(*routed, *predicted);
+    EXPECT_EQ(clusterer->index().status().code(),
+              StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(RoutedPredictTest, RetentionDisabledReportsNoIndexStateAndFallsBack) {
+  const CategoricalDataset dataset = CategoricalFixture();
+  ClustererSpec spec;
+  spec.modality = Modality::kCategorical;
+  spec.accelerator = Accelerator::kMinHash;
+  spec.engine = BaseEngine(8, 1, 1);
+  spec.minhash.banding = {8, 2};
+  spec.retain_index = false;
+  auto clusterer = Clusterer::Create(spec);
+  ASSERT_TRUE(clusterer.ok());
+  auto report = clusterer->Fit(dataset);
+  ASSERT_TRUE(report.ok());
+  // The index existed during the run (the run was accelerated, and its
+  // timing split is honest)...
+  EXPECT_TRUE(report->has_index);
+  // ...but it is gone now, so the report must not describe it: no stats,
+  // no memory, no retained flag — diagnostics never reference freed
+  // state.
+  EXPECT_FALSE(report->index_retained);
+  EXPECT_EQ(report->index_memory_bytes, 0u);
+  EXPECT_EQ(report->index_stats.total_buckets, 0u);
+  EXPECT_EQ(clusterer->index().status().code(),
+            StatusCode::kInvalidArgument);
+
+  auto routed = clusterer->PredictRouted(dataset);
+  auto predicted = clusterer->Predict(dataset);
+  ASSERT_TRUE(routed.ok());
+  ASSERT_TRUE(predicted.ok());
+  EXPECT_EQ(*routed, *predicted);
+}
+
+TEST(RoutedPredictTest, EmptyProbeFallsBackExhaustively) {
+  // Fitted items use codes [0, 8); the arrival's tokens are entirely
+  // disjoint codes, so (deterministic under the fixed hash seed) it
+  // lands in no fit-time bucket and must take the exhaustive fallback.
+  std::vector<uint32_t> codes;
+  for (uint32_t item = 0; item < 16; ++item) {
+    for (uint32_t j = 0; j < 4; ++j) codes.push_back((item / 8) * 4 + j);
+  }
+  const auto fit_data =
+      CategoricalDataset::FromCodes(16, 4, 32, std::move(codes))
+          .ValueOrDie();
+  const auto arrivals = CategoricalDataset::FromCodes(
+                            1, 4, 32, {20, 21, 22, 23})
+                            .ValueOrDie();
+
+  ClustererSpec spec;
+  spec.modality = Modality::kCategorical;
+  spec.accelerator = Accelerator::kMinHash;
+  spec.engine = BaseEngine(2, 1, 1);
+  spec.minhash.banding = {4, 2};
+  auto clusterer = Clusterer::Create(spec);
+  ASSERT_TRUE(clusterer.ok());
+  auto report = clusterer->Fit(fit_data);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  // Test precondition: the probe really is empty (checked through the
+  // standalone twin of the retained index).
+  ClusterShortlistProvider standalone(spec.minhash, 2);
+  ASSERT_TRUE(standalone.Prepare(fit_data).ok());
+  std::vector<uint32_t> tokens, candidates;
+  arrivals.PresentTokens(0, &tokens);
+  standalone.GetCandidatesForTokens(tokens, report->result.assignment,
+                                    &candidates);
+  ASSERT_TRUE(candidates.empty())
+      << "fixture drift: the arrival collided with a fitted bucket";
+
+  auto routed = clusterer->PredictRouted(arrivals);
+  auto predicted = clusterer->Predict(arrivals);
+  ASSERT_TRUE(routed.ok());
+  ASSERT_TRUE(predicted.ok());
+  EXPECT_EQ(*routed, *predicted);
+}
+
+TEST(RoutedPredictTest, SingleClusterAndShapeErrors) {
+  const CategoricalDataset dataset = CategoricalFixture();
+  ClustererSpec spec;
+  spec.modality = Modality::kCategorical;
+  spec.accelerator = Accelerator::kMinHash;
+  spec.engine = BaseEngine(1, 4, 3);  // k = 1
+  spec.minhash.banding = {8, 2};
+  auto clusterer = Clusterer::Create(spec);
+  ASSERT_TRUE(clusterer.ok());
+
+  // Routed prediction needs a fit first.
+  EXPECT_EQ(clusterer->PredictRouted(dataset).status().code(),
+            StatusCode::kInvalidArgument);
+
+  ASSERT_TRUE(clusterer->Fit(dataset).ok());
+  auto routed = clusterer->PredictRouted(dataset);
+  ASSERT_TRUE(routed.ok());
+  EXPECT_EQ(*routed, std::vector<uint32_t>(dataset.num_items(), 0u));
+
+  // Empty and mis-shaped arrival sets are rejected like Predict's.
+  EXPECT_EQ(clusterer->PredictRouted(CategoricalDataset())
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  auto skinny =
+      CategoricalDataset::FromCodes(2, 2, 40, {0, 1, 2, 3}).ValueOrDie();
+  EXPECT_EQ(clusterer->PredictRouted(skinny).status().code(),
+            StatusCode::kInvalidArgument);
+  // Wrong modality hits the shape seam.
+  EXPECT_EQ(clusterer->PredictRouted(NumericFixture()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RoutedPredictTest, IndexHandleEnumeratesDedupCandidates) {
+  const CategoricalDataset dataset = CategoricalFixture();
+  ClustererSpec spec;
+  spec.modality = Modality::kCategorical;
+  spec.accelerator = Accelerator::kMinHash;
+  spec.engine = BaseEngine(8, 1, 1);
+  spec.minhash.banding = {8, 2};
+  auto clusterer = Clusterer::Create(spec);
+  ASSERT_TRUE(clusterer.ok());
+  auto report = clusterer->Fit(dataset);
+  ASSERT_TRUE(report.ok());
+  auto handle = clusterer->index();
+  ASSERT_TRUE(handle.ok());
+
+  // The report's diagnostics describe exactly the retained handle.
+  EXPECT_EQ(report->index_memory_bytes, handle->memory_bytes());
+  const BandedIndex::Stats live = handle->ComputeStats();
+  EXPECT_EQ(report->index_stats.total_buckets, live.total_buckets);
+  EXPECT_EQ(report->index_stats.largest_bucket, live.largest_bucket);
+
+  for (const uint32_t item : {0u, 7u, dataset.num_items() - 1}) {
+    const std::vector<uint32_t> peers = handle->CandidateItemsOf(item);
+    // An item shares every bucket with itself; the list is sorted-unique.
+    EXPECT_TRUE(std::binary_search(peers.begin(), peers.end(), item));
+    EXPECT_TRUE(std::is_sorted(peers.begin(), peers.end()));
+    EXPECT_TRUE(std::adjacent_find(peers.begin(), peers.end()) ==
+                peers.end());
+    const std::vector<uint32_t> clusters = handle->CandidateClustersOf(item);
+    EXPECT_TRUE(std::binary_search(clusters.begin(), clusters.end(),
+                                   handle->ClusterOf(item)));
+    for (const uint32_t cluster : clusters) EXPECT_LT(cluster, 8u);
+    // The cluster set is exactly the peers' clusters.
+    std::set<uint32_t> expected;
+    for (const uint32_t peer : peers) expected.insert(handle->ClusterOf(peer));
+    EXPECT_EQ(std::vector<uint32_t>(expected.begin(), expected.end()),
+              clusters);
+  }
+
+  // A second Fit replaces the retained state; the fresh handle's counter
+  // restarts at one signing pass (never two — the new fit signed once).
+  ASSERT_TRUE(clusterer->Fit(dataset).ok());
+  auto fresh = clusterer->index();
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh->dataset_sign_passes(), 1u);
+}
+
+TEST(RoutedPredictTest, CancelDuringPrepareInstallsNoIndex) {
+  const CategoricalDataset dataset = CategoricalFixture();
+
+  // Reference: the state after the initial assignment only.
+  ClustererSpec spec;
+  spec.modality = Modality::kCategorical;
+  spec.accelerator = Accelerator::kMinHash;
+  spec.engine = BaseEngine(8, 1, 1);
+  spec.minhash.banding = {8, 2};
+  spec.engine.max_iterations = 0;
+  auto base_clusterer = Clusterer::Create(spec);
+  ASSERT_TRUE(base_clusterer.ok());
+  auto base = base_clusterer->Fit(dataset);
+  ASSERT_TRUE(base.ok());
+
+  // Cancel at the first poll after the initial pass completes — with
+  // threads=1 that is Prepare's first signing-batch poll (one poll per
+  // chunk of the initial pass, one after it, then Prepare). Before this
+  // PR the hook was not polled again until the index was fully built, so
+  // the report carried diagnostics of an index the caller never asked to
+  // finish; now Prepare aborts at the batch boundary and installs
+  // nothing.
+  spec.engine.max_iterations = 100;
+  const int chunk_polls = static_cast<int>(
+      (dataset.num_items() + spec.engine.chunk_size - 1) /
+      spec.engine.chunk_size);
+  int total_polls = 0;
+  spec.engine.cancel = [&, chunk_polls] {
+    ++total_polls;
+    return total_polls > chunk_polls + 1;
+  };
+  auto clusterer = Clusterer::Create(spec);
+  ASSERT_TRUE(clusterer.ok());
+  auto report = clusterer->Fit(dataset);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  EXPECT_EQ(report->status.code(), StatusCode::kCancelled);
+  EXPECT_TRUE(report->result.cancelled);
+  EXPECT_TRUE(report->result.iterations.empty());
+  // The completed initial assignment is reported...
+  EXPECT_EQ(report->result.assignment, base->result.assignment);
+  // ...but no partial index leaks into the report or the model.
+  EXPECT_FALSE(report->has_index);
+  EXPECT_FALSE(report->index_retained);
+  EXPECT_EQ(report->index_memory_bytes, 0u);
+  EXPECT_EQ(report->index_stats.total_buckets, 0u);
+  EXPECT_EQ(clusterer->index().status().code(),
+            StatusCode::kInvalidArgument);
+
+  // The cancelled-but-usable model routes through the exhaustive
+  // fallback.
+  EXPECT_TRUE(clusterer->fitted());
+  auto routed = clusterer->PredictRouted(dataset);
+  auto predicted = clusterer->Predict(dataset);
+  ASSERT_TRUE(routed.ok());
+  ASSERT_TRUE(predicted.ok());
+  EXPECT_EQ(*routed, *predicted);
 }
 
 TEST(FacadeReportTest, EnumRoundTrips) {

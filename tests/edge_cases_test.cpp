@@ -6,9 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <functional>
 #include <set>
 
 #include "clustering/kmodes.h"
+#include "core/canopy_shortlist_index.h"
 #include "core/mh_kmodes.h"
 #include "data/csv.h"
 #include "datagen/conjunctive_generator.h"
@@ -246,6 +248,85 @@ TEST(EdgeCaseTest, EngineSurvivesProviderReturningOnlyCurrentCluster) {
   EXPECT_TRUE(result.converged);
   EXPECT_EQ(result.iterations.size(), 1u);  // zero moves immediately
   EXPECT_DOUBLE_EQ(result.iterations[0].mean_shortlist, 1.0);
+}
+
+// ----------------------------------------------- cancellable Prepare --
+
+TEST(EdgeCaseTest, CancelledPrepareLeavesProviderIndexless) {
+  ConjunctiveDataOptions data;
+  data.num_items = 600;  // > 2 signing batches of kSignatureChunkSize
+  data.num_attributes = 8;
+  data.num_clusters = 4;
+  data.domain_size = 20;
+  data.seed = 11;
+  const auto dataset = GenerateConjunctiveRuleData(data).ValueOrDie();
+  ShortlistIndexOptions options;
+  options.banding = {4, 2};
+
+  // Cancel at the very first signing batch: nothing was built, nothing
+  // is counted.
+  {
+    ClusterShortlistProvider provider(options, 4);
+    const std::function<bool()> now = [] { return true; };
+    const Status status = provider.Prepare(dataset, nullptr, &now);
+    EXPECT_EQ(status.code(), StatusCode::kCancelled);
+    EXPECT_EQ(provider.index(), nullptr);
+    EXPECT_EQ(provider.dataset_sign_passes(), 0u);
+
+    // The provider is reusable: a later un-cancelled Prepare succeeds.
+    ASSERT_TRUE(provider.Prepare(dataset).ok());
+    EXPECT_NE(provider.index(), nullptr);
+    EXPECT_EQ(provider.dataset_sign_passes(), 1u);
+  }
+
+  // Cancel *between* the signing and index-build phases (the hook first
+  // answers true after every signing batch passed): the signing pass
+  // completed — and is counted — but no index may be installed from it.
+  {
+    ClusterShortlistProvider provider(options, 4);
+    const int signing_batches = static_cast<int>(
+        (data.num_items + kSignatureChunkSize - 1) / kSignatureChunkSize);
+    int polls = 0;
+    const std::function<bool()> after_signing = [&] {
+      return ++polls > signing_batches;
+    };
+    const Status status = provider.Prepare(dataset, nullptr, &after_signing);
+    EXPECT_EQ(status.code(), StatusCode::kCancelled);
+    EXPECT_EQ(provider.index(), nullptr);
+    EXPECT_EQ(provider.dataset_sign_passes(), 1u);
+  }
+
+  // A cancelled re-Prepare drops the previously installed index instead
+  // of leaving a stale one behind.
+  {
+    ClusterShortlistProvider provider(options, 4);
+    ASSERT_TRUE(provider.Prepare(dataset).ok());
+    ASSERT_NE(provider.index(), nullptr);
+    const std::function<bool()> now = [] { return true; };
+    EXPECT_EQ(provider.Prepare(dataset, nullptr, &now).code(),
+              StatusCode::kCancelled);
+    EXPECT_EQ(provider.index(), nullptr);
+  }
+}
+
+TEST(EdgeCaseTest, CancelledCanopyPrepareLeavesProviderCoverless) {
+  ConjunctiveDataOptions data;
+  data.num_items = 80;
+  data.num_attributes = 8;
+  data.num_clusters = 4;
+  data.domain_size = 20;
+  data.seed = 13;
+  const auto dataset = GenerateConjunctiveRuleData(data).ValueOrDie();
+  CanopyOptions options;
+  options.cheap_attributes = 4;
+
+  CanopyShortlistProvider provider(options, 4);
+  const std::function<bool()> now = [] { return true; };
+  EXPECT_EQ(provider.Prepare(dataset, nullptr, &now).code(),
+            StatusCode::kCancelled);
+  EXPECT_EQ(provider.index(), nullptr);
+  ASSERT_TRUE(provider.Prepare(dataset).ok());
+  EXPECT_NE(provider.index(), nullptr);
 }
 
 TEST(EdgeCaseTest, BandedIndexOneBandOneRow) {
