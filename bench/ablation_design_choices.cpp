@@ -4,16 +4,20 @@
 //    MinHash for index construction;
 //  * presence filtering (Alg. 2 lines 2-4) on vs off for sparse binary
 //    data — fewer tokens means faster signatures AND meaningful Jaccard;
-//  * end-to-end MH-K-Modes vs exhaustive K-Modes at several (b, r).
+//  * end-to-end MH-K-Modes vs exhaustive K-Modes at several (b, r);
+//  * the historical noinline-block mismatch kernel vs the runtime-
+//    dispatched SIMD kernel that replaced it.
 
 #include <benchmark/benchmark.h>
 
+#include "clustering/dissimilarity.h"
 #include "clustering/kmodes.h"
 #include "core/mh_kmodes.h"
 #include "datagen/conjunctive_generator.h"
 #include "datagen/yahoo_like_corpus.h"
 #include "text/binarizer.h"
 #include "text/tfidf.h"
+#include "util/rng.h"
 
 namespace {
 
@@ -161,6 +165,57 @@ BENCHMARK(BM_EndToEnd_Banding)
     ->Args({50, 5})
     ->Unit(benchmark::kMillisecond)
     ->Iterations(3);
+
+// --------------------- mismatch kernel: historical shape vs dispatched --
+
+// The pre-dispatch hand-tuned kernel (clustering/dissimilarity.h before
+// the src/simd/ subsystem): a [[gnu::noinline]] fixed 32-element block the
+// compiler auto-vectorizes at the build's baseline ISA, plus a scalar
+// tail. Replicated here verbatim so the ablation keeps recording the
+// historical shape against the runtime-dispatched kernel that replaced it.
+[[gnu::noinline]] uint32_t HistoricalMismatchBlock32(const uint32_t* a,
+                                                     const uint32_t* b) {
+  uint32_t mismatches = 0;
+  for (uint32_t j = 0; j < 32; ++j) {
+    mismatches += a[j] != b[j] ? 1u : 0u;
+  }
+  return mismatches;
+}
+
+uint32_t HistoricalMismatchDistance(const uint32_t* a, const uint32_t* b,
+                                    uint32_t m) {
+  uint32_t mismatches = 0;
+  uint32_t j = 0;
+  for (; j + 32 <= m; j += 32) {
+    mismatches += HistoricalMismatchBlock32(a + j, b + j);
+  }
+  for (; j < m; ++j) mismatches += a[j] != b[j] ? 1u : 0u;
+  return mismatches;
+}
+
+void BM_MismatchKernel_HistoricalVsDispatched(benchmark::State& state) {
+  const uint32_t m = static_cast<uint32_t>(state.range(0));
+  const bool dispatched = state.range(1) != 0;
+  Rng rng(23);
+  std::vector<uint32_t> a(m), b(m);
+  for (uint32_t j = 0; j < m; ++j) {
+    a[j] = static_cast<uint32_t>(rng.Below(1u << 30));
+    b[j] = (j % 2 == 0) ? a[j] : a[j] ^ 1u;  // 50% mismatches
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dispatched ? MismatchDistance(a, b)
+                   : HistoricalMismatchDistance(a.data(), b.data(), m));
+  }
+  state.SetItemsProcessed(state.iterations() * m);
+  state.SetLabel(dispatched ? "dispatched (src/simd)"
+                            : "historical noinline block");
+}
+BENCHMARK(BM_MismatchKernel_HistoricalVsDispatched)
+    ->Args({100, 0})
+    ->Args({100, 1})
+    ->Args({2000, 0})
+    ->Args({2000, 1});
 
 }  // namespace
 

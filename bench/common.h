@@ -28,6 +28,7 @@
 #include "core/experiment.h"
 #include "core/reporters.h"
 #include "datagen/conjunctive_generator.h"
+#include "simd/dispatch.h"
 #include "util/flags.h"
 #include "util/logging.h"
 
@@ -39,10 +40,15 @@ namespace lshclust::bench {
 /// dependency: records are flat and values are numbers or short strings.
 class JsonBenchWriter {
  public:
-  /// Starts a record. Records are written in Begin order.
+  /// Starts a record. Records are written in Begin order. Every record is
+  /// stamped with the SIMD dispatch tier active at Begin time plus the
+  /// detected CPU features, so perf records from different machines (or
+  /// forced-tier runs) stay comparable after the fact.
   void BeginRecord() {
     records_.emplace_back();
     first_field_ = true;
+    Add("simd_tier", simd::TierName(simd::ActiveTier()));
+    Add("cpu_features", simd::CpuFeatureString());
   }
 
   void Add(const char* key, const std::string& value) {

@@ -251,6 +251,7 @@ std::vector<uint32_t> AssignNearest(const typename Traits::Dataset& dataset,
 struct RoutedScratch {
   ClusterDedupScratch dedup;
   std::vector<uint64_t> signature;
+  std::vector<uint64_t> query_sketch;
   std::vector<uint32_t> shortlist;
   std::vector<uint32_t> tokens;
   std::vector<double> centered;
@@ -278,21 +279,38 @@ std::vector<uint32_t> AssignRouted(const typename Traits::Dataset& dataset,
   const uint32_t n = dataset.num_items();
   const uint32_t k = options.num_clusters;
   const BandedIndex& index = *provider.index();
+  // Sketch prefilter (when the retained index was fitted with it on):
+  // screen each candidate peer's packed sketch against the query's before
+  // its cluster enters the shortlist. A screened-out shortlist that comes
+  // up empty falls through to the exhaustive kernel below, so screening
+  // never leaves a query unanswered.
+  const bool sketch_on = provider.sketch_enabled();
+  const uint64_t sketch_max_hamming = provider.sketch_max_hamming();
   std::vector<uint32_t> assignment(n, 0);
 
   const auto route_range = [&](uint32_t begin, uint32_t end,
                                RoutedScratch& scratch) {
     for (uint32_t item = begin; item < end; ++item) {
       sign_query(dataset, item, scratch);
+      if (sketch_on) {
+        PackSketchBits(scratch.signature.data(), index.signature_width(),
+                       scratch.query_sketch.data());
+      }
       scratch.shortlist.clear();
       BumpDedupEpoch(scratch.dedup);
       index.VisitCandidatesOfSignature(
           scratch.signature, [&](uint32_t other) {
             const uint32_t cluster = fit_assignment[other];
-            if (scratch.dedup.cluster_stamp[cluster] != scratch.dedup.epoch) {
-              scratch.dedup.cluster_stamp[cluster] = scratch.dedup.epoch;
-              scratch.shortlist.push_back(cluster);
+            if (scratch.dedup.cluster_stamp[cluster] == scratch.dedup.epoch) {
+              return;
             }
+            if (sketch_on &&
+                provider.sketches().HammingTo(scratch.query_sketch.data(),
+                                              other) > sketch_max_hamming) {
+              return;
+            }
+            scratch.dedup.cluster_stamp[cluster] = scratch.dedup.epoch;
+            scratch.shortlist.push_back(cluster);
           });
       if (scratch.shortlist.empty()) {
         // External queries, unlike fitted items, share no bucket with
@@ -328,6 +346,9 @@ std::vector<uint32_t> AssignRouted(const typename Traits::Dataset& dataset,
     RoutedScratch scratch;
     scratch.dedup = MakeClusterDedupScratch(k);
     scratch.signature.resize(index.signature_width());
+    if (sketch_on) {
+      scratch.query_sketch.resize(provider.sketches().words());
+    }
     return scratch;
   };
   const uint32_t num_threads = ResolveThreadCount(options.num_threads);
@@ -440,8 +461,10 @@ class EngineDispatcher {
   static IndexHandle MakeHandle(const BandedIndex* index,
                                 std::span<const uint32_t> assignment,
                                 uint64_t memory_bytes,
-                                uint64_t dataset_sign_passes) {
-    return IndexHandle(index, assignment, memory_bytes, dataset_sign_passes);
+                                uint64_t dataset_sign_passes,
+                                uint64_t sketch_memory_bytes) {
+    return IndexHandle(index, assignment, memory_bytes, dataset_sign_passes,
+                       sketch_memory_bytes);
   }
 
   Status UnsupportedAccelerator() const {
@@ -549,7 +572,8 @@ class CategoricalDispatcher final : public EngineDispatcher {
     if (retained_ == nullptr) return NoRetainedIndex();
     return MakeHandle(retained_->index(), fit_assignment_,
                       retained_->MemoryUsageBytes(),
-                      retained_->dataset_sign_passes());
+                      retained_->dataset_sign_passes(),
+                      retained_->SketchMemoryUsageBytes());
   }
 
   bool fitted() const override { return modes_.has_value(); }
@@ -657,7 +681,8 @@ class NumericDispatcher final : public EngineDispatcher {
     if (retained_ == nullptr) return NoRetainedIndex();
     return MakeHandle(retained_->index(), fit_assignment_,
                       retained_->MemoryUsageBytes(),
-                      retained_->dataset_sign_passes());
+                      retained_->dataset_sign_passes(),
+                      retained_->SketchMemoryUsageBytes());
   }
 
   bool fitted() const override { return fitted_; }
@@ -774,7 +799,8 @@ class MixedDispatcher final : public EngineDispatcher {
     if (retained_ == nullptr) return NoRetainedIndex();
     return MakeHandle(retained_->index(), fit_assignment_,
                       retained_->MemoryUsageBytes(),
-                      retained_->dataset_sign_passes());
+                      retained_->dataset_sign_passes(),
+                      retained_->SketchMemoryUsageBytes());
   }
 
   bool fitted() const override { return prototypes_.has_value(); }

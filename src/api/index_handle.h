@@ -55,8 +55,15 @@ class IndexHandle {
   BandedIndex::Stats ComputeStats() const { return index_->ComputeStats(); }
 
   /// Approximate heap footprint of the retained shortlist state (banded
-  /// index + hashers + any kept signatures), as of handle creation.
+  /// index + hashers + any kept signatures + the sketch table), as of
+  /// handle creation.
   uint64_t memory_bytes() const { return memory_bytes_; }
+
+  /// Heap footprint of the bit-sketch prefilter table alone (a subset of
+  /// memory_bytes()): n x ceil(width/64) packed words when the fit ran
+  /// with the sketch prefilter enabled, 0 otherwise. This is the marginal
+  /// memory cost of turning the prefilter on.
+  uint64_t sketch_memory_bytes() const { return sketch_memory_bytes_; }
 
   /// Number of completed full-dataset signing passes the retained
   /// provider had executed when this handle was created — 1 after a Fit,
@@ -106,11 +113,13 @@ class IndexHandle {
   friend class internal::EngineDispatcher;
 
   IndexHandle(const BandedIndex* index, std::span<const uint32_t> assignment,
-              uint64_t memory_bytes, uint64_t dataset_sign_passes)
+              uint64_t memory_bytes, uint64_t dataset_sign_passes,
+              uint64_t sketch_memory_bytes)
       : index_(index),
         assignment_(assignment),
         memory_bytes_(memory_bytes),
-        dataset_sign_passes_(dataset_sign_passes) {
+        dataset_sign_passes_(dataset_sign_passes),
+        sketch_memory_bytes_(sketch_memory_bytes) {
     LSHC_DCHECK(index != nullptr) << "handle requires a live index";
   }
 
@@ -118,6 +127,7 @@ class IndexHandle {
   std::span<const uint32_t> assignment_;
   uint64_t memory_bytes_;
   uint64_t dataset_sign_passes_;
+  uint64_t sketch_memory_bytes_;
 };
 
 }  // namespace lshclust

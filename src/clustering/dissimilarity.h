@@ -3,9 +3,19 @@
 /// \file dissimilarity.h
 /// \brief Huang's categorical mismatch measure d(X, Y) (Eqs. 1-2) — the
 /// inner loop of every assignment step.
+///
+/// The kernels themselves live in src/simd/ behind runtime CPU dispatch
+/// (scalar / SSE4.2 / AVX2); this header is the thin domain-facing wrapper.
+/// Historically the bounded scan relied on a `[[gnu::noinline]]` 32-element
+/// block helper to keep GCC's auto-vectorizer engaged between the
+/// early-exit branches; the dispatched kernels vectorize explicitly, so
+/// that workaround is gone (bench/ablation_design_choices.cpp still
+/// measures the historical shape for the before/after record).
 
 #include <cstdint>
 #include <span>
+
+#include "simd/dispatch.h"
 
 namespace lshclust {
 
@@ -13,75 +23,31 @@ namespace lshclust {
 /// have equal length m; the result is in [0, m].
 inline uint32_t MismatchDistance(std::span<const uint32_t> a,
                                  std::span<const uint32_t> b) {
-  uint32_t mismatches = 0;
-  for (size_t j = 0; j < a.size(); ++j) {
-    mismatches += (a[j] != b[j]) ? 1 : 0;
-  }
-  return mismatches;
+  return simd::ActiveKernels().mismatch(a.data(), b.data(),
+                                        static_cast<uint32_t>(a.size()));
 }
-
-namespace internal {
-
-/// Mismatch count of one fixed 32-attribute block. Deliberately *not*
-/// inlined: when this body is inlined between the early-exit branches of
-/// BoundedMismatchDistance, GCC stops vectorizing it and the bounded scan
-/// runs ~5x slower than the exact kernel; compiled standalone it
-/// vectorizes cleanly and the call overhead is ~2 cycles per block
-/// (measured in bench/ablation_design_choices.cpp).
-[[gnu::noinline]] inline uint32_t MismatchBlock32(const uint32_t* a,
-                                                  const uint32_t* b) {
-  uint32_t mismatches = 0;
-  for (uint32_t t = 0; t < 32; ++t) {
-    mismatches += (a[t] != b[t]) ? 1 : 0;
-  }
-  return mismatches;
-}
-
-}  // namespace internal
 
 /// Mismatch count with early exit: returns any value >= `bound` as soon as
 /// the running count reaches `bound` (the caller is looking for distances
 /// strictly below `bound`, so the exact value past it is irrelevant).
-/// Scans vectorized 32-attribute blocks with a bound check after each.
+/// Every dispatch tier scans 32-attribute blocks with a bound check after
+/// each, so even the early-exit partial value is tier-identical.
 inline uint32_t BoundedMismatchDistance(const uint32_t* a, const uint32_t* b,
                                         uint32_t m, uint32_t bound) {
-  uint32_t mismatches = 0;
-  uint32_t j = 0;
-  while (j + 32 <= m) {
-    mismatches += internal::MismatchBlock32(a + j, b + j);
-    j += 32;
-    if (mismatches >= bound) return mismatches;
-  }
-  for (; j < m; ++j) {
-    mismatches += (a[j] != b[j]) ? 1 : 0;
-  }
-  return mismatches;
+  return simd::ActiveKernels().bounded_mismatch(a, b, m, bound);
 }
 
 namespace internal {
 
-/// Squared Euclidean distance with early exit at `bound`, scanned in
-/// 8-wide blocks with a bound check after each (the numeric twin of
-/// BoundedMismatchDistance). Shared by the K-Means and K-Prototypes
-/// distance traits so both families run the identical kernel.
+/// Squared Euclidean distance with early exit at `bound` (the numeric twin
+/// of BoundedMismatchDistance), shared by the K-Means and K-Prototypes
+/// distance traits so both families run the identical kernel. All dispatch
+/// tiers accumulate in the same fixed 4-lane x 8-element blocked order with
+/// a bound check after each block, so the returned double — including the
+/// early-exit partial — is bit-identical across tiers.
 inline double BoundedSquaredL2(const double* a, const double* b, uint32_t d,
                                double bound) {
-  double sum = 0;
-  uint32_t j = 0;
-  constexpr uint32_t kBlock = 8;
-  while (j + kBlock <= d) {
-    for (uint32_t t = 0; t < kBlock; ++t) {
-      const double diff = a[j + t] - b[j + t];
-      sum += diff * diff;
-    }
-    j += kBlock;
-    if (sum >= bound) return sum;
-  }
-  for (; j < d; ++j) {
-    const double diff = a[j] - b[j];
-    sum += diff * diff;
-  }
-  return sum;
+  return simd::ActiveKernels().bounded_sql2(a, b, d, bound);
 }
 
 /// Plain squared Euclidean distance (used by cost evaluation, where the

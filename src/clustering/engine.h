@@ -456,10 +456,15 @@ class ClusteringEngine {
     // Phase 2: initial exhaustive assignment + first centroid update.
     phase_watch.Restart();
     result.assignment.assign(n, 0);
+    // Evaluations of this pass are deliberately not folded into
+    // result.exact_distances_evaluated: the initial exhaustive assignment
+    // is common to every method, so the counter tracks the refinement
+    // phase, where the providers differ.
+    uint64_t initial_evaluated = 0;
     DispatchEarlyExit(options.early_exit, [&](auto early_exit) {
       ExhaustivePass<early_exit.value, /*FirstPass=*/true>(
           dataset, centroids, options, result.assignment, plan, pool,
-          accumulator, cancel);
+          accumulator, &initial_evaluated, cancel);
     });
     if (cancel.Latched()) {
       // The interrupted initial pass has no previous state to roll back
@@ -527,6 +532,8 @@ class ClusteringEngine {
       phase_watch.Restart();
       uint64_t moves = 0;
       uint64_t shortlist_total = 0;
+      uint64_t pass_evaluated = 0;
+      uint64_t pass_pruned = 0;
       DispatchEarlyExit(options.early_exit, [&](auto early_exit) {
         constexpr bool kEarlyExit = early_exit.value;
         if constexpr (Provider::kExhaustive) {
@@ -536,7 +543,7 @@ class ClusteringEngine {
           }
           moves = ExhaustivePass<kEarlyExit, /*FirstPass=*/false>(
               dataset, centroids, options, result.assignment, plan, pool,
-              accumulator, cancel);
+              accumulator, &pass_evaluated, cancel);
           shortlist_total = static_cast<uint64_t>(n) * k;
         } else if constexpr (kParallelProvider) {
           // Freeze the cluster-reference store for this pass: queries see
@@ -544,11 +551,10 @@ class ClusteringEngine {
           // what makes the pass thread-count-invariant.
           std::copy(result.assignment.begin(), result.assignment.end(),
                     snapshot.begin());
-          moves = ShortlistPass<kEarlyExit>(dataset, centroids, options,
-                                            snapshot, result.assignment,
-                                            plan, pool, shard_states,
-                                            accumulator, &shortlist_total,
-                                            cancel);
+          moves = ShortlistPass<kEarlyExit>(
+              dataset, centroids, options, snapshot, result.assignment, plan,
+              pool, shard_states, accumulator, &shortlist_total,
+              &pass_evaluated, &pass_pruned, cancel);
         } else {
           if (!snapshot.empty()) {
             std::copy(result.assignment.begin(), result.assignment.end(),
@@ -556,7 +562,7 @@ class ClusteringEngine {
           }
           moves = LegacyShortlistPass<kEarlyExit>(
               dataset, centroids, options, provider, result.assignment,
-              legacy_shortlist, &shortlist_total, cancel);
+              legacy_shortlist, &shortlist_total, &pass_evaluated, cancel);
         }
       });
       if (cancel.Latched()) {
@@ -570,6 +576,10 @@ class ClusteringEngine {
         result.cancelled = true;
         break;
       }
+      // Counters are committed only for completed passes, matching the
+      // rollback contract: a cancelled pass contributes no state at all.
+      result.exact_distances_evaluated += pass_evaluated;
+      result.exact_distances_pruned += pass_pruned;
       Traits::UpdateCentroids(dataset, centroids, result.assignment, options,
                               rng);
 
@@ -692,6 +702,8 @@ class ClusteringEngine {
   struct ChunkStats {
     uint64_t moves = 0;
     uint64_t shortlist = 0;
+    uint64_t evaluated = 0;  ///< exact distance kernel invocations
+    uint64_t pruned = 0;     ///< clusters dropped by the sketch prefilter
   };
 
   /// Hoists the early-exit switch out of the hot loops: a runtime branch
@@ -754,6 +766,9 @@ class ClusteringEngine {
       }
     }
     stats->moves = moves;
+    // Exactly k exact distances per item: the seed cluster once, then the
+    // k-1 others (the scan skips the seed).
+    stats->evaluated = static_cast<uint64_t>(end - begin) * k;
   }
 
   /// Full exhaustive pass over the shard plan. Each item touches only its
@@ -767,6 +782,7 @@ class ClusteringEngine {
                                  std::span<uint32_t> assignment,
                                  const ShardPlan& plan, ThreadPool* pool,
                                  ShardedAccumulator<ChunkStats>& accumulator,
+                                 uint64_t* evaluated,
                                  const CancelPoll& cancel) {
     accumulator.Reset(plan);
     ForEachShardChunk(
@@ -779,8 +795,10 @@ class ClusteringEngine {
                                                 accumulator.slot(index));
         });
     uint64_t moves = 0;
-    accumulator.MergeInOrder(
-        [&](const ChunkStats& stats) { moves += stats.moves; });
+    accumulator.MergeInOrder([&](const ChunkStats& stats) {
+      moves += stats.moves;
+      *evaluated += stats.evaluated;
+    });
     return moves;
   }
 
@@ -800,9 +818,16 @@ class ClusteringEngine {
                              ChunkStats* stats) {
     uint64_t moves = 0;
     uint64_t shortlist_total = 0;
+    uint64_t pruned_total = 0;
     for (uint32_t item = begin; item < end; ++item) {
       handle.GetCandidates(item, reference, scratch, &shortlist);
+      // Every surviving shortlist entry gets one exact distance: the seed
+      // cluster (always the shortlist's first entry) exactly once, the
+      // rest in the scan.
       shortlist_total += shortlist.size();
+      if constexpr (requires { scratch.last_pruned; }) {
+        pruned_total += scratch.last_pruned;
+      }
       const uint32_t seed_cluster = assignment[item];
       const uint32_t best = BestClusterShortlist<EarlyExit>(
           dataset, centroids, options, item, seed_cluster, shortlist);
@@ -813,6 +838,8 @@ class ClusteringEngine {
     }
     stats->moves = moves;
     stats->shortlist = shortlist_total;
+    stats->evaluated = shortlist_total;
+    stats->pruned = pruned_total;
   }
 
   /// Full shortlist pass for parallel-capable providers: every chunk runs
@@ -825,7 +852,8 @@ class ClusteringEngine {
       std::span<uint32_t> assignment, const ShardPlan& plan,
       ThreadPool* pool, std::vector<ShardState>& shard_states,
       ShardedAccumulator<ChunkStats>& accumulator,
-      uint64_t* shortlist_total, const CancelPoll& cancel) {
+      uint64_t* shortlist_total, uint64_t* evaluated, uint64_t* pruned,
+      const CancelPoll& cancel) {
     accumulator.Reset(plan);
     ForEachShardChunk(
         plan, pool,
@@ -847,6 +875,8 @@ class ClusteringEngine {
     accumulator.MergeInOrder([&](const ChunkStats& stats) {
       moves += stats.moves;
       *shortlist_total += stats.shortlist;
+      *evaluated += stats.evaluated;
+      *pruned += stats.pruned;
     });
     return moves;
   }
@@ -862,6 +892,7 @@ class ClusteringEngine {
                                       std::span<uint32_t> assignment,
                                       std::vector<uint32_t>& shortlist,
                                       uint64_t* shortlist_total,
+                                      uint64_t* evaluated,
                                       const CancelPoll& cancel) {
     const uint32_t n = dataset.num_items();
     uint64_t moves = 0;
@@ -871,6 +902,7 @@ class ClusteringEngine {
       if ((item & 1023u) == 0 && cancel.Cancelled()) break;
       provider.GetCandidates(item, assignment, &shortlist);
       *shortlist_total += shortlist.size();
+      *evaluated += shortlist.size();
       const uint32_t seed_cluster = assignment[item];
       const uint32_t best = BestClusterShortlist<EarlyExit>(
           dataset, centroids, options, item, seed_cluster, shortlist);

@@ -6,7 +6,8 @@
 namespace lshclust {
 
 Status MinHashShortlistFamily::ValidateOptions(const Options& options) {
-  return ValidateBanding(options.banding, "MinHash banding");
+  LSHC_RETURN_NOT_OK(ValidateBanding(options.banding, "MinHash banding"));
+  return ValidateSketchPrefilter(options.sketch, "MinHash sketch");
 }
 
 MinHashShortlistFamily::MinHashShortlistFamily(const Options& options)

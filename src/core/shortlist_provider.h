@@ -76,6 +76,7 @@
 #include <vector>
 
 #include "lsh/banded_index.h"
+#include "lsh/bit_sketch.h"
 #include "util/macros.h"
 #include "util/result.h"
 #include "util/stopwatch.h"
@@ -95,18 +96,27 @@ inline constexpr uint32_t kSignatureChunkSize = 256;
 /// engine makes one per worker thread.
 struct ClusterDedupScratch {
   std::vector<uint32_t> cluster_stamp;
+  /// Second stamp plane for the sketch prefilter: marks clusters that have
+  /// so far only been seen through screened-out peers. A cluster counts as
+  /// pruned only if *every* peer that would have proposed it failed the
+  /// screen (a later surviving peer "resurrects" it).
+  std::vector<uint32_t> pruned_stamp;
   uint32_t epoch = 0;
+  /// Clusters fully pruned by the sketch screen in the most recent query
+  /// through this scratch (0 when screening is off).
+  uint64_t last_pruned = 0;
 };
 
 /// Returns a scratch sized for `num_clusters` clusters.
 inline ClusterDedupScratch MakeClusterDedupScratch(uint32_t num_clusters) {
   ClusterDedupScratch scratch;
   scratch.cluster_stamp.assign(num_clusters, 0);
+  scratch.pruned_stamp.assign(num_clusters, 0);
   return scratch;
 }
 
 /// Starts a new dedup epoch. After 2^32 queries the epoch counter wraps
-/// into values the stamp array may still hold from earlier epochs, which
+/// into values the stamp arrays may still hold from earlier epochs, which
 /// would make stale stamps read as "already seen" and silently drop
 /// clusters from shortlists — so on wrap the stamps are cleared and the
 /// epoch restarts at 1 (stamp 0 = "never stamped"). Every epoch bump in
@@ -114,6 +124,7 @@ inline ClusterDedupScratch MakeClusterDedupScratch(uint32_t num_clusters) {
 inline void BumpDedupEpoch(ClusterDedupScratch& scratch) {
   if (++scratch.epoch == 0) {
     std::fill(scratch.cluster_stamp.begin(), scratch.cluster_stamp.end(), 0u);
+    std::fill(scratch.pruned_stamp.begin(), scratch.pruned_stamp.end(), 0u);
     scratch.epoch = 1;
   }
 }
@@ -145,6 +156,42 @@ void CollectCandidateClusters(uint32_t item,
       out->push_back(cluster);
     }
   });
+  scratch.last_pruned = 0;
+}
+
+/// CollectCandidateClusters with a per-peer sketch screen: a peer for which
+/// `screen(peer)` returns false does not propose its cluster. The item's
+/// own cluster is still entered unconditionally, and peers of clusters that
+/// already survived skip the screen entirely (their Hamming test could not
+/// change anything). On return `scratch.last_pruned` counts the clusters
+/// whose *every* proposing peer was screened out — exactly the clusters
+/// whose exact distance evaluations were avoided.
+template <typename VisitPeersFn, typename ScreenFn>
+void CollectCandidateClustersScreened(uint32_t item,
+                                      std::span<const uint32_t> assignment,
+                                      ClusterDedupScratch& scratch,
+                                      std::vector<uint32_t>* out,
+                                      VisitPeersFn&& visit_peers,
+                                      ScreenFn&& screen) {
+  out->clear();
+  BumpDedupEpoch(scratch);
+  const uint32_t current = assignment[item];
+  scratch.cluster_stamp[current] = scratch.epoch;
+  out->push_back(current);
+  uint64_t pruned = 0;
+  visit_peers([&](uint32_t other) {
+    const uint32_t cluster = assignment[other];
+    if (scratch.cluster_stamp[cluster] == scratch.epoch) return;
+    if (screen(other)) {
+      scratch.cluster_stamp[cluster] = scratch.epoch;
+      out->push_back(cluster);
+      if (scratch.pruned_stamp[cluster] == scratch.epoch) --pruned;
+    } else if (scratch.pruned_stamp[cluster] != scratch.epoch) {
+      scratch.pruned_stamp[cluster] = scratch.epoch;
+      ++pruned;
+    }
+  });
+  scratch.last_pruned = pruned;
 }
 
 /// \brief Engine provider (see clustering/engine.h) producing LSH cluster
@@ -260,6 +307,18 @@ class ShortlistProvider {
     index_ = std::make_unique<BandedIndex>(signatures, n, layout);
     index_seconds_ = watch.ElapsedSeconds();
 
+    // The sketch table packs the same signature matrix the index was just
+    // built from — before a family that discards signatures lets go of it —
+    // so enabling the prefilter never adds a signing pass.
+    const SketchPrefilterOptions sketch = SketchOptions();
+    if (sketch.enabled) {
+      sketches_.Build(signatures, n, family_.signature_width());
+      sketch_max_hamming_ =
+          SketchHammingThreshold(sketch, family_.signature_width());
+    } else {
+      sketches_ = BitSketchTable();
+    }
+
     if (family_.keep_signatures()) {
       signatures_ = std::move(signatures);
     }
@@ -274,6 +333,17 @@ class ShortlistProvider {
   void GetCandidates(uint32_t item, std::span<const uint32_t> assignment,
                      Scratch& scratch, std::vector<uint32_t>* out) const {
     LSHC_DCHECK(index_ != nullptr) << "Prepare() must run before queries";
+    if (!sketches_.empty()) {
+      const uint64_t* query_sketch = sketches_.Row(item);
+      CollectCandidateClustersScreened(
+          item, assignment, scratch, out,
+          [&](auto&& sink) { index_->VisitCandidates(item, sink); },
+          [&](uint32_t other) {
+            return sketches_.HammingTo(query_sketch, other) <=
+                   sketch_max_hamming_;
+          });
+      return;
+    }
     CollectCandidateClusters(item, assignment, scratch, out,
                              [&](auto&& sink) {
                                index_->VisitCandidates(item, sink);
@@ -301,6 +371,31 @@ class ShortlistProvider {
     // streaming hot path) never allocate.
     query_signature_.resize(family_.signature_width());
     family_.ComputeQuerySignature(query, query_signature_.data());
+    if (!sketches_.empty()) {
+      // External queries have no own-cluster guarantee, so screening may
+      // empty the shortlist; callers already treat an empty shortlist as
+      // "fall back to the exhaustive scan".
+      query_sketch_.resize(sketches_.words());
+      PackSketchBits(query_signature_.data(), sketches_.width(),
+                     query_sketch_.data());
+      uint64_t pruned = 0;
+      index_->VisitCandidatesOfSignature(
+          query_signature_, [&](uint32_t other) {
+            const uint32_t cluster = assignment[other];
+            if (scratch_.cluster_stamp[cluster] == scratch_.epoch) return;
+            if (sketches_.HammingTo(query_sketch_.data(), other) <=
+                sketch_max_hamming_) {
+              scratch_.cluster_stamp[cluster] = scratch_.epoch;
+              out->push_back(cluster);
+              if (scratch_.pruned_stamp[cluster] == scratch_.epoch) --pruned;
+            } else if (scratch_.pruned_stamp[cluster] != scratch_.epoch) {
+              scratch_.pruned_stamp[cluster] = scratch_.epoch;
+              ++pruned;
+            }
+          });
+      scratch_.last_pruned = pruned;
+      return;
+    }
     index_->VisitCandidatesOfSignature(query_signature_, [&](uint32_t other) {
       const uint32_t cluster = assignment[other];
       if (scratch_.cluster_stamp[cluster] != scratch_.epoch) {
@@ -308,6 +403,7 @@ class ShortlistProvider {
         out->push_back(cluster);
       }
     });
+    scratch_.last_pruned = 0;
   }
 
   /// Historical name of the categorical external query: candidates for a
@@ -329,6 +425,24 @@ class ShortlistProvider {
   /// The underlying banding index (null before Prepare).
   const BandedIndex* index() const { return index_.get(); }
 
+  /// The packed bit-sketch table (empty unless the family's sketch
+  /// prefilter is enabled and Prepare has run).
+  const BitSketchTable& sketches() const { return sketches_; }
+
+  /// True when shortlist queries screen candidates against bit sketches.
+  bool sketch_enabled() const { return !sketches_.empty(); }
+
+  /// The screening threshold: candidates whose sketch Hamming distance to
+  /// the query exceeds this are dropped. Meaningful only when
+  /// sketch_enabled().
+  uint64_t sketch_max_hamming() const { return sketch_max_hamming_; }
+
+  /// Heap footprint of the sketch table alone (0 when disabled) — the
+  /// memory cost of enabling the prefilter, surfaced through IndexHandle.
+  uint64_t SketchMemoryUsageBytes() const {
+    return sketches_.MemoryUsageBytes();
+  }
+
   /// Occupancy statistics of the underlying index.
   BandedIndex::Stats IndexStats() const {
     LSHC_CHECK(index_ != nullptr) << "Prepare() must run before IndexStats";
@@ -341,7 +455,10 @@ class ShortlistProvider {
     if (index_ != nullptr) bytes += index_->MemoryUsageBytes();
     bytes += signatures_.size() * sizeof(uint64_t);
     bytes += scratch_.cluster_stamp.size() * sizeof(uint32_t);
+    bytes += scratch_.pruned_stamp.size() * sizeof(uint32_t);
     bytes += query_signature_.capacity() * sizeof(uint64_t);
+    bytes += query_sketch_.capacity() * sizeof(uint64_t);
+    bytes += sketches_.MemoryUsageBytes();
     bytes += family_.MemoryUsageBytes();
     return bytes;
   }
@@ -359,12 +476,25 @@ class ShortlistProvider {
   uint64_t dataset_sign_passes() const { return dataset_sign_passes_; }
 
  private:
+  /// The family's sketch configuration, when it has one ({} = disabled for
+  /// families predating the prefilter).
+  SketchPrefilterOptions SketchOptions() const {
+    if constexpr (requires { family_.sketch_options(); }) {
+      return family_.sketch_options();
+    } else {
+      return {};
+    }
+  }
+
   Family family_;
   uint32_t num_clusters_;
   std::unique_ptr<BandedIndex> index_;
   std::vector<uint64_t> signatures_;  // kept only if family says so
   Scratch scratch_;                   // for the sequential overloads
   std::vector<uint64_t> query_signature_;  // GetCandidatesForQuery buffer
+  std::vector<uint64_t> query_sketch_;     // its packed sketch twin
+  BitSketchTable sketches_;           // empty unless the prefilter is on
+  uint64_t sketch_max_hamming_ = 0;
 
   double signature_seconds_ = 0;
   double index_seconds_ = 0;

@@ -2,7 +2,17 @@
 
 #include <algorithm>
 
+#include "simd/dispatch.h"
+
 namespace lshclust {
+
+namespace {
+
+/// Tokens are base-hashed through the dispatched mix64_batch kernel in
+/// fixed-size chunks so signing large token sets never allocates.
+constexpr uint32_t kTokenChunk = 128;
+
+}  // namespace
 
 MinHasher::MinHasher(uint32_t num_hashes, uint64_t seed, MinHashMode mode)
     : num_hashes_(num_hashes), mode_(mode) {
@@ -24,15 +34,22 @@ void MinHasher::ComputeSignature(std::span<const uint32_t> tokens,
   if (tokens.empty()) return;
 
   if (mode_ == MinHashMode::kDoubleHashing) {
-    for (const uint32_t token : tokens) {
-      // Two independent base hashes per token; component i derives from
-      // g1 + i*g2 (Kirsch-Mitzenmacher), so cost per token is O(n) adds.
-      const uint64_t g1 = Mix64(token ^ seed1_);
-      uint64_t h = Mix64(token ^ seed2_);
-      const uint64_t step = g1 | 1ULL;  // odd step visits all residues
-      for (uint32_t i = 0; i < num_hashes_; ++i) {
-        if (h < out[i]) out[i] = h;
-        h += step;
+    // Two independent base hashes per token; component i derives from
+    // h + i*step (Kirsch-Mitzenmacher), so cost per token is O(n) adds.
+    // The base hashes are batched through mix64_batch and each token's
+    // min-scan runs in the dispatched minhash_scan kernel; both are
+    // bit-identical to the scalar per-token loop.
+    const simd::KernelTable& kernels = simd::ActiveKernels();
+    uint64_t g1[kTokenChunk];
+    uint64_t g2[kTokenChunk];
+    for (size_t begin = 0; begin < tokens.size(); begin += kTokenChunk) {
+      const uint32_t count = static_cast<uint32_t>(
+          std::min<size_t>(kTokenChunk, tokens.size() - begin));
+      kernels.mix64_batch(tokens.data() + begin, count, seed1_, g1);
+      kernels.mix64_batch(tokens.data() + begin, count, seed2_, g2);
+      for (uint32_t t = 0; t < count; ++t) {
+        const uint64_t step = g1[t] | 1ULL;  // odd step visits all residues
+        kernels.minhash_scan(out, num_hashes_, g2[t], step);
       }
     }
   } else {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "hashing/minhash.h"
+#include "simd/dispatch.h"
 
 namespace lshclust {
 
@@ -21,12 +22,22 @@ void OnePermutationMinHasher::ComputeSignature(
   if (tokens.empty()) return;
 
   // One strong hash per token; the top bits select the bin, the full value
-  // is the candidate minimum within the bin.
-  for (const uint32_t token : tokens) {
-    const uint64_t h = Mix64(token ^ seed_);
-    const uint32_t bin = static_cast<uint32_t>(
-        (static_cast<__uint128_t>(h) * num_bins_) >> 64);
-    if (h < out[bin]) out[bin] = h;
+  // is the candidate minimum within the bin. Hashing is batched through the
+  // dispatched mix64_batch kernel in fixed-size chunks (no allocation); the
+  // bin scatter stays scalar — its stores are data-dependent.
+  const simd::KernelTable& kernels = simd::ActiveKernels();
+  constexpr uint32_t kTokenChunk = 128;
+  uint64_t hashes[kTokenChunk];
+  for (size_t begin = 0; begin < tokens.size(); begin += kTokenChunk) {
+    const uint32_t count = static_cast<uint32_t>(
+        std::min<size_t>(kTokenChunk, tokens.size() - begin));
+    kernels.mix64_batch(tokens.data() + begin, count, seed_, hashes);
+    for (uint32_t t = 0; t < count; ++t) {
+      const uint64_t h = hashes[t];
+      const uint32_t bin = static_cast<uint32_t>(
+          (static_cast<__uint128_t>(h) * num_bins_) >> 64);
+      if (h < out[bin]) out[bin] = h;
+    }
   }
 
   // Optimal densification: every empty bin borrows the value of a

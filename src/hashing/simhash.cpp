@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "simd/dispatch.h"
+
 namespace lshclust {
 
 SimHasher::SimHasher(uint32_t num_bits, uint32_t dimensions, uint64_t seed)
@@ -19,12 +21,13 @@ void SimHasher::ComputeSignature(std::span<const double> vec,
                                  uint64_t* out) const {
   LSHC_CHECK_EQ(vec.size(), static_cast<size_t>(dimensions_))
       << "input vector dimensionality mismatch";
+  // One dispatched dot product per hyperplane. The kernel's fixed blocked
+  // reduction order is part of the output contract: the sign of a
+  // near-zero dot must not depend on the active SIMD tier.
+  const simd::KernelTable& kernels = simd::ActiveKernels();
   for (uint32_t bit = 0; bit < num_bits_; ++bit) {
     const double* row = &hyperplanes_[static_cast<size_t>(bit) * dimensions_];
-    double dot = 0.0;
-    for (uint32_t d = 0; d < dimensions_; ++d) {
-      dot += row[d] * vec[d];
-    }
+    const double dot = kernels.dot(row, vec.data(), dimensions_);
     out[bit] = dot >= 0.0 ? 1 : 0;
   }
 }

@@ -1,0 +1,151 @@
+#pragma once
+
+/// \file bit_sketch.h
+/// \brief Packed per-item bit sketches for popcount-Hamming prescreening of
+/// shortlist candidates.
+///
+/// A sketch is one bit per signature component — the component's low bit —
+/// packed into ceil(width/64) words. Because it is derived from the band
+/// hashes the index already computed, signing stays a single pass: Prepare
+/// packs the sketch table from the same signature matrix it indexes.
+///
+/// For MinHash components the low bit of the minimum is an unbiased
+/// pairwise-independent bit: two sets with Jaccard similarity s agree on a
+/// component with probability s and otherwise hold independent uniform
+/// bits, so P(bit match) = s + (1-s)/2 = (1+s)/2 and the expected Hamming
+/// distance is width * (1-s)/2. For SimHash components the value *is* the
+/// hyperplane bit, so the Hamming distance estimates the angle directly.
+/// Either way a candidate whose sketch distance exceeds a conservative
+/// threshold is almost certainly too dissimilar to win the assignment, and
+/// can be dropped before the exact distance kernel runs — the
+/// `exact_distances_{evaluated,pruned}` counters quantify the effect.
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "simd/dispatch.h"
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace lshclust {
+
+/// \brief Configuration of the shortlist sketch prefilter. Off by default:
+/// screening can in principle drop a cluster that would have won the
+/// assignment, so enabling it trades exact per-pass argmin fidelity for
+/// fewer exact distance evaluations (in practice, at the default threshold,
+/// assignments come out identical — tests pin representative workloads).
+struct SketchPrefilterOptions {
+  /// Master switch. When false no sketch table is built and queries run
+  /// unscreened.
+  bool enabled = false;
+
+  /// A candidate survives iff its sketch Hamming distance to the query is
+  /// <= floor(max_hamming_fraction * width). At 0.5 an unrelated pair
+  /// (expected fraction 0.5) is borderline; the default sits just below
+  /// that so only candidates measurably *less* similar than random are
+  /// dropped — conservative by construction.
+  double max_hamming_fraction = 0.45;
+};
+
+/// Validates prefilter options as a returned Status; `what` names the
+/// option group in the message (e.g. "minhash.sketch").
+inline Status ValidateSketchPrefilter(const SketchPrefilterOptions& options,
+                                      const char* what) {
+  if (!(options.max_hamming_fraction >= 0.0 &&
+        options.max_hamming_fraction <= 1.0)) {
+    return Status::InvalidArgument(
+        std::string(what) + ".max_hamming_fraction must be in [0, 1], got " +
+        std::to_string(options.max_hamming_fraction));
+  }
+  return Status::OK();
+}
+
+/// Packs the low bit of each of `width` signature components into
+/// `words` = ceil(width/64) output words (zero-padded tail).
+inline void PackSketchBits(const uint64_t* signature, uint32_t width,
+                           uint64_t* out) {
+  const uint32_t words = (width + 63) / 64;
+  std::fill(out, out + words, 0ULL);
+  for (uint32_t j = 0; j < width; ++j) {
+    out[j / 64] |= (signature[j] & 1ULL) << (j % 64);
+  }
+}
+
+/// \brief The per-item sketch table: a dense n x words bit matrix packed
+/// row-major, built from a signature matrix in one pass and appendable one
+/// row at a time (the streaming ingest path).
+class BitSketchTable {
+ public:
+  BitSketchTable() = default;
+
+  /// Resets the table to hold sketches of `width`-component signatures.
+  void Reset(uint32_t width) {
+    LSHC_DCHECK(width >= 1) << "sketch width must be positive";
+    width_ = width;
+    words_ = (width + 63) / 64;
+    bits_.clear();
+    num_items_ = 0;
+  }
+
+  /// Resets and packs all rows of a row-major n x width signature matrix.
+  void Build(std::span<const uint64_t> signatures, uint32_t num_items,
+             uint32_t width) {
+    Reset(width);
+    LSHC_DCHECK(signatures.size() ==
+                static_cast<size_t>(num_items) * width)
+        << "signature matrix shape mismatch";
+    bits_.resize(static_cast<size_t>(num_items) * words_);
+    for (uint32_t i = 0; i < num_items; ++i) {
+      PackSketchBits(signatures.data() + static_cast<size_t>(i) * width,
+                     width_, bits_.data() + static_cast<size_t>(i) * words_);
+    }
+    num_items_ = num_items;
+  }
+
+  /// Appends one item's sketch from its signature (length width()).
+  void Append(std::span<const uint64_t> signature) {
+    LSHC_DCHECK(signature.size() == width_) << "signature width mismatch";
+    bits_.resize(bits_.size() + words_);
+    PackSketchBits(signature.data(), width_,
+                   bits_.data() + bits_.size() - words_);
+    ++num_items_;
+  }
+
+  /// The packed sketch of one item (words() words).
+  const uint64_t* Row(uint32_t item) const {
+    LSHC_DCHECK(item < num_items_) << "item index out of range";
+    return bits_.data() + static_cast<size_t>(item) * words_;
+  }
+
+  /// Hamming distance between an external packed sketch (words() words)
+  /// and an item's sketch, through the dispatched popcount kernel.
+  uint64_t HammingTo(const uint64_t* sketch, uint32_t item) const {
+    return simd::ActiveKernels().hamming_words(sketch, Row(item), words_);
+  }
+
+  uint32_t width() const { return width_; }
+  uint32_t words() const { return words_; }
+  uint32_t num_items() const { return num_items_; }
+  bool empty() const { return num_items_ == 0; }
+
+  /// Approximate heap footprint of the packed table in bytes.
+  uint64_t MemoryUsageBytes() const {
+    return bits_.capacity() * sizeof(uint64_t);
+  }
+
+ private:
+  uint32_t width_ = 0;
+  uint32_t words_ = 0;
+  uint32_t num_items_ = 0;
+  std::vector<uint64_t> bits_;
+};
+
+/// The survival threshold of a sketch screen over `width`-bit sketches.
+inline uint64_t SketchHammingThreshold(const SketchPrefilterOptions& options,
+                                       uint32_t width) {
+  return static_cast<uint64_t>(options.max_hamming_fraction * width);
+}
+
+}  // namespace lshclust

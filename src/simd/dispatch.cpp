@@ -1,0 +1,95 @@
+#include "simd/dispatch.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace lshclust::simd {
+namespace internal {
+
+namespace {
+
+const TierInfo kTiers[] = {
+    {SimdTier::kScalar, "scalar", &kScalarKernels},
+    {SimdTier::kSse42, "sse42", &kSse42Kernels},
+    {SimdTier::kAvx2, "avx2", &kAvx2Kernels},
+};
+
+const TierInfo& InfoOf(SimdTier tier) {
+  return kTiers[static_cast<int>(tier)];
+}
+
+/// The tier requested by LSHCLUST_SIMD_TIER, or the best supported tier.
+/// An unknown value or an unsupported request falls back to detection, so
+/// a stale environment can never select kernels the host cannot run.
+const TierInfo& DetectTier() {
+  if (const char* env = std::getenv("LSHCLUST_SIMD_TIER")) {
+    for (const TierInfo& info : kTiers) {
+      if (std::strcmp(env, info.name) == 0 && TierSupported(info.tier)) {
+        return info;
+      }
+    }
+  }
+  if (TierSupported(SimdTier::kAvx2)) return InfoOf(SimdTier::kAvx2);
+  if (TierSupported(SimdTier::kSse42)) return InfoOf(SimdTier::kSse42);
+  return InfoOf(SimdTier::kScalar);
+}
+
+}  // namespace
+
+std::atomic<const TierInfo*> g_active_tier{nullptr};
+
+const TierInfo& ResolveActiveTier() {
+  const TierInfo& detected = DetectTier();
+  // Losing a race just re-publishes an identical detection result.
+  g_active_tier.store(&detected, std::memory_order_release);
+  return detected;
+}
+
+}  // namespace internal
+
+const char* TierName(SimdTier tier) {
+  return internal::InfoOf(tier).name;
+}
+
+bool TierSupported(SimdTier tier) {
+#if defined(__x86_64__) || defined(__i386__)
+  switch (tier) {
+    case SimdTier::kScalar:
+      return true;
+    case SimdTier::kSse42:
+      return __builtin_cpu_supports("sse4.2") &&
+             __builtin_cpu_supports("popcnt");
+    case SimdTier::kAvx2:
+      return __builtin_cpu_supports("avx2") &&
+             __builtin_cpu_supports("popcnt");
+  }
+  return false;
+#else
+  return tier == SimdTier::kScalar;
+#endif
+}
+
+bool ForceSimdTier(SimdTier tier) {
+  if (!TierSupported(tier)) return false;
+  internal::g_active_tier.store(&internal::InfoOf(tier),
+                                std::memory_order_release);
+  return true;
+}
+
+std::string CpuFeatureString() {
+  std::string features;
+  const auto append = [&features](const char* name) {
+    if (!features.empty()) features += ',';
+    features += name;
+  };
+#if defined(__x86_64__) || defined(__i386__)
+  if (__builtin_cpu_supports("sse4.2")) append("sse4.2");
+  if (__builtin_cpu_supports("popcnt")) append("popcnt");
+  if (__builtin_cpu_supports("avx2")) append("avx2");
+  if (__builtin_cpu_supports("avx512f")) append("avx512f");
+#endif
+  if (features.empty()) features = "baseline";
+  return features;
+}
+
+}  // namespace lshclust::simd

@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file dispatch.h
+/// \brief Runtime CPU dispatch for the SIMD kernel tiers.
+///
+/// The active tier is resolved once, on first use: the best tier the host
+/// CPU supports, unless the `LSHCLUST_SIMD_TIER` environment variable
+/// (values `scalar`, `sse42`, `avx2`) requests a specific one. Tests and
+/// benchmarks can also switch tiers programmatically with `ForceSimdTier`.
+/// Resolution and forcing are thread-safe; hot paths read the table through
+/// one relaxed atomic load, so callers in tight loops should hoist
+/// `const KernelTable& k = simd::ActiveKernels();` out of the loop.
+///
+/// Tier changes are NOT synchronized with concurrent kernel users — force a
+/// tier before spawning worker threads (in practice: in test/bench setup).
+/// Because every kernel is bit-identical across tiers, a mid-run switch
+/// would be a benign race for results, but don't rely on that.
+
+#include <atomic>
+#include <string>
+
+#include "simd/kernel_table.h"
+
+namespace lshclust::simd {
+
+/// The dispatch tiers, weakest first. Each tier strictly requires the
+/// previous one's ISA plus its own.
+enum class SimdTier {
+  kScalar = 0,  ///< baseline ISA only; runs anywhere
+  kSse42 = 1,   ///< SSE4.2 + POPCNT
+  kAvx2 = 2,    ///< AVX2 + POPCNT
+};
+
+namespace internal {
+
+/// A resolved tier: identity plus its kernel table. The pointed-to entries
+/// are immutable statics in dispatch.cpp, so publishing the pointer is all
+/// the synchronization a reader needs.
+struct TierInfo {
+  SimdTier tier;
+  const char* name;
+  const KernelTable* kernels;
+};
+
+extern std::atomic<const TierInfo*> g_active_tier;
+
+/// Detects the best supported tier (honouring LSHCLUST_SIMD_TIER), publishes
+/// it, and returns it. Idempotent; safe to race.
+const TierInfo& ResolveActiveTier();
+
+inline const TierInfo& ActiveTierInfo() {
+  const TierInfo* info = g_active_tier.load(std::memory_order_acquire);
+  return info != nullptr ? *info : ResolveActiveTier();
+}
+
+}  // namespace internal
+
+/// The kernel table of the active tier.
+inline const KernelTable& ActiveKernels() {
+  return *internal::ActiveTierInfo().kernels;
+}
+
+/// The active tier.
+inline SimdTier ActiveTier() { return internal::ActiveTierInfo().tier; }
+
+/// Stable lower-case name of a tier: "scalar", "sse42", "avx2".
+const char* TierName(SimdTier tier);
+
+/// True iff the host CPU can execute `tier`'s kernels.
+bool TierSupported(SimdTier tier);
+
+/// Forces the active tier (test/bench hook; also how the `LSHCLUST_SIMD_TIER`
+/// override is applied). Returns false — leaving the active tier unchanged —
+/// if the host does not support `tier`. Not synchronized with concurrent
+/// kernel users; call before spawning workers.
+bool ForceSimdTier(SimdTier tier);
+
+/// Comma-separated list of the kernel-relevant features the host CPU
+/// reports (e.g. "sse4.2,popcnt,avx2"), independent of the active tier.
+std::string CpuFeatureString();
+
+}  // namespace lshclust::simd
