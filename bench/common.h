@@ -18,10 +18,12 @@
 /// series (time/iteration, avg shortlist, moves, totals, purity) the paper
 /// plots, printed by core/reporters.h.
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -33,6 +35,24 @@
 #include "util/logging.h"
 
 namespace lshclust::bench {
+
+/// \brief The `q`-quantile (q in [0, 1]) of `values`, by linear
+/// interpolation between closest ranks — the definition numpy calls
+/// "linear", so p50 of {1,2,3,4} is 2.5, not either neighbour. The input
+/// need not be sorted (a sorted copy is made; this is bench-path code).
+/// Returns 0.0 for an empty span; q is clamped to [0, 1].
+inline double Percentile(std::span<const double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (q <= 0.0) return sorted.front();
+  if (q >= 1.0) return sorted.back();
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
 
 /// \brief Collects flat key/value records and writes them as a JSON array
 /// of objects — the machine-readable twin of the printed tables, so perf

@@ -1,0 +1,257 @@
+/// \file serving_qps.cpp
+/// \brief Multi-threaded routed-Predict throughput of the serving layer.
+///
+/// N reader threads hammer FrozenModel::RouteInto against a ModelServer
+/// while a writer keeps ingesting rows into a live StreamingSession and
+/// re-publishing fresh snapshots — the serving layer's intended
+/// deployment shape. Per reader count the driver reports total QPS,
+/// per-query latency percentiles (p50/p95/p99, measured per routed batch
+/// and divided by the batch size), and the writer's snapshot+publish
+/// stall distribution; `--json` (default BENCH_serving.json) writes the
+/// records through JsonBenchWriter, tier-stamped like every other bench.
+///
+///   --readers=<csv>  reader-thread counts to sweep (default "1,2,4")
+///   --seconds=<s>    measurement window per reader count (default 2)
+///   --batch=<n>      queries per RouteInto call (default 64; Acquire is
+///                    amortized once per batch — the steady-state pattern)
+///   --publish-rows=<n>  writer re-publishes after this many ingested rows
+///   --smoke          CI mode: 2 readers x 1 second, nothing else
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/clusterer.h"
+#include "bench/common.h"
+#include "datagen/conjunctive_generator.h"
+#include "serving/frozen_model.h"
+#include "serving/model_server.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace lshclust::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct ReaderStats {
+  uint64_t queries = 0;
+  uint64_t swaps_observed = 0;  // version changes seen by this reader
+  std::vector<double> batch_micros;
+};
+
+int Run(int argc, char** argv) {
+  DriverOptions driver;
+  driver.json = "BENCH_serving.json";
+  std::string readers_csv = "1,2,4";
+  double seconds = 2.0;
+  int64_t batch = 64;
+  int64_t publish_rows = 2000;
+  bool smoke = false;
+
+  FlagSet flags("serving_qps");
+  driver.Register(&flags);
+  flags.AddString("readers", &readers_csv,
+                  "comma-separated reader-thread counts to sweep");
+  flags.AddDouble("seconds", &seconds,
+                  "measurement window per reader count");
+  flags.AddInt64("batch", &batch, "queries per RouteInto call");
+  flags.AddInt64("publish-rows", &publish_rows,
+                 "writer re-publishes after this many ingested rows");
+  flags.AddBool("smoke", &smoke, "CI smoke mode: 2 readers x 1 second");
+  if (!driver.Parse(&flags, argc, argv)) return 0;
+  LSHC_CHECK(seconds > 0.0) << "--seconds must be positive";
+  LSHC_CHECK(batch > 0) << "--batch must be positive";
+  LSHC_CHECK(publish_rows > 0) << "--publish-rows must be positive";
+
+  std::vector<uint32_t> reader_counts;
+  if (smoke) {
+    seconds = 1.0;
+    reader_counts = {2};
+  } else {
+    for (const std::string& token : Split(readers_csv, ',')) {
+      reader_counts.push_back(
+          static_cast<uint32_t>(std::strtoul(token.c_str(), nullptr, 10)));
+      LSHC_CHECK(reader_counts.back() > 0)
+          << "--readers entries must be positive, got '" << token << "'";
+    }
+  }
+
+  // The paper's synthetic shape at driver scale: warmup bootstraps the
+  // session, the rest is the writer's endless ingest pool, and a slice is
+  // the readers' query batch.
+  const ConjunctiveDataOptions data = driver.ScaledData(90000, 10, 200);
+  std::printf("serving_qps: generating %u items x %u attrs (%u clusters)\n",
+              data.num_items, data.num_attributes, data.num_clusters);
+  const CategoricalDataset all =
+      GenerateConjunctiveRuleData(data).ValueOrDie();
+  const uint32_t m = all.num_attributes();
+  const uint32_t warmup_items = all.num_items() / 2;
+  const uint32_t batch_items = static_cast<uint32_t>(batch);
+  LSHC_CHECK(warmup_items > batch_items) << "dataset too small for --batch";
+
+  auto warmup =
+      CategoricalDataset::FromCodes(
+          warmup_items, m, all.num_codes(),
+          {all.codes().begin(),
+           all.codes().begin() + static_cast<size_t>(warmup_items) * m})
+          .ValueOrDie();
+  auto queries =
+      CategoricalDataset::FromCodes(
+          batch_items, m, all.num_codes(),
+          {all.codes().begin(),
+           all.codes().begin() + static_cast<size_t>(batch_items) * m})
+          .ValueOrDie();
+
+  JsonBenchWriter writer;
+  for (const uint32_t num_readers : reader_counts) {
+    // A fresh session and server per sweep point so every reader count
+    // sees the same starting state.
+    ClustererSpec spec;
+    spec.modality = Modality::kCategorical;
+    spec.accelerator = Accelerator::kMinHash;
+    spec.engine.num_clusters = data.num_clusters;
+    spec.engine.max_iterations = 3;
+    spec.engine.seed = static_cast<uint64_t>(driver.seed);
+    spec.minhash.banding = {8, 2};
+    auto clusterer = Clusterer::Create(spec);
+    LSHC_CHECK_OK(clusterer.status());
+
+    serving::ModelServer server;
+    StreamingSessionOptions session_options;
+    auto session = clusterer->MakeStreamingSession(warmup, session_options);
+    LSHC_CHECK_OK(session.status());
+    // Initial publish so readers never see an empty server; subsequent
+    // publishes are timed by the writer loop below.
+    server.Publish(*session->Snapshot());
+
+    std::atomic<bool> stop{false};
+    std::vector<ReaderStats> stats(num_readers);
+    std::vector<std::thread> readers;
+    readers.reserve(num_readers);
+    for (uint32_t r = 0; r < num_readers; ++r) {
+      readers.emplace_back([&, r] {
+        ReaderStats& local = stats[r];
+        serving::ModelServer::Reader reader(server);
+        std::unique_ptr<serving::FrozenModel::RouteScratch> scratch;
+        std::vector<uint32_t> out(queries.num_items());
+        uint64_t last_version = 0;
+        while (!stop.load(std::memory_order_acquire)) {
+          // The steady-state reader pattern: Reader::Current is one atomic
+          // version load per batch (it refreshes under the slot mutex only
+          // when a swap landed), the scratch is reusable, and RouteInto
+          // takes zero locks and does zero allocation.
+          const std::shared_ptr<const serving::FrozenModel>& model =
+              reader.Current();
+          if (scratch == nullptr) scratch = model->MakeScratch();
+          const uint64_t version = model->version();
+          if (version != last_version) {
+            ++local.swaps_observed;
+            last_version = version;
+          }
+          const Clock::time_point begin = Clock::now();
+          LSHC_CHECK_OK(model->RouteInto(queries, *scratch, out));
+          local.batch_micros.push_back(SecondsSince(begin) * 1e6);
+          local.queries += out.size();
+        }
+      });
+    }
+
+    // Writer: live ingest in chunks, re-snapshot + publish every
+    // `publish_rows` rows, timing each snapshot+publish stall.
+    uint64_t ingested = 0;
+    uint64_t publishes = 0;
+    std::vector<double> publish_millis;
+    const uint32_t chunk_rows = 256;
+    uint32_t cursor = warmup_items;
+    uint64_t rows_since_publish = 0;
+    const Clock::time_point start = Clock::now();
+    while (SecondsSince(start) < seconds) {
+      if (cursor + chunk_rows > all.num_items()) cursor = warmup_items;
+      const std::span<const uint32_t> rows(
+          all.codes().data() + static_cast<size_t>(cursor) * m,
+          static_cast<size_t>(chunk_rows) * m);
+      LSHC_CHECK_OK(session->IngestBatch(rows).status());
+      cursor += chunk_rows;
+      ingested += chunk_rows;
+      rows_since_publish += chunk_rows;
+      if (rows_since_publish >= static_cast<uint64_t>(publish_rows)) {
+        rows_since_publish = 0;
+        const Clock::time_point begin = Clock::now();
+        auto snapshot = session->Snapshot();
+        LSHC_CHECK_OK(snapshot.status());
+        server.Publish(*std::move(snapshot));
+        publish_millis.push_back(SecondsSince(begin) * 1e3);
+        ++publishes;
+      }
+    }
+    const double elapsed = SecondsSince(start);
+    stop.store(true, std::memory_order_release);
+    for (std::thread& reader : readers) reader.join();
+
+    uint64_t total_queries = 0;
+    uint64_t total_swaps = 0;
+    std::vector<double> per_query_micros;
+    for (const ReaderStats& local : stats) {
+      total_queries += local.queries;
+      total_swaps += local.swaps_observed;
+      for (const double micros : local.batch_micros) {
+        per_query_micros.push_back(micros /
+                                   static_cast<double>(batch_items));
+      }
+    }
+    const double qps = static_cast<double>(total_queries) / elapsed;
+    const double p50 = Percentile(per_query_micros, 0.50);
+    const double p95 = Percentile(per_query_micros, 0.95);
+    const double p99 = Percentile(per_query_micros, 0.99);
+    std::printf(
+        "readers=%u  qps=%.0f  p50=%.2fus  p95=%.2fus  p99=%.2fus  "
+        "ingested=%llu  publishes=%llu  publish_p50=%.2fms  "
+        "publish_max=%.2fms  swaps_seen=%llu\n",
+        num_readers, qps, p50, p95, p99,
+        static_cast<unsigned long long>(ingested),
+        static_cast<unsigned long long>(publishes),
+        Percentile(publish_millis, 0.50), Percentile(publish_millis, 1.0),
+        static_cast<unsigned long long>(total_swaps));
+
+    writer.BeginRecord();
+    writer.Add("bench", "serving_qps");
+    writer.Add("readers", num_readers);
+    writer.Add("seconds", elapsed);
+    writer.Add("batch", static_cast<uint64_t>(batch_items));
+    writer.Add("items", data.num_items);
+    writer.Add("clusters", data.num_clusters);
+    writer.Add("total_queries", total_queries);
+    writer.Add("qps", qps);
+    writer.Add("route_p50_us", p50);
+    writer.Add("route_p95_us", p95);
+    writer.Add("route_p99_us", p99);
+    writer.Add("ingested_rows", ingested);
+    writer.Add("publishes", publishes);
+    writer.Add("publish_p50_ms", Percentile(publish_millis, 0.50));
+    writer.Add("publish_p95_ms", Percentile(publish_millis, 0.95));
+    writer.Add("publish_max_ms", Percentile(publish_millis, 1.0));
+    writer.Add("swaps_observed", total_swaps);
+  }
+
+  if (!driver.json.empty()) writer.WriteFile(driver.json);
+  return 0;
+}
+
+}  // namespace
+}  // namespace lshclust::bench
+
+int main(int argc, char** argv) {
+  return lshclust::bench::Run(argc, argv);
+}

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <optional>
 #include <utility>
 
+#include "serving/frozen_model_impl.h"
+#include "serving/routing.h"
 #include "shard/shard_executor.h"
 #include "shard/shard_plan.h"
 #include "util/macros.h"
@@ -244,31 +247,21 @@ std::vector<uint32_t> AssignNearest(const typename Traits::Dataset& dataset,
   return assignment;
 }
 
-/// Per-worker scratch of a routed-predict pass: epoch-stamped cluster
-/// dedup, the query-signature buffer, and family-specific signing scratch
-/// (token list for MinHash, centered vector for the mixed family) — one
-/// per worker, so the hot loop never allocates.
-struct RoutedScratch {
-  ClusterDedupScratch dedup;
-  std::vector<uint64_t> signature;
-  std::vector<uint64_t> query_sketch;
-  std::vector<uint32_t> shortlist;
-  std::vector<uint32_t> tokens;
-  std::vector<double> centered;
-};
+/// The per-worker scratch and per-item routing kernel live in
+/// serving/routing.h, shared with FrozenModel::Route so the serving
+/// layer's snapshots are bit-identical to PredictRouted by construction.
+using RoutedScratch = serving::RoutedScratch;
 
 /// Routed nearest-centroid assignment through a retained fit-time index:
 /// per item, sign the query (`sign_query(dataset, item, scratch)` fills
-/// scratch.signature), probe the fit-time buckets, dereference candidate
-/// clusters through the fitted assignment, and take the nearest candidate
-/// — with the exhaustive kernel as the fallback for an empty probe.
-/// Candidates are scanned in ascending cluster-id order with strict
-/// improvement, which is the exhaustive scan's lowest-id tie-breaking:
-/// a probe containing the true argmin yields exactly Predict's answer.
-/// Shard-chunked through the same ShardPlan the engine uses; per-item
-/// work is pure, so every (threads x shards) setting is bit-identical,
-/// and like AssignNearest the pool is spawned per call so small arrival
-/// batches stay sequential.
+/// scratch.signature) and hand it to the shared routing kernel — probe
+/// the fit-time buckets, sketch-screen, dereference candidate clusters
+/// through the fitted assignment, take the nearest candidate, exhaustive
+/// fallback on an empty probe (see serving::RouteSignedQuery for the
+/// tie-breaking contract). Shard-chunked through the same ShardPlan the
+/// engine uses; per-item work is pure, so every (threads x shards)
+/// setting is bit-identical, and like AssignNearest the pool is spawned
+/// per call so small arrival batches stay sequential.
 template <typename Traits, typename Provider, typename SignQueryFn>
 std::vector<uint32_t> AssignRouted(const typename Traits::Dataset& dataset,
                                    const typename Traits::Centroids& model,
@@ -280,76 +273,34 @@ std::vector<uint32_t> AssignRouted(const typename Traits::Dataset& dataset,
   const uint32_t k = options.num_clusters;
   const BandedIndex& index = *provider.index();
   // Sketch prefilter (when the retained index was fitted with it on):
-  // screen each candidate peer's packed sketch against the query's before
-  // its cluster enters the shortlist. A screened-out shortlist that comes
-  // up empty falls through to the exhaustive kernel below, so screening
-  // never leaves a query unanswered.
+  // the kernel screens each candidate peer's packed sketch against the
+  // query's before its cluster enters the shortlist. A screened-out
+  // shortlist that comes up empty falls through to the exhaustive
+  // kernel, so screening never leaves a query unanswered.
   const bool sketch_on = provider.sketch_enabled();
-  const uint64_t sketch_max_hamming = provider.sketch_max_hamming();
+  serving::RoutedStateView view;
+  view.index = &index;
+  view.fit_assignment = fit_assignment;
+  view.sketches = &provider.sketches();
+  view.sketch_on = sketch_on;
+  view.sketch_max_hamming = provider.sketch_max_hamming();
   std::vector<uint32_t> assignment(n, 0);
 
   const auto route_range = [&](uint32_t begin, uint32_t end,
                                RoutedScratch& scratch) {
     for (uint32_t item = begin; item < end; ++item) {
       sign_query(dataset, item, scratch);
-      if (sketch_on) {
-        PackSketchBits(scratch.signature.data(), index.signature_width(),
-                       scratch.query_sketch.data());
-      }
-      scratch.shortlist.clear();
-      BumpDedupEpoch(scratch.dedup);
-      index.VisitCandidatesOfSignature(
-          scratch.signature, [&](uint32_t other) {
-            const uint32_t cluster = fit_assignment[other];
-            if (scratch.dedup.cluster_stamp[cluster] == scratch.dedup.epoch) {
-              return;
-            }
-            if (sketch_on &&
-                provider.sketches().HammingTo(scratch.query_sketch.data(),
-                                              other) > sketch_max_hamming) {
-              return;
-            }
-            scratch.dedup.cluster_stamp[cluster] = scratch.dedup.epoch;
-            scratch.shortlist.push_back(cluster);
-          });
-      if (scratch.shortlist.empty()) {
-        // External queries, unlike fitted items, share no bucket with
-        // themselves, so an empty probe is possible: fall back to the
-        // exhaustive kernel Predict uses, same seed, same tie-breaking.
-        assignment[item] = BestClusterExhaustive<Traits, /*EarlyExit=*/true>(
-            dataset, model, options, item, /*seed_cluster=*/0, k);
-        continue;
-      }
-      std::sort(scratch.shortlist.begin(), scratch.shortlist.end());
-      uint32_t best_cluster = scratch.shortlist.front();
-      typename Traits::DistanceType best_distance =
-          Traits::template ComputeDistance<false>(dataset, model, options,
-                                                  item, best_cluster,
-                                                  Traits::kInfiniteDistance);
-      for (size_t i = 1; i < scratch.shortlist.size(); ++i) {
-        const uint32_t cluster = scratch.shortlist[i];
-        const typename Traits::DistanceType distance =
-            Traits::template ComputeDistance<true>(
-                dataset, model, options, item, cluster, best_distance);
-        if (distance < best_distance) {
-          best_distance = distance;
-          best_cluster = cluster;
-        }
-      }
-      assignment[item] = best_cluster;
+      assignment[item] = serving::RouteSignedQuery<Traits>(
+          dataset, model, options, view, item, scratch);
     }
   };
 
   const ShardPlan plan =
       ShardPlan::Clamped(n, options.num_shards, options.chunk_size);
   const auto make_scratch = [&] {
-    RoutedScratch scratch;
-    scratch.dedup = MakeClusterDedupScratch(k);
-    scratch.signature.resize(index.signature_width());
-    if (sketch_on) {
-      scratch.query_sketch.resize(provider.sketches().words());
-    }
-    return scratch;
+    return serving::MakeRoutedScratch(
+        k, index.signature_width(),
+        sketch_on ? provider.sketches().words() : 0);
   };
   const uint32_t num_threads = ResolveThreadCount(options.num_threads);
   if (num_threads <= 1 || n < 4096u) {
@@ -427,6 +378,13 @@ class EngineDispatcher {
     return NoRetainedIndex();
   }
 
+  /// Immutable deep-copied snapshot of the fitted state for the serving
+  /// layer; overridden by every concrete dispatcher.
+  virtual Result<std::shared_ptr<const serving::FrozenModel>> Snapshot()
+      const {
+    return NotFittedSnapshot();
+  }
+
   virtual bool fitted() const = 0;
 
   /// The validated spec this dispatcher was built from — the single
@@ -448,6 +406,11 @@ class EngineDispatcher {
         "Predict requires a fitted model; call Fit first");
   }
 
+  Status NotFittedSnapshot() const {
+    return Status::InvalidArgument(
+        "Snapshot requires a fitted model; call Fit first");
+  }
+
   Status NoRetainedIndex() const {
     return Status::InvalidArgument(
         "no retained shortlist index: either no Fit with a banding "
@@ -457,15 +420,22 @@ class EngineDispatcher {
   }
 
   /// IndexHandle's constructor is private to this seam; dispatchers that
-  /// retain an index build their handles through here.
-  static IndexHandle MakeHandle(const BandedIndex* index,
-                                std::span<const uint32_t> assignment,
-                                uint64_t memory_bytes,
-                                uint64_t dataset_sign_passes,
-                                uint64_t sketch_memory_bytes) {
+  /// retain an index build their handles through here. Handles carry the
+  /// dispatcher's fit-generation token so they can report (and, in debug
+  /// builds, assert) staleness after a refit — see api/index_handle.h.
+  IndexHandle MakeHandle(const BandedIndex* index,
+                         std::span<const uint32_t> assignment,
+                         uint64_t memory_bytes, uint64_t dataset_sign_passes,
+                         uint64_t sketch_memory_bytes) const {
     return IndexHandle(index, assignment, memory_bytes, dataset_sign_passes,
-                       sketch_memory_bytes);
+                       sketch_memory_bytes, generation_, *generation_);
   }
+
+  /// Called by each dispatcher at the commit point of a successful Fit:
+  /// the retained state handles pointed at is being replaced, so every
+  /// outstanding IndexHandle flips to !valid(). FrozenModel snapshots are
+  /// deep copies and are deliberately unaffected.
+  void BumpGeneration() { ++*generation_; }
 
   Status UnsupportedAccelerator() const {
     // Unreachable after ValidateClustererSpec; kept as a real error (not
@@ -478,6 +448,10 @@ class EngineDispatcher {
   }
 
   ClustererSpec spec_;
+
+ private:
+  /// Fit-generation cell shared with every handle this dispatcher makes.
+  std::shared_ptr<uint64_t> generation_ = std::make_shared<uint64_t>(0);
 };
 
 namespace {
@@ -533,6 +507,7 @@ class CategoricalDispatcher final : public EngineDispatcher {
     num_attributes_ = dataset.num_attributes();
     modes_ = std::move(modes);
     retained_ = std::move(retained);
+    BumpGeneration();  // outstanding handles now point at replaced state
     // The fitted assignment is the routed queries' cluster-reference
     // store; without a retained index nothing can read it, so don't
     // hold an n-sized copy for the model's lifetime.
@@ -574,6 +549,27 @@ class CategoricalDispatcher final : public EngineDispatcher {
                       retained_->MemoryUsageBytes(),
                       retained_->dataset_sign_passes(),
                       retained_->SketchMemoryUsageBytes());
+  }
+
+  Result<std::shared_ptr<const serving::FrozenModel>> Snapshot()
+      const override {
+    if (!modes_.has_value()) return NotFittedSnapshot();
+    if (retained_ == nullptr) {
+      return std::shared_ptr<const serving::FrozenModel>(
+          std::make_shared<serving::internal::FrozenModelImpl<
+              CategoricalClusteringTraits>>(
+              spec_.engine, *modes_, std::nullopt, nullptr, BitSketchTable(),
+              0, std::vector<uint32_t>(), num_attributes_, 0));
+    }
+    return std::shared_ptr<const serving::FrozenModel>(
+        std::make_shared<serving::internal::FrozenModelImpl<
+            CategoricalClusteringTraits, MinHashShortlistFamily>>(
+            spec_.engine, *modes_, retained_->family(),
+            std::make_unique<BandedIndex>(*retained_->index()),
+            retained_->sketch_enabled() ? retained_->sketches()
+                                        : BitSketchTable(),
+            retained_->sketch_max_hamming(), fit_assignment_,
+            num_attributes_, 0));
   }
 
   bool fitted() const override { return modes_.has_value(); }
@@ -643,6 +639,7 @@ class NumericDispatcher final : public EngineDispatcher {
     dimensions_ = dataset.dimensions();
     fitted_ = true;
     retained_ = std::move(retained);
+    BumpGeneration();  // outstanding handles now point at replaced state
     // The fitted assignment is the routed queries' cluster-reference
     // store; without a retained index nothing can read it, so don't
     // hold an n-sized copy for the model's lifetime.
@@ -683,6 +680,27 @@ class NumericDispatcher final : public EngineDispatcher {
                       retained_->MemoryUsageBytes(),
                       retained_->dataset_sign_passes(),
                       retained_->SketchMemoryUsageBytes());
+  }
+
+  Result<std::shared_ptr<const serving::FrozenModel>> Snapshot()
+      const override {
+    if (!fitted_) return NotFittedSnapshot();
+    if (retained_ == nullptr) {
+      return std::shared_ptr<const serving::FrozenModel>(
+          std::make_shared<
+              serving::internal::FrozenModelImpl<NumericClusteringTraits>>(
+              Options(), centroids_, std::nullopt, nullptr, BitSketchTable(),
+              0, std::vector<uint32_t>(), dimensions_, 0));
+    }
+    return std::shared_ptr<const serving::FrozenModel>(
+        std::make_shared<serving::internal::FrozenModelImpl<
+            NumericClusteringTraits, SimHashShortlistFamily>>(
+            Options(), centroids_, retained_->family(),
+            std::make_unique<BandedIndex>(*retained_->index()),
+            retained_->sketch_enabled() ? retained_->sketches()
+                                        : BitSketchTable(),
+            retained_->sketch_max_hamming(), fit_assignment_, dimensions_,
+            0));
   }
 
   bool fitted() const override { return fitted_; }
@@ -759,6 +777,7 @@ class MixedDispatcher final : public EngineDispatcher {
     num_numeric_ = dataset.num_numeric();
     prototypes_ = std::move(prototypes);
     retained_ = std::move(retained);
+    BumpGeneration();  // outstanding handles now point at replaced state
     // The fitted assignment is the routed queries' cluster-reference
     // store; without a retained index nothing can read it, so don't
     // hold an n-sized copy for the model's lifetime.
@@ -801,6 +820,28 @@ class MixedDispatcher final : public EngineDispatcher {
                       retained_->MemoryUsageBytes(),
                       retained_->dataset_sign_passes(),
                       retained_->SketchMemoryUsageBytes());
+  }
+
+  Result<std::shared_ptr<const serving::FrozenModel>> Snapshot()
+      const override {
+    if (!prototypes_.has_value()) return NotFittedSnapshot();
+    if (retained_ == nullptr) {
+      return std::shared_ptr<const serving::FrozenModel>(
+          std::make_shared<
+              serving::internal::FrozenModelImpl<MixedClusteringTraits>>(
+              Options(), *prototypes_, std::nullopt, nullptr,
+              BitSketchTable(), 0, std::vector<uint32_t>(), num_categorical_,
+              num_numeric_));
+    }
+    return std::shared_ptr<const serving::FrozenModel>(
+        std::make_shared<serving::internal::FrozenModelImpl<
+            MixedClusteringTraits, MixedShortlistFamily>>(
+            Options(), *prototypes_, retained_->family(),
+            std::make_unique<BandedIndex>(*retained_->index()),
+            retained_->sketch_enabled() ? retained_->sketches()
+                                        : BitSketchTable(),
+            retained_->sketch_max_hamming(), fit_assignment_,
+            num_categorical_, num_numeric_));
   }
 
   bool fitted() const override { return prototypes_.has_value(); }
@@ -846,6 +887,47 @@ StreamingSession::~StreamingSession() = default;
 StreamingSession::StreamingSession(StreamingSession&&) noexcept = default;
 StreamingSession& StreamingSession::operator=(StreamingSession&&) noexcept =
     default;
+
+Result<uint32_t> StreamingSession::Ingest(std::span<const uint32_t> row) {
+  LSHC_ASSIGN_OR_RETURN(const uint32_t cluster, engine_->Ingest(row));
+  MaybePublish(1);
+  return cluster;
+}
+
+Result<std::span<const uint32_t>> StreamingSession::IngestBatch(
+    std::span<const uint32_t> rows) {
+  LSHC_ASSIGN_OR_RETURN(std::span<const uint32_t> view,
+                        engine_->IngestBatch(rows));
+  MaybePublish(view.size());
+  return view;
+}
+
+void StreamingSession::MaybePublish(uint64_t ingested) {
+  if (publish_to_ == nullptr || publish_every_ == 0) return;
+  since_publish_ += ingested;
+  if (since_publish_ < publish_every_) return;
+  since_publish_ = 0;
+  Result<std::shared_ptr<const serving::FrozenModel>> snapshot = Snapshot();
+  // Snapshot of a live session cannot fail today; guard anyway so a
+  // future failure mode degrades to "no publish" rather than an abort on
+  // the ingest path.
+  if (snapshot.ok()) publish_to_->Publish(*std::move(snapshot));
+}
+
+Result<std::shared_ptr<const serving::FrozenModel>> StreamingSession::Snapshot()
+    const {
+  const StreamingMHKModes& engine = *engine_;
+  EngineOptions options;
+  options.num_clusters = engine.num_clusters();
+  return std::shared_ptr<const serving::FrozenModel>(
+      std::make_shared<serving::internal::FrozenModelImpl<
+          CategoricalClusteringTraits, MinHashShortlistFamily>>(
+          options, engine.modes(), engine.family(),
+          std::make_unique<BandedIndex>(engine.live_index()),
+          engine.sketch_enabled() ? engine.sketches() : BitSketchTable(),
+          engine.sketch_max_hamming(), engine.assignment(),
+          engine.num_attributes(), 0));
+}
 
 Clusterer::Clusterer(std::unique_ptr<internal::EngineDispatcher> dispatcher)
     : dispatcher_(std::move(dispatcher)) {}
@@ -913,6 +995,11 @@ Result<IndexHandle> Clusterer::index() const {
   return dispatcher_->RetainedIndex();
 }
 
+Result<std::shared_ptr<const serving::FrozenModel>> Clusterer::Snapshot()
+    const {
+  return dispatcher_->Snapshot();
+}
+
 bool Clusterer::fitted() const { return dispatcher_->fitted(); }
 
 Result<StreamingSession> Clusterer::MakeStreamingSession(
@@ -937,8 +1024,11 @@ Result<StreamingSession> Clusterer::MakeStreamingSession(
   LSHC_RETURN_NOT_OK(ValidateStreamingMHKModesOptions(streaming));
   LSHC_ASSIGN_OR_RETURN(StreamingMHKModes engine,
                         StreamingMHKModes::Bootstrap(warmup, streaming));
-  return StreamingSession(
+  StreamingSession session(
       std::make_unique<StreamingMHKModes>(std::move(engine)));
+  session.publish_to_ = options.publish_to;
+  session.publish_every_ = options.publish_every;
+  return session;
 }
 
 }  // namespace lshclust

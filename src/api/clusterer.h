@@ -75,6 +75,7 @@
 #include "data/categorical_dataset.h"
 #include "data/mixed_dataset.h"
 #include "lsh/banded_index.h"
+#include "serving/model_server.h"
 #include "util/result.h"
 
 namespace lshclust {
@@ -212,6 +213,15 @@ struct StreamingSessionOptions {
   uint32_t ingest_shards = StreamingMHKModesOptions{}.ingest_shards;
   /// Items per ParallelFor unit within a shard (>= 1).
   uint32_t ingest_chunk_size = StreamingMHKModesOptions{}.ingest_chunk_size;
+  /// Serving hook: when non-null, the session snapshots its live state and
+  /// publishes the FrozenModel to this server every `publish_every`
+  /// successful ingests (see below). The server must outlive the session.
+  serving::ModelServer* publish_to = nullptr;
+  /// Ingest count between automatic publishes; 0 disables the hook even
+  /// with `publish_to` set. A micro-batch counts all its rows at once and
+  /// triggers at most one publish, so a batch larger than the period
+  /// publishes once at its end (the counter then restarts from zero).
+  uint64_t publish_every = 0;
 };
 
 /// \brief An online clustering session created by
@@ -226,19 +236,29 @@ class StreamingSession {
   StreamingSession& operator=(const StreamingSession&) = delete;
 
   /// Assigns one arriving item (a row of num_attributes() codes in the
-  /// warm-up dataset's code space) and returns its cluster.
-  Result<uint32_t> Ingest(std::span<const uint32_t> row) {
-    return engine_->Ingest(row);
-  }
+  /// warm-up dataset's code space) and returns its cluster. May trigger an
+  /// automatic snapshot publish (StreamingSessionOptions::publish_to).
+  Result<uint32_t> Ingest(std::span<const uint32_t> row);
 
   /// Assigns a micro-batch (row-major, rows.size() = batch x
   /// num_attributes()); bit-identical to ingesting the rows one by one at
   /// every thread/shard setting. The returned view is valid until the
-  /// next ingest call.
+  /// next ingest call. May trigger an automatic snapshot publish
+  /// (StreamingSessionOptions::publish_to).
   Result<std::span<const uint32_t>> IngestBatch(
-      std::span<const uint32_t> rows) {
-    return engine_->IngestBatch(rows);
-  }
+      std::span<const uint32_t> rows);
+
+  /// An immutable deep-copied FrozenModel of the session's *current*
+  /// state: modes, the signing family, the live index frozen into CSR
+  /// form, sketches and the full assignment so far. Safe to route from
+  /// other threads while this session keeps ingesting. Call between
+  /// ingest calls on the writer's thread (the session is single-writer,
+  /// like its Ingest methods). Snapshot routing resolves score ties to
+  /// the lowest cluster id (the batch Predict convention); the live
+  /// ingest path resolves them in shortlist-discovery order, so on tied
+  /// scores a snapshot may route an item to a different — equally near —
+  /// cluster than Ingest would.
+  Result<std::shared_ptr<const serving::FrozenModel>> Snapshot() const;
 
   uint32_t num_clusters() const { return engine_->num_clusters(); }
   uint32_t num_attributes() const { return engine_->num_attributes(); }
@@ -266,7 +286,14 @@ class StreamingSession {
   friend class Clusterer;
   explicit StreamingSession(std::unique_ptr<StreamingMHKModes> engine);
 
+  /// Counts `ingested` items toward the publish period and snapshots +
+  /// publishes when it elapses.
+  void MaybePublish(uint64_t ingested);
+
   std::unique_ptr<StreamingMHKModes> engine_;
+  serving::ModelServer* publish_to_ = nullptr;
+  uint64_t publish_every_ = 0;
+  uint64_t since_publish_ = 0;
 };
 
 namespace internal {
@@ -332,6 +359,18 @@ class Clusterer {
       const NumericDataset& dataset) const;
   Result<std::vector<uint32_t>> PredictRouted(
       const MixedDataset& dataset) const;
+
+  /// An immutable deep-copied FrozenModel of the fitted state for the
+  /// lock-free serving layer (serving/frozen_model.h): centroids/modes,
+  /// the family's hashers, the banded index's CSR arrays, sketches and
+  /// the fitted assignment. The snapshot is self-contained — refitting or
+  /// destroying this Clusterer leaves it routing unchanged (the opposite
+  /// of index(), whose handles a refit invalidates). Its Route is
+  /// bit-identical to PredictRouted on the fitted state it was taken
+  /// from; with no retained index (non-banding accelerators or
+  /// spec.retain_index = false) the snapshot still works, routing as an
+  /// exhaustive Predict. Requires a prior successful Fit.
+  Result<std::shared_ptr<const serving::FrozenModel>> Snapshot() const;
 
   /// A read-only handle on the retained fit-time shortlist index: bucket
   /// occupancy, memory, the dataset-signing counter, and candidate

@@ -24,11 +24,24 @@
 /// Fit call begins (a successful Fit replaces the retained index; a
 /// rejected one leaves it — and outstanding handles — untouched). Moving
 /// the Clusterer keeps handles valid (the model's storage is stable);
-/// holding a handle across a Fit is a use-after-free.
+/// holding a handle across a Fit is a use-after-free. Each handle carries
+/// its fit's generation, so staleness is *observable*: `valid()` flips to
+/// false the moment a later Fit commits (destruction of the Clusterer is
+/// still the caller's liability — the generation cell dies with it), and
+/// debug builds assert validity in every accessor that dereferences the
+/// retained state.
+///
+/// Contrast with the serving layer: a `serving::FrozenModel`
+/// (Clusterer::Snapshot) is the opposite trade — a deep *copy* that stays
+/// valid through refits and past the Clusterer's destruction, at the cost
+/// of duplicating the index. Use handles for cheap same-fit diagnostics
+/// and dedup probes; use snapshots for anything that outlives the fit.
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "lsh/banded_index.h"
@@ -45,14 +58,34 @@ class EngineDispatcher;
 /// lifetime contract. Copyable (it is two pointers and two counters).
 class IndexHandle {
  public:
+  /// True while the fit this handle was taken from is still the
+  /// Clusterer's current one; false as soon as a later Fit commits (the
+  /// retained state this handle views has then been replaced and must not
+  /// be dereferenced). Safe to call on a stale handle — this is the one
+  /// accessor that touches no retained state; it exists so callers can
+  /// detect staleness instead of discovering it as a use-after-free.
+  bool valid() const { return *generation_ == created_generation_; }
+
   /// Number of fitted items the index covers (= the fitted dataset size).
-  uint32_t num_indexed_items() const { return index_->num_items(); }
+  uint32_t num_indexed_items() const {
+    LSHC_DCHECK(valid()) << "IndexHandle outlived its fit (see the lifetime "
+                            "contract in api/index_handle.h)";
+    return index_->num_items();
+  }
 
   /// Number of bands of the banding layout.
-  uint32_t num_bands() const { return index_->num_bands(); }
+  uint32_t num_bands() const {
+    LSHC_DCHECK(valid()) << "IndexHandle outlived its fit (see the lifetime "
+                            "contract in api/index_handle.h)";
+    return index_->num_bands();
+  }
 
   /// Bucket-occupancy statistics, computed from the live retained index.
-  BandedIndex::Stats ComputeStats() const { return index_->ComputeStats(); }
+  BandedIndex::Stats ComputeStats() const {
+    LSHC_DCHECK(valid()) << "IndexHandle outlived its fit (see the lifetime "
+                            "contract in api/index_handle.h)";
+    return index_->ComputeStats();
+  }
 
   /// Approximate heap footprint of the retained shortlist state (banded
   /// index + hashers + any kept signatures + the sketch table), as of
@@ -76,6 +109,8 @@ class IndexHandle {
   /// The fitted cluster of fitted item `item` (the assignment Fit
   /// returned — the cluster-reference store routed queries dereference).
   uint32_t ClusterOf(uint32_t item) const {
+    LSHC_DCHECK(valid()) << "IndexHandle outlived its fit (see the lifetime "
+                            "contract in api/index_handle.h)";
     LSHC_DCHECK(item < assignment_.size()) << "item index out of range";
     return assignment_[item];
   }
@@ -86,6 +121,8 @@ class IndexHandle {
   /// near-duplicate candidate set of dedup workloads: pairs the banding
   /// S-curve considers similar, before any exact distance is computed.
   std::vector<uint32_t> CandidateItemsOf(uint32_t item) const {
+    LSHC_DCHECK(valid()) << "IndexHandle outlived its fit (see the lifetime "
+                            "contract in api/index_handle.h)";
     std::vector<uint32_t> items;
     index_->VisitCandidates(item,
                             [&](uint32_t other) { items.push_back(other); });
@@ -98,6 +135,8 @@ class IndexHandle {
   /// CandidateItemsOf enumerates, ascending — the shortlist a fit-time
   /// refinement query for `item` would see against the final assignment.
   std::vector<uint32_t> CandidateClustersOf(uint32_t item) const {
+    LSHC_DCHECK(valid()) << "IndexHandle outlived its fit (see the lifetime "
+                            "contract in api/index_handle.h)";
     std::vector<uint32_t> clusters;
     clusters.push_back(assignment_[item]);
     index_->VisitCandidates(item, [&](uint32_t other) {
@@ -114,13 +153,18 @@ class IndexHandle {
 
   IndexHandle(const BandedIndex* index, std::span<const uint32_t> assignment,
               uint64_t memory_bytes, uint64_t dataset_sign_passes,
-              uint64_t sketch_memory_bytes)
+              uint64_t sketch_memory_bytes,
+              std::shared_ptr<const uint64_t> generation,
+              uint64_t created_generation)
       : index_(index),
         assignment_(assignment),
         memory_bytes_(memory_bytes),
         dataset_sign_passes_(dataset_sign_passes),
-        sketch_memory_bytes_(sketch_memory_bytes) {
+        sketch_memory_bytes_(sketch_memory_bytes),
+        generation_(std::move(generation)),
+        created_generation_(created_generation) {
     LSHC_DCHECK(index != nullptr) << "handle requires a live index";
+    LSHC_DCHECK(generation_ != nullptr) << "handle requires a generation";
   }
 
   const BandedIndex* index_;
@@ -128,6 +172,10 @@ class IndexHandle {
   uint64_t memory_bytes_;
   uint64_t dataset_sign_passes_;
   uint64_t sketch_memory_bytes_;
+  // The dispatcher's fit-generation cell + its value at handle creation;
+  // a later Fit bumps the cell, flipping valid() to false.
+  std::shared_ptr<const uint64_t> generation_;
+  uint64_t created_generation_ = 0;
 };
 
 }  // namespace lshclust

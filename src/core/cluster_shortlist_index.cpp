@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
+#include <utility>
 
 namespace lshclust {
 
@@ -21,6 +23,25 @@ MinHashShortlistFamily::MinHashShortlistFamily(const Options& options)
   } else {
     oph_ = std::make_unique<OnePermutationMinHasher>(width, options_.seed);
   }
+}
+
+MinHashShortlistFamily::MinHashShortlistFamily(
+    const MinHashShortlistFamily& other)
+    : options_(other.options_),
+      minhasher_(other.minhasher_ != nullptr
+                     ? std::make_unique<MinHasher>(*other.minhasher_)
+                     : nullptr),
+      oph_(other.oph_ != nullptr
+               ? std::make_unique<OnePermutationMinHasher>(*other.oph_)
+               : nullptr) {}
+
+MinHashShortlistFamily& MinHashShortlistFamily::operator=(
+    const MinHashShortlistFamily& other) {
+  if (this != &other) {
+    MinHashShortlistFamily copy(other);
+    *this = std::move(copy);
+  }
+  return *this;
 }
 
 Status MinHashShortlistFamily::ComputeSignatures(

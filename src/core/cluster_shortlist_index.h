@@ -63,6 +63,15 @@ class MinHashShortlistFamily {
 
   explicit MinHashShortlistFamily(const Options& options);
 
+  /// Deep copy: clones the live hasher (seeds included) so the copy signs
+  /// queries bit-identically and independently of the source's lifetime —
+  /// this is what FrozenModel snapshots rely on.
+  MinHashShortlistFamily(const MinHashShortlistFamily& other);
+  MinHashShortlistFamily& operator=(const MinHashShortlistFamily& other);
+  MinHashShortlistFamily(MinHashShortlistFamily&&) noexcept = default;
+  MinHashShortlistFamily& operator=(MinHashShortlistFamily&&) noexcept =
+      default;
+
   /// One MinHash signature per item over its *present* tokens (the
   /// presence filtering of Alg. 2 lines 2-4). Chunked across `pool` when
   /// given (per-worker token scratch); bit-identical to the sequential

@@ -60,6 +60,25 @@ class SimHashShortlistFamily {
         << "invalid SimHash index options; call ValidateOptions first";
   }
 
+  /// Deep copy: clones the fitted hasher (hyperplanes included) so the
+  /// copy signs queries bit-identically and independently of the source's
+  /// lifetime — this is what FrozenModel snapshots rely on.
+  SimHashShortlistFamily(const SimHashShortlistFamily& other)
+      : options_(other.options_),
+        hasher_(other.hasher_ != nullptr
+                    ? std::make_unique<SimHasher>(*other.hasher_)
+                    : nullptr) {}
+  SimHashShortlistFamily& operator=(const SimHashShortlistFamily& other) {
+    if (this != &other) {
+      SimHashShortlistFamily copy(other);
+      *this = std::move(copy);
+    }
+    return *this;
+  }
+  SimHashShortlistFamily(SimHashShortlistFamily&&) noexcept = default;
+  SimHashShortlistFamily& operator=(SimHashShortlistFamily&&) noexcept =
+      default;
+
   /// One SimHash bit vector per item. The hasher is created here because
   /// its hyperplanes need the dataset dimensionality. Chunked across
   /// `pool` when given; projections are pure per item, so the parallel

@@ -188,6 +188,17 @@ class StreamingMHKModes {
     return bootstrap_result_;
   }
 
+  /// Read-only views of the live state, used by StreamingSession::Snapshot
+  /// to deep-copy a FrozenModel out of the engine between ingests. Never
+  /// call these concurrently with Ingest/IngestBatch — the session layer
+  /// snapshots between ingest calls, on the writer's thread.
+  const MinHashShortlistFamily& family() const { return *family_; }
+  const DynamicBandedIndex& live_index() const { return *index_; }
+  const ModeTable& modes() const { return *modes_; }
+  bool sketch_enabled() const { return sketch_on_; }
+  const BitSketchTable& sketches() const { return sketches_; }
+  uint64_t sketch_max_hamming() const { return sketch_max_hamming_; }
+
   /// Test hook: forces the dedup epoch close to (or at) the wraparound so
   /// tests can exercise the stamp-reset path without 2^32 ingests.
   void set_dedup_epoch_for_testing(uint32_t epoch) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "lsh/dynamic_banded_index.h"
+
 namespace lshclust {
 
 BandedIndex::BandedIndex(std::span<const uint64_t> signatures,
@@ -40,6 +42,51 @@ BandedIndex::BandedIndex(std::span<const uint64_t> signatures,
   params_ = {static_cast<uint32_t>(band_rows.size()),
              uniform ? band_rows[0] : 0};
   Build(signatures);
+}
+
+BandedIndex::BandedIndex(const DynamicBandedIndex& dynamic)
+    : num_items_(dynamic.num_items_), params_(dynamic.params_) {
+  signature_width_ = params_.num_hashes();
+  const uint32_t num_items = num_items_;
+  bands_.resize(params_.bands);
+  for (uint32_t b = 0; b < params_.bands; ++b) {
+    Band& band = bands_[b];
+    const DynamicBandedIndex::Band& source = dynamic.bands_[b];
+    band.offset = b * params_.rows;
+    band.rows = params_.rows;
+    band.key_to_bucket.Reserve(source.key_to_head.size());
+    band.item_bucket.resize(num_items);
+    band.bucket_items.resize(num_items);
+    band.bucket_offsets.reserve(source.key_to_head.size() + 1);
+    band.bucket_offsets.push_back(0);
+    // One CSR bucket per dynamic key. The dynamic chains are newest-first
+    // (each insert prepends), and ids are insert order, so walking a chain
+    // yields strictly descending ids — filling the bucket's CSR slice
+    // backwards stores them ascending, matching the static Build's order.
+    // Bucket *enumeration* order follows the hash map's slot order rather
+    // than first-insert order; candidate visitation order across buckets
+    // differs from a signature-built index, which is immaterial because
+    // every consumer deduplicates and sorts its shortlist.
+    source.key_to_head.ForEach([&](uint64_t key, uint32_t head) {
+      const uint32_t bucket =
+          static_cast<uint32_t>(band.bucket_offsets.size()) - 1;
+      band.key_to_bucket.FindOrInsert(key, bucket);
+      uint32_t count = 0;
+      for (uint32_t cursor = head; cursor != 0;
+           cursor = source.next[cursor - 1]) {
+        ++count;
+      }
+      const uint32_t end = band.bucket_offsets.back() + count;
+      band.bucket_offsets.push_back(end);
+      uint32_t write = end;
+      for (uint32_t cursor = head; cursor != 0;
+           cursor = source.next[cursor - 1]) {
+        const uint32_t item = cursor - 1;
+        band.bucket_items[--write] = item;
+        band.item_bucket[item] = bucket;
+      }
+    });
+  }
 }
 
 void BandedIndex::Build(std::span<const uint64_t> signatures) {

@@ -25,6 +25,8 @@
 
 namespace lshclust {
 
+class DynamicBandedIndex;
+
 /// Hashes the `rows` signature components of band `band` into a bucket
 /// key. Seeded with the band index so identical row values in different
 /// bands never alias ("no overlapping between bands can occur", §III-A2).
@@ -65,6 +67,14 @@ class BandedIndex {
   /// \param band_rows rows per band; all entries must be >= 1
   BandedIndex(std::span<const uint64_t> signatures, uint32_t num_items,
               std::span<const uint32_t> band_rows);
+
+  /// Freezes a streaming DynamicBandedIndex into the CSR layout: same
+  /// band-key function, same buckets, items stored in ascending id order
+  /// within each bucket. The dynamic index keeps no signature matrix, so
+  /// this walks its per-band hash maps directly — no re-signing pass.
+  /// Used by StreamingSession::Snapshot to hand the serving layer a
+  /// scan-friendly immutable copy of the live index.
+  explicit BandedIndex(const DynamicBandedIndex& dynamic);
 
   /// Number of indexed items.
   uint32_t num_items() const { return num_items_; }

@@ -141,6 +141,10 @@ class DynamicBandedIndex {
   }
 
  private:
+  /// BandedIndex's freezing constructor walks the per-band chains
+  /// directly to build its CSR arrays without a signature matrix.
+  friend class BandedIndex;
+
   struct Band {
     FlatHashMap64 key_to_head;  // band key -> 1 + head item id (0 = empty)
     std::vector<uint32_t> next; // item -> 1 + next item in bucket (0 = end)

@@ -23,6 +23,13 @@
 #include "api/clusterer.h"  // IWYU pragma: export
 #include "api/index_handle.h"  // IWYU pragma: export
 
+// The serving layer: immutable FrozenModel snapshots (Clusterer::Snapshot
+// / StreamingSession::Snapshot) published to lock-free readers through a
+// ModelServer.
+#include "serving/frozen_model.h"  // IWYU pragma: export
+#include "serving/model_server.h"  // IWYU pragma: export
+#include "serving/routing.h"       // IWYU pragma: export
+
 // Foundation.
 #include "util/flags.h"          // IWYU pragma: export
 #include "util/logging.h"        // IWYU pragma: export

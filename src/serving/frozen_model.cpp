@@ -1,0 +1,80 @@
+#include "serving/frozen_model.h"
+
+#include <utility>
+
+#include "serving/model_server.h"
+#include "util/logging.h"
+#include "util/macros.h"
+#include "util/status.h"
+
+namespace lshclust::serving {
+
+FrozenModel::RouteScratch::~RouteScratch() = default;
+FrozenModel::~FrozenModel() = default;
+
+namespace {
+
+Status WrongModality(const char* got) {
+  return Status::InvalidArgument(
+      std::string("this snapshot does not route ") + got +
+      " queries; its source model was fitted on a different modality");
+}
+
+template <typename Dataset>
+Result<std::vector<uint32_t>> RouteFresh(const FrozenModel& model,
+                                         const Dataset& queries) {
+  std::vector<uint32_t> assignment(queries.num_items());
+  std::unique_ptr<FrozenModel::RouteScratch> scratch = model.MakeScratch();
+  LSHC_RETURN_NOT_OK(model.RouteInto(queries, *scratch, assignment));
+  return assignment;
+}
+
+}  // namespace
+
+Status FrozenModel::RouteInto(const CategoricalDataset&, RouteScratch&,
+                              std::span<uint32_t>) const {
+  return WrongModality("categorical");
+}
+
+Status FrozenModel::RouteInto(const NumericDataset&, RouteScratch&,
+                              std::span<uint32_t>) const {
+  return WrongModality("numeric");
+}
+
+Status FrozenModel::RouteInto(const MixedDataset&, RouteScratch&,
+                              std::span<uint32_t>) const {
+  return WrongModality("mixed");
+}
+
+Result<std::vector<uint32_t>> FrozenModel::Route(
+    const CategoricalDataset& queries) const {
+  return RouteFresh(*this, queries);
+}
+
+Result<std::vector<uint32_t>> FrozenModel::Route(
+    const NumericDataset& queries) const {
+  return RouteFresh(*this, queries);
+}
+
+Result<std::vector<uint32_t>> FrozenModel::Route(
+    const MixedDataset& queries) const {
+  return RouteFresh(*this, queries);
+}
+
+uint64_t ModelServer::Publish(std::shared_ptr<const FrozenModel> model) {
+  LSHC_CHECK(model != nullptr) << "ModelServer::Publish: null snapshot";
+  // The mutex serializes writers (so versions are stamped and published in
+  // one monotone order) and guards the slot against refreshing readers.
+  // The version stamp must land before the version-gate store below: a
+  // reader that sees the new version and refreshes must find a snapshot
+  // already carrying it.
+  std::lock_guard<std::mutex> lock(mutex_);
+  const uint64_t version =
+      published_version_.load(std::memory_order_relaxed) + 1;
+  model->version_.store(version, std::memory_order_release);
+  slot_ = std::move(model);
+  published_version_.store(version, std::memory_order_release);
+  return version;
+}
+
+}  // namespace lshclust::serving

@@ -12,6 +12,7 @@ const TierInfo kTiers[] = {
     {SimdTier::kScalar, "scalar", &kScalarKernels},
     {SimdTier::kSse42, "sse42", &kSse42Kernels},
     {SimdTier::kAvx2, "avx2", &kAvx2Kernels},
+    {SimdTier::kAvx512, "avx512", &kAvx512Kernels},
 };
 
 const TierInfo& InfoOf(SimdTier tier) {
@@ -29,6 +30,7 @@ const TierInfo& DetectTier() {
       }
     }
   }
+  if (TierSupported(SimdTier::kAvx512)) return InfoOf(SimdTier::kAvx512);
   if (TierSupported(SimdTier::kAvx2)) return InfoOf(SimdTier::kAvx2);
   if (TierSupported(SimdTier::kSse42)) return InfoOf(SimdTier::kSse42);
   return InfoOf(SimdTier::kScalar);
@@ -62,6 +64,11 @@ bool TierSupported(SimdTier tier) {
     case SimdTier::kAvx2:
       return __builtin_cpu_supports("avx2") &&
              __builtin_cpu_supports("popcnt");
+    case SimdTier::kAvx512:
+      return __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx512dq") &&
+             __builtin_cpu_supports("avx512vpopcntdq") &&
+             __builtin_cpu_supports("popcnt");
   }
   return false;
 #else
@@ -87,6 +94,8 @@ std::string CpuFeatureString() {
   if (__builtin_cpu_supports("popcnt")) append("popcnt");
   if (__builtin_cpu_supports("avx2")) append("avx2");
   if (__builtin_cpu_supports("avx512f")) append("avx512f");
+  if (__builtin_cpu_supports("avx512dq")) append("avx512dq");
+  if (__builtin_cpu_supports("avx512vpopcntdq")) append("avx512vpopcntdq");
 #endif
   if (features.empty()) features = "baseline";
   return features;

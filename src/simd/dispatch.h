@@ -5,7 +5,7 @@
 ///
 /// The active tier is resolved once, on first use: the best tier the host
 /// CPU supports, unless the `LSHCLUST_SIMD_TIER` environment variable
-/// (values `scalar`, `sse42`, `avx2`) requests a specific one. Tests and
+/// (values `scalar`, `sse42`, `avx2`, `avx512`) requests a specific one. Tests and
 /// benchmarks can also switch tiers programmatically with `ForceSimdTier`.
 /// Resolution and forcing are thread-safe; hot paths read the table through
 /// one relaxed atomic load, so callers in tight loops should hoist
@@ -29,6 +29,7 @@ enum class SimdTier {
   kScalar = 0,  ///< baseline ISA only; runs anywhere
   kSse42 = 1,   ///< SSE4.2 + POPCNT
   kAvx2 = 2,    ///< AVX2 + POPCNT
+  kAvx512 = 3,  ///< AVX-512 F + DQ + VPOPCNTDQ (+ POPCNT)
 };
 
 namespace internal {
@@ -63,7 +64,7 @@ inline const KernelTable& ActiveKernels() {
 /// The active tier.
 inline SimdTier ActiveTier() { return internal::ActiveTierInfo().tier; }
 
-/// Stable lower-case name of a tier: "scalar", "sse42", "avx2".
+/// Stable lower-case name of a tier: "scalar", "sse42", "avx2", "avx512".
 const char* TierName(SimdTier tier);
 
 /// True iff the host CPU can execute `tier`'s kernels.

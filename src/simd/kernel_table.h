@@ -60,10 +60,12 @@ struct KernelTable {
 };
 
 /// Per-tier tables, defined in kernels_scalar.cpp / kernels_sse42.cpp /
-/// kernels_avx2.cpp. The SSE4.2 and AVX2 tables must only be *called* on
-/// hosts whose CPU supports the tier — dispatch.cpp guarantees this.
+/// kernels_avx2.cpp / kernels_avx512.cpp. The vector-tier tables must
+/// only be *called* on hosts whose CPU supports the tier — dispatch.cpp
+/// guarantees this.
 extern const KernelTable kScalarKernels;
 extern const KernelTable kSse42Kernels;
 extern const KernelTable kAvx2Kernels;
+extern const KernelTable kAvx512Kernels;
 
 }  // namespace lshclust::simd
