@@ -1,0 +1,165 @@
+/// \file model_io.cpp
+/// \brief Model persistence cost vs warm-start payoff.
+///
+/// Fits an MH-K-Modes model at driver scale, saves it with
+/// serving::SaveFrozenModel, then times the three ways of getting a
+/// routing-ready model back: refitting from the raw data, LoadFrozenModel
+/// (a serving snapshot), and Clusterer::FromSnapshot (a full facade).
+/// Reports the model file size, save/load seconds, and the load-vs-refit
+/// speedup — the number that justifies persisting at all. Each load's
+/// routed assignment is checked bit-identical against the fitted
+/// clusterer's PredictRouted before its timing is trusted. `--json`
+/// (default BENCH_model_io.json) writes the records through
+/// JsonBenchWriter, tier-stamped like every other bench.
+///
+///   --reps=<n>   save/load repetitions, best-of (default 3)
+///   --smoke      CI mode: tiny scale, 1 rep
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "api/clusterer.h"
+#include "bench/common.h"
+#include "datagen/conjunctive_generator.h"
+#include "persist/model_io.h"
+#include "serving/frozen_model.h"
+#include "util/flags.h"
+#include "util/logging.h"
+
+namespace lshclust::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+int Run(int argc, char** argv) {
+  DriverOptions driver;
+  driver.json = "BENCH_model_io.json";
+  int64_t reps = 3;
+  bool smoke = false;
+
+  FlagSet flags("model_io");
+  driver.Register(&flags);
+  flags.AddInt64("reps", &reps, "save/load repetitions (best-of)");
+  flags.AddBool("smoke", &smoke, "CI smoke mode: tiny scale, 1 rep");
+  if (!driver.Parse(&flags, argc, argv)) return 0;
+  LSHC_CHECK(reps > 0) << "--reps must be positive";
+  if (smoke) {
+    driver.scale = 0.02;
+    reps = 1;
+  }
+
+  const ConjunctiveDataOptions data = driver.ScaledData(90000, 10, 2000);
+  std::printf("model_io: generating %u items x %u attrs (%u clusters)\n",
+              data.num_items, data.num_attributes, data.num_clusters);
+  const CategoricalDataset dataset =
+      GenerateConjunctiveRuleData(data).ValueOrDie();
+
+  ClustererSpec spec;
+  spec.modality = Modality::kCategorical;
+  spec.accelerator = Accelerator::kMinHash;
+  spec.engine.num_clusters = data.num_clusters;
+  spec.engine.max_iterations =
+      driver.max_iterations > 0
+          ? static_cast<uint32_t>(driver.max_iterations)
+          : 10;
+  spec.engine.seed = static_cast<uint64_t>(driver.seed);
+  auto clusterer = Clusterer::Create(spec);
+  LSHC_CHECK_OK(clusterer.status());
+
+  // The refit baseline: what a process without a model file pays to get
+  // routing-ready again.
+  const Clock::time_point fit_begin = Clock::now();
+  LSHC_CHECK_OK(clusterer->Fit(dataset).status());
+  const double refit_seconds = SecondsSince(fit_begin);
+  std::printf("fit: %.3fs\n", refit_seconds);
+
+  auto snapshot = clusterer->Snapshot();
+  LSHC_CHECK_OK(snapshot.status());
+  const std::vector<uint32_t> expected =
+      clusterer->PredictRouted(dataset).ValueOrDie();
+
+  const std::string path = "/tmp/bench_model_io.lshm";
+  double save_seconds = 1e300;
+  for (int64_t rep = 0; rep < reps; ++rep) {
+    const Clock::time_point begin = Clock::now();
+    LSHC_CHECK_OK(serving::SaveFrozenModel(**snapshot, path));
+    save_seconds = std::min(save_seconds, SecondsSince(begin));
+  }
+
+  double load_model_seconds = 1e300;
+  for (int64_t rep = 0; rep < reps; ++rep) {
+    const Clock::time_point begin = Clock::now();
+    auto loaded = serving::LoadFrozenModel(path);
+    LSHC_CHECK_OK(loaded.status());
+    load_model_seconds = std::min(load_model_seconds, SecondsSince(begin));
+    if (rep == 0) {
+      auto scratch = (*loaded)->MakeScratch();
+      std::vector<uint32_t> routed(dataset.num_items());
+      LSHC_CHECK_OK((*loaded)->RouteInto(dataset, *scratch, routed));
+      LSHC_CHECK(routed == expected)
+          << "LoadFrozenModel routing diverged from the fitted clusterer";
+    }
+  }
+
+  double from_snapshot_seconds = 1e300;
+  for (int64_t rep = 0; rep < reps; ++rep) {
+    const Clock::time_point begin = Clock::now();
+    auto warm = Clusterer::FromSnapshot(path);
+    LSHC_CHECK_OK(warm.status());
+    from_snapshot_seconds =
+        std::min(from_snapshot_seconds, SecondsSince(begin));
+    if (rep == 0) {
+      const std::vector<uint32_t> routed =
+          warm->PredictRouted(dataset).ValueOrDie();
+      LSHC_CHECK(routed == expected)
+          << "FromSnapshot routing diverged from the fitted clusterer";
+    }
+  }
+
+  uint64_t file_bytes = 0;
+  {
+    auto info = persist::InspectModelFile(path);
+    LSHC_CHECK_OK(info.status());
+    file_bytes = info->file_size;
+  }
+  const double speedup = refit_seconds / from_snapshot_seconds;
+  std::printf(
+      "file=%llu bytes  save=%.4fs  load_model=%.4fs  from_snapshot=%.4fs  "
+      "load_vs_refit_speedup=%.1fx\n",
+      static_cast<unsigned long long>(file_bytes), save_seconds,
+      load_model_seconds, from_snapshot_seconds, speedup);
+
+  JsonBenchWriter writer;
+  writer.BeginRecord();
+  writer.Add("bench", "model_io");
+  writer.Add("items", data.num_items);
+  writer.Add("attributes", data.num_attributes);
+  writer.Add("clusters", data.num_clusters);
+  writer.Add("reps", static_cast<uint64_t>(reps));
+  writer.Add("file_bytes", file_bytes);
+  writer.Add("refit_seconds", refit_seconds);
+  writer.Add("save_seconds", save_seconds);
+  writer.Add("load_model_seconds", load_model_seconds);
+  writer.Add("from_snapshot_seconds", from_snapshot_seconds);
+  writer.Add("load_vs_refit_speedup", speedup);
+  if (!driver.json.empty()) writer.WriteFile(driver.json);
+  std::remove(path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace lshclust::bench
+
+int main(int argc, char** argv) {
+  return lshclust::bench::Run(argc, argv);
+}

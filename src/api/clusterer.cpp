@@ -6,6 +6,7 @@
 #include <optional>
 #include <utility>
 
+#include "persist/model_io.h"
 #include "serving/frozen_model_impl.h"
 #include "serving/routing.h"
 #include "shard/shard_executor.h"
@@ -519,6 +520,31 @@ class CategoricalDispatcher final : public EngineDispatcher {
     return report;
   }
 
+  /// Installs a decoded model file as this dispatcher's fitted state
+  /// (Clusterer::FromSnapshot): modes rebuilt from the dump, the shortlist
+  /// provider reassembled from parts — hashers from persisted options +
+  /// seeds, the index adopted verbatim, zero re-signing.
+  Status Adopt(persist::DecodedModel&& model) {
+    LSHC_ASSIGN_OR_RETURN(ModeTable modes, persist::BuildModeTable(model));
+    num_attributes_ = model.shape_primary;
+    if (model.family == persist::ModelFamilyKind::kMinHash) {
+      LSHC_ASSIGN_OR_RETURN(auto routing,
+                            persist::BuildMinHashRouting(std::move(model)));
+      fit_assignment_ = std::move(routing.fit_assignment);
+      retained_ = std::make_unique<ClusterShortlistProvider>(
+          ClusterShortlistProvider::FromParts(
+              std::move(routing.family), spec_.engine.num_clusters,
+              std::move(routing.index), std::move(routing.sketches),
+              routing.sketch_max_hamming));
+    } else {
+      retained_ = nullptr;
+      fit_assignment_ = {};
+    }
+    modes_ = std::move(modes);
+    BumpGeneration();
+    return Status::OK();
+  }
+
   Result<std::vector<uint32_t>> Predict(
       const CategoricalDataset& dataset) const override {
     LSHC_RETURN_NOT_OK(CheckPredictable(dataset));
@@ -649,6 +675,29 @@ class NumericDispatcher final : public EngineDispatcher {
       fit_assignment_ = {};
     }
     return report;
+  }
+
+  /// Installs a decoded model file as this dispatcher's fitted state
+  /// (Clusterer::FromSnapshot); see CategoricalDispatcher::Adopt.
+  Status Adopt(persist::DecodedModel&& model) {
+    LSHC_ASSIGN_OR_RETURN(centroids_, persist::BuildCentroidTable(model));
+    dimensions_ = model.shape_primary;
+    if (model.family == persist::ModelFamilyKind::kSimHash) {
+      LSHC_ASSIGN_OR_RETURN(auto routing,
+                            persist::BuildSimHashRouting(std::move(model)));
+      fit_assignment_ = std::move(routing.fit_assignment);
+      retained_ = std::make_unique<SimHashShortlistProvider>(
+          SimHashShortlistProvider::FromParts(
+              std::move(routing.family), spec_.engine.num_clusters,
+              std::move(routing.index), std::move(routing.sketches),
+              routing.sketch_max_hamming));
+    } else {
+      retained_ = nullptr;
+      fit_assignment_ = {};
+    }
+    fitted_ = true;
+    BumpGeneration();
+    return Status::OK();
   }
 
   Result<std::vector<uint32_t>> Predict(
@@ -787,6 +836,33 @@ class MixedDispatcher final : public EngineDispatcher {
       fit_assignment_ = {};
     }
     return report;
+  }
+
+  /// Installs a decoded model file as this dispatcher's fitted state
+  /// (Clusterer::FromSnapshot); see CategoricalDispatcher::Adopt.
+  Status Adopt(persist::DecodedModel&& model) {
+    LSHC_ASSIGN_OR_RETURN(ModeTable modes, persist::BuildModeTable(model));
+    LSHC_ASSIGN_OR_RETURN(CentroidTable centroids,
+                          persist::BuildCentroidTable(model));
+    num_categorical_ = model.shape_primary;
+    num_numeric_ = model.shape_secondary;
+    if (model.family == persist::ModelFamilyKind::kMixedConcat) {
+      LSHC_ASSIGN_OR_RETURN(auto routing,
+                            persist::BuildMixedRouting(std::move(model)));
+      fit_assignment_ = std::move(routing.fit_assignment);
+      retained_ = std::make_unique<MixedShortlistProvider>(
+          MixedShortlistProvider::FromParts(
+              std::move(routing.family), spec_.engine.num_clusters,
+              std::move(routing.index), std::move(routing.sketches),
+              routing.sketch_max_hamming));
+    } else {
+      retained_ = nullptr;
+      fit_assignment_ = {};
+    }
+    prototypes_ = MixedClusteringTraits::Centroids{std::move(modes),
+                                                   std::move(centroids)};
+    BumpGeneration();
+    return Status::OK();
   }
 
   Result<std::vector<uint32_t>> Predict(
@@ -950,6 +1026,74 @@ Result<Clusterer> Clusterer::Create(const ClustererSpec& spec) {
       dispatcher = std::make_unique<internal::MixedDispatcher>(spec);
       break;
   }
+  return Clusterer(std::move(dispatcher));
+}
+
+Result<Clusterer> Clusterer::FromSnapshot(const std::string& path) {
+  LSHC_ASSIGN_OR_RETURN(persist::DecodedModel model,
+                        persist::DecodeModelFile(path));
+  // Reconstruct the spec the persisted model implies. Only what routing
+  // reads matters: modality/accelerator, k, gamma and the index options.
+  // Init-method / seeds are fit-time-only knobs a loaded model never
+  // touches — pinned to kRandom so the spec validates for every modality.
+  ClustererSpec spec;
+  spec.engine.num_clusters = model.num_clusters;
+  spec.engine.init_method = InitMethod::kRandom;
+  spec.retain_index = true;
+  switch (model.modality) {
+    case persist::ModelModality::kCategorical:
+      spec.modality = Modality::kCategorical;
+      break;
+    case persist::ModelModality::kNumeric:
+      spec.modality = Modality::kNumeric;
+      break;
+    case persist::ModelModality::kMixed:
+      spec.modality = Modality::kMixed;
+      spec.gamma = model.gamma;
+      break;
+  }
+  switch (model.family) {
+    case persist::ModelFamilyKind::kNone:
+      spec.accelerator = Accelerator::kExhaustive;
+      break;
+    case persist::ModelFamilyKind::kMinHash:
+      spec.accelerator = Accelerator::kMinHash;
+      spec.minhash = model.minhash;
+      break;
+    case persist::ModelFamilyKind::kSimHash:
+      spec.accelerator = Accelerator::kSimHash;
+      spec.simhash = model.simhash;
+      break;
+    case persist::ModelFamilyKind::kMixedConcat:
+      spec.accelerator = Accelerator::kMixedConcat;
+      spec.mixed_index = model.mixed;
+      break;
+  }
+  LSHC_RETURN_NOT_OK(
+      ValidateClustererSpec(spec).WithContext("model file '" + path + "'"));
+  std::unique_ptr<internal::EngineDispatcher> dispatcher;
+  Status adopted = Status::OK();
+  switch (model.modality) {
+    case persist::ModelModality::kCategorical: {
+      auto d = std::make_unique<internal::CategoricalDispatcher>(spec);
+      adopted = d->Adopt(std::move(model));
+      dispatcher = std::move(d);
+      break;
+    }
+    case persist::ModelModality::kNumeric: {
+      auto d = std::make_unique<internal::NumericDispatcher>(spec);
+      adopted = d->Adopt(std::move(model));
+      dispatcher = std::move(d);
+      break;
+    }
+    case persist::ModelModality::kMixed: {
+      auto d = std::make_unique<internal::MixedDispatcher>(spec);
+      adopted = d->Adopt(std::move(model));
+      dispatcher = std::move(d);
+      break;
+    }
+  }
+  LSHC_RETURN_NOT_OK(adopted.WithContext("model file '" + path + "'"));
   return Clusterer(std::move(dispatcher));
 }
 

@@ -312,6 +312,21 @@ class Clusterer {
   /// dispatcher for its (modality, accelerator) cell.
   static Result<Clusterer> Create(const ClustererSpec& spec);
 
+  /// Warm-starts a Clusterer from a model file saved by
+  /// serving::SaveFrozenModel (persist/model_io.h) — the fitted state is
+  /// reconstructed without re-clustering or re-signing anything: centroids
+  /// come back verbatim, the family's hashers rebuild deterministically
+  /// from their persisted options + seeds, and the banded index adopts the
+  /// raw CSR dump. The returned Clusterer reports fitted(), its spec()
+  /// mirrors the persisted model (modality, accelerator, k, gamma, index
+  /// options; everything else defaulted), and Predict / PredictRouted /
+  /// Snapshot / index() behave exactly as after the Fit that produced the
+  /// file — PredictRouted routes bit-identically to the saving process,
+  /// across SIMD tiers and thread counts. Fit remains usable and replaces
+  /// the loaded model like any refit. Corrupt or truncated files come back
+  /// as typed Status errors, never a partially loaded model.
+  static Result<Clusterer> FromSnapshot(const std::string& path);
+
   ~Clusterer();
   Clusterer(Clusterer&&) noexcept;
   Clusterer& operator=(Clusterer&&) noexcept;

@@ -42,6 +42,15 @@ class CentroidTable {
     return values_.data() + static_cast<size_t>(cluster) * dimensions_;
   }
 
+  /// Overwrites the centroid of `cluster` with explicit coordinates
+  /// (length d) — how the persistence loader restores a saved table.
+  void SetCentroid(uint32_t cluster, std::span<const double> values) {
+    LSHC_DCHECK(cluster < num_clusters_ && values.size() == dimensions_)
+        << "centroid shape mismatch";
+    std::copy(values.begin(), values.end(),
+              values_.begin() + static_cast<size_t>(cluster) * dimensions_);
+  }
+
   /// Sets the centroid of `cluster` to the coordinates of a dataset row
   /// (seeding).
   void SetFromItem(uint32_t cluster, const NumericDataset& dataset,

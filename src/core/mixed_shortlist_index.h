@@ -224,6 +224,24 @@ class MixedShortlistFamily {
         *centered_scratch, out + options_.categorical_banding.num_hashes());
   }
 
+  /// The fitted centering mean (empty before the first signing pass).
+  const std::vector<double>& mean() const { return mean_; }
+
+  /// Rebuilds both hashers from (options, seed) and restores the
+  /// data-dependent centering mean without a signing pass — the
+  /// persistence warm-start seam. The hashers are pure functions of their
+  /// seeds, and `mean` carries the one data-dependent input, so the
+  /// restored family signs queries bit-identically to the saved fit.
+  /// `mean.size()` fixes the numeric dimensionality.
+  void RestoreHashers(std::vector<double> mean) {
+    categorical_hasher_ = std::make_unique<MinHasher>(
+        options_.categorical_banding.num_hashes(), options_.seed);
+    numeric_hasher_ = std::make_unique<SimHasher>(
+        options_.numeric_banding.num_hashes(),
+        static_cast<uint32_t>(mean.size()), options_.seed ^ 0x51A5ULL);
+    mean_ = std::move(mean);
+  }
+
   /// Heterogeneous layout: the categorical bands, then the numeric bands.
   std::vector<uint32_t> BandLayout() const {
     std::vector<uint32_t> layout;

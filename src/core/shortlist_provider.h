@@ -211,6 +211,24 @@ class ShortlistProvider {
     scratch_ = MakeScratch();
   }
 
+  /// Reassembles a provider from persisted parts: a family whose hashers
+  /// were already rebuilt from (options, seed), the dumped banded index,
+  /// and the sketch table (empty when the fit ran unscreened). No signing
+  /// pass runs — `dataset_sign_passes()` stays 0 on the result, which is
+  /// how warm-start loaders prove the saved buckets were adopted verbatim
+  /// rather than re-hashed. The caller is responsible for cross-checking
+  /// index/family shape agreement (persist/model_io.cpp does).
+  static ShortlistProvider FromParts(Family family, uint32_t num_clusters,
+                                     std::unique_ptr<BandedIndex> index,
+                                     BitSketchTable sketches,
+                                     uint64_t sketch_max_hamming) {
+    ShortlistProvider provider(std::move(family), num_clusters);
+    provider.index_ = std::move(index);
+    provider.sketches_ = std::move(sketches);
+    provider.sketch_max_hamming_ = sketch_max_hamming;
+    return provider;
+  }
+
   /// Engine contract: shortlists instead of exhaustive scans.
   static constexpr bool kExhaustive = false;
 
@@ -476,6 +494,13 @@ class ShortlistProvider {
   uint64_t dataset_sign_passes() const { return dataset_sign_passes_; }
 
  private:
+  /// For FromParts: adopts an already-built family without signing.
+  ShortlistProvider(Family family, uint32_t num_clusters)
+      : family_(std::move(family)), num_clusters_(num_clusters) {
+    LSHC_DCHECK(num_clusters >= 1) << "need at least one cluster";
+    scratch_ = MakeScratch();
+  }
+
   /// The family's sketch configuration, when it has one ({} = disabled for
   /// families predating the prefilter).
   SketchPrefilterOptions SketchOptions() const {

@@ -141,6 +141,20 @@ class SimHashShortlistFamily {
     hasher_->ComputeSignature(vec, out);
   }
 
+  /// Rebuilds the fitted hasher for a known dataset dimensionality without
+  /// a signing pass — the persistence warm-start seam. The hyperplanes are
+  /// a pure function of (width, dimensions, seed), so the rebuilt hasher
+  /// signs queries bit-identically to the one the saved fit used.
+  void RestoreHasher(uint32_t dimensions) {
+    hasher_ = std::make_unique<SimHasher>(options_.banding.num_hashes(),
+                                          dimensions, options_.seed);
+  }
+
+  /// Dimensionality the fitted hasher projects from; 0 before signing.
+  uint32_t fitted_dimensions() const {
+    return hasher_ == nullptr ? 0 : hasher_->dimensions();
+  }
+
   uint64_t MemoryUsageBytes() const {
     return hasher_ == nullptr
                ? 0

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "util/binary_io.h"
 #include "util/macros.h"
 
 namespace lshclust {
@@ -16,13 +17,16 @@ constexpr uint8_t kFlagLabels = 1;
 constexpr uint8_t kFlagAbsence = 2;
 constexpr uint8_t kFlagDictionary = 4;
 
-void WriteU32(std::ostream& out, uint32_t value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
-}
-
-bool ReadU32(std::istream& in, uint32_t* value) {
-  in.read(reinterpret_cast<char*>(value), sizeof(*value));
-  return in.good();
+/// Size of the file on disk, or an error. Leaves `in` positioned at the
+/// first payload byte (right after the magic check will re-read it).
+Result<uint64_t> FileSize(std::ifstream& in) {
+  in.seekg(0, std::ios::end);
+  const std::streampos end = in.tellg();
+  in.seekg(0, std::ios::beg);
+  if (end < 0 || !in.good()) {
+    return Status::IOError("cannot determine file size");
+  }
+  return static_cast<uint64_t>(end);
 }
 
 }  // namespace
@@ -34,10 +38,10 @@ Status SaveDatasetBinary(const CategoricalDataset& dataset,
     return Status::IOError("cannot open '" + path + "' for writing");
   }
   out.write(kMagic, sizeof(kMagic));
-  WriteU32(out, kVersion);
-  WriteU32(out, dataset.num_items());
-  WriteU32(out, dataset.num_attributes());
-  WriteU32(out, dataset.num_codes());
+  WriteLeU32(out, kVersion);
+  WriteLeU32(out, dataset.num_items());
+  WriteLeU32(out, dataset.num_attributes());
+  WriteLeU32(out, dataset.num_codes());
 
   uint8_t flags = 0;
   if (dataset.has_labels()) flags |= kFlagLabels;
@@ -45,14 +49,14 @@ Status SaveDatasetBinary(const CategoricalDataset& dataset,
   if (dataset.interner() != nullptr) flags |= kFlagDictionary;
   out.write(reinterpret_cast<const char*>(&flags), 1);
 
-  const auto codes = dataset.codes();
-  out.write(reinterpret_cast<const char*>(codes.data()),
-            static_cast<std::streamsize>(codes.size() * sizeof(uint32_t)));
+  // Bulk arrays go through a staging buffer so they are little-endian on
+  // any host (on LE hosts AppendLeArray is a single memcpy).
+  std::string buffer;
+  AppendLeArray<uint32_t>(&buffer, dataset.codes());
   if (dataset.has_labels()) {
-    out.write(reinterpret_cast<const char*>(dataset.labels().data()),
-              static_cast<std::streamsize>(dataset.labels().size() *
-                                           sizeof(uint32_t)));
+    AppendLeArray<uint32_t>(&buffer, dataset.labels());
   }
+  out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
   if (dataset.has_absence_semantics()) {
     for (uint32_t code = 0; code < dataset.num_codes(); ++code) {
       const uint8_t absent = dataset.IsPresent(code) ? 0 : 1;
@@ -60,10 +64,10 @@ Status SaveDatasetBinary(const CategoricalDataset& dataset,
     }
   }
   if (dataset.interner() != nullptr) {
-    WriteU32(out, dataset.interner()->size());
+    WriteLeU32(out, dataset.interner()->size());
     for (uint32_t code = 0; code < dataset.interner()->size(); ++code) {
       const std::string& text = dataset.interner()->ToString(code);
-      WriteU32(out, static_cast<uint32_t>(text.size()));
+      WriteLeU32(out, static_cast<uint32_t>(text.size()));
       out.write(text.data(), static_cast<std::streamsize>(text.size()));
     }
   }
@@ -78,43 +82,88 @@ Result<CategoricalDataset> LoadDatasetBinary(const std::string& path) {
   if (!in.is_open()) {
     return Status::IOError("cannot open '" + path + "' for reading");
   }
+  LSHC_ASSIGN_OR_RETURN(const uint64_t file_size, FileSize(in));
+
   char magic[4];
   in.read(magic, sizeof(magic));
-  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+  if (in.gcount() != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
     return Status::InvalidArgument("'" + path +
                                    "' is not an lshclust dataset file");
   }
   uint32_t version = 0, n = 0, m = 0, num_codes = 0;
-  if (!ReadU32(in, &version) || version != kVersion) {
-    return Status::InvalidArgument("unsupported dataset file version");
+  if (!ReadLeU32(in, &version)) {
+    return Status::IOError("truncated dataset header in '" + path + "'");
   }
-  if (!ReadU32(in, &n) || !ReadU32(in, &m) || !ReadU32(in, &num_codes)) {
-    return Status::IOError("truncated dataset header");
+  if (version != kVersion) {
+    return Status::InvalidArgument(
+        "'" + path + "' has dataset format version " +
+        std::to_string(version) + "; this build reads version " +
+        std::to_string(kVersion));
+  }
+  if (!ReadLeU32(in, &n) || !ReadLeU32(in, &m) || !ReadLeU32(in, &num_codes)) {
+    return Status::IOError("truncated dataset header in '" + path + "'");
   }
   uint8_t flags = 0;
   in.read(reinterpret_cast<char*>(&flags), 1);
-  if (!in.good()) return Status::IOError("truncated dataset header");
+  if (in.gcount() != 1) {
+    return Status::IOError("truncated dataset header in '" + path + "'");
+  }
+  if ((flags & ~(kFlagLabels | kFlagAbsence | kFlagDictionary)) != 0) {
+    return Status::InvalidArgument("'" + path +
+                                   "' header carries unknown flag bits");
+  }
 
-  std::vector<uint32_t> codes(static_cast<size_t>(n) * m);
+  // Validate every declared array length against the bytes actually in the
+  // file *before* allocating — a corrupt header must produce a typed error,
+  // not a multi-gigabyte resize.
+  uint64_t remaining = file_size - static_cast<uint64_t>(in.tellg());
+  const auto consume = [&remaining](uint64_t bytes, const char* what,
+                                    const std::string& path) -> Status {
+    if (bytes > remaining) {
+      return Status::IOError("truncated " + std::string(what) + " in '" +
+                             path + "' (need " + std::to_string(bytes) +
+                             " bytes, have " + std::to_string(remaining) +
+                             ")");
+    }
+    remaining -= bytes;
+    return Status::OK();
+  };
+
+  const uint64_t num_code_entries = static_cast<uint64_t>(n) * m;
+  LSHC_RETURN_NOT_OK(
+      consume(num_code_entries * sizeof(uint32_t), "code matrix", path));
+  std::vector<uint32_t> codes(num_code_entries);
   in.read(reinterpret_cast<char*>(codes.data()),
           static_cast<std::streamsize>(codes.size() * sizeof(uint32_t)));
-  if (!in.good()) return Status::IOError("truncated code matrix");
+  if (static_cast<uint64_t>(in.gcount()) != codes.size() * sizeof(uint32_t)) {
+    return Status::IOError("truncated code matrix in '" + path + "'");
+  }
 
   std::vector<uint32_t> labels;
   if (flags & kFlagLabels) {
+    LSHC_RETURN_NOT_OK(
+        consume(static_cast<uint64_t>(n) * sizeof(uint32_t), "label array",
+                path));
     labels.resize(n);
     in.read(reinterpret_cast<char*>(labels.data()),
             static_cast<std::streamsize>(labels.size() * sizeof(uint32_t)));
-    if (!in.good()) return Status::IOError("truncated label array");
+    if (static_cast<uint64_t>(in.gcount()) !=
+        labels.size() * sizeof(uint32_t)) {
+      return Status::IOError("truncated label array in '" + path + "'");
+    }
   }
 
   std::vector<bool> absent_codes;
   if (flags & kFlagAbsence) {
+    LSHC_RETURN_NOT_OK(consume(num_codes, "absence bitmap", path));
     absent_codes.resize(num_codes);
     for (uint32_t code = 0; code < num_codes; ++code) {
       uint8_t absent = 0;
       in.read(reinterpret_cast<char*>(&absent), 1);
-      if (!in.good()) return Status::IOError("truncated absence bitmap");
+      if (in.gcount() != 1) {
+        return Status::IOError("truncated absence bitmap in '" + path + "'");
+      }
       absent_codes[code] = absent != 0;
     }
   }
@@ -123,14 +172,29 @@ Result<CategoricalDataset> LoadDatasetBinary(const std::string& path) {
   if (flags & kFlagDictionary) {
     interner = std::make_shared<ValueInterner>();
     uint32_t count = 0;
-    if (!ReadU32(in, &count)) return Status::IOError("truncated dictionary");
+    LSHC_RETURN_NOT_OK(consume(sizeof(uint32_t), "dictionary", path));
+    if (!ReadLeU32(in, &count)) {
+      return Status::IOError("truncated dictionary in '" + path + "'");
+    }
+    if (count != num_codes) {
+      return Status::InvalidArgument(
+          "'" + path + "' dictionary holds " + std::to_string(count) +
+          " entries for " + std::to_string(num_codes) + " codes");
+    }
     std::string text;
     for (uint32_t i = 0; i < count; ++i) {
       uint32_t length = 0;
-      if (!ReadU32(in, &length)) return Status::IOError("truncated dictionary");
+      LSHC_RETURN_NOT_OK(consume(sizeof(uint32_t), "dictionary", path));
+      if (!ReadLeU32(in, &length)) {
+        return Status::IOError("truncated dictionary in '" + path + "'");
+      }
+      LSHC_RETURN_NOT_OK(consume(length, "dictionary entry", path));
       text.resize(length);
       in.read(text.data(), static_cast<std::streamsize>(length));
-      if (!in.good()) return Status::IOError("truncated dictionary entry");
+      if (static_cast<uint64_t>(in.gcount()) != length) {
+        return Status::IOError("truncated dictionary entry in '" + path +
+                               "'");
+      }
       const uint32_t code = interner->Intern(text);
       if (code != i) {
         return Status::InvalidArgument(
@@ -139,6 +203,8 @@ Result<CategoricalDataset> LoadDatasetBinary(const std::string& path) {
     }
   }
 
+  // FromCodes re-validates shape consistency and rejects out-of-range
+  // codes, so garbage payload bytes surface as a typed Status here too.
   return CategoricalDataset::FromCodes(n, m, num_codes, std::move(codes),
                                        std::move(labels),
                                        std::move(absent_codes),

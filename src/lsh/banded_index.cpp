@@ -1,6 +1,8 @@
 #include "lsh/banded_index.h"
 
 #include <algorithm>
+#include <string>
+#include <utility>
 
 #include "lsh/dynamic_banded_index.h"
 
@@ -135,6 +137,120 @@ void BandedIndex::Build(std::span<const uint64_t> signatures) {
       band.bucket_items[cursor[bucket]++] = item;
     }
   }
+}
+
+BandedIndex::Raw BandedIndex::ToRaw() const {
+  Raw raw;
+  raw.num_items = num_items_;
+  raw.bands.resize(bands_.size());
+  for (size_t b = 0; b < bands_.size(); ++b) {
+    const Band& band = bands_[b];
+    RawBand& out = raw.bands[b];
+    out.offset = band.offset;
+    out.rows = band.rows;
+    out.bucket_offsets = band.bucket_offsets;
+    out.bucket_items = band.bucket_items;
+    out.item_bucket = band.item_bucket;
+    // Flatten the hash map into dense-bucket-id order: the map's slot
+    // order is capacity-dependent, bucket ids are not, so the dump is
+    // deterministic (save -> load -> save is byte-identical).
+    out.bucket_keys.resize(band.bucket_offsets.size() - 1);
+    band.key_to_bucket.ForEach([&](uint64_t key, uint32_t bucket) {
+      out.bucket_keys[bucket] = key;
+    });
+  }
+  return raw;
+}
+
+Result<BandedIndex> BandedIndex::FromRaw(Raw raw) {
+  const auto invalid = [](size_t band, const std::string& what) {
+    return Status::InvalidArgument("index band " + std::to_string(band) +
+                                   " " + what);
+  };
+  if (raw.num_items < 1) {
+    return Status::InvalidArgument("index dump covers no items");
+  }
+  if (raw.bands.empty()) {
+    return Status::InvalidArgument("index dump has no bands");
+  }
+  const uint32_t n = raw.num_items;
+  BandedIndex index;
+  index.num_items_ = n;
+  index.bands_.resize(raw.bands.size());
+  uint32_t expected_offset = 0;
+  for (size_t b = 0; b < raw.bands.size(); ++b) {
+    RawBand& src = raw.bands[b];
+    if (src.rows < 1) return invalid(b, "has zero rows");
+    if (src.offset != expected_offset) {
+      return invalid(b, "starts at signature component " +
+                            std::to_string(src.offset) + ", expected " +
+                            std::to_string(expected_offset) +
+                            " (bands must tile the signature)");
+    }
+    expected_offset += src.rows;
+    const size_t num_buckets = src.bucket_keys.size();
+    if (src.bucket_offsets.size() != num_buckets + 1) {
+      return invalid(b, "has " + std::to_string(src.bucket_offsets.size()) +
+                            " offsets for " + std::to_string(num_buckets) +
+                            " buckets");
+    }
+    if (src.bucket_offsets.front() != 0) {
+      return invalid(b, "offsets do not start at 0");
+    }
+    for (size_t bucket = 0; bucket < num_buckets; ++bucket) {
+      if (src.bucket_offsets[bucket + 1] < src.bucket_offsets[bucket]) {
+        return invalid(b, "offsets are not monotone");
+      }
+    }
+    if (src.bucket_offsets.back() != n) {
+      return invalid(b, "offsets span " +
+                            std::to_string(src.bucket_offsets.back()) +
+                            " entries for " + std::to_string(n) + " items");
+    }
+    if (src.bucket_items.size() != n || src.item_bucket.size() != n) {
+      return invalid(b, "CSR arrays are not item-sized");
+    }
+    // Each bucket slice must hold strictly ascending in-range items that
+    // agree with item_bucket. Together with the slices covering exactly n
+    // entries this makes bucket membership a bijection over the items, so
+    // no item can be dropped or duplicated by a crafted dump.
+    for (size_t bucket = 0; bucket < num_buckets; ++bucket) {
+      const uint32_t begin = src.bucket_offsets[bucket];
+      const uint32_t end = src.bucket_offsets[bucket + 1];
+      for (uint32_t i = begin; i < end; ++i) {
+        const uint32_t item = src.bucket_items[i];
+        if (item >= n) return invalid(b, "references an out-of-range item");
+        if (i > begin && src.bucket_items[i - 1] >= item) {
+          return invalid(b, "bucket items are not strictly ascending");
+        }
+        if (src.item_bucket[item] != bucket) {
+          return invalid(b, "item_bucket disagrees with the bucket slices");
+        }
+      }
+    }
+    Band& band = index.bands_[b];
+    band.offset = src.offset;
+    band.rows = src.rows;
+    band.bucket_offsets = std::move(src.bucket_offsets);
+    band.bucket_items = std::move(src.bucket_items);
+    band.item_bucket = std::move(src.item_bucket);
+    band.key_to_bucket.Reserve(num_buckets);
+    for (size_t bucket = 0; bucket < num_buckets; ++bucket) {
+      uint32_t* slot = band.key_to_bucket.FindOrInsert(
+          src.bucket_keys[bucket], static_cast<uint32_t>(bucket));
+      if (*slot != bucket) {
+        return invalid(b, "contains duplicate bucket keys");
+      }
+    }
+  }
+  index.signature_width_ = expected_offset;
+  const bool uniform =
+      std::all_of(raw.bands.begin(), raw.bands.end(), [&](const RawBand& rb) {
+        return rb.rows == raw.bands[0].rows;
+      });
+  index.params_ = {static_cast<uint32_t>(raw.bands.size()),
+                   uniform ? raw.bands[0].rows : 0};
+  return index;
 }
 
 BandedIndex::Stats BandedIndex::ComputeStats() const {

@@ -21,6 +21,7 @@
 #include "lsh/flat_hash_table.h"
 #include "lsh/probability.h"
 #include "util/logging.h"
+#include "util/result.h"
 #include "util/rng.h"
 
 namespace lshclust {
@@ -144,6 +145,36 @@ class BandedIndex {
   /// Approximate heap footprint of the index in bytes.
   uint64_t MemoryUsageBytes() const;
 
+  /// \brief One band's CSR state with the hash map flattened to a dense
+  /// `bucket id -> band key` array — the persistence seam. Deterministic:
+  /// two indexes with identical buckets dump identical Raw state.
+  struct RawBand {
+    uint32_t offset = 0;                   ///< first signature component
+    uint32_t rows = 0;                     ///< components in this band
+    std::vector<uint64_t> bucket_keys;     ///< size buckets
+    std::vector<uint32_t> bucket_offsets;  ///< size buckets + 1
+    std::vector<uint32_t> bucket_items;    ///< size n
+    std::vector<uint32_t> item_bucket;     ///< size n
+  };
+  /// \brief The whole index as plain arrays (see RawBand).
+  struct Raw {
+    uint32_t num_items = 0;
+    std::vector<RawBand> bands;
+  };
+
+  /// Dumps the CSR state as plain arrays, keyed by dense bucket id.
+  Raw ToRaw() const;
+
+  /// Rebuilds an index from dumped arrays — re-deriving only the per-band
+  /// key->bucket hash maps; signatures are never re-hashed (the dump *is*
+  /// the bucket state). Every CSR invariant is validated hard: offsets
+  /// monotone and spanning exactly `num_items` entries, items in range and
+  /// strictly ascending per bucket, `item_bucket` consistent with the
+  /// bucket slices, bands contiguous over the signature, bucket keys
+  /// unique per band. Any violation returns kInvalidArgument — corrupt
+  /// input can never construct an index that would index out of bounds.
+  static Result<BandedIndex> FromRaw(Raw raw);
+
  private:
   struct Band {
     FlatHashMap64 key_to_bucket;          // band key -> dense bucket id
@@ -162,7 +193,10 @@ class BandedIndex {
                           bands_[band].rows);
   }
 
-  uint32_t num_items_;
+  /// For FromRaw, which fills the members itself.
+  BandedIndex() = default;
+
+  uint32_t num_items_ = 0;
   BandingParams params_;
   uint32_t signature_width_ = 0;
   std::vector<Band> bands_;

@@ -27,6 +27,7 @@
 
 #include "simd/dispatch.h"
 #include "util/logging.h"
+#include "util/result.h"
 #include "util/status.h"
 
 namespace lshclust {
@@ -129,6 +130,36 @@ class BitSketchTable {
   uint32_t words() const { return words_; }
   uint32_t num_items() const { return num_items_; }
   bool empty() const { return num_items_ == 0; }
+
+  /// The whole packed bit matrix, row-major (num_items() x words() words) —
+  /// the persistence seam's dump side.
+  std::span<const uint64_t> packed_bits() const { return bits_; }
+
+  /// Rebuilds a table from dumped packed words. The word count is
+  /// validated against `num_items x ceil(width/64)` before anything is
+  /// adopted, so corrupt dumps fail with a typed Status.
+  static Result<BitSketchTable> FromRaw(uint32_t width, uint32_t num_items,
+                                        std::vector<uint64_t> bits) {
+    if (width < 1) {
+      return Status::InvalidArgument("sketch width must be >= 1, got " +
+                                     std::to_string(width));
+    }
+    const size_t words = (width + 63) / 64;
+    if (bits.size() != static_cast<size_t>(num_items) * words) {
+      return Status::InvalidArgument(
+          "sketch table holds " + std::to_string(bits.size()) +
+          " words; expected " +
+          std::to_string(static_cast<size_t>(num_items) * words) + " (" +
+          std::to_string(num_items) + " items x " + std::to_string(words) +
+          " words)");
+    }
+    BitSketchTable table;
+    table.width_ = width;
+    table.words_ = static_cast<uint32_t>(words);
+    table.num_items_ = num_items;
+    table.bits_ = std::move(bits);
+    return table;
+  }
 
   /// Approximate heap footprint of the packed table in bytes.
   uint64_t MemoryUsageBytes() const {

@@ -30,6 +30,12 @@
 #include "serving/model_server.h"  // IWYU pragma: export
 #include "serving/routing.h"       // IWYU pragma: export
 
+// Model persistence: serving::SaveFrozenModel / LoadFrozenModel write and
+// read the versioned on-disk format; persist/model_io.h adds the decoded
+// view (DecodeModelFile) and the TOC/checksum inspector (InspectModelFile)
+// behind Clusterer::FromSnapshot and the model_inspect tool.
+#include "persist/model_io.h"  // IWYU pragma: export
+
 // Foundation.
 #include "util/flags.h"          // IWYU pragma: export
 #include "util/logging.h"        // IWYU pragma: export

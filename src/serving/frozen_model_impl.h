@@ -190,6 +190,19 @@ class FrozenModelImpl final : public FrozenModel {
     return sketch_memory_bytes_;
   }
 
+  // Read-only views of the frozen members, for the model-file encoder
+  // (persist/model_io.cpp), which dynamic_casts a FrozenModel down to the
+  // concrete instantiation and dumps exactly what the snapshot holds.
+  const typename Traits::Options& options() const { return options_; }
+  const typename Traits::Centroids& centroids() const { return model_; }
+  const std::optional<Family>& family() const { return family_; }
+  const BandedIndex* index() const { return index_.get(); }
+  const BitSketchTable& sketches() const { return sketches_; }
+  uint64_t sketch_max_hamming() const { return sketch_max_hamming_; }
+  std::span<const uint32_t> fit_assignment() const { return fit_assignment_; }
+  uint32_t shape_primary() const { return shape_primary_; }
+  uint32_t shape_secondary() const { return shape_secondary_; }
+
  private:
   void SignQuery(const typename Traits::Dataset& queries, uint32_t item,
                  RoutedScratch& s) const {

@@ -46,8 +46,10 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 
 #include "serving/frozen_model.h"
+#include "util/result.h"
 
 namespace lshclust::serving {
 
@@ -64,6 +66,13 @@ class ModelServer {
   /// calls return. Returns the stamped version. `model` must be non-null.
   /// Thread-safe against concurrent Publish and readers.
   uint64_t Publish(std::shared_ptr<const FrozenModel> model);
+
+  /// Loads a model file (persist/model_io.h) and publishes it, returning
+  /// the stamped version — the warm-start path of a serving process:
+  /// point the server at a file saved by an earlier fit and start routing
+  /// without re-clustering. On any load error the current snapshot is
+  /// left untouched. Defined in persist/model_io.cpp.
+  Result<uint64_t> PublishFromFile(const std::string& path);
 
   /// The current snapshot (shared ownership), or nullptr before the first
   /// Publish. Takes the slot mutex briefly; reader threads in a routing

@@ -1,0 +1,222 @@
+#pragma once
+
+/// \file binary_io.h
+/// \brief The one binary-framing idiom of the repo: CRC-32 checksums,
+/// little-endian scalar/array writers, and a bounds-checked byte reader.
+///
+/// Both on-disk formats — the dataset container (data/serialize.h) and the
+/// model container (persist/model_io.h) — encode through these helpers, so
+/// files are byte-identical regardless of host endianness and every read
+/// is range-checked before it happens. Writers come in two shapes: stream
+/// writers (`WriteLeU32`) for formats that emit directly to an ostream, and
+/// buffer appenders (`AppendLeU64`, `AppendLeArray`) for formats that frame
+/// whole sections in memory to checksum them before writing. The reader
+/// side is `ByteReader`: a cursor over an in-memory span whose every Read*
+/// returns false instead of walking past the end, which is what turns a
+/// truncated or corrupted file into a typed `Status` instead of UB.
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace lshclust {
+
+namespace internal {
+
+constexpr std::array<uint32_t, 256> MakeCrc32Table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) != 0 ? (crc >> 1) ^ 0xEDB88320u : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+inline constexpr std::array<uint32_t, 256> kCrc32Table = MakeCrc32Table();
+
+}  // namespace internal
+
+/// Extends a running CRC-32 (IEEE 802.3 polynomial, the zlib `crc32`
+/// convention) over `size` more bytes. Start from 0 and chain:
+/// `Crc32Update(Crc32Update(0, a, n), b, m)` equals the CRC of a||b.
+inline uint32_t Crc32Update(uint32_t crc, const void* data, size_t size) {
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  for (size_t i = 0; i < size; ++i) {
+    crc = internal::kCrc32Table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+/// CRC-32 of one contiguous buffer.
+inline uint32_t Crc32(const void* data, size_t size) {
+  return Crc32Update(0, data, size);
+}
+
+/// Writes a u32 to a stream as 4 little-endian bytes.
+inline void WriteLeU32(std::ostream& out, uint32_t value) {
+  const uint8_t bytes[4] = {
+      static_cast<uint8_t>(value), static_cast<uint8_t>(value >> 8),
+      static_cast<uint8_t>(value >> 16), static_cast<uint8_t>(value >> 24)};
+  out.write(reinterpret_cast<const char*>(bytes), 4);
+}
+
+/// Reads a little-endian u32 from a stream; false on short read.
+inline bool ReadLeU32(std::istream& in, uint32_t* value) {
+  uint8_t bytes[4];
+  in.read(reinterpret_cast<char*>(bytes), 4);
+  if (in.gcount() != 4) return false;
+  *value = static_cast<uint32_t>(bytes[0]) |
+           (static_cast<uint32_t>(bytes[1]) << 8) |
+           (static_cast<uint32_t>(bytes[2]) << 16) |
+           (static_cast<uint32_t>(bytes[3]) << 24);
+  return true;
+}
+
+/// Appends one byte to a buffer under construction.
+inline void AppendLeU8(std::string* out, uint8_t value) {
+  out->push_back(static_cast<char>(value));
+}
+
+/// Appends a u32 as 4 little-endian bytes.
+inline void AppendLeU32(std::string* out, uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out->push_back(static_cast<char>((value >> shift) & 0xFFu));
+  }
+}
+
+/// Appends a u64 as 8 little-endian bytes.
+inline void AppendLeU64(std::string* out, uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out->push_back(static_cast<char>((value >> shift) & 0xFFu));
+  }
+}
+
+/// Appends a double as its 8-byte IEEE-754 bit pattern, little-endian.
+inline void AppendLeF64(std::string* out, double value) {
+  AppendLeU64(out, std::bit_cast<uint64_t>(value));
+}
+
+/// Appends a contiguous array of u32 / u64 / double values in element
+/// order, each little-endian. On little-endian hosts this is one memcpy.
+template <typename T>
+inline void AppendLeArray(std::string* out, std::span<const T> values) {
+  static_assert(std::is_same_v<T, uint32_t> || std::is_same_v<T, uint64_t> ||
+                    std::is_same_v<T, double>,
+                "AppendLeArray supports u32, u64 and f64 elements");
+  if (values.empty()) return;
+  if constexpr (std::endian::native == std::endian::little) {
+    const size_t old_size = out->size();
+    out->resize(old_size + values.size_bytes());
+    std::memcpy(out->data() + old_size, values.data(), values.size_bytes());
+  } else {
+    for (const T value : values) {
+      if constexpr (std::is_same_v<T, uint32_t>) {
+        AppendLeU32(out, value);
+      } else if constexpr (std::is_same_v<T, uint64_t>) {
+        AppendLeU64(out, value);
+      } else {
+        AppendLeF64(out, value);
+      }
+    }
+  }
+}
+
+/// \brief Bounds-checked little-endian cursor over an in-memory buffer.
+/// Every Read*/Skip returns false (leaving the cursor unmoved) rather than
+/// reading past the end — callers turn that into a typed Status.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const uint8_t> data) : data_(data) {}
+
+  size_t position() const { return position_; }
+  size_t remaining() const { return data_.size() - position_; }
+
+  bool Skip(size_t bytes) {
+    if (bytes > remaining()) return false;
+    position_ += bytes;
+    return true;
+  }
+
+  bool ReadU8(uint8_t* value) {
+    if (remaining() < 1) return false;
+    *value = data_[position_++];
+    return true;
+  }
+
+  bool ReadU32(uint32_t* value) {
+    if (remaining() < 4) return false;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(data_[position_ + i]) << (8 * i);
+    }
+    *value = v;
+    position_ += 4;
+    return true;
+  }
+
+  bool ReadU64(uint64_t* value) {
+    if (remaining() < 8) return false;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(data_[position_ + i]) << (8 * i);
+    }
+    *value = v;
+    position_ += 8;
+    return true;
+  }
+
+  bool ReadF64(double* value) {
+    uint64_t bits = 0;
+    if (!ReadU64(&bits)) return false;
+    *value = std::bit_cast<double>(bits);
+    return true;
+  }
+
+  /// Reads `count` little-endian elements into `out` (replacing its
+  /// contents). The element count is validated against the remaining
+  /// bytes *before* any allocation, so a corrupt length cannot trigger a
+  /// huge resize.
+  template <typename T>
+  bool ReadArray(size_t count, std::vector<T>* out) {
+    static_assert(std::is_same_v<T, uint32_t> || std::is_same_v<T, uint64_t> ||
+                      std::is_same_v<T, double>,
+                  "ReadArray supports u32, u64 and f64 elements");
+    if (count > remaining() / sizeof(T)) return false;
+    out->clear();
+    out->resize(count);
+    if constexpr (std::endian::native == std::endian::little) {
+      if (count > 0) {
+        std::memcpy(out->data(), data_.data() + position_, count * sizeof(T));
+      }
+      position_ += count * sizeof(T);
+    } else {
+      for (size_t i = 0; i < count; ++i) {
+        if constexpr (std::is_same_v<T, uint32_t>) {
+          ReadU32(&(*out)[i]);
+        } else if constexpr (std::is_same_v<T, uint64_t>) {
+          ReadU64(&(*out)[i]);
+        } else {
+          ReadF64(&(*out)[i]);
+        }
+      }
+    }
+    return true;
+  }
+
+ private:
+  std::span<const uint8_t> data_;
+  size_t position_ = 0;
+};
+
+}  // namespace lshclust

@@ -13,6 +13,7 @@
 #include "datagen/conjunctive_generator.h"
 #include "lsh/tuning.h"
 #include "metrics/metrics.h"
+#include "persist/model_io.h"
 #include "util/flags.h"
 #include "util/string_util.h"
 
@@ -157,7 +158,7 @@ int FinishCluster(const std::string& label, const ClusteringResult& result,
 int CmdCluster(int argc, char** argv) {
   FlagSet flags("lshclust cluster");
   std::string input, output = "assignment.csv", method = "mh-kmodes";
-  std::string algo, accel;
+  std::string algo, accel, save_model;
   int64_t k = 0, bands = 0, rows = 0, max_iterations = 100, seed = 42;
   int64_t threads = 1;
   double gamma = 1.0;
@@ -180,6 +181,9 @@ int CmdCluster(int argc, char** argv) {
                  "assignment worker threads (0 = all cores)");
   flags.AddDouble("gamma", &gamma,
                   "numeric-vs-categorical weight (kprototypes)");
+  flags.AddString("save-model", &save_model,
+                  "write the fitted model (centroids + LSH index) to this "
+                  "path for `lshclust predict`");
   const Status parsed = flags.Parse(argc, argv);
   if (parsed.IsAlreadyExists()) return 0;
   if (!parsed.ok()) return FailUsage(parsed);
@@ -316,7 +320,77 @@ int CmdCluster(int argc, char** argv) {
     return report.status().IsInvalidArgument() ? FailUsage(report.status())
                                                : Fail(report.status());
   }
+  if (!save_model.empty()) {
+    auto snapshot = clusterer->Snapshot();
+    if (!snapshot.ok()) return Fail(snapshot.status());
+    const Status saved = serving::SaveFrozenModel(**snapshot, save_model);
+    if (!saved.ok()) return Fail(saved);
+    std::printf("model written to %s\n", save_model.c_str());
+  }
   return FinishCluster(label, report->result, truth_labels, output);
+}
+
+// ----------------------------------------------------------------- predict --
+
+int CmdPredict(int argc, char** argv) {
+  FlagSet flags("lshclust predict");
+  std::string model_path, input, output = "assignment.csv";
+  flags.AddString("model", &model_path,
+                  "model file written by `lshclust cluster --save-model`");
+  flags.AddString("input", &input, "query dataset path (.lshc or .csv)");
+  flags.AddString("output", &output, "assignment CSV path");
+  const Status parsed = flags.Parse(argc, argv);
+  if (parsed.IsAlreadyExists()) return 0;
+  if (!parsed.ok()) return FailUsage(parsed);
+  if (model_path.empty() || input.empty()) {
+    std::fprintf(stderr,
+                 "usage: lshclust predict --model=<file> --input=<file> "
+                 "[--output=<file>]\n");
+    return 2;
+  }
+
+  auto clusterer = Clusterer::FromSnapshot(model_path);
+  if (!clusterer.ok()) return Fail(clusterer.status());
+  const ClustererSpec& spec = clusterer->spec();
+  std::printf("loaded %s/%s model (k=%u) from %s\n",
+              std::string(ModalityToString(spec.modality)).c_str(),
+              std::string(AcceleratorToString(spec.accelerator)).c_str(),
+              spec.engine.num_clusters, model_path.c_str());
+
+  Result<std::vector<uint32_t>> routed = Status::UnknownError("unset");
+  if (spec.modality == Modality::kCategorical ||
+      spec.modality == Modality::kTextBinarized) {
+    auto dataset = LoadDataset(input);
+    if (!dataset.ok()) return Fail(dataset.status());
+    routed = clusterer->PredictRouted(*dataset);
+  } else if (spec.modality == Modality::kNumeric) {
+    if (IsBinaryPath(input)) {
+      return FailUsage(Status::InvalidArgument(
+          ".lshc files store categorical codes; this numeric model needs a "
+          "numeric CSV"));
+    }
+    auto dataset = ReadNumericCsv(input);
+    if (!dataset.ok()) return Fail(dataset.status());
+    routed = clusterer->PredictRouted(*dataset);
+  } else {
+    if (IsBinaryPath(input)) {
+      return FailUsage(Status::InvalidArgument(
+          ".lshc files store categorical codes; this mixed model needs a "
+          "mixed CSV"));
+    }
+    auto dataset = ReadMixedCsv(input);
+    if (!dataset.ok()) return Fail(dataset.status());
+    routed = clusterer->PredictRouted(*dataset);
+  }
+  if (!routed.ok()) {
+    return routed.status().IsInvalidArgument() ? FailUsage(routed.status())
+                                               : Fail(routed.status());
+  }
+  const Status saved = WriteAssignmentCsv(*routed, output);
+  if (!saved.ok()) return Fail(saved);
+  std::printf("routed %zu items; assignment written to %s\n", routed->size(),
+              output.c_str());
+  return 0;
 }
 
 // ---------------------------------------------------------------- evaluate --
@@ -421,7 +495,9 @@ int Usage() {
       "commands:\n"
       "  generate   write a synthetic conjunctive-rule dataset\n"
       "  cluster    cluster a dataset with K-Modes or MH-K-Modes\n"
-      "             (--algo also selects kmeans | kprototypes)\n"
+      "             (--algo also selects kmeans | kprototypes;\n"
+      "              --save-model persists the fitted model)\n"
+      "  predict    route a dataset through a saved model (no refit)\n"
       "  evaluate   score an assignment against dataset labels\n"
       "  inspect    print dataset shape and banding advice\n"
       "run `lshclust <command> --help` for the command's flags\n",
@@ -437,6 +513,7 @@ int RunCli(int argc, char** argv) {
   // Shift argv so each command's FlagSet sees its own flags.
   if (command == "generate") return CmdGenerate(argc - 1, argv + 1);
   if (command == "cluster") return CmdCluster(argc - 1, argv + 1);
+  if (command == "predict") return CmdPredict(argc - 1, argv + 1);
   if (command == "evaluate") return CmdEvaluate(argc - 1, argv + 1);
   if (command == "inspect") return CmdInspect(argc - 1, argv + 1);
   return Usage();

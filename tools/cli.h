@@ -7,7 +7,10 @@
 /// Subcommands:
 ///   generate  — write a synthetic conjunctive-rule dataset to disk
 ///   cluster   — cluster a dataset file with K-Modes or MH-K-Modes and
-///               write the assignment
+///               write the assignment (--save-model persists the fitted
+///               model via persist/model_io.h)
+///   predict   — warm-start from a saved model file and route a dataset
+///               through its retained LSH index, no refit
 ///   evaluate  — score an assignment against the dataset's labels
 ///   inspect   — print dataset shape and banding recommendations
 ///
