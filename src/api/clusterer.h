@@ -163,7 +163,7 @@ struct ClustererSpec {
 /// compatibility, gamma, and the chosen accelerator's index options.
 /// `Clusterer::Create` calls this; it is public so front ends (the CLI)
 /// can validate without constructing.
-Status ValidateClustererSpec(const ClustererSpec& spec);
+[[nodiscard]] Status ValidateClustererSpec(const ClustererSpec& spec);
 
 /// \brief Outcome of Clusterer::Fit: the clustering result plus index
 /// diagnostics and the run's completion status.

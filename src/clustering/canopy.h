@@ -51,7 +51,7 @@ struct CanopyOptions {
 /// Status. CanopyIndex::Build re-checks them, so direct callers keep the
 /// historical behaviour; the front door (api/clusterer.h) reports them at
 /// Clusterer::Create time instead of mid-run.
-inline Status ValidateCanopyOptions(const CanopyOptions& options) {
+[[nodiscard]] inline Status ValidateCanopyOptions(const CanopyOptions& options) {
   if (!(options.tight_fraction > 0.0 &&
         options.tight_fraction <= options.loose_fraction &&
         options.loose_fraction <= 1.0)) {

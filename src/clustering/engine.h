@@ -172,7 +172,7 @@ struct EngineOptions {
 /// (k <= n, seed items in range) stay in ClusteringEngine::Run, which
 /// re-checks these too, so direct engine callers keep the historical
 /// behaviour.
-inline Status ValidateEngineOptions(const EngineOptions& options) {
+[[nodiscard]] inline Status ValidateEngineOptions(const EngineOptions& options) {
   if (options.num_clusters == 0) {
     return Status::InvalidArgument("num_clusters must be >= 1");
   }
@@ -232,7 +232,7 @@ struct ExhaustiveProvider {
 
   /// Nothing to build.
   template <typename Dataset>
-  Status Prepare(const Dataset&) {
+  [[nodiscard]] Status Prepare(const Dataset&) {
     return Status::OK();
   }
 };
@@ -247,7 +247,7 @@ struct CategoricalClusteringTraits {
   /// Bound that never triggers an early exit (mismatches <= m << 2^32).
   static constexpr DistanceType kInfiniteDistance = ~0u;
 
-  static Status ValidateOptions(const Dataset&, const Options&) {
+  [[nodiscard]] static Status ValidateOptions(const Dataset&, const Options&) {
     return Status::OK();
   }
 

@@ -117,7 +117,7 @@ Result<FuzzyKModesResult> RunFuzzyKModes(const CategoricalDataset& dataset,
       for (uint32_t cluster = 0; cluster < k; ++cluster) {
         distances[cluster] = MismatchDistance(
             row, {result.modes.data() + static_cast<size_t>(cluster) * m, m});
-        zero_distance_count += distances[cluster] == 0 ? 1 : 0;
+        zero_distance_count += distances[cluster] == 0 ? 1u : 0u;
       }
       double* memberships =
           result.memberships.data() + static_cast<size_t>(item) * k;

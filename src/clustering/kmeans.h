@@ -44,7 +44,7 @@ struct NumericClusteringTraits {
   static constexpr DistanceType kInfiniteDistance =
       std::numeric_limits<double>::infinity();
 
-  static Status ValidateOptions(const Dataset&, const Options& options) {
+  [[nodiscard]] static Status ValidateOptions(const Dataset&, const Options& options) {
     if (options.initial_seeds.empty() &&
         options.init_method != InitMethod::kRandom) {
       return Status::InvalidArgument(

@@ -60,7 +60,7 @@ struct MixedClusteringTraits {
   static constexpr DistanceType kInfiniteDistance =
       std::numeric_limits<double>::max();
 
-  static Status ValidateOptions(const Dataset&, const Options& options) {
+  [[nodiscard]] static Status ValidateOptions(const Dataset&, const Options& options) {
     if (!(std::isfinite(options.gamma) && options.gamma >= 0.0)) {
       return Status::InvalidArgument(
           "gamma must be a finite non-negative number");

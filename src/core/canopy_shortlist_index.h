@@ -51,7 +51,7 @@ class CanopyShortlistProvider {
   /// StatusCode::kCancelled leaving the provider cover-less (any previous
   /// cover is dropped on entry, matching ShortlistProvider::Prepare's
   /// no-partial-index contract).
-  Status Prepare(const CategoricalDataset& dataset,
+  [[nodiscard]] Status Prepare(const CategoricalDataset& dataset,
                  ThreadPool* /*pool*/ = nullptr,
                  const std::function<bool()>* cancel = nullptr) {
     index_.reset();

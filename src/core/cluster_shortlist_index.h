@@ -59,7 +59,7 @@ class MinHashShortlistFamily {
   /// Validates the index configuration as a returned Status — the front
   /// door and the legacy entry points check this before constructing the
   /// family; the constructor keeps a debug backstop.
-  static Status ValidateOptions(const Options& options);
+  [[nodiscard]] static Status ValidateOptions(const Options& options);
 
   explicit MinHashShortlistFamily(const Options& options);
 
@@ -78,7 +78,7 @@ class MinHashShortlistFamily {
   /// pass. When `cancel` is non-null it is polled at batch boundaries
   /// (kSignatureChunkSize items; thread-safe hook required) and a true
   /// answer aborts with StatusCode::kCancelled.
-  Status ComputeSignatures(const Dataset& dataset,
+  [[nodiscard]] Status ComputeSignatures(const Dataset& dataset,
                            std::vector<uint64_t>* signatures,
                            ThreadPool* pool = nullptr,
                            const std::function<bool()>* cancel =

@@ -62,7 +62,7 @@ class MixedShortlistFamily {
   /// Validates the index configuration as a returned Status — the front
   /// door and the legacy entry points check this before constructing the
   /// family; the constructor keeps a debug backstop.
-  static Status ValidateOptions(const Options& options) {
+  [[nodiscard]] static Status ValidateOptions(const Options& options) {
     LSHC_RETURN_NOT_OK(ValidateBanding(options.categorical_banding,
                                        "mixed categorical banding"));
     LSHC_RETURN_NOT_OK(
@@ -110,7 +110,7 @@ class MixedShortlistFamily {
   /// (ComputeQuerySignature). When `cancel` is non-null it is polled at
   /// batch boundaries of both passes (thread-safe hook required); a true
   /// answer aborts with StatusCode::kCancelled.
-  Status ComputeSignatures(const Dataset& dataset,
+  [[nodiscard]] Status ComputeSignatures(const Dataset& dataset,
                            std::vector<uint64_t>* signatures,
                            ThreadPool* pool = nullptr,
                            const std::function<bool()>* cancel = nullptr) {

@@ -284,7 +284,7 @@ class ShortlistProvider {
   /// previous index is dropped on entry and the new one is only installed
   /// on success, so a cancelled Prepare can never leak a stale or partial
   /// index into diagnostics.
-  Status Prepare(const Dataset& dataset, ThreadPool* pool = nullptr,
+  [[nodiscard]] Status Prepare(const Dataset& dataset, ThreadPool* pool = nullptr,
                  const std::function<bool()>* cancel = nullptr) {
     const uint32_t n = dataset.num_items();
     if (n == 0) return Status::InvalidArgument("dataset is empty");

@@ -49,7 +49,7 @@ class SimHashShortlistFamily {
   /// Validates the index configuration as a returned Status — the front
   /// door and the legacy entry points check this before constructing the
   /// family; the constructor keeps a debug backstop.
-  static Status ValidateOptions(const Options& options) {
+  [[nodiscard]] static Status ValidateOptions(const Options& options) {
     LSHC_RETURN_NOT_OK(ValidateBanding(options.banding, "SimHash banding"));
     return ValidateSketchPrefilter(options.sketch, "SimHash sketch");
   }
@@ -85,7 +85,7 @@ class SimHashShortlistFamily {
   /// pass is bit-identical to the sequential one. When `cancel` is
   /// non-null it is polled at batch boundaries (thread-safe hook
   /// required); a true answer aborts with StatusCode::kCancelled.
-  Status ComputeSignatures(const Dataset& dataset,
+  [[nodiscard]] Status ComputeSignatures(const Dataset& dataset,
                            std::vector<uint64_t>* signatures,
                            ThreadPool* pool = nullptr,
                            const std::function<bool()>* cancel = nullptr) {

@@ -100,7 +100,7 @@ struct StreamingMHKModesOptions {
 /// options + ingest knobs) as a returned Status, reusing the engine and
 /// family validators. Bootstrap re-checks it; the front door
 /// (api/clusterer.h) reports it at session-creation time.
-Status ValidateStreamingMHKModesOptions(
+[[nodiscard]] Status ValidateStreamingMHKModesOptions(
     const StreamingMHKModesOptions& options);
 
 /// \brief Online clusterer; construct via Bootstrap.

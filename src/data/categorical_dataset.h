@@ -117,7 +117,7 @@ class CategoricalDatasetBuilder {
   void MarkAbsentValue(std::string value);
 
   /// Appends one item; `values` must have exactly one value per attribute.
-  Status AddRow(std::span<const std::string> values,
+  [[nodiscard]] Status AddRow(std::span<const std::string> values,
                 std::optional<uint32_t> label = std::nullopt);
 
   /// Number of rows added so far.

@@ -41,7 +41,7 @@ Result<CategoricalDataset> ParseCategoricalCsv(std::string_view text,
 /// \brief Writes a dataset to CSV (inverse of ReadCategoricalCsv). Requires
 /// the dataset to carry an interner (string-backed values). The label
 /// column is emitted iff labels are present.
-Status WriteCategoricalCsv(const CategoricalDataset& dataset,
+[[nodiscard]] Status WriteCategoricalCsv(const CategoricalDataset& dataset,
                            const std::string& path,
                            const CsvOptions& options = {});
 

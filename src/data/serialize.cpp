@@ -118,8 +118,8 @@ Result<CategoricalDataset> LoadDatasetBinary(const std::string& path) {
   // file *before* allocating — a corrupt header must produce a typed error,
   // not a multi-gigabyte resize.
   uint64_t remaining = file_size - static_cast<uint64_t>(in.tellg());
-  const auto consume = [&remaining](uint64_t bytes, const char* what,
-                                    const std::string& path) -> Status {
+  const auto consume = [&remaining, &path](uint64_t bytes,
+                                           const char* what) -> Status {
     if (bytes > remaining) {
       return Status::IOError("truncated " + std::string(what) + " in '" +
                              path + "' (need " + std::to_string(bytes) +
@@ -132,7 +132,7 @@ Result<CategoricalDataset> LoadDatasetBinary(const std::string& path) {
 
   const uint64_t num_code_entries = static_cast<uint64_t>(n) * m;
   LSHC_RETURN_NOT_OK(
-      consume(num_code_entries * sizeof(uint32_t), "code matrix", path));
+      consume(num_code_entries * sizeof(uint32_t), "code matrix"));
   std::vector<uint32_t> codes(num_code_entries);
   in.read(reinterpret_cast<char*>(codes.data()),
           static_cast<std::streamsize>(codes.size() * sizeof(uint32_t)));
@@ -143,8 +143,7 @@ Result<CategoricalDataset> LoadDatasetBinary(const std::string& path) {
   std::vector<uint32_t> labels;
   if (flags & kFlagLabels) {
     LSHC_RETURN_NOT_OK(
-        consume(static_cast<uint64_t>(n) * sizeof(uint32_t), "label array",
-                path));
+        consume(static_cast<uint64_t>(n) * sizeof(uint32_t), "label array"));
     labels.resize(n);
     in.read(reinterpret_cast<char*>(labels.data()),
             static_cast<std::streamsize>(labels.size() * sizeof(uint32_t)));
@@ -156,7 +155,7 @@ Result<CategoricalDataset> LoadDatasetBinary(const std::string& path) {
 
   std::vector<bool> absent_codes;
   if (flags & kFlagAbsence) {
-    LSHC_RETURN_NOT_OK(consume(num_codes, "absence bitmap", path));
+    LSHC_RETURN_NOT_OK(consume(num_codes, "absence bitmap"));
     absent_codes.resize(num_codes);
     for (uint32_t code = 0; code < num_codes; ++code) {
       uint8_t absent = 0;
@@ -172,7 +171,7 @@ Result<CategoricalDataset> LoadDatasetBinary(const std::string& path) {
   if (flags & kFlagDictionary) {
     interner = std::make_shared<ValueInterner>();
     uint32_t count = 0;
-    LSHC_RETURN_NOT_OK(consume(sizeof(uint32_t), "dictionary", path));
+    LSHC_RETURN_NOT_OK(consume(sizeof(uint32_t), "dictionary"));
     if (!ReadLeU32(in, &count)) {
       return Status::IOError("truncated dictionary in '" + path + "'");
     }
@@ -184,11 +183,11 @@ Result<CategoricalDataset> LoadDatasetBinary(const std::string& path) {
     std::string text;
     for (uint32_t i = 0; i < count; ++i) {
       uint32_t length = 0;
-      LSHC_RETURN_NOT_OK(consume(sizeof(uint32_t), "dictionary", path));
+      LSHC_RETURN_NOT_OK(consume(sizeof(uint32_t), "dictionary"));
       if (!ReadLeU32(in, &length)) {
         return Status::IOError("truncated dictionary in '" + path + "'");
       }
-      LSHC_RETURN_NOT_OK(consume(length, "dictionary entry", path));
+      LSHC_RETURN_NOT_OK(consume(length, "dictionary entry"));
       text.resize(length);
       in.read(text.data(), static_cast<std::streamsize>(length));
       if (static_cast<uint64_t>(in.gcount()) != length) {

@@ -20,7 +20,7 @@
 namespace lshclust {
 
 /// \brief Serializes `dataset` to `path` in the binary format above.
-Status SaveDatasetBinary(const CategoricalDataset& dataset,
+[[nodiscard]] Status SaveDatasetBinary(const CategoricalDataset& dataset,
                          const std::string& path);
 
 /// \brief Loads a dataset previously written by SaveDatasetBinary.

@@ -97,7 +97,7 @@ class TabulationHashFamily {
   uint64_t Hash(uint32_t index, uint64_t key) const {
     const Tables& t = tables_[index];
     uint64_t h = 0;
-    for (int byte = 0; byte < 8; ++byte) {
+    for (uint32_t byte = 0; byte < 8; ++byte) {
       h ^= t[byte][static_cast<uint8_t>(key >> (8 * byte))];
     }
     return h;

@@ -76,7 +76,7 @@ double MinHasher::EstimateJaccard(std::span<const uint64_t> a,
   LSHC_CHECK(!a.empty()) << "cannot estimate Jaccard from empty signatures";
   size_t agree = 0;
   for (size_t i = 0; i < a.size(); ++i) {
-    agree += (a[i] == b[i]) ? 1 : 0;
+    agree += (a[i] == b[i]) ? 1u : 0u;
   }
   return static_cast<double>(agree) / static_cast<double>(a.size());
 }

@@ -52,7 +52,7 @@ struct SketchPrefilterOptions {
 
 /// Validates prefilter options as a returned Status; `what` names the
 /// option group in the message (e.g. "minhash.sketch").
-inline Status ValidateSketchPrefilter(const SketchPrefilterOptions& options,
+[[nodiscard]] inline Status ValidateSketchPrefilter(const SketchPrefilterOptions& options,
                                       const char* what) {
   if (!(options.max_hamming_fraction >= 0.0 &&
         options.max_hamming_fraction <= 1.0)) {

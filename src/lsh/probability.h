@@ -30,7 +30,7 @@ struct BandingParams {
 /// option in the message (e.g. "MinHash banding"). The one banding
 /// invariant every signature family shares — extend here, not per
 /// family.
-inline Status ValidateBanding(const BandingParams& params,
+[[nodiscard]] inline Status ValidateBanding(const BandingParams& params,
                               std::string_view what) {
   if (params.bands < 1 || params.rows < 1) {
     return Status::InvalidArgument(

@@ -778,6 +778,8 @@ Status ValidateDecodedModel(const DecodedModel& model) {
   return Status::OK();
 }
 
+}  // namespace
+
 Result<DecodedModel> DecodeModelBytes(std::span<const uint8_t> data) {
   ModelFileInfo info;
   LSHC_RETURN_NOT_OK(ParseHeader(data, &info));
@@ -865,8 +867,6 @@ Result<DecodedModel> DecodeModelBytes(std::span<const uint8_t> data) {
   LSHC_RETURN_NOT_OK(ValidateDecodedModel(model));
   return model;
 }
-
-}  // namespace
 
 Result<DecodedModel> DecodeModelFile(const std::string& path) {
   LSHC_ASSIGN_OR_RETURN(std::vector<uint8_t> data, ReadWholeFile(path));

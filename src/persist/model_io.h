@@ -36,6 +36,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -124,6 +125,12 @@ struct DecodedModel {
 /// Reads, checksum-verifies and cross-validates a model file.
 Result<DecodedModel> DecodeModelFile(const std::string& path);
 
+/// The in-memory core of DecodeModelFile: decodes a model image already in
+/// memory. Exposed for embedders that transport model images off the
+/// filesystem (and for the fuzz harness, which drives the decoder with
+/// adversarial bytes — see tests/fuzz/model_io_fuzz.cpp).
+Result<DecodedModel> DecodeModelBytes(std::span<const uint8_t> data);
+
 /// \brief One TOC entry as found on disk, plus whether its payload's
 /// CRC-32 matched. For model_inspect and corruption diagnostics.
 struct SectionInfo {
@@ -186,7 +193,7 @@ namespace lshclust::serving {
 /// Writes `model` to `path` in the versioned section format above. The
 /// encoding is deterministic: saving, loading and saving again produces a
 /// byte-identical file.
-Status SaveFrozenModel(const FrozenModel& model, const std::string& path);
+[[nodiscard]] Status SaveFrozenModel(const FrozenModel& model, const std::string& path);
 
 /// Loads a model file into a routing-ready FrozenModel. The loaded
 /// snapshot routes queries bit-identically to the snapshot that was saved

@@ -68,7 +68,7 @@ uint64_t ModelServer::Publish(std::shared_ptr<const FrozenModel> model) {
   // The version stamp must land before the version-gate store below: a
   // reader that sees the new version and refreshes must find a snapshot
   // already carrying it.
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const uint64_t version =
       published_version_.load(std::memory_order_relaxed) + 1;
   model->version_.store(version, std::memory_order_release);

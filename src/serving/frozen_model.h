@@ -76,13 +76,13 @@ class FrozenModel {
   /// `out` (`out.size()` must equal `queries.num_items()`). Zero locks and
   /// — once `scratch` is warm — zero allocation. The overload matching the
   /// snapshot's modality routes; the others return kInvalidArgument.
-  virtual Status RouteInto(const CategoricalDataset& queries,
+  [[nodiscard]] virtual Status RouteInto(const CategoricalDataset& queries,
                            RouteScratch& scratch,
                            std::span<uint32_t> out) const;
-  virtual Status RouteInto(const NumericDataset& queries,
+  [[nodiscard]] virtual Status RouteInto(const NumericDataset& queries,
                            RouteScratch& scratch,
                            std::span<uint32_t> out) const;
-  virtual Status RouteInto(const MixedDataset& queries, RouteScratch& scratch,
+  [[nodiscard]] virtual Status RouteInto(const MixedDataset& queries, RouteScratch& scratch,
                            std::span<uint32_t> out) const;
 
   /// Convenience wrappers: allocate a fresh scratch and result vector.

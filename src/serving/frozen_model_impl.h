@@ -49,7 +49,7 @@ class ScratchHolder final : public FrozenModel::RouteScratch {
   RoutedScratch scratch;
 };
 
-inline Status CheckQueryShape(const CategoricalDataset& queries,
+[[nodiscard]] inline Status CheckQueryShape(const CategoricalDataset& queries,
                               uint32_t primary, uint32_t /*secondary*/) {
   if (queries.num_attributes() != primary) {
     return Status::InvalidArgument(
@@ -60,7 +60,7 @@ inline Status CheckQueryShape(const CategoricalDataset& queries,
   return Status::OK();
 }
 
-inline Status CheckQueryShape(const NumericDataset& queries, uint32_t primary,
+[[nodiscard]] inline Status CheckQueryShape(const NumericDataset& queries, uint32_t primary,
                               uint32_t /*secondary*/) {
   if (queries.dimensions() != primary) {
     return Status::InvalidArgument(
@@ -71,7 +71,7 @@ inline Status CheckQueryShape(const NumericDataset& queries, uint32_t primary,
   return Status::OK();
 }
 
-inline Status CheckQueryShape(const MixedDataset& queries, uint32_t primary,
+[[nodiscard]] inline Status CheckQueryShape(const MixedDataset& queries, uint32_t primary,
                               uint32_t secondary) {
   if (queries.num_categorical() != primary ||
       queries.num_numeric() != secondary) {
@@ -129,7 +129,7 @@ class FrozenModelImpl final : public FrozenModel {
     return holder;
   }
 
-  Status RouteInto(const typename Traits::Dataset& queries,
+  [[nodiscard]] Status RouteInto(const typename Traits::Dataset& queries,
                    RouteScratch& scratch,
                    std::span<uint32_t> out) const override {
     LSHC_RETURN_NOT_OK(

@@ -45,11 +45,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "serving/frozen_model.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace lshclust::serving {
 
@@ -65,7 +65,8 @@ class ModelServer {
   /// at 1) and makes it the snapshot subsequent `Acquire` / `Current`
   /// calls return. Returns the stamped version. `model` must be non-null.
   /// Thread-safe against concurrent Publish and readers.
-  uint64_t Publish(std::shared_ptr<const FrozenModel> model);
+  uint64_t Publish(std::shared_ptr<const FrozenModel> model)
+      LSHC_LOCKS_EXCLUDED(mutex_);
 
   /// Loads a model file (persist/model_io.h) and publishes it, returning
   /// the stamped version — the warm-start path of a serving process:
@@ -78,8 +79,9 @@ class ModelServer {
   /// Publish. Takes the slot mutex briefly; reader threads in a routing
   /// loop should go through a `Reader`, which only pays this on an actual
   /// version change.
-  std::shared_ptr<const FrozenModel> Acquire() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_ptr<const FrozenModel> Acquire() const
+      LSHC_LOCKS_EXCLUDED(mutex_) {
+    MutexLock lock(mutex_);
     return slot_;
   }
 
@@ -119,8 +121,8 @@ class ModelServer {
  private:
   /// Guards slot_ (readers refresh rarely; writers swap rarely). The
   /// per-query path never takes it — see Reader.
-  mutable std::mutex mutex_;
-  std::shared_ptr<const FrozenModel> slot_;
+  mutable Mutex mutex_;
+  std::shared_ptr<const FrozenModel> slot_ LSHC_GUARDED_BY(mutex_);
   std::atomic<uint64_t> published_version_{0};
 };
 

@@ -35,6 +35,7 @@ Result<TopicTfIdf> TopicTfIdf::Compute(const TokenizedCorpus& corpus) {
     }
     auto& terms = model.topic_terms_[topic];
     terms.reserve(counts.size());
+    // lint:ordered-ok(terms re-sorted by word below; max + int adds commute)
     for (const auto& [word, count] : counts) {
       terms.push_back(TopicTerm{word, count});
       model.topic_max_count_[topic] =

@@ -157,7 +157,7 @@ class ByteReader {
   bool ReadU32(uint32_t* value) {
     if (remaining() < 4) return false;
     uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) {
+    for (size_t i = 0; i < 4; ++i) {
       v |= static_cast<uint32_t>(data_[position_ + i]) << (8 * i);
     }
     *value = v;
@@ -168,7 +168,7 @@ class ByteReader {
   bool ReadU64(uint64_t* value) {
     if (remaining() < 8) return false;
     uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) {
+    for (size_t i = 0; i < 8; ++i) {
       v |= static_cast<uint64_t>(data_[position_ + i]) << (8 * i);
     }
     *value = v;

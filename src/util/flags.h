@@ -41,7 +41,7 @@ class FlagSet {
   /// Parses argv. On `--help`, prints usage and returns a Status with code
   /// kAlreadyExists that callers treat as "exit 0". Unknown flags and
   /// malformed values produce kInvalidArgument.
-  Status Parse(int argc, char** argv);
+  [[nodiscard]] Status Parse(int argc, char** argv);
 
   /// Positional (non-flag) arguments encountered during Parse.
   const std::vector<std::string>& positional() const { return positional_; }
@@ -58,7 +58,7 @@ class FlagSet {
     std::string default_repr;
   };
 
-  Status SetValue(const std::string& name, Flag& flag, std::string_view text);
+  [[nodiscard]] Status SetValue(const std::string& name, Flag& flag, std::string_view text);
 
   std::string program_;
   std::map<std::string, Flag> flags_;

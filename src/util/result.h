@@ -39,7 +39,7 @@ class [[nodiscard]] Result {
   bool ok() const { return std::holds_alternative<T>(storage_); }
 
   /// The status: OK when a value is present, the error otherwise.
-  Status status() const {
+  [[nodiscard]] Status status() const {
     return ok() ? Status::OK() : std::get<Status>(storage_);
   }
 

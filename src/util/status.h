@@ -36,7 +36,12 @@ std::string_view StatusCodeToString(StatusCode code);
 /// The OK state carries no allocation; error states allocate a small state
 /// block. Copying an error Status deep-copies the message so a Status is
 /// safe to store and move across threads.
-class Status {
+///
+/// The class is [[nodiscard]]: any call whose returned Status is ignored
+/// is a compile warning (error in CI), whatever the function — the
+/// per-declaration annotations the determinism lint enforces make the
+/// contract visible at each signature, this makes it unskippable.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() noexcept = default;
@@ -51,39 +56,39 @@ class Status {
   Status& operator=(Status&& other) noexcept = default;
 
   /// Returns an OK status.
-  static Status OK() { return Status(); }
+  [[nodiscard]] static Status OK() { return Status(); }
 
   /// Returns an error carrying StatusCode::kInvalidArgument.
-  static Status InvalidArgument(std::string message) {
+  [[nodiscard]] static Status InvalidArgument(std::string message) {
     return Status(StatusCode::kInvalidArgument, std::move(message));
   }
   /// Returns an error carrying StatusCode::kIOError.
-  static Status IOError(std::string message) {
+  [[nodiscard]] static Status IOError(std::string message) {
     return Status(StatusCode::kIOError, std::move(message));
   }
   /// Returns an error carrying StatusCode::kKeyError.
-  static Status KeyError(std::string message) {
+  [[nodiscard]] static Status KeyError(std::string message) {
     return Status(StatusCode::kKeyError, std::move(message));
   }
   /// Returns an error carrying StatusCode::kOutOfRange.
-  static Status OutOfRange(std::string message) {
+  [[nodiscard]] static Status OutOfRange(std::string message) {
     return Status(StatusCode::kOutOfRange, std::move(message));
   }
   /// Returns an error carrying StatusCode::kNotImplemented.
-  static Status NotImplemented(std::string message) {
+  [[nodiscard]] static Status NotImplemented(std::string message) {
     return Status(StatusCode::kNotImplemented, std::move(message));
   }
   /// Returns an error carrying StatusCode::kAlreadyExists.
-  static Status AlreadyExists(std::string message) {
+  [[nodiscard]] static Status AlreadyExists(std::string message) {
     return Status(StatusCode::kAlreadyExists, std::move(message));
   }
   /// Returns an error carrying StatusCode::kUnknownError.
-  static Status UnknownError(std::string message) {
+  [[nodiscard]] static Status UnknownError(std::string message) {
     return Status(StatusCode::kUnknownError, std::move(message));
   }
   /// Returns an error carrying StatusCode::kCancelled (a run stopped by a
   /// caller-installed cancellation hook, not a failure).
-  static Status Cancelled(std::string message) {
+  [[nodiscard]] static Status Cancelled(std::string message) {
     return Status(StatusCode::kCancelled, std::move(message));
   }
 
@@ -123,7 +128,7 @@ class Status {
   /// Returns a copy of this status with `context` prepended to the message,
   /// used to annotate errors as they propagate up a call chain. OK statuses
   /// are returned unchanged.
-  Status WithContext(std::string_view context) const;
+  [[nodiscard]] Status WithContext(std::string_view context) const;
 
   /// Aborts the process with the status message if not OK. Intended for
   /// examples and tooling where an error is unrecoverable.

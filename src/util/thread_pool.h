@@ -10,14 +10,19 @@
 /// once and that the call returns after the last chunk finished. Workers
 /// receive a stable `worker_index` in [0, num_threads) so callers can give
 /// each worker its own scratch state instead of locking.
+///
+/// All dispatch state is guarded by one annotated `Mutex`
+/// (util/thread_annotations.h), so clang's `-Wthread-safety` proves at
+/// compile time that no job field is touched without it; the user-supplied
+/// chunk function itself runs unlocked, which is the whole point.
 
 #include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <mutex>
-#include <condition_variable>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace lshclust {
 
@@ -48,10 +53,10 @@ class ThreadPool {
 
   ~ThreadPool() {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       stop_ = true;
     }
-    work_cv_.notify_all();
+    work_cv_.NotifyAll();
     for (auto& worker : workers_) worker.join();
   }
 
@@ -68,11 +73,11 @@ class ThreadPool {
   /// so callers that keep per-chunk results get a deterministic
   /// decomposition. Must not be called concurrently or from a worker.
   void ParallelFor(uint32_t begin, uint32_t end, uint32_t chunk_size,
-                   const std::function<void(uint32_t, uint32_t, uint32_t)>& fn) {
+                   const std::function<void(uint32_t, uint32_t, uint32_t)>& fn)
+      LSHC_LOCKS_EXCLUDED(mutex_) {
     if (begin >= end) return;
     chunk_size = std::max(1u, chunk_size);
-    std::unique_lock<std::mutex> lock(mutex_);
-    begin_ = begin;
+    MutexLock lock(mutex_);
     end_ = end;
     chunk_size_ = chunk_size;
     next_ = begin;
@@ -81,20 +86,18 @@ class ThreadPool {
         (static_cast<uint64_t>(end) - begin + chunk_size - 1) / chunk_size;
     fn_ = &fn;
     ++generation_;
-    work_cv_.notify_all();
-    done_cv_.wait(lock, [this] { return completed_ == total_chunks_; });
+    work_cv_.NotifyAll();
+    while (completed_ != total_chunks_) done_cv_.Wait(mutex_);
     fn_ = nullptr;
   }
 
  private:
-  void WorkerLoop(uint32_t worker_index) {
+  void WorkerLoop(uint32_t worker_index) LSHC_LOCKS_EXCLUDED(mutex_) {
     uint64_t seen_generation = 0;
-    std::unique_lock<std::mutex> lock(mutex_);
+    mutex_.Lock();
     while (true) {
-      work_cv_.wait(lock, [&] {
-        return stop_ || generation_ != seen_generation;
-      });
-      if (stop_) return;
+      while (!stop_ && generation_ == seen_generation) work_cv_.Wait(mutex_);
+      if (stop_) break;
       seen_generation = generation_;
       while (next_ < end_) {
         const uint32_t chunk_begin = next_;
@@ -103,28 +106,29 @@ class ThreadPool {
                 end_, static_cast<uint64_t>(chunk_begin) + chunk_size_));
         next_ = chunk_end;
         const auto* fn = fn_;
-        lock.unlock();
+        mutex_.Unlock();
         (*fn)(chunk_begin, chunk_end, worker_index);
-        lock.lock();
+        mutex_.Lock();
         ++completed_;
-        if (completed_ == total_chunks_) done_cv_.notify_all();
+        if (completed_ == total_chunks_) done_cv_.NotifyAll();
       }
     }
+    mutex_.Unlock();
   }
 
-  std::mutex mutex_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
+  Mutex mutex_;
+  CondVar work_cv_;
+  CondVar done_cv_;
   std::vector<std::thread> workers_;
-  const std::function<void(uint32_t, uint32_t, uint32_t)>* fn_ = nullptr;
-  uint32_t begin_ = 0;
-  uint32_t end_ = 0;
-  uint32_t chunk_size_ = 1;
-  uint32_t next_ = 0;
-  uint64_t completed_ = 0;
-  uint64_t total_chunks_ = 0;
-  uint64_t generation_ = 0;
-  bool stop_ = false;
+  const std::function<void(uint32_t, uint32_t, uint32_t)>* fn_
+      LSHC_GUARDED_BY(mutex_) = nullptr;
+  uint32_t end_ LSHC_GUARDED_BY(mutex_) = 0;
+  uint32_t chunk_size_ LSHC_GUARDED_BY(mutex_) = 1;
+  uint32_t next_ LSHC_GUARDED_BY(mutex_) = 0;
+  uint64_t completed_ LSHC_GUARDED_BY(mutex_) = 0;
+  uint64_t total_chunks_ LSHC_GUARDED_BY(mutex_) = 0;
+  uint64_t generation_ LSHC_GUARDED_BY(mutex_) = 0;
+  bool stop_ LSHC_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace lshclust

@@ -1,0 +1,30 @@
+# Fuzz smoke driver (ctest: fuzz_smoke_test). Generates a small dataset,
+# fits + saves a model (the corpus seed), then replays it through the
+# standalone fuzz harness with a deterministic mutation sweep. Any crash
+# or sanitizer report fails the test; rejected inputs are the expected
+# outcome.
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+execute_process(
+  COMMAND ${LSHCLUST_TOOL} generate --items=400 --attributes=8
+    --clusters=10 --domain=20 --seed=11 --output=${WORK_DIR}/ds.lshc
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "corpus dataset generation failed (${rc})")
+endif()
+
+execute_process(
+  COMMAND ${LSHCLUST_TOOL} cluster --input=${WORK_DIR}/ds.lshc --k=10
+    --save-model=${WORK_DIR}/corpus.lshm --output=${WORK_DIR}/fit.csv
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "corpus model save failed (${rc})")
+endif()
+
+execute_process(
+  COMMAND ${FUZZER} --mutate=3000 --seed=20260808 ${WORK_DIR}/corpus.lshm
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "model_io_fuzz crashed or rejected the run (${rc})")
+endif()

@@ -1,0 +1,332 @@
+#!/usr/bin/env python3
+"""Determinism lint: static checks for the bit-identity contract.
+
+Every performance claim this reproduction makes rests on assignments being
+bit-identical across threads x shards x SIMD tiers x save/load. The
+sanitizer and parity jobs verify that contract *dynamically* on the
+hardware CI happens to run; this lint rejects the code patterns that break
+it on hardware we don't run, before they compile:
+
+  rng            rand() / std::random_device / srand / time-seeded RNG
+                 outside src/datagen/ (data generators may be freely
+                 seeded; library code must take explicit seeds).
+  unordered-iter iteration over std::unordered_{map,set,multimap,multiset}
+                 — bucket order is implementation- and size-dependent, so
+                 any result that observes it is not reproducible.
+                 Suppressible where the iteration provably cannot affect
+                 results (e.g. feeding a re-sorted container):
+                 `// lint:ordered-ok(<justification>)`.
+  reduce         std::reduce / std::transform_reduce — unspecified
+                 operation order; floating-point accumulation through them
+                 is run-to-run nondeterministic. Use std::accumulate or an
+                 explicitly ordered loop.
+  atomic-float   std::atomic<float/double> — concurrent fetch-add
+                 accumulation commits in scheduling order; FP addition is
+                 not associative, so the sum depends on thread timing.
+  fp-contract    every SIMD kernel TU (src/simd/kernels_*.cpp) must be
+                 compiled with -ffp-contract=off in CMakeLists.txt, or a
+                 tier built with FMA contraction rounds differently from
+                 the tiers built without it.
+  nodiscard      function declarations in src/ headers returning Status
+                 must carry [[nodiscard]] — a silently dropped Status is
+                 how a failed load/validation turns into serving garbage.
+                 (Result<T> is [[nodiscard]] at class level already.)
+
+Usage:
+  tools/lint/determinism_lint.py [--root DIR] [paths...]
+
+With no paths, lints src/ under --root (default: the repo containing this
+script). Exits 0 when clean, 1 with one `file:line: [rule] message` per
+finding otherwise. Suppression: append `// lint:ordered-ok(reason)` — or
+the generic `// NOLINT-DETERMINISM(reason)` — to the flagged line or the
+line directly above it; an empty reason is itself an error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from dataclasses import dataclass
+
+UNORDERED_TYPES = r"std::unordered_(?:multi)?(?:map|set)"
+
+# Matches declarations of unordered-container variables/members and
+# captures the declared name:  std::unordered_map<K, V> name  (possibly
+# with nesting in the template args).
+UNORDERED_DECL_RE = re.compile(
+    UNORDERED_TYPES + r"\s*<[^;{}()]*>\s+(\w+)\s*[;={(]")
+
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(.*:\s*(.*)\)\s*\{?\s*$")
+
+RNG_PATTERNS = [
+    (re.compile(r"\bstd::random_device\b"), "std::random_device"),
+    (re.compile(r"(?<![\w:])s?rand\s*\("), "rand()/srand()"),
+    (re.compile(r"\bstd::time\s*\(|(?<![\w:.])time\s*\(\s*(?:nullptr|NULL|0)\s*\)"),
+     "time()-seeding"),
+    (re.compile(r"\b(?:system_clock|steady_clock|high_resolution_clock)"
+                r"[\w:]*\s*::\s*now\s*\(\)[^;]*(?:seed|mt19937|minstd|rng)",
+                re.IGNORECASE),
+     "clock-seeded RNG"),
+]
+
+REDUCE_RE = re.compile(r"\bstd::(?:transform_)?reduce\s*[<(]")
+ATOMIC_FLOAT_RE = re.compile(r"\bstd::atomic\s*<\s*(?:float|double|long double)\s*>")
+
+# A Status-returning declaration in a header: optional leading qualifiers,
+# `Status Name(`. Skips control flow (`return Status...`), constructions,
+# and qualified uses; see nodiscard_findings().
+STATUS_DECL_RE = re.compile(
+    r"^\s*(?:LSHC_\w+\s+)*(?:virtual\s+|static\s+|friend\s+|inline\s+|constexpr\s+)*"
+    r"(?:::)?\s*Status\s+(\w+)\s*\(")
+
+SUPPRESS_RE = re.compile(
+    r"//\s*(?:lint:ordered-ok|NOLINT-DETERMINISM)\s*(?:\(([^)]*)\))?")
+
+KERNEL_TU_RE = re.compile(r"src/simd/kernels_\w+\.cpp")
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self, root: str) -> str:
+        rel = os.path.relpath(self.path, root)
+        return f"{rel}:{self.line}: [{self.rule}] {self.message}"
+
+
+def suppression(lines: list[str], index: int) -> tuple[bool, str | None]:
+    """Suppressed on this line or the one directly above? Returns
+    (suppressed, error) — error is set for a suppression without a
+    justification."""
+    for probe in (index, index - 1):
+        if probe < 0:
+            continue
+        match = SUPPRESS_RE.search(lines[probe])
+        if match:
+            reason = (match.group(1) or "").strip()
+            if not reason:
+                return True, ("suppression comment needs a justification: "
+                              "// lint:ordered-ok(<why this iteration cannot "
+                              "affect results>)")
+            return True, None
+    return False, None
+
+
+def strip_strings(line: str) -> str:
+    """Blank out string/char literals so patterns inside them don't fire."""
+    return re.sub(r'"(?:[^"\\]|\\.)*"|\'(?:[^\'\\]|\\.)*\'', '""', line)
+
+
+def lint_file(path: str, repo_root: str) -> list[Finding]:
+    findings: list[Finding] = []
+    rel = os.path.relpath(path, repo_root).replace(os.sep, "/")
+    try:
+        with open(path, encoding="utf-8", errors="replace") as handle:
+            raw_lines = handle.read().splitlines()
+    except OSError as error:
+        return [Finding(path, 0, "io", f"cannot read: {error}")]
+
+    in_datagen = "/datagen/" in f"/{rel}"
+    is_header = rel.endswith(".h")
+
+    # Pass 1: names declared with unordered container types in this file.
+    unordered_names: set[str] = set()
+    for raw in raw_lines:
+        for match in UNORDERED_DECL_RE.finditer(strip_strings(raw)):
+            unordered_names.add(match.group(1))
+
+    in_block_comment = False
+    for index, raw in enumerate(raw_lines):
+        line_no = index + 1
+        code = strip_strings(raw)
+
+        # Strip comments (tracking /* */ across lines) so commented-out
+        # code and prose don't fire.
+        if in_block_comment:
+            end = code.find("*/")
+            if end < 0:
+                continue
+            code = code[end + 2:]
+            in_block_comment = False
+        while True:
+            start = code.find("/*")
+            if start < 0:
+                break
+            end = code.find("*/", start + 2)
+            if end < 0:
+                code = code[:start]
+                in_block_comment = True
+                break
+            code = code[:start] + code[end + 2:]
+        line_comment = code.find("//")
+        if line_comment >= 0:
+            code = code[:line_comment]
+        if not code.strip():
+            continue
+
+        def report(rule: str, message: str, *, suppressible: bool = False):
+            if suppressible:
+                suppressed, error = suppression(raw_lines, index)
+                if suppressed:
+                    if error:
+                        findings.append(Finding(path, line_no, rule, error))
+                    return
+            findings.append(Finding(path, line_no, rule, message))
+
+        # --- rng ---------------------------------------------------------
+        if not in_datagen:
+            for pattern, what in RNG_PATTERNS:
+                if pattern.search(code):
+                    report("rng",
+                           f"{what} in library code: results must come from "
+                           "explicit caller-provided seeds (free seeding is "
+                           "allowed under src/datagen/ only)")
+
+        # --- unordered iteration -----------------------------------------
+        range_for = RANGE_FOR_RE.search(code)
+        if range_for:
+            target = range_for.group(1)
+            direct = re.search(UNORDERED_TYPES, target)
+            named = any(re.search(rf"\b{re.escape(name)}\b", target)
+                        for name in unordered_names)
+            if direct or named:
+                report("unordered-iter",
+                       "iteration over an unordered container: bucket order "
+                       "is not deterministic, so anything accumulated or "
+                       "emitted in this order breaks bit-identity; iterate "
+                       "a sorted copy, or suppress with "
+                       "// lint:ordered-ok(<justification>) if provably "
+                       "order-free", suppressible=True)
+        elif unordered_names and re.search(
+                rf"\b({'|'.join(re.escape(n) for n in unordered_names)})"
+                r"\s*\.\s*(begin|cbegin)\s*\(", code):
+            report("unordered-iter",
+                   "explicit iterator walk of an unordered container (same "
+                   "hazard as a range-for)", suppressible=True)
+
+        # --- std::reduce --------------------------------------------------
+        if REDUCE_RE.search(code):
+            report("reduce",
+                   "std::reduce / std::transform_reduce has unspecified "
+                   "operation order — use std::accumulate or an explicitly "
+                   "ordered loop", suppressible=True)
+
+        # --- atomic float accumulation -------------------------------------
+        if ATOMIC_FLOAT_RE.search(code):
+            report("atomic-float",
+                   "std::atomic<floating-point> accumulates in scheduling "
+                   "order; FP addition is not associative, so concurrent "
+                   "updates are run-to-run nondeterministic",
+                   suppressible=True)
+
+        # --- nodiscard on Status declarations -------------------------------
+        if is_header and not in_datagen:
+            decl = STATUS_DECL_RE.match(code)
+            if decl and "[[nodiscard]]" not in code \
+                    and "[[nodiscard]]" not in (raw_lines[index - 1] if index else ""):
+                report("nodiscard",
+                       f"Status-returning declaration '{decl.group(1)}' "
+                       "missing [[nodiscard]]: a dropped Status silently "
+                       "swallows the error it reports", suppressible=True)
+
+    return findings
+
+
+def lint_fp_contract(repo_root: str) -> list[Finding]:
+    """Every kernel TU must get -ffp-contract=off in CMakeLists.txt."""
+    findings: list[Finding] = []
+    cmake_path = os.path.join(repo_root, "CMakeLists.txt")
+    try:
+        with open(cmake_path, encoding="utf-8") as handle:
+            cmake = handle.read()
+    except OSError:
+        return findings  # linting a subtree without the root build file
+
+    simd_dir = os.path.join(repo_root, "src", "simd")
+    if not os.path.isdir(simd_dir):
+        return findings
+    kernel_tus = sorted(
+        f"src/simd/{name}" for name in os.listdir(simd_dir)
+        if re.fullmatch(r"kernels_\w+\.cpp", name))
+
+    # Count how many set_source_files_properties(<tu> ...) blocks carry the
+    # flag. Each TU appears in two platform branches; require the flag in
+    # every block that configures it.
+    for tu in kernel_tus:
+        blocks = re.findall(
+            r"set_source_files_properties\(\s*" + re.escape(tu) +
+            r"\s+PROPERTIES\s+COMPILE_OPTIONS\s+\"([^\"]*)\"",
+            cmake)
+        if not blocks:
+            findings.append(Finding(
+                cmake_path, 0, "fp-contract",
+                f"{tu}: no set_source_files_properties(... COMPILE_OPTIONS) "
+                "block found — kernel TUs must be compiled with "
+                "-ffp-contract=off for cross-tier FP bit-identity"))
+            continue
+        for options in blocks:
+            if "-ffp-contract=off" not in options:
+                findings.append(Finding(
+                    cmake_path, 0, "fp-contract",
+                    f"{tu}: a COMPILE_OPTIONS block ('{options}') lacks "
+                    "-ffp-contract=off — an FMA-contracted tier rounds "
+                    "differently from the uncontracted ones"))
+    return findings
+
+
+def collect_paths(root: str, arguments: list[str]) -> list[str]:
+    if arguments:
+        paths: list[str] = []
+        for argument in arguments:
+            if os.path.isdir(argument):
+                for directory, _, names in os.walk(argument):
+                    paths.extend(os.path.join(directory, n) for n in names
+                                 if n.endswith((".h", ".cpp", ".cc", ".hpp")))
+            else:
+                paths.append(argument)
+        return sorted(paths)
+    source_root = os.path.join(root, "src")
+    paths = []
+    for directory, _, names in os.walk(source_root):
+        paths.extend(os.path.join(directory, n) for n in names
+                     if n.endswith((".h", ".cpp", ".cc", ".hpp")))
+    return sorted(paths)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Determinism lint for the bit-identity contract.")
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: two levels above this "
+                             "script)")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint (default: "
+                             "<root>/src)")
+    options = parser.parse_args()
+
+    root = options.root or os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+
+    findings: list[Finding] = []
+    for path in collect_paths(root, options.paths):
+        findings.extend(lint_file(path, root))
+    if not options.paths:  # whole-tree mode includes the build-flag check
+        findings.extend(lint_fp_contract(root))
+
+    for finding in sorted(findings, key=lambda f: (f.path, f.line)):
+        print(finding.render(root))
+    if findings:
+        print(f"determinism lint: {len(findings)} finding(s)",
+              file=sys.stderr)
+        return 1
+    print("determinism lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

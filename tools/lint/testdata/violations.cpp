@@ -1,0 +1,78 @@
+// Fixture: every block below plants one determinism-lint violation. The
+// lint's own test (determinism_lint_test.py) asserts each rule fires here
+// at the marked line — this file is never compiled or linted in tree mode
+// (testdata/ is outside src/).
+
+#include <atomic>
+#include <cstdlib>
+#include <ctime>
+#include <numeric>
+#include <random>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+// [rng] rand() in library code.
+int PlantedRand() { return rand(); }  // VIOLATION rng
+
+// [rng] std::random_device seeding.
+unsigned PlantedRandomDevice() {
+  std::random_device device;  // VIOLATION rng
+  return device();
+}
+
+// [rng] time-seeded RNG.
+void PlantedTimeSeed() {
+  srand(static_cast<unsigned>(time(nullptr)));  // VIOLATION rng (x2: srand+time)
+}
+
+// [unordered-iter] range-for over a declared unordered map.
+int PlantedUnorderedIteration() {
+  std::unordered_map<int, int> counts = {{1, 2}};
+  int sum = 0;
+  for (const auto& entry : counts) {  // VIOLATION unordered-iter
+    sum += entry.second;
+  }
+  return sum;
+}
+
+// [unordered-iter] explicit iterator walk.
+int PlantedUnorderedBegin() {
+  std::unordered_set<int> seen = {1, 2, 3};
+  return *seen.begin();  // VIOLATION unordered-iter
+}
+
+// [unordered-iter] suppressed WITH justification: must NOT fire.
+int SuppressedUnorderedIteration() {
+  std::unordered_map<int, int> counts = {{1, 2}};
+  int max_key = 0;
+  // lint:ordered-ok(max of keys is order-independent)
+  for (const auto& entry : counts) {
+    max_key = entry.first > max_key ? entry.first : max_key;
+  }
+  return max_key;
+}
+
+// [unordered-iter] suppression WITHOUT justification: fires (as the
+// missing-justification error).
+int BadSuppression() {
+  std::unordered_set<int> seen = {1};
+  int sum = 0;
+  for (int value : seen) {  // lint:ordered-ok
+    sum += value;
+  }
+  return sum;
+}
+
+// [reduce] std::reduce accumulation.
+double PlantedReduce(const std::vector<double>& values) {
+  return std::reduce(values.begin(), values.end());  // VIOLATION reduce
+}
+
+// [atomic-float] concurrent FP accumulation slot.
+std::atomic<double> planted_total{0.0};  // VIOLATION atomic-float
+
+// String literals and comments must not fire:
+// "std::reduce inside a comment", rand() in prose.
+const char* kNotCode = "std::random_device rand() std::reduce(";

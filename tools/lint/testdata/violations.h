@@ -1,0 +1,26 @@
+#pragma once
+
+// Fixture header: nodiscard-rule cases for determinism_lint_test.py.
+
+#include <string>
+
+namespace lintfixture {
+
+class Status {};
+
+// [nodiscard] missing on a Status-returning declaration.
+Status PlantedMissingNodiscard(const std::string& path);  // VIOLATION nodiscard
+
+// Annotated inline: must NOT fire.
+[[nodiscard]] Status AnnotatedInline(const std::string& path);
+
+// Annotated on the preceding line: must NOT fire.
+[[nodiscard]]
+Status AnnotatedPrecedingLine(const std::string& path);
+
+// An inline definition is a declaration too: fires without the attribute.
+inline Status PlantedInlineDefinition() {  // VIOLATION nodiscard
+  return Status{};  // a return statement itself must NOT fire
+}
+
+}  // namespace lintfixture

@@ -95,7 +95,8 @@ void PrintModel(const DecodedModel& model) {
   std::printf("buckets:        %zu total", buckets);
   if (buckets > 0 && !raw.bands.empty()) {
     std::printf(" (avg occupancy %.2f, largest %zu)",
-                static_cast<double>(raw.num_items) * raw.bands.size() /
+                static_cast<double>(raw.num_items) *
+                    static_cast<double>(raw.bands.size()) /
                     static_cast<double>(buckets),
                 largest);
   }
